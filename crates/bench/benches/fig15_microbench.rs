@@ -1,0 +1,25 @@
+//! Criterion companion to Figure 15: PJH vs PCJ per data type and op.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use espresso_bench::micro::{run_pcj_micro, run_pjh_micro, DataType, MicroOp};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    let n = 500;
+    for dtype in [DataType::Tuple, DataType::Primitive, DataType::Hashmap] {
+        for op in MicroOp::ALL {
+            g.bench_function(format!("pjh/{}/{}", dtype.name(), op.name()), |b| {
+                b.iter(|| run_pjh_micro(dtype, op, n));
+            });
+            g.bench_function(format!("pcj/{}/{}", dtype.name(), op.name()), |b| {
+                b.iter(|| run_pcj_micro(dtype, op, n));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

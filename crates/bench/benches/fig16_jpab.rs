@@ -1,0 +1,29 @@
+//! Criterion companion to Figure 16: JPAB CRUD cycles under both
+//! providers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use espresso_bench::jpab::{provider_pair, run_jpab, JpabTest};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig16");
+    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    for test in [JpabTest::Basic, JpabTest::Node] {
+        g.bench_function(format!("jpa/{}", test.name()), |b| {
+            b.iter(|| {
+                let (mut jpa, _) = provider_pair();
+                run_jpab(&mut jpa, test, 50)
+            });
+        });
+        g.bench_function(format!("pjo/{}", test.name()), |b| {
+            b.iter(|| {
+                let (_, mut pjo) = provider_pair();
+                run_jpab(&mut pjo, test, 50)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion companion to Figure 18: loadHeap under both safety levels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use espresso::heap::SafetyLevel;
+use espresso_bench::micro::{build_loading_image, measure_load};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig18");
+    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    for objects in [2_000usize, 10_000] {
+        let image = build_loading_image(objects, 20);
+        g.bench_function(format!("load/ug/{objects}"), |b| {
+            b.iter(|| measure_load(&image, SafetyLevel::UserGuaranteed));
+        });
+        g.bench_function(format!("load/zeroing/{objects}"), |b| {
+            b.iter(|| measure_load(&image, SafetyLevel::Zeroing));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Figure 4: breakdown of the DataNucleus (JPA) commit phase on NVM.
+//!
+//! Paper shape: user-oriented database work ~24%, object-to-SQL
+//! transformation ~42%, other ~34%.
+
+use espresso::jpa::EntityManager;
+use espresso::minidb::{Database, Value};
+use espresso::nvm::{NvmConfig, NvmDevice};
+use espresso_bench::jpab::{jpab_meta, make_entity, mutate_entity, JpabTest};
+use espresso_bench::report::{pct, print_table};
+use std::time::Instant;
+
+fn main() {
+    let n = espresso_bench::scale_arg(2000);
+    let db = Database::create(NvmDevice::new(NvmConfig::with_size(64 << 20))).expect("db");
+    let mut em = EntityManager::new(db.connect());
+    let metas = jpab_meta(JpabTest::Basic);
+    let meta = metas.last().unwrap().clone();
+    em.create_schema(&[&meta]).expect("schema");
+
+    // Populate, then measure commit-heavy update transactions like the
+    // paper's retrieve-then-commit JPAB run.
+    em.begin();
+    for id in 0..n {
+        em.persist(make_entity(JpabTest::Basic, &meta, id as i64, n as i64));
+    }
+    em.commit().expect("commit");
+
+    em.reset_stats();
+    db.reset_stats();
+    let t0 = Instant::now();
+    for chunk in (0..n).step_by(100) {
+        em.begin();
+        for id in chunk..(chunk + 100).min(n) {
+            let mut obj = em.find(&meta, &Value::Int(id as i64)).expect("find").expect("hit");
+            mutate_entity(JpabTest::Basic, &mut obj);
+            em.merge(obj);
+        }
+        em.commit().expect("commit");
+    }
+    let total = t0.elapsed().as_nanos() as f64;
+
+    let jpa = em.stats();
+    let dbs = db.stats();
+    let database = (dbs.exec_ns + dbs.wal_ns) as f64;
+    let transformation = (jpa.transformation_ns + dbs.parse_ns) as f64;
+    let other = (total - database - transformation).max(0.0);
+
+    print_table(
+        &format!("Figure 4: JPA commit-phase breakdown ({n} entities)"),
+        &["Phase", "Share"],
+        &[
+            vec!["Database".into(), pct(database / total)],
+            vec!["Transformation".into(), pct(transformation / total)],
+            vec!["Other".into(), pct(other / total)],
+        ],
+    );
+    println!("\npaper shape: Database ~24%, Transformation ~42% (dominant), Other remainder");
+}

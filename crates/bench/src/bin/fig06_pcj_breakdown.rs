@@ -1,0 +1,33 @@
+//! Figure 6: breakdown of PCJ create operations.
+//!
+//! Paper shape: real data manipulation ~1.8%; metadata (type-information
+//! memorization) ~36.8%; GC (refcounting) ~14.8%; transactions and
+//! allocation take most of the rest.
+
+use espresso::nvm::{NvmConfig, NvmDevice};
+use espresso::pcj::{PcjLong, PcjStore, Phase};
+use espresso_bench::report::{pct, print_table};
+
+fn main() {
+    // Paper creates 200,000 PersistentLong objects.
+    let n = espresso_bench::scale_arg(200_000);
+    let mut store =
+        PcjStore::format(NvmDevice::new(NvmConfig::with_size(512 << 20))).expect("store");
+    for i in 0..n {
+        PcjLong::create(&mut store, i as u64).expect("create");
+    }
+    let breakdown = store.timers();
+    let rows: Vec<Vec<String>> = breakdown
+        .fractions()
+        .into_iter()
+        .map(|(phase, f)| vec![phase.to_string(), pct(f)])
+        .collect();
+    print_table(
+        &format!("Figure 6: PCJ create breakdown ({n} PersistentLong objects)"),
+        &["Phase", "Share"],
+        &rows,
+    );
+    let data = breakdown.get(Phase::Data).as_secs_f64() / breakdown.total().as_secs_f64();
+    println!("\npaper shape: Data tiny (~2%), Metadata dominant (~37%), GC ~15%");
+    assert!(data < 0.5, "data phase should not dominate");
+}

@@ -1,0 +1,39 @@
+//! Figure 15: normalized speedup of PJH collections over PCJ for five
+//! data types x create/set/get.
+//!
+//! Paper shape: 1-2 orders of magnitude on create/set (peak 256.3x on
+//! tuple set), >= ~6x on get.
+
+use espresso_bench::micro::{run_pcj_micro, run_pjh_micro, DataType, MicroOp};
+use espresso_bench::report::print_table;
+
+fn main() {
+    let n = espresso_bench::scale_arg(20_000);
+    let mut rows = Vec::new();
+    let mut min_get = f64::MAX;
+    let mut max_speedup: (f64, String) = (0.0, String::new());
+    for dtype in DataType::ALL {
+        let mut row = vec![dtype.name().to_string()];
+        for op in MicroOp::ALL {
+            let pcj = run_pcj_micro(dtype, op, n).as_secs_f64();
+            let pjh = run_pjh_micro(dtype, op, n).as_secs_f64();
+            let speedup = pcj / pjh.max(f64::MIN_POSITIVE);
+            row.push(format!("{speedup:8.1}x"));
+            if op == MicroOp::Get {
+                min_get = min_get.min(speedup);
+            }
+            if speedup > max_speedup.0 {
+                max_speedup = (speedup, format!("{} {}", dtype.name(), op.name()));
+            }
+        }
+        rows.push(row);
+    }
+    print_table(
+        &format!("Figure 15: PJH speedup over PCJ ({n} ops per cell)"),
+        &["Data type", "Create", "Set", "Get"],
+        &rows,
+    );
+    println!("\npeak speedup: {:.1}x on {}", max_speedup.0, max_speedup.1);
+    println!("minimum get speedup: {min_get:.1}x");
+    println!("paper shape: create/set 10-256x, get >= 6x");
+}

@@ -1,0 +1,34 @@
+//! Figure 16 (a-d): JPAB throughput, H2-JPA vs H2-PJO for the four test
+//! cases x retrieve/update/delete/create.
+//!
+//! Paper shape: PJO wins every cell, up to 3.24x.
+
+use espresso_bench::jpab::{provider_pair, run_jpab, JpabTest};
+use espresso_bench::report::print_table;
+
+fn main() {
+    let n = espresso_bench::scale_arg(500);
+    for test in JpabTest::ALL {
+        let (mut jpa, mut pjo) = provider_pair();
+        let tj = run_jpab(&mut jpa, test, n);
+        let tp = run_jpab(&mut pjo, test, n);
+        let mut rows = Vec::new();
+        for ((op, dj), (_, dp)) in tj.rows().iter().zip(tp.rows().iter()) {
+            // Throughput = ops/sec; also report the speedup.
+            let thr_j = n as f64 / dj.as_secs_f64();
+            let thr_p = n as f64 / dp.as_secs_f64();
+            rows.push(vec![
+                op.to_string(),
+                format!("{thr_j:10.0}"),
+                format!("{thr_p:10.0}"),
+                format!("{:5.2}x", thr_p / thr_j),
+            ]);
+        }
+        print_table(
+            &format!("Figure 16: {} ({n} entities, ops/sec)", test.name()),
+            &["Operation", "H2-JPA", "H2-PJO", "PJO speedup"],
+            &rows,
+        );
+    }
+    println!("\npaper shape: H2-PJO above H2-JPA in every cell, up to 3.24x");
+}

@@ -1,0 +1,162 @@
+//! Figure 17: BasicTest time breakdown (execution / transformation /
+//! other) for H2-JPA vs H2-PJO, per CRUD operation.
+//!
+//! Paper shape: the transformation share collapses under PJO, and H2
+//! execution time also drops for most operations.
+
+use espresso::heap::{Pjh, PjhConfig};
+use espresso::jpa::EntityManager;
+use espresso::minidb::{Database, Value};
+use espresso::nvm::{NvmConfig, NvmDevice};
+use espresso::pjo::PjoEntityManager;
+use espresso_bench::jpab::{jpab_meta, make_entity, mutate_entity, JpabTest, Provider};
+use espresso_bench::report::print_table;
+use std::time::Instant;
+
+struct PhaseRow {
+    op: &'static str,
+    provider: &'static str,
+    execution_ms: f64,
+    transformation_ms: f64,
+    other_ms: f64,
+}
+
+fn run(provider: &mut Provider, db: &Database, n: usize) -> Vec<PhaseRow> {
+    let metas = jpab_meta(JpabTest::Basic);
+    let meta = metas.last().unwrap().clone();
+    match provider {
+        Provider::Jpa(em) => em.create_schema(&[&meta]).unwrap(),
+        Provider::Pjo(em) => em.create_schema(&[&meta]).unwrap(),
+    }
+    let mut rows = Vec::new();
+    let mut phase = |op: &'static str, provider: &mut Provider, db: &Database, f: &mut dyn FnMut(&mut Provider)| {
+        db.reset_stats();
+        match provider {
+            Provider::Jpa(em) => em.reset_stats(),
+            Provider::Pjo(em) => em.reset_stats(),
+        }
+        let t0 = Instant::now();
+        f(provider);
+        let total = t0.elapsed().as_nanos() as f64;
+        let dbs = db.stats();
+        let (label, transformation) = match provider {
+            Provider::Jpa(em) => ("H2-JPA", (em.stats().transformation_ns + dbs.parse_ns) as f64),
+            Provider::Pjo(em) => ("H2-PJO", em.stats().ship_ns as f64),
+        };
+        let execution = (dbs.exec_ns + dbs.wal_ns) as f64;
+        rows.push(PhaseRow {
+            op,
+            provider: label,
+            execution_ms: execution / 1e6,
+            transformation_ms: transformation / 1e6,
+            other_ms: (total - execution - transformation).max(0.0) / 1e6,
+        });
+    };
+
+    let meta_c = meta.clone();
+    phase("Create", provider, db, &mut |p| {
+        for chunk in (0..n).step_by(50) {
+            p_begin(p);
+            for id in chunk..(chunk + 50).min(n) {
+                p_persist(p, make_entity(JpabTest::Basic, &meta_c, id as i64, n as i64));
+            }
+            p_commit(p);
+        }
+    });
+    let meta_r = meta.clone();
+    phase("Retrieve", provider, db, &mut |p| {
+        for id in 0..n {
+            let _ = p_find(p, &meta_r, id as i64);
+        }
+    });
+    let meta_u = meta.clone();
+    phase("Update", provider, db, &mut |p| {
+        for chunk in (0..n).step_by(50) {
+            p_begin(p);
+            for id in chunk..(chunk + 50).min(n) {
+                let mut obj = p_find(p, &meta_u, id as i64).expect("present");
+                mutate_entity(JpabTest::Basic, &mut obj);
+                p_merge(p, obj);
+            }
+            p_commit(p);
+        }
+    });
+    let meta_d = meta.clone();
+    phase("Delete", provider, db, &mut |p| {
+        for chunk in (0..n).step_by(50) {
+            p_begin(p);
+            for id in chunk..(chunk + 50).min(n) {
+                p_remove(p, &meta_d, id as i64);
+            }
+            p_commit(p);
+        }
+    });
+    rows
+}
+
+fn p_begin(p: &mut Provider) {
+    match p {
+        Provider::Jpa(em) => em.begin(),
+        Provider::Pjo(em) => em.begin(),
+    }
+}
+fn p_commit(p: &mut Provider) {
+    match p {
+        Provider::Jpa(em) => em.commit().unwrap(),
+        Provider::Pjo(em) => em.commit().unwrap(),
+    }
+}
+fn p_persist(p: &mut Provider, o: espresso::jpa::EntityObject) {
+    match p {
+        Provider::Jpa(em) => em.persist(o),
+        Provider::Pjo(em) => em.persist(o),
+    }
+}
+fn p_merge(p: &mut Provider, o: espresso::jpa::EntityObject) {
+    match p {
+        Provider::Jpa(em) => em.merge(o),
+        Provider::Pjo(em) => em.merge(o),
+    }
+}
+fn p_remove(p: &mut Provider, m: &espresso::jpa::EntityMeta, id: i64) {
+    match p {
+        Provider::Jpa(em) => em.remove(m, Value::Int(id)),
+        Provider::Pjo(em) => em.remove(m, Value::Int(id)),
+    }
+}
+fn p_find(p: &mut Provider, m: &espresso::jpa::EntityMeta, id: i64) -> Option<espresso::jpa::EntityObject> {
+    match p {
+        Provider::Jpa(em) => em.find(m, &Value::Int(id)).unwrap(),
+        Provider::Pjo(em) => em.find(m, &Value::Int(id)).unwrap(),
+    }
+}
+
+fn main() {
+    let n = espresso_bench::scale_arg(1000);
+
+    let jpa_db = Database::create(NvmDevice::new(NvmConfig::with_size(64 << 20))).unwrap();
+    let mut jpa = Provider::Jpa(EntityManager::new(jpa_db.connect()));
+    let jpa_rows = run(&mut jpa, &jpa_db, n);
+
+    let pjo_db = Database::create(NvmDevice::new(NvmConfig::with_size(64 << 20))).unwrap();
+    let pjh = Pjh::create(NvmDevice::new(NvmConfig::with_size(128 << 20)), PjhConfig::default()).unwrap();
+    let mut pjo = Provider::Pjo(PjoEntityManager::new(pjo_db.connect(), pjh));
+    let pjo_rows = run(&mut pjo, &pjo_db, n);
+
+    let mut rows = Vec::new();
+    for r in jpa_rows.iter().chain(pjo_rows.iter()) {
+        rows.push(vec![
+            r.op.to_string(),
+            r.provider.to_string(),
+            format!("{:9.2}", r.execution_ms),
+            format!("{:9.2}", r.transformation_ms),
+            format!("{:9.2}", r.other_ms),
+        ]);
+    }
+    print_table(
+        &format!("Figure 17: BasicTest breakdown ({n} entities, milliseconds)"),
+        &["Operation", "Provider", "Execution", "Transformation", "Other"],
+        &rows,
+    );
+    println!("\npaper shape: PJO eliminates the transformation share; execution shrinks too");
+}

@@ -1,0 +1,41 @@
+//! Figure 18: heap loading time vs object count under user-guaranteed
+//! (UG) and zeroing safety.
+//!
+//! Paper shape: UG flat in the number of objects (it only reinitializes
+//! Klasses); zeroing linear (whole-heap scan); ~73ms at 2M objects on
+//! their hardware.
+
+use espresso::heap::SafetyLevel;
+use espresso_bench::micro::{build_loading_image, measure_load};
+use espresso_bench::report::print_table;
+
+fn main() {
+    // Paper sweeps 0.2M..2M objects of 20 klasses; default scaled down.
+    let max = espresso_bench::scale_arg(200_000);
+    let steps = 5;
+    let mut rows = Vec::new();
+    let mut ug_times = Vec::new();
+    let mut zero_times = Vec::new();
+    for step in 1..=steps {
+        let objects = max * step / steps;
+        let image = build_loading_image(objects, 20);
+        let ug = measure_load(&image, SafetyLevel::UserGuaranteed);
+        let zero = measure_load(&image, SafetyLevel::Zeroing);
+        ug_times.push(ug.as_secs_f64());
+        zero_times.push(zero.as_secs_f64());
+        rows.push(vec![
+            format!("{objects}"),
+            format!("{:9.3}", ug.as_secs_f64() * 1e3),
+            format!("{:9.3}", zero.as_secs_f64() * 1e3),
+        ]);
+    }
+    print_table(
+        "Figure 18: heap loading time (ms), 20 klasses",
+        &["Objects", "UG (ms)", "Zero (ms)"],
+        &rows,
+    );
+    let ug_growth = ug_times.last().unwrap() / ug_times.first().unwrap().max(1e-9);
+    let zero_growth = zero_times.last().unwrap() / zero_times.first().unwrap().max(1e-9);
+    println!("\nUG growth over the sweep: {ug_growth:.2}x (paper: ~flat)");
+    println!("Zeroing growth over the sweep: {zero_growth:.2}x (paper: ~linear, ~{steps}x)");
+}

@@ -1,0 +1,313 @@
+//! JPAB-style workloads (Table 2) and a provider-generic CRUD driver for
+//! Figures 16 and 17.
+
+use std::time::{Duration, Instant};
+
+use espresso::jpa::{EntityManager, EntityMeta, EntityObject};
+use espresso::minidb::{ColType, Value};
+use espresso::pjo::PjoEntityManager;
+
+/// The four JPAB test cases (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JpabTest {
+    /// Basic user-defined classes.
+    Basic,
+    /// Classes with inheritance relationships.
+    Ext,
+    /// Classes containing collection members.
+    Collection,
+    /// Classes with foreign-key-like references.
+    Node,
+}
+
+impl JpabTest {
+    /// All four tests in paper order.
+    pub const ALL: [JpabTest; 4] = [JpabTest::Basic, JpabTest::Ext, JpabTest::Collection, JpabTest::Node];
+
+    /// Paper name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JpabTest::Basic => "BasicTest",
+            JpabTest::Ext => "ExtTest",
+            JpabTest::Collection => "CollectionTest",
+            JpabTest::Node => "NodeTest",
+        }
+    }
+}
+
+/// Builds the entity metadata for a test case. The last element is the
+/// entity the driver instantiates.
+pub fn jpab_meta(test: JpabTest) -> Vec<EntityMeta> {
+    match test {
+        JpabTest::Basic => vec![EntityMeta::builder("basic_person")
+            .pk_field("id", ColType::Int)
+            .field("first_name", ColType::Text)
+            .field("last_name", ColType::Text)
+            .field("age", ColType::Int)
+            .build()],
+        JpabTest::Ext => {
+            let base = EntityMeta::builder("ext_person")
+                .pk_field("id", ColType::Int)
+                .field("name", ColType::Text)
+                .build();
+            let derived = EntityMeta::builder("ext_employee")
+                .field("department", ColType::Text)
+                .field("salary", ColType::Int)
+                .extends(&base)
+                .build();
+            vec![derived]
+        }
+        JpabTest::Collection => vec![EntityMeta::builder("coll_owner")
+            .pk_field("id", ColType::Int)
+            .field("label", ColType::Text)
+            .collection("elements")
+            .build()],
+        JpabTest::Node => vec![EntityMeta::builder("node")
+            .pk_field("id", ColType::Int)
+            .field("payload", ColType::Text)
+            .field("next_id", ColType::Int)
+            .build()],
+    }
+}
+
+/// Instantiates entity `id` for a test case.
+pub fn make_entity(test: JpabTest, meta: &EntityMeta, id: i64, n: i64) -> EntityObject {
+    let mut o = meta.instantiate();
+    match test {
+        JpabTest::Basic => {
+            o.set(0, Value::Int(id));
+            o.set(1, Value::Str(format!("First{id}")));
+            o.set(2, Value::Str(format!("Last{id}")));
+            o.set(3, Value::Int(20 + id % 60));
+        }
+        JpabTest::Ext => {
+            o.set(0, Value::Int(id));
+            o.set(1, Value::Str(format!("Emp{id}")));
+            o.set(2, Value::Str(format!("Dept{}", id % 10)));
+            o.set(3, Value::Int(50_000 + id));
+        }
+        JpabTest::Collection => {
+            o.set(0, Value::Int(id));
+            o.set(1, Value::Str(format!("Owner{id}")));
+            o.set_collection(0, (0..5).map(|i| id * 10 + i).collect());
+        }
+        JpabTest::Node => {
+            o.set(0, Value::Int(id));
+            o.set(1, Value::Str(format!("Node{id}")));
+            o.set(2, Value::Int((id + 1) % n));
+        }
+    }
+    o
+}
+
+/// Mutates entity fields the way JPAB's update phase does.
+pub fn mutate_entity(test: JpabTest, obj: &mut EntityObject) {
+    match test {
+        JpabTest::Basic => obj.set(3, Value::Int(99)),
+        JpabTest::Ext => obj.set(3, Value::Int(60_000)),
+        JpabTest::Collection => {
+            let mut items = obj.collection(0).to_vec();
+            items.push(777);
+            obj.set_collection(0, items);
+        }
+        JpabTest::Node => obj.set(1, Value::Str("updated".into())),
+    }
+}
+
+/// One provider under test — JPA over SQL text, or PJO over the direct
+/// interface. Both expose identical JPA-style calls, so the driver is
+/// provider-blind exactly like an application written against JPA (§5's
+/// backward compatibility).
+pub enum Provider {
+    /// The H2-JPA baseline.
+    Jpa(EntityManager),
+    /// The H2-PJO system.
+    Pjo(PjoEntityManager),
+}
+
+impl Provider {
+    /// Provider label used in figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Provider::Jpa(_) => "H2-JPA",
+            Provider::Pjo(_) => "H2-PJO",
+        }
+    }
+
+    fn create_schema(&mut self, metas: &[&EntityMeta]) {
+        match self {
+            Provider::Jpa(em) => em.create_schema(metas).expect("schema"),
+            Provider::Pjo(em) => em.create_schema(metas).expect("schema"),
+        }
+    }
+
+    fn begin(&mut self) {
+        match self {
+            Provider::Jpa(em) => em.begin(),
+            Provider::Pjo(em) => em.begin(),
+        }
+    }
+
+    fn persist(&mut self, obj: EntityObject) {
+        match self {
+            Provider::Jpa(em) => em.persist(obj),
+            Provider::Pjo(em) => em.persist(obj),
+        }
+    }
+
+    fn merge(&mut self, obj: EntityObject) {
+        match self {
+            Provider::Jpa(em) => em.merge(obj),
+            Provider::Pjo(em) => em.merge(obj),
+        }
+    }
+
+    fn remove(&mut self, meta: &EntityMeta, key: Value) {
+        match self {
+            Provider::Jpa(em) => em.remove(meta, key),
+            Provider::Pjo(em) => em.remove(meta, key),
+        }
+    }
+
+    fn find(&mut self, meta: &EntityMeta, key: &Value) -> Option<EntityObject> {
+        match self {
+            Provider::Jpa(em) => em.find(meta, key).expect("find"),
+            Provider::Pjo(em) => em.find(meta, key).expect("find"),
+        }
+    }
+
+    fn commit(&mut self) {
+        match self {
+            Provider::Jpa(em) => em.commit().expect("commit"),
+            Provider::Pjo(em) => em.commit().expect("commit"),
+        }
+    }
+}
+
+/// Wall time per CRUD phase over `n` entities.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CrudTiming {
+    /// Persist phase.
+    pub create: Duration,
+    /// Find phase.
+    pub retrieve: Duration,
+    /// Merge phase.
+    pub update: Duration,
+    /// Remove phase.
+    pub delete: Duration,
+}
+
+impl CrudTiming {
+    /// `(label, duration)` rows in the paper's x-axis order.
+    pub fn rows(&self) -> [(&'static str, Duration); 4] {
+        [
+            ("Retrieve", self.retrieve),
+            ("Update", self.update),
+            ("Delete", self.delete),
+            ("Create", self.create),
+        ]
+    }
+}
+
+const BATCH: usize = 50;
+
+/// Runs the JPAB CRUD cycle for one test case: create `n`, retrieve `n`,
+/// update `n`, delete `n`, committing in batches.
+pub fn run_jpab(provider: &mut Provider, test: JpabTest, n: usize) -> CrudTiming {
+    let metas = jpab_meta(test);
+    let meta = metas.last().expect("at least one meta").clone();
+    provider.create_schema(&metas.iter().collect::<Vec<_>>());
+    let n_i = n as i64;
+
+    let mut timing = CrudTiming::default();
+
+    // Create.
+    let t0 = Instant::now();
+    for chunk_start in (0..n).step_by(BATCH) {
+        provider.begin();
+        for id in chunk_start..(chunk_start + BATCH).min(n) {
+            provider.persist(make_entity(test, &meta, id as i64, n_i));
+        }
+        provider.commit();
+    }
+    timing.create = t0.elapsed();
+
+    // Retrieve.
+    let t0 = Instant::now();
+    for id in 0..n {
+        let found = provider.find(&meta, &Value::Int(id as i64));
+        assert!(found.is_some(), "{} lost entity {id}", provider.label());
+    }
+    timing.retrieve = t0.elapsed();
+
+    // Update.
+    let t0 = Instant::now();
+    for chunk_start in (0..n).step_by(BATCH) {
+        provider.begin();
+        for id in chunk_start..(chunk_start + BATCH).min(n) {
+            let mut obj = provider.find(&meta, &Value::Int(id as i64)).expect("present");
+            mutate_entity(test, &mut obj);
+            provider.merge(obj);
+        }
+        provider.commit();
+    }
+    timing.update = t0.elapsed();
+
+    // Delete.
+    let t0 = Instant::now();
+    for chunk_start in (0..n).step_by(BATCH) {
+        provider.begin();
+        for id in chunk_start..(chunk_start + BATCH).min(n) {
+            provider.remove(&meta, Value::Int(id as i64));
+        }
+        provider.commit();
+    }
+    timing.delete = t0.elapsed();
+
+    timing
+}
+
+/// Builds a fresh provider pair (same workload, two pipelines).
+pub fn provider_pair() -> (Provider, Provider) {
+    use espresso::heap::{Pjh, PjhConfig};
+    use espresso::minidb::Database;
+    use espresso::nvm::{NvmConfig, NvmDevice};
+
+    let jpa_db = Database::create(NvmDevice::new(NvmConfig::with_size(32 << 20))).expect("db");
+    let pjo_db = Database::create(NvmDevice::new(NvmConfig::with_size(32 << 20))).expect("db");
+    let pjh = Pjh::create(NvmDevice::new(NvmConfig::with_size(64 << 20)), PjhConfig::default())
+        .expect("pjh");
+    (
+        Provider::Jpa(EntityManager::new(jpa_db.connect())),
+        Provider::Pjo(PjoEntityManager::new(pjo_db.connect(), pjh)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_tests_run_on_both_providers() {
+        for test in JpabTest::ALL {
+            let (mut jpa, mut pjo) = provider_pair();
+            let tj = run_jpab(&mut jpa, test, 60);
+            let tp = run_jpab(&mut pjo, test, 60);
+            for t in [tj, tp] {
+                for (_, d) in t.rows() {
+                    assert!(d > Duration::ZERO);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn entities_match_their_shapes() {
+        let metas = jpab_meta(JpabTest::Ext);
+        assert_eq!(metas[0].fields().len(), 4, "inherited + own fields");
+        let metas = jpab_meta(JpabTest::Collection);
+        assert_eq!(metas[0].collections().len(), 1);
+        let e = make_entity(JpabTest::Collection, &metas[0], 3, 10);
+        assert_eq!(e.collection(0).len(), 5);
+    }
+}

@@ -1,0 +1,24 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§6). See DESIGN.md for the experiment index and
+//! EXPERIMENTS.md for recorded results.
+//!
+//! Each figure has a runnable binary under `src/bin/` that prints the same
+//! rows/series the paper reports, plus a Criterion bench under `benches/`
+//! for statistically robust timing of the hot paths.
+//!
+//! Workload sizes follow the paper's shapes but default to laptop-friendly
+//! counts; every binary accepts a scale argument (`--n <count>`).
+
+pub mod jpab;
+pub mod micro;
+pub mod report;
+
+/// Parses `--n <count>` from argv, falling back to `default`.
+pub fn scale_arg(default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--n")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}

@@ -1,0 +1,480 @@
+//! Microbenchmark drivers: PJH vs PCJ (Figure 15), the PCJ create
+//! breakdown (Figure 6), heap loading (Figure 18), and the recoverable-GC
+//! pause cost (§6.4).
+
+use std::time::{Duration, Instant};
+
+use espresso::collections::{PArray, PArrayList, PHashMap, PLong, PStore, PTuple};
+use espresso::heap::{LoadOptions, Pjh, PjhConfig, SafetyLevel};
+use espresso::nvm::{LatencyModel, NvmConfig, NvmDevice};
+use espresso::object::FieldDesc;
+use espresso::pcj::{PcjArray, PcjArrayList, PcjHashMap, PcjLong, PcjStore, PcjTuple};
+
+/// The five data-type columns of Figure 15.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataType {
+    /// Growable list.
+    ArrayList,
+    /// Generic object array.
+    Generic,
+    /// Fixed-arity tuple.
+    Tuple,
+    /// Boxed primitive.
+    Primitive,
+    /// Hash map.
+    Hashmap,
+}
+
+impl DataType {
+    /// All five in paper order.
+    pub const ALL: [DataType; 5] = [
+        DataType::ArrayList,
+        DataType::Generic,
+        DataType::Tuple,
+        DataType::Primitive,
+        DataType::Hashmap,
+    ];
+
+    /// Paper label.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::ArrayList => "ArrayList",
+            DataType::Generic => "Generic",
+            DataType::Tuple => "Tuple",
+            DataType::Primitive => "Primitive",
+            DataType::Hashmap => "Hashmap",
+        }
+    }
+}
+
+/// The three operations of Figure 15.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroOp {
+    /// Allocate fresh structures.
+    Create,
+    /// Overwrite slots of one structure.
+    Set,
+    /// Read slots of one structure.
+    Get,
+}
+
+impl MicroOp {
+    /// All three in paper order.
+    pub const ALL: [MicroOp; 3] = [MicroOp::Create, MicroOp::Set, MicroOp::Get];
+
+    /// Paper label.
+    pub fn name(self) -> &'static str {
+        match self {
+            MicroOp::Create => "Create",
+            MicroOp::Set => "Set",
+            MicroOp::Get => "Get",
+        }
+    }
+}
+
+const TUPLE_ARITY: usize = 4;
+const ARRAY_LEN: usize = 16;
+
+fn pjh_store(bytes: usize) -> PStore {
+    let dev = NvmDevice::new(NvmConfig::with_size(bytes));
+    PStore::new(Pjh::create(dev, PjhConfig::default()).expect("pjh")).expect("store")
+}
+
+/// Runs `n` operations of `(dtype, op)` on the PJH collections; returns
+/// elapsed wall time.
+pub fn run_pjh_micro(dtype: DataType, op: MicroOp, n: usize) -> Duration {
+    let mut s = pjh_store(256 << 20);
+    let mut acc = 0u64;
+    let t = match (dtype, op) {
+        (DataType::ArrayList, MicroOp::Create) => {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                PArrayList::pnew(&mut s, 4).expect("alloc");
+            }
+            t0.elapsed()
+        }
+        (DataType::ArrayList, MicroOp::Set) => {
+            let l = PArrayList::pnew(&mut s, ARRAY_LEN).expect("alloc");
+            for i in 0..ARRAY_LEN {
+                l.push(&mut s, i as u64).expect("push");
+            }
+            let t0 = Instant::now();
+            for i in 0..n {
+                l.set(&mut s, i % ARRAY_LEN, i as u64).expect("set");
+            }
+            t0.elapsed()
+        }
+        (DataType::ArrayList, MicroOp::Get) => {
+            let l = PArrayList::pnew(&mut s, ARRAY_LEN).expect("alloc");
+            for i in 0..ARRAY_LEN {
+                l.push(&mut s, i as u64).expect("push");
+            }
+            let t0 = Instant::now();
+            for i in 0..n {
+                acc = acc.wrapping_add(l.get(&s, i % ARRAY_LEN).unwrap_or(0));
+            }
+            t0.elapsed()
+        }
+        (DataType::Generic, MicroOp::Create) => {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                PArray::pnew(&mut s, "espresso.PLong", 4).expect("alloc");
+            }
+            t0.elapsed()
+        }
+        (DataType::Generic, MicroOp::Set) => {
+            let a = PArray::pnew(&mut s, "espresso.PLong", ARRAY_LEN).expect("alloc");
+            let b = PLong::pnew(&mut s, 0).expect("alloc");
+            let t0 = Instant::now();
+            for i in 0..n {
+                a.set(&mut s, i % ARRAY_LEN, b.as_ref()).expect("set");
+            }
+            t0.elapsed()
+        }
+        (DataType::Generic, MicroOp::Get) => {
+            let a = PArray::pnew(&mut s, "espresso.PLong", ARRAY_LEN).expect("alloc");
+            for i in 0..ARRAY_LEN {
+                let b = PLong::pnew(&mut s, i as u64).expect("alloc");
+                a.set(&mut s, i, b.as_ref()).expect("set");
+            }
+            let t0 = Instant::now();
+            for i in 0..n {
+                let b = PLong::from_ref(a.get(&s, i % ARRAY_LEN));
+                acc = acc.wrapping_add(b.value(&s));
+            }
+            t0.elapsed()
+        }
+        (DataType::Tuple, MicroOp::Create) => {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                PTuple::pnew(&mut s, TUPLE_ARITY).expect("alloc");
+            }
+            t0.elapsed()
+        }
+        (DataType::Tuple, MicroOp::Set) => {
+            let t = PTuple::pnew(&mut s, TUPLE_ARITY).expect("alloc");
+            let t0 = Instant::now();
+            for i in 0..n {
+                t.set(&mut s, i % TUPLE_ARITY, i as u64).expect("set");
+            }
+            t0.elapsed()
+        }
+        (DataType::Tuple, MicroOp::Get) => {
+            let t = PTuple::pnew(&mut s, TUPLE_ARITY).expect("alloc");
+            for i in 0..TUPLE_ARITY {
+                t.set(&mut s, i, i as u64).expect("set");
+            }
+            let t0 = Instant::now();
+            for i in 0..n {
+                acc = acc.wrapping_add(t.get(&s, i % TUPLE_ARITY));
+            }
+            t0.elapsed()
+        }
+        (DataType::Primitive, MicroOp::Create) => {
+            let t0 = Instant::now();
+            for i in 0..n {
+                PLong::pnew(&mut s, i as u64).expect("alloc");
+            }
+            t0.elapsed()
+        }
+        (DataType::Primitive, MicroOp::Set) => {
+            let b = PLong::pnew(&mut s, 0).expect("alloc");
+            let t0 = Instant::now();
+            for i in 0..n {
+                b.set(&mut s, i as u64).expect("set");
+            }
+            t0.elapsed()
+        }
+        (DataType::Primitive, MicroOp::Get) => {
+            let b = PLong::pnew(&mut s, 9).expect("alloc");
+            let t0 = Instant::now();
+            for _ in 0..n {
+                acc = acc.wrapping_add(b.value(&s));
+            }
+            t0.elapsed()
+        }
+        (DataType::Hashmap, MicroOp::Create) => {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                PHashMap::pnew(&mut s, 4).expect("alloc");
+            }
+            t0.elapsed()
+        }
+        (DataType::Hashmap, MicroOp::Set) => {
+            let m = PHashMap::pnew(&mut s, 64).expect("alloc");
+            let t0 = Instant::now();
+            for i in 0..n {
+                m.put(&mut s, (i % 64) as u64, i as u64).expect("put");
+            }
+            t0.elapsed()
+        }
+        (DataType::Hashmap, MicroOp::Get) => {
+            let m = PHashMap::pnew(&mut s, 64).expect("alloc");
+            for i in 0..64 {
+                m.put(&mut s, i, i).expect("put");
+            }
+            let t0 = Instant::now();
+            for i in 0..n {
+                acc = acc.wrapping_add(m.get(&s, (i % 64) as u64).unwrap_or(0));
+            }
+            t0.elapsed()
+        }
+    };
+    std::hint::black_box(acc);
+    t
+}
+
+/// Runs `n` operations of `(dtype, op)` on the PCJ baseline; returns
+/// elapsed wall time.
+pub fn run_pcj_micro(dtype: DataType, op: MicroOp, n: usize) -> Duration {
+    let mut s = PcjStore::format(NvmDevice::new(NvmConfig::with_size(256 << 20))).expect("store");
+    let mut acc = 0u64;
+    let t = match (dtype, op) {
+        (DataType::ArrayList, MicroOp::Create) => {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                PcjArrayList::create(&mut s, 4).expect("alloc");
+            }
+            t0.elapsed()
+        }
+        (DataType::ArrayList, MicroOp::Set) => {
+            let l = PcjArrayList::create(&mut s, ARRAY_LEN).expect("alloc");
+            for i in 0..ARRAY_LEN {
+                l.push(&mut s, i as u64).expect("push");
+            }
+            let t0 = Instant::now();
+            for i in 0..n {
+                l.set(&mut s, i % ARRAY_LEN, i as u64).expect("set");
+            }
+            t0.elapsed()
+        }
+        (DataType::ArrayList, MicroOp::Get) => {
+            let l = PcjArrayList::create(&mut s, ARRAY_LEN).expect("alloc");
+            for i in 0..ARRAY_LEN {
+                l.push(&mut s, i as u64).expect("push");
+            }
+            let t0 = Instant::now();
+            for i in 0..n {
+                acc = acc.wrapping_add(l.get(&mut s, i % ARRAY_LEN).unwrap_or(0));
+            }
+            t0.elapsed()
+        }
+        (DataType::Generic, MicroOp::Create) => {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                PcjArray::create(&mut s, 4).expect("alloc");
+            }
+            t0.elapsed()
+        }
+        (DataType::Generic, MicroOp::Set) => {
+            let a = PcjArray::create(&mut s, ARRAY_LEN).expect("alloc");
+            let t0 = Instant::now();
+            for i in 0..n {
+                a.set(&mut s, i % ARRAY_LEN, i as u64).expect("set");
+            }
+            t0.elapsed()
+        }
+        (DataType::Generic, MicroOp::Get) => {
+            let a = PcjArray::create(&mut s, ARRAY_LEN).expect("alloc");
+            for i in 0..ARRAY_LEN {
+                a.set(&mut s, i, i as u64).expect("set");
+            }
+            let t0 = Instant::now();
+            for i in 0..n {
+                acc = acc.wrapping_add(a.get(&mut s, i % ARRAY_LEN).unwrap_or(0));
+            }
+            t0.elapsed()
+        }
+        (DataType::Tuple, MicroOp::Create) => {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                PcjTuple::create(&mut s, TUPLE_ARITY).expect("alloc");
+            }
+            t0.elapsed()
+        }
+        (DataType::Tuple, MicroOp::Set) => {
+            let t = PcjTuple::create(&mut s, TUPLE_ARITY).expect("alloc");
+            let t0 = Instant::now();
+            for i in 0..n {
+                t.set(&mut s, i % TUPLE_ARITY, i as u64).expect("set");
+            }
+            t0.elapsed()
+        }
+        (DataType::Tuple, MicroOp::Get) => {
+            let t = PcjTuple::create(&mut s, TUPLE_ARITY).expect("alloc");
+            for i in 0..TUPLE_ARITY {
+                t.set(&mut s, i, i as u64).expect("set");
+            }
+            let t0 = Instant::now();
+            for i in 0..n {
+                acc = acc.wrapping_add(t.get(&mut s, i % TUPLE_ARITY).unwrap_or(0));
+            }
+            t0.elapsed()
+        }
+        (DataType::Primitive, MicroOp::Create) => {
+            let t0 = Instant::now();
+            for i in 0..n {
+                PcjLong::create(&mut s, i as u64).expect("alloc");
+            }
+            t0.elapsed()
+        }
+        (DataType::Primitive, MicroOp::Set) => {
+            let b = PcjLong::create(&mut s, 0).expect("alloc");
+            let t0 = Instant::now();
+            for i in 0..n {
+                b.set(&mut s, i as u64).expect("set");
+            }
+            t0.elapsed()
+        }
+        (DataType::Primitive, MicroOp::Get) => {
+            let b = PcjLong::create(&mut s, 9).expect("alloc");
+            let t0 = Instant::now();
+            for _ in 0..n {
+                acc = acc.wrapping_add(b.value(&mut s));
+            }
+            t0.elapsed()
+        }
+        (DataType::Hashmap, MicroOp::Create) => {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                PcjHashMap::create(&mut s, 4).expect("alloc");
+            }
+            t0.elapsed()
+        }
+        (DataType::Hashmap, MicroOp::Set) => {
+            let m = PcjHashMap::create(&mut s, 64).expect("alloc");
+            let t0 = Instant::now();
+            for i in 0..n {
+                m.put(&mut s, (i % 64) as u64, i as u64).expect("put");
+            }
+            t0.elapsed()
+        }
+        (DataType::Hashmap, MicroOp::Get) => {
+            let m = PcjHashMap::create(&mut s, 64).expect("alloc");
+            for i in 0..64 {
+                m.put(&mut s, i, i).expect("put");
+            }
+            let t0 = Instant::now();
+            for i in 0..n {
+                acc = acc.wrapping_add(m.get(&mut s, (i % 64) as u64).unwrap_or(0));
+            }
+            t0.elapsed()
+        }
+    };
+    std::hint::black_box(acc);
+    t
+}
+
+// ---- Figure 18: heap loading ----
+
+/// Builds a heap image with `objects` instances spread over `klasses`
+/// classes, returning the persisted image bytes.
+pub fn build_loading_image(objects: usize, klasses: usize) -> Vec<u8> {
+    let bytes = (objects * 48 + (8 << 20)).next_power_of_two();
+    let dev = NvmDevice::new(NvmConfig::with_size(bytes));
+    let mut heap = Pjh::create(dev.clone(), PjhConfig::default()).expect("pjh");
+    let kids: Vec<_> = (0..klasses.max(1))
+        .map(|k| {
+            heap.register_instance(
+                &format!("LoadTest{k}"),
+                vec![FieldDesc::prim("a"), FieldDesc::reference("b")],
+            )
+            .expect("klass")
+        })
+        .collect();
+    let mut prev = espresso::object::Ref::NULL;
+    for i in 0..objects {
+        let o = heap.alloc_instance(kids[i % kids.len()]).expect("alloc");
+        heap.set_field(o, 0, i as u64);
+        heap.set_field_ref(o, 1, prev).expect("safety off");
+        heap.flush_object(o);
+        prev = o;
+    }
+    heap.set_root("chain", prev).expect("root");
+    dev.snapshot_persisted()
+}
+
+/// Loads an image under the given safety level, returning the load time.
+pub fn measure_load(image: &[u8], safety: SafetyLevel) -> Duration {
+    let dev = NvmDevice::new(NvmConfig::with_size(image.len()));
+    dev.write_bytes(0, image);
+    dev.persist(0, image.len());
+    let t0 = Instant::now();
+    let (_heap, _report) =
+        Pjh::load(dev, LoadOptions { safety, ..LoadOptions::default() }).expect("load");
+    t0.elapsed()
+}
+
+// ---- §6.4: recoverable-GC pause ----
+
+/// Result of one GC-pause measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct GcPause {
+    /// Wall-clock pause.
+    pub wall: Duration,
+    /// Simulated NVM time (includes flush/fence costs).
+    pub sim_ns: u64,
+    /// Cache-line flushes issued by the collection.
+    pub flushes: u64,
+}
+
+/// Populates a heap with `live` live objects and `garbage` dead ones, then
+/// collects it, with crash-consistency flushes on or off.
+///
+/// Wall time is the paper's comparator (their pause includes all the CPU
+/// work of marking/summarizing/copying, which dwarfs individual
+/// `clflush`es); simulated time charges the full NVM latency model and so
+/// over-weights flushes. The figure binary reports both.
+pub fn measure_gc_pause(live: usize, garbage: usize, recoverable: bool) -> GcPause {
+    let bytes = ((live + garbage) * 64 + (16 << 20)).next_power_of_two();
+    let dev = NvmDevice::new(NvmConfig { size: bytes, latency: LatencyModel::nvm() });
+    let config = PjhConfig { recoverable_gc: recoverable, ..PjhConfig::default() };
+    let mut heap = Pjh::create(dev.clone(), config).expect("pjh");
+    let kid = heap
+        .register_instance("PauseTest", vec![FieldDesc::prim("a"), FieldDesc::reference("next")])
+        .expect("klass");
+    let mut head = espresso::object::Ref::NULL;
+    for i in 0..(live + garbage) {
+        let o = heap.alloc_instance(kid).expect("alloc");
+        if i % (live + garbage).div_ceil(live.max(1)) == 0 {
+            heap.set_field_ref(o, 1, head).expect("safety off");
+            head = o;
+        }
+    }
+    heap.set_root("live", head).expect("root");
+    dev.reset_stats();
+    let t0 = Instant::now();
+    let report = heap.gc(&[]).expect("gc");
+    GcPause { wall: t0.elapsed(), sim_ns: report.pause_sim_ns, flushes: report.pause_flushes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_micro_cell_runs_on_both_systems() {
+        for dtype in DataType::ALL {
+            for op in MicroOp::ALL {
+                let a = run_pjh_micro(dtype, op, 50);
+                let b = run_pcj_micro(dtype, op, 50);
+                assert!(a > Duration::ZERO && b > Duration::ZERO, "{dtype:?}/{op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn loading_image_roundtrips() {
+        let image = build_loading_image(500, 10);
+        let ug = measure_load(&image, SafetyLevel::UserGuaranteed);
+        let zero = measure_load(&image, SafetyLevel::Zeroing);
+        assert!(ug > Duration::ZERO && zero > Duration::ZERO);
+    }
+
+    #[test]
+    fn gc_pause_measures_flushes() {
+        let with = measure_gc_pause(200, 800, true);
+        let without = measure_gc_pause(200, 800, false);
+        assert!(with.flushes > without.flushes);
+    }
+}

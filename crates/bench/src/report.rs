@@ -1,0 +1,59 @@
+//! Plain-text table rendering for the figure binaries.
+
+/// Prints an aligned table with a header row.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let render = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let headers: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", render(&headers));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", render(row));
+    }
+}
+
+/// Formats a fraction as a percentage string.
+pub fn pct(f: f64) -> String {
+    format!("{:5.1}%", f * 100.0)
+}
+
+/// Formats a speedup ratio.
+pub fn ratio(a: f64, b: f64) -> String {
+    if b == 0.0 {
+        "inf".to_string()
+    } else {
+        format!("{:.2}x", a / b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_and_ratio_format() {
+        assert_eq!(pct(0.4192), " 41.9%");
+        assert_eq!(ratio(10.0, 4.0), "2.50x");
+        assert_eq!(ratio(1.0, 0.0), "inf");
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table("t", &["a", "bb"], &[vec!["1".into(), "2".into()]]);
+    }
+}

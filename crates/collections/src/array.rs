@@ -1,0 +1,112 @@
+//! Generic object arrays ("Generic" in Figure 15).
+
+use espresso_core::PjhError;
+use espresso_object::Ref;
+
+use crate::PStore;
+
+/// A persistent generic array of object references.
+///
+/// The counterpart of PCJ's `PersistentArray<T>`: elements are references
+/// into the persistent heap (boxed values, tuples, other arrays, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PArray {
+    arr: Ref,
+}
+
+impl PArray {
+    /// Allocates a null-filled array of `len` references to `elem_class`
+    /// elements.
+    ///
+    /// # Errors
+    ///
+    /// Allocation errors.
+    pub fn pnew(store: &mut PStore, elem_class: &str, len: usize) -> Result<PArray, PjhError> {
+        let kid = store.heap_mut().register_obj_array(elem_class);
+        let arr = store.alloc_array(kid, len)?;
+        Ok(PArray { arr })
+    }
+
+    /// Re-wraps an existing array reference.
+    pub fn from_ref(arr: Ref) -> PArray {
+        PArray { arr }
+    }
+
+    /// The underlying array reference.
+    pub fn as_ref(&self) -> Ref {
+        self.arr
+    }
+
+    /// Element count.
+    pub fn len(&self, store: &PStore) -> usize {
+        store.heap().array_len(self.arr)
+    }
+
+    /// Whether the array is zero-length.
+    pub fn is_empty(&self, store: &PStore) -> bool {
+        self.len(store) == 0
+    }
+
+    /// Reads element `i`.
+    pub fn get(&self, store: &PStore, i: usize) -> Ref {
+        store.heap().array_get_ref(self.arr, i)
+    }
+
+    /// Transactionally writes element `i`.
+    ///
+    /// # Errors
+    ///
+    /// Heap or safety errors.
+    pub fn set(&self, store: &mut PStore, i: usize, value: Ref) -> Result<(), PjhError> {
+        store.transact(|s| s.array_set_ref(self.arr, i, value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PLong;
+    use espresso_core::{Pjh, PjhConfig};
+    use espresso_nvm::{NvmConfig, NvmDevice};
+
+    fn store() -> PStore {
+        let dev = NvmDevice::new(NvmConfig::with_size(8 << 20));
+        PStore::new(Pjh::create(dev, PjhConfig::small()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn generic_array_of_boxes() {
+        let mut s = store();
+        let arr = PArray::pnew(&mut s, "espresso.PLong", 8).unwrap();
+        assert_eq!(arr.len(&s), 8);
+        assert!(!arr.is_empty(&s));
+        for i in 0..8 {
+            let b = PLong::pnew(&mut s, i as u64 * 100).unwrap();
+            arr.set(&mut s, i, b.as_ref()).unwrap();
+        }
+        for i in 0..8 {
+            let b = PLong::from_ref(arr.get(&s, i));
+            assert_eq!(b.value(&s), i as u64 * 100);
+        }
+    }
+
+    #[test]
+    fn elements_start_null() {
+        let mut s = store();
+        let arr = PArray::pnew(&mut s, "espresso.PLong", 3).unwrap();
+        assert!(arr.get(&s, 0).is_null());
+    }
+
+    #[test]
+    fn set_survives_gc_via_root() {
+        let mut s = store();
+        let arr = PArray::pnew(&mut s, "espresso.PLong", 2).unwrap();
+        let b = PLong::pnew(&mut s, 9).unwrap();
+        arr.set(&mut s, 0, b.as_ref()).unwrap();
+        s.heap_mut().set_root("arr", arr.as_ref()).unwrap();
+        s.gc(&[]).unwrap();
+        let arr = PArray::from_ref(s.heap().get_root("arr").unwrap());
+        let b = PLong::from_ref(arr.get(&s, 0));
+        assert_eq!(b.value(&s), 9);
+    }
+}

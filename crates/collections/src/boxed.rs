@@ -1,0 +1,100 @@
+//! Boxed primitive — the `PersistentLong` equivalent ("Primitive" in
+//! Figure 15).
+
+use espresso_core::PjhError;
+use espresso_object::{FieldDesc, Ref};
+
+use crate::PStore;
+
+const CLASS: &str = "espresso.PLong";
+
+/// A persistent boxed 64-bit value.
+///
+/// The PJH analogue of PCJ's `PersistentLong`: a two-word header plus one
+/// payload word, allocated with `pnew` and updated under the undo log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PLong {
+    obj: Ref,
+}
+
+impl PLong {
+    /// Allocates a boxed value in the persistent heap.
+    ///
+    /// # Errors
+    ///
+    /// Allocation errors.
+    pub fn pnew(store: &mut PStore, value: u64) -> Result<PLong, PjhError> {
+        let kid = store.heap_mut().register_instance(CLASS, vec![FieldDesc::prim("value")])?;
+        let obj = store.alloc_instance(kid)?;
+        store.transact(|s| {
+            s.set_field(obj, 0, value);
+            Ok(())
+        })?;
+        Ok(PLong { obj })
+    }
+
+    /// Re-wraps an existing reference (e.g. one fetched from a root).
+    pub fn from_ref(obj: Ref) -> PLong {
+        PLong { obj }
+    }
+
+    /// The underlying object reference.
+    pub fn as_ref(&self) -> Ref {
+        self.obj
+    }
+
+    /// Reads the boxed value.
+    pub fn value(&self, store: &PStore) -> u64 {
+        store.heap().field(self.obj, 0)
+    }
+
+    /// Transactionally replaces the boxed value.
+    ///
+    /// # Errors
+    ///
+    /// Heap errors.
+    pub fn set(&self, store: &mut PStore, value: u64) -> Result<(), PjhError> {
+        store.transact(|s| {
+            s.set_field(self.obj, 0, value);
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use espresso_core::{Pjh, PjhConfig};
+    use espresso_nvm::{NvmConfig, NvmDevice};
+
+    fn store() -> PStore {
+        let dev = NvmDevice::new(NvmConfig::with_size(8 << 20));
+        PStore::new(Pjh::create(dev, PjhConfig::small()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn box_roundtrip() {
+        let mut s = store();
+        let b = PLong::pnew(&mut s, 42).unwrap();
+        assert_eq!(b.value(&s), 42);
+        b.set(&mut s, 43).unwrap();
+        assert_eq!(b.value(&s), 43);
+    }
+
+    #[test]
+    fn many_boxes_like_the_pcj_breakdown_workload() {
+        let mut s = store();
+        let boxes: Vec<PLong> = (0..1000).map(|i| PLong::pnew(&mut s, i).unwrap()).collect();
+        for (i, b) in boxes.iter().enumerate() {
+            assert_eq!(b.value(&s), i as u64);
+        }
+    }
+
+    #[test]
+    fn from_ref_roundtrip() {
+        let mut s = store();
+        let b = PLong::pnew(&mut s, 7).unwrap();
+        let again = PLong::from_ref(b.as_ref());
+        assert_eq!(again.value(&s), 7);
+    }
+}

@@ -1,0 +1,50 @@
+//! Persistent data structures atop PJH, mirroring the PCJ collection
+//! surface used by the Figure 15 microbenchmarks (§6.2).
+//!
+//! The paper's comparison implements "similar data structures atop our
+//! PJH" and adds ACID semantics "by providing a simple undo log to make a
+//! fair comparison" — exactly what this crate does. Every collection is a
+//! plain object graph in the persistent heap (on-heap design), and every
+//! mutating operation runs inside a [`PStore`] transaction whose undo log
+//! also lives in NVM.
+//!
+//! Types (matching the five Figure 15 data-type columns):
+//!
+//! * [`PLong`] — boxed primitive ("Primitive")
+//! * [`PArray`] — generic object array ("Generic")
+//! * [`PTuple`] — fixed-arity tuple ("Tuple")
+//! * [`PArrayList`] — growable list ("ArrayList")
+//! * [`PHashMap`] — bucketed hash map ("Hashmap")
+//!
+//! # Example
+//!
+//! ```
+//! use espresso_collections::{PArrayList, PStore};
+//! use espresso_core::{Pjh, PjhConfig};
+//! use espresso_nvm::{NvmConfig, NvmDevice};
+//!
+//! # fn main() -> Result<(), espresso_core::PjhError> {
+//! let dev = NvmDevice::new(NvmConfig::with_size(8 << 20));
+//! let pjh = Pjh::create(dev, PjhConfig::small())?;
+//! let mut store = PStore::new(pjh)?;
+//! let mut list = PArrayList::pnew(&mut store, 4)?;
+//! list.push(&mut store, 10)?;
+//! list.push(&mut store, 20)?;
+//! assert_eq!(list.get(&store, 1), Some(20));
+//! # Ok(())
+//! # }
+//! ```
+
+mod array;
+mod boxed;
+mod list;
+mod map;
+mod store;
+mod tuple;
+
+pub use array::PArray;
+pub use boxed::PLong;
+pub use list::PArrayList;
+pub use map::PHashMap;
+pub use store::PStore;
+pub use tuple::PTuple;

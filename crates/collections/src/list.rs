@@ -1,0 +1,237 @@
+//! Growable list of 64-bit values ("ArrayList" in Figure 15).
+
+use espresso_core::PjhError;
+use espresso_object::{FieldDesc, Ref};
+
+use crate::PStore;
+
+const CLASS: &str = "espresso.PArrayList";
+const F_SIZE: usize = 0;
+const F_ELEMS: usize = 1;
+
+/// A persistent growable array list of 64-bit values.
+///
+/// Layout mirrors `java.util.ArrayList`: a small header object (`size`,
+/// `elems`) plus a backing primitive array that doubles on overflow. All
+/// mutations run under the store's undo log, so a crash mid-`push` never
+/// leaves a half-visible element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PArrayList {
+    obj: Ref,
+}
+
+impl PArrayList {
+    /// Allocates an empty list with the given initial capacity.
+    ///
+    /// # Errors
+    ///
+    /// Allocation errors.
+    pub fn pnew(store: &mut PStore, capacity: usize) -> Result<PArrayList, PjhError> {
+        let kid = store.heap_mut().register_instance(
+            CLASS,
+            vec![FieldDesc::prim("size"), FieldDesc::reference("elems")],
+        )?;
+        let arr_kid = store.heap_mut().register_prim_array();
+        let obj = store.alloc_instance(kid)?;
+        let elems = store.alloc_array(arr_kid, capacity.max(1))?;
+        store.transact(|s| {
+            s.set_field(obj, F_SIZE, 0);
+            s.set_field_ref(obj, F_ELEMS, elems)?;
+            Ok(())
+        })?;
+        Ok(PArrayList { obj })
+    }
+
+    /// Re-wraps an existing list reference.
+    pub fn from_ref(obj: Ref) -> PArrayList {
+        PArrayList { obj }
+    }
+
+    /// The underlying header object.
+    pub fn as_ref(&self) -> Ref {
+        self.obj
+    }
+
+    /// Number of elements.
+    pub fn len(&self, store: &PStore) -> usize {
+        store.heap().field(self.obj, F_SIZE) as usize
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self, store: &PStore) -> bool {
+        self.len(store) == 0
+    }
+
+    /// Current backing-array capacity.
+    pub fn capacity(&self, store: &PStore) -> usize {
+        store.heap().array_len(store.heap().field_ref(self.obj, F_ELEMS))
+    }
+
+    /// Reads element `i`, or `None` past the end.
+    pub fn get(&self, store: &PStore, i: usize) -> Option<u64> {
+        if i >= self.len(store) {
+            return None;
+        }
+        let elems = store.heap().field_ref(self.obj, F_ELEMS);
+        Some(store.heap().array_get(elems, i))
+    }
+
+    /// Transactionally overwrites element `i`.
+    ///
+    /// # Errors
+    ///
+    /// Heap errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn set(&self, store: &mut PStore, i: usize, value: u64) -> Result<(), PjhError> {
+        assert!(i < self.len(store), "index {i} out of bounds");
+        let elems = store.heap().field_ref(self.obj, F_ELEMS);
+        store.transact(|s| {
+            s.array_set(elems, i, value);
+            Ok(())
+        })
+    }
+
+    /// Transactionally appends `value`, growing the backing array if full.
+    ///
+    /// # Errors
+    ///
+    /// Allocation errors while growing.
+    pub fn push(&self, store: &mut PStore, value: u64) -> Result<(), PjhError> {
+        let size = self.len(store);
+        let elems = store.heap().field_ref(self.obj, F_ELEMS);
+        let cap = store.heap().array_len(elems);
+        store.transact(|s| {
+            let elems = if size == cap {
+                // Grow: the fresh array is invisible until the logged
+                // pointer store below, so plain stores suffice for the copy.
+                let arr_kid = s.heap_mut().register_prim_array();
+                let bigger = s.alloc_array(arr_kid, cap * 2)?;
+                for i in 0..size {
+                    let v = s.heap().array_get(elems, i);
+                    s.heap_mut().array_set(bigger, i, v);
+                }
+                s.heap().flush_object(bigger);
+                s.set_field_ref(self.obj, F_ELEMS, bigger)?;
+                bigger
+            } else {
+                elems
+            };
+            s.array_set(elems, size, value);
+            s.set_field(self.obj, F_SIZE, (size + 1) as u64);
+            Ok(())
+        })
+    }
+
+    /// Transactionally removes and returns the last element.
+    ///
+    /// # Errors
+    ///
+    /// Heap errors.
+    pub fn pop(&self, store: &mut PStore) -> Result<Option<u64>, PjhError> {
+        let size = self.len(store);
+        if size == 0 {
+            return Ok(None);
+        }
+        let elems = store.heap().field_ref(self.obj, F_ELEMS);
+        let value = store.heap().array_get(elems, size - 1);
+        store.transact(|s| {
+            s.set_field(self.obj, F_SIZE, (size - 1) as u64);
+            Ok(())
+        })?;
+        Ok(Some(value))
+    }
+
+    /// Copies the contents into a `Vec`.
+    pub fn to_vec(&self, store: &PStore) -> Vec<u64> {
+        (0..self.len(store)).map(|i| self.get(store, i).expect("in range")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use espresso_core::{LoadOptions, Pjh, PjhConfig};
+    use espresso_nvm::{NvmConfig, NvmDevice};
+
+    fn store() -> (NvmDevice, PStore) {
+        let dev = NvmDevice::new(NvmConfig::with_size(8 << 20));
+        let s = PStore::new(Pjh::create(dev.clone(), PjhConfig::small()).unwrap()).unwrap();
+        (dev, s)
+    }
+
+    #[test]
+    fn push_get_set_pop() {
+        let (_dev, mut s) = store();
+        let l = PArrayList::pnew(&mut s, 2).unwrap();
+        assert!(l.is_empty(&s));
+        for i in 0..10 {
+            l.push(&mut s, i * 2).unwrap();
+        }
+        assert_eq!(l.len(&s), 10);
+        assert_eq!(l.get(&s, 4), Some(8));
+        assert_eq!(l.get(&s, 10), None);
+        l.set(&mut s, 4, 99).unwrap();
+        assert_eq!(l.get(&s, 4), Some(99));
+        assert_eq!(l.pop(&mut s).unwrap(), Some(18));
+        assert_eq!(l.len(&s), 9);
+    }
+
+    #[test]
+    fn growth_doubles_capacity() {
+        let (_dev, mut s) = store();
+        let l = PArrayList::pnew(&mut s, 2).unwrap();
+        assert_eq!(l.capacity(&s), 2);
+        for i in 0..5 {
+            l.push(&mut s, i).unwrap();
+        }
+        assert_eq!(l.capacity(&s), 8);
+        assert_eq!(l.to_vec(&s), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn committed_list_survives_crash() {
+        let (dev, mut s) = store();
+        let l = PArrayList::pnew(&mut s, 2).unwrap();
+        for i in 0..20 {
+            l.push(&mut s, i * i).unwrap();
+        }
+        s.heap_mut().set_root("list", l.as_ref()).unwrap();
+        dev.crash();
+        let (heap, _) = Pjh::load(dev, LoadOptions::default()).unwrap();
+        let s2 = PStore::attach(heap).unwrap();
+        let l2 = PArrayList::from_ref(s2.heap().get_root("list").unwrap());
+        assert_eq!(l2.to_vec(&s2), (0..20).map(|i| i * i).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn torn_push_rolls_back() {
+        let (dev, mut s) = store();
+        let l = PArrayList::pnew(&mut s, 4).unwrap();
+        l.push(&mut s, 1).unwrap();
+        s.heap_mut().set_root("list", l.as_ref()).unwrap();
+        // Begin a push but crash before it commits: allow the element
+        // store but not the size-commit reset flush. A push issues several
+        // flushes; crash one before the end.
+        let f0 = dev.stats().line_flushes;
+        l.push(&mut s, 2).unwrap();
+        let per_push = dev.stats().line_flushes - f0;
+        dev.schedule_crash_after_line_flushes(per_push - 1);
+        l.push(&mut s, 3).unwrap();
+        dev.recover();
+        let (heap, _) = Pjh::load(dev, LoadOptions::default()).unwrap();
+        let s2 = PStore::attach(heap).unwrap();
+        let l2 = PArrayList::from_ref(s2.heap().get_root("list").unwrap());
+        let v = l2.to_vec(&s2);
+        assert!(v == vec![1, 2] || v == vec![1, 2, 3], "atomic push, got {v:?}");
+    }
+
+    #[test]
+    fn pop_on_empty() {
+        let (_dev, mut s) = store();
+        let l = PArrayList::pnew(&mut s, 1).unwrap();
+        assert_eq!(l.pop(&mut s).unwrap(), None);
+    }
+}

@@ -1,0 +1,301 @@
+//! Bucketed hash map ("Hashmap" in Figure 15).
+
+use espresso_core::PjhError;
+use espresso_object::{FieldDesc, Ref};
+
+use crate::PStore;
+
+const MAP_CLASS: &str = "espresso.PHashMap";
+const ENTRY_CLASS: &str = "espresso.PHashMap$Entry";
+const M_SIZE: usize = 0;
+const M_BUCKETS: usize = 1;
+const E_KEY: usize = 0;
+const E_VALUE: usize = 1;
+const E_NEXT: usize = 2;
+
+fn bucket_of(key: u64, buckets: usize) -> usize {
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16) as usize % buckets
+}
+
+/// A persistent chained hash map from `u64` keys to `u64` values.
+///
+/// The PJH analogue of PCJ's `PersistentHashMap`: a header object, a
+/// bucket array of entry-list heads, and linked `Entry` objects — all
+/// ordinary persistent-heap objects traced by the collector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PHashMap {
+    obj: Ref,
+}
+
+impl PHashMap {
+    /// Allocates an empty map with a fixed bucket count.
+    ///
+    /// # Errors
+    ///
+    /// Allocation errors.
+    pub fn pnew(store: &mut PStore, buckets: usize) -> Result<PHashMap, PjhError> {
+        let kid = store.heap_mut().register_instance(
+            MAP_CLASS,
+            vec![FieldDesc::prim("size"), FieldDesc::reference("buckets")],
+        )?;
+        store.heap_mut().register_instance(
+            ENTRY_CLASS,
+            vec![FieldDesc::prim("key"), FieldDesc::prim("value"), FieldDesc::reference("next")],
+        )?;
+        let bucket_kid = store.heap_mut().register_obj_array(ENTRY_CLASS);
+        let obj = store.alloc_instance(kid)?;
+        let arr = store.alloc_array(bucket_kid, buckets.max(1))?;
+        store.transact(|s| {
+            s.set_field(obj, M_SIZE, 0);
+            s.set_field_ref(obj, M_BUCKETS, arr)?;
+            Ok(())
+        })?;
+        Ok(PHashMap { obj })
+    }
+
+    /// Re-wraps an existing map reference.
+    pub fn from_ref(obj: Ref) -> PHashMap {
+        PHashMap { obj }
+    }
+
+    /// The underlying header object.
+    pub fn as_ref(&self) -> Ref {
+        self.obj
+    }
+
+    /// Number of entries.
+    pub fn len(&self, store: &PStore) -> usize {
+        store.heap().field(self.obj, M_SIZE) as usize
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self, store: &PStore) -> bool {
+        self.len(store) == 0
+    }
+
+    fn find(&self, store: &PStore, key: u64) -> (Ref, usize, Option<Ref>) {
+        let buckets = store.heap().field_ref(self.obj, M_BUCKETS);
+        let b = bucket_of(key, store.heap().array_len(buckets));
+        let mut cur = store.heap().array_get_ref(buckets, b);
+        while !cur.is_null() {
+            if store.heap().field(cur, E_KEY) == key {
+                return (buckets, b, Some(cur));
+            }
+            cur = store.heap().field_ref(cur, E_NEXT);
+        }
+        (buckets, b, None)
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, store: &PStore, key: u64) -> Option<u64> {
+        let (_, _, entry) = self.find(store, key);
+        entry.map(|e| store.heap().field(e, E_VALUE))
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, store: &PStore, key: u64) -> bool {
+        self.find(store, key).2.is_some()
+    }
+
+    /// Transactionally inserts or updates; returns the previous value.
+    ///
+    /// # Errors
+    ///
+    /// Allocation errors for new entries.
+    pub fn put(&self, store: &mut PStore, key: u64, value: u64) -> Result<Option<u64>, PjhError> {
+        let (buckets, b, entry) = self.find(store, key);
+        match entry {
+            Some(e) => {
+                let old = store.heap().field(e, E_VALUE);
+                store.transact(|s| {
+                    s.set_field(e, E_VALUE, value);
+                    Ok(())
+                })?;
+                Ok(Some(old))
+            }
+            None => {
+                let size = self.len(store);
+                let head = store.heap().array_get_ref(buckets, b);
+                let ekid = store
+                    .heap_mut()
+                    .register_instance(
+                        ENTRY_CLASS,
+                        vec![
+                            FieldDesc::prim("key"),
+                            FieldDesc::prim("value"),
+                            FieldDesc::reference("next"),
+                        ],
+                    )?;
+                store.transact(|s| {
+                    let e = s.alloc_instance(ekid)?;
+                    // New entry: invisible until the logged head store.
+                    s.heap_mut().set_field(e, E_KEY, key);
+                    s.heap_mut().set_field(e, E_VALUE, value);
+                    s.heap_mut().set_field_ref(e, E_NEXT, head)?;
+                    s.heap().flush_object(e);
+                    s.array_set_ref(buckets, b, e)?;
+                    s.set_field(self.obj, M_SIZE, (size + 1) as u64);
+                    Ok(())
+                })?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Transactionally removes `key`; returns the removed value.
+    ///
+    /// # Errors
+    ///
+    /// Heap errors.
+    pub fn remove(&self, store: &mut PStore, key: u64) -> Result<Option<u64>, PjhError> {
+        let buckets = store.heap().field_ref(self.obj, M_BUCKETS);
+        let b = bucket_of(key, store.heap().array_len(buckets));
+        let mut prev = Ref::NULL;
+        let mut cur = store.heap().array_get_ref(buckets, b);
+        while !cur.is_null() {
+            if store.heap().field(cur, E_KEY) == key {
+                let value = store.heap().field(cur, E_VALUE);
+                let next = store.heap().field_ref(cur, E_NEXT);
+                let size = self.len(store);
+                store.transact(|s| {
+                    if prev.is_null() {
+                        s.array_set_ref(buckets, b, next)?;
+                    } else {
+                        s.set_field_ref(prev, E_NEXT, next)?;
+                    }
+                    s.set_field(self.obj, M_SIZE, (size - 1) as u64);
+                    Ok(())
+                })?;
+                return Ok(Some(value));
+            }
+            prev = cur;
+            cur = store.heap().field_ref(cur, E_NEXT);
+        }
+        Ok(None)
+    }
+
+    /// All `(key, value)` pairs, unordered.
+    pub fn entries(&self, store: &PStore) -> Vec<(u64, u64)> {
+        let buckets = store.heap().field_ref(self.obj, M_BUCKETS);
+        let mut out = Vec::with_capacity(self.len(store));
+        for b in 0..store.heap().array_len(buckets) {
+            let mut cur = store.heap().array_get_ref(buckets, b);
+            while !cur.is_null() {
+                out.push((store.heap().field(cur, E_KEY), store.heap().field(cur, E_VALUE)));
+                cur = store.heap().field_ref(cur, E_NEXT);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use espresso_core::{LoadOptions, Pjh, PjhConfig};
+    use espresso_nvm::{NvmConfig, NvmDevice};
+    use std::collections::HashMap;
+
+    fn store() -> (NvmDevice, PStore) {
+        let dev = NvmDevice::new(NvmConfig::with_size(16 << 20));
+        let s = PStore::new(Pjh::create(dev.clone(), PjhConfig::small()).unwrap()).unwrap();
+        (dev, s)
+    }
+
+    #[test]
+    fn put_get_update_remove() {
+        let (_dev, mut s) = store();
+        let m = PHashMap::pnew(&mut s, 8).unwrap();
+        assert_eq!(m.put(&mut s, 1, 10).unwrap(), None);
+        assert_eq!(m.put(&mut s, 2, 20).unwrap(), None);
+        assert_eq!(m.get(&s, 1), Some(10));
+        assert_eq!(m.put(&mut s, 1, 11).unwrap(), Some(10));
+        assert_eq!(m.get(&s, 1), Some(11));
+        assert_eq!(m.len(&s), 2);
+        assert_eq!(m.remove(&mut s, 1).unwrap(), Some(11));
+        assert_eq!(m.get(&s, 1), None);
+        assert_eq!(m.remove(&mut s, 1).unwrap(), None);
+        assert_eq!(m.len(&s), 1);
+    }
+
+    #[test]
+    fn collisions_chain_correctly() {
+        let (_dev, mut s) = store();
+        let m = PHashMap::pnew(&mut s, 1).unwrap(); // everything collides
+        for k in 0..50 {
+            m.put(&mut s, k, k * 3).unwrap();
+        }
+        for k in 0..50 {
+            assert_eq!(m.get(&s, k), Some(k * 3));
+        }
+        // Remove from the middle of the chain.
+        m.remove(&mut s, 25).unwrap();
+        assert_eq!(m.get(&s, 25), None);
+        assert_eq!(m.get(&s, 24), Some(72));
+        assert_eq!(m.len(&s), 49);
+    }
+
+    #[test]
+    fn matches_std_hashmap_under_random_ops() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let (_dev, mut s) = store();
+        let m = PHashMap::pnew(&mut s, 16).unwrap();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..500 {
+            let key = rng.gen_range(0..40);
+            match rng.gen_range(0..3) {
+                0 => {
+                    let v = rng.gen_range(0..1000);
+                    assert_eq!(m.put(&mut s, key, v).unwrap(), model.insert(key, v));
+                }
+                1 => assert_eq!(m.remove(&mut s, key).unwrap(), model.remove(&key)),
+                _ => assert_eq!(m.get(&s, key), model.get(&key).copied()),
+            }
+            assert_eq!(m.len(&s), model.len());
+        }
+        let mut got = m.entries(&s);
+        let mut want: Vec<(u64, u64)> = model.into_iter().collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn map_survives_crash() {
+        let (dev, mut s) = store();
+        let m = PHashMap::pnew(&mut s, 4).unwrap();
+        for k in 0..30 {
+            m.put(&mut s, k, 1000 + k).unwrap();
+        }
+        s.heap_mut().set_root("map", m.as_ref()).unwrap();
+        dev.crash();
+        let (heap, _) = Pjh::load(dev, LoadOptions::default()).unwrap();
+        let s2 = PStore::attach(heap).unwrap();
+        let m2 = PHashMap::from_ref(s2.heap().get_root("map").unwrap());
+        for k in 0..30 {
+            assert_eq!(m2.get(&s2, k), Some(1000 + k));
+        }
+    }
+
+    #[test]
+    fn map_survives_gc() {
+        let (_dev, mut s) = store();
+        let m = PHashMap::pnew(&mut s, 4).unwrap();
+        for k in 0..20 {
+            m.put(&mut s, k, k).unwrap();
+        }
+        s.heap_mut().set_root("map", m.as_ref()).unwrap();
+        // Garbage, then collect.
+        let lk = s.heap_mut().register_prim_array();
+        for _ in 0..200 {
+            s.alloc_array(lk, 16).unwrap();
+        }
+        s.gc(&[]).unwrap();
+        let m = PHashMap::from_ref(s.heap().get_root("map").unwrap());
+        for k in 0..20 {
+            assert_eq!(m.get(&s, k), Some(k));
+        }
+        s.heap().verify_integrity().unwrap();
+    }
+}

@@ -1,0 +1,120 @@
+//! Fixed-arity tuples ("Tuple" in Figure 15).
+
+use espresso_core::PjhError;
+use espresso_object::{FieldDesc, Ref};
+
+use crate::PStore;
+
+/// A persistent fixed-arity tuple of 64-bit slots.
+///
+/// PCJ exposes `PersistentTuple` types of various arities; here one klass
+/// is registered per arity (`espresso.Tuple3`, ...), matching how the JVM
+/// would monomorphize them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PTuple {
+    obj: Ref,
+    arity: usize,
+}
+
+impl PTuple {
+    /// Allocates a zeroed tuple of the given arity.
+    ///
+    /// # Errors
+    ///
+    /// Allocation errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity` is zero.
+    pub fn pnew(store: &mut PStore, arity: usize) -> Result<PTuple, PjhError> {
+        assert!(arity > 0, "tuples need at least one slot");
+        let name = format!("espresso.Tuple{arity}");
+        let fields = (0..arity).map(|i| FieldDesc::prim(&format!("_{i}"))).collect();
+        let kid = store.heap_mut().register_instance(&name, fields)?;
+        let obj = store.alloc_instance(kid)?;
+        Ok(PTuple { obj, arity })
+    }
+
+    /// Re-wraps an existing tuple reference.
+    pub fn from_ref(store: &PStore, obj: Ref) -> PTuple {
+        let arity = store.heap().klass_of(obj).fields().len();
+        PTuple { obj, arity }
+    }
+
+    /// The underlying object reference.
+    pub fn as_ref(&self) -> Ref {
+        self.obj
+    }
+
+    /// Number of slots.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Reads slot `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= arity`.
+    pub fn get(&self, store: &PStore, i: usize) -> u64 {
+        assert!(i < self.arity, "tuple slot {i} out of range");
+        store.heap().field(self.obj, i)
+    }
+
+    /// Transactionally writes slot `i`.
+    ///
+    /// # Errors
+    ///
+    /// Heap errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= arity`.
+    pub fn set(&self, store: &mut PStore, i: usize, value: u64) -> Result<(), PjhError> {
+        assert!(i < self.arity, "tuple slot {i} out of range");
+        store.transact(|s| {
+            s.set_field(self.obj, i, value);
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use espresso_core::{Pjh, PjhConfig};
+    use espresso_nvm::{NvmConfig, NvmDevice};
+
+    fn store() -> PStore {
+        let dev = NvmDevice::new(NvmConfig::with_size(8 << 20));
+        PStore::new(Pjh::create(dev, PjhConfig::small()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let mut s = store();
+        let t = PTuple::pnew(&mut s, 3).unwrap();
+        assert_eq!(t.arity(), 3);
+        t.set(&mut s, 0, 10).unwrap();
+        t.set(&mut s, 2, 30).unwrap();
+        assert_eq!(t.get(&s, 0), 10);
+        assert_eq!(t.get(&s, 1), 0);
+        assert_eq!(t.get(&s, 2), 30);
+    }
+
+    #[test]
+    fn arity_recovered_from_ref() {
+        let mut s = store();
+        let t = PTuple::pnew(&mut s, 5).unwrap();
+        let again = PTuple::from_ref(&s, t.as_ref());
+        assert_eq!(again.arity(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slot_bounds_checked() {
+        let mut s = store();
+        let t = PTuple::pnew(&mut s, 2).unwrap();
+        t.get(&s, 2);
+    }
+}

@@ -1,0 +1,214 @@
+//! Volatile bitmaps with explicit NVM persistence.
+//!
+//! The collector builds its mark bitmaps in DRAM and writes them to the
+//! device wholesale at the end of the marking phase (§4.2: "the mark
+//! bitmap can be seen as a sketch of the whole heap before the real
+//! collection ... it must be persisted before the objects start being
+//! moved").
+
+use espresso_nvm::NvmDevice;
+
+/// A growable bitset mirrored to a fixed NVM area on demand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    bits: usize,
+}
+
+impl Bitmap {
+    /// A cleared bitmap of `bits` capacity.
+    pub fn new(bits: usize) -> Bitmap {
+        Bitmap { words: vec![0; bits.div_ceil(64)], bits }
+    }
+
+    /// Bit capacity.
+    pub fn len(&self) -> usize {
+        self.bits
+    }
+
+    /// Whether the capacity is zero.
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.bits, "bit {i} out of range ({})", self.bits);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.bits, "bit {i} out of range ({})", self.bits);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Tests bit `i`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.bits, "bit {i} out of range ({})", self.bits);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Clears every bit.
+    pub fn clear_all(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Index of the first set bit at or after `from`, if any.
+    pub fn next_set(&self, from: usize) -> Option<usize> {
+        if from >= self.bits {
+            return None;
+        }
+        let mut wi = from / 64;
+        let mut word = self.words[wi] & (!0u64 << (from % 64));
+        loop {
+            if word != 0 {
+                let bit = wi * 64 + word.trailing_zeros() as usize;
+                return (bit < self.bits).then_some(bit);
+            }
+            wi += 1;
+            if wi >= self.words.len() {
+                return None;
+            }
+            word = self.words[wi];
+        }
+    }
+
+    /// Iterates over all set bits in ascending order.
+    pub fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
+        let mut next = self.next_set(0);
+        std::iter::from_fn(move || {
+            let cur = next?;
+            next = self.next_set(cur + 1);
+            Some(cur)
+        })
+    }
+
+    /// Writes the bitmap into `[off, off + bytes)` on the device and
+    /// persists it.
+    ///
+    /// The encoding is length-prefixed (`[used-words][words...]`): only
+    /// the prefix up to the last set word is written and flushed, so a
+    /// sparse mark bitmap costs flushes proportional to the *marked* part
+    /// of the heap, not the heap size — important for the §6.4 pause
+    /// numbers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the area is smaller than the bitmap prefix plus header.
+    pub fn store(&self, dev: &NvmDevice, off: usize, bytes: usize) {
+        let used = self.words.iter().rposition(|&w| w != 0).map_or(0, |i| i + 1);
+        let needed = 8 + used * 8;
+        assert!(needed <= bytes, "bitmap of {needed} bytes exceeds area of {bytes}");
+        let mut buf = vec![0u8; needed];
+        buf[..8].copy_from_slice(&(used as u64).to_le_bytes());
+        for (i, w) in self.words[..used].iter().enumerate() {
+            buf[8 + i * 8..16 + i * 8].copy_from_slice(&w.to_le_bytes());
+        }
+        dev.write_bytes(off, &buf);
+        dev.persist(off, needed);
+    }
+
+    /// Reads a bitmap of `bits` capacity back from the device.
+    pub fn load(dev: &NvmDevice, off: usize, bits: usize) -> Bitmap {
+        let mut bm = Bitmap::new(bits);
+        let used = (dev.read_u64(off) as usize).min(bm.words.len());
+        let mut buf = vec![0u8; used * 8];
+        dev.read_bytes(off + 8, &mut buf);
+        for (i, w) in bm.words[..used].iter_mut().enumerate() {
+            *w = u64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().unwrap());
+        }
+        bm
+    }
+
+    /// Fixed-layout store (no length prefix): word *i* of the bitmap lands
+    /// at `off + 8i`, so callers may later update single words in place
+    /// (the free and done region bitmaps need exactly that).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the area is smaller than the bitmap.
+    pub fn store_raw(&self, dev: &NvmDevice, off: usize, bytes: usize) {
+        let needed = self.words.len() * 8;
+        assert!(needed <= bytes, "bitmap of {needed} bytes exceeds area of {bytes}");
+        let mut buf = vec![0u8; needed];
+        for (i, w) in self.words.iter().enumerate() {
+            buf[i * 8..i * 8 + 8].copy_from_slice(&w.to_le_bytes());
+        }
+        dev.write_bytes(off, &buf);
+        dev.persist(off, needed);
+    }
+
+    /// Counterpart of [`store_raw`](Self::store_raw).
+    pub fn load_raw(dev: &NvmDevice, off: usize, bits: usize) -> Bitmap {
+        let mut bm = Bitmap::new(bits);
+        let mut buf = vec![0u8; bm.words.len() * 8];
+        dev.read_bytes(off, &mut buf);
+        for (i, w) in bm.words.iter_mut().enumerate() {
+            *w = u64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().unwrap());
+        }
+        bm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use espresso_nvm::NvmConfig;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = Bitmap::new(130);
+        assert!(!b.get(0));
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert_eq!(b.count(), 3);
+        b.clear(64);
+        assert!(!b.get(64));
+        b.clear_all();
+        assert_eq!(b.count(), 0);
+    }
+
+    #[test]
+    fn next_set_scans_across_words() {
+        let mut b = Bitmap::new(200);
+        b.set(3);
+        b.set(70);
+        b.set(199);
+        assert_eq!(b.next_set(0), Some(3));
+        assert_eq!(b.next_set(4), Some(70));
+        assert_eq!(b.next_set(71), Some(199));
+        assert_eq!(b.next_set(200), None);
+        assert_eq!(b.iter_set().collect::<Vec<_>>(), vec![3, 70, 199]);
+    }
+
+    #[test]
+    fn nvm_roundtrip_survives_crash() {
+        let dev = NvmDevice::new(NvmConfig::with_size(4096));
+        let mut b = Bitmap::new(512);
+        for i in (0..512).step_by(7) {
+            b.set(i);
+        }
+        b.store(&dev, 1024, 8 + 512 / 8);
+        dev.crash();
+        let b2 = Bitmap::load(&dev, 1024, 512);
+        assert_eq!(b, b2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_bounds_checked() {
+        Bitmap::new(8).set(8);
+    }
+}

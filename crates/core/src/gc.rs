@@ -1,0 +1,648 @@
+//! Crash-consistent region-based mark-summarize-compact GC (§4.2, §4.3).
+//!
+//! The protocol, in persistence order:
+//!
+//! 1. **Mark** from the name-table roots (plus any VM-supplied DRAM-held
+//!    references). The begin/end mark bitmaps — a complete sketch of the
+//!    live heap, sizes included — are persisted, along with a snapshot of
+//!    the pre-GC free bitmap and allocation cursor (the *summary inputs*).
+//! 2. The global timestamp is bumped and persisted together with the
+//!    `gc_in_progress` flag; every object in the heap is now stale.
+//! 3. **Summary** is a pure function of the persisted inputs, so it is
+//!    idempotent: recovery recomputes the identical relocation schedule.
+//! 4. **Compact** region by region, in index order. Moving objects are
+//!    copied to regions that hold no live data; the source copy acts as an
+//!    undo log until the whole region is marked done in the persisted
+//!    region bitmap. Each object is stamped with the new timestamp —
+//!    destination copy first, then source — so recovery can tell processed
+//!    from unprocessed objects. Mostly-live regions are compacted *in
+//!    place* (references rewritten through the idempotent forwarding rule,
+//!    no copy), which is why forwarding maps destination addresses only
+//!    into previously-empty regions: re-applying a fix-up is a no-op.
+//! 5. **Finalize**: root entries forwarded, the new free bitmap and
+//!    allocation cursor persisted, destination-region tails zeroed, and
+//!    the in-progress flag cleared.
+
+use std::collections::{BTreeSet, HashMap};
+
+use espresso_object::{mark, Ref, Space, WORD};
+
+use crate::bitmap::Bitmap;
+use crate::heap::{ref_slots, Pjh};
+use crate::layout::{meta, Layout};
+
+/// Outcome of a persistent-space collection.
+#[derive(Debug, Clone)]
+pub struct GcReport {
+    /// Live objects found by the marking phase.
+    pub live_objects: usize,
+    /// Objects physically relocated.
+    pub moved_objects: usize,
+    /// Live objects compacted in place (references fixed, no copy).
+    pub in_place_objects: usize,
+    /// Regions free after the collection.
+    pub free_regions: usize,
+    /// Virtual-address relocations (old → new) for every moved object;
+    /// the VM uses this to patch NVM pointers held in DRAM.
+    pub relocations: HashMap<u64, u64>,
+    /// Cache-line flushes issued during the collection.
+    pub pause_flushes: u64,
+    /// Simulated NVM nanoseconds consumed by the collection.
+    pub pause_sim_ns: u64,
+}
+
+#[derive(Debug, Clone)]
+enum Plan {
+    /// No live objects; nothing to do.
+    Skip,
+    /// Fix references in place, stamp, mark done.
+    InPlace(Vec<(usize, usize)>),
+    /// Copy each `(src, words, dst)`, fix, stamp, mark done.
+    Evacuate(Vec<(usize, usize, usize)>),
+}
+
+#[derive(Debug)]
+struct Schedule {
+    plans: Vec<Plan>,
+    /// Device-offset forwarding, identity entries included for in-place
+    /// objects. The fix-up rule `slot = forwarding.get(slot) or slot` is
+    /// idempotent because destinations are never forwarding keys.
+    forwarding: HashMap<usize, usize>,
+    /// Regions that receive data, with their final fill in bytes (tails
+    /// are zeroed at finalize for the walker's hole invariant).
+    zero_tails: Vec<(usize, usize)>,
+    new_free: Bitmap,
+    alloc_region_after: usize,
+    alloc_top_after: usize,
+    live_objects: usize,
+}
+
+fn pflush(h: &Pjh, off: usize, len: usize) {
+    if h.recoverable_gc {
+        h.dev.persist(off, len);
+    }
+}
+
+// ---- marking (§4.2 "extends the mark bitmap ... must be persisted") ----
+
+fn mark_live(h: &Pjh, extra_roots: &[Ref]) -> (Bitmap, Bitmap) {
+    let words = h.layout.data_size / WORD;
+    let mut begin = Bitmap::new(words);
+    let mut end = Bitmap::new(words);
+    let mut worklist: Vec<usize> = Vec::new();
+
+    let push_root = |raw: u64, worklist: &mut Vec<usize>| {
+        let r = Ref::from_raw(raw);
+        if r.is_persistent() && r.addr() >= h.layout.base {
+            let off = (r.addr() - h.layout.base) as usize;
+            if h.layout.in_data(off) {
+                worklist.push(off);
+            }
+        }
+    };
+    for (_, r) in h.roots() {
+        push_root(r.to_raw(), &mut worklist);
+    }
+    for &r in extra_roots {
+        push_root(r.to_raw(), &mut worklist);
+    }
+    while let Some(off) = worklist.pop() {
+        let w = h.layout.word_of(off);
+        if begin.get(w) {
+            continue;
+        }
+        let words = h.object_words_at(off);
+        begin.set(w);
+        end.set(w + words - 1);
+        let klass = {
+            let seg = h.dev.read_u64(off + 8);
+            h.klasses.klass_by_seg(seg).expect("dangling class word").clone()
+        };
+        for slot in ref_slots(off, &klass, &h.dev) {
+            push_root(h.dev.read_u64(slot), &mut worklist);
+        }
+    }
+    (begin, end)
+}
+
+// ---- summary (§4.2: idempotent, derived only from persisted inputs) ----
+
+fn build_schedule(
+    layout: &Layout,
+    begin: &Bitmap,
+    end: &Bitmap,
+    free_before: &Bitmap,
+    alloc_region_before: usize,
+    alloc_top_before: usize,
+) -> Schedule {
+    let n = layout.num_regions;
+    let region_words = layout.region_size / WORD;
+    let mut live: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    let mut live_objects = 0;
+    let mut b = begin.next_set(0);
+    while let Some(w) = b {
+        let e = end.next_set(w).expect("begin bit without end bit");
+        let words = e - w + 1;
+        let off = layout.off_of_word(w);
+        live[w / region_words].push((off, words));
+        live_objects += 1;
+        b = begin.next_set(w + words);
+    }
+
+    let mut avail: BTreeSet<usize> = (0..n).filter(|&r| live[r].is_empty()).collect();
+    let mut plans: Vec<Plan> = vec![Plan::Skip; n];
+    let mut forwarding: HashMap<usize, usize> = HashMap::new();
+    let mut dest: Option<(usize, usize)> = None; // (region, fill bytes)
+    let mut fills: HashMap<usize, usize> = HashMap::new();
+    let mut evacuations = false;
+
+    for r in 0..n {
+        if live[r].is_empty() {
+            continue;
+        }
+        let objs = std::mem::take(&mut live[r]);
+        let live_bytes: usize = objs.iter().map(|&(_, w)| w * WORD).sum();
+        let cur_rem = dest.map(|(_, fill)| layout.region_size - fill).unwrap_or(0);
+        let capacity = cur_rem + avail.len() * layout.region_size;
+        // Mostly-full regions are not worth copying; regions that cannot
+        // fit in the available destinations stay put too.
+        let in_place = live_bytes * 4 >= layout.region_size * 3 || live_bytes > capacity;
+        if in_place {
+            for &(off, _) in &objs {
+                forwarding.insert(off, off);
+            }
+            plans[r] = Plan::InPlace(objs);
+            continue;
+        }
+        let mut moves = Vec::with_capacity(objs.len());
+        for (off, words) in objs {
+            let bytes = words * WORD;
+            let (dr, fill) = match dest {
+                Some((dr, fill)) if fill + bytes <= layout.region_size => (dr, fill),
+                _ => {
+                    let nd = avail.pop_first().expect("capacity was checked");
+                    (nd, 0)
+                }
+            };
+            let dst = layout.region_start(dr) + fill;
+            dest = Some((dr, fill + bytes));
+            fills.insert(dr, fill + bytes);
+            forwarding.insert(off, dst);
+            moves.push((off, words, dst));
+        }
+        avail.insert(r);
+        plans[r] = Plan::Evacuate(moves);
+        evacuations = true;
+    }
+
+    let (alloc_region_after, alloc_top_after, mut zero_tails) = if evacuations {
+        let (dr, fill) = dest.expect("evacuations imply a destination");
+        (dr, layout.region_start(dr) + fill, Vec::new())
+    } else if live[alloc_region_before].is_empty()
+        && !matches!(plans[alloc_region_before], Plan::InPlace(_))
+    {
+        // Nothing moved and the allocation region holds only garbage:
+        // rewind it (the region is zeroed at finalize).
+        (alloc_region_before, layout.region_start(alloc_region_before), vec![(alloc_region_before, 0)])
+    } else {
+        (alloc_region_before, alloc_top_before, Vec::new())
+    };
+    for (&dr, &fill) in &fills {
+        zero_tails.push((dr, fill));
+    }
+    zero_tails.sort_unstable();
+
+    let mut new_free = Bitmap::new(n);
+    for r in 0..n {
+        let keeps_live = matches!(plans[r], Plan::InPlace(_));
+        let receives = fills.contains_key(&r);
+        if !keeps_live && !receives && r != alloc_region_after {
+            new_free.set(r);
+        }
+    }
+
+    let _ = free_before; // summary input kept for signature stability
+    Schedule {
+        plans,
+        forwarding,
+        zero_tails,
+        new_free,
+        alloc_region_after,
+        alloc_top_after,
+        live_objects,
+    }
+}
+
+// ---- compaction (§4.2 three-step copy with undo-log sources) ----
+
+fn fix_raw(h: &Pjh, schedule: &Schedule, raw: u64) -> u64 {
+    let r = Ref::from_raw(raw);
+    if !r.is_persistent() || r.addr() < h.layout.base {
+        return raw;
+    }
+    let off = (r.addr() - h.layout.base) as usize;
+    match schedule.forwarding.get(&off) {
+        Some(&dst) => Ref::new(Space::Persistent, h.layout.to_vaddr(dst)).to_raw(),
+        None => raw,
+    }
+}
+
+fn set_done(h: &Pjh, region: usize, done: &mut Bitmap) {
+    done.set(region);
+    let word_off = h.layout.region_done_off + (region / 64) * 8;
+    let mut word = 0u64;
+    for bit in 0..64 {
+        let idx = (region / 64) * 64 + bit;
+        if idx < done.len() && done.get(idx) {
+            word |= 1 << bit;
+        }
+    }
+    h.dev.write_u64(word_off, word);
+    pflush(h, word_off, 8);
+}
+
+fn fix_object_refs(h: &Pjh, schedule: &Schedule, off: usize) {
+    let seg = h.dev.read_u64(off + 8);
+    let klass = h.klasses.klass_by_seg(seg).expect("dangling class word").clone();
+    for slot in ref_slots(off, &klass, &h.dev) {
+        let raw = h.dev.read_u64(slot);
+        let fixed = fix_raw(h, schedule, raw);
+        if fixed != raw {
+            h.dev.write_u64(slot, fixed);
+        }
+    }
+}
+
+fn execute(h: &Pjh, schedule: &Schedule, ts: u32, resume: bool) -> (usize, usize) {
+    let mut done = if resume {
+        Bitmap::load_raw(&h.dev, h.layout.region_done_off, h.layout.num_regions)
+    } else {
+        Bitmap::new(h.layout.num_regions)
+    };
+    let mut moved = 0;
+    let mut in_place = 0;
+    for region in 0..h.layout.num_regions {
+        match &schedule.plans[region] {
+            Plan::Skip => {}
+            Plan::InPlace(objs) => {
+                if done.get(region) {
+                    continue;
+                }
+                for &(off, words) in objs {
+                    let m = h.dev.read_u64(off);
+                    if mark::timestamp(m) == ts {
+                        continue; // already processed before a crash
+                    }
+                    fix_object_refs(h, schedule, off);
+                    pflush(h, off, words * WORD);
+                    h.dev.write_u64(off, mark::with_timestamp(m, ts));
+                    pflush(h, off, 8);
+                    in_place += 1;
+                }
+                set_done(h, region, &mut done);
+            }
+            Plan::Evacuate(objs) => {
+                if done.get(region) {
+                    continue;
+                }
+                for &(src, words, dst) in objs {
+                    let m = h.dev.read_u64(src);
+                    if mark::timestamp(m) == ts {
+                        continue; // copied and stamped before a crash
+                    }
+                    // Step 1: copy the object verbatim; the source is the
+                    // undo log until the region's done bit persists.
+                    let mut buf = vec![0u8; words * WORD];
+                    h.dev.read_bytes(src, &mut buf);
+                    h.dev.write_bytes(dst, &buf);
+                    // Step 2: rewrite references in the copy.
+                    fix_object_refs(h, schedule, dst);
+                    pflush(h, dst, words * WORD);
+                    // Step 3: stamp — destination first, then source.
+                    h.dev.write_u64(dst, mark::with_timestamp(m, ts));
+                    pflush(h, dst, 8);
+                    h.dev.write_u64(src, mark::with_timestamp(m, ts));
+                    pflush(h, src, 8);
+                    moved += 1;
+                }
+                set_done(h, region, &mut done);
+            }
+        }
+    }
+    (moved, in_place)
+}
+
+fn finalize(h: &mut Pjh, schedule: &Schedule, ts: u32) {
+    // Forward the name-table roots (idempotent fix rule).
+    let fixes: Vec<(String, u64)> = h
+        .roots()
+        .iter()
+        .map(|(n, r)| (n.clone(), fix_raw(h, schedule, r.to_raw())))
+        .collect();
+    for (name, raw) in fixes {
+        h.names
+            .set(&h.dev, crate::EntryKind::Root, &name, raw)
+            .expect("existing root entry cannot fail to update");
+    }
+    // Zero destination tails so the object walker sees holes.
+    for &(region, used) in &schedule.zero_tails {
+        let start = h.layout.region_start(region) + used;
+        let len = h.layout.region_size - used;
+        if len > 0 {
+            h.dev.fill(start, len, 0);
+            pflush(h, start, len);
+        }
+    }
+    // Publish the new free bitmap and allocation cursor.
+    if h.recoverable_gc {
+        schedule.new_free.store_raw(&h.dev, h.layout.region_free_off, h.layout.region_bitmap_bytes);
+    }
+    h.dev.write_u64(meta::ALLOC_REGION, schedule.alloc_region_after as u64);
+    h.dev.write_u64(meta::ALLOC_TOP, schedule.alloc_top_after as u64);
+    pflush(h, meta::ALLOC_REGION, 16);
+    // The collection is over.
+    h.dev.write_u64(meta::GC_IN_PROGRESS, 0);
+    pflush(h, meta::GC_IN_PROGRESS, 8);
+
+    h.free = schedule.new_free.clone();
+    h.alloc_region = schedule.alloc_region_after;
+    h.alloc_top = schedule.alloc_top_after;
+    h.global_ts = ts;
+}
+
+pub(crate) fn collect(h: &mut Pjh, extra_roots: &[Ref]) -> crate::Result<GcReport> {
+    let stats0 = h.dev.stats();
+    let (begin, end) = mark_live(h, extra_roots);
+    let ts = h.global_ts.wrapping_add(1);
+
+    if h.recoverable_gc {
+        // Persist the summary inputs: mark bitmaps, the pre-GC free bitmap
+        // snapshot, and the pre-GC allocation cursor.
+        begin.store(&h.dev, h.layout.mark_begin_off, h.layout.bitmap_bytes);
+        end.store(&h.dev, h.layout.mark_end_off, h.layout.bitmap_bytes);
+        h.free.store_raw(&h.dev, h.layout.saved_free_off, h.layout.region_bitmap_bytes);
+        h.dev.write_u64(meta::SAVED_ALLOC_REGION, h.alloc_region as u64);
+        h.dev.write_u64(meta::SAVED_ALLOC_TOP, h.alloc_top as u64);
+        h.dev.persist(meta::SAVED_ALLOC_REGION, 16);
+        // Clear the region done bitmap *before* raising the flag.
+        h.dev.fill(h.layout.region_done_off, h.layout.region_bitmap_bytes, 0);
+        h.dev.persist(h.layout.region_done_off, h.layout.region_bitmap_bytes);
+        // Raise the flag and bump the timestamp together (§4.2: "update and
+        // persist the global timestamp ... so that all objects become stale").
+        h.dev.write_u64(meta::GLOBAL_TIMESTAMP, ts as u64);
+        h.dev.write_u64(meta::GC_IN_PROGRESS, 1);
+        h.dev.persist(meta::GLOBAL_TIMESTAMP, 16);
+    } else {
+        h.dev.write_u64(meta::GLOBAL_TIMESTAMP, ts as u64);
+    }
+
+    let schedule = build_schedule(&h.layout, &begin, &end, &h.free, h.alloc_region, h.alloc_top);
+    let (moved, in_place) = execute(h, &schedule, ts, false);
+    finalize(h, &schedule, ts);
+    h.gc_count += 1;
+
+    let relocations = schedule
+        .forwarding
+        .iter()
+        .filter(|(src, dst)| src != dst)
+        .map(|(&src, &dst)| (h.layout.to_vaddr(src), h.layout.to_vaddr(dst)))
+        .collect();
+    let stats = h.dev.stats().since(&stats0);
+    Ok(GcReport {
+        live_objects: schedule.live_objects,
+        moved_objects: moved,
+        in_place_objects: in_place,
+        free_regions: h.free.count(),
+        relocations,
+        pause_flushes: stats.line_flushes,
+        pause_sim_ns: stats.simulated_ns,
+    })
+}
+
+/// §4.3 recovery: rebuild the idempotent summary from the persisted inputs
+/// and finish the compaction.
+pub(crate) fn recover(h: &mut Pjh) -> crate::Result<()> {
+    let ts = h.dev.read_u64(meta::GLOBAL_TIMESTAMP) as u32;
+    let words = h.layout.data_size / WORD;
+    // Step 1: fetch the mark bitmaps persisted by the marking phase.
+    let begin = Bitmap::load(&h.dev, h.layout.mark_begin_off, words);
+    let end = Bitmap::load(&h.dev, h.layout.mark_end_off, words);
+    let saved_free = Bitmap::load_raw(&h.dev, h.layout.saved_free_off, h.layout.num_regions);
+    let alloc_region = h.dev.read_u64(meta::SAVED_ALLOC_REGION) as usize;
+    let alloc_top = h.dev.read_u64(meta::SAVED_ALLOC_TOP) as usize;
+    // Step 2: redo the summary (idempotent by construction).
+    let schedule = build_schedule(&h.layout, &begin, &end, &saved_free, alloc_region, alloc_top);
+    // Step 3: process the regions not marked done, then finalize.
+    execute(h, &schedule, ts, true);
+    finalize(h, &schedule, ts);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{LoadOptions, Pjh, PjhConfig};
+    use espresso_nvm::{NvmConfig, NvmDevice};
+    use espresso_object::{FieldDesc, KlassId, Ref};
+
+    fn new_heap() -> (NvmDevice, Pjh) {
+        let dev = NvmDevice::new(NvmConfig::with_size(4 << 20));
+        let heap = Pjh::create(dev.clone(), PjhConfig::small()).unwrap();
+        (dev, heap)
+    }
+
+    fn node(h: &mut Pjh) -> KlassId {
+        h.register_instance("Node", vec![FieldDesc::prim("v"), FieldDesc::reference("next")])
+            .unwrap()
+    }
+
+    /// Builds a linked list of `n` nodes rooted at "head", interleaved with
+    /// garbage, and returns the expected values head-first.
+    fn build_list_with_garbage(h: &mut Pjh, k: KlassId, n: u64) -> Vec<u64> {
+        let mut head = Ref::NULL;
+        for i in 0..n {
+            // garbage neighbours
+            let g = h.alloc_instance(k).unwrap();
+            h.set_field(g, 0, 0xDEAD);
+            let o = h.alloc_instance(k).unwrap();
+            h.set_field(o, 0, i);
+            h.set_field_ref(o, 1, head).unwrap();
+            h.flush_object(o);
+            head = o;
+        }
+        h.set_root("head", head).unwrap();
+        (0..n).rev().collect()
+    }
+
+    fn read_list(h: &Pjh) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cur = h.get_root("head").unwrap_or(Ref::NULL);
+        while !cur.is_null() {
+            out.push(h.field(cur, 0));
+            cur = h.field_ref(cur, 1);
+        }
+        out
+    }
+
+    #[test]
+    fn gc_preserves_graph_and_reclaims_garbage() {
+        let (_dev, mut h) = new_heap();
+        let k = node(&mut h);
+        let expect = build_list_with_garbage(&mut h, k, 200);
+        let before = h.census();
+        let report = h.gc(&[]).unwrap();
+        assert_eq!(report.live_objects, 200);
+        assert!(report.moved_objects + report.in_place_objects == 200);
+        let after = h.census();
+        assert!(after.free_regions > before.free_regions);
+        assert_eq!(read_list(&h), expect);
+        h.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn gc_with_no_roots_empties_heap() {
+        let (_dev, mut h) = new_heap();
+        let k = node(&mut h);
+        for _ in 0..100 {
+            h.alloc_instance(k).unwrap();
+        }
+        let report = h.gc(&[]).unwrap();
+        assert_eq!(report.live_objects, 0);
+        assert_eq!(h.census().objects, 0);
+    }
+
+    #[test]
+    fn allocation_works_after_gc() {
+        let (_dev, mut h) = new_heap();
+        let k = node(&mut h);
+        build_list_with_garbage(&mut h, k, 100);
+        h.gc(&[]).unwrap();
+        for _ in 0..500 {
+            h.alloc_instance(k).unwrap();
+        }
+        h.verify_integrity().unwrap();
+        assert_eq!(read_list(&h).len(), 100);
+    }
+
+    #[test]
+    fn repeated_gcs_stay_consistent() {
+        let (_dev, mut h) = new_heap();
+        let k = node(&mut h);
+        let expect = build_list_with_garbage(&mut h, k, 50);
+        for _ in 0..5 {
+            for _ in 0..100 {
+                h.alloc_instance(k).unwrap(); // garbage churn
+            }
+            h.gc(&[]).unwrap();
+            assert_eq!(read_list(&h), expect);
+            h.verify_integrity().unwrap();
+        }
+        assert_eq!(h.gc_count(), 5);
+    }
+
+    #[test]
+    fn extra_roots_keep_objects_and_report_relocations() {
+        let (_dev, mut h) = new_heap();
+        let k = node(&mut h);
+        let o = h.alloc_instance(k).unwrap();
+        h.set_field(o, 0, 42);
+        h.flush_object(o);
+        // Garbage so the object's region is sparse and gets evacuated.
+        for _ in 0..200 {
+            h.alloc_instance(k).unwrap();
+        }
+        let report = h.gc(&[o]).unwrap();
+        assert_eq!(report.live_objects, 1);
+        let new = report
+            .relocations
+            .get(&o.addr())
+            .map(|&a| Ref::new(espresso_object::Space::Persistent, a))
+            .unwrap_or(o);
+        assert_eq!(h.field(new, 0), 42);
+    }
+
+    #[test]
+    fn gc_survives_crash_and_reload_afterwards() {
+        let (dev, mut h) = new_heap();
+        let k = node(&mut h);
+        let expect = build_list_with_garbage(&mut h, k, 120);
+        h.gc(&[]).unwrap();
+        dev.crash();
+        let (h2, report) = Pjh::load(dev, LoadOptions::default()).unwrap();
+        assert!(!report.recovered_gc, "completed GC needs no recovery");
+        assert_eq!(read_list(&h2), expect);
+        h2.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn crash_sweep_through_gc_always_recovers() {
+        // The core §4.2/§4.3 property: crash after *any* prefix of the
+        // collection's flushes, and recovery must produce exactly the live
+        // object graph.
+        let (dev, mut h) = new_heap();
+        let k = node(&mut h);
+        let expect = build_list_with_garbage(&mut h, k, 60);
+        // Count the flushes of a full dry-run GC on a copy of the image.
+        let probe_flushes = {
+            let probe = NvmDevice::new(NvmConfig::with_size(dev.size()));
+            let image = dev.snapshot_persisted();
+            probe.write_bytes(0, &image);
+            probe.persist(0, image.len());
+            probe.reset_stats();
+            let (mut hp, _) = Pjh::load(probe.clone(), LoadOptions::default()).unwrap();
+            hp.gc(&[]).unwrap();
+            assert_eq!(read_list(&hp), expect);
+            probe.stats().line_flushes
+        };
+        assert!(probe_flushes > 10);
+        // Sweep crash points (sampled for speed, always including the
+        // boundaries and the neighbourhood of every phase transition).
+        let mut points: Vec<u64> = (0..probe_flushes).step_by(7).collect();
+        points.extend([0, 1, 2, probe_flushes - 2, probe_flushes - 1]);
+        points.sort_unstable();
+        points.dedup();
+        for at in points {
+            let trial = NvmDevice::new(NvmConfig::with_size(dev.size()));
+            let image = dev.snapshot_persisted();
+            trial.write_bytes(0, &image);
+            trial.persist(0, image.len());
+            let (mut ht, _) = Pjh::load(trial.clone(), LoadOptions::default()).unwrap();
+            trial.schedule_crash_after_line_flushes(at);
+            ht.gc(&[]).unwrap();
+            trial.recover();
+            let (h2, _) = Pjh::load(trial, LoadOptions::default()).unwrap();
+            assert_eq!(read_list(&h2), expect, "crash after {at} flushes");
+            h2.verify_integrity()
+                .unwrap_or_else(|e| panic!("crash after {at} flushes: {e}"));
+        }
+    }
+
+    #[test]
+    fn non_recoverable_gc_issues_fewer_flushes() {
+        let mk = |recoverable: bool| {
+            let dev = NvmDevice::new(NvmConfig::with_size(4 << 20));
+            let cfg = PjhConfig { recoverable_gc: recoverable, ..PjhConfig::small() };
+            let mut h = Pjh::create(dev.clone(), cfg).unwrap();
+            let k = node(&mut h);
+            let expect = build_list_with_garbage(&mut h, k, 150);
+            let report = h.gc(&[]).unwrap();
+            assert_eq!(read_list(&h), expect);
+            (report.pause_flushes, report.live_objects)
+        };
+        let (with_flushes, live_a) = mk(true);
+        let (without_flushes, live_b) = mk(false);
+        assert_eq!(live_a, live_b);
+        assert!(without_flushes < with_flushes / 2, "{without_flushes} vs {with_flushes}");
+    }
+
+    #[test]
+    fn timestamps_advance_per_collection() {
+        let (_dev, mut h) = new_heap();
+        let k = node(&mut h);
+        build_list_with_garbage(&mut h, k, 10);
+        let t0 = h.global_timestamp();
+        h.gc(&[]).unwrap();
+        assert_eq!(h.global_timestamp(), t0 + 1);
+        h.gc(&[]).unwrap();
+        assert_eq!(h.global_timestamp(), t0 + 2);
+    }
+}

@@ -1,0 +1,1136 @@
+//! The `Pjh` type: allocation, field access, roots, safety, loading.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+use espresso_nvm::NvmDevice;
+use espresso_object::{
+    mark, FieldDesc, Klass, KlassId, ObjKind, Ref, Space, ARRAY_HEADER_WORDS, HEADER_WORDS, WORD,
+};
+
+use crate::bitmap::Bitmap;
+use crate::klass_segment::PKlassTable;
+use crate::layout::{meta, Layout};
+use crate::name_table::{EntryKind, NameTable};
+use crate::{PjhConfig, PjhError};
+
+/// Marker placed in the first word of a filler (region padding). Real mark
+/// words never have the top bit set in NVM, so the walker can tell fillers,
+/// objects, and holes apart.
+pub(crate) const FILLER_FLAG: u64 = 1 << 63;
+
+/// The memory-safety levels of §3.4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SafetyLevel {
+    /// No checking: users must not follow volatile pointers after a reload.
+    /// Fastest loading (§6.4: constant in the number of objects).
+    #[default]
+    UserGuaranteed,
+    /// On load, every pointer leaving the persistent heap is nullified, so
+    /// a stale access surfaces as a null dereference instead of undefined
+    /// behaviour. Loading scans the whole heap (§6.4: linear in objects).
+    Zeroing,
+    /// Only classes explicitly marked persistent-capable may be allocated
+    /// with `pnew`, and persistent objects may never store volatile
+    /// references (the NV-heaps-style closed world).
+    TypeBased,
+}
+
+/// Options for [`Pjh::load`].
+#[derive(Debug, Clone, Default)]
+pub struct LoadOptions {
+    /// Safety level to enforce for the loaded heap.
+    pub safety: SafetyLevel,
+    /// Map the heap at a different virtual base than its address hint,
+    /// simulating the paper's "address occupied by the normal heap" case;
+    /// forces a whole-heap pointer remap (§3.3).
+    pub base_override: Option<u64>,
+}
+
+/// What happened during [`Pjh::load`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadReport {
+    /// A crashed collection was found and completed (§4.3).
+    pub recovered_gc: bool,
+    /// The heap was remapped to a new base and every pointer rewritten.
+    pub remapped: bool,
+    /// Out-pointers nullified by the zeroing-safety scan.
+    pub zeroed_refs: usize,
+    /// Klasses reinitialized in place from the Klass segment.
+    pub klasses_reloaded: usize,
+    /// Objects visited while loading (0 under user-guaranteed safety:
+    /// loading never touches objects).
+    pub objects_scanned: usize,
+}
+
+/// Point-in-time heap statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapCensus {
+    /// Reachable-or-not objects physically present in non-free regions.
+    pub objects: usize,
+    /// Words occupied by those objects.
+    pub object_words: usize,
+    /// Regions currently free.
+    pub free_regions: usize,
+    /// Regions in total.
+    pub total_regions: usize,
+    /// Klasses in the persistent Klass segment.
+    pub segment_klasses: usize,
+}
+
+/// A Persistent Java Heap bound to one NVM device.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+pub struct Pjh {
+    pub(crate) dev: NvmDevice,
+    pub(crate) layout: Layout,
+    pub(crate) klasses: PKlassTable,
+    pub(crate) names: NameTable,
+    pub(crate) alloc_region: usize,
+    pub(crate) alloc_top: usize,
+    pub(crate) free: Bitmap,
+    pub(crate) global_ts: u32,
+    pub(crate) safety: SafetyLevel,
+    pub(crate) recoverable_gc: bool,
+    pub(crate) persistent_capable: HashSet<String>,
+    pub(crate) gc_count: u64,
+}
+
+impl fmt::Debug for Pjh {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pjh")
+            .field("data_size", &self.layout.data_size)
+            .field("region_size", &self.layout.region_size)
+            .field("alloc_region", &self.alloc_region)
+            .field("global_ts", &self.global_ts)
+            .finish()
+    }
+}
+
+impl Pjh {
+    // ---- lifecycle ----
+
+    /// Formats `dev` as a fresh persistent heap (the work behind
+    /// `createHeap`, §3.3).
+    ///
+    /// # Errors
+    ///
+    /// [`PjhError::HeapTooSmall`] if the device cannot hold the layout.
+    pub fn create(dev: NvmDevice, config: PjhConfig) -> crate::Result<Pjh> {
+        let layout = Layout::compute(dev.size(), &config)?;
+        layout.write_meta(&dev);
+        // All regions free except region 0, the initial allocation region.
+        let mut free = Bitmap::new(layout.num_regions);
+        for i in 1..layout.num_regions {
+            free.set(i);
+        }
+        free.store_raw(&dev, layout.region_free_off, layout.region_bitmap_bytes);
+        // Region 0 must be zero for the walker's hole invariant.
+        dev.fill(layout.region_start(0), layout.region_size, 0);
+        dev.persist(layout.region_start(0), layout.region_size);
+        let names = NameTable::attach(&dev, &layout);
+        let klasses = PKlassTable::attach(&dev, &layout);
+        Ok(Pjh {
+            dev,
+            layout,
+            klasses,
+            names,
+            alloc_region: 0,
+            alloc_top: layout.data_off,
+            free,
+            global_ts: 1,
+            safety: SafetyLevel::UserGuaranteed,
+            recoverable_gc: config.recoverable_gc,
+            persistent_capable: HashSet::new(),
+            gc_count: 0,
+        })
+    }
+
+    /// Loads an existing heap image from `dev` (the work behind
+    /// `loadHeap`, §3.3): reads the metadata area, reinitializes Klasses in
+    /// place, completes a crashed collection if one is pending (§4.3),
+    /// remaps pointers if the base address changed, and runs the
+    /// zeroing-safety scan when requested (§3.4).
+    ///
+    /// # Errors
+    ///
+    /// [`PjhError::NotAHeap`] if the image is not a formatted heap.
+    pub fn load(dev: NvmDevice, options: LoadOptions) -> crate::Result<(Pjh, LoadReport)> {
+        let layout = Layout::read_meta(&dev)?;
+        let stored_base = layout.base;
+        let klasses = PKlassTable::attach(&dev, &layout);
+        let names = NameTable::attach(&dev, &layout);
+        let free = Bitmap::load_raw(&dev, layout.region_free_off, layout.num_regions);
+        let mut report = LoadReport {
+            klasses_reloaded: klasses.segment_klasses(),
+            ..LoadReport::default()
+        };
+        let mut heap = Pjh {
+            alloc_region: dev.read_u64(meta::ALLOC_REGION) as usize,
+            alloc_top: dev.read_u64(meta::ALLOC_TOP) as usize,
+            global_ts: dev.read_u64(meta::GLOBAL_TIMESTAMP) as u32,
+            safety: options.safety,
+            recoverable_gc: true,
+            persistent_capable: HashSet::new(),
+            gc_count: 0,
+            dev,
+            layout,
+            klasses,
+            names,
+            free,
+        };
+
+        // §4.3: finish a crashed collection before anything reads objects.
+        if heap.dev.read_u64(meta::GC_IN_PROGRESS) != 0 {
+            crate::gc::recover(&mut heap)?;
+            report.recovered_gc = true;
+            heap.free = Bitmap::load_raw(&heap.dev, heap.layout.region_free_off, heap.layout.num_regions);
+            heap.alloc_region = heap.dev.read_u64(meta::ALLOC_REGION) as usize;
+            heap.alloc_top = heap.dev.read_u64(meta::ALLOC_TOP) as usize;
+        }
+
+        // §3.3: remap if the address hint is unavailable.
+        if let Some(new_base) = options.base_override {
+            if new_base != stored_base {
+                heap.remap(stored_base, new_base);
+                heap.layout.base = new_base;
+                report.remapped = true;
+            }
+        }
+
+        // §3.4: zeroing safety nullifies every out-pointer.
+        if matches!(options.safety, SafetyLevel::Zeroing) {
+            let (scanned, zeroed) = heap.zeroing_scan();
+            report.objects_scanned = scanned;
+            report.zeroed_refs = zeroed;
+        }
+
+        Ok((heap, report))
+    }
+
+    fn remap(&mut self, old_base: u64, new_base: u64) {
+        let delta_off: Vec<(usize, u64)> = {
+            let mut writes = Vec::new();
+            self.for_each_object_off(|off, klass, _| {
+                for slot in ref_slots(off, klass, &self.dev) {
+                    let r = Ref::from_raw(self.dev.read_u64(slot));
+                    if r.is_persistent() {
+                        let device_off = r.addr() - old_base;
+                        writes.push((slot, Ref::new(Space::Persistent, new_base + device_off).to_raw()));
+                    }
+                }
+            });
+            writes
+        };
+        for (slot, raw) in delta_off {
+            self.dev.write_u64(slot, raw);
+            self.dev.persist(slot, 8);
+        }
+        self.names.rewrite_values(&self.dev, EntryKind::Root, |v| {
+            let r = Ref::from_raw(v);
+            if r.is_persistent() {
+                Ref::new(Space::Persistent, new_base + (r.addr() - old_base)).to_raw()
+            } else {
+                v
+            }
+        });
+        self.dev.write_u64(meta::ADDRESS_HINT, new_base);
+        self.dev.persist(meta::ADDRESS_HINT, 8);
+    }
+
+    fn zeroing_scan(&mut self) -> (usize, usize) {
+        let mut scanned = 0;
+        let mut nulls: Vec<usize> = Vec::new();
+        let layout = self.layout;
+        self.for_each_object_off(|off, klass, _| {
+            scanned += 1;
+            for slot in ref_slots(off, klass, &self.dev) {
+                let r = Ref::from_raw(self.dev.read_u64(slot));
+                if r.is_null() {
+                    continue;
+                }
+                let out = if r.is_volatile() {
+                    true
+                } else {
+                    let a = r.addr();
+                    a < layout.base || !layout.in_data((a - layout.base) as usize)
+                };
+                if out {
+                    nulls.push(slot);
+                }
+            }
+        });
+        for &slot in &nulls {
+            self.dev.write_u64(slot, Ref::NULL.to_raw());
+            self.dev.persist(slot, 8);
+        }
+        self.names.rewrite_values(&self.dev, EntryKind::Root, |v| {
+            let r = Ref::from_raw(v);
+            if r.is_volatile() {
+                Ref::NULL.to_raw()
+            } else {
+                v
+            }
+        });
+        (scanned, nulls.len())
+    }
+
+    // ---- class registration ----
+
+    /// Registers an instance class (the volatile side of class loading).
+    ///
+    /// # Errors
+    ///
+    /// [`PjhError::KlassLayoutMismatch`] if the heap already persisted a
+    /// different layout for this name.
+    pub fn register_instance(&mut self, name: &str, fields: Vec<FieldDesc>) -> crate::Result<KlassId> {
+        self.klasses.register_instance(name, fields)
+    }
+
+    /// Registers the object-array class for `elem_name`.
+    pub fn register_obj_array(&mut self, elem_name: &str) -> KlassId {
+        self.klasses.register_obj_array(elem_name)
+    }
+
+    /// Registers the primitive array class.
+    pub fn register_prim_array(&mut self) -> KlassId {
+        self.klasses.register_prim_array()
+    }
+
+    /// Marks a class as allowed under [`SafetyLevel::TypeBased`] (§3.4's
+    /// annotation library).
+    pub fn mark_persistent_capable(&mut self, name: &str) {
+        self.persistent_capable.insert(name.to_string());
+    }
+
+    /// The klass of an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics on null or foreign references.
+    pub fn klass_of(&self, r: Ref) -> Arc<Klass> {
+        let off = self.obj_off(r);
+        let seg = self.dev.read_u64(off + 8);
+        self.klasses.klass_by_seg(seg).expect("dangling class word").clone()
+    }
+
+    // ---- allocation (§4.1) ----
+
+    fn acquire_alloc_region(&mut self) -> crate::Result<()> {
+        let next = self
+            .free
+            .next_set(0)
+            .ok_or(PjhError::HeapFull { requested_words: 0 })?;
+        let start = self.layout.region_start(next);
+        // Zero the region so the walker's hole invariant holds, persist it,
+        // then take it and move the cursor.
+        self.dev.fill(start, self.layout.region_size, 0);
+        self.dev.persist(start, self.layout.region_size);
+        self.free.clear(next);
+        self.persist_free_bit(next);
+        self.alloc_region = next;
+        self.alloc_top = start;
+        self.dev.write_u64(meta::ALLOC_REGION, next as u64);
+        self.dev.write_u64(meta::ALLOC_TOP, self.alloc_top as u64);
+        self.dev.persist(meta::ALLOC_REGION, 16);
+        Ok(())
+    }
+
+    pub(crate) fn persist_free_bit(&mut self, region: usize) {
+        let word_off = self.layout.region_free_off + (region / 64) * 8;
+        let mut word = 0u64;
+        for bit in 0..64 {
+            let idx = (region / 64) * 64 + bit;
+            if idx < self.free.len() && self.free.get(idx) {
+                word |= 1 << bit;
+            }
+        }
+        self.dev.write_u64(word_off, word);
+        self.dev.persist(word_off, 8);
+    }
+
+    fn alloc_raw(&mut self, words: usize) -> crate::Result<usize> {
+        let bytes = words * WORD;
+        if bytes > self.layout.region_size {
+            return Err(PjhError::ObjectTooLarge { requested_words: words });
+        }
+        let region_end = self.layout.region_end(self.alloc_region);
+        if self.alloc_top + bytes > region_end {
+            // Pad the tail with a filler object so the walker can skip it.
+            let rem_words = (region_end - self.alloc_top) / WORD;
+            if rem_words > 0 {
+                self.dev.write_u64(self.alloc_top, FILLER_FLAG | rem_words as u64);
+                self.dev.persist(self.alloc_top, 8);
+            }
+            self.acquire_alloc_region().map_err(|e| match e {
+                PjhError::HeapFull { .. } => PjhError::HeapFull { requested_words: words },
+                other => other,
+            })?;
+        }
+        let off = self.alloc_top;
+        self.alloc_top += bytes;
+        // §4.1 step 2: the persisted replica of `top` advances *before* the
+        // header is initialized, so a crash can never expose an object that
+        // recovery would truncate.
+        self.dev.write_u64(meta::ALLOC_TOP, self.alloc_top as u64);
+        self.dev.persist(meta::ALLOC_TOP, 8);
+        Ok(off)
+    }
+
+    /// Allocates an instance of `kid` in NVM — the `pnew` bytecode (§3.2).
+    ///
+    /// The body is zeroed; the header (mark word with the current global
+    /// timestamp, class word pointing into the Klass segment) is persisted
+    /// as §4.1 step 3.
+    ///
+    /// # Errors
+    ///
+    /// [`PjhError::HeapFull`] (collect and retry),
+    /// [`PjhError::ObjectTooLarge`], Klass-segment and safety errors.
+    pub fn alloc_instance(&mut self, kid: KlassId) -> crate::Result<Ref> {
+        let klass = self.klasses.registry().by_id(kid).expect("unknown klass").clone();
+        if matches!(self.safety, SafetyLevel::TypeBased) && !self.persistent_capable.contains(klass.name()) {
+            return Err(PjhError::SafetyViolation {
+                reason: format!("class {} is not marked persistent-capable", klass.name()),
+            });
+        }
+        // §4.1 step 1: resolve the Klass (appending its record on first use).
+        let seg = self
+            .klasses
+            .ensure_in_segment(&self.dev, &self.layout, &mut self.names, kid)?;
+        let words = klass.instance_words();
+        let off = self.alloc_raw(words)?;
+        self.dev.write_u64(off, mark::new(self.global_ts));
+        self.dev.write_u64(off + 8, seg);
+        self.dev.persist(off, HEADER_WORDS * WORD);
+        Ok(Ref::new(Space::Persistent, self.layout.to_vaddr(off)))
+    }
+
+    /// Allocates an array of `len` elements — `panewarray`/`pnewarray`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`alloc_instance`](Self::alloc_instance).
+    pub fn alloc_array(&mut self, kid: KlassId, len: usize) -> crate::Result<Ref> {
+        let klass = self.klasses.registry().by_id(kid).expect("unknown klass").clone();
+        let seg = self
+            .klasses
+            .ensure_in_segment(&self.dev, &self.layout, &mut self.names, kid)?;
+        let words = klass.array_words(len);
+        let off = self.alloc_raw(words)?;
+        self.dev.write_u64(off, mark::new(self.global_ts));
+        self.dev.write_u64(off + 8, seg);
+        self.dev.write_u64(off + 16, len as u64);
+        self.dev.persist(off, ARRAY_HEADER_WORDS * WORD);
+        Ok(Ref::new(Space::Persistent, self.layout.to_vaddr(off)))
+    }
+
+    // ---- field access ----
+
+    pub(crate) fn obj_off(&self, r: Ref) -> usize {
+        assert!(r.is_persistent(), "persistent heap got {r:?}");
+        let off = self.layout.to_off(r.addr());
+        assert!(self.layout.in_data(off), "reference outside data heap: {r:?}");
+        off
+    }
+
+    /// Reads raw field `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on null refs or out-of-range indices.
+    pub fn field(&self, r: Ref, index: usize) -> u64 {
+        let off = self.obj_off(r);
+        let k = self.klass_of(r);
+        self.dev.read_u64(off + k.field_offset(index) * WORD)
+    }
+
+    /// Writes raw field `index` (volatile until flushed; see
+    /// [`flush_field`](Self::flush_field)).
+    ///
+    /// # Panics
+    ///
+    /// Panics on null refs or out-of-range indices.
+    pub fn set_field(&mut self, r: Ref, index: usize, value: u64) {
+        let off = self.obj_off(r);
+        let k = self.klass_of(r);
+        self.dev.write_u64(off + k.field_offset(index) * WORD, value);
+    }
+
+    /// Reads reference field `index`.
+    pub fn field_ref(&self, r: Ref, index: usize) -> Ref {
+        Ref::from_raw(self.field(r, index))
+    }
+
+    /// Writes reference field `index`.
+    ///
+    /// # Errors
+    ///
+    /// [`PjhError::SafetyViolation`] under [`SafetyLevel::TypeBased`] when
+    /// storing a volatile reference into a persistent object.
+    pub fn set_field_ref(&mut self, r: Ref, index: usize, value: Ref) -> crate::Result<()> {
+        self.check_store(value)?;
+        self.set_field(r, index, value.to_raw());
+        Ok(())
+    }
+
+    fn check_store(&self, value: Ref) -> crate::Result<()> {
+        if matches!(self.safety, SafetyLevel::TypeBased) && value.is_volatile() {
+            return Err(PjhError::SafetyViolation {
+                reason: "type-based safety forbids NVM-to-DRAM pointers".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Length of an array object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not an array.
+    pub fn array_len(&self, r: Ref) -> usize {
+        let off = self.obj_off(r);
+        assert!(self.klass_of(r).is_array(), "not an array: {r:?}");
+        self.dev.read_u64(off + 16) as usize
+    }
+
+    /// Reads array element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn array_get(&self, r: Ref, i: usize) -> u64 {
+        let off = self.obj_off(r);
+        let len = self.array_len(r);
+        assert!(i < len, "array index {i} out of bounds (len {len})");
+        self.dev.read_u64(off + (ARRAY_HEADER_WORDS + i) * WORD)
+    }
+
+    /// Writes array element `i` (primitive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn array_set(&mut self, r: Ref, i: usize, value: u64) {
+        let off = self.obj_off(r);
+        let len = self.array_len(r);
+        assert!(i < len, "array index {i} out of bounds (len {len})");
+        self.dev.write_u64(off + (ARRAY_HEADER_WORDS + i) * WORD, value);
+    }
+
+    /// Reads array element `i` as a reference.
+    pub fn array_get_ref(&self, r: Ref, i: usize) -> Ref {
+        Ref::from_raw(self.array_get(r, i))
+    }
+
+    /// Writes array element `i` as a reference.
+    ///
+    /// # Errors
+    ///
+    /// Same safety rules as [`set_field_ref`](Self::set_field_ref).
+    pub fn array_set_ref(&mut self, r: Ref, i: usize, value: Ref) -> crate::Result<()> {
+        self.check_store(value)?;
+        self.array_set(r, i, value.to_raw());
+        Ok(())
+    }
+
+    // ---- persistence guarantee (§3.5) ----
+
+    /// Persists one field: `Field.flush` of Figure 12 (8-byte flush +
+    /// fence, preserving atomicity and order).
+    pub fn flush_field(&self, r: Ref, index: usize) {
+        let off = self.obj_off(r);
+        let k = self.klass_of(r);
+        self.dev.persist(off + k.field_offset(index) * WORD, WORD);
+    }
+
+    /// Persists one array element: `Array.flush` of Figure 12.
+    pub fn flush_element(&self, r: Ref, i: usize) {
+        let off = self.obj_off(r);
+        self.dev.persist(off + (ARRAY_HEADER_WORDS + i) * WORD, WORD);
+    }
+
+    /// Persists every data word of the object with a single trailing fence
+    /// — the coarse-grained `Object.flush` (§3.5).
+    pub fn flush_object(&self, r: Ref) {
+        let off = self.obj_off(r);
+        let words = self.object_words_at(off);
+        self.dev.flush(off, words * WORD);
+        self.dev.fence();
+    }
+
+    // ---- raw word access (for libraries building logs atop PJH) ----
+
+    /// Reads the word at a virtual address inside the data heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is outside the data heap.
+    pub fn read_word_at(&self, vaddr: u64) -> u64 {
+        let off = self.layout.to_off(vaddr);
+        assert!(self.layout.in_data(off), "address {vaddr:#x} outside data heap");
+        self.dev.read_u64(off)
+    }
+
+    /// Writes the word at a virtual address inside the data heap
+    /// (volatile until flushed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is outside the data heap.
+    pub fn write_word_at(&mut self, vaddr: u64, value: u64) {
+        let off = self.layout.to_off(vaddr);
+        assert!(self.layout.in_data(off), "address {vaddr:#x} outside data heap");
+        self.dev.write_u64(off, value);
+    }
+
+    /// Flush-and-fence the word at a virtual address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is outside the data heap.
+    pub fn persist_word_at(&self, vaddr: u64) {
+        let off = self.layout.to_off(vaddr);
+        assert!(self.layout.in_data(off), "address {vaddr:#x} outside data heap");
+        self.dev.persist(off, WORD);
+    }
+
+    // ---- roots (§3.3) ----
+
+    /// Publishes `r` under `name` — `setRoot`.
+    ///
+    /// # Errors
+    ///
+    /// Name-table errors; a safety violation for volatile refs under
+    /// type-based safety.
+    pub fn set_root(&mut self, name: &str, r: Ref) -> crate::Result<()> {
+        self.check_store(r)?;
+        self.names.set(&self.dev, EntryKind::Root, name, r.to_raw())
+    }
+
+    /// Fetches a root — `getRoot`. Returns `None` for unknown names and
+    /// for roots nullified by the zeroing scan.
+    pub fn get_root(&self, name: &str) -> Option<Ref> {
+        let raw = self.names.get(&self.dev, EntryKind::Root, name)?;
+        let r = Ref::from_raw(raw);
+        (!r.is_null()).then_some(r)
+    }
+
+    /// Removes a root; returns whether it existed.
+    pub fn remove_root(&mut self, name: &str) -> bool {
+        self.names.remove(&self.dev, EntryKind::Root, name)
+    }
+
+    /// All root names with their current values.
+    pub fn roots(&self) -> Vec<(String, Ref)> {
+        self.names
+            .entries(&self.dev, EntryKind::Root)
+            .into_iter()
+            .map(|(n, v)| (n, Ref::from_raw(v)))
+            .collect()
+    }
+
+    // ---- GC ----
+
+    /// Collects the persistent space (§4.2). `extra_roots` are additional
+    /// live references (the VM passes every NVM pointer held in DRAM).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors; the collection itself cannot fail.
+    pub fn gc(&mut self, extra_roots: &[Ref]) -> crate::Result<crate::GcReport> {
+        crate::gc::collect(self, extra_roots)
+    }
+
+    // ---- iteration, census, verification ----
+
+    /// Size in words of the object at device offset `off`.
+    pub(crate) fn object_words_at(&self, off: usize) -> usize {
+        let seg = self.dev.read_u64(off + 8);
+        let k = self.klasses.klass_by_seg(seg).expect("dangling class word");
+        match k.kind() {
+            ObjKind::Instance => k.instance_words(),
+            _ => k.array_words(self.dev.read_u64(off + 16) as usize),
+        }
+    }
+
+    /// Walks every object image in non-free regions (including unreachable
+    /// ones left behind by in-place compaction).
+    pub(crate) fn for_each_object_off(&self, mut f: impl FnMut(usize, &Arc<Klass>, usize)) {
+        for region in 0..self.layout.num_regions {
+            if self.free.get(region) {
+                continue;
+            }
+            let start = self.layout.region_start(region);
+            let end = self.layout.region_end(region);
+            let mut pos = start;
+            while pos + (HEADER_WORDS * WORD) <= end {
+                let w0 = self.dev.read_u64(pos);
+                if w0 & FILLER_FLAG != 0 {
+                    pos += ((w0 & !FILLER_FLAG) as usize) * WORD;
+                    continue;
+                }
+                let seg = self.dev.read_u64(pos + 8);
+                if seg == 0 {
+                    break; // hole: end of allocated prefix
+                }
+                let klass = self
+                    .klasses
+                    .klass_by_seg(seg)
+                    .unwrap_or_else(|| panic!("corrupt class word {seg:#x} at offset {pos:#x}"))
+                    .clone();
+                let words = match klass.kind() {
+                    ObjKind::Instance => klass.instance_words(),
+                    _ => klass.array_words(self.dev.read_u64(pos + 16) as usize),
+                };
+                f(pos, &klass, words);
+                pos += words * WORD;
+            }
+        }
+    }
+
+    /// Visits every object as `(ref, klass)`.
+    pub fn for_each_object(&self, mut f: impl FnMut(Ref, &Arc<Klass>)) {
+        self.for_each_object_off(|off, klass, _| {
+            f(Ref::new(Space::Persistent, self.layout.to_vaddr(off)), klass);
+        });
+    }
+
+    /// Rewrites every reference slot in the heap through `f` (no flushing:
+    /// the VM uses this to patch DRAM pointers held in NVM after a
+    /// volatile collection moves objects, and those pointers carry no
+    /// cross-restart meaning). Root entries are rewritten too.
+    pub fn rewrite_refs(&mut self, mut f: impl FnMut(Ref) -> Ref) {
+        let mut writes = Vec::new();
+        self.for_each_object_off(|off, klass, _| {
+            for slot in ref_slots(off, klass, &self.dev) {
+                let old = Ref::from_raw(self.dev.read_u64(slot));
+                let new = f(old);
+                if new != old {
+                    writes.push((slot, new.to_raw()));
+                }
+            }
+        });
+        for (slot, raw) in writes {
+            self.dev.write_u64(slot, raw);
+        }
+        self.names.rewrite_values(&self.dev, EntryKind::Root, |v| f(Ref::from_raw(v)).to_raw());
+    }
+
+    /// Collects every volatile (DRAM) reference stored anywhere in the
+    /// persistent heap. The VM passes these as extra roots to the volatile
+    /// collectors: NVM-held pointers keep DRAM objects alive (§3.4).
+    pub fn volatile_refs(&self) -> Vec<Ref> {
+        let mut out = Vec::new();
+        self.for_each_object_off(|off, klass, _| {
+            for slot in ref_slots(off, klass, &self.dev) {
+                let v = Ref::from_raw(self.dev.read_u64(slot));
+                if v.is_volatile() {
+                    out.push(v);
+                }
+            }
+        });
+        out
+    }
+
+    /// Counts objects, words, and regions.
+    pub fn census(&self) -> HeapCensus {
+        let mut objects = 0;
+        let mut object_words = 0;
+        self.for_each_object_off(|_, _, words| {
+            objects += 1;
+            object_words += words;
+        });
+        HeapCensus {
+            objects,
+            object_words,
+            free_regions: self.free.count(),
+            total_regions: self.layout.num_regions,
+            segment_klasses: self.klasses.segment_klasses(),
+        }
+    }
+
+    /// Structural integrity check: every class word resolves, every
+    /// persistent reference points at the start of a live object image.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first inconsistency found.
+    pub fn verify_integrity(&self) -> std::result::Result<(), String> {
+        let mut starts = HashSet::new();
+        self.for_each_object_off(|off, _, _| {
+            starts.insert(self.layout.to_vaddr(off));
+        });
+        let mut problem = None;
+        self.for_each_object_off(|off, klass, _| {
+            if problem.is_some() {
+                return;
+            }
+            for slot in ref_slots(off, klass, &self.dev) {
+                let r = Ref::from_raw(self.dev.read_u64(slot));
+                if r.is_persistent() && !starts.contains(&r.addr()) {
+                    problem = Some(format!(
+                        "object at {off:#x} ({}) references {:#x}, which is not an object start",
+                        klass.name(),
+                        r.addr()
+                    ));
+                }
+            }
+        });
+        // Root entries must also resolve.
+        for (name, r) in self.roots() {
+            if r.is_persistent() && !starts.contains(&r.addr()) {
+                problem.get_or_insert(format!("root {name:?} references {:#x}", r.addr()));
+            }
+        }
+        match problem {
+            Some(p) => Err(p),
+            None => Ok(()),
+        }
+    }
+
+    // ---- accessors ----
+
+    /// The backing device.
+    pub fn device(&self) -> &NvmDevice {
+        &self.dev
+    }
+
+    /// The resolved layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The class registry.
+    pub fn registry(&self) -> &espresso_object::KlassRegistry {
+        self.klasses.registry()
+    }
+
+    /// The configured safety level.
+    pub fn safety(&self) -> SafetyLevel {
+        self.safety
+    }
+
+    /// Changes the safety level for subsequent operations.
+    pub fn set_safety(&mut self, safety: SafetyLevel) {
+        self.safety = safety;
+    }
+
+    /// Current global GC timestamp (§4.2).
+    pub fn global_timestamp(&self) -> u32 {
+        self.global_ts
+    }
+
+    /// Completed persistent-space collections.
+    pub fn gc_count(&self) -> u64 {
+        self.gc_count
+    }
+}
+
+/// Device offsets of the reference slots of the object at `off`.
+pub(crate) fn ref_slots(off: usize, klass: &Arc<Klass>, dev: &NvmDevice) -> Vec<usize> {
+    match klass.kind() {
+        ObjKind::Instance => klass
+            .ref_field_indices()
+            .map(|i| off + (HEADER_WORDS + i) * WORD)
+            .collect(),
+        ObjKind::ObjArray => {
+            let len = dev.read_u64(off + 16) as usize;
+            (0..len).map(|i| off + (ARRAY_HEADER_WORDS + i) * WORD).collect()
+        }
+        ObjKind::PrimArray => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use espresso_nvm::NvmConfig;
+
+    fn new_heap() -> (NvmDevice, Pjh) {
+        let dev = NvmDevice::new(NvmConfig::with_size(4 << 20));
+        let heap = Pjh::create(dev.clone(), PjhConfig::small()).unwrap();
+        (dev, heap)
+    }
+
+    fn person(h: &mut Pjh) -> KlassId {
+        h.register_instance("Person", vec![FieldDesc::prim("id"), FieldDesc::reference("next")])
+            .unwrap()
+    }
+
+    #[test]
+    fn pnew_and_field_roundtrip() {
+        let (_dev, mut h) = new_heap();
+        let k = person(&mut h);
+        let p = h.alloc_instance(k).unwrap();
+        assert!(p.is_persistent());
+        h.set_field(p, 0, 7);
+        assert_eq!(h.field(p, 0), 7);
+        assert_eq!(h.klass_of(p).name(), "Person");
+    }
+
+    #[test]
+    fn arrays_roundtrip() {
+        let (_dev, mut h) = new_heap();
+        let pa = h.register_prim_array();
+        let a = h.alloc_array(pa, 5).unwrap();
+        assert_eq!(h.array_len(a), 5);
+        h.array_set(a, 2, 77);
+        assert_eq!(h.array_get(a, 2), 77);
+    }
+
+    #[test]
+    fn persisted_object_survives_crash_and_load() {
+        let (dev, mut h) = new_heap();
+        let k = person(&mut h);
+        let p = h.alloc_instance(k).unwrap();
+        h.set_field(p, 0, 99);
+        h.flush_object(p);
+        h.set_root("me", p).unwrap();
+        dev.crash();
+        let (h2, report) = Pjh::load(dev, LoadOptions::default()).unwrap();
+        assert!(!report.recovered_gc);
+        assert_eq!(report.klasses_reloaded, 1);
+        let p2 = h2.get_root("me").unwrap();
+        assert_eq!(p2, p, "same virtual address without remap");
+        assert_eq!(h2.field(p2, 0), 99);
+    }
+
+    #[test]
+    fn unflushed_field_is_lost_header_survives() {
+        let (dev, mut h) = new_heap();
+        let k = person(&mut h);
+        let p = h.alloc_instance(k).unwrap();
+        h.set_field(p, 0, 123); // never flushed
+        h.set_root("me", p).unwrap();
+        dev.crash();
+        let (h2, _) = Pjh::load(dev, LoadOptions::default()).unwrap();
+        let p2 = h2.get_root("me").unwrap();
+        assert_eq!(h2.field(p2, 0), 0, "unflushed data lost");
+        assert_eq!(h2.klass_of(p2).name(), "Person", "header persisted by pnew");
+    }
+
+    #[test]
+    fn torn_allocation_is_invisible() {
+        let (dev, mut h) = new_heap();
+        let k = person(&mut h);
+        for _ in 0..3 {
+            h.alloc_instance(k).unwrap();
+        }
+        let before = h.census().objects;
+        // Allow only the top persist (1 flush) of the next allocation, not
+        // the header persist.
+        dev.schedule_crash_after_line_flushes(1);
+        let _ = h.alloc_instance(k);
+        dev.recover();
+        let (h2, _) = Pjh::load(dev, LoadOptions::default()).unwrap();
+        assert_eq!(h2.census().objects, before, "torn object must not be visible");
+        h2.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn filler_padding_spans_regions() {
+        let (_dev, mut h) = new_heap();
+        let pa = h.register_prim_array();
+        // Each array takes 3+120 words = 984 bytes; a 4096-byte region fits
+        // 4, leaving a 160-byte tail filler.
+        let mut refs = Vec::new();
+        for i in 0..9 {
+            let a = h.alloc_array(pa, 120).unwrap();
+            h.array_set(a, 0, i);
+            refs.push(a);
+        }
+        assert_eq!(h.census().objects, 9);
+        for (i, a) in refs.iter().enumerate() {
+            assert_eq!(h.array_get(*a, 0), i as u64);
+        }
+    }
+
+    #[test]
+    fn object_too_large_is_rejected() {
+        let (_dev, mut h) = new_heap();
+        let pa = h.register_prim_array();
+        assert!(matches!(
+            h.alloc_array(pa, 4096),
+            Err(PjhError::ObjectTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn heap_fills_up() {
+        let (_dev, mut h) = new_heap();
+        let pa = h.register_prim_array();
+        let mut n = 0;
+        loop {
+            match h.alloc_array(pa, 61) {
+                Ok(_) => n += 1,
+                Err(PjhError::HeapFull { .. }) => break,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            assert!(n < 1_000_000, "never filled");
+        }
+        assert!(n > 100);
+    }
+
+    #[test]
+    fn roots_update_and_remove() {
+        let (_dev, mut h) = new_heap();
+        let k = person(&mut h);
+        let a = h.alloc_instance(k).unwrap();
+        let b = h.alloc_instance(k).unwrap();
+        h.set_root("r", a).unwrap();
+        h.set_root("r", b).unwrap();
+        assert_eq!(h.get_root("r"), Some(b));
+        assert!(h.remove_root("r"));
+        assert_eq!(h.get_root("r"), None);
+    }
+
+    #[test]
+    fn zeroing_safety_nullifies_volatile_pointers() {
+        let (dev, mut h) = new_heap();
+        let k = person(&mut h);
+        let p = h.alloc_instance(k).unwrap();
+        let q = h.alloc_instance(k).unwrap();
+        // p.next -> volatile object (simulated DRAM address).
+        h.set_field_ref(p, 1, Ref::new(Space::Volatile, 0xABCD0)).unwrap();
+        // q.next -> p (persistent: must survive).
+        h.set_field_ref(q, 1, p).unwrap();
+        h.flush_object(p);
+        h.flush_object(q);
+        h.set_root("p", p).unwrap();
+        h.set_root("q", q).unwrap();
+        dev.crash();
+        let (h2, report) = Pjh::load(
+            dev,
+            LoadOptions { safety: SafetyLevel::Zeroing, ..LoadOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(report.zeroed_refs, 1);
+        assert!(report.objects_scanned >= 2);
+        let p2 = h2.get_root("p").unwrap();
+        assert!(h2.field_ref(p2, 1).is_null(), "volatile pointer nullified");
+        let q2 = h2.get_root("q").unwrap();
+        assert_eq!(h2.field_ref(q2, 1), p2, "persistent pointer kept");
+    }
+
+    #[test]
+    fn user_guaranteed_load_keeps_volatile_pointers() {
+        let (dev, mut h) = new_heap();
+        let k = person(&mut h);
+        let p = h.alloc_instance(k).unwrap();
+        h.set_field_ref(p, 1, Ref::new(Space::Volatile, 0xABCD0)).unwrap();
+        h.flush_object(p);
+        h.set_root("p", p).unwrap();
+        dev.crash();
+        let (h2, report) = Pjh::load(dev, LoadOptions::default()).unwrap();
+        assert_eq!(report.objects_scanned, 0, "UG load never scans objects");
+        let p2 = h2.get_root("p").unwrap();
+        assert!(h2.field_ref(p2, 1).is_volatile(), "pointer left in place");
+    }
+
+    #[test]
+    fn type_based_safety_blocks_volatile_stores_and_unmarked_classes() {
+        let (_dev, mut h) = new_heap();
+        let k = person(&mut h);
+        h.set_safety(SafetyLevel::TypeBased);
+        assert!(matches!(
+            h.alloc_instance(k),
+            Err(PjhError::SafetyViolation { .. })
+        ));
+        h.mark_persistent_capable("Person");
+        let p = h.alloc_instance(k).unwrap();
+        assert!(matches!(
+            h.set_field_ref(p, 1, Ref::new(Space::Volatile, 0x10)),
+            Err(PjhError::SafetyViolation { .. })
+        ));
+        let q = h.alloc_instance(k).unwrap();
+        h.set_field_ref(p, 1, q).unwrap();
+    }
+
+    #[test]
+    fn remap_rewrites_all_pointers() {
+        let (dev, mut h) = new_heap();
+        let k = person(&mut h);
+        let a = h.alloc_instance(k).unwrap();
+        let b = h.alloc_instance(k).unwrap();
+        h.set_field(b, 0, 5);
+        h.set_field_ref(a, 1, b).unwrap();
+        h.flush_object(a);
+        h.flush_object(b);
+        h.set_root("a", a).unwrap();
+        dev.crash();
+        let new_base = 0x7777_0000_0000;
+        let (h2, report) = Pjh::load(
+            dev,
+            LoadOptions { base_override: Some(new_base), ..LoadOptions::default() },
+        )
+        .unwrap();
+        assert!(report.remapped);
+        let a2 = h2.get_root("a").unwrap();
+        assert!(a2.addr() >= new_base);
+        let b2 = h2.field_ref(a2, 1);
+        assert_eq!(h2.field(b2, 0), 5);
+        h2.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn census_counts_objects_and_regions() {
+        let (_dev, mut h) = new_heap();
+        let k = person(&mut h);
+        for _ in 0..10 {
+            h.alloc_instance(k).unwrap();
+        }
+        let c = h.census();
+        assert_eq!(c.objects, 10);
+        assert_eq!(c.object_words, 40);
+        assert_eq!(c.segment_klasses, 1);
+        assert!(c.free_regions < c.total_regions);
+    }
+
+    #[test]
+    fn load_rejects_blank_device() {
+        let dev = NvmDevice::new(NvmConfig::with_size(1 << 20));
+        assert!(matches!(
+            Pjh::load(dev, LoadOptions::default()),
+            Err(PjhError::NotAHeap)
+        ));
+    }
+
+    #[test]
+    fn allocation_across_many_regions_survives_reload() {
+        // Regression: the free-region bitmap is updated word-by-word in
+        // place during allocation; its on-NVM layout must match what load
+        // reads back, including past the 64-region boundary.
+        let (dev, mut h) = new_heap();
+        let k = person(&mut h);
+        let mut count = 0;
+        // 4 KiB regions hold 128 32-byte objects; cross 70+ regions.
+        for i in 0..9000u64 {
+            let p = h.alloc_instance(k).unwrap();
+            h.set_field(p, 0, i);
+            count += 1;
+        }
+        let before = h.census();
+        assert!(before.total_regions - before.free_regions > 64, "test must span 64+ regions");
+        dev.crash();
+        let (h2, _) = Pjh::load(dev, LoadOptions::default()).unwrap();
+        assert_eq!(h2.census().objects, count);
+        h2.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn klass_registration_survives_reload() {
+        let (dev, mut h) = new_heap();
+        let k = person(&mut h);
+        let p = h.alloc_instance(k).unwrap();
+        h.set_root("p", p).unwrap();
+        dev.crash();
+        let (mut h2, _) = Pjh::load(dev, LoadOptions::default()).unwrap();
+        // Re-register with real field names; layout must reconcile.
+        let k2 = person(&mut h2);
+        let p2 = h2.get_root("p").unwrap();
+        assert_eq!(h2.klass_of(p2).id(), k2);
+        assert_eq!(h2.klass_of(p2).field_index("next"), Some(1));
+    }
+}

@@ -1,0 +1,358 @@
+//! The persistent Klass segment (§3.1, §3.3).
+//!
+//! Klasses used by persistent objects are serialized into an append-only
+//! NVM segment, separate from the volatile Meta Space, so that objects stay
+//! interpretable after a restart. Records act as *placeholders*: reloading
+//! a heap re-creates klass metadata **in place** (same segment offsets), so
+//! the class words stored in object headers remain valid without touching
+//! any object — this is why user-guaranteed heap loading is O(#klasses),
+//! not O(#objects) (Figure 18).
+//!
+//! A record stores everything recovery and the zeroing-safety scan need to
+//! trace objects with no application code loaded: the shape, the field
+//! count, and the reference bitmap. Field *names* are reconciled when the
+//! application re-registers the class ("class reinitialization", §3.3).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use espresso_nvm::NvmDevice;
+use espresso_object::{FieldDesc, FieldKind, Klass, KlassId, KlassRegistry, ObjKind};
+
+use crate::layout::{meta, Layout};
+use crate::name_table::{EntryKind, NameTable};
+use crate::PjhError;
+
+const KIND_INSTANCE: u64 = 0;
+const KIND_OBJ_ARRAY: u64 = 1;
+const KIND_PRIM_ARRAY: u64 = 2;
+
+/// Fixed header words of a klass record (committed, kind, field count,
+/// name length, ref-bitmap word count).
+const RECORD_HEADER_WORDS: usize = 5;
+
+fn record_len(field_count: usize, name_len: usize) -> usize {
+    let rb_words = field_count.div_ceil(64).max(1);
+    (RECORD_HEADER_WORDS + rb_words) * 8 + name_len.next_multiple_of(8)
+}
+
+/// DRAM-side mirror of the Klass segment plus the class registry it feeds.
+#[derive(Debug)]
+pub struct PKlassTable {
+    registry: KlassRegistry,
+    seg_of: HashMap<u32, u64>,
+    id_of_seg: HashMap<u64, u32>,
+    placeholders: HashSet<u32>,
+    top: usize,
+}
+
+impl PKlassTable {
+    /// Scans the segment and rebuilds the registry ("class
+    /// reinitialization in place", §3.3). Returns the table; the number of
+    /// reloaded klasses is [`segment_klasses`](Self::segment_klasses).
+    pub fn attach(dev: &NvmDevice, layout: &Layout) -> PKlassTable {
+        let mut t = PKlassTable {
+            registry: KlassRegistry::new(),
+            seg_of: HashMap::new(),
+            id_of_seg: HashMap::new(),
+            placeholders: HashSet::new(),
+            top: dev.read_u64(meta::KLASS_SEGMENT_TOP) as usize,
+        };
+        let mut pos = layout.klass_segment_off;
+        while pos < t.top {
+            if dev.read_u64(pos) != 1 {
+                break; // uncommitted tail record
+            }
+            let kind = dev.read_u64(pos + 8);
+            let field_count = dev.read_u64(pos + 16) as usize;
+            let name_len = dev.read_u64(pos + 24) as usize;
+            let rb_words = dev.read_u64(pos + 32) as usize;
+            let mut bitmap = vec![0u64; rb_words];
+            for (i, w) in bitmap.iter_mut().enumerate() {
+                *w = dev.read_u64(pos + 40 + i * 8);
+            }
+            let name_off = pos + (RECORD_HEADER_WORDS + rb_words) * 8;
+            let mut name_buf = vec![0u8; name_len];
+            dev.read_bytes(name_off, &mut name_buf);
+            let name = String::from_utf8(name_buf).expect("corrupt klass name");
+            let id = match kind {
+                KIND_INSTANCE => {
+                    let fields: Vec<FieldDesc> = (0..field_count)
+                        .map(|i| {
+                            let is_ref = bitmap[i / 64] & (1 << (i % 64)) != 0;
+                            FieldDesc {
+                                name: format!("f{i}"),
+                                kind: if is_ref { FieldKind::Reference } else { FieldKind::Prim },
+                            }
+                        })
+                        .collect();
+                    let id = t.registry.register_instance(&name, fields);
+                    t.placeholders.insert(id.0);
+                    id
+                }
+                KIND_OBJ_ARRAY => {
+                    let elem = name
+                        .strip_prefix("[L")
+                        .and_then(|s| s.strip_suffix(';'))
+                        .expect("corrupt obj-array klass name");
+                    t.registry.register_obj_array(elem)
+                }
+                _ => t.registry.register_prim_array(),
+            };
+            t.seg_of.insert(id.0, pos as u64);
+            t.id_of_seg.insert(pos as u64, id.0);
+            pos += record_len(field_count, name_len);
+        }
+        t
+    }
+
+    /// The registry backing this table.
+    pub fn registry(&self) -> &KlassRegistry {
+        &self.registry
+    }
+
+    /// Number of klasses present in the NVM segment.
+    pub fn segment_klasses(&self) -> usize {
+        self.seg_of.len()
+    }
+
+    /// Registers an instance class, reconciling against a placeholder
+    /// reloaded from the segment if one exists.
+    ///
+    /// # Errors
+    ///
+    /// [`PjhError::KlassLayoutMismatch`] if a persisted layout disagrees
+    /// with the registration.
+    pub fn register_instance(&mut self, name: &str, fields: Vec<FieldDesc>) -> Result<KlassId, PjhError> {
+        if let Some(existing) = self.registry.by_name(name) {
+            let id = existing.id();
+            let candidate = Klass::instance(id, name, fields.clone());
+            if existing.fields().len() != fields.len() || existing.ref_bitmap() != candidate.ref_bitmap() {
+                return Err(PjhError::KlassLayoutMismatch { name: name.to_string() });
+            }
+            if self.placeholders.remove(&id.0) {
+                self.registry.redefine_instance(id, fields);
+            }
+            return Ok(id);
+        }
+        Ok(self.registry.register_instance(name, fields))
+    }
+
+    /// Registers the object-array class for `elem_name`.
+    pub fn register_obj_array(&mut self, elem_name: &str) -> KlassId {
+        self.registry.register_obj_array(elem_name)
+    }
+
+    /// Registers the primitive array class.
+    pub fn register_prim_array(&mut self) -> KlassId {
+        self.registry.register_prim_array()
+    }
+
+    /// The klass whose record lives at segment offset `seg`.
+    pub fn klass_by_seg(&self, seg: u64) -> Option<&Arc<Klass>> {
+        self.id_of_seg.get(&seg).and_then(|&id| self.registry.by_id(KlassId(id)))
+    }
+
+    /// The segment offset of `id`'s record, if already persisted.
+    pub fn seg_of(&self, id: KlassId) -> Option<u64> {
+        self.seg_of.get(&id.0).copied()
+    }
+
+    /// Appends `id`'s record to the segment if absent (the paper's "set by
+    /// JVM when an object is created in NVM while its Klass does not exist
+    /// in the Klass segment", §3.1). Crash-consistent: payload persists
+    /// before the commit word, the commit word before the segment top.
+    ///
+    /// # Errors
+    ///
+    /// [`PjhError::KlassSegmentFull`] when out of segment space.
+    pub fn ensure_in_segment(
+        &mut self,
+        dev: &NvmDevice,
+        layout: &Layout,
+        names: &mut NameTable,
+        id: KlassId,
+    ) -> Result<u64, PjhError> {
+        if let Some(seg) = self.seg_of(id) {
+            return Ok(seg);
+        }
+        let klass = self.registry.by_id(id).expect("unknown klass").clone();
+        let name = klass.name().to_string();
+        let field_count = klass.fields().len();
+        let len = record_len(field_count, name.len());
+        let pos = self.top;
+        if pos + len > layout.klass_segment_off + layout.klass_segment_size {
+            return Err(PjhError::KlassSegmentFull);
+        }
+        let kind = match klass.kind() {
+            ObjKind::Instance => KIND_INSTANCE,
+            ObjKind::ObjArray => KIND_OBJ_ARRAY,
+            ObjKind::PrimArray => KIND_PRIM_ARRAY,
+        };
+        // Payload with committed = 0.
+        dev.write_u64(pos, 0);
+        dev.write_u64(pos + 8, kind);
+        dev.write_u64(pos + 16, field_count as u64);
+        dev.write_u64(pos + 24, name.len() as u64);
+        let bitmap = klass.ref_bitmap();
+        dev.write_u64(pos + 32, bitmap.len() as u64);
+        for (i, w) in bitmap.iter().enumerate() {
+            dev.write_u64(pos + 40 + i * 8, *w);
+        }
+        let name_off = pos + (RECORD_HEADER_WORDS + bitmap.len()) * 8;
+        dev.write_bytes(name_off, name.as_bytes());
+        dev.persist(pos, len);
+        // Commit.
+        dev.write_u64(pos, 1);
+        dev.persist(pos, 8);
+        // Advance the persisted top.
+        self.top = pos + len;
+        dev.write_u64(meta::KLASS_SEGMENT_TOP, self.top as u64);
+        dev.persist(meta::KLASS_SEGMENT_TOP, 8);
+        // Name-table Klass entry (§3.1).
+        names.set(dev, EntryKind::Klass, &name, pos as u64)?;
+        self.seg_of.insert(id.0, pos as u64);
+        self.id_of_seg.insert(pos as u64, id.0);
+        Ok(pos as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PjhConfig;
+    use espresso_nvm::NvmConfig;
+
+    fn setup() -> (NvmDevice, Layout) {
+        let dev = NvmDevice::new(NvmConfig::with_size(4 << 20));
+        let layout = Layout::compute(dev.size(), &PjhConfig::default()).unwrap();
+        layout.write_meta(&dev);
+        (dev, layout)
+    }
+
+    fn person_fields() -> Vec<FieldDesc> {
+        vec![FieldDesc::prim("id"), FieldDesc::reference("name")]
+    }
+
+    #[test]
+    fn register_and_persist_roundtrip() {
+        let (dev, layout) = setup();
+        let mut names = NameTable::attach(&dev, &layout);
+        let mut t = PKlassTable::attach(&dev, &layout);
+        let id = t.register_instance("Person", person_fields()).unwrap();
+        let seg = t.ensure_in_segment(&dev, &layout, &mut names, id).unwrap();
+        assert_eq!(t.seg_of(id), Some(seg));
+        assert_eq!(names.get(&dev, EntryKind::Klass, "Person"), Some(seg));
+
+        dev.crash();
+        let t2 = PKlassTable::attach(&dev, &layout);
+        assert_eq!(t2.segment_klasses(), 1);
+        let k = t2.klass_by_seg(seg).unwrap();
+        assert_eq!(k.name(), "Person");
+        assert_eq!(k.fields().len(), 2);
+        assert_eq!(k.ref_bitmap(), vec![0b10]);
+        // Placeholder field names until reconciliation.
+        assert_eq!(k.fields()[0].name, "f0");
+    }
+
+    #[test]
+    fn placeholder_reconciliation_restores_names() {
+        let (dev, layout) = setup();
+        let mut names = NameTable::attach(&dev, &layout);
+        let mut t = PKlassTable::attach(&dev, &layout);
+        let id = t.register_instance("Person", person_fields()).unwrap();
+        t.ensure_in_segment(&dev, &layout, &mut names, id).unwrap();
+        dev.crash();
+        let mut t2 = PKlassTable::attach(&dev, &layout);
+        let id2 = t2.register_instance("Person", person_fields()).unwrap();
+        let k = t2.registry().by_id(id2).unwrap();
+        assert_eq!(k.field_index("name"), Some(1));
+    }
+
+    #[test]
+    fn layout_mismatch_is_rejected() {
+        let (dev, layout) = setup();
+        let mut names = NameTable::attach(&dev, &layout);
+        let mut t = PKlassTable::attach(&dev, &layout);
+        let id = t.register_instance("Person", person_fields()).unwrap();
+        t.ensure_in_segment(&dev, &layout, &mut names, id).unwrap();
+        dev.crash();
+        let mut t2 = PKlassTable::attach(&dev, &layout);
+        let swapped = vec![FieldDesc::reference("id"), FieldDesc::prim("name")];
+        assert!(matches!(
+            t2.register_instance("Person", swapped),
+            Err(PjhError::KlassLayoutMismatch { .. })
+        ));
+        let extra = vec![FieldDesc::prim("a"), FieldDesc::reference("b"), FieldDesc::prim("c")];
+        assert!(matches!(
+            t2.register_instance("Person", extra),
+            Err(PjhError::KlassLayoutMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn arrays_roundtrip() {
+        let (dev, layout) = setup();
+        let mut names = NameTable::attach(&dev, &layout);
+        let mut t = PKlassTable::attach(&dev, &layout);
+        let oa = t.register_obj_array("Person");
+        let pa = t.register_prim_array();
+        let so = t.ensure_in_segment(&dev, &layout, &mut names, oa).unwrap();
+        let sp = t.ensure_in_segment(&dev, &layout, &mut names, pa).unwrap();
+        dev.crash();
+        let t2 = PKlassTable::attach(&dev, &layout);
+        assert_eq!(t2.klass_by_seg(so).unwrap().name(), "[LPerson;");
+        assert_eq!(t2.klass_by_seg(sp).unwrap().name(), "[J");
+    }
+
+    #[test]
+    fn ensure_is_idempotent() {
+        let (dev, layout) = setup();
+        let mut names = NameTable::attach(&dev, &layout);
+        let mut t = PKlassTable::attach(&dev, &layout);
+        let id = t.register_instance("Person", person_fields()).unwrap();
+        let a = t.ensure_in_segment(&dev, &layout, &mut names, id).unwrap();
+        let b = t.ensure_in_segment(&dev, &layout, &mut names, id).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(t.segment_klasses(), 1);
+    }
+
+    #[test]
+    fn torn_append_is_ignored_after_crash() {
+        let (dev, layout) = setup();
+        let mut names = NameTable::attach(&dev, &layout);
+        let mut t = PKlassTable::attach(&dev, &layout);
+        let a = t.register_instance("A", person_fields()).unwrap();
+        t.ensure_in_segment(&dev, &layout, &mut names, a).unwrap();
+        // Crash after only the payload flush of the next record: the commit
+        // word and segment top never persist.
+        dev.schedule_crash_after_line_flushes(1);
+        let b = t.register_instance("B", person_fields()).unwrap();
+        let _ = t.ensure_in_segment(&dev, &layout, &mut names, b);
+        dev.recover();
+        let t2 = PKlassTable::attach(&dev, &layout);
+        assert_eq!(t2.segment_klasses(), 1, "only A survives");
+    }
+
+    #[test]
+    fn segment_fills_up() {
+        let (dev, layout) = setup();
+        let mut names = NameTable::attach(&dev, &layout);
+        let mut t = PKlassTable::attach(&dev, &layout);
+        let mut err = None;
+        for i in 0..100_000 {
+            let id = t.register_instance(&format!("C{i}"), person_fields()).unwrap();
+            match t.ensure_in_segment(&dev, &layout, &mut names, id) {
+                Ok(_) => {}
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert!(matches!(
+            err,
+            Some(PjhError::KlassSegmentFull) | Some(PjhError::NameTableFull)
+        ));
+    }
+}

@@ -1,0 +1,180 @@
+//! The external name manager behind the Table 1 heap APIs:
+//! `createHeap(name, size)`, `loadHeap(name)`, `existsHeap(name)`.
+//!
+//! Maps heap names to persisted device images in a directory, one file per
+//! PJH instance. The image written on [`save`](HeapManager::save) is the
+//! device's *persistence domain* — exactly what a power failure would have
+//! preserved — so crash-recovery behaviour carries across processes.
+
+use std::path::{Path, PathBuf};
+
+use espresso_nvm::{LatencyModel, NvmConfig, NvmDevice};
+
+use crate::heap::{LoadOptions, LoadReport, Pjh};
+use crate::{PjhConfig, PjhError};
+
+/// A directory of named persistent heaps.
+#[derive(Debug, Clone)]
+pub struct HeapManager {
+    dir: PathBuf,
+}
+
+impl HeapManager {
+    /// Opens (creating if needed) a heap directory.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the directory.
+    pub fn open(dir: impl AsRef<Path>) -> crate::Result<HeapManager> {
+        std::fs::create_dir_all(dir.as_ref()).map_err(espresso_nvm::NvmError::Io)?;
+        Ok(HeapManager { dir: dir.as_ref().to_path_buf() })
+    }
+
+    /// Opens a manager over a fresh unique temporary directory.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the directory.
+    pub fn temp() -> crate::Result<HeapManager> {
+        let unique = format!(
+            "espresso-heaps-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0)
+        );
+        HeapManager::open(std::env::temp_dir().join(unique))
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.pjh"))
+    }
+
+    /// `existsHeap`: whether a heap image with this name exists.
+    pub fn exists_heap(&self, name: &str) -> bool {
+        self.path(name).exists()
+    }
+
+    /// `createHeap(name, size)`: formats a new heap on a fresh device and
+    /// registers the name mapping.
+    ///
+    /// # Errors
+    ///
+    /// Layout errors; I/O errors writing the initial image.
+    pub fn create_heap(&self, name: &str, size: usize, config: PjhConfig) -> crate::Result<Pjh> {
+        let dev = NvmDevice::new(NvmConfig::with_size(size));
+        let heap = Pjh::create(dev, config)?;
+        heap.device().save_image(&self.path(name))?;
+        Ok(heap)
+    }
+
+    /// `loadHeap(name)`: locates the image, maps it, and runs the loading
+    /// pipeline (recovery, optional remap, optional zeroing scan).
+    ///
+    /// # Errors
+    ///
+    /// [`PjhError::NoSuchHeap`] if the name is unknown; image and format
+    /// errors otherwise.
+    pub fn load_heap(&self, name: &str, options: LoadOptions) -> crate::Result<(Pjh, LoadReport)> {
+        if !self.exists_heap(name) {
+            return Err(PjhError::NoSuchHeap { name: name.to_string() });
+        }
+        let dev = NvmDevice::load_image(&self.path(name), LatencyModel::zero())?;
+        Pjh::load(dev, options)
+    }
+
+    /// Persists the heap's durable image back to its file (the moral
+    /// equivalent of the NVDIMM keeping its contents at shutdown).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing the image.
+    pub fn save(&self, name: &str, heap: &Pjh) -> crate::Result<()> {
+        heap.device().save_image(&self.path(name))?;
+        Ok(())
+    }
+
+    /// Deletes a heap image; returns whether it existed.
+    pub fn delete_heap(&self, name: &str) -> bool {
+        std::fs::remove_file(self.path(name)).is_ok()
+    }
+
+    /// Names of all heaps in this directory, sorted.
+    pub fn heap_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.flatten()
+                    .filter_map(|e| {
+                        let p = e.path();
+                        (p.extension().is_some_and(|x| x == "pjh"))
+                            .then(|| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+                            .flatten()
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use espresso_object::FieldDesc;
+
+    #[test]
+    fn create_exists_load_roundtrip() {
+        let mgr = HeapManager::temp().unwrap();
+        assert!(!mgr.exists_heap("jimmy"));
+        let mut h = mgr.create_heap("jimmy", 4 << 20, PjhConfig::small()).unwrap();
+        assert!(mgr.exists_heap("jimmy"));
+
+        let k = h
+            .register_instance("Person", vec![FieldDesc::prim("id"), FieldDesc::reference("next")])
+            .unwrap();
+        let p = h.alloc_instance(k).unwrap();
+        h.set_field(p, 0, 31);
+        h.flush_object(p);
+        h.set_root("jimmy_info", p).unwrap();
+        mgr.save("jimmy", &h).unwrap();
+
+        let (h2, _) = mgr.load_heap("jimmy", LoadOptions::default()).unwrap();
+        let p2 = h2.get_root("jimmy_info").unwrap();
+        assert_eq!(h2.field(p2, 0), 31);
+    }
+
+    #[test]
+    fn load_missing_heap_errors() {
+        let mgr = HeapManager::temp().unwrap();
+        assert!(matches!(
+            mgr.load_heap("ghost", LoadOptions::default()),
+            Err(PjhError::NoSuchHeap { .. })
+        ));
+    }
+
+    #[test]
+    fn unsaved_changes_do_not_reach_the_image() {
+        let mgr = HeapManager::temp().unwrap();
+        let mut h = mgr.create_heap("a", 4 << 20, PjhConfig::small()).unwrap();
+        let k = h.register_instance("T", vec![FieldDesc::prim("x")]).unwrap();
+        let t = h.alloc_instance(k).unwrap();
+        h.set_root("t", t).unwrap();
+        // No save: loading sees the freshly created image.
+        let (h2, _) = mgr.load_heap("a", LoadOptions::default()).unwrap();
+        assert_eq!(h2.get_root("t"), None);
+        assert_eq!(h2.census().objects, 0);
+    }
+
+    #[test]
+    fn delete_and_list() {
+        let mgr = HeapManager::temp().unwrap();
+        mgr.create_heap("x", 4 << 20, PjhConfig::small()).unwrap();
+        mgr.create_heap("y", 4 << 20, PjhConfig::small()).unwrap();
+        assert_eq!(mgr.heap_names(), vec!["x", "y"]);
+        assert!(mgr.delete_heap("x"));
+        assert!(!mgr.delete_heap("x"));
+        assert_eq!(mgr.heap_names(), vec!["y"]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Espresso: persistent heaps and persistent objects for a managed
+//! runtime on non-volatile memory.
+//!
+//! A from-scratch Rust reproduction of *"Espresso: Brewing Java For More
+//! Non-Volatility with Non-volatile Memory"* (Wu et al., ASPLOS 2018).
+//! This facade re-exports every crate in the workspace:
+//!
+//! | Module | Crate | Paper role |
+//! |---|---|---|
+//! | [`nvm`] | `espresso-nvm` | simulated NVDIMM with crash injection |
+//! | [`object`] | `espresso-object` | object headers, Klass metadata, tagged refs |
+//! | [`runtime`] | `espresso-runtime` | volatile generational heap (PSHeap) |
+//! | [`heap`] | `espresso-core` | **Persistent Java Heap** (§3–§4) |
+//! | [`vm`] | `espresso-vm` | unified VM, `pnew`, alias Klasses |
+//! | [`collections`] | `espresso-collections` | persistent collections atop PJH |
+//! | [`pcj`] | `espresso-pcj` | PCJ baseline (off-heap, refcount GC) |
+//! | [`minidb`] | `espresso-minidb` | H2-style embedded SQL database |
+//! | [`jpa`] | `espresso-jpa` | JPA/DataNucleus baseline |
+//! | [`pjo`] | `espresso-pjo` | **Persistent Java Object** provider (§5) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use espresso::heap::{HeapManager, LoadOptions, PjhConfig};
+//! use espresso::object::FieldDesc;
+//!
+//! # fn main() -> Result<(), espresso::heap::PjhError> {
+//! let mgr = HeapManager::temp()?;
+//! let mut heap = mgr.create_heap("jimmy", 4 << 20, PjhConfig::small())?;
+//! let person = heap.register_instance(
+//!     "Person",
+//!     vec![FieldDesc::prim("id"), FieldDesc::reference("next")],
+//! )?;
+//! let p = heap.alloc_instance(person)?; // pnew Person(...)
+//! heap.set_field(p, 0, 7);
+//! heap.flush_object(p);
+//! heap.set_root("jimmy_info", p)?;
+//! mgr.save("jimmy", &heap)?;
+//!
+//! // A later process:
+//! let (heap, _) = mgr.load_heap("jimmy", LoadOptions::default())?;
+//! let p = heap.get_root("jimmy_info").expect("survived");
+//! assert_eq!(heap.field(p, 0), 7);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use espresso_collections as collections;
+pub use espresso_core as heap;
+pub use espresso_jpa as jpa;
+pub use espresso_minidb as minidb;
+pub use espresso_nvm as nvm;
+pub use espresso_object as object;
+pub use espresso_pcj as pcj;
+pub use espresso_pjo as pjo;
+pub use espresso_runtime as runtime;
+pub use espresso_vm as vm;

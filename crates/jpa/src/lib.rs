@@ -1,0 +1,52 @@
+//! JPA-style ORM baseline (§2.1): the coarse-grained persistence layer
+//! whose commit-time object→SQL transformation Figure 4 breaks down.
+//!
+//! Mirrors the DataNucleus architecture of Figure 1:
+//!
+//! * [`EntityMeta`] is the output of the *enhancer*: per-class metadata
+//!   (table, columns, primary key, inherited fields, collection members)
+//!   derived from `@persistable` annotations.
+//! * [`EntityObject`] is an enhanced instance: values plus the control
+//!   state a StateManager tracks (new / dirty / removed).
+//! * [`EntityManager`] manages persistent objects and transactions. At
+//!   `commit`, every pending change is **transformed into SQL statement
+//!   text** and pushed through the JDBC-like string interface of
+//!   `espresso-minidb` — the paper's point is precisely that this phase
+//!   (string building here, string parsing in the engine) dwarfs the
+//!   useful database work on NVM.
+//!
+//! The manager times its transformation phase ([`EntityManager::stats`]);
+//! combined with the engine's [`DbStats`](espresso_minidb::DbStats) this
+//! regenerates Figure 4 and the H2-JPA halves of Figures 16/17.
+//!
+//! # Example
+//!
+//! ```
+//! use espresso_jpa::{EntityManager, EntityMeta};
+//! use espresso_minidb::{ColType, Database, Value};
+//! use espresso_nvm::{NvmConfig, NvmDevice};
+//!
+//! # fn main() -> Result<(), espresso_minidb::DbError> {
+//! let db = Database::create(NvmDevice::new(NvmConfig::with_size(1 << 20)))?;
+//! let person = EntityMeta::builder("person")
+//!     .pk_field("id", ColType::Int)
+//!     .field("name", ColType::Text)
+//!     .build();
+//! let mut em = EntityManager::new(db.connect());
+//! em.create_schema(&[&person])?;
+//! em.begin();
+//! let mut p = person.instantiate();
+//! p.set(0, Value::Int(1));
+//! p.set(1, Value::Str("Jimmy".into()));
+//! em.persist(p);
+//! em.commit()?;
+//! assert!(em.find(&person, &Value::Int(1))?.is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+mod manager;
+mod meta;
+
+pub use manager::{EntityManager, JpaStats};
+pub use meta::{EntityMeta, EntityMetaBuilder, EntityObject};

@@ -1,0 +1,432 @@
+//! The EntityManager: transaction control and commit-time object→SQL
+//! transformation (Figures 1, 3, 4).
+
+use std::time::Instant;
+
+use espresso_minidb::{ColType, Connection, Value};
+
+use crate::meta::{EntityMeta, EntityObject};
+
+/// ORM-side counters; pair with the engine's
+/// [`DbStats`](espresso_minidb::DbStats) for the Figure 4/17 breakdowns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JpaStats {
+    /// Nanoseconds spent transforming objects into SQL statement text.
+    pub transformation_ns: u64,
+    /// SQL statements produced.
+    pub statements: u64,
+    /// Transactions committed.
+    pub commits: u64,
+}
+
+enum Pending {
+    Insert(EntityObject),
+    Update(EntityObject),
+    Remove(EntityMeta, Value),
+}
+
+/// A JPA-style entity manager over one database connection.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+pub struct EntityManager {
+    conn: Connection,
+    pending: Vec<Pending>,
+    stats: JpaStats,
+    rowid: i64,
+}
+
+impl std::fmt::Debug for EntityManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EntityManager").field("pending", &self.pending.len()).finish()
+    }
+}
+
+impl EntityManager {
+    /// Wraps a connection.
+    pub fn new(conn: Connection) -> EntityManager {
+        EntityManager { conn, pending: Vec::new(), stats: JpaStats::default(), rowid: 0 }
+    }
+
+    /// ORM-side counters.
+    pub fn stats(&self) -> JpaStats {
+        self.stats
+    }
+
+    /// Resets the ORM-side counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = JpaStats::default();
+    }
+
+    /// The underlying connection.
+    pub fn connection(&mut self) -> &mut Connection {
+        &mut self.conn
+    }
+
+    fn transform<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.stats.transformation_ns += t0.elapsed().as_nanos() as u64;
+        self.stats.statements += 1;
+        out
+    }
+
+    /// Emits `CREATE TABLE` DDL for each entity (and its join tables).
+    ///
+    /// # Errors
+    ///
+    /// Database errors.
+    pub fn create_schema(&mut self, metas: &[&EntityMeta]) -> espresso_minidb::Result<()> {
+        for meta in metas {
+            let ddl = self.transform(|| {
+                let cols: Vec<String> = meta
+                    .fields()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (n, t))| {
+                        let ty = match t {
+                            ColType::Int => "INT",
+                            ColType::Text => "TEXT",
+                        };
+                        if i == meta.pk() {
+                            format!("{n} {ty} PRIMARY KEY")
+                        } else {
+                            format!("{n} {ty}")
+                        }
+                    })
+                    .collect();
+                format!("CREATE TABLE {} ({})", meta.name(), cols.join(", "))
+            });
+            self.conn.execute(&ddl)?;
+            for c in 0..meta.collections().len() {
+                let ddl = self.transform(|| {
+                    format!(
+                        "CREATE TABLE {} (rowid INT PRIMARY KEY, owner INT, idx INT, value INT)",
+                        meta.collection_table(c)
+                    )
+                });
+                self.conn.execute(&ddl)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Starts a transaction (`em.getTransaction().begin()`).
+    pub fn begin(&mut self) {
+        self.pending.clear();
+        let _ = self.conn.execute("BEGIN");
+    }
+
+    /// Schedules a new object for insertion (`em.persist(p)`).
+    pub fn persist(&mut self, obj: EntityObject) {
+        self.pending.push(Pending::Insert(obj));
+    }
+
+    /// Schedules a modified object for update.
+    pub fn merge(&mut self, obj: EntityObject) {
+        self.pending.push(Pending::Update(obj));
+    }
+
+    /// Schedules a removal by key.
+    pub fn remove(&mut self, meta: &EntityMeta, key: Value) {
+        self.pending.push(Pending::Remove(meta.clone(), key));
+    }
+
+    /// Loads an entity by primary key, collections included.
+    ///
+    /// # Errors
+    ///
+    /// Database errors.
+    pub fn find(&mut self, meta: &EntityMeta, key: &Value) -> espresso_minidb::Result<Option<EntityObject>> {
+        let sql = self.transform(|| {
+            format!("SELECT * FROM {} WHERE {} = {}", meta.name(), meta.fields()[meta.pk()].0, key)
+        });
+        let result = self.conn.execute(&sql)?;
+        let Some(row) = result.rows.into_iter().next() else {
+            return Ok(None);
+        };
+        let mut obj = meta.instantiate();
+        obj.values = row;
+        for c in 0..meta.collections().len() {
+            let sql = self.transform(|| {
+                format!("SELECT * FROM {} WHERE owner = {}", meta.collection_table(c), key)
+            });
+            let rows = self.conn.execute(&sql)?.rows;
+            let mut items: Vec<(i64, i64)> = rows
+                .into_iter()
+                .map(|r| {
+                    let idx = match r[2] {
+                        Value::Int(i) => i,
+                        _ => 0,
+                    };
+                    let v = match r[3] {
+                        Value::Int(i) => i,
+                        _ => 0,
+                    };
+                    (idx, v)
+                })
+                .collect();
+            items.sort_unstable();
+            obj.collections[c] = items.into_iter().map(|(_, v)| v).collect();
+        }
+        obj.clear_dirty();
+        Ok(Some(obj))
+    }
+
+    fn flush_collections(&mut self, obj: &EntityObject) -> espresso_minidb::Result<()> {
+        for c in 0..obj.meta().collections().len() {
+            let table = obj.meta().collection_table(c);
+            let key = obj.key().clone();
+            let del = self.transform(|| format!("DELETE FROM {table} WHERE owner = {key}"));
+            self.conn.execute(&del)?;
+            for (idx, v) in obj.collection(c).iter().enumerate() {
+                self.rowid += 1;
+                let rowid = self.rowid;
+                let ins = self.transform(|| {
+                    format!("INSERT INTO {table} VALUES ({rowid}, {key}, {idx}, {v})")
+                });
+                self.conn.execute(&ins)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Commits: every pending object is transformed into SQL text and sent
+    /// through the string interface, then the engine transaction commits
+    /// (`em.getTransaction().commit()`).
+    ///
+    /// # Errors
+    ///
+    /// Database errors; pending work is dropped either way.
+    pub fn commit(&mut self) -> espresso_minidb::Result<()> {
+        let pending = std::mem::take(&mut self.pending);
+        for op in &pending {
+            match op {
+                Pending::Insert(obj) => {
+                    let sql = self.transform(|| {
+                        let vals: Vec<String> = obj.values.iter().map(|v| v.to_string()).collect();
+                        format!("INSERT INTO {} VALUES ({})", obj.meta().name(), vals.join(", "))
+                    });
+                    self.conn.execute(&sql)?;
+                    self.flush_collections(obj)?;
+                }
+                Pending::Update(obj) => {
+                    // Entities whose only column is the key have no row
+                    // update to emit (collection-only changes).
+                    if obj.meta().fields().len() > 1 {
+                        let sql = self.transform(|| {
+                            let sets: Vec<String> = obj
+                                .meta()
+                                .fields()
+                                .iter()
+                                .enumerate()
+                                .filter(|(i, _)| *i != obj.meta().pk())
+                                .map(|(i, (n, _))| format!("{n} = {}", obj.values[i]))
+                                .collect();
+                            format!(
+                                "UPDATE {} SET {} WHERE {} = {}",
+                                obj.meta().name(),
+                                sets.join(", "),
+                                obj.meta().fields()[obj.meta().pk()].0,
+                                obj.key()
+                            )
+                        });
+                        self.conn.execute(&sql)?;
+                    }
+                    self.flush_collections(obj)?;
+                }
+                Pending::Remove(meta, key) => {
+                    let sql = self.transform(|| {
+                        format!(
+                            "DELETE FROM {} WHERE {} = {}",
+                            meta.name(),
+                            meta.fields()[meta.pk()].0,
+                            key
+                        )
+                    });
+                    self.conn.execute(&sql)?;
+                    for c in 0..meta.collections().len() {
+                        let table = meta.collection_table(c);
+                        let del = self.transform(|| format!("DELETE FROM {table} WHERE owner = {key}"));
+                        self.conn.execute(&del)?;
+                    }
+                }
+            }
+        }
+        self.conn.execute("COMMIT")?;
+        self.stats.commits += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use espresso_minidb::Database;
+    use espresso_nvm::{NvmConfig, NvmDevice};
+
+    fn em() -> (Database, EntityManager) {
+        let db = Database::create(NvmDevice::new(NvmConfig::with_size(4 << 20))).unwrap();
+        let em = EntityManager::new(db.connect());
+        (db, em)
+    }
+
+    fn person() -> EntityMeta {
+        EntityMeta::builder("person")
+            .pk_field("id", ColType::Int)
+            .field("name", ColType::Text)
+            .field("age", ColType::Int)
+            .build()
+    }
+
+    fn mk(meta: &EntityMeta, id: i64, name: &str, age: i64) -> EntityObject {
+        let mut o = meta.instantiate();
+        o.set(0, Value::Int(id));
+        o.set(1, Value::Str(name.into()));
+        o.set(2, Value::Int(age));
+        o
+    }
+
+    #[test]
+    fn crud_lifecycle() {
+        let (_db, mut em) = em();
+        let meta = person();
+        em.create_schema(&[&meta]).unwrap();
+        em.begin();
+        em.persist(mk(&meta, 1, "Ann", 30));
+        em.persist(mk(&meta, 2, "Bob", 40));
+        em.commit().unwrap();
+
+        let mut ann = em.find(&meta, &Value::Int(1)).unwrap().unwrap();
+        assert_eq!(ann.get(1), &Value::Str("Ann".into()));
+
+        em.begin();
+        ann.set(2, Value::Int(31));
+        em.merge(ann);
+        em.commit().unwrap();
+        let ann = em.find(&meta, &Value::Int(1)).unwrap().unwrap();
+        assert_eq!(ann.get(2), &Value::Int(31));
+
+        em.begin();
+        em.remove(&meta, Value::Int(1));
+        em.commit().unwrap();
+        assert!(em.find(&meta, &Value::Int(1)).unwrap().is_none());
+        assert!(em.find(&meta, &Value::Int(2)).unwrap().is_some());
+    }
+
+    #[test]
+    fn inheritance_single_table() {
+        let (_db, mut em) = em();
+        let base = person();
+        let emp = EntityMeta::builder("employee")
+            .field("salary", ColType::Int)
+            .extends(&base)
+            .build();
+        em.create_schema(&[&emp]).unwrap();
+        em.begin();
+        let mut e = emp.instantiate();
+        e.set(0, Value::Int(1));
+        e.set(1, Value::Str("Cid".into()));
+        e.set(2, Value::Int(20));
+        e.set(3, Value::Int(90_000));
+        em.persist(e);
+        em.commit().unwrap();
+        let e = em.find(&emp, &Value::Int(1)).unwrap().unwrap();
+        assert_eq!(e.get(3), &Value::Int(90_000));
+        assert_eq!(e.get(1), &Value::Str("Cid".into()), "inherited field");
+    }
+
+    #[test]
+    fn collections_roundtrip_via_join_table() {
+        let (db, mut em) = em();
+        let cart = EntityMeta::builder("cart")
+            .pk_field("id", ColType::Int)
+            .collection("items")
+            .build();
+        em.create_schema(&[&cart]).unwrap();
+        em.begin();
+        let mut c = cart.instantiate();
+        c.set(0, Value::Int(7));
+        c.set_collection(0, vec![10, 20, 30]);
+        em.persist(c);
+        em.commit().unwrap();
+        assert_eq!(db.row_count("cart_items").unwrap(), 3);
+        let c = em.find(&cart, &Value::Int(7)).unwrap().unwrap();
+        assert_eq!(c.collection(0), &[10, 20, 30]);
+        // Update replaces the collection.
+        em.begin();
+        let mut c2 = c.clone();
+        c2.set_collection(0, vec![5]);
+        em.merge(c2);
+        em.commit().unwrap();
+        let c = em.find(&cart, &Value::Int(7)).unwrap().unwrap();
+        assert_eq!(c.collection(0), &[5]);
+        // Remove cleans the join table.
+        em.begin();
+        em.remove(&cart, Value::Int(7));
+        em.commit().unwrap();
+        assert_eq!(db.row_count("cart_items").unwrap(), 0);
+    }
+
+    #[test]
+    fn foreign_key_references_navigate() {
+        let (_db, mut em) = em();
+        let node = EntityMeta::builder("node")
+            .pk_field("id", ColType::Int)
+            .field("next_id", ColType::Int)
+            .build();
+        em.create_schema(&[&node]).unwrap();
+        em.begin();
+        for (id, next) in [(1, 2), (2, 3), (3, 0)] {
+            let mut n = node.instantiate();
+            n.set(0, Value::Int(id));
+            n.set(1, Value::Int(next));
+            em.persist(n);
+        }
+        em.commit().unwrap();
+        // Walk the chain through foreign keys.
+        let mut id = 1;
+        let mut hops = 0;
+        while id != 0 {
+            let n = em.find(&node, &Value::Int(id)).unwrap().unwrap();
+            id = match n.get(1) {
+                Value::Int(i) => *i,
+                _ => 0,
+            };
+            hops += 1;
+        }
+        assert_eq!(hops, 3);
+    }
+
+    #[test]
+    fn transformation_time_is_accounted() {
+        let (db, mut em) = em();
+        let meta = person();
+        em.create_schema(&[&meta]).unwrap();
+        em.reset_stats();
+        db.reset_stats();
+        em.begin();
+        for i in 0..200 {
+            em.persist(mk(&meta, i, "Name", i));
+        }
+        em.commit().unwrap();
+        let jpa = em.stats();
+        let dbs = db.stats();
+        assert!(jpa.transformation_ns > 0);
+        assert!(dbs.parse_ns > 0, "SQL strings were parsed");
+        assert!(dbs.exec_ns > 0);
+        assert_eq!(jpa.commits, 1);
+        assert!(jpa.statements >= 200);
+    }
+
+    #[test]
+    fn string_values_are_escaped_through_the_sql_boundary() {
+        let (_db, mut em) = em();
+        let meta = person();
+        em.create_schema(&[&meta]).unwrap();
+        em.begin();
+        em.persist(mk(&meta, 1, "O'Brien; DROP TABLE person", 1));
+        em.commit().unwrap();
+        let o = em.find(&meta, &Value::Int(1)).unwrap().unwrap();
+        assert_eq!(o.get(1), &Value::Str("O'Brien; DROP TABLE person".into()));
+    }
+}

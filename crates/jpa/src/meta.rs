@@ -1,0 +1,258 @@
+//! Entity metadata (the enhancer's output) and enhanced instances.
+
+use std::sync::Arc;
+
+use espresso_minidb::{ColType, Value};
+
+/// Per-class persistence metadata, the Rust stand-in for what the
+/// DataNucleus enhancer derives from `@persistable` annotations: table
+/// name, flattened column list (inheritance is single-table: parent
+/// columns first), primary key, and collection members (each mapped to a
+/// join table `<entity>_<field>` with `(owner, idx, value)` columns).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntityMeta {
+    name: String,
+    fields: Vec<(String, ColType)>,
+    pk: usize,
+    collections: Vec<String>,
+}
+
+impl EntityMeta {
+    /// Starts building a meta for table `name`.
+    pub fn builder(name: &str) -> EntityMetaBuilder {
+        EntityMetaBuilder {
+            meta: EntityMeta {
+                name: name.to_string(),
+                fields: Vec::new(),
+                pk: usize::MAX,
+                collections: Vec::new(),
+            },
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Flattened `(column, type)` list.
+    pub fn fields(&self) -> &[(String, ColType)] {
+        &self.fields
+    }
+
+    /// Primary-key column index.
+    pub fn pk(&self) -> usize {
+        self.pk
+    }
+
+    /// Collection member names.
+    pub fn collections(&self) -> &[String] {
+        &self.collections
+    }
+
+    /// Join-table name for collection member `i`.
+    pub fn collection_table(&self, i: usize) -> String {
+        format!("{}_{}", self.name, self.collections[i])
+    }
+
+    /// Column index by name.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|(f, _)| f == name)
+    }
+
+    /// Creates an empty (all-NULL) enhanced instance of this entity.
+    pub fn instantiate(&self) -> EntityObject {
+        EntityObject {
+            meta: Arc::new(self.clone()),
+            values: vec![Value::Null; self.fields.len()],
+            collections: vec![Vec::new(); self.collections.len()],
+            dirty: 0,
+            collections_dirty: false,
+        }
+    }
+}
+
+/// Builder for [`EntityMeta`].
+#[derive(Debug)]
+pub struct EntityMetaBuilder {
+    meta: EntityMeta,
+}
+
+impl EntityMetaBuilder {
+    /// Adds a column.
+    #[must_use]
+    pub fn field(mut self, name: &str, ty: ColType) -> Self {
+        self.meta.fields.push((name.to_string(), ty));
+        self
+    }
+
+    /// Adds the primary-key column.
+    #[must_use]
+    pub fn pk_field(mut self, name: &str, ty: ColType) -> Self {
+        self.meta.pk = self.meta.fields.len();
+        self.meta.fields.push((name.to_string(), ty));
+        self
+    }
+
+    /// Single-table inheritance: prepends every parent column (and the
+    /// parent's primary key, if this entity has none yet) — the ExtTest
+    /// shape.
+    #[must_use]
+    pub fn extends(mut self, parent: &EntityMeta) -> Self {
+        let own = std::mem::take(&mut self.meta.fields);
+        self.meta.fields = parent.fields.to_vec();
+        if self.meta.pk == usize::MAX {
+            self.meta.pk = parent.pk;
+        } else {
+            self.meta.pk += parent.fields.len();
+        }
+        self.meta.fields.extend(own);
+        self.meta.collections.extend(parent.collections.iter().cloned());
+        self
+    }
+
+    /// Adds an integer-collection member (the CollectionTest shape).
+    #[must_use]
+    pub fn collection(mut self, name: &str) -> Self {
+        self.meta.collections.push(name.to_string());
+        self
+    }
+
+    /// Finishes the meta.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no primary key was declared.
+    pub fn build(self) -> EntityMeta {
+        assert!(self.meta.pk != usize::MAX, "entity {} needs a primary key", self.meta.name);
+        self.meta
+    }
+}
+
+/// An enhanced persistent instance: field values plus the StateManager's
+/// dirty bitmap (§5 field-level tracking reuses exactly this).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntityObject {
+    pub(crate) meta: Arc<EntityMeta>,
+    pub(crate) values: Vec<Value>,
+    pub(crate) collections: Vec<Vec<i64>>,
+    pub(crate) dirty: u64,
+    pub(crate) collections_dirty: bool,
+}
+
+impl EntityObject {
+    /// The entity's metadata.
+    pub fn meta(&self) -> &EntityMeta {
+        &self.meta
+    }
+
+    /// Reads field `i`.
+    pub fn get(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// Writes field `i`, marking it dirty (the enhancer-instrumented
+    /// setter).
+    pub fn set(&mut self, i: usize, v: Value) {
+        self.values[i] = v;
+        self.dirty |= 1 << i;
+    }
+
+    /// The primary-key value.
+    pub fn key(&self) -> &Value {
+        &self.values[self.meta.pk]
+    }
+
+    /// Reads collection member `c`.
+    pub fn collection(&self, c: usize) -> &[i64] {
+        &self.collections[c]
+    }
+
+    /// Replaces collection member `c`.
+    pub fn set_collection(&mut self, c: usize, items: Vec<i64>) {
+        self.collections[c] = items;
+        self.collections_dirty = true;
+    }
+
+    /// Indices of fields written since the last commit/load.
+    pub fn dirty_fields(&self) -> Vec<usize> {
+        (0..self.values.len()).filter(|i| self.dirty & (1 << i) != 0).collect()
+    }
+
+    pub(crate) fn clear_dirty(&mut self) {
+        self.dirty = 0;
+        self.collections_dirty = false;
+    }
+
+    /// Clears the dirty bitmap (used by providers after loading or
+    /// committing an object).
+    pub fn clear_dirty_public(&mut self) {
+        self.clear_dirty();
+    }
+
+    /// Clones the full value row (providers ship this to the backend).
+    pub fn values_vec(&self) -> Vec<Value> {
+        self.values.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn person() -> EntityMeta {
+        EntityMeta::builder("person")
+            .pk_field("id", ColType::Int)
+            .field("name", ColType::Text)
+            .build()
+    }
+
+    #[test]
+    fn builder_flat() {
+        let m = person();
+        assert_eq!(m.name(), "person");
+        assert_eq!(m.pk(), 0);
+        assert_eq!(m.field_index("name"), Some(1));
+        assert_eq!(m.field_index("ghost"), None);
+    }
+
+    #[test]
+    fn builder_inheritance_flattens_parent_first() {
+        let base = person();
+        let emp = EntityMeta::builder("employee")
+            .field("salary", ColType::Int)
+            .extends(&base)
+            .build();
+        assert_eq!(
+            emp.fields().iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            vec!["id", "name", "salary"]
+        );
+        assert_eq!(emp.pk(), 0, "inherits the parent key");
+    }
+
+    #[test]
+    fn builder_collection_tables() {
+        let m = EntityMeta::builder("cart")
+            .pk_field("id", ColType::Int)
+            .collection("items")
+            .build();
+        assert_eq!(m.collections(), ["items"]);
+        assert_eq!(m.collection_table(0), "cart_items");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a primary key")]
+    fn missing_pk_panics() {
+        let _ = EntityMeta::builder("t").field("x", ColType::Int).build();
+    }
+
+    #[test]
+    fn dirty_tracking() {
+        let mut o = person().instantiate();
+        assert!(o.dirty_fields().is_empty());
+        o.set(1, Value::Str("x".into()));
+        assert_eq!(o.dirty_fields(), vec![1]);
+        o.clear_dirty();
+        assert!(o.dirty_fields().is_empty());
+    }
+}

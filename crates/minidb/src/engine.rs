@@ -1,0 +1,844 @@
+//! Tables, executor, transactions, and the two front doors (SQL strings
+//! vs `DBPersistable` direct calls).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use espresso_nvm::NvmDevice;
+use parking_lot::Mutex;
+
+use crate::sql::{parse, ColType, Statement, Value};
+use crate::wal::{Redo, Wal};
+
+/// Errors reported by the database.
+#[derive(Debug)]
+pub enum DbError {
+    /// SQL could not be parsed.
+    Syntax(String),
+    /// Unknown table.
+    NoSuchTable(String),
+    /// Unknown column.
+    NoSuchColumn(String),
+    /// Duplicate primary key on insert.
+    DuplicateKey(Value),
+    /// Row arity does not match the schema.
+    WrongArity {
+        /// Columns in the schema.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// A table with this name already exists.
+    TableExists(String),
+    /// The write-ahead log is full.
+    LogFull,
+    /// The device does not hold a database image.
+    NotADatabase,
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Syntax(m) => write!(f, "syntax error: {m}"),
+            DbError::NoSuchTable(t) => write!(f, "no such table {t}"),
+            DbError::NoSuchColumn(c) => write!(f, "no such column {c}"),
+            DbError::DuplicateKey(k) => write!(f, "duplicate primary key {k}"),
+            DbError::WrongArity { expected, got } => {
+                write!(f, "expected {expected} values, got {got}")
+            }
+            DbError::TableExists(t) => write!(f, "table {t} already exists"),
+            DbError::LogFull => write!(f, "write-ahead log is full"),
+            DbError::NotADatabase => write!(f, "device does not hold a database image"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Result set of a statement.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryResult {
+    /// Column names (SELECT only).
+    pub columns: Vec<String>,
+    /// Result rows (SELECT only).
+    pub rows: Vec<Vec<Value>>,
+    /// Rows inserted/updated/deleted.
+    pub affected: usize,
+}
+
+/// Phase counters backing the Figure 17 breakdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbStats {
+    /// Nanoseconds tokenizing + parsing SQL text.
+    pub parse_ns: u64,
+    /// Nanoseconds executing statements (storage engine work).
+    pub exec_ns: u64,
+    /// Nanoseconds in WAL serialization and flushing.
+    pub wal_ns: u64,
+    /// Statements executed.
+    pub statements: u64,
+    /// Rows returned by SELECTs.
+    pub rows_read: u64,
+    /// Rows written by INSERT/UPDATE/DELETE.
+    pub rows_written: u64,
+}
+
+impl DbStats {
+    /// Difference `self - earlier`.
+    #[must_use]
+    pub fn since(&self, earlier: &DbStats) -> DbStats {
+        DbStats {
+            parse_ns: self.parse_ns - earlier.parse_ns,
+            exec_ns: self.exec_ns - earlier.exec_ns,
+            wal_ns: self.wal_ns - earlier.wal_ns,
+            statements: self.statements - earlier.statements,
+            rows_read: self.rows_read - earlier.rows_read,
+            rows_written: self.rows_written - earlier.rows_written,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Table {
+    columns: Vec<(String, ColType)>,
+    primary_key: usize,
+    rows: BTreeMap<Value, Vec<Value>>,
+}
+
+impl Table {
+    fn col_index(&self, name: &str) -> Result<usize, DbError> {
+        self.columns
+            .iter()
+            .position(|(c, _)| c == name)
+            .ok_or_else(|| DbError::NoSuchColumn(name.to_string()))
+    }
+}
+
+enum Undo {
+    DropTable(String),
+    RemoveRow(String, Value),
+    RestoreRow(String, Value, Vec<Value>),
+}
+
+struct Inner {
+    wal: Wal,
+    tables: HashMap<String, Table>,
+    stats: DbStats,
+    txn: Option<(Vec<Undo>, Vec<Redo>)>,
+}
+
+/// An embedded database bound to one NVM device. Cheap to clone; clones
+/// share the instance.
+#[derive(Clone)]
+pub struct Database {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.inner.lock().tables.len())
+            .finish()
+    }
+}
+
+impl Database {
+    /// Formats a fresh database on `dev`.
+    ///
+    /// # Errors
+    ///
+    /// None today; signature reserved for layout validation.
+    pub fn create(dev: NvmDevice) -> crate::Result<Database> {
+        let wal = Wal::format(dev);
+        Ok(Database {
+            inner: Arc::new(Mutex::new(Inner {
+                wal,
+                tables: HashMap::new(),
+                stats: DbStats::default(),
+                txn: None,
+            })),
+        })
+    }
+
+    /// Opens an existing database, replaying the committed WAL.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NotADatabase`] on a foreign image.
+    pub fn open(dev: NvmDevice) -> crate::Result<Database> {
+        let wal = Wal::open(dev).ok_or(DbError::NotADatabase)?;
+        let mut tables = HashMap::new();
+        for record in wal.replay() {
+            apply_redo(&mut tables, record);
+        }
+        Ok(Database {
+            inner: Arc::new(Mutex::new(Inner {
+                wal,
+                tables,
+                stats: DbStats::default(),
+                txn: None,
+            })),
+        })
+    }
+
+    /// Opens a connection (all connections share one serialized engine,
+    /// like embedded H2).
+    pub fn connect(&self) -> Connection {
+        Connection { db: self.clone() }
+    }
+
+    /// Phase counters.
+    pub fn stats(&self) -> DbStats {
+        self.inner.lock().stats
+    }
+
+    /// Resets the phase counters.
+    pub fn reset_stats(&self) {
+        self.inner.lock().stats = DbStats::default();
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.lock().tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Row count of a table.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchTable`].
+    pub fn row_count(&self, table: &str) -> crate::Result<usize> {
+        let inner = self.inner.lock();
+        inner
+            .tables
+            .get(table)
+            .map(|t| t.rows.len())
+            .ok_or_else(|| DbError::NoSuchTable(table.to_string()))
+    }
+}
+
+fn apply_redo(tables: &mut HashMap<String, Table>, record: Redo) {
+    match record {
+        Redo::CreateTable { name, columns, primary_key } => {
+            tables.insert(name, Table { columns, primary_key, rows: BTreeMap::new() });
+        }
+        Redo::Insert { table, row } => {
+            if let Some(t) = tables.get_mut(&table) {
+                let key = row[t.primary_key].clone();
+                t.rows.insert(key, row);
+            }
+        }
+        Redo::Update { table, key, row } => {
+            if let Some(t) = tables.get_mut(&table) {
+                t.rows.insert(key, row);
+            }
+        }
+        Redo::Delete { table, key } => {
+            if let Some(t) = tables.get_mut(&table) {
+                t.rows.remove(&key);
+            }
+        }
+    }
+}
+
+/// A connection: the JDBC-like SQL boundary plus the `DBPersistable`
+/// direct interface (§5).
+#[derive(Debug, Clone)]
+pub struct Connection {
+    db: Database,
+}
+
+impl Connection {
+    /// Executes one SQL statement.
+    ///
+    /// # Errors
+    ///
+    /// Syntax and execution errors.
+    pub fn execute(&mut self, sql: &str) -> crate::Result<QueryResult> {
+        self.execute_params(sql, &[])
+    }
+
+    /// Executes one SQL statement with `?` placeholders bound from
+    /// `params` (the prepared-statement path DataNucleus uses).
+    ///
+    /// # Errors
+    ///
+    /// Syntax and execution errors.
+    pub fn execute_params(&mut self, sql: &str, params: &[Value]) -> crate::Result<QueryResult> {
+        let mut inner = self.db.inner.lock();
+        let t0 = Instant::now();
+        let stmt = parse(sql, params).map_err(DbError::Syntax)?;
+        inner.stats.parse_ns += t0.elapsed().as_nanos() as u64;
+        run_statement(&mut inner, stmt)
+    }
+
+    // ---- DBPersistable direct interface (§5) ----
+
+    /// Creates a table without SQL.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::TableExists`].
+    pub fn create_table_direct(
+        &mut self,
+        name: &str,
+        columns: Vec<(String, ColType)>,
+        primary_key: usize,
+    ) -> crate::Result<()> {
+        let mut inner = self.db.inner.lock();
+        run_statement(
+            &mut inner,
+            Statement::CreateTable { name: name.to_string(), columns, primary_key },
+        )
+        .map(|_| ())
+    }
+
+    /// `persistInTable`: ships an object's fields straight to storage.
+    ///
+    /// # Errors
+    ///
+    /// Arity / key errors.
+    pub fn persist_row(&mut self, table: &str, row: Vec<Value>) -> crate::Result<()> {
+        let mut inner = self.db.inner.lock();
+        run_statement(&mut inner, Statement::Insert { table: table.to_string(), values: row })
+            .map(|_| ())
+    }
+
+    /// Point lookup by primary key, no SQL.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchTable`].
+    pub fn find_row(&mut self, table: &str, key: &Value) -> crate::Result<Option<Vec<Value>>> {
+        let mut inner = self.db.inner.lock();
+        let t0 = Instant::now();
+        let t = inner.tables.get(table).ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+        let row = t.rows.get(key).cloned();
+        inner.stats.exec_ns += t0.elapsed().as_nanos() as u64;
+        inner.stats.statements += 1;
+        if row.is_some() {
+            inner.stats.rows_read += 1;
+        }
+        Ok(row)
+    }
+
+    /// Equality scan over any column, no SQL (used by the PJO provider to
+    /// load collection members).
+    ///
+    /// # Errors
+    ///
+    /// Table/column errors.
+    pub fn find_rows_by(
+        &mut self,
+        table: &str,
+        column: usize,
+        value: &Value,
+    ) -> crate::Result<Vec<Vec<Value>>> {
+        let mut inner = self.db.inner.lock();
+        let t0 = Instant::now();
+        let t = inner.tables.get(table).ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+        if column >= t.columns.len() {
+            return Err(DbError::NoSuchColumn(format!("#{column}")));
+        }
+        let rows: Vec<Vec<Value>> =
+            t.rows.values().filter(|r| &r[column] == value).cloned().collect();
+        inner.stats.exec_ns += t0.elapsed().as_nanos() as u64;
+        inner.stats.statements += 1;
+        inner.stats.rows_read += rows.len() as u64;
+        Ok(rows)
+    }
+
+    /// Field-level update (§5 field-level tracking): only the listed
+    /// `(column index, value)` pairs are touched.
+    ///
+    /// # Errors
+    ///
+    /// Table/key errors.
+    pub fn update_fields(
+        &mut self,
+        table: &str,
+        key: &Value,
+        fields: &[(usize, Value)],
+    ) -> crate::Result<usize> {
+        let mut inner = self.db.inner.lock();
+        let t0 = Instant::now();
+        let t = inner
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+        let Some(row) = t.rows.get(key).cloned() else {
+            inner.stats.exec_ns += t0.elapsed().as_nanos() as u64;
+            return Ok(0);
+        };
+        let mut new_row = row.clone();
+        for (i, v) in fields {
+            new_row[*i] = v.clone();
+        }
+        t.rows.insert(key.clone(), new_row.clone());
+        inner.stats.exec_ns += t0.elapsed().as_nanos() as u64;
+        inner.stats.statements += 1;
+        inner.stats.rows_written += 1;
+        let undo = Undo::RestoreRow(table.to_string(), key.clone(), row);
+        let redo = Redo::Update { table: table.to_string(), key: key.clone(), row: new_row };
+        finish_write(&mut inner, vec![undo], vec![redo])?;
+        Ok(1)
+    }
+
+    /// Point delete by primary key, no SQL.
+    ///
+    /// # Errors
+    ///
+    /// Table errors.
+    pub fn delete_row(&mut self, table: &str, key: &Value) -> crate::Result<usize> {
+        let mut inner = self.db.inner.lock();
+        let pk = pk_name(&inner, table)?;
+        run_statement(
+            &mut inner,
+            Statement::Delete { table: table.to_string(), filter: (pk, key.clone()) },
+        )
+        .map(|r| r.affected)
+    }
+
+    /// Begins an explicit transaction.
+    pub fn begin(&mut self) {
+        let mut inner = self.db.inner.lock();
+        if inner.txn.is_none() {
+            inner.txn = Some((Vec::new(), Vec::new()));
+        }
+    }
+
+    /// Commits the explicit transaction (WAL flush happens here).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::LogFull`].
+    pub fn commit(&mut self) -> crate::Result<()> {
+        let mut inner = self.db.inner.lock();
+        let Some((_, redo)) = inner.txn.take() else {
+            return Ok(());
+        };
+        let t0 = Instant::now();
+        let ok = inner.wal.commit(&redo);
+        inner.stats.wal_ns += t0.elapsed().as_nanos() as u64;
+        if ok {
+            Ok(())
+        } else {
+            // The in-memory state kept the changes; a real engine would
+            // checkpoint. We surface the condition instead.
+            Err(DbError::LogFull)
+        }
+    }
+
+    /// Rolls the explicit transaction back.
+    pub fn rollback(&mut self) {
+        let mut inner = self.db.inner.lock();
+        let Some((undo, _)) = inner.txn.take() else {
+            return;
+        };
+        for op in undo.into_iter().rev() {
+            match op {
+                Undo::DropTable(name) => {
+                    inner.tables.remove(&name);
+                }
+                Undo::RemoveRow(table, key) => {
+                    if let Some(t) = inner.tables.get_mut(&table) {
+                        t.rows.remove(&key);
+                    }
+                }
+                Undo::RestoreRow(table, key, row) => {
+                    if let Some(t) = inner.tables.get_mut(&table) {
+                        t.rows.insert(key, row);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn pk_name(inner: &Inner, table: &str) -> crate::Result<String> {
+    let t = inner.tables.get(table).ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+    Ok(t.columns[t.primary_key].0.clone())
+}
+
+fn finish_write(inner: &mut Inner, undo: Vec<Undo>, redo: Vec<Redo>) -> crate::Result<()> {
+    if let Some((u, r)) = &mut inner.txn {
+        u.extend(undo);
+        r.extend(redo);
+        Ok(())
+    } else {
+        let t0 = Instant::now();
+        let ok = inner.wal.commit(&redo);
+        inner.stats.wal_ns += t0.elapsed().as_nanos() as u64;
+        if ok {
+            Ok(())
+        } else {
+            Err(DbError::LogFull)
+        }
+    }
+}
+
+fn run_statement(inner: &mut Inner, stmt: Statement) -> crate::Result<QueryResult> {
+    let t0 = Instant::now();
+    inner.stats.statements += 1;
+    let result = match stmt {
+        Statement::Begin => {
+            if inner.txn.is_none() {
+                inner.txn = Some((Vec::new(), Vec::new()));
+            }
+            Ok(QueryResult::default())
+        }
+        Statement::Commit => {
+            inner.stats.exec_ns += t0.elapsed().as_nanos() as u64;
+            let Some((_, redo)) = inner.txn.take() else {
+                return Ok(QueryResult::default());
+            };
+            let t1 = Instant::now();
+            let ok = inner.wal.commit(&redo);
+            inner.stats.wal_ns += t1.elapsed().as_nanos() as u64;
+            return if ok { Ok(QueryResult::default()) } else { Err(DbError::LogFull) };
+        }
+        Statement::Rollback => {
+            let undo = inner.txn.take().map(|(u, _)| u).unwrap_or_default();
+            for op in undo.into_iter().rev() {
+                match op {
+                    Undo::DropTable(name) => {
+                        inner.tables.remove(&name);
+                    }
+                    Undo::RemoveRow(table, key) => {
+                        if let Some(t) = inner.tables.get_mut(&table) {
+                            t.rows.remove(&key);
+                        }
+                    }
+                    Undo::RestoreRow(table, key, row) => {
+                        if let Some(t) = inner.tables.get_mut(&table) {
+                            t.rows.insert(key, row);
+                        }
+                    }
+                }
+            }
+            Ok(QueryResult::default())
+        }
+        Statement::CreateTable { name, columns, primary_key } => {
+            if inner.tables.contains_key(&name) {
+                Err(DbError::TableExists(name))
+            } else {
+                inner.tables.insert(
+                    name.clone(),
+                    Table { columns: columns.clone(), primary_key, rows: BTreeMap::new() },
+                );
+                let undo = Undo::DropTable(name.clone());
+                let redo = Redo::CreateTable { name, columns, primary_key };
+                inner.stats.exec_ns += t0.elapsed().as_nanos() as u64;
+                return finish_write(inner, vec![undo], vec![redo]).map(|()| QueryResult::default());
+            }
+        }
+        Statement::Insert { table, values } => {
+            let t = inner
+                .tables
+                .get_mut(&table)
+                .ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
+            if values.len() != t.columns.len() {
+                Err(DbError::WrongArity { expected: t.columns.len(), got: values.len() })
+            } else {
+                let key = values[t.primary_key].clone();
+                if t.rows.contains_key(&key) {
+                    Err(DbError::DuplicateKey(key))
+                } else {
+                    t.rows.insert(key.clone(), values.clone());
+                    inner.stats.rows_written += 1;
+                    let undo = Undo::RemoveRow(table.clone(), key);
+                    let redo = Redo::Insert { table, row: values };
+                    inner.stats.exec_ns += t0.elapsed().as_nanos() as u64;
+                    return finish_write(inner, vec![undo], vec![redo])
+                        .map(|()| QueryResult { affected: 1, ..QueryResult::default() });
+                }
+            }
+        }
+        Statement::Select { table, filter } => {
+            let t = inner.tables.get(&table).ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
+            let columns: Vec<String> = t.columns.iter().map(|(c, _)| c.clone()).collect();
+            let rows: Vec<Vec<Value>> = match &filter {
+                Some((col, v)) => {
+                    let ci = t.col_index(col)?;
+                    if ci == t.primary_key {
+                        t.rows.get(v).cloned().into_iter().collect()
+                    } else {
+                        t.rows.values().filter(|r| &r[ci] == v).cloned().collect()
+                    }
+                }
+                None => t.rows.values().cloned().collect(),
+            };
+            inner.stats.rows_read += rows.len() as u64;
+            Ok(QueryResult { affected: rows.len(), columns, rows })
+        }
+        Statement::Update { table, sets, filter } => {
+            let t = inner
+                .tables
+                .get_mut(&table)
+                .ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
+            let fci = t.col_index(&filter.0)?;
+            let set_idx: Vec<(usize, Value)> = {
+                let mut v = Vec::new();
+                for (c, val) in &sets {
+                    v.push((t.col_index(c)?, val.clone()));
+                }
+                v
+            };
+            let keys: Vec<Value> = if fci == t.primary_key {
+                t.rows.contains_key(&filter.1).then(|| filter.1.clone()).into_iter().collect()
+            } else {
+                t.rows
+                    .iter()
+                    .filter(|(_, r)| r[fci] == filter.1)
+                    .map(|(k, _)| k.clone())
+                    .collect()
+            };
+            let mut undo = Vec::new();
+            let mut redo = Vec::new();
+            for key in &keys {
+                let old = t.rows.get(key).cloned().expect("key listed above");
+                let mut new_row = old.clone();
+                for (i, v) in &set_idx {
+                    new_row[*i] = v.clone();
+                }
+                t.rows.insert(key.clone(), new_row.clone());
+                undo.push(Undo::RestoreRow(table.clone(), key.clone(), old));
+                redo.push(Redo::Update { table: table.clone(), key: key.clone(), row: new_row });
+            }
+            inner.stats.rows_written += keys.len() as u64;
+            let affected = keys.len();
+            inner.stats.exec_ns += t0.elapsed().as_nanos() as u64;
+            return finish_write(inner, undo, redo)
+                .map(|()| QueryResult { affected, ..QueryResult::default() });
+        }
+        Statement::Delete { table, filter } => {
+            let t = inner
+                .tables
+                .get_mut(&table)
+                .ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
+            let fci = t.col_index(&filter.0)?;
+            let keys: Vec<Value> = if fci == t.primary_key {
+                t.rows.contains_key(&filter.1).then(|| filter.1.clone()).into_iter().collect()
+            } else {
+                t.rows
+                    .iter()
+                    .filter(|(_, r)| r[fci] == filter.1)
+                    .map(|(k, _)| k.clone())
+                    .collect()
+            };
+            let mut undo = Vec::new();
+            let mut redo = Vec::new();
+            for key in &keys {
+                let old = t.rows.remove(key).expect("key listed above");
+                undo.push(Undo::RestoreRow(table.clone(), key.clone(), old));
+                redo.push(Redo::Delete { table: table.clone(), key: key.clone() });
+            }
+            inner.stats.rows_written += keys.len() as u64;
+            let affected = keys.len();
+            inner.stats.exec_ns += t0.elapsed().as_nanos() as u64;
+            return finish_write(inner, undo, redo)
+                .map(|()| QueryResult { affected, ..QueryResult::default() });
+        }
+    };
+    inner.stats.exec_ns += t0.elapsed().as_nanos() as u64;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use espresso_nvm::NvmConfig;
+
+    fn db() -> (NvmDevice, Database, Connection) {
+        let dev = NvmDevice::new(NvmConfig::with_size(4 << 20));
+        let db = Database::create(dev.clone()).unwrap();
+        let conn = db.connect();
+        (dev, db, conn)
+    }
+
+    fn setup_person(conn: &mut Connection) {
+        conn.execute("CREATE TABLE person (id INT PRIMARY KEY, name TEXT, age INT)").unwrap();
+        conn.execute("INSERT INTO person VALUES (1, 'Ann', 30)").unwrap();
+        conn.execute("INSERT INTO person VALUES (2, 'Bob', 40)").unwrap();
+    }
+
+    #[test]
+    fn crud_roundtrip() {
+        let (_dev, _db, mut conn) = db();
+        setup_person(&mut conn);
+        let r = conn.execute("SELECT * FROM person WHERE id = 2").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(2), Value::Str("Bob".into()), Value::Int(40)]]);
+        assert_eq!(conn.execute("UPDATE person SET age = 41 WHERE id = 2").unwrap().affected, 1);
+        let r = conn.execute("SELECT * FROM person WHERE id = 2").unwrap();
+        assert_eq!(r.rows[0][2], Value::Int(41));
+        assert_eq!(conn.execute("DELETE FROM person WHERE id = 1").unwrap().affected, 1);
+        assert_eq!(conn.execute("SELECT * FROM person").unwrap().rows.len(), 1);
+    }
+
+    #[test]
+    fn non_pk_filters_scan() {
+        let (_dev, _db, mut conn) = db();
+        setup_person(&mut conn);
+        conn.execute("INSERT INTO person VALUES (3, 'Ann', 50)").unwrap();
+        let r = conn.execute("SELECT * FROM person WHERE name = 'Ann'").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(conn.execute("UPDATE person SET age = 0 WHERE name = 'Ann'").unwrap().affected, 2);
+        assert_eq!(conn.execute("DELETE FROM person WHERE name = 'Ann'").unwrap().affected, 2);
+    }
+
+    #[test]
+    fn constraint_errors() {
+        let (_dev, _db, mut conn) = db();
+        setup_person(&mut conn);
+        assert!(matches!(
+            conn.execute("INSERT INTO person VALUES (1, 'Dup', 1)"),
+            Err(DbError::DuplicateKey(_))
+        ));
+        assert!(matches!(
+            conn.execute("INSERT INTO person VALUES (9, 'Short')"),
+            Err(DbError::WrongArity { .. })
+        ));
+        assert!(matches!(
+            conn.execute("SELECT * FROM ghost"),
+            Err(DbError::NoSuchTable(_))
+        ));
+        assert!(matches!(
+            conn.execute("SELECT * FROM person WHERE ghost = 1"),
+            Err(DbError::NoSuchColumn(_))
+        ));
+        assert!(matches!(
+            conn.execute("CREATE TABLE person (id INT PRIMARY KEY)"),
+            Err(DbError::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn committed_data_survives_crash() {
+        let (dev, _db, mut conn) = db();
+        setup_person(&mut conn);
+        dev.crash();
+        let db2 = Database::open(dev).unwrap();
+        let mut conn2 = db2.connect();
+        let r = conn2.execute("SELECT * FROM person").unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn explicit_transaction_commits_atomically() {
+        let (dev, _db, mut conn) = db();
+        setup_person(&mut conn);
+        conn.execute("BEGIN").unwrap();
+        conn.execute("INSERT INTO person VALUES (3, 'Cid', 20)").unwrap();
+        conn.execute("UPDATE person SET age = 99 WHERE id = 1").unwrap();
+        // Crash before commit: neither change is durable.
+        dev.crash();
+        let db2 = Database::open(dev.clone()).unwrap();
+        let mut c2 = db2.connect();
+        assert_eq!(c2.execute("SELECT * FROM person").unwrap().rows.len(), 2);
+        let r = c2.execute("SELECT * FROM person WHERE id = 1").unwrap();
+        assert_eq!(r.rows[0][2], Value::Int(30));
+        // Now commit properly and crash.
+        c2.execute("BEGIN").unwrap();
+        c2.execute("INSERT INTO person VALUES (3, 'Cid', 20)").unwrap();
+        c2.execute("UPDATE person SET age = 99 WHERE id = 1").unwrap();
+        c2.execute("COMMIT").unwrap();
+        dev.crash();
+        let db3 = Database::open(dev).unwrap();
+        let mut c3 = db3.connect();
+        assert_eq!(c3.execute("SELECT * FROM person").unwrap().rows.len(), 3);
+        assert_eq!(
+            c3.execute("SELECT * FROM person WHERE id = 1").unwrap().rows[0][2],
+            Value::Int(99)
+        );
+    }
+
+    #[test]
+    fn rollback_restores_memory_state() {
+        let (_dev, _db, mut conn) = db();
+        setup_person(&mut conn);
+        conn.execute("BEGIN").unwrap();
+        conn.execute("DELETE FROM person WHERE id = 1").unwrap();
+        conn.execute("INSERT INTO person VALUES (7, 'Tmp', 1)").unwrap();
+        conn.execute("UPDATE person SET name = 'X' WHERE id = 2").unwrap();
+        conn.execute("ROLLBACK").unwrap();
+        let r = conn.execute("SELECT * FROM person").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][1], Value::Str("Ann".into()));
+        assert_eq!(r.rows[1][1], Value::Str("Bob".into()));
+    }
+
+    #[test]
+    fn direct_interface_matches_sql_results() {
+        let (_dev, db, mut conn) = db();
+        conn.create_table_direct(
+            "person",
+            vec![
+                ("id".into(), ColType::Int),
+                ("name".into(), ColType::Text),
+            ],
+            0,
+        )
+        .unwrap();
+        conn.persist_row("person", vec![Value::Int(1), Value::Str("Ann".into())]).unwrap();
+        assert_eq!(
+            conn.find_row("person", &Value::Int(1)).unwrap(),
+            Some(vec![Value::Int(1), Value::Str("Ann".into())])
+        );
+        conn.update_fields("person", &Value::Int(1), &[(1, Value::Str("Ann2".into()))]).unwrap();
+        let via_sql = conn.execute("SELECT * FROM person WHERE id = 1").unwrap();
+        assert_eq!(via_sql.rows[0][1], Value::Str("Ann2".into()));
+        assert_eq!(conn.delete_row("person", &Value::Int(1)).unwrap(), 1);
+        assert_eq!(db.row_count("person").unwrap(), 0);
+    }
+
+    #[test]
+    fn direct_interface_skips_parse_time() {
+        let (_dev, db, mut conn) = db();
+        conn.create_table_direct(
+            "t",
+            vec![("id".into(), ColType::Int), ("v".into(), ColType::Int)],
+            0,
+        )
+        .unwrap();
+        db.reset_stats();
+        for i in 0..100 {
+            conn.persist_row("t", vec![Value::Int(i), Value::Int(i)]).unwrap();
+        }
+        let direct = db.stats();
+        assert_eq!(direct.parse_ns, 0, "no SQL text on the direct path");
+        db.reset_stats();
+        for i in 100..200 {
+            conn.execute(&format!("INSERT INTO t VALUES ({i}, {i})")).unwrap();
+        }
+        let sql = db.stats();
+        assert!(sql.parse_ns > 0, "SQL path pays for parsing");
+    }
+
+    #[test]
+    fn prepared_statements_bind_params() {
+        let (_dev, _db, mut conn) = db();
+        setup_person(&mut conn);
+        let r = conn
+            .execute_params("SELECT * FROM person WHERE id = ?", &[Value::Int(2)])
+            .unwrap();
+        assert_eq!(r.rows[0][1], Value::Str("Bob".into()));
+        conn.execute_params(
+            "INSERT INTO person VALUES (?, ?, ?)",
+            &[Value::Int(5), Value::Str("Eve".into()), Value::Int(25)],
+        )
+        .unwrap();
+        assert_eq!(conn.execute("SELECT * FROM person").unwrap().rows.len(), 3);
+    }
+
+    #[test]
+    fn select_columns_reported() {
+        let (_dev, _db, mut conn) = db();
+        setup_person(&mut conn);
+        let r = conn.execute("SELECT * FROM person").unwrap();
+        assert_eq!(r.columns, vec!["id", "name", "age"]);
+    }
+}

@@ -1,0 +1,45 @@
+//! An H2-style embedded relational database (§2.1, §5, §6.3).
+//!
+//! The paper's evaluation backend is H2, a pure-Java embedded RDBMS. The
+//! reproduction needs three properties from it, all present here:
+//!
+//! 1. **A JDBC-like string boundary** — [`Connection::execute`] accepts SQL
+//!    text (tokenizer → parser → executor), because the JPA baseline's cost
+//!    is dominated by building and parsing these strings (Figure 4/17).
+//! 2. **A direct object interface** — [`Connection::persist_row`] /
+//!    [`update_fields`](Connection::update_fields) and friends, the
+//!    `DBPersistable` extension (§5) the paper adds to H2 in ~600 LoC so
+//!    PJO can ship objects without SQL transformation.
+//! 3. **Durability on NVM** — a redo write-ahead log on the simulated
+//!    device, flushed at commit; [`Database::open`] replays it.
+//!
+//! Phase counters ([`Database::stats`]) separate parse time from execution
+//! time from WAL time, which is what the Figure 17 breakdown plots.
+//!
+//! # Example
+//!
+//! ```
+//! use espresso_minidb::{Database, Value};
+//! use espresso_nvm::{NvmConfig, NvmDevice};
+//!
+//! # fn main() -> Result<(), espresso_minidb::DbError> {
+//! let dev = NvmDevice::new(NvmConfig::with_size(1 << 20));
+//! let db = Database::create(dev)?;
+//! let mut conn = db.connect();
+//! conn.execute("CREATE TABLE person (id INT PRIMARY KEY, name TEXT)")?;
+//! conn.execute("INSERT INTO person VALUES (1, 'Jimmy')")?;
+//! let rows = conn.execute("SELECT * FROM person WHERE id = 1")?;
+//! assert_eq!(rows.rows[0][1], Value::Str("Jimmy".into()));
+//! # Ok(())
+//! # }
+//! ```
+
+mod engine;
+mod sql;
+mod wal;
+
+pub use engine::{Connection, Database, DbError, DbStats, QueryResult};
+pub use sql::{ColType, Statement, Value};
+
+/// Result alias for database operations.
+pub type Result<T> = std::result::Result<T, DbError>;

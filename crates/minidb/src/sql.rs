@@ -1,0 +1,452 @@
+//! SQL values, tokenizer and parser.
+
+use std::fmt;
+
+/// A column value.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// Text.
+    Str(String),
+}
+
+impl fmt::Display for Value {
+    /// Renders as a SQL literal (strings quoted with `''` escaping), so
+    /// ORM layers can splice values into statements.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+        }
+    }
+}
+
+/// Column types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColType {
+    /// 64-bit integer column.
+    Int,
+    /// Text column.
+    Text,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (col TYPE [PRIMARY KEY], ...)`
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<(String, ColType)>,
+        /// Index of the primary-key column.
+        primary_key: usize,
+    },
+    /// `INSERT INTO t VALUES (...)`
+    Insert {
+        /// Table name.
+        table: String,
+        /// One value per column.
+        values: Vec<Value>,
+    },
+    /// `SELECT * FROM t [WHERE col = lit]`
+    Select {
+        /// Table name.
+        table: String,
+        /// Optional equality filter.
+        filter: Option<(String, Value)>,
+    },
+    /// `UPDATE t SET col = lit, ... WHERE col = lit`
+    Update {
+        /// Table name.
+        table: String,
+        /// Column assignments.
+        sets: Vec<(String, Value)>,
+        /// Equality filter.
+        filter: (String, Value),
+    },
+    /// `DELETE FROM t WHERE col = lit`
+    Delete {
+        /// Table name.
+        table: String,
+        /// Equality filter.
+        filter: (String, Value),
+    },
+    /// `BEGIN`
+    Begin,
+    /// `COMMIT`
+    Commit,
+    /// `ROLLBACK`
+    Rollback,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    Punct(char),
+    Param, // '?'
+}
+
+fn tokenize(sql: &str) -> Result<Vec<Token>, String> {
+    let mut out = Vec::new();
+    let mut chars = sql.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' | ')' | ',' | '=' | '*' | ';' => {
+                out.push(Token::Punct(c));
+                chars.next();
+            }
+            '?' => {
+                out.push(Token::Param);
+                chars.next();
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => {
+                            if chars.peek() == Some(&'\'') {
+                                chars.next();
+                                s.push('\'');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(ch) => s.push(ch),
+                        None => return Err("unterminated string literal".to_string()),
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let mut s = String::new();
+                s.push(c);
+                chars.next();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Int(s.parse().map_err(|e| format!("bad integer {s}: {e}"))?));
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(s));
+            }
+            other => return Err(format!("unexpected character {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    params: &'a [Value],
+    next_param: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<&Token, String> {
+        let t = self.tokens.get(self.pos).ok_or("unexpected end of statement")?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), String> {
+        match self.next()? {
+            Token::Ident(s) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(format!("expected {kw}, found {other:?}")),
+        }
+    }
+
+    fn try_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn ident(&mut self) -> Result<String, String> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s.clone()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn punct(&mut self, c: char) -> Result<(), String> {
+        match self.next()? {
+            Token::Punct(p) if *p == c => Ok(()),
+            other => Err(format!("expected {c:?}, found {other:?}")),
+        }
+    }
+
+    fn try_punct(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Token::Punct(c)) {
+            self.pos += 1;
+            return true;
+        }
+        false
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.next()? {
+            Token::Int(i) => Ok(Value::Int(*i)),
+            Token::Str(s) => Ok(Value::Str(s.clone())),
+            Token::Ident(s) if s.eq_ignore_ascii_case("null") => Ok(Value::Null),
+            Token::Param => {
+                let v = self
+                    .params
+                    .get(self.next_param)
+                    .cloned()
+                    .ok_or("not enough bound parameters")?;
+                self.next_param += 1;
+                Ok(v)
+            }
+            other => Err(format!("expected literal, found {other:?}")),
+        }
+    }
+
+    fn filter(&mut self) -> Result<(String, Value), String> {
+        let col = self.ident()?;
+        self.punct('=')?;
+        let v = self.value()?;
+        Ok((col, v))
+    }
+}
+
+/// Parses one statement, binding `?` placeholders from `params` in order.
+///
+/// # Errors
+///
+/// A human-readable syntax error.
+pub(crate) fn parse(sql: &str, params: &[Value]) -> Result<Statement, String> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens: &tokens, pos: 0, params, next_param: 0 };
+    let stmt = match p.next()? {
+        Token::Ident(kw) if kw.eq_ignore_ascii_case("create") => {
+            p.keyword("table")?;
+            let name = p.ident()?;
+            p.punct('(')?;
+            let mut columns = Vec::new();
+            let mut primary_key = None;
+            loop {
+                let col = p.ident()?;
+                let ty = match p.ident()?.to_ascii_lowercase().as_str() {
+                    "int" | "bigint" | "integer" => ColType::Int,
+                    "text" | "varchar" => ColType::Text,
+                    other => return Err(format!("unknown type {other}")),
+                };
+                if p.try_keyword("primary") {
+                    p.keyword("key")?;
+                    primary_key = Some(columns.len());
+                }
+                columns.push((col, ty));
+                if !p.try_punct(',') {
+                    break;
+                }
+            }
+            p.punct(')')?;
+            Statement::CreateTable {
+                name,
+                primary_key: primary_key.ok_or("a PRIMARY KEY column is required")?,
+                columns,
+            }
+        }
+        Token::Ident(kw) if kw.eq_ignore_ascii_case("insert") => {
+            p.keyword("into")?;
+            let table = p.ident()?;
+            p.keyword("values")?;
+            p.punct('(')?;
+            let mut values = Vec::new();
+            loop {
+                values.push(p.value()?);
+                if !p.try_punct(',') {
+                    break;
+                }
+            }
+            p.punct(')')?;
+            Statement::Insert { table, values }
+        }
+        Token::Ident(kw) if kw.eq_ignore_ascii_case("select") => {
+            p.punct('*')?;
+            p.keyword("from")?;
+            let table = p.ident()?;
+            let filter = if p.try_keyword("where") { Some(p.filter()?) } else { None };
+            Statement::Select { table, filter }
+        }
+        Token::Ident(kw) if kw.eq_ignore_ascii_case("update") => {
+            let table = p.ident()?;
+            p.keyword("set")?;
+            let mut sets = Vec::new();
+            loop {
+                let col = p.ident()?;
+                p.punct('=')?;
+                sets.push((col, p.value()?));
+                if !p.try_punct(',') {
+                    break;
+                }
+            }
+            p.keyword("where")?;
+            let filter = p.filter()?;
+            Statement::Update { table, sets, filter }
+        }
+        Token::Ident(kw) if kw.eq_ignore_ascii_case("delete") => {
+            p.keyword("from")?;
+            let table = p.ident()?;
+            p.keyword("where")?;
+            let filter = p.filter()?;
+            Statement::Delete { table, filter }
+        }
+        Token::Ident(kw) if kw.eq_ignore_ascii_case("begin") => Statement::Begin,
+        Token::Ident(kw) if kw.eq_ignore_ascii_case("commit") => Statement::Commit,
+        Token::Ident(kw) if kw.eq_ignore_ascii_case("rollback") => Statement::Rollback,
+        other => return Err(format!("unexpected token {other:?}")),
+    };
+    let _ = p.try_punct(';');
+    if p.peek().is_some() {
+        return Err("trailing tokens after statement".to_string());
+    }
+    Ok(stmt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(sql: &str) -> Statement {
+        parse(sql, &[]).unwrap()
+    }
+
+    #[test]
+    fn create_table_parses() {
+        let s = p("CREATE TABLE person (id INT PRIMARY KEY, name TEXT)");
+        assert_eq!(
+            s,
+            Statement::CreateTable {
+                name: "person".into(),
+                columns: vec![("id".into(), ColType::Int), ("name".into(), ColType::Text)],
+                primary_key: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn insert_parses_literals_and_escapes() {
+        let s = p("INSERT INTO t VALUES (1, 'O''Brien', NULL)");
+        assert_eq!(
+            s,
+            Statement::Insert {
+                table: "t".into(),
+                values: vec![Value::Int(1), Value::Str("O'Brien".into()), Value::Null],
+            }
+        );
+    }
+
+    #[test]
+    fn select_with_and_without_filter() {
+        assert_eq!(
+            p("SELECT * FROM t"),
+            Statement::Select { table: "t".into(), filter: None }
+        );
+        assert_eq!(
+            p("SELECT * FROM t WHERE id = 5"),
+            Statement::Select { table: "t".into(), filter: Some(("id".into(), Value::Int(5))) }
+        );
+    }
+
+    #[test]
+    fn update_and_delete() {
+        assert_eq!(
+            p("UPDATE t SET a = 1, b = 'x' WHERE id = 2"),
+            Statement::Update {
+                table: "t".into(),
+                sets: vec![("a".into(), Value::Int(1)), ("b".into(), Value::Str("x".into()))],
+                filter: ("id".into(), Value::Int(2)),
+            }
+        );
+        assert_eq!(
+            p("DELETE FROM t WHERE id = 3"),
+            Statement::Delete { table: "t".into(), filter: ("id".into(), Value::Int(3)) }
+        );
+    }
+
+    #[test]
+    fn params_bind_in_order() {
+        let s = parse(
+            "INSERT INTO t VALUES (?, ?)",
+            &[Value::Int(9), Value::Str("hi".into())],
+        )
+        .unwrap();
+        assert_eq!(
+            s,
+            Statement::Insert {
+                table: "t".into(),
+                values: vec![Value::Int(9), Value::Str("hi".into())],
+            }
+        );
+    }
+
+    #[test]
+    fn negative_numbers() {
+        assert_eq!(
+            p("INSERT INTO t VALUES (-5)"),
+            Statement::Insert { table: "t".into(), values: vec![Value::Int(-5)] }
+        );
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        assert!(parse("SELEC * FROM t", &[]).is_err());
+        assert!(parse("SELECT * FROM", &[]).is_err());
+        assert!(parse("INSERT INTO t VALUES (1", &[]).is_err());
+        assert!(parse("CREATE TABLE t (id INT)", &[]).is_err(), "missing primary key");
+        assert!(parse("INSERT INTO t VALUES ('unterminated)", &[]).is_err());
+        assert!(parse("SELECT * FROM t WHERE id = ?", &[]).is_err(), "missing param");
+        assert!(parse("SELECT * FROM t extra", &[]).is_err());
+    }
+
+    #[test]
+    fn value_display_roundtrips_through_parser() {
+        for v in [Value::Int(-3), Value::Str("a'b".into()), Value::Null] {
+            let sql = format!("INSERT INTO t VALUES ({v})");
+            let s = parse(&sql, &[]).unwrap();
+            assert_eq!(s, Statement::Insert { table: "t".into(), values: vec![v] });
+        }
+    }
+
+    #[test]
+    fn txn_keywords() {
+        assert_eq!(p("BEGIN"), Statement::Begin);
+        assert_eq!(p("COMMIT;"), Statement::Commit);
+        assert_eq!(p("rollback"), Statement::Rollback);
+    }
+}

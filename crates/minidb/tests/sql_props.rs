@@ -1,0 +1,85 @@
+//! Property tests: the SQL engine agrees with a BTreeMap model under
+//! arbitrary CRUD interleavings, including through WAL replay.
+
+use espresso_minidb::{Database, Value};
+use espresso_nvm::{NvmConfig, NvmDevice};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, i64),
+    Update(i64, i64),
+    Delete(i64),
+    Select(i64),
+    CrashReopen,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0i64..24, any::<i64>()).prop_map(|(k, v)| Op::Insert(k, v % 1000)),
+        3 => (0i64..24, any::<i64>()).prop_map(|(k, v)| Op::Update(k, v % 1000)),
+        2 => (0i64..24).prop_map(Op::Delete),
+        3 => (0i64..24).prop_map(Op::Select),
+        1 => Just(Op::CrashReopen),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn engine_matches_model(ops in proptest::collection::vec(op(), 1..80)) {
+        let dev = NvmDevice::new(NvmConfig::with_size(8 << 20));
+        let mut db = Database::create(dev.clone()).unwrap();
+        let mut conn = db.connect();
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+        let mut model: BTreeMap<i64, i64> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let r = conn.execute(&format!("INSERT INTO t VALUES ({k}, {v})"));
+                    if model.contains_key(k) {
+                        prop_assert!(r.is_err(), "duplicate key accepted");
+                    } else {
+                        prop_assert!(r.is_ok());
+                        model.insert(*k, *v);
+                    }
+                }
+                Op::Update(k, v) => {
+                    let r = conn.execute(&format!("UPDATE t SET v = {v} WHERE id = {k}")).unwrap();
+                    prop_assert_eq!(r.affected, usize::from(model.contains_key(k)));
+                    if let Some(slot) = model.get_mut(k) {
+                        *slot = *v;
+                    }
+                }
+                Op::Delete(k) => {
+                    let r = conn.execute(&format!("DELETE FROM t WHERE id = {k}")).unwrap();
+                    prop_assert_eq!(r.affected, usize::from(model.remove(k).is_some()));
+                }
+                Op::Select(k) => {
+                    let r = conn.execute(&format!("SELECT * FROM t WHERE id = {k}")).unwrap();
+                    match model.get(k) {
+                        Some(v) => prop_assert_eq!(&r.rows, &vec![vec![Value::Int(*k), Value::Int(*v)]]),
+                        None => prop_assert!(r.rows.is_empty()),
+                    }
+                }
+                Op::CrashReopen => {
+                    dev.crash();
+                    db = Database::open(dev.clone()).unwrap();
+                    conn = db.connect();
+                }
+            }
+        }
+        // Final full-table check against the model.
+        let rows = conn.execute("SELECT * FROM t").unwrap().rows;
+        let got: BTreeMap<i64, i64> = rows
+            .into_iter()
+            .map(|r| match (&r[0], &r[1]) {
+                (Value::Int(k), Value::Int(v)) => (*k, *v),
+                _ => unreachable!("schema is INT/INT"),
+            })
+            .collect();
+        prop_assert_eq!(got, model);
+    }
+}

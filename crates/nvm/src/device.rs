@@ -1,0 +1,584 @@
+//! The simulated NVM device.
+
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::{LatencyModel, NvmStats, CACHE_LINE};
+
+/// Errors produced by device construction and image I/O.
+#[derive(Debug)]
+pub enum NvmError {
+    /// The requested device size was zero or not a multiple of the line size.
+    BadSize(usize),
+    /// An image file could not be read or written.
+    Io(std::io::Error),
+    /// An image file did not match the device size.
+    ImageSizeMismatch {
+        /// Size of the device in bytes.
+        device: usize,
+        /// Size of the on-disk image in bytes.
+        image: usize,
+    },
+}
+
+impl fmt::Display for NvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NvmError::BadSize(n) => write!(f, "device size {n} is not a positive multiple of {CACHE_LINE}"),
+            NvmError::Io(e) => write!(f, "image i/o failed: {e}"),
+            NvmError::ImageSizeMismatch { device, image } => {
+                write!(f, "image size {image} does not match device size {device}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NvmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NvmError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NvmError {
+    fn from(e: std::io::Error) -> Self {
+        NvmError::Io(e)
+    }
+}
+
+/// Construction parameters for an [`NvmDevice`].
+#[derive(Debug, Clone)]
+pub struct NvmConfig {
+    /// Device capacity in bytes. Rounded up to a multiple of [`CACHE_LINE`].
+    pub size: usize,
+    /// Latency model used for simulated-time accounting.
+    pub latency: LatencyModel,
+}
+
+impl NvmConfig {
+    /// Config of the given size with the zero-cost latency model.
+    pub fn with_size(size: usize) -> Self {
+        NvmConfig { size, latency: LatencyModel::zero() }
+    }
+
+    /// Config of the given size with the NVM latency model.
+    pub fn with_size_and_nvm_latency(size: usize) -> Self {
+        NvmConfig { size, latency: LatencyModel::nvm() }
+    }
+}
+
+/// A scheduled power failure, expressed in remaining successful line flushes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// How many further line flushes will succeed before power is lost.
+    pub flushes_remaining: u64,
+}
+
+struct Inner {
+    volatile: Vec<u8>,
+    persisted: Vec<u8>,
+    /// One bit per cache line: line differs from the persisted image.
+    dirty: Vec<u64>,
+    stats: NvmStats,
+    latency: LatencyModel,
+    sim_ns: f64,
+    crashed: bool,
+    plan: Option<CrashPlan>,
+}
+
+impl Inner {
+    fn mark_dirty(&mut self, line: usize) {
+        self.dirty[line / 64] |= 1 << (line % 64);
+    }
+
+    fn is_dirty(&self, line: usize) -> bool {
+        self.dirty[line / 64] & (1 << (line % 64)) != 0
+    }
+
+    fn clear_dirty(&mut self, line: usize) {
+        self.dirty[line / 64] &= !(1 << (line % 64));
+    }
+
+    fn charge(&mut self, ns: f64) {
+        self.sim_ns += ns;
+        self.stats.simulated_ns = self.sim_ns as u64;
+    }
+
+    fn check_range(&self, addr: usize, len: usize) {
+        assert!(
+            addr.checked_add(len).is_some_and(|end| end <= self.volatile.len()),
+            "nvm access out of range: addr={addr} len={len} size={}",
+            self.volatile.len()
+        );
+    }
+
+    fn write_bytes(&mut self, addr: usize, data: &[u8]) {
+        self.check_range(addr, data.len());
+        self.volatile[addr..addr + data.len()].copy_from_slice(data);
+        let first = addr / CACHE_LINE;
+        let last = (addr + data.len().max(1) - 1) / CACHE_LINE;
+        for line in first..=last {
+            self.mark_dirty(line);
+        }
+        self.stats.writes += 1;
+        self.stats.bytes_written += data.len() as u64;
+        let lines = (last - first + 1) as f64;
+        let ns = self.latency.write_line_ns * lines;
+        self.charge(ns);
+    }
+
+    fn flush_range(&mut self, addr: usize, len: usize) {
+        self.check_range(addr, len);
+        if len == 0 {
+            return;
+        }
+        let first = addr / CACHE_LINE;
+        let last = (addr + len - 1) / CACHE_LINE;
+        for line in first..=last {
+            if !self.is_dirty(line) {
+                continue;
+            }
+            // A flush is issued (and costed / counted) even when power has
+            // already failed; it just has no durable effect.
+            self.stats.line_flushes += 1;
+            let ns = self.latency.flush_line_ns;
+            self.charge(ns);
+            if let Some(plan) = &mut self.plan {
+                if plan.flushes_remaining == 0 {
+                    self.crashed = true;
+                } else {
+                    plan.flushes_remaining -= 1;
+                }
+            }
+            if !self.crashed {
+                let lo = line * CACHE_LINE;
+                let hi = lo + CACHE_LINE;
+                self.persisted[lo..hi].copy_from_slice(&self.volatile[lo..hi]);
+                self.clear_dirty(line);
+            }
+        }
+    }
+}
+
+/// A simulated NVDIMM: a flat byte array with an explicit persistence domain.
+///
+/// Cloning the handle is cheap; all clones refer to the same device.
+///
+/// Writes go to a volatile cache-line buffer. [`flush`](Self::flush) moves
+/// dirty lines into the durable image; [`fence`](Self::fence) orders them
+/// (the model is strict, so fences only cost time and count events).
+/// [`crash`](Self::crash) discards everything not yet flushed.
+///
+/// # Example
+///
+/// ```
+/// use espresso_nvm::{NvmDevice, NvmConfig};
+/// let dev = NvmDevice::new(NvmConfig::with_size(1024));
+/// dev.write_u64(64, 7);
+/// dev.persist(64, 8);
+/// assert_eq!(dev.read_u64(64), 7);
+/// ```
+#[derive(Clone)]
+pub struct NvmDevice {
+    inner: Arc<Mutex<Inner>>,
+    size: usize,
+}
+
+impl fmt::Debug for NvmDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NvmDevice").field("size", &self.size).finish()
+    }
+}
+
+impl NvmDevice {
+    /// Creates a zero-filled device.
+    ///
+    /// The size is rounded up to a multiple of [`CACHE_LINE`]; a zero size
+    /// is promoted to one line.
+    pub fn new(config: NvmConfig) -> Self {
+        let size = config.size.max(1).div_ceil(CACHE_LINE) * CACHE_LINE;
+        let lines = size / CACHE_LINE;
+        NvmDevice {
+            inner: Arc::new(Mutex::new(Inner {
+                volatile: vec![0; size],
+                persisted: vec![0; size],
+                dirty: vec![0; lines.div_ceil(64)],
+                stats: NvmStats::default(),
+                latency: config.latency,
+                sim_ns: 0.0,
+                crashed: false,
+                plan: None,
+            })),
+            size,
+        }
+    }
+
+    /// Device capacity in bytes.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Reads a little-endian `u64` at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr + 8` exceeds the device size.
+    pub fn read_u64(&self, addr: usize) -> u64 {
+        let mut inner = self.inner.lock();
+        inner.check_range(addr, 8);
+        inner.stats.reads += 1;
+        let ns = inner.latency.read_line_ns;
+        inner.charge(ns);
+        u64::from_le_bytes(inner.volatile[addr..addr + 8].try_into().unwrap())
+    }
+
+    /// Writes a little-endian `u64` at `addr` (volatile until flushed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr + 8` exceeds the device size.
+    pub fn write_u64(&self, addr: usize, value: u64) {
+        self.inner.lock().write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the device size.
+    pub fn read_bytes(&self, addr: usize, buf: &mut [u8]) {
+        let mut inner = self.inner.lock();
+        inner.check_range(addr, buf.len());
+        inner.stats.reads += 1;
+        let lines = buf.len().div_ceil(CACHE_LINE).max(1) as f64;
+        let ns = inner.latency.read_line_ns * lines;
+        inner.charge(ns);
+        buf.copy_from_slice(&inner.volatile[addr..addr + buf.len()]);
+    }
+
+    /// Writes `data` starting at `addr` (volatile until flushed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the device size.
+    pub fn write_bytes(&self, addr: usize, data: &[u8]) {
+        self.inner.lock().write_bytes(addr, data);
+    }
+
+    /// Fills `[addr, addr + len)` with `byte` (volatile until flushed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the device size.
+    pub fn fill(&self, addr: usize, len: usize, byte: u8) {
+        if len == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.check_range(addr, len);
+        inner.volatile[addr..addr + len].iter_mut().for_each(|b| *b = byte);
+        let first = addr / CACHE_LINE;
+        let last = (addr + len - 1) / CACHE_LINE;
+        for line in first..=last {
+            inner.mark_dirty(line);
+        }
+        inner.stats.writes += 1;
+        inner.stats.bytes_written += len as u64;
+        let ns = inner.latency.write_line_ns * (last - first + 1) as f64;
+        inner.charge(ns);
+    }
+
+    /// Flushes every dirty cache line overlapping `[addr, addr + len)` into
+    /// the persistence domain (the `clflush` loop of §3.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the device size.
+    pub fn flush(&self, addr: usize, len: usize) {
+        self.inner.lock().flush_range(addr, len);
+    }
+
+    /// Issues a store fence (`sfence`). In this strict model a fence only
+    /// accounts time and increments the counter.
+    pub fn fence(&self) {
+        let mut inner = self.inner.lock();
+        inner.stats.fences += 1;
+        let ns = inner.latency.fence_ns;
+        inner.charge(ns);
+    }
+
+    /// Convenience for `flush(addr, len)` followed by `fence()`.
+    pub fn persist(&self, addr: usize, len: usize) {
+        self.flush(addr, len);
+        self.fence();
+    }
+
+    /// Simulates an immediate power failure: the volatile buffer reverts to
+    /// the persisted image and any scheduled crash plan is cleared.
+    pub fn crash(&self) {
+        let mut inner = self.inner.lock();
+        let persisted = inner.persisted.clone();
+        inner.volatile = persisted;
+        inner.dirty.iter_mut().for_each(|w| *w = 0);
+        inner.crashed = false;
+        inner.plan = None;
+    }
+
+    /// Schedules a power failure: the next `n` line flushes succeed, every
+    /// later flush is silently dropped. Combine with [`crash`](Self::crash)
+    /// (or [`recover`](Self::recover)) to observe the post-failure image.
+    pub fn schedule_crash_after_line_flushes(&self, n: u64) {
+        let mut inner = self.inner.lock();
+        inner.plan = Some(CrashPlan { flushes_remaining: n });
+        inner.crashed = false;
+    }
+
+    /// Whether a scheduled crash has triggered (power is "off": flushes are
+    /// being dropped).
+    pub fn has_crashed(&self) -> bool {
+        self.inner.lock().crashed
+    }
+
+    /// Reverts the volatile buffer to the persisted image and restores
+    /// power. Equivalent to [`crash`](Self::crash); named for readability at
+    /// recovery sites.
+    pub fn recover(&self) {
+        self.crash();
+    }
+
+    /// Snapshot of the operation counters.
+    pub fn stats(&self) -> NvmStats {
+        self.inner.lock().stats
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset_stats(&self) {
+        let mut inner = self.inner.lock();
+        inner.stats = NvmStats::default();
+        inner.sim_ns = 0.0;
+    }
+
+    /// Replaces the latency model (counters are kept).
+    pub fn set_latency(&self, latency: LatencyModel) {
+        self.inner.lock().latency = latency;
+    }
+
+    /// Copy of the durable image (what a crash right now would preserve).
+    pub fn snapshot_persisted(&self) -> Vec<u8> {
+        self.inner.lock().persisted.clone()
+    }
+
+    /// Writes the durable image to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NvmError::Io`] on filesystem failure.
+    pub fn save_image(&self, path: &Path) -> crate::Result<()> {
+        let image = self.snapshot_persisted();
+        std::fs::write(path, image)?;
+        Ok(())
+    }
+
+    /// Creates a device whose durable *and* volatile contents come from an
+    /// image previously written by [`save_image`](Self::save_image).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NvmError::Io`] on filesystem failure and
+    /// [`NvmError::ImageSizeMismatch`] if the image is not line-aligned.
+    pub fn load_image(path: &Path, latency: LatencyModel) -> crate::Result<NvmDevice> {
+        let image = std::fs::read(path)?;
+        if image.is_empty() || image.len() % CACHE_LINE != 0 {
+            return Err(NvmError::ImageSizeMismatch { device: 0, image: image.len() });
+        }
+        let dev = NvmDevice::new(NvmConfig { size: image.len(), latency });
+        {
+            let mut inner = dev.inner.lock();
+            inner.persisted.copy_from_slice(&image);
+            inner.volatile.copy_from_slice(&image);
+        }
+        Ok(dev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev(size: usize) -> NvmDevice {
+        NvmDevice::new(NvmConfig::with_size(size))
+    }
+
+    #[test]
+    fn rounds_size_up_to_line() {
+        assert_eq!(dev(1).size(), CACHE_LINE);
+        assert_eq!(dev(65).size(), 2 * CACHE_LINE);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let d = dev(1024);
+        d.write_u64(16, 0x0102_0304_0506_0708);
+        assert_eq!(d.read_u64(16), 0x0102_0304_0506_0708);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let d = dev(1024);
+        d.write_bytes(100, b"hello nvm");
+        let mut buf = [0u8; 9];
+        d.read_bytes(100, &mut buf);
+        assert_eq!(&buf, b"hello nvm");
+    }
+
+    #[test]
+    fn unflushed_writes_lost_on_crash() {
+        let d = dev(1024);
+        d.write_u64(0, 42);
+        d.crash();
+        assert_eq!(d.read_u64(0), 0);
+    }
+
+    #[test]
+    fn flushed_writes_survive_crash() {
+        let d = dev(1024);
+        d.write_u64(0, 42);
+        d.persist(0, 8);
+        d.write_u64(8, 43); // same line, dirty again
+        d.crash();
+        assert_eq!(d.read_u64(0), 42);
+        assert_eq!(d.read_u64(8), 0);
+    }
+
+    #[test]
+    fn flush_is_line_granular() {
+        let d = dev(1024);
+        d.write_u64(0, 1);
+        d.write_u64(8, 2); // same line as 0
+        d.write_u64(128, 3); // different line
+        d.persist(0, 8); // flushes the whole first line
+        d.crash();
+        assert_eq!(d.read_u64(0), 1);
+        assert_eq!(d.read_u64(8), 2);
+        assert_eq!(d.read_u64(128), 0);
+    }
+
+    #[test]
+    fn fill_then_flush() {
+        let d = dev(1024);
+        d.fill(64, 128, 0xAB);
+        d.persist(64, 128);
+        d.crash();
+        let mut buf = [0u8; 128];
+        d.read_bytes(64, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0xAB));
+    }
+
+    #[test]
+    fn clean_lines_are_not_recounted() {
+        let d = dev(1024);
+        d.write_u64(0, 1);
+        d.persist(0, 8);
+        let flushes = d.stats().line_flushes;
+        d.persist(0, 8); // nothing dirty
+        assert_eq!(d.stats().line_flushes, flushes);
+    }
+
+    #[test]
+    fn scheduled_crash_drops_later_flushes() {
+        let d = dev(1024);
+        d.schedule_crash_after_line_flushes(1);
+        d.write_u64(0, 1);
+        d.persist(0, 8); // flush #1: succeeds
+        d.write_u64(128, 2);
+        d.persist(128, 8); // flush #2: dropped
+        assert!(d.has_crashed());
+        d.recover();
+        assert_eq!(d.read_u64(0), 1);
+        assert_eq!(d.read_u64(128), 0);
+    }
+
+    #[test]
+    fn scheduled_crash_at_zero_drops_everything() {
+        let d = dev(1024);
+        d.schedule_crash_after_line_flushes(0);
+        d.write_u64(0, 9);
+        d.persist(0, 8);
+        d.recover();
+        assert_eq!(d.read_u64(0), 0);
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let d = dev(1024);
+        d.write_u64(0, 1);
+        d.read_u64(0);
+        d.persist(0, 8);
+        let s = d.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.line_flushes, 1);
+        assert_eq!(s.fences, 1);
+        assert_eq!(s.bytes_written, 8);
+    }
+
+    #[test]
+    fn latency_accumulates_simulated_time() {
+        let d = NvmDevice::new(NvmConfig { size: 1024, latency: LatencyModel::nvm() });
+        d.write_u64(0, 1);
+        d.persist(0, 8);
+        assert!(d.stats().simulated_ns > 0);
+        let before = d.stats().simulated_ns;
+        d.read_u64(0);
+        assert!(d.stats().simulated_ns > before);
+    }
+
+    #[test]
+    fn image_save_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("espresso-nvm-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("heap.img");
+        let d = dev(1024);
+        d.write_u64(256, 77);
+        d.persist(256, 8);
+        d.write_u64(512, 88); // not persisted: must not be in the image
+        d.save_image(&path).unwrap();
+
+        let d2 = NvmDevice::load_image(&path, LatencyModel::zero()).unwrap();
+        assert_eq!(d2.read_u64(256), 77);
+        assert_eq!(d2.read_u64(512), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_image_rejects_bad_size() {
+        let dir = std::env::temp_dir().join(format!("espresso-nvm-test2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.img");
+        std::fs::write(&path, [0u8; 100]).unwrap();
+        assert!(matches!(
+            NvmDevice::load_image(&path, LatencyModel::zero()),
+            Err(NvmError::ImageSizeMismatch { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_read_panics() {
+        dev(64).read_u64(60);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let d = dev(1024);
+        let d2 = d.clone();
+        d.write_u64(0, 5);
+        assert_eq!(d2.read_u64(0), 5);
+    }
+}

@@ -1,0 +1,83 @@
+//! Cost model for simulated NVM time accounting.
+
+/// Per-operation latency parameters, in (simulated) nanoseconds.
+///
+/// Defaults follow the read-fast / write-slow asymmetry reported for
+/// emerging NVM (§5 cites HiKV: write latency several times DRAM, read
+/// latency rivaling DRAM). The absolute values only matter relative to each
+/// other; benchmarks report ratios.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Cost of reading one cache line.
+    pub read_line_ns: f64,
+    /// Cost of writing one cache line (into the volatile buffer).
+    pub write_line_ns: f64,
+    /// Cost of flushing one dirty cache line to the persistence domain.
+    pub flush_line_ns: f64,
+    /// Cost of a store fence.
+    pub fence_ns: f64,
+}
+
+impl LatencyModel {
+    /// Model with every cost set to zero; useful when only crash semantics
+    /// matter (most tests).
+    pub fn zero() -> Self {
+        LatencyModel {
+            read_line_ns: 0.0,
+            write_line_ns: 0.0,
+            flush_line_ns: 0.0,
+            fence_ns: 0.0,
+        }
+    }
+
+    /// A DRAM-like model: symmetric, no flush penalty beyond the write.
+    pub fn dram() -> Self {
+        LatencyModel {
+            read_line_ns: 15.0,
+            write_line_ns: 15.0,
+            flush_line_ns: 0.0,
+            fence_ns: 0.0,
+        }
+    }
+
+    /// An NVM-like model: reads near DRAM, writes ~4x slower, flushes
+    /// costly (queue drain + media write), fences moderate.
+    pub fn nvm() -> Self {
+        LatencyModel {
+            read_line_ns: 20.0,
+            write_line_ns: 60.0,
+            flush_line_ns: 120.0,
+            fence_ns: 30.0,
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::nvm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_model_is_free() {
+        let m = LatencyModel::zero();
+        assert_eq!(m.read_line_ns, 0.0);
+        assert_eq!(m.flush_line_ns, 0.0);
+    }
+
+    #[test]
+    fn nvm_writes_slower_than_reads() {
+        let m = LatencyModel::nvm();
+        assert!(m.write_line_ns > m.read_line_ns);
+        assert!(m.flush_line_ns > m.write_line_ns);
+    }
+
+    #[test]
+    fn default_is_nvm() {
+        assert_eq!(LatencyModel::default(), LatencyModel::nvm());
+    }
+}

@@ -1,0 +1,47 @@
+//! Simulated byte-addressable non-volatile memory (NVM).
+//!
+//! The paper evaluates Espresso on a Viking NVDIMM; this crate substitutes a
+//! software model that is *stronger* for testing crash consistency than real
+//! hardware: every store lands in a volatile cache-line buffer and only
+//! reaches the durable image through explicit [`NvmDevice::flush`] +
+//! [`NvmDevice::fence`] calls (the `clflush`/`sfence` pair of §3.5). A test
+//! can therefore [`crash`](NvmDevice::crash) the device at any point — or
+//! schedule a crash at the *n*-th flush — and observe exactly the bytes a
+//! power failure would have left behind.
+//!
+//! The device also keeps an instruction-level cost model
+//! ([`LatencyModel`]) so benchmarks can report simulated NVM time (writes
+//! several times slower than reads, flushes costlier still), reproducing the
+//! asymmetry that motivates the paper's field-level tracking (§5).
+//!
+//! # Example
+//!
+//! ```
+//! use espresso_nvm::{NvmDevice, NvmConfig};
+//!
+//! let dev = NvmDevice::new(NvmConfig::with_size(4096));
+//! dev.write_u64(0, 0xdead_beef);
+//! dev.crash();                       // unflushed -> lost
+//! assert_eq!(dev.read_u64(0), 0);
+//!
+//! dev.write_u64(0, 0xdead_beef);
+//! dev.persist(0, 8);                 // flush + fence
+//! dev.crash();
+//! assert_eq!(dev.read_u64(0), 0xdead_beef);
+//! ```
+
+mod device;
+mod latency;
+mod stats;
+
+pub use device::{CrashPlan, NvmConfig, NvmDevice, NvmError};
+pub use latency::LatencyModel;
+pub use stats::NvmStats;
+
+/// Size of a simulated cache line in bytes.
+///
+/// Flushes operate at this granularity, exactly like `clflush`.
+pub const CACHE_LINE: usize = 64;
+
+/// Result alias for fallible NVM operations.
+pub type Result<T> = std::result::Result<T, NvmError>;

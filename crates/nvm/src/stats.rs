@@ -1,0 +1,75 @@
+//! Operation counters for the simulated device.
+
+/// Counters accumulated by an [`NvmDevice`](crate::NvmDevice).
+///
+/// `simulated_ns` integrates the [`LatencyModel`](crate::LatencyModel) over
+/// every operation; the remaining fields count raw events, which the
+/// crash-consistency tests use to sweep "crash after the n-th flush".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NvmStats {
+    /// Number of read operations (any width).
+    pub reads: u64,
+    /// Number of write operations (any width).
+    pub writes: u64,
+    /// Bytes written (into the volatile buffer).
+    pub bytes_written: u64,
+    /// Number of `flush` calls (one per line actually flushed).
+    pub line_flushes: u64,
+    /// Number of `fence` calls.
+    pub fences: u64,
+    /// Total simulated time in nanoseconds (integer-truncated).
+    pub simulated_ns: u64,
+}
+
+impl NvmStats {
+    /// Difference `self - earlier`, for measuring a phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` has larger counters.
+    #[must_use]
+    pub fn since(&self, earlier: &NvmStats) -> NvmStats {
+        NvmStats {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            line_flushes: self.line_flushes - earlier.line_flushes,
+            fences: self.fences - earlier.fences,
+            simulated_ns: self.simulated_ns - earlier.simulated_ns,
+        }
+    }
+}
+
+impl std::fmt::Display for NvmStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "reads={} writes={} bytes={} flushes={} fences={} sim_ns={}",
+            self.reads, self.writes, self.bytes_written, self.line_flushes, self.fences, self.simulated_ns
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts() {
+        let a = NvmStats { reads: 10, writes: 5, bytes_written: 40, line_flushes: 2, fences: 1, simulated_ns: 100 };
+        let b = NvmStats { reads: 4, writes: 1, bytes_written: 8, line_flushes: 1, fences: 0, simulated_ns: 30 };
+        let d = a.since(&b);
+        assert_eq!(d.reads, 6);
+        assert_eq!(d.writes, 4);
+        assert_eq!(d.bytes_written, 32);
+        assert_eq!(d.line_flushes, 1);
+        assert_eq!(d.fences, 1);
+        assert_eq!(d.simulated_ns, 70);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = format!("{}", NvmStats::default());
+        assert!(s.contains("flushes=0"));
+    }
+}

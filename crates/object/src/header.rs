@@ -1,0 +1,148 @@
+//! Object header layout and mark-word bit twiddling.
+
+/// Word index of the mark word within an object.
+pub const MARK_WORD: usize = 0;
+/// Word index of the class word within an object.
+pub const KLASS_WORD: usize = 1;
+/// Word index of the length word within an array object.
+pub const ARRAY_LENGTH_WORD: usize = 2;
+/// Header size of a plain instance, in words.
+pub const HEADER_WORDS: usize = 2;
+/// Header size of an array, in words.
+pub const ARRAY_HEADER_WORDS: usize = 3;
+
+/// Mark-word field accessors.
+///
+/// Layout (least significant first):
+///
+/// ```text
+/// bits  0..32  GC timestamp   (§4.2: reused promotion bits; an object is
+///                              "processed" when its stamp equals the
+///                              heap's persisted global timestamp)
+/// bits 32..40  GC age         (volatile young-gen survival count)
+/// bit  62      mark bit       (transient mark for the volatile old GC)
+/// bit  63      forwarded bit  (mark word holds a forwarding address)
+/// ```
+///
+/// When the forwarded bit is set the low 62 bits hold the destination
+/// address (used only inside a volatile collection; never persisted).
+pub mod mark {
+    const TS_MASK: u64 = 0xFFFF_FFFF;
+    const AGE_SHIFT: u32 = 32;
+    const AGE_MASK: u64 = 0xFF;
+    const MARK_BIT: u64 = 1 << 62;
+    const FWD_BIT: u64 = 1 << 63;
+    const FWD_ADDR_MASK: u64 = (1 << 62) - 1;
+
+    /// A fresh mark word with the given timestamp and age zero.
+    pub fn new(timestamp: u32) -> u64 {
+        timestamp as u64
+    }
+
+    /// Extracts the GC timestamp.
+    pub fn timestamp(word: u64) -> u32 {
+        (word & TS_MASK) as u32
+    }
+
+    /// Replaces the GC timestamp.
+    #[must_use]
+    pub fn with_timestamp(word: u64, ts: u32) -> u64 {
+        (word & !TS_MASK) | ts as u64
+    }
+
+    /// Extracts the survival age.
+    pub fn age(word: u64) -> u8 {
+        ((word >> AGE_SHIFT) & AGE_MASK) as u8
+    }
+
+    /// Replaces the survival age.
+    #[must_use]
+    pub fn with_age(word: u64, age: u8) -> u64 {
+        (word & !(AGE_MASK << AGE_SHIFT)) | ((age as u64) << AGE_SHIFT)
+    }
+
+    /// Whether the transient mark bit is set.
+    pub fn is_marked(word: u64) -> bool {
+        word & MARK_BIT != 0
+    }
+
+    /// Sets the transient mark bit.
+    #[must_use]
+    pub fn marked(word: u64) -> u64 {
+        word | MARK_BIT
+    }
+
+    /// Clears the transient mark bit.
+    #[must_use]
+    pub fn unmarked(word: u64) -> u64 {
+        word & !MARK_BIT
+    }
+
+    /// Whether the word is a forwarding pointer.
+    pub fn is_forwarded(word: u64) -> bool {
+        word & FWD_BIT != 0
+    }
+
+    /// Builds a forwarding pointer to `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` does not fit in 62 bits.
+    pub fn forwarding(addr: u64) -> u64 {
+        assert_eq!(addr & !FWD_ADDR_MASK, 0, "forwarding address {addr:#x} too large");
+        FWD_BIT | addr
+    }
+
+    /// Extracts the forwarding destination address.
+    pub fn forwarded_addr(word: u64) -> u64 {
+        word & FWD_ADDR_MASK
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn timestamp_roundtrip() {
+            let w = new(7);
+            assert_eq!(timestamp(w), 7);
+            let w = with_timestamp(w, u32::MAX);
+            assert_eq!(timestamp(w), u32::MAX);
+            assert_eq!(age(w), 0);
+        }
+
+        #[test]
+        fn age_roundtrip_preserves_timestamp() {
+            let w = with_age(new(123), 5);
+            assert_eq!(age(w), 5);
+            assert_eq!(timestamp(w), 123);
+            let w = with_age(w, 255);
+            assert_eq!(age(w), 255);
+            assert_eq!(timestamp(w), 123);
+        }
+
+        #[test]
+        fn mark_bit_toggles() {
+            let w = new(1);
+            assert!(!is_marked(w));
+            let m = marked(w);
+            assert!(is_marked(m));
+            assert_eq!(timestamp(m), 1);
+            assert_eq!(unmarked(m), w);
+        }
+
+        #[test]
+        fn forwarding_roundtrip() {
+            let f = forwarding(0xabcd);
+            assert!(is_forwarded(f));
+            assert_eq!(forwarded_addr(f), 0xabcd);
+            assert!(!is_forwarded(new(9)));
+        }
+
+        #[test]
+        #[should_panic(expected = "too large")]
+        fn forwarding_rejects_huge_addr() {
+            let _ = forwarding(1 << 62);
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! Class metadata (`Klass` in HotSpot terms, §3.1).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{ARRAY_HEADER_WORDS, HEADER_WORDS};
+
+/// Identifier of a registered class, stable within one registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KlassId(pub u32);
+
+impl fmt::Display for KlassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "klass#{}", self.0)
+    }
+}
+
+/// Whether a field holds a primitive word or an object reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FieldKind {
+    /// A 64-bit primitive payload (long, double bits, packed chars, ...).
+    Prim,
+    /// A tagged [`Ref`](crate::Ref); the GC traces it.
+    Reference,
+}
+
+/// One declared field of an instance class.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FieldDesc {
+    /// Field name, unique within its class.
+    pub name: String,
+    /// Primitive or reference.
+    pub kind: FieldKind,
+}
+
+impl FieldDesc {
+    /// A primitive field.
+    pub fn prim(name: &str) -> FieldDesc {
+        FieldDesc { name: name.to_string(), kind: FieldKind::Prim }
+    }
+
+    /// A reference field.
+    pub fn reference(name: &str) -> FieldDesc {
+        FieldDesc { name: name.to_string(), kind: FieldKind::Reference }
+    }
+}
+
+/// The shape a class describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjKind {
+    /// A plain instance with a fixed field list.
+    Instance,
+    /// An array of references (`panewarray` objects, §3.2).
+    ObjArray,
+    /// An array of 64-bit primitives (`pnewarray` objects, §3.2).
+    PrimArray,
+}
+
+/// Class metadata: name, shape, and field layout.
+///
+/// Both heaps interpret objects through a `Klass`; the persistent heap
+/// additionally serializes klass records into its NVM Klass segment so
+/// objects stay interpretable across restarts (§3.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Klass {
+    id: KlassId,
+    name: String,
+    kind: ObjKind,
+    fields: Vec<FieldDesc>,
+}
+
+impl Klass {
+    /// Builds an instance klass. Prefer [`KlassRegistry::register_instance`].
+    pub fn instance(id: KlassId, name: &str, fields: Vec<FieldDesc>) -> Klass {
+        Klass { id, name: name.to_string(), kind: ObjKind::Instance, fields }
+    }
+
+    /// Builds an array klass. Prefer the registry's array helpers.
+    pub fn array(id: KlassId, name: &str, kind: ObjKind) -> Klass {
+        assert!(kind != ObjKind::Instance, "use Klass::instance for instances");
+        Klass { id, name: name.to_string(), kind, fields: Vec::new() }
+    }
+
+    /// The registry-assigned id.
+    pub fn id(&self) -> KlassId {
+        self.id
+    }
+
+    /// The fully qualified class name (arrays use JVM-style `[L...;`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The object shape.
+    pub fn kind(&self) -> ObjKind {
+        self.kind
+    }
+
+    /// Declared fields (empty for arrays).
+    pub fn fields(&self) -> &[FieldDesc] {
+        &self.fields
+    }
+
+    /// Whether this klass describes an array.
+    pub fn is_array(&self) -> bool {
+        self.kind != ObjKind::Instance
+    }
+
+    /// Footprint of an instance in words (header + one word per field).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on an array klass.
+    pub fn instance_words(&self) -> usize {
+        assert_eq!(self.kind, ObjKind::Instance, "{} is an array klass", self.name);
+        HEADER_WORDS + self.fields.len()
+    }
+
+    /// Footprint of an array of `len` elements in words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on an instance klass.
+    pub fn array_words(&self, len: usize) -> usize {
+        assert_ne!(self.kind, ObjKind::Instance, "{} is not an array klass", self.name);
+        ARRAY_HEADER_WORDS + len
+    }
+
+    /// Word offset of field `index` from the object start.
+    pub fn field_offset(&self, index: usize) -> usize {
+        assert!(index < self.fields.len(), "field index {index} out of range for {}", self.name);
+        HEADER_WORDS + index
+    }
+
+    /// Looks up a field index by name.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Indices of the reference-kind fields.
+    pub fn ref_field_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.kind == FieldKind::Reference)
+            .map(|(i, _)| i)
+    }
+
+    /// Reference bitmap: bit *i* set iff field *i* is a reference.
+    ///
+    /// This is what the persistent Klass segment stores so that recovery
+    /// and the zeroing-safety scan can trace objects without loaded code
+    /// (§3.4).
+    pub fn ref_bitmap(&self) -> Vec<u64> {
+        let mut bm = vec![0u64; self.fields.len().div_ceil(64).max(1)];
+        for i in self.ref_field_indices() {
+            bm[i / 64] |= 1 << (i % 64);
+        }
+        bm
+    }
+}
+
+/// The in-memory class table: name → [`Klass`], with id assignment.
+///
+/// One registry models one JVM's Meta Space. Alias Klasses (§3.2) — the
+/// volatile/persistent pairing of one logical class — are handled a level
+/// up, in `espresso-vm`, because aliasing is a property of *resolution*,
+/// not of the metadata itself.
+///
+/// # Example
+///
+/// ```
+/// use espresso_object::{FieldDesc, KlassRegistry};
+/// let mut reg = KlassRegistry::new();
+/// let id = reg.register_instance("Point", vec![FieldDesc::prim("x"), FieldDesc::prim("y")]);
+/// assert_eq!(reg.by_id(id).unwrap().name(), "Point");
+/// assert_eq!(reg.by_name("Point").unwrap().id(), id);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct KlassRegistry {
+    klasses: Vec<Arc<Klass>>,
+    by_name: HashMap<String, KlassId>,
+}
+
+impl KlassRegistry {
+    /// An empty registry.
+    pub fn new() -> KlassRegistry {
+        KlassRegistry::default()
+    }
+
+    fn insert(&mut self, name: &str, build: impl FnOnce(KlassId) -> Klass) -> KlassId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = KlassId(self.klasses.len() as u32);
+        let klass = build(id);
+        assert_eq!(klass.name(), name);
+        self.klasses.push(Arc::new(klass));
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Registers (or finds) an instance class.
+    ///
+    /// Re-registering an existing name returns the existing id; the field
+    /// list is *not* compared (class redefinition is out of scope).
+    pub fn register_instance(&mut self, name: &str, fields: Vec<FieldDesc>) -> KlassId {
+        self.insert(name, |id| Klass::instance(id, name, fields))
+    }
+
+    /// Registers (or finds) the object-array class for element class `elem`.
+    pub fn register_obj_array(&mut self, elem_name: &str) -> KlassId {
+        let name = format!("[L{elem_name};");
+        self.insert(&name, |id| Klass::array(id, &name, ObjKind::ObjArray))
+    }
+
+    /// Registers (or finds) the primitive (long) array class.
+    pub fn register_prim_array(&mut self) -> KlassId {
+        self.insert("[J", |id| Klass::array(id, "[J", ObjKind::PrimArray))
+    }
+
+    /// Replaces the field list of an instance klass in place.
+    ///
+    /// This models the paper's class *reinitialization in place* (§3.3):
+    /// after a heap reload the Klass segment yields placeholder field
+    /// metadata (layout only), and the first real class registration fills
+    /// in the authoritative definition without changing the klass identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or not an instance klass, or if the new
+    /// field list changes the object layout (count or reference bitmap).
+    pub fn redefine_instance(&mut self, id: KlassId, fields: Vec<FieldDesc>) {
+        let k = self.klasses.get_mut(id.0 as usize).expect("unknown klass");
+        assert_eq!(k.kind(), ObjKind::Instance, "cannot redefine array klass {}", k.name());
+        assert_eq!(k.fields().len(), fields.len(), "layout change for {}: field count", k.name());
+        let replacement = Klass::instance(id, &k.name().to_string(), fields);
+        assert_eq!(k.ref_bitmap(), replacement.ref_bitmap(), "layout change for {}: ref bitmap", k.name());
+        *k = Arc::new(replacement);
+    }
+
+    /// Looks up by id.
+    pub fn by_id(&self, id: KlassId) -> Option<&Arc<Klass>> {
+        self.klasses.get(id.0 as usize)
+    }
+
+    /// Looks up by name.
+    pub fn by_name(&self, name: &str) -> Option<&Arc<Klass>> {
+        self.by_name.get(name).and_then(|&id| self.by_id(id))
+    }
+
+    /// Number of registered klasses.
+    pub fn len(&self) -> usize {
+        self.klasses.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.klasses.is_empty()
+    }
+
+    /// Iterates over all klasses in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<Klass>> {
+        self.klasses.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn person(reg: &mut KlassRegistry) -> KlassId {
+        reg.register_instance("Person", vec![FieldDesc::prim("id"), FieldDesc::reference("name")])
+    }
+
+    #[test]
+    fn instance_layout() {
+        let mut reg = KlassRegistry::new();
+        let id = person(&mut reg);
+        let k = reg.by_id(id).unwrap();
+        assert_eq!(k.instance_words(), HEADER_WORDS + 2);
+        assert_eq!(k.field_offset(0), HEADER_WORDS);
+        assert_eq!(k.field_offset(1), HEADER_WORDS + 1);
+        assert_eq!(k.field_index("name"), Some(1));
+        assert_eq!(k.field_index("nope"), None);
+        assert!(!k.is_array());
+    }
+
+    #[test]
+    fn ref_bitmap_marks_reference_fields() {
+        let mut reg = KlassRegistry::new();
+        let id = person(&mut reg);
+        let k = reg.by_id(id).unwrap();
+        assert_eq!(k.ref_bitmap(), vec![0b10]);
+        assert_eq!(k.ref_field_indices().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn ref_bitmap_for_wide_classes() {
+        let mut reg = KlassRegistry::new();
+        let fields: Vec<FieldDesc> = (0..70)
+            .map(|i| if i % 2 == 0 { FieldDesc::prim(&format!("p{i}")) } else { FieldDesc::reference(&format!("r{i}")) })
+            .collect();
+        let id = reg.register_instance("Wide", fields);
+        let k = reg.by_id(id).unwrap();
+        let bm = k.ref_bitmap();
+        assert_eq!(bm.len(), 2);
+        for i in 0..70 {
+            let set = bm[i / 64] & (1 << (i % 64)) != 0;
+            assert_eq!(set, i % 2 == 1, "field {i}");
+        }
+    }
+
+    #[test]
+    fn reregistration_is_idempotent() {
+        let mut reg = KlassRegistry::new();
+        let a = person(&mut reg);
+        let b = person(&mut reg);
+        assert_eq!(a, b);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn array_klasses() {
+        let mut reg = KlassRegistry::new();
+        let oa = reg.register_obj_array("Person");
+        let pa = reg.register_prim_array();
+        let oak = reg.by_id(oa).unwrap();
+        let pak = reg.by_id(pa).unwrap();
+        assert_eq!(oak.name(), "[LPerson;");
+        assert_eq!(pak.name(), "[J");
+        assert!(oak.is_array());
+        assert_eq!(oak.array_words(10), ARRAY_HEADER_WORDS + 10);
+        assert_eq!(reg.register_obj_array("Person"), oa);
+    }
+
+    #[test]
+    #[should_panic(expected = "is an array klass")]
+    fn instance_words_rejects_arrays() {
+        let mut reg = KlassRegistry::new();
+        let pa = reg.register_prim_array();
+        let _ = reg.by_id(pa).unwrap().instance_words();
+    }
+
+    #[test]
+    #[should_panic(expected = "is not an array klass")]
+    fn array_words_rejects_instances() {
+        let mut reg = KlassRegistry::new();
+        let id = person(&mut reg);
+        let _ = reg.by_id(id).unwrap().array_words(3);
+    }
+
+    #[test]
+    fn redefine_replaces_names_keeps_layout() {
+        let mut reg = KlassRegistry::new();
+        let id = reg.register_instance("P", vec![FieldDesc::prim("f0"), FieldDesc::reference("f1")]);
+        reg.redefine_instance(id, vec![FieldDesc::prim("id"), FieldDesc::reference("name")]);
+        let k = reg.by_id(id).unwrap();
+        assert_eq!(k.field_index("name"), Some(1));
+        assert_eq!(k.id(), id);
+    }
+
+    #[test]
+    #[should_panic(expected = "ref bitmap")]
+    fn redefine_rejects_layout_change() {
+        let mut reg = KlassRegistry::new();
+        let id = reg.register_instance("P", vec![FieldDesc::prim("a"), FieldDesc::reference("b")]);
+        reg.redefine_instance(id, vec![FieldDesc::reference("a"), FieldDesc::prim("b")]);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut reg = KlassRegistry::new();
+        person(&mut reg);
+        reg.register_prim_array();
+        let names: Vec<_> = reg.iter().map(|k| k.name().to_string()).collect();
+        assert_eq!(names, vec!["Person", "[J"]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Tagged heap references.
+
+use std::fmt;
+
+/// Which heap a reference points into.
+///
+/// Espresso allows the same logical class to have instances in both spaces
+/// (§3.2), and allows persistent objects to reference volatile ones (§3.4),
+/// so every reference carries its space in its top bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Space {
+    /// The ordinary DRAM-backed heap (young + old generations).
+    Volatile,
+    /// The NVM-backed Persistent Java Heap.
+    Persistent,
+}
+
+impl fmt::Display for Space {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Space::Volatile => write!(f, "volatile"),
+            Space::Persistent => write!(f, "persistent"),
+        }
+    }
+}
+
+const PERSISTENT_TAG: u64 = 1 << 63;
+const ADDR_MASK: u64 = PERSISTENT_TAG - 1;
+
+/// A tagged object reference: a byte address within one of the two spaces.
+///
+/// The all-zero value is the null reference. Address 0 in the volatile
+/// space is therefore unaddressable; both heaps reserve it.
+///
+/// # Example
+///
+/// ```
+/// use espresso_object::{Ref, Space};
+/// assert!(Ref::NULL.is_null());
+/// let r = Ref::new(Space::Volatile, 128);
+/// assert!(!r.is_null());
+/// assert_eq!(r.addr(), 128);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Ref(u64);
+
+impl Ref {
+    /// The null reference.
+    pub const NULL: Ref = Ref(0);
+
+    /// Creates a reference to `addr` in `space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` has its top bit set (addresses are 63-bit).
+    pub fn new(space: Space, addr: u64) -> Ref {
+        assert_eq!(addr & PERSISTENT_TAG, 0, "address {addr:#x} overflows the 63-bit space");
+        match space {
+            Space::Volatile => Ref(addr),
+            Space::Persistent => Ref(addr | PERSISTENT_TAG),
+        }
+    }
+
+    /// Whether this is the null reference.
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The space this non-null reference points into.
+    ///
+    /// Null is reported as [`Space::Volatile`]; callers should test
+    /// [`is_null`](Self::is_null) first.
+    pub fn space(self) -> Space {
+        if self.0 & PERSISTENT_TAG != 0 {
+            Space::Persistent
+        } else {
+            Space::Volatile
+        }
+    }
+
+    /// Whether the reference is non-null and persistent.
+    pub fn is_persistent(self) -> bool {
+        !self.is_null() && self.space() == Space::Persistent
+    }
+
+    /// Whether the reference is non-null and volatile.
+    pub fn is_volatile(self) -> bool {
+        !self.is_null() && self.space() == Space::Volatile
+    }
+
+    /// The byte address within the space.
+    pub fn addr(self) -> u64 {
+        self.0 & ADDR_MASK
+    }
+
+    /// The raw tagged word as stored in heap fields.
+    pub fn to_raw(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a reference from a raw field word.
+    pub fn from_raw(raw: u64) -> Ref {
+        Ref(raw)
+    }
+
+    /// Returns a reference with the same space but a different address.
+    #[must_use]
+    pub fn with_addr(self, addr: u64) -> Ref {
+        Ref::new(self.space(), addr)
+    }
+}
+
+impl fmt::Debug for Ref {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "Ref(null)")
+        } else {
+            write!(f, "Ref({}:{:#x})", self.space(), self.addr())
+        }
+    }
+}
+
+impl fmt::Display for Ref {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_null() {
+        assert!(Ref::NULL.is_null());
+        assert!(!Ref::NULL.is_persistent());
+        assert!(!Ref::NULL.is_volatile());
+        assert_eq!(Ref::default(), Ref::NULL);
+    }
+
+    #[test]
+    fn roundtrips_space_and_addr() {
+        for space in [Space::Volatile, Space::Persistent] {
+            for addr in [8u64, 0x10, 0xdead_beef, (1 << 62)] {
+                let r = Ref::new(space, addr);
+                assert_eq!(r.space(), space);
+                assert_eq!(r.addr(), addr);
+                assert_eq!(Ref::from_raw(r.to_raw()), r);
+            }
+        }
+    }
+
+    #[test]
+    fn persistent_tag_is_top_bit() {
+        let r = Ref::new(Space::Persistent, 16);
+        assert_eq!(r.to_raw(), 16 | (1 << 63));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn rejects_tagged_addresses() {
+        let _ = Ref::new(Space::Volatile, 1 << 63);
+    }
+
+    #[test]
+    fn with_addr_keeps_space() {
+        let r = Ref::new(Space::Persistent, 8).with_addr(64);
+        assert_eq!(r.space(), Space::Persistent);
+        assert_eq!(r.addr(), 64);
+    }
+
+    #[test]
+    fn debug_shows_space() {
+        let r = Ref::new(Space::Persistent, 0x40);
+        assert_eq!(format!("{r:?}"), "Ref(persistent:0x40)");
+        assert_eq!(format!("{:?}", Ref::NULL), "Ref(null)");
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = Ref::new(Space::Volatile, 8);
+        let b = Ref::new(Space::Volatile, 16);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,545 @@
+//! The PCJ collection types used by the Figure 15 microbenchmarks.
+//!
+//! Everything is built from boxed `PersistentObject`s: tuples, arrays,
+//! lists and maps hold *references to boxes*, never raw words — the
+//! separated-type-system design §2.2 criticizes. A `set` therefore costs
+//! a box allocation plus two refcount updates on top of the store write.
+
+use crate::store::{PcjRef, PcjStore};
+
+/// `PersistentLong`: a boxed 64-bit value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcjLong {
+    obj: PcjRef,
+}
+
+impl PcjLong {
+    /// Boxes a value off-heap.
+    ///
+    /// # Errors
+    ///
+    /// Store-space errors.
+    pub fn create(store: &mut PcjStore, value: u64) -> crate::Result<PcjLong> {
+        let obj = store.create("PersistentLong", 1, false)?;
+        store.set_word(obj, 0, value)?;
+        Ok(PcjLong { obj })
+    }
+
+    /// Re-wraps a raw handle.
+    pub fn from_ref(obj: PcjRef) -> PcjLong {
+        PcjLong { obj }
+    }
+
+    /// The raw handle.
+    pub fn as_ref(&self) -> PcjRef {
+        self.obj
+    }
+
+    /// Reads the boxed value.
+    pub fn value(&self, store: &mut PcjStore) -> u64 {
+        store.get_word(self.obj, 0)
+    }
+
+    /// Replaces the boxed value.
+    ///
+    /// # Errors
+    ///
+    /// Store errors.
+    pub fn set(&self, store: &mut PcjStore, value: u64) -> crate::Result<()> {
+        store.set_word(self.obj, 0, value)
+    }
+}
+
+/// `PersistentString`: length-prefixed bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcjString {
+    obj: PcjRef,
+}
+
+impl PcjString {
+    /// Stores a string off-heap.
+    ///
+    /// # Errors
+    ///
+    /// Store-space errors.
+    pub fn create(store: &mut PcjStore, s: &str) -> crate::Result<PcjString> {
+        let words = 1 + s.len().div_ceil(8);
+        let obj = store.create("PersistentString", words, false)?;
+        store.set_word(obj, 0, s.len() as u64)?;
+        for (i, chunk) in s.as_bytes().chunks(8).enumerate() {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            store.set_word(obj, 1 + i, u64::from_le_bytes(w))?;
+        }
+        Ok(PcjString { obj })
+    }
+
+    /// Re-wraps a raw handle.
+    pub fn from_ref(obj: PcjRef) -> PcjString {
+        PcjString { obj }
+    }
+
+    /// The raw handle.
+    pub fn as_ref(&self) -> PcjRef {
+        self.obj
+    }
+
+    /// Reads the string back.
+    pub fn value(&self, store: &mut PcjStore) -> String {
+        let len = store.get_word(self.obj, 0) as usize;
+        let mut bytes = Vec::with_capacity(len);
+        for i in 0..len.div_ceil(8) {
+            let w = store.get_word(self.obj, 1 + i).to_le_bytes();
+            bytes.extend_from_slice(&w);
+        }
+        bytes.truncate(len);
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+}
+
+/// `PersistentTuple`: fixed arity, slots hold boxed values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcjTuple {
+    obj: PcjRef,
+}
+
+impl PcjTuple {
+    /// Allocates a tuple of null slots.
+    ///
+    /// # Errors
+    ///
+    /// Store-space errors.
+    pub fn create(store: &mut PcjStore, arity: usize) -> crate::Result<PcjTuple> {
+        let obj = store.create(&format!("PersistentTuple{arity}"), arity, true)?;
+        Ok(PcjTuple { obj })
+    }
+
+    /// Re-wraps a raw handle.
+    pub fn from_ref(obj: PcjRef) -> PcjTuple {
+        PcjTuple { obj }
+    }
+
+    /// The raw handle.
+    pub fn as_ref(&self) -> PcjRef {
+        self.obj
+    }
+
+    /// Number of slots.
+    pub fn arity(&self, store: &PcjStore) -> usize {
+        store.payload_words(self.obj)
+    }
+
+    /// Writes slot `i`: boxes the value, swaps references, maintains
+    /// refcounts — PCJ's expensive path.
+    ///
+    /// # Errors
+    ///
+    /// Store errors.
+    pub fn set(&self, store: &mut PcjStore, i: usize, value: u64) -> crate::Result<()> {
+        let boxed = PcjLong::create(store, value)?;
+        store.set_ref(self.obj, i, boxed.as_ref())?;
+        // Drop the creation reference; the tuple now owns the box.
+        store.dec_rc(boxed.as_ref())?;
+        Ok(())
+    }
+
+    /// Reads slot `i` through its box; `None` for null slots.
+    pub fn get(&self, store: &mut PcjStore, i: usize) -> Option<u64> {
+        let b = store.get_ref(self.obj, i);
+        (!b.is_null()).then(|| PcjLong::from_ref(b).value(store))
+    }
+}
+
+/// `PersistentArray<PersistentLong>`: a generic array of boxes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcjArray {
+    obj: PcjRef,
+}
+
+impl PcjArray {
+    /// Allocates a null-filled array.
+    ///
+    /// # Errors
+    ///
+    /// Store-space errors.
+    pub fn create(store: &mut PcjStore, len: usize) -> crate::Result<PcjArray> {
+        let obj = store.create("PersistentArray", len, true)?;
+        Ok(PcjArray { obj })
+    }
+
+    /// Re-wraps a raw handle.
+    pub fn from_ref(obj: PcjRef) -> PcjArray {
+        PcjArray { obj }
+    }
+
+    /// The raw handle.
+    pub fn as_ref(&self) -> PcjRef {
+        self.obj
+    }
+
+    /// Element count.
+    pub fn len(&self, store: &PcjStore) -> usize {
+        store.payload_words(self.obj)
+    }
+
+    /// Whether the array is zero-length.
+    pub fn is_empty(&self, store: &PcjStore) -> bool {
+        self.len(store) == 0
+    }
+
+    /// Boxes and stores a value at `i`.
+    ///
+    /// # Errors
+    ///
+    /// Store errors.
+    pub fn set(&self, store: &mut PcjStore, i: usize, value: u64) -> crate::Result<()> {
+        let boxed = PcjLong::create(store, value)?;
+        store.set_ref(self.obj, i, boxed.as_ref())?;
+        store.dec_rc(boxed.as_ref())?;
+        Ok(())
+    }
+
+    /// Reads element `i` through its box.
+    pub fn get(&self, store: &mut PcjStore, i: usize) -> Option<u64> {
+        let b = store.get_ref(self.obj, i);
+        (!b.is_null()).then(|| PcjLong::from_ref(b).value(store))
+    }
+}
+
+/// `PersistentArrayList`: growable list of boxes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcjArrayList {
+    obj: PcjRef, // payload: [size, elems]
+}
+
+impl PcjArrayList {
+    /// Allocates an empty list.
+    ///
+    /// # Errors
+    ///
+    /// Store-space errors.
+    pub fn create(store: &mut PcjStore, capacity: usize) -> crate::Result<PcjArrayList> {
+        let obj = store.create("PersistentArrayList", 2, true)?;
+        let elems = store.create("PersistentArrayList$Elems", capacity.max(1), true)?;
+        store.set_word(obj, 0, 0)?;
+        store.set_ref(obj, 1, elems)?;
+        store.dec_rc(elems)?;
+        Ok(PcjArrayList { obj })
+    }
+
+    /// Re-wraps a raw handle.
+    pub fn from_ref(obj: PcjRef) -> PcjArrayList {
+        PcjArrayList { obj }
+    }
+
+    /// The raw handle.
+    pub fn as_ref(&self) -> PcjRef {
+        self.obj
+    }
+
+    /// Element count.
+    pub fn len(&self, store: &mut PcjStore) -> usize {
+        store.get_word(self.obj, 0) as usize
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self, store: &mut PcjStore) -> bool {
+        self.len(store) == 0
+    }
+
+    /// Appends a boxed value, growing the element block when full.
+    ///
+    /// # Errors
+    ///
+    /// Store errors.
+    pub fn push(&self, store: &mut PcjStore, value: u64) -> crate::Result<()> {
+        let size = self.len(store);
+        let mut elems = store.get_ref(self.obj, 1);
+        let cap = store.payload_words(elems);
+        if size == cap {
+            let bigger = store.create("PersistentArrayList$Elems", cap * 2, true)?;
+            for i in 0..size {
+                let b = store.get_ref(elems, i);
+                store.set_ref(bigger, i, b)?;
+            }
+            store.set_ref(self.obj, 1, bigger)?;
+            store.dec_rc(bigger)?;
+            elems = bigger;
+        }
+        let boxed = PcjLong::create(store, value)?;
+        store.set_ref(elems, size, boxed.as_ref())?;
+        store.dec_rc(boxed.as_ref())?;
+        store.set_word(self.obj, 0, (size + 1) as u64)?;
+        Ok(())
+    }
+
+    /// Reads element `i` through its box.
+    pub fn get(&self, store: &mut PcjStore, i: usize) -> Option<u64> {
+        if i >= self.len(store) {
+            return None;
+        }
+        let elems = store.get_ref(self.obj, 1);
+        let b = store.get_ref(elems, i);
+        (!b.is_null()).then(|| PcjLong::from_ref(b).value(store))
+    }
+
+    /// Overwrites element `i` with a fresh box.
+    ///
+    /// # Errors
+    ///
+    /// Store errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn set(&self, store: &mut PcjStore, i: usize, value: u64) -> crate::Result<()> {
+        let len = self.len(store);
+        assert!(i < len, "index {i} out of bounds (len {len})");
+        let elems = store.get_ref(self.obj, 1);
+        let boxed = PcjLong::create(store, value)?;
+        store.set_ref(elems, i, boxed.as_ref())?;
+        store.dec_rc(boxed.as_ref())?;
+        Ok(())
+    }
+}
+
+/// `PersistentHashMap`: chained buckets of entry objects with boxed
+/// values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcjHashMap {
+    obj: PcjRef, // payload: [size, buckets]
+}
+
+const E_KEY: usize = 0;
+const E_VALUE: usize = 1;
+const E_NEXT: usize = 2;
+
+impl PcjHashMap {
+    /// Allocates an empty map with a fixed bucket count.
+    ///
+    /// # Errors
+    ///
+    /// Store-space errors.
+    pub fn create(store: &mut PcjStore, buckets: usize) -> crate::Result<PcjHashMap> {
+        let obj = store.create("PersistentHashMap", 2, true)?;
+        let arr = store.create("PersistentHashMap$Buckets", buckets.max(1), true)?;
+        store.set_word(obj, 0, 0)?;
+        store.set_ref(obj, 1, arr)?;
+        store.dec_rc(arr)?;
+        Ok(PcjHashMap { obj })
+    }
+
+    /// Re-wraps a raw handle.
+    pub fn from_ref(obj: PcjRef) -> PcjHashMap {
+        PcjHashMap { obj }
+    }
+
+    /// The raw handle.
+    pub fn as_ref(&self) -> PcjRef {
+        self.obj
+    }
+
+    /// Entry count.
+    pub fn len(&self, store: &mut PcjStore) -> usize {
+        store.get_word(self.obj, 0) as usize
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self, store: &mut PcjStore) -> bool {
+        self.len(store) == 0
+    }
+
+    fn bucket_of(key: u64, buckets: usize) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16) as usize % buckets
+    }
+
+    /// Inserts or updates; returns the previous value.
+    ///
+    /// # Errors
+    ///
+    /// Store errors.
+    pub fn put(&self, store: &mut PcjStore, key: u64, value: u64) -> crate::Result<Option<u64>> {
+        let buckets = store.get_ref(self.obj, 1);
+        let b = Self::bucket_of(key, store.payload_words(buckets));
+        let head = store.get_ref(buckets, b);
+        let mut cur = head;
+        while !cur.is_null() {
+            // Entry keys are boxed too (PCJ maps box their keys).
+            let kbox = store.get_ref(cur, E_KEY);
+            if PcjLong::from_ref(kbox).value(store) == key {
+                let vbox = store.get_ref(cur, E_VALUE);
+                let old = PcjLong::from_ref(vbox).value(store);
+                let newbox = PcjLong::create(store, value)?;
+                store.set_ref(cur, E_VALUE, newbox.as_ref())?;
+                store.dec_rc(newbox.as_ref())?;
+                return Ok(Some(old));
+            }
+            cur = store.get_ref(cur, E_NEXT);
+        }
+        let entry = store.create("PersistentHashMap$Entry", 3, true)?;
+        let kbox = PcjLong::create(store, key)?;
+        let vbox = PcjLong::create(store, value)?;
+        store.set_ref(entry, E_KEY, kbox.as_ref())?;
+        store.set_ref(entry, E_VALUE, vbox.as_ref())?;
+        store.dec_rc(kbox.as_ref())?;
+        store.dec_rc(vbox.as_ref())?;
+        store.set_ref(entry, E_NEXT, head)?;
+        store.set_ref(buckets, b, entry)?;
+        store.dec_rc(entry)?;
+        let size = store.get_word(self.obj, 0);
+        store.set_word(self.obj, 0, size + 1)?;
+        Ok(None)
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, store: &mut PcjStore, key: u64) -> Option<u64> {
+        let buckets = store.get_ref(self.obj, 1);
+        let b = Self::bucket_of(key, store.payload_words(buckets));
+        let mut cur = store.get_ref(buckets, b);
+        while !cur.is_null() {
+            let kbox = store.get_ref(cur, E_KEY);
+            if PcjLong::from_ref(kbox).value(store) == key {
+                let vbox = store.get_ref(cur, E_VALUE);
+                return Some(PcjLong::from_ref(vbox).value(store));
+            }
+            cur = store.get_ref(cur, E_NEXT);
+        }
+        None
+    }
+
+    /// Removes `key`; returns the removed value.
+    ///
+    /// # Errors
+    ///
+    /// Store errors.
+    pub fn remove(&self, store: &mut PcjStore, key: u64) -> crate::Result<Option<u64>> {
+        let buckets = store.get_ref(self.obj, 1);
+        let b = Self::bucket_of(key, store.payload_words(buckets));
+        let mut prev = PcjRef::NULL;
+        let mut cur = store.get_ref(buckets, b);
+        while !cur.is_null() {
+            let kbox = store.get_ref(cur, E_KEY);
+            if PcjLong::from_ref(kbox).value(store) == key {
+                let vbox = store.get_ref(cur, E_VALUE);
+                let old = PcjLong::from_ref(vbox).value(store);
+                let next = store.get_ref(cur, E_NEXT);
+                if prev.is_null() {
+                    store.set_ref(buckets, b, next)?;
+                } else {
+                    store.set_ref(prev, E_NEXT, next)?;
+                }
+                let size = store.get_word(self.obj, 0);
+                store.set_word(self.obj, 0, size - 1)?;
+                return Ok(Some(old));
+            }
+            prev = cur;
+            cur = store.get_ref(cur, E_NEXT);
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use espresso_nvm::{NvmConfig, NvmDevice};
+
+    fn store() -> PcjStore {
+        PcjStore::format(NvmDevice::new(NvmConfig::with_size(16 << 20))).unwrap()
+    }
+
+    #[test]
+    fn long_box_roundtrip() {
+        let mut s = store();
+        let b = PcjLong::create(&mut s, 7).unwrap();
+        assert_eq!(b.value(&mut s), 7);
+        b.set(&mut s, 8).unwrap();
+        assert_eq!(b.value(&mut s), 8);
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        let mut s = store();
+        for text in ["", "hi", "exactly8", "longer than eight bytes"] {
+            let ps = PcjString::create(&mut s, text).unwrap();
+            assert_eq!(ps.value(&mut s), text);
+        }
+    }
+
+    #[test]
+    fn tuple_set_get_boxes() {
+        let mut s = store();
+        let t = PcjTuple::create(&mut s, 3).unwrap();
+        assert_eq!(t.arity(&s), 3);
+        assert_eq!(t.get(&mut s, 0), None);
+        t.set(&mut s, 0, 100).unwrap();
+        t.set(&mut s, 0, 200).unwrap(); // old box dropped, rc-freed
+        assert_eq!(t.get(&mut s, 0), Some(200));
+    }
+
+    #[test]
+    fn array_roundtrip() {
+        let mut s = store();
+        let a = PcjArray::create(&mut s, 10).unwrap();
+        for i in 0..10 {
+            a.set(&mut s, i, (i * i) as u64).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(a.get(&mut s, i), Some((i * i) as u64));
+        }
+    }
+
+    #[test]
+    fn arraylist_grows() {
+        let mut s = store();
+        let l = PcjArrayList::create(&mut s, 2).unwrap();
+        for i in 0..20 {
+            l.push(&mut s, i).unwrap();
+        }
+        assert_eq!(l.len(&mut s), 20);
+        for i in 0..20 {
+            assert_eq!(l.get(&mut s, i as usize), Some(i));
+        }
+        l.set(&mut s, 3, 999).unwrap();
+        assert_eq!(l.get(&mut s, 3), Some(999));
+        assert_eq!(l.get(&mut s, 20), None);
+    }
+
+    #[test]
+    fn hashmap_matches_model() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut s = store();
+        let m = PcjHashMap::create(&mut s, 8).unwrap();
+        let mut model = std::collections::HashMap::new();
+        for _ in 0..300 {
+            let k = rng.gen_range(0..30);
+            match rng.gen_range(0..3) {
+                0 => {
+                    let v = rng.gen_range(0..100);
+                    assert_eq!(m.put(&mut s, k, v).unwrap(), model.insert(k, v));
+                }
+                1 => assert_eq!(m.remove(&mut s, k).unwrap(), model.remove(&k)),
+                _ => assert_eq!(m.get(&mut s, k), model.get(&k).copied()),
+            }
+            assert_eq!(m.len(&mut s), model.len());
+        }
+    }
+
+    #[test]
+    fn map_survives_crash_via_root() {
+        let dev = NvmDevice::new(NvmConfig::with_size(16 << 20));
+        let mut s = PcjStore::format(dev.clone()).unwrap();
+        let m = PcjHashMap::create(&mut s, 4).unwrap();
+        for k in 0..20 {
+            m.put(&mut s, k, k + 100).unwrap();
+        }
+        s.set_root(m.as_ref()).unwrap();
+        dev.crash();
+        let mut s2 = PcjStore::attach(dev).unwrap();
+        let m2 = PcjHashMap::from_ref(s2.root());
+        for k in 0..20 {
+            assert_eq!(m2.get(&mut s2, k), Some(k + 100));
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! PCJ-style baseline: off-heap persistent collections for a managed
+//! runtime (§2.2, §6.2).
+//!
+//! Intel's Persistent Collections for Java stores persistent data as
+//! *native off-heap objects* managed outside the garbage-collected heap,
+//! with its own type system rooted at `PersistentObject`. The paper's
+//! Figure 6 breakdown attributes PCJ's cost to exactly the mechanisms this
+//! crate reproduces, each instrumented with a phase timer:
+//!
+//! * **Metadata** — type information memorization: every object creation
+//!   resolves its type *by string* against an NVM-resident type table and
+//!   persists a type record reference (a normal Java heap stores one
+//!   class pointer instead).
+//! * **GC** — reference-counting: every create and every reference store
+//!   updates persisted refcounts, freeing (recursively) at zero.
+//! * **Allocation** — a native free-list allocator with per-object headers
+//!   (size, refcount, type), walked first-fit on NVM.
+//! * **Transaction** — every operation takes a lock and runs under an
+//!   NVM undo log with per-entry flushes, NVML-style.
+//! * **Data** — the payload bytes actually written.
+//!
+//! The separated type system is visible in the API: you cannot store a raw
+//! word into a [`PcjTuple`] slot — you store a boxed [`PcjLong`], which is
+//! why `set` on tuples is the paper's worst case (256.3x, Figure 15).
+//!
+//! # Example
+//!
+//! ```
+//! use espresso_pcj::{PcjStore, PcjLong};
+//! use espresso_nvm::{NvmConfig, NvmDevice};
+//!
+//! # fn main() -> Result<(), espresso_pcj::PcjError> {
+//! let dev = NvmDevice::new(NvmConfig::with_size(1 << 20));
+//! let mut store = PcjStore::format(dev)?;
+//! let n = PcjLong::create(&mut store, 42)?;
+//! assert_eq!(n.value(&mut store), 42);
+//! # Ok(())
+//! # }
+//! ```
+
+mod collections;
+mod store;
+mod timers;
+
+pub use collections::{PcjArray, PcjArrayList, PcjHashMap, PcjLong, PcjString, PcjTuple};
+pub use store::{PcjError, PcjRef, PcjStore};
+pub use timers::{Phase, PhaseBreakdown};
+
+/// Result alias for PCJ-baseline operations.
+pub type Result<T> = std::result::Result<T, PcjError>;

@@ -1,0 +1,605 @@
+//! The off-heap object store: native allocator, string-keyed type table,
+//! refcount GC, per-operation transactions.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use espresso_nvm::NvmDevice;
+use parking_lot::Mutex;
+
+use crate::timers::{Phase, PhaseBreakdown};
+
+const MAGIC: u64 = 0x5043_4a53_544f_5245; // "PCJSTORE"
+
+mod meta {
+    pub const MAGIC: usize = 0;
+    pub const ALLOC_TOP: usize = 8;
+    pub const FREELIST: usize = 16;
+    pub const TYPE_TOP: usize = 24;
+    pub const LOG_COUNT: usize = 32;
+    pub const ROOT: usize = 40;
+    /// NVML-style transaction stage word (its own cache line so the
+    /// per-transaction flushes are honest).
+    pub const TX_STAGE: usize = 128;
+    pub const SIZE: usize = 256;
+}
+
+const LOG_ENTRIES: usize = 1024;
+const LOG_OFF: usize = meta::SIZE;
+const LOG_BYTES: usize = LOG_ENTRIES * 16;
+const TYPE_OFF: usize = LOG_OFF + LOG_BYTES;
+const TYPE_BYTES: usize = 32 << 10;
+const DATA_OFF: usize = TYPE_OFF + TYPE_BYTES;
+
+/// Object header: payload size (words), refcount, type-record offset.
+const HEADER_WORDS: usize = 3;
+
+/// Errors from the PCJ baseline.
+#[derive(Debug)]
+pub enum PcjError {
+    /// The data area is exhausted.
+    OutOfMemory,
+    /// The type table is exhausted.
+    TypeTableFull,
+    /// A transaction exceeded the undo log.
+    LogOverflow,
+    /// The device does not hold a formatted store.
+    NotAStore,
+}
+
+impl fmt::Display for PcjError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PcjError::OutOfMemory => write!(f, "pcj store out of memory"),
+            PcjError::TypeTableFull => write!(f, "pcj type table full"),
+            PcjError::LogOverflow => write!(f, "pcj undo log overflow"),
+            PcjError::NotAStore => write!(f, "device does not hold a pcj store"),
+        }
+    }
+}
+
+impl std::error::Error for PcjError {}
+
+/// Handle to an off-heap object (its header offset). Zero is null.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PcjRef(pub(crate) u64);
+
+impl PcjRef {
+    /// The null handle.
+    pub const NULL: PcjRef = PcjRef(0);
+
+    /// Whether this is the null handle.
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Raw offset (for persisting into payload slots).
+    pub fn to_raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a handle from a payload slot.
+    pub fn from_raw(raw: u64) -> PcjRef {
+        PcjRef(raw)
+    }
+}
+
+/// The PCJ-style store. See the [crate docs](crate) for the cost model.
+pub struct PcjStore {
+    dev: NvmDevice,
+    lock: Arc<Mutex<()>>,
+    timers: PhaseBreakdown,
+    log_entries: usize,
+}
+
+impl fmt::Debug for PcjStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PcjStore").field("device_size", &self.dev.size()).finish()
+    }
+}
+
+impl PcjStore {
+    /// Formats a fresh store on `dev`.
+    ///
+    /// # Errors
+    ///
+    /// [`PcjError::OutOfMemory`] if the device is smaller than the fixed
+    /// areas.
+    pub fn format(dev: NvmDevice) -> crate::Result<PcjStore> {
+        if dev.size() <= DATA_OFF + 1024 {
+            return Err(PcjError::OutOfMemory);
+        }
+        dev.write_u64(meta::MAGIC, MAGIC);
+        dev.write_u64(meta::ALLOC_TOP, DATA_OFF as u64 + 8); // offset 0 stays null
+        dev.write_u64(meta::FREELIST, 0);
+        dev.write_u64(meta::TYPE_TOP, TYPE_OFF as u64);
+        dev.write_u64(meta::LOG_COUNT, 0);
+        dev.write_u64(meta::ROOT, 0);
+        dev.persist(0, meta::SIZE);
+        Ok(PcjStore { dev, lock: Arc::new(Mutex::new(())), timers: PhaseBreakdown::default(), log_entries: 0 })
+    }
+
+    /// Attaches to an existing store, rolling back a torn transaction.
+    ///
+    /// # Errors
+    ///
+    /// [`PcjError::NotAStore`] on a foreign image.
+    pub fn attach(dev: NvmDevice) -> crate::Result<PcjStore> {
+        if dev.size() < meta::SIZE || dev.read_u64(meta::MAGIC) != MAGIC {
+            return Err(PcjError::NotAStore);
+        }
+        let count = dev.read_u64(meta::LOG_COUNT) as usize;
+        for i in (0..count).rev() {
+            let addr = dev.read_u64(LOG_OFF + i * 16) as usize;
+            let old = dev.read_u64(LOG_OFF + i * 16 + 8);
+            dev.write_u64(addr, old);
+            dev.persist(addr, 8);
+        }
+        dev.write_u64(meta::LOG_COUNT, 0);
+        dev.persist(meta::LOG_COUNT, 8);
+        Ok(PcjStore { dev, lock: Arc::new(Mutex::new(())), timers: PhaseBreakdown::default(), log_entries: 0 })
+    }
+
+    /// The backing device.
+    pub fn device(&self) -> &NvmDevice {
+        &self.dev
+    }
+
+    /// Accumulated phase timers (Figure 6).
+    pub fn timers(&self) -> PhaseBreakdown {
+        self.timers
+    }
+
+    /// Resets the phase timers.
+    pub fn reset_timers(&mut self) {
+        self.timers = PhaseBreakdown::default();
+    }
+
+    fn timed<T>(&mut self, phase: Phase, f: impl FnOnce(&mut PcjStore) -> T) -> T {
+        let t0 = Instant::now();
+        let out = f(self);
+        self.timers.add(phase, t0.elapsed());
+        out
+    }
+
+    // ---- transactions (NVML-style undo log, per-entry flushes) ----
+
+    pub(crate) fn txn_begin(&mut self) {
+        self.timed(Phase::Transaction, |s| {
+            // The synchronization primitive PCJ pays for on every op, plus
+            // NVML's persisted transaction-stage update (tx_begin writes
+            // and flushes the stage word before any work happens).
+            drop(s.lock.clone().lock());
+            s.dev.write_u64(meta::TX_STAGE, 1);
+            s.dev.persist(meta::TX_STAGE, 8);
+            s.log_entries = 0;
+        });
+    }
+
+    pub(crate) fn txn_commit(&mut self) {
+        self.timed(Phase::Transaction, |s| {
+            s.dev.write_u64(meta::LOG_COUNT, 0);
+            s.dev.persist(meta::LOG_COUNT, 8);
+            // NVML tx_end: stage back to NONE, persisted.
+            s.dev.write_u64(meta::TX_STAGE, 0);
+            s.dev.persist(meta::TX_STAGE, 8);
+            s.log_entries = 0;
+        });
+    }
+
+    fn log_word(&mut self, addr: usize) -> crate::Result<()> {
+        if self.log_entries >= LOG_ENTRIES {
+            return Err(PcjError::LogOverflow);
+        }
+        let t0 = Instant::now();
+        let old = self.dev.read_u64(addr);
+        let i = self.log_entries;
+        self.dev.write_u64(LOG_OFF + i * 16, addr as u64);
+        self.dev.write_u64(LOG_OFF + i * 16 + 8, old);
+        self.dev.persist(LOG_OFF + i * 16, 16);
+        self.log_entries = i + 1;
+        self.dev.write_u64(meta::LOG_COUNT, self.log_entries as u64);
+        self.dev.persist(meta::LOG_COUNT, 8);
+        self.timers.add(Phase::Transaction, t0.elapsed());
+        Ok(())
+    }
+
+    fn logged_write(&mut self, addr: usize, value: u64) -> crate::Result<()> {
+        self.log_word(addr)?;
+        self.dev.write_u64(addr, value);
+        self.dev.persist(addr, 8);
+        Ok(())
+    }
+
+    // ---- type table (the "metadata" cost of Figure 6) ----
+
+    fn type_lookup_or_insert(&mut self, name: &str, slots_are_refs: bool) -> crate::Result<u64> {
+        self.timed(Phase::Metadata, |s| {
+            let top = s.dev.read_u64(meta::TYPE_TOP) as usize;
+            let mut pos = TYPE_OFF;
+            while pos < top {
+                let len = s.dev.read_u64(pos) as usize;
+                let mut buf = vec![0u8; len];
+                s.dev.read_bytes(pos + 16, &mut buf);
+                if buf == name.as_bytes() {
+                    return Ok(pos as u64);
+                }
+                pos += 16 + len.next_multiple_of(8);
+            }
+            let rec_len = 16 + name.len().next_multiple_of(8);
+            if pos + rec_len > TYPE_OFF + TYPE_BYTES {
+                return Err(PcjError::TypeTableFull);
+            }
+            s.dev.write_u64(pos, name.len() as u64);
+            s.dev.write_u64(pos + 8, slots_are_refs as u64);
+            s.dev.write_bytes(pos + 16, name.as_bytes());
+            s.dev.persist(pos, rec_len);
+            s.dev.write_u64(meta::TYPE_TOP, (pos + rec_len) as u64);
+            s.dev.persist(meta::TYPE_TOP, 8);
+            Ok(pos as u64)
+        })
+    }
+
+    /// Reads back an object's type name.
+    pub fn type_name(&self, obj: PcjRef) -> String {
+        let ty = self.dev.read_u64(obj.0 as usize + 16) as usize;
+        let len = self.dev.read_u64(ty) as usize;
+        let mut buf = vec![0u8; len];
+        self.dev.read_bytes(ty + 16, &mut buf);
+        String::from_utf8_lossy(&buf).into_owned()
+    }
+
+    fn type_slots_are_refs(&self, obj: PcjRef) -> bool {
+        let ty = self.dev.read_u64(obj.0 as usize + 16) as usize;
+        self.dev.read_u64(ty + 8) != 0
+    }
+
+    // ---- allocation (first-fit free list, then bump) ----
+
+    fn alloc_block(&mut self, payload_words: usize) -> crate::Result<usize> {
+        self.timed(Phase::Allocation, |s| {
+            let need = HEADER_WORDS + payload_words;
+            // Walk the free list first-fit (exact-or-larger, no splitting).
+            let mut prev = 0usize;
+            let mut cur = s.dev.read_u64(meta::FREELIST) as usize;
+            while cur != 0 {
+                let size = s.dev.read_u64(cur) as usize;
+                if size >= payload_words && size <= payload_words * 2 + 8 {
+                    let next = s.dev.read_u64(cur + 8);
+                    if prev == 0 {
+                        s.dev.write_u64(meta::FREELIST, next);
+                        s.dev.persist(meta::FREELIST, 8);
+                    } else {
+                        s.dev.write_u64(prev + 8, next);
+                        s.dev.persist(prev + 8, 8);
+                    }
+                    s.dev.write_u64(cur, size as u64);
+                    return Ok(cur);
+                }
+                prev = cur;
+                cur = s.dev.read_u64(cur + 8) as usize;
+            }
+            let top = s.dev.read_u64(meta::ALLOC_TOP) as usize;
+            if top + need * 8 > s.dev.size() {
+                return Err(PcjError::OutOfMemory);
+            }
+            s.dev.write_u64(meta::ALLOC_TOP, (top + need * 8) as u64);
+            s.dev.persist(meta::ALLOC_TOP, 8);
+            s.dev.write_u64(top, payload_words as u64);
+            s.dev.persist(top, 8);
+            Ok(top)
+        })
+    }
+
+    // ---- refcount GC (the "GC" cost of Figure 6) ----
+
+    fn write_rc(&mut self, obj: usize, rc: u64) -> crate::Result<()> {
+        self.logged_write(obj + 8, rc)
+    }
+
+    pub(crate) fn inc_rc(&mut self, obj: PcjRef) -> crate::Result<()> {
+        if obj.is_null() {
+            return Ok(());
+        }
+        self.timed(Phase::Gc, |s| {
+            let rc = s.dev.read_u64(obj.0 as usize + 8);
+            s.write_rc(obj.0 as usize, rc + 1)
+        })
+    }
+
+    pub(crate) fn dec_rc(&mut self, obj: PcjRef) -> crate::Result<()> {
+        if obj.is_null() {
+            return Ok(());
+        }
+        self.timed(Phase::Gc, |s| s.dec_rc_inner(obj.0 as usize))
+    }
+
+    fn dec_rc_inner(&mut self, obj: usize) -> crate::Result<()> {
+        let mut stack = vec![obj];
+        while let Some(o) = stack.pop() {
+            let rc = self.dev.read_u64(o + 8);
+            let rc = rc.saturating_sub(1);
+            self.write_rc(o, rc)?;
+            if rc == 0 {
+                // Drop children, then thread the block onto the free list.
+                if self.type_slots_are_refs(PcjRef(o as u64)) {
+                    let words = self.dev.read_u64(o) as usize;
+                    for i in 0..words {
+                        let child = self.dev.read_u64(o + (HEADER_WORDS + i) * 8);
+                        if child != 0 {
+                            stack.push(child as usize);
+                        }
+                    }
+                }
+                let head = self.dev.read_u64(meta::FREELIST);
+                self.logged_write(o + 8, head)?; // next-free pointer reuses the rc slot
+                self.logged_write(meta::FREELIST, o as u64)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Current refcount (tests).
+    pub fn refcount(&self, obj: PcjRef) -> u64 {
+        self.dev.read_u64(obj.0 as usize + 8)
+    }
+
+    // ---- object API ----
+
+    /// Creates an off-heap object: allocation + type memorization +
+    /// refcount initialization + zeroed payload, all under a transaction.
+    ///
+    /// # Errors
+    ///
+    /// Space errors from any area.
+    pub fn create(&mut self, type_name: &str, payload_words: usize, slots_are_refs: bool) -> crate::Result<PcjRef> {
+        self.txn_begin();
+        let result = (|| {
+            let block = self.alloc_block(payload_words)?;
+            let ty = self.type_lookup_or_insert(type_name, slots_are_refs)?;
+            self.timed(Phase::Metadata, |s| s.logged_write(block + 16, ty))?;
+            self.timed(Phase::Gc, |s| s.write_rc(block, 1))?;
+            self.timed(Phase::Data, |s| {
+                s.dev.fill(block + HEADER_WORDS * 8, payload_words * 8, 0);
+                s.dev.persist(block + HEADER_WORDS * 8, payload_words * 8);
+                Ok(())
+            })?;
+            Ok(PcjRef(block as u64))
+        })();
+        self.txn_commit();
+        result
+    }
+
+    /// Payload word count.
+    pub fn payload_words(&self, obj: PcjRef) -> usize {
+        self.dev.read_u64(obj.0 as usize) as usize
+    }
+
+    /// Reads payload word `i` (under the transaction lock, like PCJ's
+    /// accessor methods).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn get_word(&mut self, obj: PcjRef, i: usize) -> u64 {
+        let words = self.payload_words(obj);
+        assert!(i < words, "payload index {i} out of range ({words})");
+        self.txn_begin();
+        let v = self.timed(Phase::Data, |s| s.dev.read_u64(obj.0 as usize + (HEADER_WORDS + i) * 8));
+        self.txn_commit();
+        v
+    }
+
+    /// Transactionally writes payload word `i` (primitive slot).
+    ///
+    /// # Errors
+    ///
+    /// Log overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn set_word(&mut self, obj: PcjRef, i: usize, value: u64) -> crate::Result<()> {
+        let words = self.payload_words(obj);
+        assert!(i < words, "payload index {i} out of range ({words})");
+        self.txn_begin();
+        let r = self.timed(Phase::Data, |s| s.logged_write(obj.0 as usize + (HEADER_WORDS + i) * 8, value));
+        self.txn_commit();
+        r
+    }
+
+    /// Transactionally stores a reference into payload slot `i`,
+    /// maintaining refcounts on both the old and new targets.
+    ///
+    /// # Errors
+    ///
+    /// Log overflow.
+    pub fn set_ref(&mut self, obj: PcjRef, i: usize, value: PcjRef) -> crate::Result<()> {
+        let words = self.payload_words(obj);
+        assert!(i < words, "payload index {i} out of range ({words})");
+        self.txn_begin();
+        let result = (|| {
+            let slot = obj.0 as usize + (HEADER_WORDS + i) * 8;
+            let old = PcjRef(self.dev.read_u64(slot));
+            self.inc_rc(value)?;
+            self.timed(Phase::Data, |s| s.logged_write(slot, value.to_raw()))?;
+            self.dec_rc(old)?;
+            Ok(())
+        })();
+        self.txn_commit();
+        result
+    }
+
+    /// Reads payload slot `i` as a reference.
+    pub fn get_ref(&mut self, obj: PcjRef, i: usize) -> PcjRef {
+        PcjRef::from_raw(self.get_word(obj, i))
+    }
+
+    /// Publishes the store's root object (PCJ's ObjectDirectory, reduced
+    /// to a single slot).
+    ///
+    /// # Errors
+    ///
+    /// Log overflow.
+    pub fn set_root(&mut self, obj: PcjRef) -> crate::Result<()> {
+        self.txn_begin();
+        let result = (|| {
+            let old = PcjRef(self.dev.read_u64(meta::ROOT));
+            self.inc_rc(obj)?;
+            self.logged_write(meta::ROOT, obj.to_raw())?;
+            self.dec_rc(old)?;
+            Ok(())
+        })();
+        self.txn_commit();
+        result
+    }
+
+    /// Fetches the root object.
+    pub fn root(&self) -> PcjRef {
+        PcjRef(self.dev.read_u64(meta::ROOT))
+    }
+
+    /// Bytes currently allocated past the data-area base.
+    pub fn allocated_bytes(&self) -> usize {
+        self.dev.read_u64(meta::ALLOC_TOP) as usize - DATA_OFF
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use espresso_nvm::NvmConfig;
+
+    fn store() -> (NvmDevice, PcjStore) {
+        let dev = NvmDevice::new(NvmConfig::with_size(4 << 20));
+        let s = PcjStore::format(dev.clone()).unwrap();
+        (dev, s)
+    }
+
+    #[test]
+    fn create_and_word_roundtrip() {
+        let (_dev, mut s) = store();
+        let o = s.create("PersistentLong", 1, false).unwrap();
+        s.set_word(o, 0, 42).unwrap();
+        assert_eq!(s.get_word(o, 0), 42);
+        assert_eq!(s.type_name(o), "PersistentLong");
+        assert_eq!(s.refcount(o), 1);
+    }
+
+    #[test]
+    fn type_table_is_shared_across_objects() {
+        let (dev, mut s) = store();
+        let a = s.create("T", 1, false).unwrap();
+        let top_after_one = dev.read_u64(meta::TYPE_TOP);
+        let b = s.create("T", 1, false).unwrap();
+        assert_eq!(dev.read_u64(meta::TYPE_TOP), top_after_one, "no duplicate record");
+        assert_eq!(s.type_name(a), s.type_name(b));
+    }
+
+    #[test]
+    fn refcount_frees_at_zero_and_reuses_block() {
+        let (_dev, mut s) = store();
+        let container = s.create("Box", 1, true).unwrap();
+        let child = s.create("PersistentLong", 1, false).unwrap();
+        s.set_ref(container, 0, child).unwrap();
+        assert_eq!(s.refcount(child), 2);
+        s.set_ref(container, 0, PcjRef::NULL).unwrap();
+        assert_eq!(s.refcount(child), 1);
+        // Dropping the creation reference frees the block...
+        s.dec_rc(child).unwrap();
+        let bytes = s.allocated_bytes();
+        // ...which the next same-size allocation reuses.
+        let again = s.create("PersistentLong", 1, false).unwrap();
+        assert_eq!(s.allocated_bytes(), bytes, "free-list reuse");
+        assert_eq!(again, child);
+    }
+
+    #[test]
+    fn recursive_free_cascades() {
+        let (_dev, mut s) = store();
+        let parent = s.create("Pair", 2, true).unwrap();
+        let a = s.create("PersistentLong", 1, false).unwrap();
+        let b = s.create("PersistentLong", 1, false).unwrap();
+        s.set_ref(parent, 0, a).unwrap();
+        s.set_ref(parent, 1, b).unwrap();
+        // Drop creation refs: children now owned by parent only.
+        s.dec_rc(a).unwrap();
+        s.dec_rc(b).unwrap();
+        assert_eq!(s.refcount(a), 1);
+        // Freeing the parent cascades: both child blocks land on the free
+        // list (their rc slots become next-free pointers), so the next two
+        // same-size allocations reuse them.
+        s.dec_rc(parent).unwrap();
+        let x = s.create("PersistentLong", 1, false).unwrap();
+        let y = s.create("PersistentLong", 1, false).unwrap();
+        let mut reused = [x, y];
+        let mut freed = [a, b];
+        reused.sort_by_key(|r| r.to_raw());
+        freed.sort_by_key(|r| r.to_raw());
+        assert_eq!(reused, freed);
+    }
+
+    #[test]
+    fn torn_transaction_rolls_back_on_attach() {
+        let (dev, mut s) = store();
+        let o = s.create("T", 1, false).unwrap();
+        s.set_root(o).unwrap();
+        s.set_word(o, 0, 5).unwrap();
+        // Tear the next write: let the log flushes land but crash before
+        // the data flush (log entry = 1 line + count = 1 line; data = 3rd).
+        dev.schedule_crash_after_line_flushes(2);
+        let _ = s.set_word(o, 0, 99);
+        dev.recover();
+        let s2 = PcjStore::attach(dev).unwrap();
+        let root = s2.root();
+        assert_eq!(s2.device().read_u64(root.0 as usize + HEADER_WORDS as usize * 8), 5);
+    }
+
+    #[test]
+    fn committed_state_survives_crash() {
+        let (dev, mut s) = store();
+        let o = s.create("T", 2, false).unwrap();
+        s.set_word(o, 0, 7).unwrap();
+        s.set_word(o, 1, 8).unwrap();
+        s.set_root(o).unwrap();
+        dev.crash();
+        let mut s2 = PcjStore::attach(dev).unwrap();
+        let root = s2.root();
+        assert_eq!(s2.get_word(root, 0), 7);
+        assert_eq!(s2.get_word(root, 1), 8);
+    }
+
+    #[test]
+    fn timers_attribute_all_phases_on_create() {
+        let (_dev, mut s) = store();
+        for i in 0..200 {
+            let o = s.create("PersistentLong", 1, false).unwrap();
+            s.set_word(o, 0, i).unwrap();
+        }
+        let b = s.timers();
+        for phase in [Phase::Data, Phase::Allocation, Phase::Metadata, Phase::Gc, Phase::Transaction] {
+            assert!(b.get(phase) > std::time::Duration::ZERO, "{phase} never timed");
+        }
+    }
+
+    #[test]
+    fn attach_rejects_blank_device() {
+        let dev = NvmDevice::new(NvmConfig::with_size(1 << 20));
+        assert!(matches!(PcjStore::attach(dev), Err(PcjError::NotAStore)));
+    }
+
+    #[test]
+    fn out_of_memory_reported() {
+        let dev = NvmDevice::new(NvmConfig::with_size(DATA_OFF + 2048));
+        let mut s = PcjStore::format(dev).unwrap();
+        let mut last = Ok(PcjRef::NULL);
+        for _ in 0..1000 {
+            last = s.create("T", 8, false);
+            if last.is_err() {
+                break;
+            }
+        }
+        assert!(matches!(last, Err(PcjError::OutOfMemory)));
+    }
+}

@@ -1,0 +1,129 @@
+//! Phase accounting for the Figure 6 breakdown.
+
+use std::time::Duration;
+
+/// The cost centers of a PCJ operation (Figure 6's legend).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Payload reads/writes.
+    Data,
+    /// Free-list allocation and header setup.
+    Allocation,
+    /// Type-information memorization (string-keyed type table).
+    Metadata,
+    /// Reference-count maintenance and recursive frees.
+    Gc,
+    /// Locking plus undo logging and its flushes.
+    Transaction,
+    /// Everything else (dispatch, bookkeeping).
+    Other,
+}
+
+impl Phase {
+    /// All phases in Figure 6's stacking order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Transaction,
+        Phase::Gc,
+        Phase::Metadata,
+        Phase::Allocation,
+        Phase::Data,
+        Phase::Other,
+    ];
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Phase::Data => "Data",
+            Phase::Allocation => "Allocation",
+            Phase::Metadata => "Metadata",
+            Phase::Gc => "GC",
+            Phase::Transaction => "Transaction",
+            Phase::Other => "Other",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Accumulated wall time per phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseBreakdown {
+    data: Duration,
+    allocation: Duration,
+    metadata: Duration,
+    gc: Duration,
+    transaction: Duration,
+    other: Duration,
+}
+
+impl PhaseBreakdown {
+    pub(crate) fn add(&mut self, phase: Phase, d: Duration) {
+        *self.slot(phase) += d;
+    }
+
+    fn slot(&mut self, phase: Phase) -> &mut Duration {
+        match phase {
+            Phase::Data => &mut self.data,
+            Phase::Allocation => &mut self.allocation,
+            Phase::Metadata => &mut self.metadata,
+            Phase::Gc => &mut self.gc,
+            Phase::Transaction => &mut self.transaction,
+            Phase::Other => &mut self.other,
+        }
+    }
+
+    /// Time spent in one phase.
+    pub fn get(&self, phase: Phase) -> Duration {
+        match phase {
+            Phase::Data => self.data,
+            Phase::Allocation => self.allocation,
+            Phase::Metadata => self.metadata,
+            Phase::Gc => self.gc,
+            Phase::Transaction => self.transaction,
+            Phase::Other => self.other,
+        }
+    }
+
+    /// Total across all phases.
+    pub fn total(&self) -> Duration {
+        Phase::ALL.iter().map(|&p| self.get(p)).sum()
+    }
+
+    /// `(phase, fraction-of-total)` rows, Figure 6 style.
+    pub fn fractions(&self) -> Vec<(Phase, f64)> {
+        let total = self.total().as_secs_f64().max(f64::MIN_POSITIVE);
+        Phase::ALL
+            .iter()
+            .map(|&p| (p, self.get(p).as_secs_f64() / total))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut b = PhaseBreakdown::default();
+        b.add(Phase::Data, Duration::from_millis(10));
+        b.add(Phase::Gc, Duration::from_millis(30));
+        let sum: f64 = b.fractions().iter().map(|(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(b.total(), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn phases_accumulate() {
+        let mut b = PhaseBreakdown::default();
+        b.add(Phase::Metadata, Duration::from_millis(5));
+        b.add(Phase::Metadata, Duration::from_millis(5));
+        assert_eq!(b.get(Phase::Metadata), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Phase::Gc.to_string(), "GC");
+        assert_eq!(Phase::Transaction.to_string(), "Transaction");
+    }
+}

@@ -1,0 +1,60 @@
+//! Persistent Java Object (PJO): JPA-compatible persistence directly atop
+//! PJH (§5).
+//!
+//! PJO keeps the JPA programming model — the same [`EntityMeta`] /
+//! [`EntityObject`](espresso_jpa::EntityObject) types and the same `begin`
+//! / `persist` / `merge` / `remove` / `commit` surface as `espresso-jpa` —
+//! but replaces the persistence pipeline (Figure 13):
+//!
+//! * **No SQL transformation.** At commit, each entity becomes a
+//!   `DBPersistable` shipped straight to the backend through the direct
+//!   interface of `espresso-minidb` (`persistInTable`), eliminating the
+//!   phase Figure 4 blames for ~42% of commit time.
+//! * **A PJH-resident copy.** Every committed entity also lives as a real
+//!   object in the Persistent Java Heap (ints inline, strings as
+//!   persistent byte arrays), so the runtime can hand out references to
+//!   persisted data instead of keeping volatile duplicates — the **data
+//!   deduplication** of Figure 14(d): after commit,
+//!   [`PjoEntityManager::find`] hydrates from NVM when it can.
+//! * **Field-level tracking** (§5): the enhancer's dirty bitmap travels to
+//!   the backend, so updates touch only modified columns
+//!   ([`Connection::update_fields`](espresso_minidb::Connection::update_fields))
+//!   — important because NVM writes are several times costlier than reads.
+//!
+//! [`EntityMeta`]: espresso_jpa::EntityMeta
+//!
+//! # Example
+//!
+//! ```
+//! use espresso_jpa::EntityMeta;
+//! use espresso_minidb::{ColType, Database, Value};
+//! use espresso_nvm::{NvmConfig, NvmDevice};
+//! use espresso_core::{Pjh, PjhConfig};
+//! use espresso_pjo::PjoEntityManager;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let db = Database::create(NvmDevice::new(NvmConfig::with_size(1 << 20)))?;
+//! let pjh = Pjh::create(NvmDevice::new(NvmConfig::with_size(8 << 20)), PjhConfig::small())?;
+//! let person = EntityMeta::builder("person")
+//!     .pk_field("id", ColType::Int)
+//!     .field("name", ColType::Text)
+//!     .build();
+//! let mut em = PjoEntityManager::new(db.connect(), pjh);
+//! em.create_schema(&[&person])?;
+//! em.begin();
+//! let mut p = person.instantiate();
+//! p.set(0, Value::Int(1));
+//! p.set(1, Value::Str("Jimmy".into()));
+//! em.persist(p);
+//! em.commit()?;
+//! assert!(em.find(&person, &Value::Int(1))?.is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+mod provider;
+
+pub use provider::{PjoEntityManager, PjoError, PjoStats};
+
+/// Result alias for PJO operations.
+pub type Result<T> = std::result::Result<T, PjoError>;

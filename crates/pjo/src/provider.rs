@@ -1,0 +1,588 @@
+//! The PJO provider (modified-DataNucleus equivalent).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Instant;
+
+use espresso_core::{Pjh, PjhError};
+use espresso_jpa::{EntityMeta, EntityObject};
+use espresso_minidb::{ColType, Connection, DbError, Value};
+use espresso_object::{FieldDesc, FieldKind, Ref};
+
+/// Errors from the PJO provider.
+#[derive(Debug)]
+pub enum PjoError {
+    /// Backend database failure.
+    Db(DbError),
+    /// Persistent heap failure.
+    Pjh(PjhError),
+}
+
+impl fmt::Display for PjoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PjoError::Db(e) => write!(f, "backend database: {e}"),
+            PjoError::Pjh(e) => write!(f, "persistent heap: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PjoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PjoError::Db(e) => Some(e),
+            PjoError::Pjh(e) => Some(e),
+        }
+    }
+}
+
+impl From<DbError> for PjoError {
+    fn from(e: DbError) -> Self {
+        PjoError::Db(e)
+    }
+}
+
+impl From<PjhError> for PjoError {
+    fn from(e: PjhError) -> Self {
+        PjoError::Pjh(e)
+    }
+}
+
+/// Provider-side counters; the "transformation" column of Figure 17 is
+/// `ship_ns` here (object → DBPersistable handoff), which PJO makes tiny.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PjoStats {
+    /// Nanoseconds preparing/shipping DBPersistable objects (PJO's whole
+    /// "transformation" replacement).
+    pub ship_ns: u64,
+    /// Nanoseconds maintaining PJH copies (deduplication writes).
+    pub dedup_ns: u64,
+    /// Backend calls issued.
+    pub statements: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// `find` calls answered from the PJH copy instead of the backend.
+    pub dedup_hits: u64,
+}
+
+enum Pending {
+    Insert(EntityObject),
+    Update(EntityObject),
+    Remove(EntityMeta, Value),
+}
+
+fn key_i64(v: &Value) -> i64 {
+    match v {
+        Value::Int(i) => *i,
+        _ => 0,
+    }
+}
+
+/// The PJO entity manager: JPA's API, PJH's data path. See the
+/// [crate docs](crate).
+pub struct PjoEntityManager {
+    conn: Connection,
+    pjh: Pjh,
+    pending: Vec<Pending>,
+    /// Deduplicated copies: (table, pk) → PJH object.
+    copies: HashMap<(String, i64), Ref>,
+    dedup: bool,
+    stats: PjoStats,
+}
+
+impl fmt::Debug for PjoEntityManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PjoEntityManager")
+            .field("pending", &self.pending.len())
+            .field("copies", &self.copies.len())
+            .finish()
+    }
+}
+
+impl PjoEntityManager {
+    /// Wraps a backend connection and a persistent heap.
+    pub fn new(conn: Connection, pjh: Pjh) -> PjoEntityManager {
+        PjoEntityManager {
+            conn,
+            pjh,
+            pending: Vec::new(),
+            copies: HashMap::new(),
+            dedup: false,
+            stats: PjoStats::default(),
+        }
+    }
+
+    /// Enables or disables the data-deduplication optimization (§5,
+    /// Figure 14d): when on, commits also write a DBPersistable copy into
+    /// PJH and `find` hydrates from it. Off by default because it trades
+    /// extra commit work for cheaper retrieves.
+    pub fn set_dedup(&mut self, enabled: bool) {
+        self.dedup = enabled;
+    }
+
+    /// Provider counters.
+    pub fn stats(&self) -> PjoStats {
+        self.stats
+    }
+
+    /// Resets the provider counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = PjoStats::default();
+    }
+
+    /// The persistent heap holding the deduplicated copies.
+    pub fn pjh(&self) -> &Pjh {
+        &self.pjh
+    }
+
+    /// The backend connection.
+    pub fn connection(&mut self) -> &mut Connection {
+        &mut self.conn
+    }
+
+    /// Creates backend tables directly (no DDL text).
+    ///
+    /// # Errors
+    ///
+    /// Database errors.
+    pub fn create_schema(&mut self, metas: &[&EntityMeta]) -> crate::Result<()> {
+        for meta in metas {
+            self.conn.create_table_direct(meta.name(), meta.fields().to_vec(), meta.pk())?;
+            for c in 0..meta.collections().len() {
+                self.conn.create_table_direct(
+                    &meta.collection_table(c),
+                    vec![
+                        ("rowid".to_string(), ColType::Int),
+                        ("owner".to_string(), ColType::Int),
+                        ("idx".to_string(), ColType::Int),
+                        ("value".to_string(), ColType::Int),
+                    ],
+                    0,
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Starts a transaction.
+    pub fn begin(&mut self) {
+        self.pending.clear();
+        self.conn.begin();
+    }
+
+    /// Schedules an insert (`em.persist(p)` — unchanged from JPA).
+    pub fn persist(&mut self, obj: EntityObject) {
+        self.pending.push(Pending::Insert(obj));
+    }
+
+    /// Schedules an update; only dirty fields will reach the backend.
+    pub fn merge(&mut self, obj: EntityObject) {
+        self.pending.push(Pending::Update(obj));
+    }
+
+    /// Schedules a removal by key.
+    pub fn remove(&mut self, meta: &EntityMeta, key: Value) {
+        self.pending.push(Pending::Remove(meta.clone(), key));
+    }
+
+    // ---- the PJH DBPersistable copy (Figure 14) ----
+
+    fn pjh_klass(&mut self, meta: &EntityMeta) -> crate::Result<espresso_object::KlassId> {
+        let fields: Vec<FieldDesc> = meta
+            .fields()
+            .iter()
+            .map(|(n, t)| FieldDesc {
+                name: n.clone(),
+                kind: match t {
+                    ColType::Int => FieldKind::Prim,
+                    ColType::Text => FieldKind::Reference,
+                },
+            })
+            .collect();
+        Ok(self.pjh.register_instance(&format!("DB{}", meta.name()), fields)?)
+    }
+
+    fn store_copy(&mut self, obj: &EntityObject) -> crate::Result<Ref> {
+        let t0 = Instant::now();
+        let kid = self.pjh_klass(obj.meta())?;
+        let copy = self.pjh.alloc_instance(kid)?;
+        for (i, (_, ty)) in obj.meta().fields().iter().enumerate() {
+            match ty {
+                ColType::Int => self.pjh.set_field(copy, i, key_i64(obj.get(i)) as u64),
+                ColType::Text => {
+                    let s = match obj.get(i) {
+                        Value::Str(s) => s.clone(),
+                        _ => String::new(),
+                    };
+                    let r = self.store_string(&s)?;
+                    self.pjh.set_field_ref(copy, i, r)?;
+                }
+            }
+        }
+        self.pjh.flush_object(copy);
+        self.copies
+            .insert((obj.meta().name().to_string(), key_i64(obj.key())), copy);
+        self.stats.dedup_ns += t0.elapsed().as_nanos() as u64;
+        Ok(copy)
+    }
+
+    fn store_string(&mut self, s: &str) -> crate::Result<Ref> {
+        let kid = self.pjh.register_prim_array();
+        let words = 1 + s.len().div_ceil(8);
+        let arr = self.pjh.alloc_array(kid, words)?;
+        self.pjh.array_set(arr, 0, s.len() as u64);
+        for (i, chunk) in s.as_bytes().chunks(8).enumerate() {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            self.pjh.array_set(arr, 1 + i, u64::from_le_bytes(w));
+        }
+        self.pjh.flush_object(arr);
+        Ok(arr)
+    }
+
+    fn load_string(&self, arr: Ref) -> String {
+        let len = self.pjh.array_get(arr, 0) as usize;
+        let mut bytes = Vec::with_capacity(len);
+        for i in 0..len.div_ceil(8) {
+            bytes.extend_from_slice(&self.pjh.array_get(arr, 1 + i).to_le_bytes());
+        }
+        bytes.truncate(len);
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+
+    /// The deduplicated PJH copy of `(meta, key)`, if one exists.
+    pub fn dedup_ref(&self, meta: &EntityMeta, key: &Value) -> Option<Ref> {
+        self.copies.get(&(meta.name().to_string(), key_i64(key))).copied()
+    }
+
+    fn hydrate_from_copy(&self, meta: &EntityMeta, copy: Ref) -> EntityObject {
+        let mut obj = meta.instantiate();
+        for (i, (_, ty)) in meta.fields().iter().enumerate() {
+            let v = match ty {
+                ColType::Int => Value::Int(self.pjh.field(copy, i) as i64),
+                ColType::Text => {
+                    let r = self.pjh.field_ref(copy, i);
+                    if r.is_null() {
+                        Value::Null
+                    } else {
+                        Value::Str(self.load_string(r))
+                    }
+                }
+            };
+            obj.set(i, v);
+        }
+        obj
+    }
+
+    // ---- query & commit ----
+
+    /// Loads an entity. Served from the PJH copy (data deduplication) when
+    /// one exists and the entity has no collections; otherwise from the
+    /// backend through the direct interface.
+    ///
+    /// # Errors
+    ///
+    /// Database errors.
+    pub fn find(&mut self, meta: &EntityMeta, key: &Value) -> crate::Result<Option<EntityObject>> {
+        if meta.collections().is_empty() {
+            if let Some(copy) = self.dedup_ref(meta, key) {
+                self.stats.dedup_hits += 1;
+                let mut obj = self.hydrate_from_copy(meta, copy);
+                obj.clear_dirty_public();
+                return Ok(Some(obj));
+            }
+        }
+        let Some(row) = self.conn.find_row(meta.name(), key)? else {
+            return Ok(None);
+        };
+        let mut obj = meta.instantiate();
+        for (i, v) in row.into_iter().enumerate() {
+            obj.set(i, v);
+        }
+        for c in 0..meta.collections().len() {
+            let rows = self.conn.find_rows_by(&meta.collection_table(c), 1, key)?;
+            let mut items: Vec<(i64, i64)> = rows
+                .into_iter()
+                .map(|r| (key_i64(&r[2]), key_i64(&r[3])))
+                .collect();
+            items.sort_unstable();
+            obj.set_collection(c, items.into_iter().map(|(_, v)| v).collect());
+        }
+        obj.clear_dirty_public();
+        Ok(Some(obj))
+    }
+
+    fn flush_collections(&mut self, obj: &EntityObject, rowid: &mut i64) -> crate::Result<()> {
+        for c in 0..obj.meta().collections().len() {
+            let table = obj.meta().collection_table(c);
+            let key = obj.key().clone();
+            for row in self.conn.find_rows_by(&table, 1, &key)? {
+                self.conn.delete_row(&table, &row[0])?;
+                self.stats.statements += 1;
+            }
+            for (idx, v) in obj.collection(c).iter().enumerate() {
+                *rowid += 1;
+                self.conn.persist_row(
+                    &table,
+                    vec![
+                        Value::Int(key_i64(&key) * 1_000_000 + *rowid),
+                        key.clone(),
+                        Value::Int(idx as i64),
+                        Value::Int(*v),
+                    ],
+                )?;
+                self.stats.statements += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Commits: DBPersistable objects go straight to the backend — no SQL
+    /// text anywhere on this path — and PJH copies are written for
+    /// deduplication.
+    ///
+    /// # Errors
+    ///
+    /// Database or heap errors.
+    pub fn commit(&mut self) -> crate::Result<()> {
+        let pending = std::mem::take(&mut self.pending);
+        let mut rowid = 0i64;
+        for op in &pending {
+            match op {
+                Pending::Insert(obj) => {
+                    let t0 = Instant::now();
+                    let row = obj.values_vec(); // the whole "transformation"
+                    self.stats.ship_ns += t0.elapsed().as_nanos() as u64;
+                    self.conn.persist_row(obj.meta().name(), row)?;
+                    self.stats.statements += 1;
+                    self.flush_collections(obj, &mut rowid)?;
+                    if self.dedup {
+                        self.store_copy(obj)?;
+                    }
+                }
+                Pending::Update(obj) => {
+                    // §5 field-level tracking: ship only the dirty bitmap's
+                    // columns.
+                    let t0 = Instant::now();
+                    let fields: Vec<(usize, Value)> = obj
+                        .dirty_fields()
+                        .into_iter()
+                        .filter(|&i| i != obj.meta().pk())
+                        .map(|i| (i, obj.get(i).clone()))
+                        .collect();
+                    self.stats.ship_ns += t0.elapsed().as_nanos() as u64;
+                    self.conn.update_fields(obj.meta().name(), obj.key(), &fields)?;
+                    self.stats.statements += 1;
+                    if !obj.meta().collections().is_empty() {
+                        self.flush_collections(obj, &mut rowid)?;
+                    }
+                    if self.dedup {
+                        // Copy-on-write refresh of the dedup copy.
+                        self.store_copy(obj)?;
+                    }
+                }
+                Pending::Remove(meta, key) => {
+                    self.conn.delete_row(meta.name(), key)?;
+                    self.stats.statements += 1;
+                    for c in 0..meta.collections().len() {
+                        let table = meta.collection_table(c);
+                        for row in self.conn.find_rows_by(&table, 1, key)? {
+                            self.conn.delete_row(&table, &row[0])?;
+                        }
+                    }
+                    self.copies.remove(&(meta.name().to_string(), key_i64(key)));
+                }
+            }
+        }
+        self.conn.commit()?;
+        self.stats.commits += 1;
+        Ok(())
+    }
+
+    /// Drops unreferenced PJH copies (e.g. after removals) by collecting
+    /// the persistent heap with the live copies as roots.
+    ///
+    /// # Errors
+    ///
+    /// Heap errors.
+    pub fn gc_copies(&mut self) -> crate::Result<()> {
+        let roots: Vec<Ref> = self.copies.values().copied().collect();
+        let report = self.pjh.gc(&roots)?;
+        for r in self.copies.values_mut() {
+            if let Some(&new) = report.relocations.get(&r.addr()) {
+                *r = Ref::new(espresso_object::Space::Persistent, new);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use espresso_core::PjhConfig;
+    use espresso_minidb::Database;
+    use espresso_nvm::{NvmConfig, NvmDevice};
+
+    fn em() -> (Database, PjoEntityManager) {
+        let db = Database::create(NvmDevice::new(NvmConfig::with_size(4 << 20))).unwrap();
+        let pjh = Pjh::create(NvmDevice::new(NvmConfig::with_size(8 << 20)), PjhConfig::small()).unwrap();
+        let em = PjoEntityManager::new(db.connect(), pjh);
+        (db, em)
+    }
+
+    fn person() -> EntityMeta {
+        EntityMeta::builder("person")
+            .pk_field("id", ColType::Int)
+            .field("name", ColType::Text)
+            .field("age", ColType::Int)
+            .build()
+    }
+
+    fn mk(meta: &EntityMeta, id: i64, name: &str, age: i64) -> EntityObject {
+        let mut o = meta.instantiate();
+        o.set(0, Value::Int(id));
+        o.set(1, Value::Str(name.into()));
+        o.set(2, Value::Int(age));
+        o
+    }
+
+    #[test]
+    fn crud_lifecycle_matches_jpa_semantics() {
+        let (_db, mut em) = em();
+        let meta = person();
+        em.create_schema(&[&meta]).unwrap();
+        em.begin();
+        em.persist(mk(&meta, 1, "Ann", 30));
+        em.persist(mk(&meta, 2, "Bob", 40));
+        em.commit().unwrap();
+
+        let mut ann = em.find(&meta, &Value::Int(1)).unwrap().unwrap();
+        assert_eq!(ann.get(1), &Value::Str("Ann".into()));
+
+        em.begin();
+        ann.set(2, Value::Int(31));
+        em.merge(ann);
+        em.commit().unwrap();
+        assert_eq!(
+            em.find(&meta, &Value::Int(1)).unwrap().unwrap().get(2),
+            &Value::Int(31)
+        );
+
+        em.begin();
+        em.remove(&meta, Value::Int(1));
+        em.commit().unwrap();
+        assert!(em.find(&meta, &Value::Int(1)).unwrap().is_none());
+    }
+
+    #[test]
+    fn no_sql_text_on_the_pjo_path() {
+        let (db, mut em) = em();
+        let meta = person();
+        em.create_schema(&[&meta]).unwrap();
+        db.reset_stats();
+        em.begin();
+        for i in 0..100 {
+            em.persist(mk(&meta, i, "X", i));
+        }
+        em.commit().unwrap();
+        assert_eq!(db.stats().parse_ns, 0, "no statement was ever parsed");
+        assert_eq!(db.row_count("person").unwrap(), 100);
+    }
+
+    #[test]
+    fn dedup_copy_lives_in_pjh_and_serves_find() {
+        let (_db, mut em) = em();
+        em.set_dedup(true);
+        let meta = person();
+        em.create_schema(&[&meta]).unwrap();
+        em.begin();
+        em.persist(mk(&meta, 1, "Ann", 30));
+        em.commit().unwrap();
+        let copy = em.dedup_ref(&meta, &Value::Int(1)).expect("copy exists");
+        assert!(copy.is_persistent());
+        assert_eq!(em.pjh().klass_of(copy).name(), "DBperson");
+        let before = em.stats().dedup_hits;
+        let found = em.find(&meta, &Value::Int(1)).unwrap().unwrap();
+        assert_eq!(em.stats().dedup_hits, before + 1);
+        assert_eq!(found.get(1), &Value::Str("Ann".into()));
+        assert_eq!(found.get(2), &Value::Int(30));
+    }
+
+    #[test]
+    fn field_level_tracking_updates_only_dirty_columns() {
+        let (_db, mut em) = em();
+        let meta = person();
+        em.create_schema(&[&meta]).unwrap();
+        em.begin();
+        em.persist(mk(&meta, 1, "Ann", 30));
+        em.commit().unwrap();
+        let mut obj = em.find(&meta, &Value::Int(1)).unwrap().unwrap();
+        obj.set(2, Value::Int(99)); // only age dirty
+        assert_eq!(obj.dirty_fields(), vec![2]);
+        em.begin();
+        em.merge(obj);
+        em.commit().unwrap();
+        let o = em.find(&meta, &Value::Int(1)).unwrap().unwrap();
+        assert_eq!(o.get(1), &Value::Str("Ann".into()), "untouched column preserved");
+        assert_eq!(o.get(2), &Value::Int(99));
+    }
+
+    #[test]
+    fn collections_roundtrip_direct() {
+        let (db, mut em) = em();
+        let cart = EntityMeta::builder("cart")
+            .pk_field("id", ColType::Int)
+            .collection("items")
+            .build();
+        em.create_schema(&[&cart]).unwrap();
+        em.begin();
+        let mut c = cart.instantiate();
+        c.set(0, Value::Int(3));
+        c.set_collection(0, vec![7, 8, 9]);
+        em.persist(c);
+        em.commit().unwrap();
+        assert_eq!(db.row_count("cart_items").unwrap(), 3);
+        let c = em.find(&cart, &Value::Int(3)).unwrap().unwrap();
+        assert_eq!(c.collection(0), &[7, 8, 9]);
+    }
+
+    #[test]
+    fn backend_rows_survive_crash() {
+        let dev = NvmDevice::new(NvmConfig::with_size(4 << 20));
+        let db = Database::create(dev.clone()).unwrap();
+        let pjh = Pjh::create(NvmDevice::new(NvmConfig::with_size(8 << 20)), PjhConfig::small()).unwrap();
+        let mut em = PjoEntityManager::new(db.connect(), pjh);
+        let meta = person();
+        em.create_schema(&[&meta]).unwrap();
+        em.begin();
+        em.persist(mk(&meta, 1, "Ann", 30));
+        em.commit().unwrap();
+        dev.crash();
+        let db2 = Database::open(dev).unwrap();
+        assert_eq!(db2.row_count("person").unwrap(), 1);
+    }
+
+    #[test]
+    fn gc_copies_keeps_live_data() {
+        let (_db, mut em) = em();
+        em.set_dedup(true);
+        let meta = person();
+        em.create_schema(&[&meta]).unwrap();
+        for i in 0..50 {
+            em.begin();
+            em.persist(mk(&meta, i, "N", i));
+            em.commit().unwrap();
+        }
+        // Remove half; their copies become garbage.
+        for i in 0..25 {
+            em.begin();
+            em.remove(&meta, Value::Int(i));
+            em.commit().unwrap();
+        }
+        em.gc_copies().unwrap();
+        em.pjh().verify_integrity().unwrap();
+        let o = em.find(&meta, &Value::Int(30)).unwrap().unwrap();
+        assert_eq!(o.get(2), &Value::Int(30));
+    }
+}

@@ -1,0 +1,225 @@
+//! Whole-heap mark-compact collector (LISP2 sliding compaction).
+//!
+//! Everything live — young or old — ends up packed at the bottom of the old
+//! space; both young semispaces come out empty. This mirrors PSGC's "old
+//! GC collects the whole heap" behaviour (§3.1) that the persistent
+//! collector of `espresso-core` is modeled on.
+
+use std::collections::{HashMap, HashSet};
+
+use espresso_object::{Ref, Space, WORD};
+
+use crate::heap::{GcKind, GcResult, HeapError, VolatileHeap};
+
+pub(crate) fn mark_compact(h: &mut VolatileHeap, extra_roots: &[Ref]) -> crate::Result<GcResult> {
+    // ---- mark ----
+    let mut marked: HashSet<usize> = HashSet::new();
+    let mut worklist: Vec<usize> = Vec::new();
+
+    let push = |r: Ref, marked: &mut HashSet<usize>, worklist: &mut Vec<usize>| {
+        if r.is_volatile() {
+            let idx = r.addr() as usize / WORD;
+            if marked.insert(idx) {
+                worklist.push(idx);
+            }
+        }
+    };
+
+    let mut handle_roots = Vec::new();
+    h.handles.for_each_slot(|r| handle_roots.push(*r));
+    for r in handle_roots {
+        push(r, &mut marked, &mut worklist);
+    }
+    for &r in extra_roots {
+        push(r, &mut marked, &mut worklist);
+    }
+    while let Some(idx) = worklist.pop() {
+        let mut slots = Vec::new();
+        h.for_each_ref_slot(idx, |s| slots.push(s));
+        for s in slots {
+            push(Ref::from_raw(h.mem[s]), &mut marked, &mut worklist);
+        }
+    }
+
+    // ---- plan: old-space live objects first (address order), then young ----
+    let from = h.from_space();
+    let (from_start, _from_end) = (from.start, from.end);
+    let mut order: Vec<usize> = Vec::new();
+    let mut cursor = h.old.start;
+    while cursor < h.old_top {
+        let words = h.object_words(cursor);
+        if marked.contains(&cursor) {
+            order.push(cursor);
+        }
+        cursor += words;
+    }
+    let mut cursor = from_start;
+    while cursor < h.young_top {
+        let words = h.object_words(cursor);
+        if marked.contains(&cursor) {
+            order.push(cursor);
+        }
+        cursor += words;
+    }
+
+    let mut forwarding: HashMap<usize, usize> = HashMap::new();
+    let mut dest = h.old.start;
+    for &src in &order {
+        let words = h.object_words(src);
+        if dest + words > h.old.end {
+            return Err(HeapError::OutOfMemory { requested_words: words });
+        }
+        forwarding.insert(src, dest);
+        dest += words;
+    }
+
+    // ---- update references while objects are still in place ----
+    for &src in &order {
+        let mut slots = Vec::new();
+        h.for_each_ref_slot(src, |s| slots.push(s));
+        for s in slots {
+            let r = Ref::from_raw(h.mem[s]);
+            if r.is_volatile() {
+                let t = r.addr() as usize / WORD;
+                let nt = *forwarding.get(&t).expect("live object references unmarked target");
+                h.mem[s] = Ref::new(Space::Volatile, (nt * WORD) as u64).to_raw();
+            }
+        }
+    }
+    let fwd_ref = |r: Ref, forwarding: &HashMap<usize, usize>| -> Ref {
+        if r.is_volatile() {
+            let t = r.addr() as usize / WORD;
+            match forwarding.get(&t) {
+                Some(&nt) => Ref::new(Space::Volatile, (nt * WORD) as u64),
+                None => r,
+            }
+        } else {
+            r
+        }
+    };
+    let fwd2 = forwarding.clone();
+    h.handles.for_each_slot(|r| *r = fwd_ref(*r, &fwd2));
+
+    // ---- move (address order => non-clobbering sliding) ----
+    let mut relocations = HashMap::new();
+    for &src in &order {
+        let words = h.object_words(src);
+        let d = forwarding[&src];
+        if d != src {
+            h.mem.copy_within(src..src + words, d);
+            relocations.insert((src * WORD) as u64, (d * WORD) as u64);
+        }
+    }
+
+    let survivors = order.len();
+    h.old_top = dest;
+    h.young_top = from_start;
+    h.remembered.clear();
+    h.stats.full_gcs += 1;
+
+    Ok(GcResult { kind: GcKind::Full, relocations, promoted: 0, survivors })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{VolatileHeap, VolatileHeapConfig};
+    use espresso_object::FieldDesc;
+
+    fn setup() -> (VolatileHeap, espresso_object::KlassId) {
+        let mut h = VolatileHeap::new(VolatileHeapConfig::small());
+        let k = h.register_instance("N", vec![FieldDesc::prim("v"), FieldDesc::reference("next")]);
+        (h, k)
+    }
+
+    #[test]
+    fn empty_heap_full_gc() {
+        let (mut h, _) = setup();
+        let r = h.collect_full(&[]).unwrap();
+        assert_eq!(r.survivors, 0);
+    }
+
+    #[test]
+    fn young_objects_move_to_old() {
+        let (mut h, k) = setup();
+        let a = h.alloc_instance(k).unwrap();
+        h.set_field(a, 0, 9);
+        let root = h.add_root(a);
+        h.collect_full(&[]).unwrap();
+        let a = h.root(root).unwrap();
+        let idx = h.word_index(a);
+        assert!(h.in_old(idx));
+        assert_eq!(h.field(a, 0), 9);
+        let (young_used, _) = h.used_words();
+        assert_eq!(young_used, 0);
+    }
+
+    #[test]
+    fn compaction_slides_left() {
+        let (mut h, k) = setup();
+        // Interleave kept / garbage objects, then promote them all.
+        let mut roots = Vec::new();
+        for i in 0..20u64 {
+            let o = h.alloc_instance(k).unwrap();
+            h.set_field(o, 0, i);
+            if i % 2 == 0 {
+                roots.push(h.add_root(o));
+            }
+        }
+        h.collect_full(&[]).unwrap();
+        let (_, old1) = h.used_words();
+        // Kill half the roots; compaction should shrink the old space.
+        for (n, r) in roots.iter().enumerate() {
+            if n % 2 == 0 {
+                h.remove_root(*r);
+            }
+        }
+        h.collect_full(&[]).unwrap();
+        let (_, old2) = h.used_words();
+        assert!(old2 < old1);
+        // Remaining roots still intact: values 2, 6, 10, 14, 18.
+        let mut vals: Vec<u64> = roots
+            .iter()
+            .enumerate()
+            .filter(|(n, _)| n % 2 == 1)
+            .map(|(_, r)| {
+                let o = h.root(*r).unwrap();
+                h.field(o, 0)
+            })
+            .collect();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![2, 6, 10, 14, 18]);
+    }
+
+    #[test]
+    fn graph_edges_survive_compaction() {
+        let (mut h, k) = setup();
+        let a = h.alloc_instance(k).unwrap();
+        let ra = h.add_root(a);
+        let b = h.alloc_instance(k).unwrap();
+        let a = h.root(ra).unwrap();
+        h.set_field(a, 0, 1);
+        h.set_field(b, 0, 2);
+        h.set_field_ref(a, 1, b);
+        h.collect_full(&[]).unwrap();
+        // Churn + second full gc to force sliding.
+        for _ in 0..100 {
+            h.alloc_instance(k).unwrap();
+        }
+        h.collect_full(&[]).unwrap();
+        let a = h.root(ra).unwrap();
+        let b = h.field_ref(a, 1);
+        assert_eq!(h.field(b, 0), 2);
+    }
+
+    #[test]
+    fn extra_roots_keep_objects_alive() {
+        let (mut h, k) = setup();
+        let a = h.alloc_instance(k).unwrap();
+        h.set_field(a, 0, 77);
+        let res = h.collect_full(&[a]).unwrap();
+        assert_eq!(res.survivors, 1);
+        let new_addr = res.relocations.get(&a.addr()).copied().unwrap_or(a.addr());
+        let a2 = espresso_object::Ref::new(espresso_object::Space::Volatile, new_addr);
+        assert_eq!(h.field(a2, 0), 77);
+    }
+}

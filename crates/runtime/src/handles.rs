@@ -1,0 +1,116 @@
+//! GC-safe external references into the volatile heap.
+
+use espresso_object::Ref;
+
+/// A stable index into the heap's root table.
+///
+/// Both collectors move objects, so raw [`Ref`]s held outside the heap go
+/// stale across a collection. A `Handle` names a root-table slot that the
+/// collectors update in place — the moral equivalent of a JNI global ref.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Handle(pub(crate) u32);
+
+/// The root table backing [`Handle`]s.
+#[derive(Debug, Default)]
+pub(crate) struct HandleTable {
+    slots: Vec<Option<Ref>>,
+    free: Vec<u32>,
+}
+
+impl HandleTable {
+    pub(crate) fn insert(&mut self, r: Ref) -> Handle {
+        if let Some(i) = self.free.pop() {
+            self.slots[i as usize] = Some(r);
+            Handle(i)
+        } else {
+            self.slots.push(Some(r));
+            Handle((self.slots.len() - 1) as u32)
+        }
+    }
+
+    pub(crate) fn get(&self, h: Handle) -> Option<Ref> {
+        self.slots.get(h.0 as usize).copied().flatten()
+    }
+
+    pub(crate) fn set(&mut self, h: Handle, r: Ref) {
+        let slot = self
+            .slots
+            .get_mut(h.0 as usize)
+            .expect("stale handle");
+        assert!(slot.is_some(), "handle was released");
+        *slot = Some(r);
+    }
+
+    pub(crate) fn remove(&mut self, h: Handle) {
+        if let Some(slot) = self.slots.get_mut(h.0 as usize) {
+            if slot.take().is_some() {
+                self.free.push(h.0);
+            }
+        }
+    }
+
+    /// Snapshot of every live slot value.
+    pub(crate) fn values(&self) -> Vec<Ref> {
+        self.slots.iter().flatten().copied().collect()
+    }
+
+    /// Visits every live slot mutably.
+    pub(crate) fn for_each_slot(&mut self, mut f: impl FnMut(&mut Ref)) {
+        for slot in self.slots.iter_mut().flatten() {
+            f(slot);
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn live(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use espresso_object::Space;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = HandleTable::default();
+        let r = Ref::new(Space::Volatile, 64);
+        let h = t.insert(r);
+        assert_eq!(t.get(h), Some(r));
+        assert_eq!(t.live(), 1);
+        t.remove(h);
+        assert_eq!(t.get(h), None);
+        assert_eq!(t.live(), 0);
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let mut t = HandleTable::default();
+        let h1 = t.insert(Ref::new(Space::Volatile, 8));
+        t.remove(h1);
+        let h2 = t.insert(Ref::new(Space::Volatile, 16));
+        assert_eq!(h1.0, h2.0);
+    }
+
+    #[test]
+    fn for_each_slot_updates() {
+        let mut t = HandleTable::default();
+        let h = t.insert(Ref::new(Space::Volatile, 8));
+        t.for_each_slot(|r| *r = r.with_addr(80));
+        assert_eq!(t.get(h).unwrap().addr(), 80);
+    }
+
+    #[test]
+    fn double_remove_is_harmless() {
+        let mut t = HandleTable::default();
+        let h = t.insert(Ref::new(Space::Volatile, 8));
+        t.remove(h);
+        t.remove(h);
+        assert_eq!(t.live(), 0);
+        // Freelist must not contain the slot twice.
+        let a = t.insert(Ref::new(Space::Volatile, 8));
+        let b = t.insert(Ref::new(Space::Volatile, 16));
+        assert_ne!(a.0, b.0);
+    }
+}

@@ -1,0 +1,803 @@
+//! The volatile heap proper: spaces, allocation, field access.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+
+use espresso_object::{
+    mark, FieldDesc, Klass, KlassId, KlassRegistry, ObjKind, Ref, Space, ARRAY_HEADER_WORDS,
+    ARRAY_LENGTH_WORD, HEADER_WORDS, KLASS_WORD, MARK_WORD, WORD,
+};
+
+use crate::handles::{Handle, HandleTable};
+
+/// Sizing and policy knobs for [`VolatileHeap`].
+#[derive(Debug, Clone, Copy)]
+pub struct VolatileHeapConfig {
+    /// Words per young semispace.
+    pub young_words: usize,
+    /// Words in the old space.
+    pub old_words: usize,
+    /// Survival count after which a young object is promoted.
+    pub promotion_age: u8,
+}
+
+impl VolatileHeapConfig {
+    /// A tiny heap for tests: 4 KiB semispaces, 64 KiB old space.
+    pub fn small() -> Self {
+        VolatileHeapConfig { young_words: 512, old_words: 8192, promotion_age: 2 }
+    }
+
+    /// A benchmark-sized heap: 8 MiB semispaces, 256 MiB old space.
+    pub fn large() -> Self {
+        VolatileHeapConfig { young_words: 1 << 20, old_words: 32 << 20, promotion_age: 2 }
+    }
+}
+
+impl Default for VolatileHeapConfig {
+    fn default() -> Self {
+        VolatileHeapConfig { young_words: 1 << 16, old_words: 1 << 20, promotion_age: 2 }
+    }
+}
+
+/// Errors reported by heap operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapError {
+    /// Allocation failed even after collection.
+    OutOfMemory {
+        /// Words requested by the failing allocation.
+        requested_words: usize,
+    },
+    /// The object is larger than any space can ever hold.
+    TooLarge {
+        /// Words requested.
+        requested_words: usize,
+    },
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapError::OutOfMemory { requested_words } => {
+                write!(f, "out of memory allocating {requested_words} words")
+            }
+            HeapError::TooLarge { requested_words } => {
+                write!(f, "object of {requested_words} words exceeds heap capacity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}
+
+/// Which collector ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcKind {
+    /// Young-generation scavenge.
+    Young,
+    /// Whole-heap mark-compact.
+    Full,
+}
+
+/// Outcome of a collection.
+#[derive(Debug, Clone)]
+pub struct GcResult {
+    /// Which collector ran.
+    pub kind: GcKind,
+    /// Byte-address relocations (old address → new address) for every moved
+    /// object. Callers holding raw [`Ref`]s (e.g. the VM patching
+    /// NVM-resident pointers to volatile objects) rewrite through this map.
+    pub relocations: HashMap<u64, u64>,
+    /// Objects promoted into the old generation.
+    pub promoted: usize,
+    /// Live objects after the collection.
+    pub survivors: usize,
+}
+
+/// Heap-wide counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Completed young collections.
+    pub young_gcs: u64,
+    /// Completed full collections.
+    pub full_gcs: u64,
+    /// Objects allocated over the heap's lifetime.
+    pub allocations: u64,
+    /// Objects promoted over the heap's lifetime.
+    pub promotions: u64,
+}
+
+pub(crate) struct SpaceRange {
+    pub start: usize, // word index
+    pub end: usize,   // word index, exclusive
+}
+
+/// A generational volatile heap (young scavenge + old mark-compact).
+///
+/// Addresses are byte offsets inside a single arena; word 0 is reserved so
+/// that address 0 can serve as null. See the crate docs for an example.
+pub struct VolatileHeap {
+    pub(crate) mem: Vec<u64>,
+    pub(crate) young_a: SpaceRange,
+    pub(crate) young_b: SpaceRange,
+    pub(crate) old: SpaceRange,
+    pub(crate) from_is_a: bool,
+    pub(crate) young_top: usize,
+    pub(crate) old_top: usize,
+    pub(crate) registry: KlassRegistry,
+    pub(crate) handles: HandleTable,
+    /// Word indices of old-space objects that may hold young references.
+    pub(crate) remembered: HashSet<usize>,
+    pub(crate) promotion_age: u8,
+    pub(crate) stats: HeapStats,
+}
+
+impl fmt::Debug for VolatileHeap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VolatileHeap")
+            .field("young_words", &(self.young_a.end - self.young_a.start))
+            .field("old_words", &(self.old.end - self.old.start))
+            .field("young_used", &(self.young_top - self.from_space().start))
+            .field("old_used", &(self.old_top - self.old.start))
+            .finish()
+    }
+}
+
+impl VolatileHeap {
+    /// Creates an empty heap.
+    pub fn new(config: VolatileHeapConfig) -> VolatileHeap {
+        let y = config.young_words.max(16);
+        let o = config.old_words.max(16);
+        let total = 1 + 2 * y + o;
+        VolatileHeap {
+            mem: vec![0; total],
+            young_a: SpaceRange { start: 1, end: 1 + y },
+            young_b: SpaceRange { start: 1 + y, end: 1 + 2 * y },
+            old: SpaceRange { start: 1 + 2 * y, end: total },
+            from_is_a: true,
+            young_top: 1,
+            old_top: 1 + 2 * y,
+            registry: KlassRegistry::new(),
+            handles: HandleTable::default(),
+            remembered: HashSet::new(),
+            promotion_age: config.promotion_age.max(1),
+            stats: HeapStats::default(),
+        }
+    }
+
+    // ---- class registration (the Meta Space) ----
+
+    /// Registers an instance class in this heap's Meta Space.
+    pub fn register_instance(&mut self, name: &str, fields: Vec<FieldDesc>) -> KlassId {
+        self.registry.register_instance(name, fields)
+    }
+
+    /// Registers the object-array class for `elem_name`.
+    pub fn register_obj_array(&mut self, elem_name: &str) -> KlassId {
+        self.registry.register_obj_array(elem_name)
+    }
+
+    /// Registers the primitive array class.
+    pub fn register_prim_array(&mut self) -> KlassId {
+        self.registry.register_prim_array()
+    }
+
+    /// This heap's class registry.
+    pub fn registry(&self) -> &KlassRegistry {
+        &self.registry
+    }
+
+    /// The klass of an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics on null or a dangling reference.
+    pub fn klass_of(&self, r: Ref) -> Arc<Klass> {
+        let idx = self.word_index(r);
+        let kid = KlassId(self.mem[idx + KLASS_WORD] as u32);
+        self.registry.by_id(kid).expect("dangling klass id").clone()
+    }
+
+    // ---- spaces ----
+
+    pub(crate) fn from_space(&self) -> &SpaceRange {
+        if self.from_is_a {
+            &self.young_a
+        } else {
+            &self.young_b
+        }
+    }
+
+    pub(crate) fn to_space(&self) -> &SpaceRange {
+        if self.from_is_a {
+            &self.young_b
+        } else {
+            &self.young_a
+        }
+    }
+
+    pub(crate) fn in_young(&self, word_idx: usize) -> bool {
+        let f = self.from_space();
+        word_idx >= f.start && word_idx < f.end
+    }
+
+    pub(crate) fn in_old(&self, word_idx: usize) -> bool {
+        word_idx >= self.old.start && word_idx < self.old.end
+    }
+
+    pub(crate) fn word_index(&self, r: Ref) -> usize {
+        assert!(!r.is_null(), "null dereference");
+        assert_eq!(r.space(), Space::Volatile, "volatile heap got {r:?}");
+        let addr = r.addr() as usize;
+        assert_eq!(addr % WORD, 0, "misaligned address {addr:#x}");
+        addr / WORD
+    }
+
+    pub(crate) fn ref_at(&self, word_idx: usize) -> Ref {
+        Ref::new(Space::Volatile, (word_idx * WORD) as u64)
+    }
+
+    // ---- allocation ----
+
+    fn init_object(&mut self, idx: usize, kid: KlassId, words: usize, array_len: Option<usize>) {
+        self.mem[idx..idx + words].iter_mut().for_each(|w| *w = 0);
+        self.mem[idx + MARK_WORD] = mark::new(0);
+        self.mem[idx + KLASS_WORD] = kid.0 as u64;
+        if let Some(len) = array_len {
+            self.mem[idx + ARRAY_LENGTH_WORD] = len as u64;
+        }
+        self.stats.allocations += 1;
+    }
+
+    fn try_young(&mut self, words: usize) -> Option<usize> {
+        let f = if self.from_is_a { &self.young_a } else { &self.young_b };
+        if self.young_top + words <= f.end {
+            let idx = self.young_top;
+            self.young_top += words;
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    pub(crate) fn try_old(&mut self, words: usize) -> Option<usize> {
+        if self.old_top + words <= self.old.end {
+            let idx = self.old_top;
+            self.old_top += words;
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    fn alloc_words(&mut self, words: usize) -> crate::Result<usize> {
+        let young_cap = self.young_a.end - self.young_a.start;
+        let old_cap = self.old.end - self.old.start;
+        if words > young_cap && words > old_cap {
+            return Err(HeapError::TooLarge { requested_words: words });
+        }
+        if words <= young_cap {
+            if let Some(idx) = self.try_young(words) {
+                return Ok(idx);
+            }
+            self.collect_young(&[]);
+            if let Some(idx) = self.try_young(words) {
+                return Ok(idx);
+            }
+        }
+        if let Some(idx) = self.try_old(words) {
+            return Ok(idx);
+        }
+        self.collect_full(&[])?;
+        if words <= young_cap {
+            if let Some(idx) = self.try_young(words) {
+                return Ok(idx);
+            }
+        }
+        self.try_old(words).ok_or(HeapError::OutOfMemory { requested_words: words })
+    }
+
+    /// Allocates a zeroed instance of `kid` (the `new` path).
+    ///
+    /// May trigger a young or full collection; raw refs not protected by a
+    /// [`Handle`] become stale across this call.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::OutOfMemory`] if space cannot be reclaimed;
+    /// [`HeapError::TooLarge`] for absurd sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kid` is unknown or not an instance class.
+    pub fn alloc_instance(&mut self, kid: KlassId) -> crate::Result<Ref> {
+        let words = self.registry.by_id(kid).expect("unknown klass").instance_words();
+        let idx = self.alloc_words(words)?;
+        self.init_object(idx, kid, words, None);
+        Ok(self.ref_at(idx))
+    }
+
+    /// Like [`alloc_instance`](Self::alloc_instance) but never collects:
+    /// callers that must control GC (the unified VM, which supplies
+    /// cross-heap roots) retry after collecting themselves.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::OutOfMemory`] as soon as both spaces are full.
+    pub fn alloc_instance_no_gc(&mut self, kid: KlassId) -> crate::Result<Ref> {
+        let words = self.registry.by_id(kid).expect("unknown klass").instance_words();
+        let idx = self.alloc_words_no_gc(words)?;
+        self.init_object(idx, kid, words, None);
+        Ok(self.ref_at(idx))
+    }
+
+    /// Array analogue of [`alloc_instance_no_gc`](Self::alloc_instance_no_gc).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::OutOfMemory`] as soon as both spaces are full.
+    pub fn alloc_array_no_gc(&mut self, kid: KlassId, len: usize) -> crate::Result<Ref> {
+        let words = self.registry.by_id(kid).expect("unknown klass").array_words(len);
+        let idx = self.alloc_words_no_gc(words)?;
+        self.init_object(idx, kid, words, Some(len));
+        Ok(self.ref_at(idx))
+    }
+
+    fn alloc_words_no_gc(&mut self, words: usize) -> crate::Result<usize> {
+        let young_cap = self.young_a.end - self.young_a.start;
+        let old_cap = self.old.end - self.old.start;
+        if words > young_cap && words > old_cap {
+            return Err(HeapError::TooLarge { requested_words: words });
+        }
+        if words <= young_cap {
+            if let Some(idx) = self.try_young(words) {
+                return Ok(idx);
+            }
+        }
+        self.try_old(words).ok_or(HeapError::OutOfMemory { requested_words: words })
+    }
+
+    /// Allocates a zeroed array of `len` elements with array klass `kid`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`alloc_instance`](Self::alloc_instance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kid` is unknown or not an array class.
+    pub fn alloc_array(&mut self, kid: KlassId, len: usize) -> crate::Result<Ref> {
+        let words = self.registry.by_id(kid).expect("unknown klass").array_words(len);
+        let idx = self.alloc_words(words)?;
+        self.init_object(idx, kid, words, Some(len));
+        Ok(self.ref_at(idx))
+    }
+
+    // ---- field access ----
+
+    /// Reads raw field `index` of an instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics on null refs or out-of-range indices.
+    pub fn field(&self, r: Ref, index: usize) -> u64 {
+        let idx = self.word_index(r);
+        let k = self.klass_of(r);
+        self.mem[idx + k.field_offset(index)]
+    }
+
+    /// Writes raw field `index` of an instance.
+    ///
+    /// Use [`set_field_ref`](Self::set_field_ref) for reference fields so
+    /// the remembered-set write barrier runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on null refs or out-of-range indices.
+    pub fn set_field(&mut self, r: Ref, index: usize, value: u64) {
+        let idx = self.word_index(r);
+        let k = self.klass_of(r);
+        self.mem[idx + k.field_offset(index)] = value;
+    }
+
+    /// Reads reference field `index`.
+    pub fn field_ref(&self, r: Ref, index: usize) -> Ref {
+        Ref::from_raw(self.field(r, index))
+    }
+
+    /// Writes reference field `index` with the old→young write barrier.
+    pub fn set_field_ref(&mut self, r: Ref, index: usize, value: Ref) {
+        self.set_field(r, index, value.to_raw());
+        self.write_barrier(r, value);
+    }
+
+    /// Length of an array object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not an array.
+    pub fn array_len(&self, r: Ref) -> usize {
+        let idx = self.word_index(r);
+        assert!(self.klass_of(r).is_array(), "not an array");
+        self.mem[idx + ARRAY_LENGTH_WORD] as usize
+    }
+
+    /// Reads array element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn array_get(&self, r: Ref, i: usize) -> u64 {
+        let idx = self.word_index(r);
+        let len = self.array_len(r);
+        assert!(i < len, "array index {i} out of bounds (len {len})");
+        self.mem[idx + ARRAY_HEADER_WORDS + i]
+    }
+
+    /// Writes array element `i` (primitive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn array_set(&mut self, r: Ref, i: usize, value: u64) {
+        let idx = self.word_index(r);
+        let len = self.array_len(r);
+        assert!(i < len, "array index {i} out of bounds (len {len})");
+        self.mem[idx + ARRAY_HEADER_WORDS + i] = value;
+    }
+
+    /// Reads array element `i` as a reference.
+    pub fn array_get_ref(&self, r: Ref, i: usize) -> Ref {
+        Ref::from_raw(self.array_get(r, i))
+    }
+
+    /// Writes array element `i` as a reference, with the write barrier.
+    pub fn array_set_ref(&mut self, r: Ref, i: usize, value: Ref) {
+        self.array_set(r, i, value.to_raw());
+        self.write_barrier(r, value);
+    }
+
+    fn write_barrier(&mut self, container: Ref, value: Ref) {
+        if !value.is_volatile() {
+            return;
+        }
+        let c = self.word_index(container);
+        let v = self.word_index(value);
+        if self.in_old(c) && self.in_young(v) {
+            self.remembered.insert(c);
+        }
+    }
+
+    // ---- roots ----
+
+    /// Pins `r` as a GC root and returns its handle.
+    pub fn add_root(&mut self, r: Ref) -> Handle {
+        self.handles.insert(r)
+    }
+
+    /// Current value of a root slot (collectors keep it up to date).
+    pub fn root(&self, h: Handle) -> Option<Ref> {
+        self.handles.get(h)
+    }
+
+    /// Replaces the value in a root slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle was released.
+    pub fn set_root(&mut self, h: Handle, r: Ref) {
+        self.handles.set(h, r);
+    }
+
+    /// Releases a root slot.
+    pub fn remove_root(&mut self, h: Handle) {
+        self.handles.remove(h);
+    }
+
+    // ---- object iteration helpers shared by the collectors ----
+
+    /// Size in words of the object at `word_idx`.
+    pub(crate) fn object_words(&self, word_idx: usize) -> usize {
+        let kid = KlassId(self.mem[word_idx + KLASS_WORD] as u32);
+        let k = self.registry.by_id(kid).expect("dangling klass id");
+        match k.kind() {
+            ObjKind::Instance => k.instance_words(),
+            _ => k.array_words(self.mem[word_idx + ARRAY_LENGTH_WORD] as usize),
+        }
+    }
+
+    /// Calls `f` with the arena index of every reference slot of the object
+    /// at `word_idx`.
+    pub(crate) fn for_each_ref_slot(&self, word_idx: usize, mut f: impl FnMut(usize)) {
+        let kid = KlassId(self.mem[word_idx + KLASS_WORD] as u32);
+        let k = self.registry.by_id(kid).expect("dangling klass id").clone();
+        match k.kind() {
+            ObjKind::Instance => {
+                for i in k.ref_field_indices() {
+                    f(word_idx + HEADER_WORDS + i);
+                }
+            }
+            ObjKind::ObjArray => {
+                let len = self.mem[word_idx + ARRAY_LENGTH_WORD] as usize;
+                for i in 0..len {
+                    f(word_idx + ARRAY_HEADER_WORDS + i);
+                }
+            }
+            ObjKind::PrimArray => {}
+        }
+    }
+
+    /// Visits every object image in the heap (live or not), young space
+    /// first, then old.
+    pub fn for_each_object(&self, mut f: impl FnMut(Ref)) {
+        let mut cursor = self.from_space().start;
+        while cursor < self.young_top {
+            let words = self.object_words(cursor);
+            f(self.ref_at(cursor));
+            cursor += words;
+        }
+        let mut cursor = self.old.start;
+        while cursor < self.old_top {
+            let words = self.object_words(cursor);
+            f(self.ref_at(cursor));
+            cursor += words;
+        }
+    }
+
+    /// Collects every persistent (NVM) reference stored anywhere in this
+    /// heap or its root table. The VM passes these as extra roots to the
+    /// persistent collector: DRAM-held pointers keep NVM objects alive.
+    pub fn persistent_refs(&self) -> Vec<Ref> {
+        let mut out = Vec::new();
+        self.for_each_object(|r| {
+            let idx = self.word_index(r);
+            self.for_each_ref_slot(idx, |slot| {
+                let v = Ref::from_raw(self.mem[slot]);
+                if v.is_persistent() {
+                    out.push(v);
+                }
+            });
+        });
+        out.extend(self.handles.values().into_iter().filter(|r| r.is_persistent()));
+        out
+    }
+
+    /// Rewrites every reference slot in the heap (and the root table)
+    /// through `f`. The VM uses this to patch persistent references after
+    /// the persistent space compacts.
+    pub fn rewrite_refs(&mut self, mut f: impl FnMut(Ref) -> Ref) {
+        let mut slots = Vec::new();
+        self.for_each_object(|r| {
+            let idx = self.word_index(r);
+            self.for_each_ref_slot(idx, |s| slots.push(s));
+        });
+        for s in slots {
+            let old = Ref::from_raw(self.mem[s]);
+            let new = f(old);
+            if new != old {
+                self.mem[s] = new.to_raw();
+            }
+        }
+        self.handles.for_each_slot(|r| *r = f(*r));
+    }
+
+    /// Words used in each space: `(young, old)`.
+    pub fn used_words(&self) -> (usize, usize) {
+        (self.young_top - self.from_space().start, self.old_top - self.old.start)
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+
+    /// Forces a young collection. `extra_roots` are kept alive; consult
+    /// [`GcResult::relocations`] for their new addresses.
+    pub fn collect_young(&mut self, extra_roots: &[Ref]) -> GcResult {
+        crate::scavenge::scavenge(self, extra_roots)
+    }
+
+    /// Forces a full collection (everything live lands in the old space).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::OutOfMemory`] if the live set exceeds the old space.
+    pub fn collect_full(&mut self, extra_roots: &[Ref]) -> crate::Result<GcResult> {
+        crate::full::mark_compact(self, extra_roots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap() -> VolatileHeap {
+        VolatileHeap::new(VolatileHeapConfig::small())
+    }
+
+    fn node_klass(h: &mut VolatileHeap) -> KlassId {
+        h.register_instance("Node", vec![FieldDesc::prim("v"), FieldDesc::reference("next")])
+    }
+
+    #[test]
+    fn alloc_and_field_roundtrip() {
+        let mut h = heap();
+        let k = node_klass(&mut h);
+        let a = h.alloc_instance(k).unwrap();
+        h.set_field(a, 0, 42);
+        assert_eq!(h.field(a, 0), 42);
+        assert_eq!(h.field_ref(a, 1), Ref::NULL);
+        assert_eq!(h.klass_of(a).name(), "Node");
+    }
+
+    #[test]
+    fn arrays_roundtrip() {
+        let mut h = heap();
+        let pa = h.register_prim_array();
+        let arr = h.alloc_array(pa, 10).unwrap();
+        assert_eq!(h.array_len(arr), 10);
+        h.array_set(arr, 3, 99);
+        assert_eq!(h.array_get(arr, 3), 99);
+        assert_eq!(h.array_get(arr, 4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn array_bounds_checked() {
+        let mut h = heap();
+        let pa = h.register_prim_array();
+        let arr = h.alloc_array(pa, 2).unwrap();
+        h.array_set(arr, 2, 1);
+    }
+
+    #[test]
+    fn allocations_are_zeroed() {
+        let mut h = heap();
+        let k = node_klass(&mut h);
+        let a = h.alloc_instance(k).unwrap();
+        assert_eq!(h.field(a, 0), 0);
+    }
+
+    #[test]
+    fn too_large_is_rejected() {
+        let mut h = heap();
+        let pa = h.register_prim_array();
+        assert!(matches!(h.alloc_array(pa, 1 << 20), Err(HeapError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn allocation_triggers_young_gc() {
+        let mut h = heap();
+        let k = node_klass(&mut h);
+        // Fill well past one semispace with garbage.
+        for _ in 0..1000 {
+            h.alloc_instance(k).unwrap();
+        }
+        assert!(h.stats().young_gcs > 0);
+    }
+
+    #[test]
+    fn roots_survive_gc_and_update() {
+        let mut h = heap();
+        let k = node_klass(&mut h);
+        let a = h.alloc_instance(k).unwrap();
+        h.set_field(a, 0, 7);
+        let root = h.add_root(a);
+        for _ in 0..2000 {
+            h.alloc_instance(k).unwrap();
+        }
+        let a2 = h.root(root).unwrap();
+        assert_eq!(h.field(a2, 0), 7);
+    }
+
+    #[test]
+    fn linked_structure_survives_collections() {
+        let mut h = heap();
+        let k = node_klass(&mut h);
+        // Build a 50-node list, rooted at the head.
+        let head = h.alloc_instance(k).unwrap();
+        h.set_field(head, 0, 0);
+        let root = h.add_root(head);
+        for i in 1..50u64 {
+            let head = h.root(root).unwrap();
+            let tmp = h.add_root(head);
+            let n = h.alloc_instance(k).unwrap();
+            let head = h.root(tmp).unwrap();
+            h.remove_root(tmp);
+            h.set_field(n, 0, i);
+            h.set_field_ref(n, 1, head);
+            h.set_root(root, n);
+        }
+        // Churn to force several young GCs and promotions.
+        for _ in 0..3000 {
+            h.alloc_instance(k).unwrap();
+        }
+        // Verify the list: values 49, 48, ..., 0.
+        let mut cur = h.root(root).unwrap();
+        let mut expect = 49u64;
+        loop {
+            assert_eq!(h.field(cur, 0), expect);
+            let next = h.field_ref(cur, 1);
+            if next.is_null() {
+                break;
+            }
+            expect -= 1;
+            cur = next;
+        }
+        assert_eq!(expect, 0);
+    }
+
+    #[test]
+    fn full_gc_reclaims_old_space() {
+        let mut h = heap();
+        let k = node_klass(&mut h);
+        // Promote garbage into the old gen by churning.
+        for _ in 0..5000 {
+            h.alloc_instance(k).unwrap();
+        }
+        let (_, old_before) = h.used_words();
+        h.collect_full(&[]).unwrap();
+        let (_, old_after) = h.used_words();
+        assert!(old_after <= old_before);
+        assert_eq!(old_after, 0, "no roots -> empty old space");
+    }
+
+    #[test]
+    fn full_gc_keeps_rooted_graph() {
+        let mut h = heap();
+        let k = node_klass(&mut h);
+        let a = h.alloc_instance(k).unwrap();
+        h.set_field(a, 0, 11);
+        let b = {
+            let ra = h.add_root(a);
+            let b = h.alloc_instance(k).unwrap();
+            let a = h.root(ra).unwrap();
+            h.remove_root(ra);
+            h.set_field(b, 0, 22);
+            h.set_field_ref(b, 1, a);
+            b
+        };
+        let root = h.add_root(b);
+        h.collect_full(&[]).unwrap();
+        let b2 = h.root(root).unwrap();
+        assert_eq!(h.field(b2, 0), 22);
+        let a2 = h.field_ref(b2, 1);
+        assert_eq!(h.field(a2, 0), 11);
+    }
+
+    #[test]
+    fn extra_roots_relocations_reported() {
+        let mut h = heap();
+        let k = node_klass(&mut h);
+        let a = h.alloc_instance(k).unwrap();
+        h.set_field(a, 0, 5);
+        let result = h.collect_young(&[a]);
+        let new_addr = result.relocations.get(&a.addr()).copied().expect("moved");
+        let a2 = Ref::new(Space::Volatile, new_addr);
+        assert_eq!(h.field(a2, 0), 5);
+    }
+
+    #[test]
+    fn remembered_set_tracks_old_to_young() {
+        let mut h = heap();
+        let k = node_klass(&mut h);
+        // Make an old object by promoting it.
+        let a = h.alloc_instance(k).unwrap();
+        let root = h.add_root(a);
+        for _ in 0..10 {
+            h.collect_young(&[]);
+        }
+        let old_obj = h.root(root).unwrap();
+        assert!(h.in_old(h.word_index(old_obj)));
+        // Point it at a fresh young object, drop all other references.
+        let young = h.alloc_instance(k).unwrap();
+        h.set_field(young, 0, 123);
+        let old_obj = h.root(root).unwrap();
+        h.set_field_ref(old_obj, 1, young);
+        h.collect_young(&[]);
+        let old_obj = h.root(root).unwrap();
+        let young2 = h.field_ref(old_obj, 1);
+        assert!(!young2.is_null());
+        assert_eq!(h.field(young2, 0), 123);
+    }
+}

@@ -1,0 +1,39 @@
+//! The volatile "DRAM" heap Espresso extends (§3.1).
+//!
+//! A reproduction of the Parallel Scavenge heap shape: a young generation
+//! collected by a copying scavenger and an old generation collected by a
+//! sliding mark-compact collector, with age-based promotion and an
+//! old-to-young remembered set. The Persistent Java Heap (`espresso-core`)
+//! is built as an additional space *next to* this heap, exactly as the
+//! paper adds the Persistent Space next to PSHeap's young and old spaces.
+//!
+//! This heap is byte-addressed through [`Ref`](espresso_object::Ref)s
+//! tagged [`Space::Volatile`](espresso_object::Space); the unified VM
+//! (`espresso-vm`) routes `new` here and `pnew` to the persistent heap.
+//!
+//! # Example
+//!
+//! ```
+//! use espresso_object::FieldDesc;
+//! use espresso_runtime::{VolatileHeap, VolatileHeapConfig};
+//!
+//! # fn main() -> Result<(), espresso_runtime::HeapError> {
+//! let mut heap = VolatileHeap::new(VolatileHeapConfig::small());
+//! let point = heap.register_instance("Point", vec![FieldDesc::prim("x"), FieldDesc::prim("y")]);
+//! let p = heap.alloc_instance(point)?;
+//! heap.set_field(p, 0, 3);
+//! assert_eq!(heap.field(p, 0), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+mod full;
+mod handles;
+mod heap;
+mod scavenge;
+
+pub use handles::Handle;
+pub use heap::{GcResult, HeapError, VolatileHeap, VolatileHeapConfig};
+
+/// Result alias for heap operations.
+pub type Result<T> = std::result::Result<T, HeapError>;

@@ -1,0 +1,259 @@
+//! Young-generation copying collector (Cheney scan with promotion).
+
+use std::collections::{HashMap, HashSet};
+
+use espresso_object::{mark, Ref, MARK_WORD, WORD};
+
+use crate::heap::{GcKind, GcResult, VolatileHeap};
+
+struct Scavenger<'h> {
+    h: &'h mut VolatileHeap,
+    from_start: usize,
+    from_end: usize,
+    to_start: usize,
+    to_top: usize,
+    promoted_queue: Vec<usize>,
+    promoted: usize,
+    relocations: HashMap<u64, u64>,
+    new_remembered: HashSet<usize>,
+    survivors: usize,
+}
+
+impl<'h> Scavenger<'h> {
+    fn in_from(&self, idx: usize) -> bool {
+        idx >= self.from_start && idx < self.from_end
+    }
+
+    fn in_to(&self, idx: usize) -> bool {
+        idx >= self.to_start && idx < self.to_top
+    }
+
+    /// Copies (or finds the copy of) the from-space object at `idx`,
+    /// returning its destination index.
+    fn evacuate(&mut self, idx: usize) -> usize {
+        let mw = self.h.mem[idx + MARK_WORD];
+        if mark::is_forwarded(mw) {
+            return mark::forwarded_addr(mw) as usize / WORD;
+        }
+        let words = self.h.object_words(idx);
+        let age = mark::age(mw).saturating_add(1);
+        let dest = if age >= self.h.promotion_age {
+            match self.h.try_old(words) {
+                Some(d) => {
+                    self.promoted += 1;
+                    self.h.stats.promotions += 1;
+                    self.promoted_queue.push(d);
+                    d
+                }
+                None => self.bump_to(words),
+            }
+        } else {
+            self.bump_to(words)
+        };
+        self.h.mem.copy_within(idx..idx + words, dest);
+        self.h.mem[dest + MARK_WORD] = mark::with_age(mark::unmarked(mw), age);
+        self.h.mem[idx + MARK_WORD] = mark::forwarding((dest * WORD) as u64);
+        self.relocations.insert((idx * WORD) as u64, (dest * WORD) as u64);
+        self.survivors += 1;
+        dest
+    }
+
+    fn bump_to(&mut self, words: usize) -> usize {
+        let d = self.to_top;
+        self.to_top += words;
+        assert!(
+            self.to_top <= self.h.to_space().end,
+            "to-space overflow: survivors exceed semispace"
+        );
+        d
+    }
+
+    /// Rewrites the reference at arena slot `slot`; `container` is the word
+    /// index of the owning old-space object, if any, for remembered-set
+    /// maintenance.
+    fn update_slot(&mut self, slot: usize, container: Option<usize>) {
+        let r = Ref::from_raw(self.h.mem[slot]);
+        if !r.is_volatile() {
+            return;
+        }
+        let idx = r.addr() as usize / WORD;
+        let new_idx = if self.in_from(idx) { self.evacuate(idx) } else { idx };
+        self.h.mem[slot] = Ref::new(espresso_object::Space::Volatile, (new_idx * WORD) as u64).to_raw();
+        if let Some(c) = container {
+            if self.h.in_old(c) && self.in_to(new_idx) {
+                self.new_remembered.insert(c);
+            }
+        }
+    }
+
+    fn scan_object(&mut self, idx: usize) {
+        let mut slots = Vec::new();
+        self.h.for_each_ref_slot(idx, |s| slots.push(s));
+        let container = if self.h.in_old(idx) { Some(idx) } else { None };
+        for s in slots {
+            self.update_slot(s, container);
+        }
+    }
+}
+
+pub(crate) fn scavenge(h: &mut VolatileHeap, extra_roots: &[Ref]) -> GcResult {
+    let from = h.from_space();
+    let (from_start, from_end) = (from.start, from.end);
+    let to_start = h.to_space().start;
+    let mut s = Scavenger {
+        h,
+        from_start,
+        from_end,
+        to_start,
+        to_top: to_start,
+        promoted_queue: Vec::new(),
+        promoted: 0,
+        relocations: HashMap::new(),
+        new_remembered: HashSet::new(),
+        survivors: 0,
+    };
+
+    // Roots: the handle table.
+    let mut handle_slots = Vec::new();
+    s.h.handles.for_each_slot(|r| handle_slots.push(*r));
+    let mut updated_handles = Vec::new();
+    for r in handle_slots {
+        let new = if r.is_volatile() {
+            let idx = r.addr() as usize / WORD;
+            if s.in_from(idx) {
+                let d = s.evacuate(idx);
+                r.with_addr((d * WORD) as u64)
+            } else {
+                r
+            }
+        } else {
+            r
+        };
+        updated_handles.push(new);
+    }
+    let mut it = updated_handles.into_iter();
+    s.h.handles.for_each_slot(|r| *r = it.next().expect("handle count changed mid-gc"));
+
+    // Roots: caller-supplied refs (e.g. NVM-resident pointers to DRAM).
+    for &r in extra_roots {
+        if r.is_volatile() {
+            let idx = r.addr() as usize / WORD;
+            if s.in_from(idx) {
+                s.evacuate(idx);
+            }
+        }
+    }
+
+    // Roots: old objects recorded by the write barrier.
+    let remembered: Vec<usize> = s.h.remembered.iter().copied().collect();
+    for c in remembered {
+        s.scan_object(c);
+    }
+
+    // Cheney scan of to-space plus the promoted queue.
+    let mut scan = to_start;
+    loop {
+        let mut progressed = false;
+        while scan < s.to_top {
+            let words = s.h.object_words(scan);
+            s.scan_object(scan);
+            scan += words;
+            progressed = true;
+        }
+        while let Some(p) = s.promoted_queue.pop() {
+            s.scan_object(p);
+            progressed = true;
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    let to_top = s.to_top;
+    let promoted = s.promoted;
+    let survivors = s.survivors;
+    let relocations = std::mem::take(&mut s.relocations);
+    let new_remembered = std::mem::take(&mut s.new_remembered);
+
+    h.remembered = new_remembered;
+    h.from_is_a = !h.from_is_a;
+    h.young_top = to_top;
+    h.stats.young_gcs += 1;
+
+    GcResult { kind: GcKind::Young, relocations, promoted, survivors }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{VolatileHeap, VolatileHeapConfig};
+    use espresso_object::FieldDesc;
+
+    #[test]
+    fn cycles_survive_scavenge() {
+        let mut h = VolatileHeap::new(VolatileHeapConfig::small());
+        let k = h.register_instance("N", vec![FieldDesc::prim("v"), FieldDesc::reference("next")]);
+        let a = h.alloc_instance(k).unwrap();
+        let ra = h.add_root(a);
+        let b = h.alloc_instance(k).unwrap();
+        let a = h.root(ra).unwrap();
+        h.set_field(a, 0, 1);
+        h.set_field(b, 0, 2);
+        h.set_field_ref(a, 1, b);
+        h.set_field_ref(b, 1, a);
+        h.collect_young(&[]);
+        let a = h.root(ra).unwrap();
+        let b = h.field_ref(a, 1);
+        assert_eq!(h.field(b, 0), 2);
+        assert_eq!(h.field_ref(b, 1), a);
+    }
+
+    #[test]
+    fn garbage_is_dropped() {
+        let mut h = VolatileHeap::new(VolatileHeapConfig::small());
+        let k = h.register_instance("G", vec![FieldDesc::prim("v")]);
+        for _ in 0..50 {
+            h.alloc_instance(k).unwrap();
+        }
+        let r = h.collect_young(&[]);
+        assert_eq!(r.survivors, 0);
+        let (young_used, _) = h.used_words();
+        assert_eq!(young_used, 0);
+    }
+
+    #[test]
+    fn repeated_survival_promotes() {
+        let mut h = VolatileHeap::new(VolatileHeapConfig::small());
+        let k = h.register_instance("P", vec![FieldDesc::prim("v")]);
+        let a = h.alloc_instance(k).unwrap();
+        let root = h.add_root(a);
+        let mut promoted_total = 0;
+        for _ in 0..5 {
+            promoted_total += h.collect_young(&[]).promoted;
+        }
+        assert!(promoted_total >= 1);
+        let a = h.root(root).unwrap();
+        let idx = h.word_index(a);
+        assert!(h.in_old(idx));
+    }
+
+    #[test]
+    fn object_arrays_are_traced() {
+        let mut h = VolatileHeap::new(VolatileHeapConfig::small());
+        let k = h.register_instance("E", vec![FieldDesc::prim("v")]);
+        let ak = h.register_obj_array("E");
+        let arr = h.alloc_array(ak, 4).unwrap();
+        let root = h.add_root(arr);
+        for i in 0..4 {
+            let e = h.alloc_instance(k).unwrap();
+            h.set_field(e, 0, i as u64 * 10);
+            let arr = h.root(root).unwrap();
+            h.array_set_ref(arr, i, e);
+        }
+        h.collect_young(&[]);
+        let arr = h.root(root).unwrap();
+        for i in 0..4 {
+            let e = h.array_get_ref(arr, i);
+            assert_eq!(h.field(e, 0), i as u64 * 10);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests: random object graphs survive volatile collections with
+//! structure and payloads intact.
+
+use espresso_object::FieldDesc;
+use espresso_runtime::{VolatileHeap, VolatileHeapConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_graphs_survive_collections(
+        edges in proptest::collection::vec((0u8..30, 0u8..30), 0..60),
+        churn in 0usize..400,
+        full in any::<bool>(),
+    ) {
+        let mut h = VolatileHeap::new(VolatileHeapConfig::small());
+        let k = h.register_instance("N", vec![FieldDesc::prim("id"), FieldDesc::reference("edge")]);
+        // 30 nodes, each pinned by a handle so we can check them all.
+        let handles: Vec<_> = (0..30u64)
+            .map(|i| {
+                let n = h.alloc_instance(k).unwrap();
+                h.set_field(n, 0, i);
+                h.add_root(n)
+            })
+            .collect();
+        for &(a, b) in &edges {
+            let from = h.root(handles[a as usize]).unwrap();
+            let to = h.root(handles[b as usize]).unwrap();
+            h.set_field_ref(from, 1, to);
+        }
+        // Garbage churn (may trigger young GCs), then an explicit GC.
+        for _ in 0..churn {
+            h.alloc_instance(k).unwrap();
+        }
+        if full {
+            h.collect_full(&[]).unwrap();
+        } else {
+            h.collect_young(&[]);
+        }
+        // Payloads survive, and the *last* declared edge per source is in
+        // place and points at the right target.
+        for (i, &hd) in handles.iter().enumerate() {
+            let n = h.root(hd).unwrap();
+            prop_assert_eq!(h.field(n, 0), i as u64);
+        }
+        let mut last_edge = std::collections::HashMap::new();
+        for &(a, b) in &edges {
+            last_edge.insert(a, b);
+        }
+        for (&a, &b) in &last_edge {
+            let from = h.root(handles[a as usize]).unwrap();
+            let e = h.field_ref(from, 1);
+            prop_assert!(!e.is_null());
+            prop_assert_eq!(h.field(e, 0), b as u64);
+        }
+    }
+
+    #[test]
+    fn arrays_keep_contents_through_promotion(values in proptest::collection::vec(any::<u64>(), 1..60)) {
+        let mut h = VolatileHeap::new(VolatileHeapConfig::small());
+        let pk = h.register_prim_array();
+        let arr = h.alloc_array(pk, values.len()).unwrap();
+        let root = h.add_root(arr);
+        for (i, v) in values.iter().enumerate() {
+            h.array_set(arr, i, *v);
+        }
+        for _ in 0..6 {
+            h.collect_young(&[]); // enough survivals to promote
+        }
+        let arr = h.root(root).unwrap();
+        let (young_used, old_used) = h.used_words();
+        prop_assert_eq!(young_used, 0, "promoted array left the young gen");
+        prop_assert!(old_used > 0);
+        for (i, v) in values.iter().enumerate() {
+            prop_assert_eq!(h.array_get(arr, i), *v);
+        }
+    }
+}

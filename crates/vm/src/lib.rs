@@ -1,0 +1,46 @@
+//! The unified Espresso VM: one runtime over both heaps (§3).
+//!
+//! [`Vm`] binds the volatile generational heap (`espresso-runtime`) and the
+//! Persistent Java Heap (`espresso-core`) behind a single object API:
+//! `new` allocates in DRAM, `pnew` in NVM (§3.2), and objects of the same
+//! logical class may live in both spaces at once.
+//!
+//! That duality is exactly what breaks stock class resolution — a constant
+//! pool keeps *one* resolved Klass per class symbol, so resolving the
+//! persistent Klass invalidates the volatile one and a redundant cast
+//! throws (Figure 10). The VM reproduces both behaviours:
+//! [`Vm::checkcast_strict`] models the stock JVM and fails on the Figure 10
+//! program, while [`Vm::checkcast`] applies the paper's **alias Klass**
+//! extension (two Klasses are aliases when they are logically the same
+//! class stored in different spaces) and accepts it.
+//!
+//! The VM also owns cross-heap GC choreography (§3.4): DRAM-held NVM
+//! pointers are passed to the persistent collector as roots (and patched
+//! afterwards from its relocation table), and NVM-held DRAM pointers are
+//! roots for the scavenger / full collector symmetrically.
+//!
+//! # Example
+//!
+//! ```
+//! use espresso_vm::{Vm, VmConfig};
+//! use espresso_object::FieldDesc;
+//!
+//! # fn main() -> Result<(), espresso_vm::VmError> {
+//! let mut vm = Vm::with_persistent_heap(VmConfig::small(), 8 << 20)?;
+//! vm.define_class("Person", vec![FieldDesc::prim("id"), FieldDesc::reference("name")])?;
+//!
+//! let a = vm.new_instance("Person")?;   // DRAM
+//! let b = vm.pnew_instance("Person")?;  // NVM
+//! assert!(vm.instance_of(a, "Person"));
+//! assert!(vm.instance_of(b, "Person"));
+//! vm.checkcast(a, "Person")?;           // alias-aware: fine
+//! # Ok(())
+//! # }
+//! ```
+
+mod vm;
+
+pub use vm::{Vm, VmConfig, VmError};
+
+/// Result alias for VM operations.
+pub type Result<T> = std::result::Result<T, VmError>;

@@ -1,0 +1,57 @@
+//! A crash-safe bank ledger on persistent collections: accounts in a
+//! `PHashMap`, an append-only audit trail in a `PArrayList`, and every
+//! transfer wrapped in an undo-logged transaction — the fine-grained
+//! persistence programming model of §3 without any ORM.
+//!
+//! Run with: `cargo run --example bank_ledger`
+
+use espresso::collections::{PArrayList, PHashMap, PStore};
+use espresso::heap::{LoadOptions, Pjh, PjhConfig, PjhError};
+use espresso::nvm::{NvmConfig, NvmDevice};
+
+fn transfer(store: &mut PStore, accounts: &PHashMap, log: &PArrayList, from: u64, to: u64, amount: u64) -> Result<bool, PjhError> {
+    let from_balance = accounts.get(store, from).unwrap_or(0);
+    if from_balance < amount {
+        return Ok(false);
+    }
+    let to_balance = accounts.get(store, to).unwrap_or(0);
+    // One ACID transaction: both balances plus the audit record move
+    // together, whatever the crash point.
+    store.begin();
+    accounts.put(store, from, from_balance - amount)?;
+    accounts.put(store, to, to_balance + amount)?;
+    log.push(store, from << 32 | to << 16 | amount)?;
+    store.commit();
+    Ok(true)
+}
+
+fn main() -> Result<(), PjhError> {
+    let dev = NvmDevice::new(NvmConfig::with_size(16 << 20));
+    let pjh = Pjh::create(dev.clone(), PjhConfig::default())?;
+    let mut store = PStore::new(pjh)?;
+
+    let accounts = PHashMap::pnew(&mut store, 64)?;
+    let log = PArrayList::pnew(&mut store, 16)?;
+    store.heap_mut().set_root("accounts", accounts.as_ref())?;
+    store.heap_mut().set_root("audit", log.as_ref())?;
+
+    for id in 0..8 {
+        accounts.put(&mut store, id, 1000)?;
+    }
+    for i in 0..100u64 {
+        transfer(&mut store, &accounts, &log, i % 8, (i + 3) % 8, 50)?;
+    }
+    let total: u64 = accounts.entries(&store).iter().map(|&(_, v)| v).sum();
+    println!("before crash: total balance = {total}, audit entries = {}", log.len(&store));
+
+    // Power failure mid-run; reload and verify the invariant.
+    dev.crash();
+    let (heap, _) = Pjh::load(dev, LoadOptions::default())?;
+    let store = PStore::attach(heap)?; // rolls back any torn transaction
+    let accounts = PHashMap::from_ref(store.heap().get_root("accounts").unwrap());
+    let log = PArrayList::from_ref(store.heap().get_root("audit").unwrap());
+    let total: u64 = accounts.entries(&store).iter().map(|&(_, v)| v).sum();
+    println!("after crash:  total balance = {total}, audit entries = {}", log.len(&store));
+    assert_eq!(total, 8000, "money is conserved across the crash");
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Quickstart: create a persistent heap, allocate objects with the `pnew`
+//! path, survive a power failure, and read the data back (§3.3,
+//! Figure 11's "Jimmy" example).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use espresso::heap::{HeapManager, LoadOptions, PjhConfig, PjhError};
+use espresso::object::FieldDesc;
+
+fn main() -> Result<(), PjhError> {
+    let mgr = HeapManager::temp()?;
+
+    // Check if the heap exists; create it otherwise (Figure 11).
+    if !mgr.exists_heap("Jimmy") {
+        println!("heap 'Jimmy' does not exist; creating it");
+        let mut heap = mgr.create_heap("Jimmy", 8 << 20, PjhConfig::default())?;
+        let person = heap.register_instance(
+            "Person",
+            vec![FieldDesc::prim("id"), FieldDesc::reference("friend")],
+        )?;
+
+        // Person p = pnew Person(...); two friends pointing at each other.
+        let alice = heap.alloc_instance(person)?;
+        let bob = heap.alloc_instance(person)?;
+        heap.set_field(alice, 0, 1);
+        heap.set_field(bob, 0, 2);
+        heap.set_field_ref(alice, 1, bob)?;
+        heap.set_field_ref(bob, 1, alice)?;
+        // Application-level persistence is explicit (§3.5).
+        heap.flush_object(alice);
+        heap.flush_object(bob);
+        heap.set_root("Jimmy_info", alice)?;
+        mgr.save("Jimmy", &heap)?;
+        println!("persisted Alice (id 1) and Bob (id 2)");
+    }
+
+    // "After a system reboot": load the heap and navigate from the root.
+    let (heap, report) = mgr.load_heap("Jimmy", LoadOptions::default())?;
+    println!(
+        "loaded heap: {} klasses reinitialized in place, recovered_gc={}",
+        report.klasses_reloaded, report.recovered_gc
+    );
+    let alice = heap.get_root("Jimmy_info").expect("root survives restarts");
+    let bob = heap.field_ref(alice, 1);
+    println!(
+        "alice.id = {}, alice.friend.id = {}, friend.friend == alice: {}",
+        heap.field(alice, 0),
+        heap.field(bob, 0),
+        heap.field_ref(bob, 1) == alice
+    );
+    let census = heap.census();
+    println!("census: {} objects, {} words", census.objects, census.object_words);
+    Ok(())
+}

@@ -1,0 +1,127 @@
+//! Property-based tests spanning crates: random workloads against model
+//! implementations, with crash/reload cycles interleaved.
+
+use espresso::collections::{PArrayList, PHashMap, PStore};
+use espresso::heap::{LoadOptions, Pjh, PjhConfig};
+use espresso::nvm::{NvmConfig, NvmDevice};
+use espresso::object::{FieldDesc, Ref};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Put(u8, u64),
+    Remove(u8),
+    Get(u8),
+    CrashReload,
+    Gc,
+}
+
+fn map_op() -> impl Strategy<Value = MapOp> {
+    prop_oneof![
+        4 => (any::<u8>(), any::<u64>()).prop_map(|(k, v)| MapOp::Put(k % 32, v % 1000)),
+        2 => any::<u8>().prop_map(|k| MapOp::Remove(k % 32)),
+        3 => any::<u8>().prop_map(|k| MapOp::Get(k % 32)),
+        1 => Just(MapOp::CrashReload),
+        1 => Just(MapOp::Gc),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn phashmap_matches_model_across_crashes_and_gcs(ops in proptest::collection::vec(map_op(), 1..60)) {
+        let dev = NvmDevice::new(NvmConfig::with_size(16 << 20));
+        let mut store = PStore::new(Pjh::create(dev.clone(), PjhConfig::small()).unwrap()).unwrap();
+        let map = PHashMap::pnew(&mut store, 8).unwrap();
+        store.heap_mut().set_root("m", map.as_ref()).unwrap();
+        let mut map = map;
+        let mut model = std::collections::HashMap::<u64, u64>::new();
+        for op in ops {
+            match op {
+                MapOp::Put(k, v) => {
+                    prop_assert_eq!(map.put(&mut store, k as u64, v).unwrap(), model.insert(k as u64, v));
+                }
+                MapOp::Remove(k) => {
+                    prop_assert_eq!(map.remove(&mut store, k as u64).unwrap(), model.remove(&(k as u64)));
+                }
+                MapOp::Get(k) => {
+                    prop_assert_eq!(map.get(&store, k as u64), model.get(&(k as u64)).copied());
+                }
+                MapOp::CrashReload => {
+                    dev.crash();
+                    let (heap, _) = Pjh::load(dev.clone(), LoadOptions::default()).unwrap();
+                    store = PStore::attach(heap).unwrap();
+                    map = PHashMap::from_ref(store.heap().get_root("m").unwrap());
+                }
+                MapOp::Gc => {
+                    store.gc(&[]).unwrap();
+                    map = PHashMap::from_ref(store.heap().get_root("m").unwrap());
+                    store.heap().verify_integrity().unwrap();
+                }
+            }
+            prop_assert_eq!(map.len(&store), model.len());
+        }
+    }
+
+    #[test]
+    fn parraylist_matches_vec_model(pushes in proptest::collection::vec(any::<u64>(), 1..80),
+                                    gc_at in 0usize..80) {
+        let dev = NvmDevice::new(NvmConfig::with_size(16 << 20));
+        let mut store = PStore::new(Pjh::create(dev, PjhConfig::small()).unwrap()).unwrap();
+        let mut list = PArrayList::pnew(&mut store, 2).unwrap();
+        store.heap_mut().set_root("l", list.as_ref()).unwrap();
+        let mut model = Vec::new();
+        for (i, v) in pushes.iter().enumerate() {
+            list.push(&mut store, *v).unwrap();
+            model.push(*v);
+            if i == gc_at {
+                store.gc(&[]).unwrap();
+                list = PArrayList::from_ref(store.heap().get_root("l").unwrap());
+            }
+        }
+        prop_assert_eq!(list.to_vec(&store), model);
+    }
+
+    #[test]
+    fn random_object_graphs_survive_gc(edges in proptest::collection::vec((0u8..40, 0u8..40), 1..80)) {
+        let dev = NvmDevice::new(NvmConfig::with_size(8 << 20));
+        let mut heap = Pjh::create(dev, PjhConfig::small()).unwrap();
+        let k = heap.register_instance("N", vec![FieldDesc::prim("id"), FieldDesc::reference("edge")]).unwrap();
+        let nodes: Vec<Ref> = (0..40u64)
+            .map(|i| {
+                let n = heap.alloc_instance(k).unwrap();
+                heap.set_field(n, 0, i);
+                n
+            })
+            .collect();
+        // Random edges, then root a random subset via the name table.
+        for &(a, b) in &edges {
+            heap.set_field_ref(nodes[a as usize], 1, nodes[b as usize]).unwrap();
+        }
+        for (i, &(a, _)) in edges.iter().enumerate().take(5) {
+            heap.set_root(&format!("r{i}"), nodes[a as usize]).unwrap();
+        }
+        // Garbage + collect.
+        for _ in 0..100 {
+            heap.alloc_instance(k).unwrap();
+        }
+        heap.gc(&[]).unwrap();
+        heap.verify_integrity().unwrap();
+        // Every rooted node is reachable with its id intact, and edges
+        // still point at nodes with the right ids.
+        for (i, &(a, b)) in edges.iter().enumerate().take(5) {
+            let n = heap.get_root(&format!("r{i}")).unwrap();
+            prop_assert_eq!(heap.field(n, 0), a as u64);
+            let e = heap.field_ref(n, 1);
+            if !e.is_null() {
+                // The edge field was overwritten by later edges from the
+                // same source; its target id must be one of the declared
+                // targets for that source.
+                let tid = heap.field(e, 0);
+                let valid = edges.iter().any(|&(x, y)| x == a && y as u64 == tid) || tid == b as u64;
+                prop_assert!(valid, "node {} has unexpected edge target {}", a, tid);
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Cross-crate integration: the full Espresso stack exercised the way the
+//! paper's evaluation does — VM + PJH + collections + both ORM providers
+//! against the embedded database, across simulated restarts.
+
+use espresso::collections::{PArrayList, PHashMap, PStore};
+use espresso::heap::{HeapManager, LoadOptions, Pjh, PjhConfig, SafetyLevel};
+use espresso::jpa::{EntityManager, EntityMeta};
+use espresso::minidb::{ColType, Database, Value};
+use espresso::nvm::{NvmConfig, NvmDevice};
+use espresso::object::FieldDesc;
+use espresso::pjo::PjoEntityManager;
+use espresso::vm::{Vm, VmConfig};
+
+#[test]
+fn vm_objects_survive_restart_through_the_manager() {
+    let mgr = HeapManager::temp().unwrap();
+    let mut heap = mgr.create_heap("app", 8 << 20, PjhConfig::default()).unwrap();
+    let k = heap
+        .register_instance("Account", vec![FieldDesc::prim("balance"), FieldDesc::reference("next")])
+        .unwrap();
+    let mut head = espresso::object::Ref::NULL;
+    for i in 0..100 {
+        let a = heap.alloc_instance(k).unwrap();
+        heap.set_field(a, 0, i * 10);
+        heap.set_field_ref(a, 1, head).unwrap();
+        heap.flush_object(a);
+        head = a;
+    }
+    heap.set_root("accounts", head).unwrap();
+    mgr.save("app", &heap).unwrap();
+
+    // "Reboot" into a VM that attaches the reloaded heap.
+    let (pjh, report) = mgr.load_heap("app", LoadOptions::default()).unwrap();
+    assert_eq!(report.klasses_reloaded, 1);
+    let mut vm = Vm::new(VmConfig::default());
+    vm.define_class(
+        "Account",
+        vec![FieldDesc::prim("balance"), FieldDesc::reference("next")],
+    )
+    .unwrap();
+    vm.attach_pjh(pjh);
+    let mut cur = vm.get_root("accounts").unwrap();
+    let mut sum = 0;
+    while !cur.is_null() {
+        assert!(vm.instance_of(cur, "Account"));
+        sum += vm.field(cur, 0);
+        cur = vm.field_ref(cur, 1);
+    }
+    assert_eq!(sum, (0..100).map(|i| i * 10).sum::<u64>());
+}
+
+#[test]
+fn collections_and_gc_interact_across_restarts() {
+    let dev = NvmDevice::new(NvmConfig::with_size(16 << 20));
+    let pjh = Pjh::create(dev.clone(), PjhConfig::small()).unwrap();
+    let mut store = PStore::new(pjh).unwrap();
+    let map = PHashMap::pnew(&mut store, 16).unwrap();
+    let list = PArrayList::pnew(&mut store, 8).unwrap();
+    store.heap_mut().set_root("map", map.as_ref()).unwrap();
+    store.heap_mut().set_root("list", list.as_ref()).unwrap();
+    for i in 0..200 {
+        map.put(&mut store, i, i * 7).unwrap();
+        list.push(&mut store, i).unwrap();
+    }
+    // Garbage + GC + crash + reload, twice.
+    for _ in 0..2 {
+        let pk = store.heap_mut().register_prim_array();
+        for _ in 0..300 {
+            store.alloc_array(pk, 32).unwrap();
+        }
+        store.gc(&[]).unwrap();
+        dev.crash();
+        let (heap, _) = Pjh::load(dev.clone(), LoadOptions::default()).unwrap();
+        store = PStore::attach(heap).unwrap();
+    }
+    let map = PHashMap::from_ref(store.heap().get_root("map").unwrap());
+    let list = PArrayList::from_ref(store.heap().get_root("list").unwrap());
+    for i in 0..200 {
+        assert_eq!(map.get(&store, i), Some(i * 7));
+        assert_eq!(list.get(&store, i as usize), Some(i));
+    }
+    store.heap().verify_integrity().unwrap();
+}
+
+#[test]
+fn both_orm_providers_agree_on_results() {
+    let meta = EntityMeta::builder("person")
+        .pk_field("id", ColType::Int)
+        .field("name", ColType::Text)
+        .field("age", ColType::Int)
+        .build();
+
+    let jpa_db = Database::create(NvmDevice::new(NvmConfig::with_size(8 << 20))).unwrap();
+    let mut jpa = EntityManager::new(jpa_db.connect());
+    jpa.create_schema(&[&meta]).unwrap();
+
+    let pjo_db = Database::create(NvmDevice::new(NvmConfig::with_size(8 << 20))).unwrap();
+    let pjh = Pjh::create(NvmDevice::new(NvmConfig::with_size(16 << 20)), PjhConfig::small()).unwrap();
+    let mut pjo = PjoEntityManager::new(pjo_db.connect(), pjh);
+    pjo.set_dedup(true);
+    pjo.create_schema(&[&meta]).unwrap();
+
+    // The same application script against both providers.
+    jpa.begin();
+    pjo.begin();
+    for id in 0..50 {
+        let mut o = meta.instantiate();
+        o.set(0, Value::Int(id));
+        o.set(1, Value::Str(format!("P{id}")));
+        o.set(2, Value::Int(20 + id));
+        jpa.persist(o.clone());
+        pjo.persist(o);
+    }
+    jpa.commit().unwrap();
+    pjo.commit().unwrap();
+
+    for id in (0..50).step_by(7) {
+        let a = jpa.find(&meta, &Value::Int(id)).unwrap().unwrap();
+        let b = pjo.find(&meta, &Value::Int(id)).unwrap().unwrap();
+        assert_eq!(a.values_vec(), b.values_vec(), "providers disagree on entity {id}");
+    }
+
+    // Update through both; field-level tracking on PJO must not lose data.
+    let mut a = jpa.find(&meta, &Value::Int(7)).unwrap().unwrap();
+    let mut b = pjo.find(&meta, &Value::Int(7)).unwrap().unwrap();
+    a.set(2, Value::Int(999));
+    b.set(2, Value::Int(999));
+    jpa.begin();
+    jpa.merge(a);
+    jpa.commit().unwrap();
+    pjo.begin();
+    pjo.merge(b);
+    pjo.commit().unwrap();
+    let a = jpa.find(&meta, &Value::Int(7)).unwrap().unwrap();
+    let b = pjo.find(&meta, &Value::Int(7)).unwrap().unwrap();
+    assert_eq!(a.values_vec(), b.values_vec());
+}
+
+#[test]
+fn zeroing_safety_protects_reloaded_heaps_with_dram_pointers() {
+    let dev = NvmDevice::new(NvmConfig::with_size(8 << 20));
+    {
+        let mut vm = Vm::new(VmConfig::small());
+        vm.define_class("Holder", vec![FieldDesc::prim("v"), FieldDesc::reference("obj")]).unwrap();
+        vm.attach_pjh(Pjh::create(dev.clone(), PjhConfig::small()).unwrap());
+        let dram = vm.new_instance("Holder").unwrap();
+        let nvm = vm.pnew_instance("Holder").unwrap();
+        vm.set_field(nvm, 0, 5);
+        vm.set_field_ref(nvm, 1, dram).unwrap(); // NVM -> DRAM pointer
+        vm.flush_object(nvm);
+        vm.set_root("holder", nvm).unwrap();
+    }
+    dev.crash(); // the DRAM side of that pointer is gone forever
+    let (heap, report) = Pjh::load(
+        dev,
+        LoadOptions { safety: SafetyLevel::Zeroing, ..LoadOptions::default() },
+    )
+    .unwrap();
+    assert_eq!(report.zeroed_refs, 1);
+    let nvm = heap.get_root("holder").unwrap();
+    assert!(heap.field_ref(nvm, 1).is_null(), "dangling DRAM pointer nullified");
+    assert_eq!(heap.field(nvm, 0), 5);
+}
