@@ -6,7 +6,9 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig15");
-    g.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200));
     let n = 500;
     for dtype in [DataType::Tuple, DataType::Primitive, DataType::Hashmap] {
         for op in MicroOp::ALL {

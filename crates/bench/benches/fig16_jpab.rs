@@ -7,7 +7,9 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig16");
-    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
     for test in [JpabTest::Basic, JpabTest::Node] {
         g.bench_function(format!("jpa/{}", test.name()), |b| {
             b.iter(|| {

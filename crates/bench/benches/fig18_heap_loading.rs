@@ -7,7 +7,9 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig18");
-    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
     for objects in [2_000usize, 10_000] {
         let image = build_loading_image(objects, 20);
         g.bench_function(format!("load/ug/{objects}"), |b| {

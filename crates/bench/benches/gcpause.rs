@@ -6,9 +6,15 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("gcpause");
-    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
-    g.bench_function("recoverable", |b| b.iter(|| measure_gc_pause(400, 1600, true)));
-    g.bench_function("no_flush", |b| b.iter(|| measure_gc_pause(400, 1600, false)));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
+    g.bench_function("recoverable", |b| {
+        b.iter(|| measure_gc_pause(400, 1600, true))
+    });
+    g.bench_function("no_flush", |b| {
+        b.iter(|| measure_gc_pause(400, 1600, false))
+    });
     g.finish();
 }
 

@@ -1,0 +1,77 @@
+//! Records a machine-readable benchmark baseline covering Figure 15
+//! (PJH vs PCJ micro-ops) and Figure 18 (heap loading under both safety
+//! levels) at CI-safe workload sizes.
+//!
+//! The committed `BENCH_baseline.json` at the repository root is produced by:
+//!
+//! ```text
+//! cargo run --release -p espresso-bench --bin bench_baseline -- --out BENCH_baseline.json
+//! ```
+//!
+//! Flags: `--n15 <ops>` (fig15 ops per cell, default 2000), `--n18 <objects>`
+//! (fig18 max object count, default 50000), `--out <path>` (default stdout).
+//! Absolute times vary by machine; the *shape* (speedup ratios, UG-vs-zeroing
+//! growth) is what future PRs compare against.
+
+use espresso::heap::SafetyLevel;
+use espresso_bench::micro::{
+    build_loading_image, measure_load, run_pcj_micro, run_pjh_micro, DataType, MicroOp,
+};
+use std::fmt::Write as _;
+
+fn flag(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let n15: usize = flag("--n15").and_then(|v| v.parse().ok()).unwrap_or(2_000);
+    let n18: usize = flag("--n18").and_then(|v| v.parse().ok()).unwrap_or(50_000);
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": 1,\n  \"mode\": \"ci-safe\",\n");
+    let _ = writeln!(json, "  \"fig15\": {{");
+    let _ = writeln!(json, "    \"ops_per_cell\": {n15},");
+    let _ = writeln!(json, "    \"pjh_speedup_over_pcj\": {{");
+    let mut cells = Vec::new();
+    for dtype in DataType::ALL {
+        for op in MicroOp::ALL {
+            let pcj = run_pcj_micro(dtype, op, n15).as_secs_f64();
+            let pjh = run_pjh_micro(dtype, op, n15).as_secs_f64();
+            let speedup = pcj / pjh.max(f64::MIN_POSITIVE);
+            cells.push(format!(
+                "      \"{}/{}\": {:.2}",
+                dtype.name(),
+                op.name(),
+                speedup
+            ));
+        }
+    }
+    json.push_str(&cells.join(",\n"));
+    json.push_str("\n    }\n  },\n");
+
+    let _ = writeln!(json, "  \"fig18\": {{");
+    let _ = writeln!(json, "    \"klasses\": 20,");
+    let _ = writeln!(json, "    \"load_ms\": {{");
+    let mut points = Vec::new();
+    for objects in [n18 / 2, n18] {
+        let image = build_loading_image(objects, 20);
+        let ug = measure_load(&image, SafetyLevel::UserGuaranteed).as_secs_f64() * 1e3;
+        let zero = measure_load(&image, SafetyLevel::Zeroing).as_secs_f64() * 1e3;
+        points.push(format!(
+            "      \"ug/{objects}\": {ug:.3},\n      \"zeroing/{objects}\": {zero:.3}"
+        ));
+    }
+    json.push_str(&points.join(",\n"));
+    json.push_str("\n    }\n  }\n}\n");
+
+    match flag("--out") {
+        Some(path) => {
+            std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("baseline written to {path}");
+        }
+        None => print!("{json}"),
+    }
+}

@@ -32,7 +32,10 @@ fn main() {
     for chunk in (0..n).step_by(100) {
         em.begin();
         for id in chunk..(chunk + 100).min(n) {
-            let mut obj = em.find(&meta, &Value::Int(id as i64)).expect("find").expect("hit");
+            let mut obj = em
+                .find(&meta, &Value::Int(id as i64))
+                .expect("find")
+                .expect("hit");
             mutate_entity(JpabTest::Basic, &mut obj);
             em.merge(obj);
         }

@@ -29,7 +29,10 @@ fn run(provider: &mut Provider, db: &Database, n: usize) -> Vec<PhaseRow> {
         Provider::Pjo(em) => em.create_schema(&[&meta]).unwrap(),
     }
     let mut rows = Vec::new();
-    let mut phase = |op: &'static str, provider: &mut Provider, db: &Database, f: &mut dyn FnMut(&mut Provider)| {
+    let mut phase = |op: &'static str,
+                     provider: &mut Provider,
+                     db: &Database,
+                     f: &mut dyn FnMut(&mut Provider)| {
         db.reset_stats();
         match provider {
             Provider::Jpa(em) => em.reset_stats(),
@@ -40,7 +43,10 @@ fn run(provider: &mut Provider, db: &Database, n: usize) -> Vec<PhaseRow> {
         let total = t0.elapsed().as_nanos() as f64;
         let dbs = db.stats();
         let (label, transformation) = match provider {
-            Provider::Jpa(em) => ("H2-JPA", (em.stats().transformation_ns + dbs.parse_ns) as f64),
+            Provider::Jpa(em) => (
+                "H2-JPA",
+                (em.stats().transformation_ns + dbs.parse_ns) as f64,
+            ),
             Provider::Pjo(em) => ("H2-PJO", em.stats().ship_ns as f64),
         };
         let execution = (dbs.exec_ns + dbs.wal_ns) as f64;
@@ -58,7 +64,10 @@ fn run(provider: &mut Provider, db: &Database, n: usize) -> Vec<PhaseRow> {
         for chunk in (0..n).step_by(50) {
             p_begin(p);
             for id in chunk..(chunk + 50).min(n) {
-                p_persist(p, make_entity(JpabTest::Basic, &meta_c, id as i64, n as i64));
+                p_persist(
+                    p,
+                    make_entity(JpabTest::Basic, &meta_c, id as i64, n as i64),
+                );
             }
             p_commit(p);
         }
@@ -124,7 +133,11 @@ fn p_remove(p: &mut Provider, m: &espresso::jpa::EntityMeta, id: i64) {
         Provider::Pjo(em) => em.remove(m, Value::Int(id)),
     }
 }
-fn p_find(p: &mut Provider, m: &espresso::jpa::EntityMeta, id: i64) -> Option<espresso::jpa::EntityObject> {
+fn p_find(
+    p: &mut Provider,
+    m: &espresso::jpa::EntityMeta,
+    id: i64,
+) -> Option<espresso::jpa::EntityObject> {
     match p {
         Provider::Jpa(em) => em.find(m, &Value::Int(id)).unwrap(),
         Provider::Pjo(em) => em.find(m, &Value::Int(id)).unwrap(),
@@ -139,7 +152,11 @@ fn main() {
     let jpa_rows = run(&mut jpa, &jpa_db, n);
 
     let pjo_db = Database::create(NvmDevice::new(NvmConfig::with_size(64 << 20))).unwrap();
-    let pjh = Pjh::create(NvmDevice::new(NvmConfig::with_size(128 << 20)), PjhConfig::default()).unwrap();
+    let pjh = Pjh::create(
+        NvmDevice::new(NvmConfig::with_size(128 << 20)),
+        PjhConfig::default(),
+    )
+    .unwrap();
     let mut pjo = Provider::Pjo(PjoEntityManager::new(pjo_db.connect(), pjh));
     let pjo_rows = run(&mut pjo, &pjo_db, n);
 
@@ -155,7 +172,13 @@ fn main() {
     }
     print_table(
         &format!("Figure 17: BasicTest breakdown ({n} entities, milliseconds)"),
-        &["Operation", "Provider", "Execution", "Transformation", "Other"],
+        &[
+            "Operation",
+            "Provider",
+            "Execution",
+            "Transformation",
+            "Other",
+        ],
         &rows,
     );
     println!("\npaper shape: PJO eliminates the transformation share; execution shrinks too");

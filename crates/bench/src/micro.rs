@@ -400,8 +400,14 @@ pub fn measure_load(image: &[u8], safety: SafetyLevel) -> Duration {
     dev.write_bytes(0, image);
     dev.persist(0, image.len());
     let t0 = Instant::now();
-    let (_heap, _report) =
-        Pjh::load(dev, LoadOptions { safety, ..LoadOptions::default() }).expect("load");
+    let (_heap, _report) = Pjh::load(
+        dev,
+        LoadOptions {
+            safety,
+            ..LoadOptions::default()
+        },
+    )
+    .expect("load");
     t0.elapsed()
 }
 
@@ -427,11 +433,20 @@ pub struct GcPause {
 /// over-weights flushes. The figure binary reports both.
 pub fn measure_gc_pause(live: usize, garbage: usize, recoverable: bool) -> GcPause {
     let bytes = ((live + garbage) * 64 + (16 << 20)).next_power_of_two();
-    let dev = NvmDevice::new(NvmConfig { size: bytes, latency: LatencyModel::nvm() });
-    let config = PjhConfig { recoverable_gc: recoverable, ..PjhConfig::default() };
+    let dev = NvmDevice::new(NvmConfig {
+        size: bytes,
+        latency: LatencyModel::nvm(),
+    });
+    let config = PjhConfig {
+        recoverable_gc: recoverable,
+        ..PjhConfig::default()
+    };
     let mut heap = Pjh::create(dev.clone(), config).expect("pjh");
     let kid = heap
-        .register_instance("PauseTest", vec![FieldDesc::prim("a"), FieldDesc::reference("next")])
+        .register_instance(
+            "PauseTest",
+            vec![FieldDesc::prim("a"), FieldDesc::reference("next")],
+        )
         .expect("klass");
     let mut head = espresso::object::Ref::NULL;
     for i in 0..(live + garbage) {
@@ -445,7 +460,11 @@ pub fn measure_gc_pause(live: usize, garbage: usize, recoverable: bool) -> GcPau
     dev.reset_stats();
     let t0 = Instant::now();
     let report = heap.gc(&[]).expect("gc");
-    GcPause { wall: t0.elapsed(), sim_ns: report.pause_sim_ns, flushes: report.pause_flushes }
+    GcPause {
+        wall: t0.elapsed(),
+        sim_ns: report.pause_sim_ns,
+        flushes: report.pause_flushes,
+    }
 }
 
 #[cfg(test)]

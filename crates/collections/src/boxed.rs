@@ -24,7 +24,9 @@ impl PLong {
     ///
     /// Allocation errors.
     pub fn pnew(store: &mut PStore, value: u64) -> Result<PLong, PjhError> {
-        let kid = store.heap_mut().register_instance(CLASS, vec![FieldDesc::prim("value")])?;
+        let kid = store
+            .heap_mut()
+            .register_instance(CLASS, vec![FieldDesc::prim("value")])?;
         let obj = store.alloc_instance(kid)?;
         store.transact(|s| {
             s.set_field(obj, 0, value);

@@ -64,7 +64,9 @@ impl PArrayList {
 
     /// Current backing-array capacity.
     pub fn capacity(&self, store: &PStore) -> usize {
-        store.heap().array_len(store.heap().field_ref(self.obj, F_ELEMS))
+        store
+            .heap()
+            .array_len(store.heap().field_ref(self.obj, F_ELEMS))
     }
 
     /// Reads element `i`, or `None` past the end.
@@ -146,7 +148,9 @@ impl PArrayList {
 
     /// Copies the contents into a `Vec`.
     pub fn to_vec(&self, store: &PStore) -> Vec<u64> {
-        (0..self.len(store)).map(|i| self.get(store, i).expect("in range")).collect()
+        (0..self.len(store))
+            .map(|i| self.get(store, i).expect("in range"))
+            .collect()
     }
 }
 
@@ -225,7 +229,10 @@ mod tests {
         let s2 = PStore::attach(heap).unwrap();
         let l2 = PArrayList::from_ref(s2.heap().get_root("list").unwrap());
         let v = l2.to_vec(&s2);
-        assert!(v == vec![1, 2] || v == vec![1, 2, 3], "atomic push, got {v:?}");
+        assert!(
+            v == vec![1, 2] || v == vec![1, 2, 3],
+            "atomic push, got {v:?}"
+        );
     }
 
     #[test]

@@ -40,7 +40,11 @@ impl PHashMap {
         )?;
         store.heap_mut().register_instance(
             ENTRY_CLASS,
-            vec![FieldDesc::prim("key"), FieldDesc::prim("value"), FieldDesc::reference("next")],
+            vec![
+                FieldDesc::prim("key"),
+                FieldDesc::prim("value"),
+                FieldDesc::reference("next"),
+            ],
         )?;
         let bucket_kid = store.heap_mut().register_obj_array(ENTRY_CLASS);
         let obj = store.alloc_instance(kid)?;
@@ -116,16 +120,14 @@ impl PHashMap {
             None => {
                 let size = self.len(store);
                 let head = store.heap().array_get_ref(buckets, b);
-                let ekid = store
-                    .heap_mut()
-                    .register_instance(
-                        ENTRY_CLASS,
-                        vec![
-                            FieldDesc::prim("key"),
-                            FieldDesc::prim("value"),
-                            FieldDesc::reference("next"),
-                        ],
-                    )?;
+                let ekid = store.heap_mut().register_instance(
+                    ENTRY_CLASS,
+                    vec![
+                        FieldDesc::prim("key"),
+                        FieldDesc::prim("value"),
+                        FieldDesc::reference("next"),
+                    ],
+                )?;
                 store.transact(|s| {
                     let e = s.alloc_instance(ekid)?;
                     // New entry: invisible until the logged head store.
@@ -181,7 +183,10 @@ impl PHashMap {
         for b in 0..store.heap().array_len(buckets) {
             let mut cur = store.heap().array_get_ref(buckets, b);
             while !cur.is_null() {
-                out.push((store.heap().field(cur, E_KEY), store.heap().field(cur, E_VALUE)));
+                out.push((
+                    store.heap().field(cur, E_KEY),
+                    store.heap().field(cur, E_VALUE),
+                ));
                 cur = store.heap().field_ref(cur, E_NEXT);
             }
         }

@@ -38,7 +38,13 @@ impl PStore {
         heap.array_set(log, 0, 0);
         heap.flush_element(log, 0);
         heap.set_root(LOG_ROOT, log)?;
-        Ok(PStore { heap, log, active: false, depth: 0, entries: 0 })
+        Ok(PStore {
+            heap,
+            log,
+            active: false,
+            depth: 0,
+            entries: 0,
+        })
     }
 
     /// Re-attaches to a reloaded heap, rolling back any transaction that
@@ -61,7 +67,13 @@ impl PStore {
             heap.array_set(log, 0, 0);
             heap.flush_element(log, 0);
         }
-        Ok(PStore { heap, log, active: false, depth: 0, entries: 0 })
+        Ok(PStore {
+            heap,
+            log,
+            active: false,
+            depth: 0,
+            entries: 0,
+        })
     }
 
     /// The wrapped heap.
@@ -147,7 +159,10 @@ impl PStore {
         if !self.active {
             return;
         }
-        assert!(self.entries < LOG_ENTRIES, "undo log overflow (transaction too large)");
+        assert!(
+            self.entries < LOG_ENTRIES,
+            "undo log overflow (transaction too large)"
+        );
         let old = self.heap.read_word_at(slot_vaddr);
         let i = self.entries;
         self.heap.array_set(self.log, 1 + 2 * i, slot_vaddr);

@@ -18,7 +18,10 @@ pub struct Bitmap {
 impl Bitmap {
     /// A cleared bitmap of `bits` capacity.
     pub fn new(bits: usize) -> Bitmap {
-        Bitmap { words: vec![0; bits.div_ceil(64)], bits }
+        Bitmap {
+            words: vec![0; bits.div_ceil(64)],
+            bits,
+        }
     }
 
     /// Bit capacity.
@@ -106,9 +109,16 @@ impl Bitmap {
     ///
     /// Panics if the area is smaller than the bitmap prefix plus header.
     pub fn store(&self, dev: &NvmDevice, off: usize, bytes: usize) {
-        let used = self.words.iter().rposition(|&w| w != 0).map_or(0, |i| i + 1);
+        let used = self
+            .words
+            .iter()
+            .rposition(|&w| w != 0)
+            .map_or(0, |i| i + 1);
         let needed = 8 + used * 8;
-        assert!(needed <= bytes, "bitmap of {needed} bytes exceeds area of {bytes}");
+        assert!(
+            needed <= bytes,
+            "bitmap of {needed} bytes exceeds area of {bytes}"
+        );
         let mut buf = vec![0u8; needed];
         buf[..8].copy_from_slice(&(used as u64).to_le_bytes());
         for (i, w) in self.words[..used].iter().enumerate() {
@@ -139,7 +149,10 @@ impl Bitmap {
     /// Panics if the area is smaller than the bitmap.
     pub fn store_raw(&self, dev: &NvmDevice, off: usize, bytes: usize) {
         let needed = self.words.len() * 8;
-        assert!(needed <= bytes, "bitmap of {needed} bytes exceeds area of {bytes}");
+        assert!(
+            needed <= bytes,
+            "bitmap of {needed} bytes exceeds area of {bytes}"
+        );
         let mut buf = vec![0u8; needed];
         for (i, w) in self.words.iter().enumerate() {
             buf[i * 8..i * 8 + 8].copy_from_slice(&w.to_le_bytes());

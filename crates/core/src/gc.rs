@@ -116,7 +116,10 @@ fn mark_live(h: &Pjh, extra_roots: &[Ref]) -> (Bitmap, Bitmap) {
         end.set(w + words - 1);
         let klass = {
             let seg = h.dev.read_u64(off + 8);
-            h.klasses.klass_by_seg(seg).expect("dangling class word").clone()
+            h.klasses
+                .klass_by_seg(seg)
+                .expect("dangling class word")
+                .clone()
         };
         for slot in ref_slots(off, &klass, &h.dev) {
             push_root(h.dev.read_u64(slot), &mut worklist);
@@ -203,7 +206,11 @@ fn build_schedule(
     {
         // Nothing moved and the allocation region holds only garbage:
         // rewind it (the region is zeroed at finalize).
-        (alloc_region_before, layout.region_start(alloc_region_before), vec![(alloc_region_before, 0)])
+        (
+            alloc_region_before,
+            layout.region_start(alloc_region_before),
+            vec![(alloc_region_before, 0)],
+        )
     } else {
         (alloc_region_before, alloc_top_before, Vec::new())
     };
@@ -213,8 +220,8 @@ fn build_schedule(
     zero_tails.sort_unstable();
 
     let mut new_free = Bitmap::new(n);
-    for r in 0..n {
-        let keeps_live = matches!(plans[r], Plan::InPlace(_));
+    for (r, plan) in plans.iter().enumerate() {
+        let keeps_live = matches!(plan, Plan::InPlace(_));
         let receives = fills.contains_key(&r);
         if !keeps_live && !receives && r != alloc_region_after {
             new_free.set(r);
@@ -263,7 +270,11 @@ fn set_done(h: &Pjh, region: usize, done: &mut Bitmap) {
 
 fn fix_object_refs(h: &Pjh, schedule: &Schedule, off: usize) {
     let seg = h.dev.read_u64(off + 8);
-    let klass = h.klasses.klass_by_seg(seg).expect("dangling class word").clone();
+    let klass = h
+        .klasses
+        .klass_by_seg(seg)
+        .expect("dangling class word")
+        .clone();
     for slot in ref_slots(off, &klass, &h.dev) {
         let raw = h.dev.read_u64(slot);
         let fixed = fix_raw(h, schedule, raw);
@@ -355,10 +366,16 @@ fn finalize(h: &mut Pjh, schedule: &Schedule, ts: u32) {
     }
     // Publish the new free bitmap and allocation cursor.
     if h.recoverable_gc {
-        schedule.new_free.store_raw(&h.dev, h.layout.region_free_off, h.layout.region_bitmap_bytes);
+        schedule.new_free.store_raw(
+            &h.dev,
+            h.layout.region_free_off,
+            h.layout.region_bitmap_bytes,
+        );
     }
-    h.dev.write_u64(meta::ALLOC_REGION, schedule.alloc_region_after as u64);
-    h.dev.write_u64(meta::ALLOC_TOP, schedule.alloc_top_after as u64);
+    h.dev
+        .write_u64(meta::ALLOC_REGION, schedule.alloc_region_after as u64);
+    h.dev
+        .write_u64(meta::ALLOC_TOP, schedule.alloc_top_after as u64);
     pflush(h, meta::ALLOC_REGION, 16);
     // The collection is over.
     h.dev.write_u64(meta::GC_IN_PROGRESS, 0);
@@ -380,13 +397,20 @@ pub(crate) fn collect(h: &mut Pjh, extra_roots: &[Ref]) -> crate::Result<GcRepor
         // snapshot, and the pre-GC allocation cursor.
         begin.store(&h.dev, h.layout.mark_begin_off, h.layout.bitmap_bytes);
         end.store(&h.dev, h.layout.mark_end_off, h.layout.bitmap_bytes);
-        h.free.store_raw(&h.dev, h.layout.saved_free_off, h.layout.region_bitmap_bytes);
-        h.dev.write_u64(meta::SAVED_ALLOC_REGION, h.alloc_region as u64);
+        h.free.store_raw(
+            &h.dev,
+            h.layout.saved_free_off,
+            h.layout.region_bitmap_bytes,
+        );
+        h.dev
+            .write_u64(meta::SAVED_ALLOC_REGION, h.alloc_region as u64);
         h.dev.write_u64(meta::SAVED_ALLOC_TOP, h.alloc_top as u64);
         h.dev.persist(meta::SAVED_ALLOC_REGION, 16);
         // Clear the region done bitmap *before* raising the flag.
-        h.dev.fill(h.layout.region_done_off, h.layout.region_bitmap_bytes, 0);
-        h.dev.persist(h.layout.region_done_off, h.layout.region_bitmap_bytes);
+        h.dev
+            .fill(h.layout.region_done_off, h.layout.region_bitmap_bytes, 0);
+        h.dev
+            .persist(h.layout.region_done_off, h.layout.region_bitmap_bytes);
         // Raise the flag and bump the timestamp together (§4.2: "update and
         // persist the global timestamp ... so that all objects become stale").
         h.dev.write_u64(meta::GLOBAL_TIMESTAMP, ts as u64);
@@ -396,7 +420,14 @@ pub(crate) fn collect(h: &mut Pjh, extra_roots: &[Ref]) -> crate::Result<GcRepor
         h.dev.write_u64(meta::GLOBAL_TIMESTAMP, ts as u64);
     }
 
-    let schedule = build_schedule(&h.layout, &begin, &end, &h.free, h.alloc_region, h.alloc_top);
+    let schedule = build_schedule(
+        &h.layout,
+        &begin,
+        &end,
+        &h.free,
+        h.alloc_region,
+        h.alloc_top,
+    );
     let (moved, in_place) = execute(h, &schedule, ts, false);
     finalize(h, &schedule, ts);
     h.gc_count += 1;
@@ -431,7 +462,14 @@ pub(crate) fn recover(h: &mut Pjh) -> crate::Result<()> {
     let alloc_region = h.dev.read_u64(meta::SAVED_ALLOC_REGION) as usize;
     let alloc_top = h.dev.read_u64(meta::SAVED_ALLOC_TOP) as usize;
     // Step 2: redo the summary (idempotent by construction).
-    let schedule = build_schedule(&h.layout, &begin, &end, &saved_free, alloc_region, alloc_top);
+    let schedule = build_schedule(
+        &h.layout,
+        &begin,
+        &end,
+        &saved_free,
+        alloc_region,
+        alloc_top,
+    );
     // Step 3: process the regions not marked done, then finalize.
     execute(h, &schedule, ts, true);
     finalize(h, &schedule, ts);
@@ -451,8 +489,11 @@ mod tests {
     }
 
     fn node(h: &mut Pjh) -> KlassId {
-        h.register_instance("Node", vec![FieldDesc::prim("v"), FieldDesc::reference("next")])
-            .unwrap()
+        h.register_instance(
+            "Node",
+            vec![FieldDesc::prim("v"), FieldDesc::reference("next")],
+        )
+        .unwrap()
     }
 
     /// Builds a linked list of `n` nodes rooted at "head", interleaved with
@@ -620,7 +661,10 @@ mod tests {
     fn non_recoverable_gc_issues_fewer_flushes() {
         let mk = |recoverable: bool| {
             let dev = NvmDevice::new(NvmConfig::with_size(4 << 20));
-            let cfg = PjhConfig { recoverable_gc: recoverable, ..PjhConfig::small() };
+            let cfg = PjhConfig {
+                recoverable_gc: recoverable,
+                ..PjhConfig::small()
+            };
             let mut h = Pjh::create(dev.clone(), cfg).unwrap();
             let k = node(&mut h);
             let expect = build_list_with_garbage(&mut h, k, 150);
@@ -631,7 +675,10 @@ mod tests {
         let (with_flushes, live_a) = mk(true);
         let (without_flushes, live_b) = mk(false);
         assert_eq!(live_a, live_b);
-        assert!(without_flushes < with_flushes / 2, "{without_flushes} vs {with_flushes}");
+        assert!(
+            without_flushes < with_flushes / 2,
+            "{without_flushes} vs {with_flushes}"
+        );
     }
 
     #[test]

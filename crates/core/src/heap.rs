@@ -185,7 +185,11 @@ impl Pjh {
         if heap.dev.read_u64(meta::GC_IN_PROGRESS) != 0 {
             crate::gc::recover(&mut heap)?;
             report.recovered_gc = true;
-            heap.free = Bitmap::load_raw(&heap.dev, heap.layout.region_free_off, heap.layout.num_regions);
+            heap.free = Bitmap::load_raw(
+                &heap.dev,
+                heap.layout.region_free_off,
+                heap.layout.num_regions,
+            );
             heap.alloc_region = heap.dev.read_u64(meta::ALLOC_REGION) as usize;
             heap.alloc_top = heap.dev.read_u64(meta::ALLOC_TOP) as usize;
         }
@@ -217,7 +221,10 @@ impl Pjh {
                     let r = Ref::from_raw(self.dev.read_u64(slot));
                     if r.is_persistent() {
                         let device_off = r.addr() - old_base;
-                        writes.push((slot, Ref::new(Space::Persistent, new_base + device_off).to_raw()));
+                        writes.push((
+                            slot,
+                            Ref::new(Space::Persistent, new_base + device_off).to_raw(),
+                        ));
                     }
                 }
             });
@@ -284,7 +291,11 @@ impl Pjh {
     ///
     /// [`PjhError::KlassLayoutMismatch`] if the heap already persisted a
     /// different layout for this name.
-    pub fn register_instance(&mut self, name: &str, fields: Vec<FieldDesc>) -> crate::Result<KlassId> {
+    pub fn register_instance(
+        &mut self,
+        name: &str,
+        fields: Vec<FieldDesc>,
+    ) -> crate::Result<KlassId> {
         self.klasses.register_instance(name, fields)
     }
 
@@ -312,7 +323,10 @@ impl Pjh {
     pub fn klass_of(&self, r: Ref) -> Arc<Klass> {
         let off = self.obj_off(r);
         let seg = self.dev.read_u64(off + 8);
-        self.klasses.klass_by_seg(seg).expect("dangling class word").clone()
+        self.klasses
+            .klass_by_seg(seg)
+            .expect("dangling class word")
+            .clone()
     }
 
     // ---- allocation (§4.1) ----
@@ -353,18 +367,23 @@ impl Pjh {
     fn alloc_raw(&mut self, words: usize) -> crate::Result<usize> {
         let bytes = words * WORD;
         if bytes > self.layout.region_size {
-            return Err(PjhError::ObjectTooLarge { requested_words: words });
+            return Err(PjhError::ObjectTooLarge {
+                requested_words: words,
+            });
         }
         let region_end = self.layout.region_end(self.alloc_region);
         if self.alloc_top + bytes > region_end {
             // Pad the tail with a filler object so the walker can skip it.
             let rem_words = (region_end - self.alloc_top) / WORD;
             if rem_words > 0 {
-                self.dev.write_u64(self.alloc_top, FILLER_FLAG | rem_words as u64);
+                self.dev
+                    .write_u64(self.alloc_top, FILLER_FLAG | rem_words as u64);
                 self.dev.persist(self.alloc_top, 8);
             }
             self.acquire_alloc_region().map_err(|e| match e {
-                PjhError::HeapFull { .. } => PjhError::HeapFull { requested_words: words },
+                PjhError::HeapFull { .. } => PjhError::HeapFull {
+                    requested_words: words,
+                },
                 other => other,
             })?;
         }
@@ -389,8 +408,15 @@ impl Pjh {
     /// [`PjhError::HeapFull`] (collect and retry),
     /// [`PjhError::ObjectTooLarge`], Klass-segment and safety errors.
     pub fn alloc_instance(&mut self, kid: KlassId) -> crate::Result<Ref> {
-        let klass = self.klasses.registry().by_id(kid).expect("unknown klass").clone();
-        if matches!(self.safety, SafetyLevel::TypeBased) && !self.persistent_capable.contains(klass.name()) {
+        let klass = self
+            .klasses
+            .registry()
+            .by_id(kid)
+            .expect("unknown klass")
+            .clone();
+        if matches!(self.safety, SafetyLevel::TypeBased)
+            && !self.persistent_capable.contains(klass.name())
+        {
             return Err(PjhError::SafetyViolation {
                 reason: format!("class {} is not marked persistent-capable", klass.name()),
             });
@@ -413,7 +439,12 @@ impl Pjh {
     ///
     /// Same as [`alloc_instance`](Self::alloc_instance).
     pub fn alloc_array(&mut self, kid: KlassId, len: usize) -> crate::Result<Ref> {
-        let klass = self.klasses.registry().by_id(kid).expect("unknown klass").clone();
+        let klass = self
+            .klasses
+            .registry()
+            .by_id(kid)
+            .expect("unknown klass")
+            .clone();
         let seg = self
             .klasses
             .ensure_in_segment(&self.dev, &self.layout, &mut self.names, kid)?;
@@ -431,7 +462,10 @@ impl Pjh {
     pub(crate) fn obj_off(&self, r: Ref) -> usize {
         assert!(r.is_persistent(), "persistent heap got {r:?}");
         let off = self.layout.to_off(r.addr());
-        assert!(self.layout.in_data(off), "reference outside data heap: {r:?}");
+        assert!(
+            self.layout.in_data(off),
+            "reference outside data heap: {r:?}"
+        );
         off
     }
 
@@ -455,7 +489,8 @@ impl Pjh {
     pub fn set_field(&mut self, r: Ref, index: usize, value: u64) {
         let off = self.obj_off(r);
         let k = self.klass_of(r);
-        self.dev.write_u64(off + k.field_offset(index) * WORD, value);
+        self.dev
+            .write_u64(off + k.field_offset(index) * WORD, value);
     }
 
     /// Reads reference field `index`.
@@ -516,7 +551,8 @@ impl Pjh {
         let off = self.obj_off(r);
         let len = self.array_len(r);
         assert!(i < len, "array index {i} out of bounds (len {len})");
-        self.dev.write_u64(off + (ARRAY_HEADER_WORDS + i) * WORD, value);
+        self.dev
+            .write_u64(off + (ARRAY_HEADER_WORDS + i) * WORD, value);
     }
 
     /// Reads array element `i` as a reference.
@@ -548,7 +584,8 @@ impl Pjh {
     /// Persists one array element: `Array.flush` of Figure 12.
     pub fn flush_element(&self, r: Ref, i: usize) {
         let off = self.obj_off(r);
-        self.dev.persist(off + (ARRAY_HEADER_WORDS + i) * WORD, WORD);
+        self.dev
+            .persist(off + (ARRAY_HEADER_WORDS + i) * WORD, WORD);
     }
 
     /// Persists every data word of the object with a single trailing fence
@@ -569,7 +606,10 @@ impl Pjh {
     /// Panics if the address is outside the data heap.
     pub fn read_word_at(&self, vaddr: u64) -> u64 {
         let off = self.layout.to_off(vaddr);
-        assert!(self.layout.in_data(off), "address {vaddr:#x} outside data heap");
+        assert!(
+            self.layout.in_data(off),
+            "address {vaddr:#x} outside data heap"
+        );
         self.dev.read_u64(off)
     }
 
@@ -581,7 +621,10 @@ impl Pjh {
     /// Panics if the address is outside the data heap.
     pub fn write_word_at(&mut self, vaddr: u64, value: u64) {
         let off = self.layout.to_off(vaddr);
-        assert!(self.layout.in_data(off), "address {vaddr:#x} outside data heap");
+        assert!(
+            self.layout.in_data(off),
+            "address {vaddr:#x} outside data heap"
+        );
         self.dev.write_u64(off, value);
     }
 
@@ -592,7 +635,10 @@ impl Pjh {
     /// Panics if the address is outside the data heap.
     pub fn persist_word_at(&self, vaddr: u64) {
         let off = self.layout.to_off(vaddr);
-        assert!(self.layout.in_data(off), "address {vaddr:#x} outside data heap");
+        assert!(
+            self.layout.in_data(off),
+            "address {vaddr:#x} outside data heap"
+        );
         self.dev.persist(off, WORD);
     }
 
@@ -693,7 +739,10 @@ impl Pjh {
     /// Visits every object as `(ref, klass)`.
     pub fn for_each_object(&self, mut f: impl FnMut(Ref, &Arc<Klass>)) {
         self.for_each_object_off(|off, klass, _| {
-            f(Ref::new(Space::Persistent, self.layout.to_vaddr(off)), klass);
+            f(
+                Ref::new(Space::Persistent, self.layout.to_vaddr(off)),
+                klass,
+            );
         });
     }
 
@@ -715,7 +764,8 @@ impl Pjh {
         for (slot, raw) in writes {
             self.dev.write_u64(slot, raw);
         }
-        self.names.rewrite_values(&self.dev, EntryKind::Root, |v| f(Ref::from_raw(v)).to_raw());
+        self.names
+            .rewrite_values(&self.dev, EntryKind::Root, |v| f(Ref::from_raw(v)).to_raw());
     }
 
     /// Collects every volatile (DRAM) reference stored anywhere in the
@@ -837,7 +887,9 @@ pub(crate) fn ref_slots(off: usize, klass: &Arc<Klass>, dev: &NvmDevice) -> Vec<
             .collect(),
         ObjKind::ObjArray => {
             let len = dev.read_u64(off + 16) as usize;
-            (0..len).map(|i| off + (ARRAY_HEADER_WORDS + i) * WORD).collect()
+            (0..len)
+                .map(|i| off + (ARRAY_HEADER_WORDS + i) * WORD)
+                .collect()
         }
         ObjKind::PrimArray => Vec::new(),
     }
@@ -855,8 +907,11 @@ mod tests {
     }
 
     fn person(h: &mut Pjh) -> KlassId {
-        h.register_instance("Person", vec![FieldDesc::prim("id"), FieldDesc::reference("next")])
-            .unwrap()
+        h.register_instance(
+            "Person",
+            vec![FieldDesc::prim("id"), FieldDesc::reference("next")],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -925,7 +980,11 @@ mod tests {
         let _ = h.alloc_instance(k);
         dev.recover();
         let (h2, _) = Pjh::load(dev, LoadOptions::default()).unwrap();
-        assert_eq!(h2.census().objects, before, "torn object must not be visible");
+        assert_eq!(
+            h2.census().objects,
+            before,
+            "torn object must not be visible"
+        );
         h2.verify_integrity().unwrap();
     }
 
@@ -993,7 +1052,8 @@ mod tests {
         let p = h.alloc_instance(k).unwrap();
         let q = h.alloc_instance(k).unwrap();
         // p.next -> volatile object (simulated DRAM address).
-        h.set_field_ref(p, 1, Ref::new(Space::Volatile, 0xABCD0)).unwrap();
+        h.set_field_ref(p, 1, Ref::new(Space::Volatile, 0xABCD0))
+            .unwrap();
         // q.next -> p (persistent: must survive).
         h.set_field_ref(q, 1, p).unwrap();
         h.flush_object(p);
@@ -1003,7 +1063,10 @@ mod tests {
         dev.crash();
         let (h2, report) = Pjh::load(
             dev,
-            LoadOptions { safety: SafetyLevel::Zeroing, ..LoadOptions::default() },
+            LoadOptions {
+                safety: SafetyLevel::Zeroing,
+                ..LoadOptions::default()
+            },
         )
         .unwrap();
         assert_eq!(report.zeroed_refs, 1);
@@ -1019,7 +1082,8 @@ mod tests {
         let (dev, mut h) = new_heap();
         let k = person(&mut h);
         let p = h.alloc_instance(k).unwrap();
-        h.set_field_ref(p, 1, Ref::new(Space::Volatile, 0xABCD0)).unwrap();
+        h.set_field_ref(p, 1, Ref::new(Space::Volatile, 0xABCD0))
+            .unwrap();
         h.flush_object(p);
         h.set_root("p", p).unwrap();
         dev.crash();
@@ -1063,7 +1127,10 @@ mod tests {
         let new_base = 0x7777_0000_0000;
         let (h2, report) = Pjh::load(
             dev,
-            LoadOptions { base_override: Some(new_base), ..LoadOptions::default() },
+            LoadOptions {
+                base_override: Some(new_base),
+                ..LoadOptions::default()
+            },
         )
         .unwrap();
         assert!(report.remapped);
@@ -1112,7 +1179,10 @@ mod tests {
             count += 1;
         }
         let before = h.census();
-        assert!(before.total_regions - before.free_regions > 64, "test must span 64+ regions");
+        assert!(
+            before.total_regions - before.free_regions > 64,
+            "test must span 64+ regions"
+        );
         dev.crash();
         let (h2, _) = Pjh::load(dev, LoadOptions::default()).unwrap();
         assert_eq!(h2.census().objects, count);

@@ -82,7 +82,11 @@ impl PKlassTable {
                             let is_ref = bitmap[i / 64] & (1 << (i % 64)) != 0;
                             FieldDesc {
                                 name: format!("f{i}"),
-                                kind: if is_ref { FieldKind::Reference } else { FieldKind::Prim },
+                                kind: if is_ref {
+                                    FieldKind::Reference
+                                } else {
+                                    FieldKind::Prim
+                                },
                             }
                         })
                         .collect();
@@ -123,12 +127,20 @@ impl PKlassTable {
     ///
     /// [`PjhError::KlassLayoutMismatch`] if a persisted layout disagrees
     /// with the registration.
-    pub fn register_instance(&mut self, name: &str, fields: Vec<FieldDesc>) -> Result<KlassId, PjhError> {
+    pub fn register_instance(
+        &mut self,
+        name: &str,
+        fields: Vec<FieldDesc>,
+    ) -> Result<KlassId, PjhError> {
         if let Some(existing) = self.registry.by_name(name) {
             let id = existing.id();
             let candidate = Klass::instance(id, name, fields.clone());
-            if existing.fields().len() != fields.len() || existing.ref_bitmap() != candidate.ref_bitmap() {
-                return Err(PjhError::KlassLayoutMismatch { name: name.to_string() });
+            if existing.fields().len() != fields.len()
+                || existing.ref_bitmap() != candidate.ref_bitmap()
+            {
+                return Err(PjhError::KlassLayoutMismatch {
+                    name: name.to_string(),
+                });
             }
             if self.placeholders.remove(&id.0) {
                 self.registry.redefine_instance(id, fields);
@@ -150,7 +162,9 @@ impl PKlassTable {
 
     /// The klass whose record lives at segment offset `seg`.
     pub fn klass_by_seg(&self, seg: u64) -> Option<&Arc<Klass>> {
-        self.id_of_seg.get(&seg).and_then(|&id| self.registry.by_id(KlassId(id)))
+        self.id_of_seg
+            .get(&seg)
+            .and_then(|&id| self.registry.by_id(KlassId(id)))
     }
 
     /// The segment offset of `id`'s record, if already persisted.
@@ -283,7 +297,11 @@ mod tests {
             t2.register_instance("Person", swapped),
             Err(PjhError::KlassLayoutMismatch { .. })
         ));
-        let extra = vec![FieldDesc::prim("a"), FieldDesc::reference("b"), FieldDesc::prim("c")];
+        let extra = vec![
+            FieldDesc::prim("a"),
+            FieldDesc::reference("b"),
+            FieldDesc::prim("c"),
+        ];
         assert!(matches!(
             t2.register_instance("Person", extra),
             Err(PjhError::KlassLayoutMismatch { .. })
@@ -341,7 +359,9 @@ mod tests {
         let mut t = PKlassTable::attach(&dev, &layout);
         let mut err = None;
         for i in 0..100_000 {
-            let id = t.register_instance(&format!("C{i}"), person_fields()).unwrap();
+            let id = t
+                .register_instance(&format!("C{i}"), person_fields())
+                .unwrap();
             match t.ensure_in_segment(&dev, &layout, &mut names, id) {
                 Ok(_) => {}
                 Err(e) => {

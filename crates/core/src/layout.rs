@@ -294,7 +294,11 @@ impl Layout {
     ///
     /// Panics if the address is below the base (a corrupted reference).
     pub fn to_off(&self, vaddr: u64) -> usize {
-        assert!(vaddr >= self.base, "virtual address {vaddr:#x} below heap base {:#x}", self.base);
+        assert!(
+            vaddr >= self.base,
+            "virtual address {vaddr:#x} below heap base {:#x}",
+            self.base
+        );
         (vaddr - self.base) as usize
     }
 
@@ -332,7 +336,10 @@ mod tests {
 
     #[test]
     fn too_small_is_rejected() {
-        assert!(matches!(Layout::compute(4096, &config()), Err(PjhError::HeapTooSmall { .. })));
+        assert!(matches!(
+            Layout::compute(4096, &config()),
+            Err(PjhError::HeapTooSmall { .. })
+        ));
     }
 
     #[test]

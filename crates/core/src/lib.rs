@@ -89,7 +89,10 @@ pub struct PjhConfig {
 impl PjhConfig {
     /// Small regions and tables, for tests.
     pub fn small() -> Self {
-        PjhConfig { region_size: 4096, ..PjhConfig::default() }
+        PjhConfig {
+            region_size: 4096,
+            ..PjhConfig::default()
+        }
     }
 }
 
@@ -158,13 +161,18 @@ pub enum PjhError {
 impl fmt::Display for PjhError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PjhError::HeapTooSmall { size } => write!(f, "device of {size} bytes is too small for a heap"),
+            PjhError::HeapTooSmall { size } => {
+                write!(f, "device of {size} bytes is too small for a heap")
+            }
             PjhError::NotAHeap => write!(f, "device does not contain a persistent heap image"),
             PjhError::HeapFull { requested_words } => {
                 write!(f, "persistent heap full allocating {requested_words} words")
             }
             PjhError::ObjectTooLarge { requested_words } => {
-                write!(f, "object of {requested_words} words exceeds the region size")
+                write!(
+                    f,
+                    "object of {requested_words} words exceeds the region size"
+                )
             }
             PjhError::NameTableFull => write!(f, "name table is full"),
             PjhError::NameTooLong { name } => write!(f, "name too long: {name:?}"),

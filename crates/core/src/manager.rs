@@ -27,7 +27,9 @@ impl HeapManager {
     /// I/O errors creating the directory.
     pub fn open(dir: impl AsRef<Path>) -> crate::Result<HeapManager> {
         std::fs::create_dir_all(dir.as_ref()).map_err(espresso_nvm::NvmError::Io)?;
-        Ok(HeapManager { dir: dir.as_ref().to_path_buf() })
+        Ok(HeapManager {
+            dir: dir.as_ref().to_path_buf(),
+        })
     }
 
     /// Opens a manager over a fresh unique temporary directory.
@@ -78,7 +80,9 @@ impl HeapManager {
     /// errors otherwise.
     pub fn load_heap(&self, name: &str, options: LoadOptions) -> crate::Result<(Pjh, LoadReport)> {
         if !self.exists_heap(name) {
-            return Err(PjhError::NoSuchHeap { name: name.to_string() });
+            return Err(PjhError::NoSuchHeap {
+                name: name.to_string(),
+            });
         }
         let dev = NvmDevice::load_image(&self.path(name), LatencyModel::zero())?;
         Pjh::load(dev, options)
@@ -128,11 +132,16 @@ mod tests {
     fn create_exists_load_roundtrip() {
         let mgr = HeapManager::temp().unwrap();
         assert!(!mgr.exists_heap("jimmy"));
-        let mut h = mgr.create_heap("jimmy", 4 << 20, PjhConfig::small()).unwrap();
+        let mut h = mgr
+            .create_heap("jimmy", 4 << 20, PjhConfig::small())
+            .unwrap();
         assert!(mgr.exists_heap("jimmy"));
 
         let k = h
-            .register_instance("Person", vec![FieldDesc::prim("id"), FieldDesc::reference("next")])
+            .register_instance(
+                "Person",
+                vec![FieldDesc::prim("id"), FieldDesc::reference("next")],
+            )
             .unwrap();
         let p = h.alloc_instance(k).unwrap();
         h.set_field(p, 0, 31);
@@ -158,7 +167,9 @@ mod tests {
     fn unsaved_changes_do_not_reach_the_image() {
         let mgr = HeapManager::temp().unwrap();
         let mut h = mgr.create_heap("a", 4 << 20, PjhConfig::small()).unwrap();
-        let k = h.register_instance("T", vec![FieldDesc::prim("x")]).unwrap();
+        let k = h
+            .register_instance("T", vec![FieldDesc::prim("x")])
+            .unwrap();
         let t = h.alloc_instance(k).unwrap();
         h.set_root("t", t).unwrap();
         // No save: loading sees the freshly created image.

@@ -58,18 +58,27 @@ impl NameTable {
         let mut used = 0;
         for slot in 0..cap {
             let e = off + slot * NAME_ENTRY_SIZE;
-            let Some(kind) = EntryKind::from_tag(dev.read_u64(e)) else { continue };
+            let Some(kind) = EntryKind::from_tag(dev.read_u64(e)) else {
+                continue;
+            };
             let len = dev.read_u64(e + 16) as usize;
             if len > MAX_NAME_LEN {
                 continue; // torn entry: ignore
             }
             let mut buf = vec![0u8; len];
             dev.read_bytes(e + 24, &mut buf);
-            let Ok(name) = String::from_utf8(buf) else { continue };
+            let Ok(name) = String::from_utf8(buf) else {
+                continue;
+            };
             index.insert((kind, name), slot);
             used += 1;
         }
-        NameTable { off, cap, index, used }
+        NameTable {
+            off,
+            cap,
+            index,
+            used,
+        }
     }
 
     fn entry_off(&self, slot: usize) -> usize {
@@ -97,9 +106,17 @@ impl NameTable {
     /// # Errors
     ///
     /// [`PjhError::NameTooLong`] or [`PjhError::NameTableFull`].
-    pub fn set(&mut self, dev: &NvmDevice, kind: EntryKind, name: &str, value: u64) -> Result<(), PjhError> {
+    pub fn set(
+        &mut self,
+        dev: &NvmDevice,
+        kind: EntryKind,
+        name: &str,
+        value: u64,
+    ) -> Result<(), PjhError> {
         if name.len() > MAX_NAME_LEN {
-            return Err(PjhError::NameTooLong { name: name.to_string() });
+            return Err(PjhError::NameTooLong {
+                name: name.to_string(),
+            });
         }
         if let Some(&slot) = self.index.get(&(kind, name.to_string())) {
             // 8-byte in-place update: atomic at word granularity.
@@ -157,7 +174,12 @@ impl NameTable {
 
     /// Rewrites the value of every `kind` entry through `f`, persisting
     /// each change. Used by the collector to forward root addresses.
-    pub fn rewrite_values(&mut self, dev: &NvmDevice, kind: EntryKind, mut f: impl FnMut(u64) -> u64) {
+    pub fn rewrite_values(
+        &mut self,
+        dev: &NvmDevice,
+        kind: EntryKind,
+        mut f: impl FnMut(u64) -> u64,
+    ) {
         for ((k, _), &slot) in self.index.iter() {
             if *k != kind {
                 continue;
@@ -235,7 +257,11 @@ mod tests {
         let t2 = NameTable::attach(&dev, &layout);
         assert_eq!(t2.get(&dev, EntryKind::Root, "a"), Some(1));
         assert_eq!(t2.get(&dev, EntryKind::Root, "b"), Some(2));
-        assert_eq!(t2.get(&dev, EntryKind::Root, "c"), None, "torn insert must be invisible");
+        assert_eq!(
+            t2.get(&dev, EntryKind::Root, "c"),
+            None,
+            "torn insert must be invisible"
+        );
     }
 
     #[test]
@@ -267,7 +293,8 @@ mod tests {
         let (dev, layout) = setup();
         let mut t = NameTable::attach(&dev, &layout);
         for i in 0..layout.name_table_cap {
-            t.set(&dev, EntryKind::Root, &format!("r{i}"), i as u64).unwrap();
+            t.set(&dev, EntryKind::Root, &format!("r{i}"), i as u64)
+                .unwrap();
         }
         assert!(matches!(
             t.set(&dev, EntryKind::Root, "overflow", 0),

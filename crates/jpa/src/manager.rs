@@ -37,14 +37,21 @@ pub struct EntityManager {
 
 impl std::fmt::Debug for EntityManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EntityManager").field("pending", &self.pending.len()).finish()
+        f.debug_struct("EntityManager")
+            .field("pending", &self.pending.len())
+            .finish()
     }
 }
 
 impl EntityManager {
     /// Wraps a connection.
     pub fn new(conn: Connection) -> EntityManager {
-        EntityManager { conn, pending: Vec::new(), stats: JpaStats::default(), rowid: 0 }
+        EntityManager {
+            conn,
+            pending: Vec::new(),
+            stats: JpaStats::default(),
+            rowid: 0,
+        }
     }
 
     /// ORM-side counters.
@@ -136,9 +143,18 @@ impl EntityManager {
     /// # Errors
     ///
     /// Database errors.
-    pub fn find(&mut self, meta: &EntityMeta, key: &Value) -> espresso_minidb::Result<Option<EntityObject>> {
+    pub fn find(
+        &mut self,
+        meta: &EntityMeta,
+        key: &Value,
+    ) -> espresso_minidb::Result<Option<EntityObject>> {
         let sql = self.transform(|| {
-            format!("SELECT * FROM {} WHERE {} = {}", meta.name(), meta.fields()[meta.pk()].0, key)
+            format!(
+                "SELECT * FROM {} WHERE {} = {}",
+                meta.name(),
+                meta.fields()[meta.pk()].0,
+                key
+            )
         });
         let result = self.conn.execute(&sql)?;
         let Some(row) = result.rows.into_iter().next() else {
@@ -148,7 +164,11 @@ impl EntityManager {
         obj.values = row;
         for c in 0..meta.collections().len() {
             let sql = self.transform(|| {
-                format!("SELECT * FROM {} WHERE owner = {}", meta.collection_table(c), key)
+                format!(
+                    "SELECT * FROM {} WHERE owner = {}",
+                    meta.collection_table(c),
+                    key
+                )
             });
             let rows = self.conn.execute(&sql)?.rows;
             let mut items: Vec<(i64, i64)> = rows
@@ -204,7 +224,11 @@ impl EntityManager {
                 Pending::Insert(obj) => {
                     let sql = self.transform(|| {
                         let vals: Vec<String> = obj.values.iter().map(|v| v.to_string()).collect();
-                        format!("INSERT INTO {} VALUES ({})", obj.meta().name(), vals.join(", "))
+                        format!(
+                            "INSERT INTO {} VALUES ({})",
+                            obj.meta().name(),
+                            vals.join(", ")
+                        )
                     });
                     self.conn.execute(&sql)?;
                     self.flush_collections(obj)?;
@@ -246,7 +270,8 @@ impl EntityManager {
                     self.conn.execute(&sql)?;
                     for c in 0..meta.collections().len() {
                         let table = meta.collection_table(c);
-                        let del = self.transform(|| format!("DELETE FROM {table} WHERE owner = {key}"));
+                        let del =
+                            self.transform(|| format!("DELETE FROM {table} WHERE owner = {key}"));
                         self.conn.execute(&del)?;
                     }
                 }

@@ -107,7 +107,9 @@ impl EntityMetaBuilder {
             self.meta.pk += parent.fields.len();
         }
         self.meta.fields.extend(own);
-        self.meta.collections.extend(parent.collections.iter().cloned());
+        self.meta
+            .collections
+            .extend(parent.collections.iter().cloned());
         self
     }
 
@@ -124,7 +126,11 @@ impl EntityMetaBuilder {
     ///
     /// Panics if no primary key was declared.
     pub fn build(self) -> EntityMeta {
-        assert!(self.meta.pk != usize::MAX, "entity {} needs a primary key", self.meta.name);
+        assert!(
+            self.meta.pk != usize::MAX,
+            "entity {} needs a primary key",
+            self.meta.name
+        );
         self.meta
     }
 }
@@ -176,7 +182,9 @@ impl EntityObject {
 
     /// Indices of fields written since the last commit/load.
     pub fn dirty_fields(&self) -> Vec<usize> {
-        (0..self.values.len()).filter(|i| self.dirty & (1 << i) != 0).collect()
+        (0..self.values.len())
+            .filter(|i| self.dirty & (1 << i) != 0)
+            .collect()
     }
 
     pub(crate) fn clear_dirty(&mut self) {
@@ -224,7 +232,10 @@ mod tests {
             .extends(&base)
             .build();
         assert_eq!(
-            emp.fields().iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            emp.fields()
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>(),
             vec!["id", "name", "salary"]
         );
         assert_eq!(emp.pk(), 0, "inherits the parent key");

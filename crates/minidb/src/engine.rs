@@ -223,8 +223,19 @@ impl Database {
 
 fn apply_redo(tables: &mut HashMap<String, Table>, record: Redo) {
     match record {
-        Redo::CreateTable { name, columns, primary_key } => {
-            tables.insert(name, Table { columns, primary_key, rows: BTreeMap::new() });
+        Redo::CreateTable {
+            name,
+            columns,
+            primary_key,
+        } => {
+            tables.insert(
+                name,
+                Table {
+                    columns,
+                    primary_key,
+                    rows: BTreeMap::new(),
+                },
+            );
         }
         Redo::Insert { table, row } => {
             if let Some(t) = tables.get_mut(&table) {
@@ -292,7 +303,11 @@ impl Connection {
         let mut inner = self.db.inner.lock();
         run_statement(
             &mut inner,
-            Statement::CreateTable { name: name.to_string(), columns, primary_key },
+            Statement::CreateTable {
+                name: name.to_string(),
+                columns,
+                primary_key,
+            },
         )
         .map(|_| ())
     }
@@ -304,8 +319,14 @@ impl Connection {
     /// Arity / key errors.
     pub fn persist_row(&mut self, table: &str, row: Vec<Value>) -> crate::Result<()> {
         let mut inner = self.db.inner.lock();
-        run_statement(&mut inner, Statement::Insert { table: table.to_string(), values: row })
-            .map(|_| ())
+        run_statement(
+            &mut inner,
+            Statement::Insert {
+                table: table.to_string(),
+                values: row,
+            },
+        )
+        .map(|_| ())
     }
 
     /// Point lookup by primary key, no SQL.
@@ -316,7 +337,10 @@ impl Connection {
     pub fn find_row(&mut self, table: &str, key: &Value) -> crate::Result<Option<Vec<Value>>> {
         let mut inner = self.db.inner.lock();
         let t0 = Instant::now();
-        let t = inner.tables.get(table).ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+        let t = inner
+            .tables
+            .get(table)
+            .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
         let row = t.rows.get(key).cloned();
         inner.stats.exec_ns += t0.elapsed().as_nanos() as u64;
         inner.stats.statements += 1;
@@ -340,12 +364,19 @@ impl Connection {
     ) -> crate::Result<Vec<Vec<Value>>> {
         let mut inner = self.db.inner.lock();
         let t0 = Instant::now();
-        let t = inner.tables.get(table).ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+        let t = inner
+            .tables
+            .get(table)
+            .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
         if column >= t.columns.len() {
             return Err(DbError::NoSuchColumn(format!("#{column}")));
         }
-        let rows: Vec<Vec<Value>> =
-            t.rows.values().filter(|r| &r[column] == value).cloned().collect();
+        let rows: Vec<Vec<Value>> = t
+            .rows
+            .values()
+            .filter(|r| &r[column] == value)
+            .cloned()
+            .collect();
         inner.stats.exec_ns += t0.elapsed().as_nanos() as u64;
         inner.stats.statements += 1;
         inner.stats.rows_read += rows.len() as u64;
@@ -383,7 +414,11 @@ impl Connection {
         inner.stats.statements += 1;
         inner.stats.rows_written += 1;
         let undo = Undo::RestoreRow(table.to_string(), key.clone(), row);
-        let redo = Redo::Update { table: table.to_string(), key: key.clone(), row: new_row };
+        let redo = Redo::Update {
+            table: table.to_string(),
+            key: key.clone(),
+            row: new_row,
+        };
         finish_write(&mut inner, vec![undo], vec![redo])?;
         Ok(1)
     }
@@ -398,7 +433,10 @@ impl Connection {
         let pk = pk_name(&inner, table)?;
         run_statement(
             &mut inner,
-            Statement::Delete { table: table.to_string(), filter: (pk, key.clone()) },
+            Statement::Delete {
+                table: table.to_string(),
+                filter: (pk, key.clone()),
+            },
         )
         .map(|r| r.affected)
     }
@@ -460,7 +498,10 @@ impl Connection {
 }
 
 fn pk_name(inner: &Inner, table: &str) -> crate::Result<String> {
-    let t = inner.tables.get(table).ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+    let t = inner
+        .tables
+        .get(table)
+        .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
     Ok(t.columns[t.primary_key].0.clone())
 }
 
@@ -499,7 +540,11 @@ fn run_statement(inner: &mut Inner, stmt: Statement) -> crate::Result<QueryResul
             let t1 = Instant::now();
             let ok = inner.wal.commit(&redo);
             inner.stats.wal_ns += t1.elapsed().as_nanos() as u64;
-            return if ok { Ok(QueryResult::default()) } else { Err(DbError::LogFull) };
+            return if ok {
+                Ok(QueryResult::default())
+            } else {
+                Err(DbError::LogFull)
+            };
         }
         Statement::Rollback => {
             let undo = inner.txn.take().map(|(u, _)| u).unwrap_or_default();
@@ -522,18 +567,31 @@ fn run_statement(inner: &mut Inner, stmt: Statement) -> crate::Result<QueryResul
             }
             Ok(QueryResult::default())
         }
-        Statement::CreateTable { name, columns, primary_key } => {
+        Statement::CreateTable {
+            name,
+            columns,
+            primary_key,
+        } => {
             if inner.tables.contains_key(&name) {
                 Err(DbError::TableExists(name))
             } else {
                 inner.tables.insert(
                     name.clone(),
-                    Table { columns: columns.clone(), primary_key, rows: BTreeMap::new() },
+                    Table {
+                        columns: columns.clone(),
+                        primary_key,
+                        rows: BTreeMap::new(),
+                    },
                 );
                 let undo = Undo::DropTable(name.clone());
-                let redo = Redo::CreateTable { name, columns, primary_key };
+                let redo = Redo::CreateTable {
+                    name,
+                    columns,
+                    primary_key,
+                };
                 inner.stats.exec_ns += t0.elapsed().as_nanos() as u64;
-                return finish_write(inner, vec![undo], vec![redo]).map(|()| QueryResult::default());
+                return finish_write(inner, vec![undo], vec![redo])
+                    .map(|()| QueryResult::default());
             }
         }
         Statement::Insert { table, values } => {
@@ -542,7 +600,10 @@ fn run_statement(inner: &mut Inner, stmt: Statement) -> crate::Result<QueryResul
                 .get_mut(&table)
                 .ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
             if values.len() != t.columns.len() {
-                Err(DbError::WrongArity { expected: t.columns.len(), got: values.len() })
+                Err(DbError::WrongArity {
+                    expected: t.columns.len(),
+                    got: values.len(),
+                })
             } else {
                 let key = values[t.primary_key].clone();
                 if t.rows.contains_key(&key) {
@@ -553,13 +614,18 @@ fn run_statement(inner: &mut Inner, stmt: Statement) -> crate::Result<QueryResul
                     let undo = Undo::RemoveRow(table.clone(), key);
                     let redo = Redo::Insert { table, row: values };
                     inner.stats.exec_ns += t0.elapsed().as_nanos() as u64;
-                    return finish_write(inner, vec![undo], vec![redo])
-                        .map(|()| QueryResult { affected: 1, ..QueryResult::default() });
+                    return finish_write(inner, vec![undo], vec![redo]).map(|()| QueryResult {
+                        affected: 1,
+                        ..QueryResult::default()
+                    });
                 }
             }
         }
         Statement::Select { table, filter } => {
-            let t = inner.tables.get(&table).ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
+            let t = inner
+                .tables
+                .get(&table)
+                .ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
             let columns: Vec<String> = t.columns.iter().map(|(c, _)| c.clone()).collect();
             let rows: Vec<Vec<Value>> = match &filter {
                 Some((col, v)) => {
@@ -573,9 +639,17 @@ fn run_statement(inner: &mut Inner, stmt: Statement) -> crate::Result<QueryResul
                 None => t.rows.values().cloned().collect(),
             };
             inner.stats.rows_read += rows.len() as u64;
-            Ok(QueryResult { affected: rows.len(), columns, rows })
+            Ok(QueryResult {
+                affected: rows.len(),
+                columns,
+                rows,
+            })
         }
-        Statement::Update { table, sets, filter } => {
+        Statement::Update {
+            table,
+            sets,
+            filter,
+        } => {
             let t = inner
                 .tables
                 .get_mut(&table)
@@ -589,7 +663,11 @@ fn run_statement(inner: &mut Inner, stmt: Statement) -> crate::Result<QueryResul
                 v
             };
             let keys: Vec<Value> = if fci == t.primary_key {
-                t.rows.contains_key(&filter.1).then(|| filter.1.clone()).into_iter().collect()
+                t.rows
+                    .contains_key(&filter.1)
+                    .then(|| filter.1.clone())
+                    .into_iter()
+                    .collect()
             } else {
                 t.rows
                     .iter()
@@ -607,13 +685,19 @@ fn run_statement(inner: &mut Inner, stmt: Statement) -> crate::Result<QueryResul
                 }
                 t.rows.insert(key.clone(), new_row.clone());
                 undo.push(Undo::RestoreRow(table.clone(), key.clone(), old));
-                redo.push(Redo::Update { table: table.clone(), key: key.clone(), row: new_row });
+                redo.push(Redo::Update {
+                    table: table.clone(),
+                    key: key.clone(),
+                    row: new_row,
+                });
             }
             inner.stats.rows_written += keys.len() as u64;
             let affected = keys.len();
             inner.stats.exec_ns += t0.elapsed().as_nanos() as u64;
-            return finish_write(inner, undo, redo)
-                .map(|()| QueryResult { affected, ..QueryResult::default() });
+            return finish_write(inner, undo, redo).map(|()| QueryResult {
+                affected,
+                ..QueryResult::default()
+            });
         }
         Statement::Delete { table, filter } => {
             let t = inner
@@ -622,7 +706,11 @@ fn run_statement(inner: &mut Inner, stmt: Statement) -> crate::Result<QueryResul
                 .ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
             let fci = t.col_index(&filter.0)?;
             let keys: Vec<Value> = if fci == t.primary_key {
-                t.rows.contains_key(&filter.1).then(|| filter.1.clone()).into_iter().collect()
+                t.rows
+                    .contains_key(&filter.1)
+                    .then(|| filter.1.clone())
+                    .into_iter()
+                    .collect()
             } else {
                 t.rows
                     .iter()
@@ -635,13 +723,18 @@ fn run_statement(inner: &mut Inner, stmt: Statement) -> crate::Result<QueryResul
             for key in &keys {
                 let old = t.rows.remove(key).expect("key listed above");
                 undo.push(Undo::RestoreRow(table.clone(), key.clone(), old));
-                redo.push(Redo::Delete { table: table.clone(), key: key.clone() });
+                redo.push(Redo::Delete {
+                    table: table.clone(),
+                    key: key.clone(),
+                });
             }
             inner.stats.rows_written += keys.len() as u64;
             let affected = keys.len();
             inner.stats.exec_ns += t0.elapsed().as_nanos() as u64;
-            return finish_write(inner, undo, redo)
-                .map(|()| QueryResult { affected, ..QueryResult::default() });
+            return finish_write(inner, undo, redo).map(|()| QueryResult {
+                affected,
+                ..QueryResult::default()
+            });
         }
     };
     inner.stats.exec_ns += t0.elapsed().as_nanos() as u64;
@@ -661,9 +754,12 @@ mod tests {
     }
 
     fn setup_person(conn: &mut Connection) {
-        conn.execute("CREATE TABLE person (id INT PRIMARY KEY, name TEXT, age INT)").unwrap();
-        conn.execute("INSERT INTO person VALUES (1, 'Ann', 30)").unwrap();
-        conn.execute("INSERT INTO person VALUES (2, 'Bob', 40)").unwrap();
+        conn.execute("CREATE TABLE person (id INT PRIMARY KEY, name TEXT, age INT)")
+            .unwrap();
+        conn.execute("INSERT INTO person VALUES (1, 'Ann', 30)")
+            .unwrap();
+        conn.execute("INSERT INTO person VALUES (2, 'Bob', 40)")
+            .unwrap();
     }
 
     #[test]
@@ -671,11 +767,28 @@ mod tests {
         let (_dev, _db, mut conn) = db();
         setup_person(&mut conn);
         let r = conn.execute("SELECT * FROM person WHERE id = 2").unwrap();
-        assert_eq!(r.rows, vec![vec![Value::Int(2), Value::Str("Bob".into()), Value::Int(40)]]);
-        assert_eq!(conn.execute("UPDATE person SET age = 41 WHERE id = 2").unwrap().affected, 1);
+        assert_eq!(
+            r.rows,
+            vec![vec![
+                Value::Int(2),
+                Value::Str("Bob".into()),
+                Value::Int(40)
+            ]]
+        );
+        assert_eq!(
+            conn.execute("UPDATE person SET age = 41 WHERE id = 2")
+                .unwrap()
+                .affected,
+            1
+        );
         let r = conn.execute("SELECT * FROM person WHERE id = 2").unwrap();
         assert_eq!(r.rows[0][2], Value::Int(41));
-        assert_eq!(conn.execute("DELETE FROM person WHERE id = 1").unwrap().affected, 1);
+        assert_eq!(
+            conn.execute("DELETE FROM person WHERE id = 1")
+                .unwrap()
+                .affected,
+            1
+        );
         assert_eq!(conn.execute("SELECT * FROM person").unwrap().rows.len(), 1);
     }
 
@@ -683,11 +796,24 @@ mod tests {
     fn non_pk_filters_scan() {
         let (_dev, _db, mut conn) = db();
         setup_person(&mut conn);
-        conn.execute("INSERT INTO person VALUES (3, 'Ann', 50)").unwrap();
-        let r = conn.execute("SELECT * FROM person WHERE name = 'Ann'").unwrap();
+        conn.execute("INSERT INTO person VALUES (3, 'Ann', 50)")
+            .unwrap();
+        let r = conn
+            .execute("SELECT * FROM person WHERE name = 'Ann'")
+            .unwrap();
         assert_eq!(r.rows.len(), 2);
-        assert_eq!(conn.execute("UPDATE person SET age = 0 WHERE name = 'Ann'").unwrap().affected, 2);
-        assert_eq!(conn.execute("DELETE FROM person WHERE name = 'Ann'").unwrap().affected, 2);
+        assert_eq!(
+            conn.execute("UPDATE person SET age = 0 WHERE name = 'Ann'")
+                .unwrap()
+                .affected,
+            2
+        );
+        assert_eq!(
+            conn.execute("DELETE FROM person WHERE name = 'Ann'")
+                .unwrap()
+                .affected,
+            2
+        );
     }
 
     #[test]
@@ -732,8 +858,10 @@ mod tests {
         let (dev, _db, mut conn) = db();
         setup_person(&mut conn);
         conn.execute("BEGIN").unwrap();
-        conn.execute("INSERT INTO person VALUES (3, 'Cid', 20)").unwrap();
-        conn.execute("UPDATE person SET age = 99 WHERE id = 1").unwrap();
+        conn.execute("INSERT INTO person VALUES (3, 'Cid', 20)")
+            .unwrap();
+        conn.execute("UPDATE person SET age = 99 WHERE id = 1")
+            .unwrap();
         // Crash before commit: neither change is durable.
         dev.crash();
         let db2 = Database::open(dev.clone()).unwrap();
@@ -743,15 +871,19 @@ mod tests {
         assert_eq!(r.rows[0][2], Value::Int(30));
         // Now commit properly and crash.
         c2.execute("BEGIN").unwrap();
-        c2.execute("INSERT INTO person VALUES (3, 'Cid', 20)").unwrap();
-        c2.execute("UPDATE person SET age = 99 WHERE id = 1").unwrap();
+        c2.execute("INSERT INTO person VALUES (3, 'Cid', 20)")
+            .unwrap();
+        c2.execute("UPDATE person SET age = 99 WHERE id = 1")
+            .unwrap();
         c2.execute("COMMIT").unwrap();
         dev.crash();
         let db3 = Database::open(dev).unwrap();
         let mut c3 = db3.connect();
         assert_eq!(c3.execute("SELECT * FROM person").unwrap().rows.len(), 3);
         assert_eq!(
-            c3.execute("SELECT * FROM person WHERE id = 1").unwrap().rows[0][2],
+            c3.execute("SELECT * FROM person WHERE id = 1")
+                .unwrap()
+                .rows[0][2],
             Value::Int(99)
         );
     }
@@ -762,8 +894,10 @@ mod tests {
         setup_person(&mut conn);
         conn.execute("BEGIN").unwrap();
         conn.execute("DELETE FROM person WHERE id = 1").unwrap();
-        conn.execute("INSERT INTO person VALUES (7, 'Tmp', 1)").unwrap();
-        conn.execute("UPDATE person SET name = 'X' WHERE id = 2").unwrap();
+        conn.execute("INSERT INTO person VALUES (7, 'Tmp', 1)")
+            .unwrap();
+        conn.execute("UPDATE person SET name = 'X' WHERE id = 2")
+            .unwrap();
         conn.execute("ROLLBACK").unwrap();
         let r = conn.execute("SELECT * FROM person").unwrap();
         assert_eq!(r.rows.len(), 2);
@@ -776,19 +910,18 @@ mod tests {
         let (_dev, db, mut conn) = db();
         conn.create_table_direct(
             "person",
-            vec![
-                ("id".into(), ColType::Int),
-                ("name".into(), ColType::Text),
-            ],
+            vec![("id".into(), ColType::Int), ("name".into(), ColType::Text)],
             0,
         )
         .unwrap();
-        conn.persist_row("person", vec![Value::Int(1), Value::Str("Ann".into())]).unwrap();
+        conn.persist_row("person", vec![Value::Int(1), Value::Str("Ann".into())])
+            .unwrap();
         assert_eq!(
             conn.find_row("person", &Value::Int(1)).unwrap(),
             Some(vec![Value::Int(1), Value::Str("Ann".into())])
         );
-        conn.update_fields("person", &Value::Int(1), &[(1, Value::Str("Ann2".into()))]).unwrap();
+        conn.update_fields("person", &Value::Int(1), &[(1, Value::Str("Ann2".into()))])
+            .unwrap();
         let via_sql = conn.execute("SELECT * FROM person WHERE id = 1").unwrap();
         assert_eq!(via_sql.rows[0][1], Value::Str("Ann2".into()));
         assert_eq!(conn.delete_row("person", &Value::Int(1)).unwrap(), 1);
@@ -806,13 +939,15 @@ mod tests {
         .unwrap();
         db.reset_stats();
         for i in 0..100 {
-            conn.persist_row("t", vec![Value::Int(i), Value::Int(i)]).unwrap();
+            conn.persist_row("t", vec![Value::Int(i), Value::Int(i)])
+                .unwrap();
         }
         let direct = db.stats();
         assert_eq!(direct.parse_ns, 0, "no SQL text on the direct path");
         db.reset_stats();
         for i in 100..200 {
-            conn.execute(&format!("INSERT INTO t VALUES ({i}, {i})")).unwrap();
+            conn.execute(&format!("INSERT INTO t VALUES ({i}, {i})"))
+                .unwrap();
         }
         let sql = db.stats();
         assert!(sql.parse_ns > 0, "SQL path pays for parsing");

@@ -140,7 +140,9 @@ fn tokenize(sql: &str) -> Result<Vec<Token>, String> {
                         break;
                     }
                 }
-                out.push(Token::Int(s.parse().map_err(|e| format!("bad integer {s}: {e}"))?));
+                out.push(Token::Int(
+                    s.parse().map_err(|e| format!("bad integer {s}: {e}"))?,
+                ));
             }
             c if c.is_alphanumeric() || c == '_' => {
                 let mut s = String::new();
@@ -173,7 +175,10 @@ impl<'a> Parser<'a> {
     }
 
     fn next(&mut self) -> Result<&Token, String> {
-        let t = self.tokens.get(self.pos).ok_or("unexpected end of statement")?;
+        let t = self
+            .tokens
+            .get(self.pos)
+            .ok_or("unexpected end of statement")?;
         self.pos += 1;
         Ok(t)
     }
@@ -250,7 +255,12 @@ impl<'a> Parser<'a> {
 /// A human-readable syntax error.
 pub(crate) fn parse(sql: &str, params: &[Value]) -> Result<Statement, String> {
     let tokens = tokenize(sql)?;
-    let mut p = Parser { tokens: &tokens, pos: 0, params, next_param: 0 };
+    let mut p = Parser {
+        tokens: &tokens,
+        pos: 0,
+        params,
+        next_param: 0,
+    };
     let stmt = match p.next()? {
         Token::Ident(kw) if kw.eq_ignore_ascii_case("create") => {
             p.keyword("table")?;
@@ -300,7 +310,11 @@ pub(crate) fn parse(sql: &str, params: &[Value]) -> Result<Statement, String> {
             p.punct('*')?;
             p.keyword("from")?;
             let table = p.ident()?;
-            let filter = if p.try_keyword("where") { Some(p.filter()?) } else { None };
+            let filter = if p.try_keyword("where") {
+                Some(p.filter()?)
+            } else {
+                None
+            };
             Statement::Select { table, filter }
         }
         Token::Ident(kw) if kw.eq_ignore_ascii_case("update") => {
@@ -317,7 +331,11 @@ pub(crate) fn parse(sql: &str, params: &[Value]) -> Result<Statement, String> {
             }
             p.keyword("where")?;
             let filter = p.filter()?;
-            Statement::Update { table, sets, filter }
+            Statement::Update {
+                table,
+                sets,
+                filter,
+            }
         }
         Token::Ident(kw) if kw.eq_ignore_ascii_case("delete") => {
             p.keyword("from")?;
@@ -375,11 +393,17 @@ mod tests {
     fn select_with_and_without_filter() {
         assert_eq!(
             p("SELECT * FROM t"),
-            Statement::Select { table: "t".into(), filter: None }
+            Statement::Select {
+                table: "t".into(),
+                filter: None
+            }
         );
         assert_eq!(
             p("SELECT * FROM t WHERE id = 5"),
-            Statement::Select { table: "t".into(), filter: Some(("id".into(), Value::Int(5))) }
+            Statement::Select {
+                table: "t".into(),
+                filter: Some(("id".into(), Value::Int(5)))
+            }
         );
     }
 
@@ -389,13 +413,19 @@ mod tests {
             p("UPDATE t SET a = 1, b = 'x' WHERE id = 2"),
             Statement::Update {
                 table: "t".into(),
-                sets: vec![("a".into(), Value::Int(1)), ("b".into(), Value::Str("x".into()))],
+                sets: vec![
+                    ("a".into(), Value::Int(1)),
+                    ("b".into(), Value::Str("x".into()))
+                ],
                 filter: ("id".into(), Value::Int(2)),
             }
         );
         assert_eq!(
             p("DELETE FROM t WHERE id = 3"),
-            Statement::Delete { table: "t".into(), filter: ("id".into(), Value::Int(3)) }
+            Statement::Delete {
+                table: "t".into(),
+                filter: ("id".into(), Value::Int(3))
+            }
         );
     }
 
@@ -419,7 +449,10 @@ mod tests {
     fn negative_numbers() {
         assert_eq!(
             p("INSERT INTO t VALUES (-5)"),
-            Statement::Insert { table: "t".into(), values: vec![Value::Int(-5)] }
+            Statement::Insert {
+                table: "t".into(),
+                values: vec![Value::Int(-5)]
+            }
         );
     }
 
@@ -428,9 +461,15 @@ mod tests {
         assert!(parse("SELEC * FROM t", &[]).is_err());
         assert!(parse("SELECT * FROM", &[]).is_err());
         assert!(parse("INSERT INTO t VALUES (1", &[]).is_err());
-        assert!(parse("CREATE TABLE t (id INT)", &[]).is_err(), "missing primary key");
+        assert!(
+            parse("CREATE TABLE t (id INT)", &[]).is_err(),
+            "missing primary key"
+        );
         assert!(parse("INSERT INTO t VALUES ('unterminated)", &[]).is_err());
-        assert!(parse("SELECT * FROM t WHERE id = ?", &[]).is_err(), "missing param");
+        assert!(
+            parse("SELECT * FROM t WHERE id = ?", &[]).is_err(),
+            "missing param"
+        );
         assert!(parse("SELECT * FROM t extra", &[]).is_err());
     }
 
@@ -439,7 +478,13 @@ mod tests {
         for v in [Value::Int(-3), Value::Str("a'b".into()), Value::Null] {
             let sql = format!("INSERT INTO t VALUES ({v})");
             let s = parse(&sql, &[]).unwrap();
-            assert_eq!(s, Statement::Insert { table: "t".into(), values: vec![v] });
+            assert_eq!(
+                s,
+                Statement::Insert {
+                    table: "t".into(),
+                    values: vec![v]
+                }
+            );
         }
     }
 

@@ -110,7 +110,11 @@ impl<'a> Dec<'a> {
 impl Redo {
     pub(crate) fn encode(&self, buf: &mut Vec<u8>) {
         match self {
-            Redo::CreateTable { name, columns, primary_key } => {
+            Redo::CreateTable {
+                name,
+                columns,
+                primary_key,
+            } => {
                 buf.push(1);
                 enc_str(buf, name);
                 enc_u32(buf, columns.len() as u32);
@@ -153,21 +157,35 @@ impl Redo {
                 let columns = (0..n)
                     .map(|_| {
                         let c = d.str();
-                        let t = if d.u8() == 1 { ColType::Int } else { ColType::Text };
+                        let t = if d.u8() == 1 {
+                            ColType::Int
+                        } else {
+                            ColType::Text
+                        };
                         (c, t)
                     })
                     .collect();
                 let primary_key = d.u32() as usize;
-                Redo::CreateTable { name, columns, primary_key }
+                Redo::CreateTable {
+                    name,
+                    columns,
+                    primary_key,
+                }
             }
-            2 => Redo::Insert { table: d.str(), row: d.values() },
+            2 => Redo::Insert {
+                table: d.str(),
+                row: d.values(),
+            },
             3 => {
                 let table = d.str();
                 let key = d.value();
                 let row = d.values();
                 Redo::Update { table, key, row }
             }
-            _ => Redo::Delete { table: d.str(), key: d.value() },
+            _ => Redo::Delete {
+                table: d.str(),
+                key: d.value(),
+            },
         }
     }
 }
@@ -251,13 +269,19 @@ mod tests {
                 columns: vec![("id".into(), ColType::Int), ("n".into(), ColType::Text)],
                 primary_key: 0,
             },
-            Redo::Insert { table: "t".into(), row: vec![Value::Int(1), Value::Str("x".into())] },
+            Redo::Insert {
+                table: "t".into(),
+                row: vec![Value::Int(1), Value::Str("x".into())],
+            },
             Redo::Update {
                 table: "t".into(),
                 key: Value::Int(1),
                 row: vec![Value::Int(1), Value::Null],
             },
-            Redo::Delete { table: "t".into(), key: Value::Int(1) },
+            Redo::Delete {
+                table: "t".into(),
+                key: Value::Int(1),
+            },
         ]
     }
 
@@ -276,22 +300,25 @@ mod tests {
     fn torn_commit_is_invisible() {
         let dev = NvmDevice::new(NvmConfig::with_size(1 << 20));
         let mut w = Wal::format(dev.clone());
-        assert!(w.commit(&sample_records()[..1].to_vec()));
+        assert!(w.commit(&sample_records()[..1]));
         let committed = w.committed_bytes();
         // Let the record bytes flush but crash before the length persist.
         // Record flush = >=1 line; length flush is the last one.
         let f0 = dev.stats().line_flushes;
-        assert!(w.commit(&sample_records()[1..2].to_vec()));
+        assert!(w.commit(&sample_records()[1..2]));
         let per_commit = dev.stats().line_flushes - f0;
         dev.schedule_crash_after_line_flushes(per_commit - 1);
-        assert!(w.commit(&sample_records()[2..3].to_vec()));
+        assert!(w.commit(&sample_records()[2..3]));
         dev.recover();
         let w2 = Wal::open(dev).unwrap();
-        assert_eq!(w2.committed_bytes(), committed + {
-            let mut b = Vec::new();
-            sample_records()[1].encode(&mut b);
-            b.len()
-        });
+        assert_eq!(
+            w2.committed_bytes(),
+            committed + {
+                let mut b = Vec::new();
+                sample_records()[1].encode(&mut b);
+                b.len()
+            }
+        );
         assert_eq!(w2.replay().len(), 2, "third record torn away");
     }
 

@@ -27,7 +27,10 @@ pub enum NvmError {
 impl fmt::Display for NvmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NvmError::BadSize(n) => write!(f, "device size {n} is not a positive multiple of {CACHE_LINE}"),
+            NvmError::BadSize(n) => write!(
+                f,
+                "device size {n} is not a positive multiple of {CACHE_LINE}"
+            ),
             NvmError::Io(e) => write!(f, "image i/o failed: {e}"),
             NvmError::ImageSizeMismatch { device, image } => {
                 write!(f, "image size {image} does not match device size {device}")
@@ -63,12 +66,18 @@ pub struct NvmConfig {
 impl NvmConfig {
     /// Config of the given size with the zero-cost latency model.
     pub fn with_size(size: usize) -> Self {
-        NvmConfig { size, latency: LatencyModel::zero() }
+        NvmConfig {
+            size,
+            latency: LatencyModel::zero(),
+        }
     }
 
     /// Config of the given size with the NVM latency model.
     pub fn with_size_and_nvm_latency(size: usize) -> Self {
-        NvmConfig { size, latency: LatencyModel::nvm() }
+        NvmConfig {
+            size,
+            latency: LatencyModel::nvm(),
+        }
     }
 }
 
@@ -111,7 +120,8 @@ impl Inner {
 
     fn check_range(&self, addr: usize, len: usize) {
         assert!(
-            addr.checked_add(len).is_some_and(|end| end <= self.volatile.len()),
+            addr.checked_add(len)
+                .is_some_and(|end| end <= self.volatile.len()),
             "nvm access out of range: addr={addr} len={len} size={}",
             self.volatile.len()
         );
@@ -191,7 +201,9 @@ pub struct NvmDevice {
 
 impl fmt::Debug for NvmDevice {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("NvmDevice").field("size", &self.size).finish()
+        f.debug_struct("NvmDevice")
+            .field("size", &self.size)
+            .finish()
     }
 }
 
@@ -281,7 +293,9 @@ impl NvmDevice {
         }
         let mut inner = self.inner.lock();
         inner.check_range(addr, len);
-        inner.volatile[addr..addr + len].iter_mut().for_each(|b| *b = byte);
+        inner.volatile[addr..addr + len]
+            .iter_mut()
+            .for_each(|b| *b = byte);
         let first = addr / CACHE_LINE;
         let last = (addr + len - 1) / CACHE_LINE;
         for line in first..=last {
@@ -334,7 +348,9 @@ impl NvmDevice {
     /// (or [`recover`](Self::recover)) to observe the post-failure image.
     pub fn schedule_crash_after_line_flushes(&self, n: u64) {
         let mut inner = self.inner.lock();
-        inner.plan = Some(CrashPlan { flushes_remaining: n });
+        inner.plan = Some(CrashPlan {
+            flushes_remaining: n,
+        });
         inner.crashed = false;
     }
 
@@ -394,9 +410,15 @@ impl NvmDevice {
     pub fn load_image(path: &Path, latency: LatencyModel) -> crate::Result<NvmDevice> {
         let image = std::fs::read(path)?;
         if image.is_empty() || image.len() % CACHE_LINE != 0 {
-            return Err(NvmError::ImageSizeMismatch { device: 0, image: image.len() });
+            return Err(NvmError::ImageSizeMismatch {
+                device: 0,
+                image: image.len(),
+            });
         }
-        let dev = NvmDevice::new(NvmConfig { size: image.len(), latency });
+        let dev = NvmDevice::new(NvmConfig {
+            size: image.len(),
+            latency,
+        });
         {
             let mut inner = dev.inner.lock();
             inner.persisted.copy_from_slice(&image);
@@ -529,7 +551,10 @@ mod tests {
 
     #[test]
     fn latency_accumulates_simulated_time() {
-        let d = NvmDevice::new(NvmConfig { size: 1024, latency: LatencyModel::nvm() });
+        let d = NvmDevice::new(NvmConfig {
+            size: 1024,
+            latency: LatencyModel::nvm(),
+        });
         d.write_u64(0, 1);
         d.persist(0, 8);
         assert!(d.stats().simulated_ns > 0);

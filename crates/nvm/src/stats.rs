@@ -45,7 +45,12 @@ impl std::fmt::Display for NvmStats {
         write!(
             f,
             "reads={} writes={} bytes={} flushes={} fences={} sim_ns={}",
-            self.reads, self.writes, self.bytes_written, self.line_flushes, self.fences, self.simulated_ns
+            self.reads,
+            self.writes,
+            self.bytes_written,
+            self.line_flushes,
+            self.fences,
+            self.simulated_ns
         )
     }
 }
@@ -56,8 +61,22 @@ mod tests {
 
     #[test]
     fn since_subtracts() {
-        let a = NvmStats { reads: 10, writes: 5, bytes_written: 40, line_flushes: 2, fences: 1, simulated_ns: 100 };
-        let b = NvmStats { reads: 4, writes: 1, bytes_written: 8, line_flushes: 1, fences: 0, simulated_ns: 30 };
+        let a = NvmStats {
+            reads: 10,
+            writes: 5,
+            bytes_written: 40,
+            line_flushes: 2,
+            fences: 1,
+            simulated_ns: 100,
+        };
+        let b = NvmStats {
+            reads: 4,
+            writes: 1,
+            bytes_written: 8,
+            line_flushes: 1,
+            fences: 0,
+            simulated_ns: 30,
+        };
         let d = a.since(&b);
         assert_eq!(d.reads, 6);
         assert_eq!(d.writes, 4);

@@ -41,16 +41,15 @@ proptest! {
                     dev.flush(addr, 8);
                     // Flushing one word makes its whole line durable.
                     let line_start = addr / CACHE_LINE * CACHE_LINE / 8;
-                    for i in line_start..line_start + CACHE_LINE / 8 {
-                        durable_model[i] = volatile_model[i];
-                    }
+                    let line = line_start..line_start + CACHE_LINE / 8;
+                    durable_model[line.clone()].copy_from_slice(&volatile_model[line]);
                 }
                 Op::Fence => dev.fence(),
             }
         }
         dev.crash();
-        for w in 0..512 {
-            prop_assert_eq!(dev.read_u64(w * 8), durable_model[w], "word {}", w);
+        for (w, want) in durable_model.iter().enumerate() {
+            prop_assert_eq!(dev.read_u64(w * 8), *want, "word {}", w);
         }
     }
 

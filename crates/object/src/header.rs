@@ -89,7 +89,11 @@ pub mod mark {
     ///
     /// Panics if `addr` does not fit in 62 bits.
     pub fn forwarding(addr: u64) -> u64 {
-        assert_eq!(addr & !FWD_ADDR_MASK, 0, "forwarding address {addr:#x} too large");
+        assert_eq!(
+            addr & !FWD_ADDR_MASK,
+            0,
+            "forwarding address {addr:#x} too large"
+        );
         FWD_BIT | addr
     }
 

@@ -37,12 +37,18 @@ pub struct FieldDesc {
 impl FieldDesc {
     /// A primitive field.
     pub fn prim(name: &str) -> FieldDesc {
-        FieldDesc { name: name.to_string(), kind: FieldKind::Prim }
+        FieldDesc {
+            name: name.to_string(),
+            kind: FieldKind::Prim,
+        }
     }
 
     /// A reference field.
     pub fn reference(name: &str) -> FieldDesc {
-        FieldDesc { name: name.to_string(), kind: FieldKind::Reference }
+        FieldDesc {
+            name: name.to_string(),
+            kind: FieldKind::Reference,
+        }
     }
 }
 
@@ -73,13 +79,26 @@ pub struct Klass {
 impl Klass {
     /// Builds an instance klass. Prefer [`KlassRegistry::register_instance`].
     pub fn instance(id: KlassId, name: &str, fields: Vec<FieldDesc>) -> Klass {
-        Klass { id, name: name.to_string(), kind: ObjKind::Instance, fields }
+        Klass {
+            id,
+            name: name.to_string(),
+            kind: ObjKind::Instance,
+            fields,
+        }
     }
 
     /// Builds an array klass. Prefer the registry's array helpers.
     pub fn array(id: KlassId, name: &str, kind: ObjKind) -> Klass {
-        assert!(kind != ObjKind::Instance, "use Klass::instance for instances");
-        Klass { id, name: name.to_string(), kind, fields: Vec::new() }
+        assert!(
+            kind != ObjKind::Instance,
+            "use Klass::instance for instances"
+        );
+        Klass {
+            id,
+            name: name.to_string(),
+            kind,
+            fields: Vec::new(),
+        }
     }
 
     /// The registry-assigned id.
@@ -113,7 +132,12 @@ impl Klass {
     ///
     /// Panics if called on an array klass.
     pub fn instance_words(&self) -> usize {
-        assert_eq!(self.kind, ObjKind::Instance, "{} is an array klass", self.name);
+        assert_eq!(
+            self.kind,
+            ObjKind::Instance,
+            "{} is an array klass",
+            self.name
+        );
         HEADER_WORDS + self.fields.len()
     }
 
@@ -123,13 +147,22 @@ impl Klass {
     ///
     /// Panics if called on an instance klass.
     pub fn array_words(&self, len: usize) -> usize {
-        assert_ne!(self.kind, ObjKind::Instance, "{} is not an array klass", self.name);
+        assert_ne!(
+            self.kind,
+            ObjKind::Instance,
+            "{} is not an array klass",
+            self.name
+        );
         ARRAY_HEADER_WORDS + len
     }
 
     /// Word offset of field `index` from the object start.
     pub fn field_offset(&self, index: usize) -> usize {
-        assert!(index < self.fields.len(), "field index {index} out of range for {}", self.name);
+        assert!(
+            index < self.fields.len(),
+            "field index {index} out of range for {}",
+            self.name
+        );
         HEADER_WORDS + index
     }
 
@@ -233,10 +266,25 @@ impl KlassRegistry {
     /// field list changes the object layout (count or reference bitmap).
     pub fn redefine_instance(&mut self, id: KlassId, fields: Vec<FieldDesc>) {
         let k = self.klasses.get_mut(id.0 as usize).expect("unknown klass");
-        assert_eq!(k.kind(), ObjKind::Instance, "cannot redefine array klass {}", k.name());
-        assert_eq!(k.fields().len(), fields.len(), "layout change for {}: field count", k.name());
-        let replacement = Klass::instance(id, &k.name().to_string(), fields);
-        assert_eq!(k.ref_bitmap(), replacement.ref_bitmap(), "layout change for {}: ref bitmap", k.name());
+        assert_eq!(
+            k.kind(),
+            ObjKind::Instance,
+            "cannot redefine array klass {}",
+            k.name()
+        );
+        assert_eq!(
+            k.fields().len(),
+            fields.len(),
+            "layout change for {}: field count",
+            k.name()
+        );
+        let replacement = Klass::instance(id, k.name(), fields);
+        assert_eq!(
+            k.ref_bitmap(),
+            replacement.ref_bitmap(),
+            "layout change for {}: ref bitmap",
+            k.name()
+        );
         *k = Arc::new(replacement);
     }
 
@@ -271,7 +319,10 @@ mod tests {
     use super::*;
 
     fn person(reg: &mut KlassRegistry) -> KlassId {
-        reg.register_instance("Person", vec![FieldDesc::prim("id"), FieldDesc::reference("name")])
+        reg.register_instance(
+            "Person",
+            vec![FieldDesc::prim("id"), FieldDesc::reference("name")],
+        )
     }
 
     #[test]
@@ -300,7 +351,13 @@ mod tests {
     fn ref_bitmap_for_wide_classes() {
         let mut reg = KlassRegistry::new();
         let fields: Vec<FieldDesc> = (0..70)
-            .map(|i| if i % 2 == 0 { FieldDesc::prim(&format!("p{i}")) } else { FieldDesc::reference(&format!("r{i}")) })
+            .map(|i| {
+                if i % 2 == 0 {
+                    FieldDesc::prim(&format!("p{i}"))
+                } else {
+                    FieldDesc::reference(&format!("r{i}"))
+                }
+            })
             .collect();
         let id = reg.register_instance("Wide", fields);
         let k = reg.by_id(id).unwrap();
@@ -354,8 +411,12 @@ mod tests {
     #[test]
     fn redefine_replaces_names_keeps_layout() {
         let mut reg = KlassRegistry::new();
-        let id = reg.register_instance("P", vec![FieldDesc::prim("f0"), FieldDesc::reference("f1")]);
-        reg.redefine_instance(id, vec![FieldDesc::prim("id"), FieldDesc::reference("name")]);
+        let id =
+            reg.register_instance("P", vec![FieldDesc::prim("f0"), FieldDesc::reference("f1")]);
+        reg.redefine_instance(
+            id,
+            vec![FieldDesc::prim("id"), FieldDesc::reference("name")],
+        );
         let k = reg.by_id(id).unwrap();
         assert_eq!(k.field_index("name"), Some(1));
         assert_eq!(k.id(), id);

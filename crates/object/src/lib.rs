@@ -32,7 +32,9 @@ mod header;
 mod klass;
 mod refs;
 
-pub use header::{mark, ARRAY_HEADER_WORDS, ARRAY_LENGTH_WORD, HEADER_WORDS, KLASS_WORD, MARK_WORD};
+pub use header::{
+    mark, ARRAY_HEADER_WORDS, ARRAY_LENGTH_WORD, HEADER_WORDS, KLASS_WORD, MARK_WORD,
+};
 pub use klass::{FieldDesc, FieldKind, Klass, KlassId, KlassRegistry, ObjKind};
 pub use refs::{Ref, Space};
 

@@ -54,7 +54,11 @@ impl Ref {
     ///
     /// Panics if `addr` has its top bit set (addresses are 63-bit).
     pub fn new(space: Space, addr: u64) -> Ref {
-        assert_eq!(addr & PERSISTENT_TAG, 0, "address {addr:#x} overflows the 63-bit space");
+        assert_eq!(
+            addr & PERSISTENT_TAG,
+            0,
+            "address {addr:#x} overflows the 63-bit space"
+        );
         match space {
             Space::Volatile => Ref(addr),
             Space::Persistent => Ref(addr | PERSISTENT_TAG),

@@ -95,7 +95,9 @@ pub struct PcjStore {
 
 impl fmt::Debug for PcjStore {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("PcjStore").field("device_size", &self.dev.size()).finish()
+        f.debug_struct("PcjStore")
+            .field("device_size", &self.dev.size())
+            .finish()
     }
 }
 
@@ -117,7 +119,12 @@ impl PcjStore {
         dev.write_u64(meta::LOG_COUNT, 0);
         dev.write_u64(meta::ROOT, 0);
         dev.persist(0, meta::SIZE);
-        Ok(PcjStore { dev, lock: Arc::new(Mutex::new(())), timers: PhaseBreakdown::default(), log_entries: 0 })
+        Ok(PcjStore {
+            dev,
+            lock: Arc::new(Mutex::new(())),
+            timers: PhaseBreakdown::default(),
+            log_entries: 0,
+        })
     }
 
     /// Attaches to an existing store, rolling back a torn transaction.
@@ -138,7 +145,12 @@ impl PcjStore {
         }
         dev.write_u64(meta::LOG_COUNT, 0);
         dev.persist(meta::LOG_COUNT, 8);
-        Ok(PcjStore { dev, lock: Arc::new(Mutex::new(())), timers: PhaseBreakdown::default(), log_entries: 0 })
+        Ok(PcjStore {
+            dev,
+            lock: Arc::new(Mutex::new(())),
+            timers: PhaseBreakdown::default(),
+            log_entries: 0,
+        })
     }
 
     /// The backing device.
@@ -353,7 +365,12 @@ impl PcjStore {
     /// # Errors
     ///
     /// Space errors from any area.
-    pub fn create(&mut self, type_name: &str, payload_words: usize, slots_are_refs: bool) -> crate::Result<PcjRef> {
+    pub fn create(
+        &mut self,
+        type_name: &str,
+        payload_words: usize,
+        slots_are_refs: bool,
+    ) -> crate::Result<PcjRef> {
         self.txn_begin();
         let result = (|| {
             let block = self.alloc_block(payload_words)?;
@@ -386,7 +403,9 @@ impl PcjStore {
         let words = self.payload_words(obj);
         assert!(i < words, "payload index {i} out of range ({words})");
         self.txn_begin();
-        let v = self.timed(Phase::Data, |s| s.dev.read_u64(obj.0 as usize + (HEADER_WORDS + i) * 8));
+        let v = self.timed(Phase::Data, |s| {
+            s.dev.read_u64(obj.0 as usize + (HEADER_WORDS + i) * 8)
+        });
         self.txn_commit();
         v
     }
@@ -404,7 +423,9 @@ impl PcjStore {
         let words = self.payload_words(obj);
         assert!(i < words, "payload index {i} out of range ({words})");
         self.txn_begin();
-        let r = self.timed(Phase::Data, |s| s.logged_write(obj.0 as usize + (HEADER_WORDS + i) * 8, value));
+        let r = self.timed(Phase::Data, |s| {
+            s.logged_write(obj.0 as usize + (HEADER_WORDS + i) * 8, value)
+        });
         self.txn_commit();
         r
     }
@@ -493,7 +514,11 @@ mod tests {
         let a = s.create("T", 1, false).unwrap();
         let top_after_one = dev.read_u64(meta::TYPE_TOP);
         let b = s.create("T", 1, false).unwrap();
-        assert_eq!(dev.read_u64(meta::TYPE_TOP), top_after_one, "no duplicate record");
+        assert_eq!(
+            dev.read_u64(meta::TYPE_TOP),
+            top_after_one,
+            "no duplicate record"
+        );
         assert_eq!(s.type_name(a), s.type_name(b));
     }
 
@@ -553,7 +578,7 @@ mod tests {
         dev.recover();
         let s2 = PcjStore::attach(dev).unwrap();
         let root = s2.root();
-        assert_eq!(s2.device().read_u64(root.0 as usize + HEADER_WORDS as usize * 8), 5);
+        assert_eq!(s2.device().read_u64(root.0 as usize + HEADER_WORDS * 8), 5);
     }
 
     #[test]
@@ -578,8 +603,17 @@ mod tests {
             s.set_word(o, 0, i).unwrap();
         }
         let b = s.timers();
-        for phase in [Phase::Data, Phase::Allocation, Phase::Metadata, Phase::Gc, Phase::Transaction] {
-            assert!(b.get(phase) > std::time::Duration::ZERO, "{phase} never timed");
+        for phase in [
+            Phase::Data,
+            Phase::Allocation,
+            Phase::Metadata,
+            Phase::Gc,
+            Phase::Transaction,
+        ] {
+            assert!(
+                b.get(phase) > std::time::Duration::ZERO,
+                "{phase} never timed"
+            );
         }
     }
 

@@ -147,7 +147,8 @@ impl PjoEntityManager {
     /// Database errors.
     pub fn create_schema(&mut self, metas: &[&EntityMeta]) -> crate::Result<()> {
         for meta in metas {
-            self.conn.create_table_direct(meta.name(), meta.fields().to_vec(), meta.pk())?;
+            self.conn
+                .create_table_direct(meta.name(), meta.fields().to_vec(), meta.pk())?;
             for c in 0..meta.collections().len() {
                 self.conn.create_table_direct(
                     &meta.collection_table(c),
@@ -199,7 +200,9 @@ impl PjoEntityManager {
                 },
             })
             .collect();
-        Ok(self.pjh.register_instance(&format!("DB{}", meta.name()), fields)?)
+        Ok(self
+            .pjh
+            .register_instance(&format!("DB{}", meta.name()), fields)?)
     }
 
     fn store_copy(&mut self, obj: &EntityObject) -> crate::Result<Ref> {
@@ -252,7 +255,9 @@ impl PjoEntityManager {
 
     /// The deduplicated PJH copy of `(meta, key)`, if one exists.
     pub fn dedup_ref(&self, meta: &EntityMeta, key: &Value) -> Option<Ref> {
-        self.copies.get(&(meta.name().to_string(), key_i64(key))).copied()
+        self.copies
+            .get(&(meta.name().to_string(), key_i64(key)))
+            .copied()
     }
 
     fn hydrate_from_copy(&self, meta: &EntityMeta, copy: Ref) -> EntityObject {
@@ -371,7 +376,8 @@ impl PjoEntityManager {
                         .map(|i| (i, obj.get(i).clone()))
                         .collect();
                     self.stats.ship_ns += t0.elapsed().as_nanos() as u64;
-                    self.conn.update_fields(obj.meta().name(), obj.key(), &fields)?;
+                    self.conn
+                        .update_fields(obj.meta().name(), obj.key(), &fields)?;
                     self.stats.statements += 1;
                     if !obj.meta().collections().is_empty() {
                         self.flush_collections(obj, &mut rowid)?;
@@ -426,7 +432,11 @@ mod tests {
 
     fn em() -> (Database, PjoEntityManager) {
         let db = Database::create(NvmDevice::new(NvmConfig::with_size(4 << 20))).unwrap();
-        let pjh = Pjh::create(NvmDevice::new(NvmConfig::with_size(8 << 20)), PjhConfig::small()).unwrap();
+        let pjh = Pjh::create(
+            NvmDevice::new(NvmConfig::with_size(8 << 20)),
+            PjhConfig::small(),
+        )
+        .unwrap();
         let em = PjoEntityManager::new(db.connect(), pjh);
         (db, em)
     }
@@ -524,7 +534,11 @@ mod tests {
         em.merge(obj);
         em.commit().unwrap();
         let o = em.find(&meta, &Value::Int(1)).unwrap().unwrap();
-        assert_eq!(o.get(1), &Value::Str("Ann".into()), "untouched column preserved");
+        assert_eq!(
+            o.get(1),
+            &Value::Str("Ann".into()),
+            "untouched column preserved"
+        );
         assert_eq!(o.get(2), &Value::Int(99));
     }
 
@@ -551,7 +565,11 @@ mod tests {
     fn backend_rows_survive_crash() {
         let dev = NvmDevice::new(NvmConfig::with_size(4 << 20));
         let db = Database::create(dev.clone()).unwrap();
-        let pjh = Pjh::create(NvmDevice::new(NvmConfig::with_size(8 << 20)), PjhConfig::small()).unwrap();
+        let pjh = Pjh::create(
+            NvmDevice::new(NvmConfig::with_size(8 << 20)),
+            PjhConfig::small(),
+        )
+        .unwrap();
         let mut em = PjoEntityManager::new(db.connect(), pjh);
         let meta = person();
         em.create_schema(&[&meta]).unwrap();

@@ -67,7 +67,9 @@ pub(crate) fn mark_compact(h: &mut VolatileHeap, extra_roots: &[Ref]) -> crate::
     for &src in &order {
         let words = h.object_words(src);
         if dest + words > h.old.end {
-            return Err(HeapError::OutOfMemory { requested_words: words });
+            return Err(HeapError::OutOfMemory {
+                requested_words: words,
+            });
         }
         forwarding.insert(src, dest);
         dest += words;
@@ -81,7 +83,9 @@ pub(crate) fn mark_compact(h: &mut VolatileHeap, extra_roots: &[Ref]) -> crate::
             let r = Ref::from_raw(h.mem[s]);
             if r.is_volatile() {
                 let t = r.addr() as usize / WORD;
-                let nt = *forwarding.get(&t).expect("live object references unmarked target");
+                let nt = *forwarding
+                    .get(&t)
+                    .expect("live object references unmarked target");
                 h.mem[s] = Ref::new(Space::Volatile, (nt * WORD) as u64).to_raw();
             }
         }
@@ -117,7 +121,12 @@ pub(crate) fn mark_compact(h: &mut VolatileHeap, extra_roots: &[Ref]) -> crate::
     h.remembered.clear();
     h.stats.full_gcs += 1;
 
-    Ok(GcResult { kind: GcKind::Full, relocations, promoted: 0, survivors })
+    Ok(GcResult {
+        kind: GcKind::Full,
+        relocations,
+        promoted: 0,
+        survivors,
+    })
 }
 
 #[cfg(test)]
@@ -127,7 +136,10 @@ mod tests {
 
     fn setup() -> (VolatileHeap, espresso_object::KlassId) {
         let mut h = VolatileHeap::new(VolatileHeapConfig::small());
-        let k = h.register_instance("N", vec![FieldDesc::prim("v"), FieldDesc::reference("next")]);
+        let k = h.register_instance(
+            "N",
+            vec![FieldDesc::prim("v"), FieldDesc::reference("next")],
+        );
         (h, k)
     }
 

@@ -33,10 +33,7 @@ impl HandleTable {
     }
 
     pub(crate) fn set(&mut self, h: Handle, r: Ref) {
-        let slot = self
-            .slots
-            .get_mut(h.0 as usize)
-            .expect("stale handle");
+        let slot = self.slots.get_mut(h.0 as usize).expect("stale handle");
         assert!(slot.is_some(), "handle was released");
         *slot = Some(r);
     }

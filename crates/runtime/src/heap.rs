@@ -25,18 +25,30 @@ pub struct VolatileHeapConfig {
 impl VolatileHeapConfig {
     /// A tiny heap for tests: 4 KiB semispaces, 64 KiB old space.
     pub fn small() -> Self {
-        VolatileHeapConfig { young_words: 512, old_words: 8192, promotion_age: 2 }
+        VolatileHeapConfig {
+            young_words: 512,
+            old_words: 8192,
+            promotion_age: 2,
+        }
     }
 
     /// A benchmark-sized heap: 8 MiB semispaces, 256 MiB old space.
     pub fn large() -> Self {
-        VolatileHeapConfig { young_words: 1 << 20, old_words: 32 << 20, promotion_age: 2 }
+        VolatileHeapConfig {
+            young_words: 1 << 20,
+            old_words: 32 << 20,
+            promotion_age: 2,
+        }
     }
 }
 
 impl Default for VolatileHeapConfig {
     fn default() -> Self {
-        VolatileHeapConfig { young_words: 1 << 16, old_words: 1 << 20, promotion_age: 2 }
+        VolatileHeapConfig {
+            young_words: 1 << 16,
+            old_words: 1 << 20,
+            promotion_age: 2,
+        }
     }
 }
 
@@ -151,9 +163,18 @@ impl VolatileHeap {
         let total = 1 + 2 * y + o;
         VolatileHeap {
             mem: vec![0; total],
-            young_a: SpaceRange { start: 1, end: 1 + y },
-            young_b: SpaceRange { start: 1 + y, end: 1 + 2 * y },
-            old: SpaceRange { start: 1 + 2 * y, end: total },
+            young_a: SpaceRange {
+                start: 1,
+                end: 1 + y,
+            },
+            young_b: SpaceRange {
+                start: 1 + y,
+                end: 1 + 2 * y,
+            },
+            old: SpaceRange {
+                start: 1 + 2 * y,
+                end: total,
+            },
             from_is_a: true,
             young_top: 1,
             old_top: 1 + 2 * y,
@@ -200,6 +221,8 @@ impl VolatileHeap {
 
     // ---- spaces ----
 
+    // Semispace-GC terminology ("from-space"), not a conversion constructor.
+    #[allow(clippy::wrong_self_convention)]
     pub(crate) fn from_space(&self) -> &SpaceRange {
         if self.from_is_a {
             &self.young_a
@@ -250,7 +273,11 @@ impl VolatileHeap {
     }
 
     fn try_young(&mut self, words: usize) -> Option<usize> {
-        let f = if self.from_is_a { &self.young_a } else { &self.young_b };
+        let f = if self.from_is_a {
+            &self.young_a
+        } else {
+            &self.young_b
+        };
         if self.young_top + words <= f.end {
             let idx = self.young_top;
             self.young_top += words;
@@ -274,7 +301,9 @@ impl VolatileHeap {
         let young_cap = self.young_a.end - self.young_a.start;
         let old_cap = self.old.end - self.old.start;
         if words > young_cap && words > old_cap {
-            return Err(HeapError::TooLarge { requested_words: words });
+            return Err(HeapError::TooLarge {
+                requested_words: words,
+            });
         }
         if words <= young_cap {
             if let Some(idx) = self.try_young(words) {
@@ -294,7 +323,9 @@ impl VolatileHeap {
                 return Ok(idx);
             }
         }
-        self.try_old(words).ok_or(HeapError::OutOfMemory { requested_words: words })
+        self.try_old(words).ok_or(HeapError::OutOfMemory {
+            requested_words: words,
+        })
     }
 
     /// Allocates a zeroed instance of `kid` (the `new` path).
@@ -311,7 +342,11 @@ impl VolatileHeap {
     ///
     /// Panics if `kid` is unknown or not an instance class.
     pub fn alloc_instance(&mut self, kid: KlassId) -> crate::Result<Ref> {
-        let words = self.registry.by_id(kid).expect("unknown klass").instance_words();
+        let words = self
+            .registry
+            .by_id(kid)
+            .expect("unknown klass")
+            .instance_words();
         let idx = self.alloc_words(words)?;
         self.init_object(idx, kid, words, None);
         Ok(self.ref_at(idx))
@@ -325,7 +360,11 @@ impl VolatileHeap {
     ///
     /// [`HeapError::OutOfMemory`] as soon as both spaces are full.
     pub fn alloc_instance_no_gc(&mut self, kid: KlassId) -> crate::Result<Ref> {
-        let words = self.registry.by_id(kid).expect("unknown klass").instance_words();
+        let words = self
+            .registry
+            .by_id(kid)
+            .expect("unknown klass")
+            .instance_words();
         let idx = self.alloc_words_no_gc(words)?;
         self.init_object(idx, kid, words, None);
         Ok(self.ref_at(idx))
@@ -337,7 +376,11 @@ impl VolatileHeap {
     ///
     /// [`HeapError::OutOfMemory`] as soon as both spaces are full.
     pub fn alloc_array_no_gc(&mut self, kid: KlassId, len: usize) -> crate::Result<Ref> {
-        let words = self.registry.by_id(kid).expect("unknown klass").array_words(len);
+        let words = self
+            .registry
+            .by_id(kid)
+            .expect("unknown klass")
+            .array_words(len);
         let idx = self.alloc_words_no_gc(words)?;
         self.init_object(idx, kid, words, Some(len));
         Ok(self.ref_at(idx))
@@ -347,14 +390,18 @@ impl VolatileHeap {
         let young_cap = self.young_a.end - self.young_a.start;
         let old_cap = self.old.end - self.old.start;
         if words > young_cap && words > old_cap {
-            return Err(HeapError::TooLarge { requested_words: words });
+            return Err(HeapError::TooLarge {
+                requested_words: words,
+            });
         }
         if words <= young_cap {
             if let Some(idx) = self.try_young(words) {
                 return Ok(idx);
             }
         }
-        self.try_old(words).ok_or(HeapError::OutOfMemory { requested_words: words })
+        self.try_old(words).ok_or(HeapError::OutOfMemory {
+            requested_words: words,
+        })
     }
 
     /// Allocates a zeroed array of `len` elements with array klass `kid`.
@@ -367,7 +414,11 @@ impl VolatileHeap {
     ///
     /// Panics if `kid` is unknown or not an array class.
     pub fn alloc_array(&mut self, kid: KlassId, len: usize) -> crate::Result<Ref> {
-        let words = self.registry.by_id(kid).expect("unknown klass").array_words(len);
+        let words = self
+            .registry
+            .by_id(kid)
+            .expect("unknown klass")
+            .array_words(len);
         let idx = self.alloc_words(words)?;
         self.init_object(idx, kid, words, Some(len));
         Ok(self.ref_at(idx))
@@ -558,7 +609,12 @@ impl VolatileHeap {
                 }
             });
         });
-        out.extend(self.handles.values().into_iter().filter(|r| r.is_persistent()));
+        out.extend(
+            self.handles
+                .values()
+                .into_iter()
+                .filter(|r| r.is_persistent()),
+        );
         out
     }
 
@@ -583,7 +639,10 @@ impl VolatileHeap {
 
     /// Words used in each space: `(young, old)`.
     pub fn used_words(&self) -> (usize, usize) {
-        (self.young_top - self.from_space().start, self.old_top - self.old.start)
+        (
+            self.young_top - self.from_space().start,
+            self.old_top - self.old.start,
+        )
     }
 
     /// Lifetime counters.
@@ -616,7 +675,10 @@ mod tests {
     }
 
     fn node_klass(h: &mut VolatileHeap) -> KlassId {
-        h.register_instance("Node", vec![FieldDesc::prim("v"), FieldDesc::reference("next")])
+        h.register_instance(
+            "Node",
+            vec![FieldDesc::prim("v"), FieldDesc::reference("next")],
+        )
     }
 
     #[test]
@@ -662,7 +724,10 @@ mod tests {
     fn too_large_is_rejected() {
         let mut h = heap();
         let pa = h.register_prim_array();
-        assert!(matches!(h.alloc_array(pa, 1 << 20), Err(HeapError::TooLarge { .. })));
+        assert!(matches!(
+            h.alloc_array(pa, 1 << 20),
+            Err(HeapError::TooLarge { .. })
+        ));
     }
 
     #[test]

@@ -53,7 +53,8 @@ impl<'h> Scavenger<'h> {
         self.h.mem.copy_within(idx..idx + words, dest);
         self.h.mem[dest + MARK_WORD] = mark::with_age(mark::unmarked(mw), age);
         self.h.mem[idx + MARK_WORD] = mark::forwarding((dest * WORD) as u64);
-        self.relocations.insert((idx * WORD) as u64, (dest * WORD) as u64);
+        self.relocations
+            .insert((idx * WORD) as u64, (dest * WORD) as u64);
         self.survivors += 1;
         dest
     }
@@ -77,8 +78,13 @@ impl<'h> Scavenger<'h> {
             return;
         }
         let idx = r.addr() as usize / WORD;
-        let new_idx = if self.in_from(idx) { self.evacuate(idx) } else { idx };
-        self.h.mem[slot] = Ref::new(espresso_object::Space::Volatile, (new_idx * WORD) as u64).to_raw();
+        let new_idx = if self.in_from(idx) {
+            self.evacuate(idx)
+        } else {
+            idx
+        };
+        self.h.mem[slot] =
+            Ref::new(espresso_object::Space::Volatile, (new_idx * WORD) as u64).to_raw();
         if let Some(c) = container {
             if self.h.in_old(c) && self.in_to(new_idx) {
                 self.new_remembered.insert(c);
@@ -132,7 +138,8 @@ pub(crate) fn scavenge(h: &mut VolatileHeap, extra_roots: &[Ref]) -> GcResult {
         updated_handles.push(new);
     }
     let mut it = updated_handles.into_iter();
-    s.h.handles.for_each_slot(|r| *r = it.next().expect("handle count changed mid-gc"));
+    s.h.handles
+        .for_each_slot(|r| *r = it.next().expect("handle count changed mid-gc"));
 
     // Roots: caller-supplied refs (e.g. NVM-resident pointers to DRAM).
     for &r in extra_roots {
@@ -180,7 +187,12 @@ pub(crate) fn scavenge(h: &mut VolatileHeap, extra_roots: &[Ref]) -> GcResult {
     h.young_top = to_top;
     h.stats.young_gcs += 1;
 
-    GcResult { kind: GcKind::Young, relocations, promoted, survivors }
+    GcResult {
+        kind: GcKind::Young,
+        relocations,
+        promoted,
+        survivors,
+    }
 }
 
 #[cfg(test)]
@@ -191,7 +203,10 @@ mod tests {
     #[test]
     fn cycles_survive_scavenge() {
         let mut h = VolatileHeap::new(VolatileHeapConfig::small());
-        let k = h.register_instance("N", vec![FieldDesc::prim("v"), FieldDesc::reference("next")]);
+        let k = h.register_instance(
+            "N",
+            vec![FieldDesc::prim("v"), FieldDesc::reference("next")],
+        );
         let a = h.alloc_instance(k).unwrap();
         let ra = h.add_root(a);
         let b = h.alloc_instance(k).unwrap();

@@ -37,7 +37,10 @@ impl fmt::Display for VmError {
             VmError::UnknownClass { name } => write!(f, "unknown class {name}"),
             VmError::NoPersistentHeap => write!(f, "no persistent heap attached"),
             VmError::ClassCast { expected, found } => {
-                write!(f, "ClassCastException: {found} cannot be cast to {expected}")
+                write!(
+                    f,
+                    "ClassCastException: {found} cannot be cast to {expected}"
+                )
             }
             VmError::Heap(e) => write!(f, "volatile heap: {e}"),
             VmError::Pjh(e) => write!(f, "persistent heap: {e}"),
@@ -68,7 +71,7 @@ impl From<PjhError> for VmError {
 }
 
 /// VM construction parameters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct VmConfig {
     /// Volatile heap sizing.
     pub volatile: VolatileHeapConfig,
@@ -80,13 +83,10 @@ pub struct VmConfig {
 impl VmConfig {
     /// Small heaps for tests.
     pub fn small() -> Self {
-        VmConfig { volatile: VolatileHeapConfig::small(), pjh: PjhConfig::small() }
-    }
-}
-
-impl Default for VmConfig {
-    fn default() -> Self {
-        VmConfig { volatile: VolatileHeapConfig::default(), pjh: PjhConfig::default() }
+        VmConfig {
+            volatile: VolatileHeapConfig::small(),
+            pjh: PjhConfig::small(),
+        }
     }
 }
 
@@ -192,7 +192,9 @@ impl Vm {
     fn volatile_kid(&mut self, name: &str) -> crate::Result<KlassId> {
         match self.volatile.registry().by_name(name) {
             Some(k) => Ok(k.id()),
-            None => Err(VmError::UnknownClass { name: name.to_string() }),
+            None => Err(VmError::UnknownClass {
+                name: name.to_string(),
+            }),
         }
     }
 
@@ -201,7 +203,9 @@ impl Vm {
             .class_defs
             .get(name)
             .cloned()
-            .ok_or_else(|| VmError::UnknownClass { name: name.to_string() })?;
+            .ok_or_else(|| VmError::UnknownClass {
+                name: name.to_string(),
+            })?;
         let pjh = self.pjh.as_mut().ok_or(VmError::NoPersistentHeap)?;
         Ok(pjh.register_instance(name, fields)?)
     }
@@ -217,7 +221,13 @@ impl Vm {
     pub fn new_instance(&mut self, name: &str) -> crate::Result<Ref> {
         let kid = self.volatile_kid(name)?;
         let r = self.alloc_volatile(|h, _| h.alloc_instance_no_gc(kid))?;
-        self.constant_pool.insert(name.to_string(), Resolved { space: Space::Volatile, kid });
+        self.constant_pool.insert(
+            name.to_string(),
+            Resolved {
+                space: Space::Volatile,
+                kid,
+            },
+        );
         Ok(r)
     }
 
@@ -231,7 +241,13 @@ impl Vm {
     pub fn pnew_instance(&mut self, name: &str) -> crate::Result<Ref> {
         let kid = self.persistent_kid(name)?;
         let r = self.alloc_persistent(|p| p.alloc_instance(kid))?;
-        self.constant_pool.insert(name.to_string(), Resolved { space: Space::Persistent, kid });
+        self.constant_pool.insert(
+            name.to_string(),
+            Resolved {
+                space: Space::Persistent,
+                kid,
+            },
+        );
         Ok(r)
     }
 
@@ -320,7 +336,11 @@ impl Vm {
     pub fn field(&self, r: Ref, index: usize) -> u64 {
         match r.space() {
             Space::Volatile => self.volatile.field(r, index),
-            Space::Persistent => self.pjh.as_ref().expect("persistent ref without pjh").field(r, index),
+            Space::Persistent => self
+                .pjh
+                .as_ref()
+                .expect("persistent ref without pjh")
+                .field(r, index),
         }
     }
 
@@ -328,9 +348,11 @@ impl Vm {
     pub fn set_field(&mut self, r: Ref, index: usize, value: u64) {
         match r.space() {
             Space::Volatile => self.volatile.set_field(r, index, value),
-            Space::Persistent => {
-                self.pjh.as_mut().expect("persistent ref without pjh").set_field(r, index, value)
-            }
+            Space::Persistent => self
+                .pjh
+                .as_mut()
+                .expect("persistent ref without pjh")
+                .set_field(r, index, value),
         }
     }
 
@@ -363,7 +385,11 @@ impl Vm {
     pub fn array_len(&self, r: Ref) -> usize {
         match r.space() {
             Space::Volatile => self.volatile.array_len(r),
-            Space::Persistent => self.pjh.as_ref().expect("persistent ref without pjh").array_len(r),
+            Space::Persistent => self
+                .pjh
+                .as_ref()
+                .expect("persistent ref without pjh")
+                .array_len(r),
         }
     }
 
@@ -371,7 +397,11 @@ impl Vm {
     pub fn array_get(&self, r: Ref, i: usize) -> u64 {
         match r.space() {
             Space::Volatile => self.volatile.array_get(r, i),
-            Space::Persistent => self.pjh.as_ref().expect("persistent ref without pjh").array_get(r, i),
+            Space::Persistent => self
+                .pjh
+                .as_ref()
+                .expect("persistent ref without pjh")
+                .array_get(r, i),
         }
     }
 
@@ -379,9 +409,11 @@ impl Vm {
     pub fn array_set(&mut self, r: Ref, i: usize, value: u64) {
         match r.space() {
             Space::Volatile => self.volatile.array_set(r, i, value),
-            Space::Persistent => {
-                self.pjh.as_mut().expect("persistent ref without pjh").array_set(r, i, value)
-            }
+            Space::Persistent => self
+                .pjh
+                .as_mut()
+                .expect("persistent ref without pjh")
+                .array_set(r, i, value),
         }
     }
 
@@ -417,7 +449,11 @@ impl Vm {
     fn klass_arc(&self, r: Ref) -> std::sync::Arc<espresso_object::Klass> {
         match r.space() {
             Space::Volatile => self.volatile.klass_of(r),
-            Space::Persistent => self.pjh.as_ref().expect("persistent ref without pjh").klass_of(r),
+            Space::Persistent => self
+                .pjh
+                .as_ref()
+                .expect("persistent ref without pjh")
+                .klass_of(r),
         }
     }
 
@@ -445,7 +481,11 @@ impl Vm {
         } else {
             Err(VmError::ClassCast {
                 expected: name.to_string(),
-                found: if r.is_null() { "null".to_string() } else { self.klass_name(r) },
+                found: if r.is_null() {
+                    "null".to_string()
+                } else {
+                    self.klass_name(r)
+                },
             })
         }
     }
@@ -461,7 +501,10 @@ impl Vm {
     /// for aliases of the same logical class.
     pub fn checkcast_strict(&mut self, r: Ref, name: &str) -> crate::Result<()> {
         let actual_kid = self.klass_arc(r).id();
-        let actual = Resolved { space: r.space(), kid: actual_kid };
+        let actual = Resolved {
+            space: r.space(),
+            kid: actual_kid,
+        };
         let slot = *self.constant_pool.entry(name.to_string()).or_insert(actual);
         if slot == actual && self.klass_arc(r).name() == name {
             Ok(())
@@ -531,7 +574,11 @@ impl Vm {
     /// Young collection with NVM-held DRAM pointers as extra roots; those
     /// NVM slots are patched afterwards.
     pub fn gc_young(&mut self) -> GcResult {
-        let extra = self.pjh.as_ref().map(|p| p.volatile_refs()).unwrap_or_default();
+        let extra = self
+            .pjh
+            .as_ref()
+            .map(|p| p.volatile_refs())
+            .unwrap_or_default();
         let result = self.volatile.collect_young(&extra);
         self.patch_pjh_after_volatile_gc(&result);
         result
@@ -543,7 +590,11 @@ impl Vm {
     ///
     /// [`HeapError::OutOfMemory`] if the live set exceeds the old space.
     pub fn gc_full(&mut self) -> crate::Result<GcResult> {
-        let extra = self.pjh.as_ref().map(|p| p.volatile_refs()).unwrap_or_default();
+        let extra = self
+            .pjh
+            .as_ref()
+            .map(|p| p.volatile_refs())
+            .unwrap_or_default();
         let result = self.volatile.collect_full(&extra)?;
         self.patch_pjh_after_volatile_gc(&result);
         Ok(result)
@@ -603,8 +654,11 @@ mod tests {
     }
 
     fn define_person(vm: &mut Vm) {
-        vm.define_class("Person", vec![FieldDesc::prim("id"), FieldDesc::reference("name")])
-            .unwrap();
+        vm.define_class(
+            "Person",
+            vec![FieldDesc::prim("id"), FieldDesc::reference("name")],
+        )
+        .unwrap();
     }
 
     #[test]
@@ -642,10 +696,17 @@ mod tests {
     fn strict_cast_still_rejects_truly_wrong_classes() {
         let mut vm = vm();
         define_person(&mut vm);
-        vm.define_class("Car", vec![FieldDesc::prim("vin")]).unwrap();
+        vm.define_class("Car", vec![FieldDesc::prim("vin")])
+            .unwrap();
         let c = vm.new_instance("Car").unwrap();
-        assert!(matches!(vm.checkcast(c, "Person"), Err(VmError::ClassCast { .. })));
-        assert!(matches!(vm.checkcast_strict(c, "Person"), Err(VmError::ClassCast { .. })));
+        assert!(matches!(
+            vm.checkcast(c, "Person"),
+            Err(VmError::ClassCast { .. })
+        ));
+        assert!(matches!(
+            vm.checkcast_strict(c, "Person"),
+            Err(VmError::ClassCast { .. })
+        ));
     }
 
     #[test]
@@ -679,7 +740,11 @@ mod tests {
         }
         let dram2 = vm.field_ref(nvm, 1);
         assert!(dram2.is_volatile());
-        assert_eq!(vm.field(dram2, 0), 123, "NVM-held DRAM pointer kept alive and patched");
+        assert_eq!(
+            vm.field(dram2, 0),
+            123,
+            "NVM-held DRAM pointer kept alive and patched"
+        );
     }
 
     #[test]
@@ -770,7 +835,10 @@ mod tests {
     fn no_pjh_errors() {
         let mut vm = Vm::new(VmConfig::small());
         vm.define_class("T", vec![FieldDesc::prim("x")]).unwrap();
-        assert!(matches!(vm.pnew_instance("T"), Err(VmError::NoPersistentHeap)));
+        assert!(matches!(
+            vm.pnew_instance("T"),
+            Err(VmError::NoPersistentHeap)
+        ));
         assert!(matches!(
             vm.set_root("r", Ref::NULL),
             Err(VmError::NoPersistentHeap)

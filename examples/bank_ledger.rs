@@ -9,7 +9,14 @@ use espresso::collections::{PArrayList, PHashMap, PStore};
 use espresso::heap::{LoadOptions, Pjh, PjhConfig, PjhError};
 use espresso::nvm::{NvmConfig, NvmDevice};
 
-fn transfer(store: &mut PStore, accounts: &PHashMap, log: &PArrayList, from: u64, to: u64, amount: u64) -> Result<bool, PjhError> {
+fn transfer(
+    store: &mut PStore,
+    accounts: &PHashMap,
+    log: &PArrayList,
+    from: u64,
+    to: u64,
+    amount: u64,
+) -> Result<bool, PjhError> {
     let from_balance = accounts.get(store, from).unwrap_or(0);
     if from_balance < amount {
         return Ok(false);
@@ -42,7 +49,10 @@ fn main() -> Result<(), PjhError> {
         transfer(&mut store, &accounts, &log, i % 8, (i + 3) % 8, 50)?;
     }
     let total: u64 = accounts.entries(&store).iter().map(|&(_, v)| v).sum();
-    println!("before crash: total balance = {total}, audit entries = {}", log.len(&store));
+    println!(
+        "before crash: total balance = {total}, audit entries = {}",
+        log.len(&store)
+    );
 
     // Power failure mid-run; reload and verify the invariant.
     dev.crash();
@@ -51,7 +61,10 @@ fn main() -> Result<(), PjhError> {
     let accounts = PHashMap::from_ref(store.heap().get_root("accounts").unwrap());
     let log = PArrayList::from_ref(store.heap().get_root("audit").unwrap());
     let total: u64 = accounts.entries(&store).iter().map(|&(_, v)| v).sum();
-    println!("after crash:  total balance = {total}, audit entries = {}", log.len(&store));
+    println!(
+        "after crash:  total balance = {total}, audit entries = {}",
+        log.len(&store)
+    );
     assert_eq!(total, 8000, "money is conserved across the crash");
     Ok(())
 }

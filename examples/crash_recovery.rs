@@ -11,7 +11,10 @@ use espresso::object::{FieldDesc, Ref};
 fn main() -> Result<(), PjhError> {
     let dev = NvmDevice::new(NvmConfig::with_size(8 << 20));
     let mut heap = Pjh::create(dev.clone(), PjhConfig::small())?;
-    let node = heap.register_instance("Node", vec![FieldDesc::prim("v"), FieldDesc::reference("next")])?;
+    let node = heap.register_instance(
+        "Node",
+        vec![FieldDesc::prim("v"), FieldDesc::reference("next")],
+    )?;
 
     // A live list interleaved with garbage, so the GC has real work.
     let mut head = Ref::NULL;
@@ -24,7 +27,10 @@ fn main() -> Result<(), PjhError> {
         head = n;
     }
     heap.set_root("list", head)?;
-    println!("before GC: {} object images on the heap", heap.census().objects);
+    println!(
+        "before GC: {} object images on the heap",
+        heap.census().objects
+    );
 
     // Schedule a power failure after 40 more cache-line flushes — deep
     // inside the compaction phase — then start a collection.
@@ -50,6 +56,10 @@ fn main() -> Result<(), PjhError> {
     }
     heap.verify_integrity().expect("structurally sound");
     println!("verified {count} live nodes after crash-recovery; garbage reclaimed");
-    println!("census now: {} object images, {} free regions", heap.census().objects, heap.census().free_regions);
+    println!(
+        "census now: {} object images, {} free regions",
+        heap.census().objects,
+        heap.census().free_regions
+    );
     Ok(())
 }

@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- H2-PJO ----
     let pjo_db = Database::create(NvmDevice::new(NvmConfig::with_size(32 << 20)))?;
-    let pjh = Pjh::create(NvmDevice::new(NvmConfig::with_size(64 << 20)), PjhConfig::default())?;
+    let pjh = Pjh::create(
+        NvmDevice::new(NvmConfig::with_size(64 << 20)),
+        PjhConfig::default(),
+    )?;
     let mut pjo = PjoEntityManager::new(pjo_db.connect(), pjh);
     pjo.set_dedup(true); // also keep NVM copies for cheap retrieves
     pjo.create_schema(&[&meta])?;
@@ -78,7 +81,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (pjo_db_stats.exec_ns + pjo_db_stats.wal_ns) as f64 / 1e6,
         pjo_stats.dedup_ns as f64 / 1e6,
     );
-    println!("\nPJO speedup on create: {:.2}x", jpa_time.as_secs_f64() / pjo_time.as_secs_f64());
+    println!(
+        "\nPJO speedup on create: {:.2}x",
+        jpa_time.as_secs_f64() / pjo_time.as_secs_f64()
+    );
     assert_eq!(pjo_db_stats.parse_ns, 0, "the PJO path never parses SQL");
 
     // Retrieval: PJO answers from the deduplicated NVM copies.

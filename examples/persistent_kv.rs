@@ -10,8 +10,18 @@ use espresso::vm::{Vm, VmConfig, VmError};
 fn main() -> Result<(), VmError> {
     let mut vm = Vm::with_persistent_heap(VmConfig::default(), 32 << 20)?;
     // A persistent record and a volatile cache wrapper around it.
-    vm.define_class("Record", vec![FieldDesc::prim("key"), FieldDesc::prim("value"), FieldDesc::reference("next")])?;
-    vm.define_class("CacheEntry", vec![FieldDesc::prim("hits"), FieldDesc::reference("record")])?;
+    vm.define_class(
+        "Record",
+        vec![
+            FieldDesc::prim("key"),
+            FieldDesc::prim("value"),
+            FieldDesc::reference("next"),
+        ],
+    )?;
+    vm.define_class(
+        "CacheEntry",
+        vec![FieldDesc::prim("hits"), FieldDesc::reference("record")],
+    )?;
 
     // Build a persistent linked list of 1000 records (pnew).
     let mut head = espresso::object::Ref::NULL;
@@ -46,7 +56,10 @@ fn main() -> Result<(), VmError> {
     let vr = vm.gc_full()?;
     let pr = vm.gc_persistent()?;
     println!("volatile full GC: {} survivors", vr.survivors);
-    println!("persistent GC: {} live, {} moved, {} regions free", pr.live_objects, pr.moved_objects, pr.free_regions);
+    println!(
+        "persistent GC: {} live, {} moved, {} regions free",
+        pr.live_objects, pr.moved_objects, pr.free_regions
+    );
 
     // Every cache entry still reaches its (possibly relocated) record.
     for (i, h) in cache.iter().enumerate() {
@@ -59,7 +72,10 @@ fn main() -> Result<(), VmError> {
             println!("cache[{i}] -> record key={key} value={value}");
         }
     }
-    vm.pjh().unwrap().verify_integrity().expect("heap is structurally sound");
+    vm.pjh()
+        .unwrap()
+        .verify_integrity()
+        .expect("heap is structurally sound");
     println!("all cache entries verified after both collections");
     Ok(())
 }

@@ -49,6 +49,9 @@ fn main() -> Result<(), PjhError> {
         heap.field_ref(bob, 1) == alice
     );
     let census = heap.census();
-    println!("census: {} objects, {} words", census.objects, census.object_words);
+    println!(
+        "census: {} objects, {} words",
+        census.objects, census.object_words
+    );
     Ok(())
 }

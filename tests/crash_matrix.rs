@@ -21,7 +21,9 @@ fn pjh_allocation_crash_sweep() {
     // Base image: heap with a klass registered and some objects.
     let base = NvmDevice::new(NvmConfig::with_size(4 << 20));
     let mut heap = Pjh::create(base.clone(), PjhConfig::small()).unwrap();
-    let k = heap.register_instance("T", vec![FieldDesc::prim("x")]).unwrap();
+    let k = heap
+        .register_instance("T", vec![FieldDesc::prim("x")])
+        .unwrap();
     for _ in 0..5 {
         heap.alloc_instance(k).unwrap();
     }
@@ -43,7 +45,8 @@ fn pjh_allocation_crash_sweep() {
             objs_after == objs_before || objs_after == objs_before + 1,
             "crash after {at} flushes left {objs_after} objects (had {objs_before})"
         );
-        h2.verify_integrity().unwrap_or_else(|e| panic!("crash after {at}: {e}"));
+        h2.verify_integrity()
+            .unwrap_or_else(|e| panic!("crash after {at}: {e}"));
     }
 }
 
@@ -76,7 +79,11 @@ fn collection_transaction_crash_sweep() {
         let v = m2.get(&st2, 200);
         assert!(v == Some(42) || v.is_none(), "crash after {at}: got {v:?}");
         for i in 0..10 {
-            assert_eq!(m2.get(&st2, i), Some(i), "crash after {at} corrupted key {i}");
+            assert_eq!(
+                m2.get(&st2, i),
+                Some(i),
+                "crash after {at} corrupted key {i}"
+            );
         }
     }
 }
@@ -87,7 +94,8 @@ fn database_commit_crash_sweep() {
     {
         let db = Database::create(base.clone()).unwrap();
         let mut conn = db.connect();
-        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+            .unwrap();
         conn.execute("INSERT INTO t VALUES (1, 10)").unwrap();
     }
     // Count flushes of one committed transaction.

@@ -14,9 +14,14 @@ use espresso::vm::{Vm, VmConfig};
 #[test]
 fn vm_objects_survive_restart_through_the_manager() {
     let mgr = HeapManager::temp().unwrap();
-    let mut heap = mgr.create_heap("app", 8 << 20, PjhConfig::default()).unwrap();
+    let mut heap = mgr
+        .create_heap("app", 8 << 20, PjhConfig::default())
+        .unwrap();
     let k = heap
-        .register_instance("Account", vec![FieldDesc::prim("balance"), FieldDesc::reference("next")])
+        .register_instance(
+            "Account",
+            vec![FieldDesc::prim("balance"), FieldDesc::reference("next")],
+        )
         .unwrap();
     let mut head = espresso::object::Ref::NULL;
     for i in 0..100 {
@@ -95,7 +100,11 @@ fn both_orm_providers_agree_on_results() {
     jpa.create_schema(&[&meta]).unwrap();
 
     let pjo_db = Database::create(NvmDevice::new(NvmConfig::with_size(8 << 20))).unwrap();
-    let pjh = Pjh::create(NvmDevice::new(NvmConfig::with_size(16 << 20)), PjhConfig::small()).unwrap();
+    let pjh = Pjh::create(
+        NvmDevice::new(NvmConfig::with_size(16 << 20)),
+        PjhConfig::small(),
+    )
+    .unwrap();
     let mut pjo = PjoEntityManager::new(pjo_db.connect(), pjh);
     pjo.set_dedup(true);
     pjo.create_schema(&[&meta]).unwrap();
@@ -117,7 +126,11 @@ fn both_orm_providers_agree_on_results() {
     for id in (0..50).step_by(7) {
         let a = jpa.find(&meta, &Value::Int(id)).unwrap().unwrap();
         let b = pjo.find(&meta, &Value::Int(id)).unwrap().unwrap();
-        assert_eq!(a.values_vec(), b.values_vec(), "providers disagree on entity {id}");
+        assert_eq!(
+            a.values_vec(),
+            b.values_vec(),
+            "providers disagree on entity {id}"
+        );
     }
 
     // Update through both; field-level tracking on PJO must not lose data.
@@ -141,7 +154,11 @@ fn zeroing_safety_protects_reloaded_heaps_with_dram_pointers() {
     let dev = NvmDevice::new(NvmConfig::with_size(8 << 20));
     {
         let mut vm = Vm::new(VmConfig::small());
-        vm.define_class("Holder", vec![FieldDesc::prim("v"), FieldDesc::reference("obj")]).unwrap();
+        vm.define_class(
+            "Holder",
+            vec![FieldDesc::prim("v"), FieldDesc::reference("obj")],
+        )
+        .unwrap();
         vm.attach_pjh(Pjh::create(dev.clone(), PjhConfig::small()).unwrap());
         let dram = vm.new_instance("Holder").unwrap();
         let nvm = vm.pnew_instance("Holder").unwrap();
@@ -153,11 +170,17 @@ fn zeroing_safety_protects_reloaded_heaps_with_dram_pointers() {
     dev.crash(); // the DRAM side of that pointer is gone forever
     let (heap, report) = Pjh::load(
         dev,
-        LoadOptions { safety: SafetyLevel::Zeroing, ..LoadOptions::default() },
+        LoadOptions {
+            safety: SafetyLevel::Zeroing,
+            ..LoadOptions::default()
+        },
     )
     .unwrap();
     assert_eq!(report.zeroed_refs, 1);
     let nvm = heap.get_root("holder").unwrap();
-    assert!(heap.field_ref(nvm, 1).is_null(), "dangling DRAM pointer nullified");
+    assert!(
+        heap.field_ref(nvm, 1).is_null(),
+        "dangling DRAM pointer nullified"
+    );
     assert_eq!(heap.field(nvm, 0), 5);
 }

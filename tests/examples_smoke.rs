@@ -1,0 +1,80 @@
+//! Smoke test: every checked-in example must build and run to completion.
+//!
+//! Each example is executed through `cargo run --example` so this test fails
+//! if an example rots — whether it stops compiling or starts erroring at
+//! runtime. Examples are expected to be self-contained and fast (they run on
+//! simulated NVM, no real I/O).
+
+use std::process::Command;
+
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "persistent_kv",
+    "crash_recovery",
+    "bank_ledger",
+    "orm_comparison",
+];
+
+fn run_example(name: &str) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let mut cmd = Command::new(cargo);
+    cmd.args(["run", "-q", "-p", "espresso", "--example", name]);
+    if !cfg!(debug_assertions) {
+        cmd.arg("--release");
+    }
+    let output = cmd
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} exited with {}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
+
+#[test]
+fn quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn persistent_kv_runs() {
+    run_example("persistent_kv");
+}
+
+#[test]
+fn crash_recovery_runs() {
+    run_example("crash_recovery");
+}
+
+#[test]
+fn bank_ledger_runs() {
+    run_example("bank_ledger");
+}
+
+#[test]
+fn orm_comparison_runs() {
+    run_example("orm_comparison");
+}
+
+#[test]
+fn example_list_matches_directory() {
+    // Guard against a new example being added without a smoke test above.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples");
+    let mut found: Vec<String> = std::fs::read_dir(dir)
+        .expect("examples directory exists")
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".rs").map(str::to_string)
+        })
+        .collect();
+    found.sort();
+    let mut expected: Vec<String> = EXAMPLES.iter().map(|s| s.to_string()).collect();
+    expected.sort();
+    assert_eq!(
+        found, expected,
+        "examples/ directory and smoke-test list diverged"
+    );
+}

@@ -1,0 +1,244 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Implements the subset this workspace's benches use: benchmark groups with
+//! `sample_size`/`measurement_time`/`warm_up_time`, `bench_function` with a
+//! `Bencher::iter` timing loop, and the `criterion_group!`/`criterion_main!`
+//! glue. Reports mean/min/max wall-clock time per iteration to stdout. No
+//! statistics engine, plots, or baselines — set `CRITERION_MEASUREMENT_MS`
+//! to cap measurement time (useful in CI).
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+fn measurement_cap() -> Option<Duration> {
+    std::env::var("CRITERION_MEASUREMENT_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmarking group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(
+            &id.into(),
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+}
+
+/// A named group of related benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(
+            &id,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark(
+    id: &str,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let cap = measurement_cap();
+    let measurement = cap.map_or(measurement_time, |c| measurement_time.min(c));
+    let warm_up = cap.map_or(warm_up_time, |c| warm_up_time.min(c));
+    let mut bencher = Bencher {
+        budget: warm_up,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher); // warm-up pass, discarded
+
+    let per_sample = measurement / sample_size.max(1) as u32;
+    let mut samples = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size.max(1) {
+        let mut b = Bencher {
+            budget: per_sample,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.iters > 0 {
+            samples.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+        }
+    }
+    if samples.is_empty() {
+        println!("{id:<48} no samples");
+        return;
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{id:<48} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly until the sample's time budget is spent,
+    /// recording total elapsed time and iteration count.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        std::env::set_var("CRITERION_MEASUREMENT_MS", "5");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        let mut ran = 0u64;
+        g.sample_size(2).measurement_time(Duration::from_millis(10));
+        g.bench_function("f", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert!(ran > 0);
+    }
+}

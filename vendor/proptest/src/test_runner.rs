@@ -1,0 +1,124 @@
+//! Configuration, error type and deterministic PRNG for the shim.
+
+use std::fmt;
+
+/// Per-suite configuration; only `cases` is consulted by the shim, the other
+/// fields exist so `ProptestConfig { cases: N, ..ProptestConfig::default() }`
+/// literals from real-proptest code keep compiling.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for compatibility; the shim never shrinks.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; the shim never rejects inputs.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+            max_global_rejects: 0,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// The configured case count, capped by `PROPTEST_CASES` when set so CI
+    /// can bound suite runtime globally (see `/proptest.toml`).
+    pub fn effective_cases(&self) -> u32 {
+        let capped = match env_u64("PROPTEST_CASES") {
+            Some(cap) => self.cases.min(cap as u32),
+            None => self.cases,
+        };
+        capped.max(1)
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// A failed property assertion, carried out of the test body by
+/// `prop_assert*!` and reported with the generated inputs.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// SplitMix64 generator feeding every strategy.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// The deterministic per-case generator: seeded from the fully qualified
+/// test name, the case index, and the optional `PROPTEST_RNG_SEED` override.
+pub fn rng_for(test_path: &str, case: u32) -> TestRng {
+    let mut seed = env_u64("PROPTEST_RNG_SEED").unwrap_or(0xcbf2_9ce4_8422_2325);
+    for b in test_path.bytes() {
+        seed = (seed ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::new(seed.wrapping_add(0x1000_0000_0000_0001u64.wrapping_mul(case as u64)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_test_and_case() {
+        let a: Vec<u64> = (0..4).map(|c| rng_for("m::t", c).next_u64()).collect();
+        let b: Vec<u64> = (0..4).map(|c| rng_for("m::t", c).next_u64()).collect();
+        assert_eq!(a, b);
+        assert_ne!(
+            rng_for("m::t", 0).next_u64(),
+            rng_for("m::other", 0).next_u64()
+        );
+    }
+
+    #[test]
+    fn effective_cases_is_at_least_one() {
+        let cfg = ProptestConfig {
+            cases: 0,
+            ..ProptestConfig::default()
+        };
+        assert_eq!(cfg.effective_cases(), 1);
+    }
+}

@@ -1,0 +1,111 @@
+//! Offline stand-in for the `rand` crate (see `vendor/README.md`).
+//!
+//! Provides `rngs::StdRng`, `SeedableRng::seed_from_u64` and
+//! `Rng::gen_range` over integer ranges — the subset this workspace's tests
+//! use. The generator is SplitMix64: statistically fine for test workloads
+//! and fully deterministic for a given seed.
+
+use std::ops::Range;
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling from a `Range<T>`, mirroring the `rand::Rng` surface the
+/// workspace uses.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_in(range, self.next_u64())
+    }
+}
+
+/// Integer types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: Copy {
+    fn sample_in(range: Range<Self>, raw: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in(range: Range<Self>, raw: u64) -> Self {
+                let lo = range.start as i128;
+                let hi = range.end as i128;
+                assert!(lo < hi, "gen_range called with an empty range");
+                let span = (hi - lo) as u128;
+                // Modulo bias is irrelevant at test-workload spans.
+                (lo + (raw as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = super::rngs::StdRng::seed_from_u64(7);
+        let mut b = super::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = super::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v: i64 = rng.gen_range(-5i64..17);
+            assert!((-5..17).contains(&v));
+            let u: usize = rng.gen_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn covers_small_ranges() {
+        let mut rng = super::rngs::StdRng::seed_from_u64(1);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[rng.gen_range(0usize..3)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
