@@ -1,0 +1,102 @@
+//! CI bench-regression gate: compares a fresh `bench_baseline` run
+//! against the committed `BENCH_baseline.json` and fails (exit code 1)
+//! when any fig15 PJH-over-PCJ speedup ratio regresses by more than the
+//! tolerance.
+//!
+//! ```text
+//! cargo run --release -p espresso-bench --bin bench_diff -- \
+//!     --baseline BENCH_baseline.json --current /tmp/bench_ci.json \
+//!     [--tolerance 0.20]
+//! ```
+//!
+//! The tolerance is a fraction of the baseline ratio (default `0.20`,
+//! i.e. a cell may lose up to 20% before the gate trips); it can also be
+//! set via the `BENCH_DIFF_TOLERANCE` environment variable, with the
+//! flag taking precedence. fig18 load times are printed for context but
+//! never gate (absolute milliseconds are too machine-dependent).
+
+use espresso_bench::diff::{diff_speedups, parse_map_section};
+use espresso_bench::report::print_table;
+
+fn flag(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let baseline_path = flag("--baseline").unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    let current_path = flag("--current").unwrap_or_else(|| {
+        eprintln!("bench_diff: --current <path> is required (a fresh bench_baseline output)");
+        std::process::exit(2);
+    });
+    let tolerance: f64 = flag("--tolerance")
+        .or_else(|| std::env::var("BENCH_DIFF_TOLERANCE").ok())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.20);
+
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_diff: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = read(&baseline_path);
+    let current = read(&current_path);
+
+    let diffs = diff_speedups(&baseline, &current, tolerance);
+    if diffs.is_empty() {
+        eprintln!("bench_diff: no fig15 speedup cells found in {baseline_path}");
+        std::process::exit(2);
+    }
+
+    let floor = 1.0 - tolerance;
+    let rows: Vec<Vec<String>> = diffs
+        .iter()
+        .map(|d| {
+            vec![
+                d.name.clone(),
+                format!("{:.2}", d.baseline),
+                d.current.map_or("missing".into(), |c| format!("{c:.2}")),
+                format!("{:.2}", d.baseline * floor),
+                if d.regressed { "REGRESSED" } else { "ok" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("fig15 speedup gate (tolerance {:.0}%)", tolerance * 100.0),
+        &["cell", "baseline", "current", "floor", "status"],
+        &rows,
+    );
+
+    let fig18_base = parse_map_section(&baseline, "load_ms");
+    let fig18_cur = parse_map_section(&current, "load_ms");
+    if !fig18_cur.is_empty() {
+        let rows: Vec<Vec<String>> = fig18_cur
+            .iter()
+            .map(|(name, c)| {
+                let b = fig18_base
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map_or("-".to_string(), |&(_, v)| format!("{v:.3}"));
+                vec![name.clone(), b, format!("{c:.3}")]
+            })
+            .collect();
+        print_table(
+            "fig18 load_ms (informational, not gated)",
+            &["point", "baseline", "current"],
+            &rows,
+        );
+    }
+
+    let regressions = diffs.iter().filter(|d| d.regressed).count();
+    if regressions > 0 {
+        eprintln!("bench_diff: {regressions} fig15 cell(s) regressed beyond {tolerance:.2}");
+        std::process::exit(1);
+    }
+    println!(
+        "\nbench_diff: all {} fig15 cells within tolerance",
+        diffs.len()
+    );
+}

@@ -1,0 +1,127 @@
+//! Baseline comparison for the CI bench-regression gate (`bench_diff`).
+//!
+//! Parses the flat `"key": number` maps inside `bench_baseline`'s JSON
+//! output (no external JSON dependency; the schema is ours) and flags
+//! fig15 speedup cells that regressed beyond a tolerance.
+
+/// One compared fig15 cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellDiff {
+    /// Cell name, e.g. `ArrayList/Create`.
+    pub name: String,
+    /// Speedup recorded in the committed baseline.
+    pub baseline: f64,
+    /// Speedup measured by the current run (`None` if the cell vanished).
+    pub current: Option<f64>,
+    /// Whether the cell regressed beyond the tolerance (or vanished).
+    pub regressed: bool,
+}
+
+/// Extracts the `"key": number` pairs of the object named `section`.
+///
+/// Returns an empty vector when the section is missing — callers treat
+/// that as a hard failure for fig15.
+pub fn parse_map_section(json: &str, section: &str) -> Vec<(String, f64)> {
+    let needle = format!("\"{section}\"");
+    let Some(at) = json.find(&needle) else {
+        return Vec::new();
+    };
+    let rest = &json[at + needle.len()..];
+    let Some(open) = rest.find('{') else {
+        return Vec::new();
+    };
+    let body = &rest[open + 1..];
+    let end = body.find('}').unwrap_or(body.len());
+    let mut out = Vec::new();
+    for pair in body[..end].split(',') {
+        let Some((key, value)) = pair.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.push((key.to_string(), v));
+        }
+    }
+    out
+}
+
+/// Compares fig15 speedups: a cell regresses when the current speedup
+/// falls below `baseline * (1 - tolerance)`, or is missing entirely.
+pub fn diff_speedups(baseline: &str, current: &str, tolerance: f64) -> Vec<CellDiff> {
+    let base = parse_map_section(baseline, "pjh_speedup_over_pcj");
+    let cur = parse_map_section(current, "pjh_speedup_over_pcj");
+    base.into_iter()
+        .map(|(name, b)| {
+            let c = cur.iter().find(|(n, _)| *n == name).map(|&(_, v)| v);
+            let regressed = match c {
+                Some(v) => v < b * (1.0 - tolerance),
+                None => true,
+            };
+            CellDiff {
+                name,
+                baseline: b,
+                current: c,
+                regressed,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{
+  "fig15": {
+    "pjh_speedup_over_pcj": {
+      "A/Create": 4.00,
+      "A/Set": 10.00
+    }
+  },
+  "fig18": { "load_ms": { "ug/100": 0.5 } }
+}"#;
+
+    #[test]
+    fn parses_sections() {
+        let cells = parse_map_section(BASE, "pjh_speedup_over_pcj");
+        assert_eq!(
+            cells,
+            vec![("A/Create".to_string(), 4.0), ("A/Set".to_string(), 10.0)]
+        );
+        assert_eq!(
+            parse_map_section(BASE, "load_ms"),
+            vec![("ug/100".to_string(), 0.5)]
+        );
+        assert!(parse_map_section(BASE, "missing").is_empty());
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let current = BASE.replace("4.00", "3.30").replace("10.00", "12.00");
+        let diffs = diff_speedups(BASE, &current, 0.20);
+        assert!(diffs.iter().all(|d| !d.regressed), "{diffs:?}");
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails() {
+        let current = BASE.replace("4.00", "3.10");
+        let diffs = diff_speedups(BASE, &current, 0.20);
+        let a = diffs.iter().find(|d| d.name == "A/Create").unwrap();
+        assert!(a.regressed);
+        assert!(!diffs.iter().find(|d| d.name == "A/Set").unwrap().regressed);
+    }
+
+    #[test]
+    fn missing_cell_fails() {
+        let current = BASE.replace("\"A/Set\": 10.00", "\"B/Set\": 10.00");
+        let diffs = diff_speedups(BASE, &current, 0.20);
+        assert!(diffs.iter().find(|d| d.name == "A/Set").unwrap().regressed);
+    }
+
+    #[test]
+    fn improvements_never_fail_even_at_zero_tolerance() {
+        let current = BASE.replace("4.00", "9.99");
+        let diffs = diff_speedups(BASE, &current, 0.0);
+        assert!(diffs.iter().all(|d| !d.regressed));
+    }
+}

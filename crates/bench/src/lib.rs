@@ -9,6 +9,7 @@
 //! Workload sizes follow the paper's shapes but default to laptop-friendly
 //! counts; every binary accepts a scale argument (`--n <count>`).
 
+pub mod diff;
 pub mod jpab;
 pub mod micro;
 pub mod report;

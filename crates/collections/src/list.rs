@@ -27,18 +27,22 @@ impl PArrayList {
     ///
     /// Allocation errors.
     pub fn pnew(store: &mut PStore, capacity: usize) -> Result<PArrayList, PjhError> {
-        let kid = store.heap_mut().register_instance(
-            CLASS,
-            vec![FieldDesc::prim("size"), FieldDesc::reference("elems")],
-        )?;
+        let kid = match store.heap().lookup_klass(CLASS) {
+            Some(kid) => kid,
+            None => store.heap_mut().register_instance(
+                CLASS,
+                vec![FieldDesc::prim("size"), FieldDesc::reference("elems")],
+            )?,
+        };
         let arr_kid = store.heap_mut().register_prim_array();
         let obj = store.alloc_instance(kid)?;
         let elems = store.alloc_array(arr_kid, capacity.max(1))?;
-        store.transact(|s| {
-            s.set_field(obj, F_SIZE, 0);
-            s.set_field_ref(obj, F_ELEMS, elems)?;
-            Ok(())
-        })?;
+        // The header is unreachable until the caller publishes it, so the
+        // initial stores skip the undo log; `size` is already zero from
+        // the region's persisted zero-fill.
+        let heap = store.heap_mut();
+        heap.set_field_ref(obj, F_ELEMS, elems)?;
+        heap.flush_field(obj, F_ELEMS);
         Ok(PArrayList { obj })
     }
 

@@ -34,26 +34,32 @@ impl PHashMap {
     ///
     /// Allocation errors.
     pub fn pnew(store: &mut PStore, buckets: usize) -> Result<PHashMap, PjhError> {
-        let kid = store.heap_mut().register_instance(
-            MAP_CLASS,
-            vec![FieldDesc::prim("size"), FieldDesc::reference("buckets")],
-        )?;
-        store.heap_mut().register_instance(
-            ENTRY_CLASS,
-            vec![
-                FieldDesc::prim("key"),
-                FieldDesc::prim("value"),
-                FieldDesc::reference("next"),
-            ],
-        )?;
+        let kid = match store.heap().lookup_klass(MAP_CLASS) {
+            Some(kid) => kid,
+            None => {
+                let kid = store.heap_mut().register_instance(
+                    MAP_CLASS,
+                    vec![FieldDesc::prim("size"), FieldDesc::reference("buckets")],
+                )?;
+                store.heap_mut().register_instance(
+                    ENTRY_CLASS,
+                    vec![
+                        FieldDesc::prim("key"),
+                        FieldDesc::prim("value"),
+                        FieldDesc::reference("next"),
+                    ],
+                )?;
+                kid
+            }
+        };
         let bucket_kid = store.heap_mut().register_obj_array(ENTRY_CLASS);
         let obj = store.alloc_instance(kid)?;
         let arr = store.alloc_array(bucket_kid, buckets.max(1))?;
-        store.transact(|s| {
-            s.set_field(obj, M_SIZE, 0);
-            s.set_field_ref(obj, M_BUCKETS, arr)?;
-            Ok(())
-        })?;
+        // Unreachable until published: initialize without the undo log
+        // (`size` is already zero from the region's persisted zero-fill).
+        let heap = store.heap_mut();
+        heap.set_field_ref(obj, M_BUCKETS, arr)?;
+        heap.flush_field(obj, M_BUCKETS);
         Ok(PHashMap { obj })
     }
 

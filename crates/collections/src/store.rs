@@ -1,6 +1,7 @@
 //! Transactional wrapper over PJH with an NVM-resident undo log.
 
 use espresso_core::{Pjh, PjhError};
+use espresso_nvm::CACHE_LINE;
 use espresso_object::{KlassId, Ref, ARRAY_HEADER_WORDS, HEADER_WORDS, WORD};
 
 /// Root name under which the undo log array is published.
@@ -13,10 +14,16 @@ const LOG_ENTRIES: usize = 240;
 /// A persistent heap plus a word-granular undo log, giving every
 /// collection operation the same ACID guarantee PCJ provides (§6.2).
 ///
-/// Protocol per transaction: each store first appends `(slot, old value)`
-/// to the NVM log and bumps the persisted entry count, then performs and
-/// flushes the store itself. Commit resets the count. If a crash leaves a
-/// non-zero count, [`PStore::attach`] rolls the entries back in reverse.
+/// Log records are self-validating: a `(slot, old value)` pair is live
+/// iff its slot word is non-zero (slots are virtual addresses, never 0).
+/// Appending persists the pair in one call when it fits a cache line and
+/// in old-then-slot order when it straddles two, so a record can never
+/// become live with a torn old value. A store is performed and flushed
+/// only after its record is durable; commit invalidates the used records
+/// by zeroing their slot words (adjacent, so usually one flush), and
+/// [`PStore::attach`] re-zeroes the whole log, so every transaction
+/// starts from an all-zero persisted log. If a crash leaves a live record
+/// prefix, attach rolls it back in reverse.
 #[derive(Debug)]
 pub struct PStore {
     heap: Pjh,
@@ -34,9 +41,9 @@ impl PStore {
     /// Allocation or root-table errors.
     pub fn new(mut heap: Pjh) -> Result<PStore, PjhError> {
         let kid = heap.register_prim_array();
+        // The array body comes from a zeroed, persisted region, so the
+        // first record's slot word is already a durable terminator.
         let log = heap.alloc_array(kid, 1 + 2 * LOG_ENTRIES)?;
-        heap.array_set(log, 0, 0);
-        heap.flush_element(log, 0);
         heap.set_root(LOG_ROOT, log)?;
         Ok(PStore {
             heap,
@@ -55,17 +62,34 @@ impl PStore {
     /// [`PjhError::NotAHeap`] if the heap has no published log.
     pub fn attach(mut heap: Pjh) -> Result<PStore, PjhError> {
         let log = heap.get_root(LOG_ROOT).ok_or(PjhError::NotAHeap)?;
-        let count = heap.array_get(log, 0) as usize;
-        if count > 0 {
-            // Roll back in reverse order.
-            for i in (0..count).rev() {
-                let addr = heap.array_get(log, 1 + 2 * i);
-                let old = heap.array_get(log, 2 + 2 * i);
-                heap.write_word_at(addr, old);
-                heap.persist_word_at(addr);
+        // A live record prefix means a transaction was torn: undo it in
+        // reverse.
+        let mut records = Vec::new();
+        for i in 0..LOG_ENTRIES {
+            let addr = heap.array_get(log, 1 + 2 * i);
+            if addr == 0 {
+                break;
             }
-            heap.array_set(log, 0, 0);
-            heap.flush_element(log, 0);
+            records.push((addr, heap.array_get(log, 2 + 2 * i)));
+        }
+        for &(addr, old) in records.iter().rev() {
+            heap.write_word_at(addr, old);
+            heap.persist_word_at(addr);
+        }
+        // Re-zero any slot word left non-zero anywhere in the log: a crash
+        // inside a commit's invalidation sweep can leave live-looking
+        // records beyond a zeroed prefix, and the validity scan must never
+        // find them in a later crash. A clean attach writes (and flushes)
+        // nothing.
+        let mut stale = false;
+        for i in 0..LOG_ENTRIES {
+            if heap.array_get(log, 1 + 2 * i) != 0 {
+                heap.array_set(log, 1 + 2 * i, 0);
+                stale = true;
+            }
+        }
+        if stale {
+            heap.flush_object(log);
         }
         Ok(PStore {
             heap,
@@ -102,14 +126,34 @@ impl PStore {
         self.entries = 0;
     }
 
-    /// Commits: truncates the log with a single persisted count reset.
+    /// Device virtual address of log array element `i` (element 0 is the
+    /// persisted entry count).
+    #[inline]
+    fn log_slot(&self, i: usize) -> u64 {
+        self.log.addr() + ((ARRAY_HEADER_WORDS + i) * WORD) as u64
+    }
+
+    /// Zeroes the slot words of records `0..self.entries` and persists
+    /// them with one trailing fence, invalidating the transaction.
+    fn invalidate_log(&mut self) {
+        if self.entries == 0 {
+            return;
+        }
+        for i in 0..self.entries {
+            self.heap.write_word_at(self.log_slot(1 + 2 * i), 0);
+        }
+        let span = (2 * (self.entries - 1) + 1) * WORD;
+        self.heap.persist_range_at(self.log_slot(1), span);
+    }
+
+    /// Commits: invalidates the used records (their slot words are 16
+    /// bytes apart, so this is typically a single flush).
     pub fn commit(&mut self) {
         if self.depth > 0 {
             self.depth -= 1;
             return;
         }
-        self.heap.array_set(self.log, 0, 0);
-        self.heap.flush_element(self.log, 0);
+        self.invalidate_log();
         self.active = false;
         self.entries = 0;
     }
@@ -121,13 +165,12 @@ impl PStore {
             // An inner abort aborts the whole flattened transaction.
         }
         for i in (0..self.entries).rev() {
-            let addr = self.heap.array_get(self.log, 1 + 2 * i);
-            let old = self.heap.array_get(self.log, 2 + 2 * i);
+            let addr = self.heap.read_word_at(self.log_slot(1 + 2 * i));
+            let old = self.heap.read_word_at(self.log_slot(2 + 2 * i));
             self.heap.write_word_at(addr, old);
             self.heap.persist_word_at(addr);
         }
-        self.heap.array_set(self.log, 0, 0);
-        self.heap.flush_element(self.log, 0);
+        self.invalidate_log();
         self.active = false;
         self.depth = 0;
         self.entries = 0;
@@ -165,25 +208,33 @@ impl PStore {
         );
         let old = self.heap.read_word_at(slot_vaddr);
         let i = self.entries;
-        self.heap.array_set(self.log, 1 + 2 * i, slot_vaddr);
-        self.heap.array_set(self.log, 2 + 2 * i, old);
-        // Both entry words must be durable before the count can cover
-        // them; when they share a cache line the second flush is free.
-        self.heap.flush_element(self.log, 1 + 2 * i);
-        self.heap.flush_element(self.log, 2 + 2 * i);
+        let entry = self.log_slot(1 + 2 * i);
+        self.heap.write_word_at(entry, slot_vaddr);
+        self.heap.write_word_at(entry + WORD as u64, old);
+        // The record becomes live the instant its slot word is durable,
+        // so the old value must never trail it: one persist when the pair
+        // shares a cache line, old-then-slot order when it straddles two.
+        if self.heap.layout().to_off(entry) % CACHE_LINE + 2 * WORD <= CACHE_LINE {
+            self.heap.persist_range_at(entry, 2 * WORD);
+        } else {
+            self.heap.persist_word_at(entry + WORD as u64);
+            self.heap.persist_word_at(entry);
+        }
         self.entries = i + 1;
-        self.heap.array_set(self.log, 0, self.entries as u64);
-        self.heap.flush_element(self.log, 0);
     }
 
     // ---- logged primitive operations used by the collections ----
+    //
+    // Slot addresses are computed once and reused for the log record, the
+    // store and the flush, so each logged store costs two persists (log
+    // record, data) and no redundant Klass traffic.
 
     /// Logged, persisted field store.
     pub fn set_field(&mut self, obj: Ref, index: usize, value: u64) {
         let slot = obj.addr() + ((HEADER_WORDS + index) * WORD) as u64;
         self.log_old(slot);
-        self.heap.set_field(obj, index, value);
-        self.heap.flush_field(obj, index);
+        self.heap.write_word_at(slot, value);
+        self.heap.persist_word_at(slot);
     }
 
     /// Logged, persisted reference-field store.
@@ -194,17 +245,18 @@ impl PStore {
     pub fn set_field_ref(&mut self, obj: Ref, index: usize, value: Ref) -> Result<(), PjhError> {
         let slot = obj.addr() + ((HEADER_WORDS + index) * WORD) as u64;
         self.log_old(slot);
-        self.heap.set_field_ref(obj, index, value)?;
-        self.heap.flush_field(obj, index);
+        self.heap.write_ref_word_at(slot, value)?;
+        self.heap.persist_word_at(slot);
         Ok(())
     }
 
     /// Logged, persisted array store.
     pub fn array_set(&mut self, arr: Ref, i: usize, value: u64) {
+        debug_assert!(i < self.heap.array_len(arr));
         let slot = arr.addr() + ((ARRAY_HEADER_WORDS + i) * WORD) as u64;
         self.log_old(slot);
-        self.heap.array_set(arr, i, value);
-        self.heap.flush_element(arr, i);
+        self.heap.write_word_at(slot, value);
+        self.heap.persist_word_at(slot);
     }
 
     /// Logged, persisted array reference store.
@@ -213,10 +265,11 @@ impl PStore {
     ///
     /// Safety violations from the heap.
     pub fn array_set_ref(&mut self, arr: Ref, i: usize, value: Ref) -> Result<(), PjhError> {
+        debug_assert!(i < self.heap.array_len(arr));
         let slot = arr.addr() + ((ARRAY_HEADER_WORDS + i) * WORD) as u64;
         self.log_old(slot);
-        self.heap.array_set_ref(arr, i, value)?;
-        self.heap.flush_element(arr, i);
+        self.heap.write_ref_word_at(slot, value)?;
+        self.heap.persist_word_at(slot);
         Ok(())
     }
 

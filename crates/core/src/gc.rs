@@ -20,8 +20,26 @@
 //!    no copy), which is why forwarding maps destination addresses only
 //!    into previously-empty regions: re-applying a fix-up is a no-op.
 //! 5. **Finalize**: root entries forwarded, the new free bitmap and
-//!    allocation cursor persisted, destination-region tails zeroed, and
-//!    the in-progress flag cleared.
+//!    allocation cursor persisted, destination-region tails zeroed, the
+//!    per-region summary table rewritten, and the in-progress flag
+//!    cleared.
+//!
+//! # Incremental collection
+//!
+//! A completed full collection leaves behind a persisted per-region
+//! **summary** (live words / live objects) and arms dirty tracking; the
+//! first incremental cycle builds per-region DRAM **remembered sets**
+//! (each region's outgoing cross-region references) and later cycles
+//! reuse them: only regions written since the previous cycle are
+//! rescanned; a clean region is treated as an opaque unit whose remembered
+//! set stands in for its contents during marking. Wholly-garbage dirty
+//! regions that no retained region references are reclaimed in bulk (one
+//! free-bitmap persist each) and nothing moves, so an incremental cycle's
+//! flush cost is proportional to the *mutated* part of the heap, not the
+//! heap size. Liveness in clean regions is carried over conservatively
+//! (floating garbage lingers until the region is dirtied or a full
+//! collection runs); crashes invalidate the DRAM half of the state, which
+//! simply forces the next collection to be full.
 
 use std::collections::{BTreeSet, HashMap};
 
@@ -31,9 +49,48 @@ use crate::bitmap::Bitmap;
 use crate::heap::{ref_slots, Pjh};
 use crate::layout::{meta, Layout};
 
+/// Which collection strategy a cycle used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcKind {
+    /// Mark-summarize-compact over the whole heap (§4.2).
+    Full,
+    /// Dirty-region rescan + bulk reclamation; nothing moves.
+    Incremental,
+}
+
+/// Per-region live accounting, persisted in the metadata segment and
+/// reused across incremental collection cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionSummary {
+    /// Words occupied by live objects in the region.
+    pub live_words: u32,
+    /// Live objects in the region.
+    pub live_objects: u32,
+}
+
+impl RegionSummary {
+    pub(crate) fn pack(self) -> u64 {
+        self.live_words as u64 | (self.live_objects as u64) << 32
+    }
+
+    pub(crate) fn unpack(raw: u64) -> RegionSummary {
+        RegionSummary {
+            live_words: raw as u32,
+            live_objects: (raw >> 32) as u32,
+        }
+    }
+}
+
 /// Outcome of a persistent-space collection.
 #[derive(Debug, Clone)]
 pub struct GcReport {
+    /// Collection strategy used.
+    pub kind: GcKind,
+    /// Regions whose contents were (re)scanned this cycle.
+    pub regions_scanned: usize,
+    /// Non-free regions skipped thanks to reusable summaries (always 0 for
+    /// a full collection).
+    pub regions_skipped: usize,
     /// Live objects found by the marking phase.
     pub live_objects: usize,
     /// Objects physically relocated.
@@ -81,6 +138,91 @@ fn pflush(h: &Pjh, off: usize, len: usize) {
     if h.recoverable_gc {
         h.dev.persist(off, len);
     }
+}
+
+// ---- per-region summaries ----
+
+fn summaries_of_schedule(layout: &Layout, schedule: &Schedule) -> Vec<RegionSummary> {
+    let mut out = vec![RegionSummary::default(); layout.num_regions];
+    for (r, plan) in schedule.plans.iter().enumerate() {
+        match plan {
+            Plan::Skip => {}
+            Plan::InPlace(objs) => {
+                for &(_, words) in objs {
+                    out[r].live_words += words as u32;
+                    out[r].live_objects += 1;
+                }
+            }
+            Plan::Evacuate(moves) => {
+                for &(_, words, dst) in moves {
+                    let d = layout.region_of(dst);
+                    out[d].live_words += words as u32;
+                    out[d].live_objects += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Writes the summary table with a torn-write guard: the validity
+/// timestamp is zeroed before the entries change and only restored after
+/// they are durable. `write_all` forces every entry out (full collections
+/// and recovery, where the DRAM mirror cannot be trusted); otherwise only
+/// entries differing from the mirror are written, so an incremental
+/// cycle's flush cost tracks the number of changed regions.
+fn persist_summaries(h: &mut Pjh, summaries: &[RegionSummary], ts: u32, write_all: bool) {
+    h.dev.write_u64(meta::SUMMARY_TS, 0);
+    pflush(h, meta::SUMMARY_TS, 8);
+    for (i, s) in summaries.iter().enumerate() {
+        if write_all || h.summaries[i] != *s {
+            h.dev.write_u64(h.layout.region_summary_entry(i), s.pack());
+        }
+    }
+    pflush(h, h.layout.region_summary_off, h.layout.num_regions * 8);
+    h.dev.write_u64(meta::SUMMARY_TS, ts as u64);
+    pflush(h, meta::SUMMARY_TS, 8);
+    h.summaries = summaries.to_vec();
+}
+
+/// From-scratch per-region live accounting (a fresh reachability scan).
+pub(crate) fn scan_summaries(h: &Pjh) -> Vec<RegionSummary> {
+    let (begin, end) = mark_live(h, &[]);
+    let mut out = vec![RegionSummary::default(); h.layout.num_regions];
+    let mut b = begin.next_set(0);
+    while let Some(w) = b {
+        let e = end.next_set(w).expect("begin bit without end bit");
+        let words = e - w + 1;
+        let r = h.layout.region_of(h.layout.off_of_word(w));
+        out[r].live_words += words as u32;
+        out[r].live_objects += 1;
+        b = begin.next_set(w + words);
+    }
+    out
+}
+
+// ---- remembered sets (incremental marking input) ----
+
+/// Outgoing cross-region references (device offsets) of every object
+/// image physically present in region `r` — garbage included, since
+/// non-moving cycles retain garbage images and must keep their referents'
+/// regions from being reclaimed.
+fn scan_region_outgoing(h: &Pjh, r: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    h.for_each_object_in_region(r, |off, klass, _| {
+        for slot in ref_slots(off, klass, &h.dev) {
+            let t = Ref::from_raw(h.dev.read_u64(slot));
+            if t.is_persistent() && t.addr() >= h.layout.base {
+                let toff = (t.addr() - h.layout.base) as usize;
+                if h.layout.in_data(toff) && h.layout.region_of(toff) != r {
+                    out.push(toff);
+                }
+            }
+        }
+    });
+    out.sort_unstable();
+    out.dedup();
+    out
 }
 
 // ---- marking (§4.2 "extends the mark bitmap ... must be persisted") ----
@@ -344,6 +486,12 @@ fn execute(h: &Pjh, schedule: &Schedule, ts: u32, resume: bool) -> (usize, usize
 }
 
 fn finalize(h: &mut Pjh, schedule: &Schedule, ts: u32) {
+    // Persist the per-region summaries before anything else: finalize is
+    // re-run in full by recovery, so a crash anywhere in here leaves the
+    // table rebuildable (and the torn-write guard keeps partial writes
+    // from being trusted).
+    let summaries = summaries_of_schedule(&h.layout, schedule);
+    persist_summaries(h, &summaries, ts, true);
     // Forward the name-table roots (idempotent fix rule).
     let fixes: Vec<(String, u64)> = h
         .roots()
@@ -384,10 +532,27 @@ fn finalize(h: &mut Pjh, schedule: &Schedule, ts: u32) {
     h.free = schedule.new_free.clone();
     h.alloc_region = schedule.alloc_region_after;
     h.alloc_top = schedule.alloc_top_after;
+    // The persisted cursor is now exact, so the next allocation must
+    // reserve a fresh buffer — a stale watermark above the compacted
+    // cursor would let headers become durable beyond the persisted top.
+    h.plab_end = schedule.alloc_top_after;
     h.global_ts = ts;
 }
 
-pub(crate) fn collect(h: &mut Pjh, extra_roots: &[Ref]) -> crate::Result<GcReport> {
+/// Auto policy behind [`Pjh::gc`]: incremental whenever dirty tracking
+/// has been continuous since a full collection and space pressure is low;
+/// full otherwise (fresh/reloaded heaps, or when compaction is needed to
+/// open regions).
+pub(crate) fn collect_auto(h: &mut Pjh, extra_roots: &[Ref]) -> crate::Result<GcReport> {
+    let low_space = h.free.count() * 8 < h.layout.num_regions;
+    if h.incremental_ready && !low_space {
+        collect_incremental(h, extra_roots)
+    } else {
+        collect_full(h, extra_roots)
+    }
+}
+
+pub(crate) fn collect_full(h: &mut Pjh, extra_roots: &[Ref]) -> crate::Result<GcReport> {
     let stats0 = h.dev.stats();
     let (begin, end) = mark_live(h, extra_roots);
     let ts = h.global_ts.wrapping_add(1);
@@ -428,9 +593,20 @@ pub(crate) fn collect(h: &mut Pjh, extra_roots: &[Ref]) -> crate::Result<GcRepor
         h.alloc_region,
         h.alloc_top,
     );
+    // Regions this cycle actually scanned: every non-free region as of the
+    // collection's start (captured before finalize installs the post-GC
+    // free bitmap).
+    let scanned = h.layout.num_regions - h.free.count();
     let (moved, in_place) = execute(h, &schedule, ts, false);
     finalize(h, &schedule, ts);
     h.gc_count += 1;
+
+    // Arm incremental collection: dirty tracking restarts from a clean
+    // slate; remembered sets are built lazily by the first incremental
+    // cycle, so full-only callers never pay that extra heap scan.
+    h.remsets = None;
+    h.incremental_ready = true;
+    h.dirty.clear_all();
 
     let relocations = schedule
         .forwarding
@@ -440,11 +616,170 @@ pub(crate) fn collect(h: &mut Pjh, extra_roots: &[Ref]) -> crate::Result<GcRepor
         .collect();
     let stats = h.dev.stats().since(&stats0);
     Ok(GcReport {
+        kind: GcKind::Full,
+        regions_scanned: scanned,
+        regions_skipped: 0,
         live_objects: schedule.live_objects,
         moved_objects: moved,
         in_place_objects: in_place,
         free_regions: h.free.count(),
         relocations,
+        pause_flushes: stats.line_flushes,
+        pause_sim_ns: stats.simulated_ns,
+    })
+}
+
+pub(crate) fn collect_incremental(h: &mut Pjh, extra_roots: &[Ref]) -> crate::Result<GcReport> {
+    let stats0 = h.dev.stats();
+    let n = h.layout.num_regions;
+    // The first incremental cycle after a full collection builds the
+    // remembered sets from scratch; later cycles reuse them.
+    let fresh = h.remsets.is_none();
+    let mut remsets = h.remsets.take().unwrap_or_else(|| vec![Vec::new(); n]);
+
+    // 1. Rescan the regions written since the last cycle, rebuilding
+    //    their remembered sets (garbage images included: non-moving cycles
+    //    retain them, so their referents must stay pinned).
+    let mut regions_scanned = 0;
+    let mut regions_skipped = 0;
+    for (r, remset) in remsets.iter_mut().enumerate() {
+        if h.free.get(r) {
+            continue;
+        }
+        if fresh || h.dirty.get(r) {
+            *remset = scan_region_outgoing(h, r);
+            regions_scanned += 1;
+        } else {
+            regions_skipped += 1;
+        }
+    }
+
+    // 2. Incremental mark: trace object-by-object through dirty regions;
+    //    a clean region is opaque — its whole population is retained and
+    //    its remembered set stands in for its outgoing references.
+    let mut marked = Bitmap::new(h.layout.data_size / WORD);
+    let mut clean_touched = vec![false; n];
+    let mut live_words = vec![0u64; n];
+    let mut live_objects = vec![0u32; n];
+    let mut marked_live = 0usize;
+    let mut worklist: Vec<usize> = Vec::new();
+    let push = |raw: u64, worklist: &mut Vec<usize>| {
+        let r = Ref::from_raw(raw);
+        if r.is_persistent() && r.addr() >= h.layout.base {
+            let off = (r.addr() - h.layout.base) as usize;
+            if h.layout.in_data(off) {
+                worklist.push(off);
+            }
+        }
+    };
+    for (_, r) in h.roots() {
+        push(r.to_raw(), &mut worklist);
+    }
+    for &r in extra_roots {
+        push(r.to_raw(), &mut worklist);
+    }
+    while let Some(off) = worklist.pop() {
+        let region = h.layout.region_of(off);
+        if h.free.get(region) {
+            continue;
+        }
+        if !h.dirty.get(region) {
+            if !clean_touched[region] {
+                clean_touched[region] = true;
+                worklist.extend(remsets[region].iter().copied());
+            }
+            continue;
+        }
+        let w = h.layout.word_of(off);
+        if marked.get(w) {
+            continue;
+        }
+        marked.set(w);
+        let words = h.object_words_at(off);
+        live_words[region] += words as u64;
+        live_objects[region] += 1;
+        marked_live += 1;
+        let klass = {
+            let seg = h.dev.read_u64(off + 8);
+            h.klasses
+                .klass_by_seg(seg)
+                .expect("dangling class word")
+                .clone()
+        };
+        for slot in ref_slots(off, &klass, &h.dev) {
+            push(h.dev.read_u64(slot), &mut worklist);
+        }
+    }
+
+    // 3. Region-level pinning: a dirty all-garbage region is reclaimable
+    //    only if no retained region references it (retained garbage images
+    //    may point into it). Propagate pins until stable.
+    let mut freeable: Vec<bool> = (0..n)
+        .map(|r| h.dirty.get(r) && !h.free.get(r) && live_objects[r] == 0 && r != h.alloc_region)
+        .collect();
+    let mut queue: Vec<usize> = (0..n).filter(|&r| !h.free.get(r) && !freeable[r]).collect();
+    while let Some(r) = queue.pop() {
+        for &t in &remsets[r] {
+            let tr = h.layout.region_of(t);
+            if freeable[tr] {
+                freeable[tr] = false;
+                queue.push(tr);
+            }
+        }
+    }
+
+    // 4. Reclaim empty regions wholesale — one persisted free-bit word
+    //    each, no object traffic. (They are re-zeroed on reuse.)
+    for (r, &f) in freeable.iter().enumerate() {
+        if f {
+            h.free.set(r);
+            h.persist_free_bit(r);
+            remsets[r].clear();
+        }
+    }
+
+    // 5. Refresh summaries for rescanned regions; clean regions keep their
+    //    previous (conservative) accounting.
+    let ts = h.global_ts.wrapping_add(1);
+    let mut summaries = h.summaries.clone();
+    for r in 0..n {
+        if freeable[r] {
+            summaries[r] = RegionSummary::default();
+        } else if h.dirty.get(r) && !h.free.get(r) {
+            summaries[r] = RegionSummary {
+                live_words: live_words[r] as u32,
+                live_objects: live_objects[r],
+            };
+        }
+    }
+    persist_summaries(h, &summaries, ts, false);
+
+    // 6. Advance the global timestamp so a later full collection's stamp
+    //    is distinct from every existing mark word.
+    h.dev.write_u64(meta::GLOBAL_TIMESTAMP, ts as u64);
+    pflush(h, meta::GLOBAL_TIMESTAMP, 8);
+    h.global_ts = ts;
+    h.dirty.clear_all();
+    h.remsets = Some(remsets);
+    h.gc_count += 1;
+
+    let live = marked_live
+        + clean_touched
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t)
+            .map(|(r, _)| h.summaries[r].live_objects as usize)
+            .sum::<usize>();
+    let stats = h.dev.stats().since(&stats0);
+    Ok(GcReport {
+        kind: GcKind::Incremental,
+        regions_scanned,
+        regions_skipped,
+        live_objects: live,
+        moved_objects: 0,
+        in_place_objects: 0,
+        free_regions: h.free.count(),
+        relocations: HashMap::new(),
         pause_flushes: stats.line_flushes,
         pause_sim_ns: stats.simulated_ns,
     })
@@ -679,6 +1014,154 @@ mod tests {
             without_flushes < with_flushes / 2,
             "{without_flushes} vs {with_flushes}"
         );
+    }
+
+    #[test]
+    fn second_collection_is_incremental_and_reclaims_garbage_regions() {
+        let (_dev, mut h) = new_heap();
+        let k = node(&mut h);
+        let expect = build_list_with_garbage(&mut h, k, 300);
+        let first = h.gc(&[]).unwrap();
+        assert_eq!(first.kind, crate::GcKind::Full);
+        // Fill several regions with pure garbage.
+        for _ in 0..400 {
+            h.alloc_instance(k).unwrap();
+        }
+        let free_before = h.census().free_regions;
+        let second = h.gc(&[]).unwrap();
+        assert_eq!(second.kind, crate::GcKind::Incremental);
+        assert!(
+            second.free_regions > free_before,
+            "all-garbage regions reclaimed wholesale"
+        );
+        assert!(second.relocations.is_empty(), "incremental never moves");
+        assert_eq!(read_list(&h), expect);
+        h.verify_integrity().unwrap();
+        // The first incremental cycle built the remembered sets; from the
+        // next cycle on, clean regions are skipped outright.
+        for _ in 0..50 {
+            h.alloc_instance(k).unwrap();
+        }
+        let third = h.gc(&[]).unwrap();
+        assert_eq!(third.kind, crate::GcKind::Incremental);
+        assert!(third.regions_skipped > 0, "clean regions must be reused");
+        assert_eq!(read_list(&h), expect);
+    }
+
+    #[test]
+    fn incremental_cycle_flushes_less_than_full() {
+        let (dev, mut h) = new_heap();
+        let k = node(&mut h);
+        build_list_with_garbage(&mut h, k, 150);
+        let full = h.gc(&[]).unwrap();
+        assert_eq!(full.kind, crate::GcKind::Full);
+        for _ in 0..50 {
+            h.alloc_instance(k).unwrap();
+        }
+        let inc = h.gc(&[]).unwrap();
+        assert_eq!(inc.kind, crate::GcKind::Incremental);
+        assert!(
+            inc.pause_flushes < full.pause_flushes / 2,
+            "incremental {} vs full {}",
+            inc.pause_flushes,
+            full.pause_flushes
+        );
+        let _ = dev;
+    }
+
+    #[test]
+    fn incremental_traces_through_clean_regions_via_remsets() {
+        let (_dev, mut h) = new_heap();
+        let k = node(&mut h);
+        // A long list spans several regions; after the full collection they
+        // are all clean, so the incremental cycle never scans them — the
+        // chain survives purely through the remembered sets.
+        let expect = build_list_with_garbage(&mut h, k, 300);
+        h.gc(&[]).unwrap();
+        for _ in 0..200 {
+            h.alloc_instance(k).unwrap(); // garbage in freshly dirtied regions
+        }
+        let report = h.gc(&[]).unwrap();
+        assert_eq!(report.kind, crate::GcKind::Incremental);
+        assert_eq!(read_list(&h), expect);
+        h.verify_integrity().unwrap();
+
+        // A new object referenced from a mutated (dirty) list node must
+        // also survive the next incremental cycle — which now reuses the
+        // remembered sets the first one built.
+        let head = h.get_root("head").unwrap();
+        let fresh = h.alloc_instance(k).unwrap();
+        h.set_field(fresh, 0, 4242);
+        h.flush_object(fresh);
+        h.set_field_ref(head, 1, fresh).unwrap();
+        h.flush_field(head, 1);
+        let report = h.gc(&[]).unwrap();
+        assert_eq!(report.kind, crate::GcKind::Incremental);
+        assert!(report.regions_skipped > 0, "clean regions must be reused");
+        let head2 = h.get_root("head").unwrap();
+        assert_eq!(h.field(h.field_ref(head2, 1), 0), 4242);
+        h.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn low_space_escalates_to_full_compaction() {
+        let (_dev, mut h) = new_heap();
+        let k = node(&mut h);
+        build_list_with_garbage(&mut h, k, 20);
+        h.gc(&[]).unwrap();
+        // Exhaust nearly the whole heap with garbage.
+        loop {
+            match h.alloc_instance(k) {
+                Ok(_) => {}
+                Err(crate::PjhError::HeapFull { .. }) => break,
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        let report = h.gc(&[]).unwrap();
+        assert_eq!(
+            report.kind,
+            crate::GcKind::Full,
+            "space pressure must force compaction"
+        );
+        assert!(report.free_regions > h.layout.num_regions / 2);
+    }
+
+    #[test]
+    fn plab_watermark_resets_after_full_compaction() {
+        // Regression: finalize must pull the allocation-buffer watermark
+        // back to the exact persisted cursor, or post-GC allocations skip
+        // the watermark persist and headers become durable beyond the
+        // persisted top.
+        let (dev, mut h) = new_heap();
+        let k = node(&mut h);
+        let expect = build_list_with_garbage(&mut h, k, 40);
+        h.gc_full(&[]).unwrap();
+        assert_eq!(h.plab_end, h.alloc_top, "watermark reset by finalize");
+        h.gc_full(&[]).unwrap();
+        let p = h.alloc_instance(k).unwrap();
+        h.set_field(p, 0, 7);
+        h.flush_object(p);
+        h.set_root("p", p).unwrap();
+        let persisted_top = dev.read_u64(crate::layout::meta::ALLOC_TOP) as usize;
+        assert!(
+            persisted_top >= h.alloc_top,
+            "persisted top {persisted_top:#x} behind cursor {:#x}",
+            h.alloc_top
+        );
+        dev.crash();
+        let (h2, _) = Pjh::load(dev, crate::LoadOptions::default()).unwrap();
+        assert_eq!(h2.field(h2.get_root("p").unwrap(), 0), 7);
+        assert_eq!(read_list(&h2), expect);
+        h2.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn summaries_match_scan_after_full_gc() {
+        let (_dev, mut h) = new_heap();
+        let k = node(&mut h);
+        build_list_with_garbage(&mut h, k, 80);
+        h.gc(&[]).unwrap();
+        assert_eq!(h.region_summaries(), h.scan_region_summaries());
     }
 
     #[test]

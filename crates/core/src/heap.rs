@@ -10,6 +10,7 @@ use espresso_object::{
 };
 
 use crate::bitmap::Bitmap;
+use crate::gc::RegionSummary;
 use crate::klass_segment::PKlassTable;
 use crate::layout::{meta, Layout};
 use crate::name_table::{EntryKind, NameTable};
@@ -89,7 +90,27 @@ pub struct Pjh {
     pub(crate) names: NameTable,
     pub(crate) alloc_region: usize,
     pub(crate) alloc_top: usize,
+    /// Exclusive end of the current allocation buffer: the persisted
+    /// replica of the allocation top covers everything below this
+    /// watermark, so allocations inside the buffer are pure DRAM bumps.
+    pub(crate) plab_end: usize,
+    pub(crate) plab_size: usize,
     pub(crate) free: Bitmap,
+    /// Regions written (allocation or stores) since the last collection.
+    /// DRAM-only: a reload conservatively invalidates the incremental
+    /// state, forcing the next collection to be a full one.
+    pub(crate) dirty: Bitmap,
+    /// Per-region outgoing cross-region references (device offsets) of
+    /// every object physically present in the region, as of the last
+    /// collection's scan. Built lazily by the first incremental cycle
+    /// after a full collection (so full-only callers never pay the scan).
+    pub(crate) remsets: Option<Vec<Vec<usize>>>,
+    /// Whether dirty tracking has been continuous since the last full
+    /// collection, making incremental cycles sound. Cleared on load and by
+    /// anything that rewrites references behind the tracking.
+    pub(crate) incremental_ready: bool,
+    /// DRAM mirror of the persisted per-region summary table.
+    pub(crate) summaries: Vec<RegionSummary>,
     pub(crate) global_ts: u32,
     pub(crate) safety: SafetyLevel,
     pub(crate) recoverable_gc: bool,
@@ -120,6 +141,8 @@ impl Pjh {
     pub fn create(dev: NvmDevice, config: PjhConfig) -> crate::Result<Pjh> {
         let layout = Layout::compute(dev.size(), &config)?;
         layout.write_meta(&dev);
+        dev.write_u64(meta::PLAB_SIZE, config.plab_size as u64);
+        dev.persist(meta::PLAB_SIZE, 8);
         // All regions free except region 0, the initial allocation region.
         let mut free = Bitmap::new(layout.num_regions);
         for i in 1..layout.num_regions {
@@ -129,6 +152,9 @@ impl Pjh {
         // Region 0 must be zero for the walker's hole invariant.
         dev.fill(layout.region_start(0), layout.region_size, 0);
         dev.persist(layout.region_start(0), layout.region_size);
+        // The summary table starts out all-zero (no live data anywhere).
+        dev.fill(layout.region_summary_off, layout.region_summary_bytes, 0);
+        dev.persist(layout.region_summary_off, layout.region_summary_bytes);
         let names = NameTable::attach(&dev, &layout);
         let klasses = PKlassTable::attach(&dev, &layout);
         Ok(Pjh {
@@ -138,7 +164,13 @@ impl Pjh {
             names,
             alloc_region: 0,
             alloc_top: layout.data_off,
+            plab_end: layout.data_off,
+            plab_size: config.plab_size,
             free,
+            dirty: Bitmap::new(layout.num_regions),
+            remsets: None,
+            incremental_ready: false,
+            summaries: vec![RegionSummary::default(); layout.num_regions],
             global_ts: 1,
             safety: SafetyLevel::UserGuaranteed,
             recoverable_gc: config.recoverable_gc,
@@ -166,14 +198,21 @@ impl Pjh {
             klasses_reloaded: klasses.segment_klasses(),
             ..LoadReport::default()
         };
+        let watermark = dev.read_u64(meta::ALLOC_TOP) as usize;
         let mut heap = Pjh {
             alloc_region: dev.read_u64(meta::ALLOC_REGION) as usize,
-            alloc_top: dev.read_u64(meta::ALLOC_TOP) as usize,
+            alloc_top: watermark,
+            plab_end: watermark,
+            plab_size: dev.read_u64(meta::PLAB_SIZE) as usize,
             global_ts: dev.read_u64(meta::GLOBAL_TIMESTAMP) as u32,
             safety: options.safety,
             recoverable_gc: true,
             persistent_capable: HashSet::new(),
             gc_count: 0,
+            dirty: Bitmap::new(layout.num_regions),
+            remsets: None,
+            incremental_ready: false,
+            summaries: vec![RegionSummary::default(); layout.num_regions],
             dev,
             layout,
             klasses,
@@ -191,8 +230,19 @@ impl Pjh {
                 heap.layout.num_regions,
             );
             heap.alloc_region = heap.dev.read_u64(meta::ALLOC_REGION) as usize;
+            // Recovery's finalize persisted the exact cursor (no buffer in
+            // flight), so the watermark equals the true top.
             heap.alloc_top = heap.dev.read_u64(meta::ALLOC_TOP) as usize;
+            heap.plab_end = heap.alloc_top;
+        } else {
+            // The persisted cursor is an allocation-buffer watermark: it may
+            // run ahead of the last persisted object. Walk the (single)
+            // allocation region to find the true end of the allocated
+            // prefix, then resume allocating there — the gap up to the
+            // watermark is still zeroed, so no object can hide beyond it.
+            heap.alloc_top = heap.rewind_alloc_top(watermark);
         }
+        heap.summaries = heap.read_summaries();
 
         // §3.3: remap if the address hint is unavailable.
         if let Some(new_base) = options.base_override {
@@ -283,6 +333,63 @@ impl Pjh {
         (scanned, nulls.len())
     }
 
+    /// Walks the allocation region's object images up to `watermark` and
+    /// returns the device offset of the first hole — the true allocation
+    /// top after a crash mid-buffer. Bounded by one region, so loading
+    /// stays O(region) regardless of heap size (§6.4).
+    fn rewind_alloc_top(&self, watermark: usize) -> usize {
+        let start = self.layout.region_start(self.alloc_region);
+        let region_end = self.layout.region_end(self.alloc_region);
+        let end = region_end.min(watermark);
+        let mut pos = start;
+        while pos + (HEADER_WORDS * WORD) <= end {
+            let w0 = self.dev.read_u64(pos);
+            if w0 & FILLER_FLAG != 0 {
+                pos += ((w0 & !FILLER_FLAG) as usize) * WORD;
+                continue;
+            }
+            if self.dev.read_u64(pos + 8) == 0 {
+                return pos;
+            }
+            pos += self.object_words_at(pos) * WORD;
+        }
+        // A persisted filler can span past the watermark (it always runs to
+        // the region end, and the crash may have hit before the region
+        // switch it precedes became durable). The walker will forever skip
+        // that span, so nothing may ever be allocated inside it: treat the
+        // region as exhausted rather than resuming mid-span.
+        if pos > end {
+            region_end
+        } else {
+            pos
+        }
+    }
+
+    fn read_summaries(&self) -> Vec<RegionSummary> {
+        if self.dev.read_u64(meta::SUMMARY_TS) == 0 {
+            return vec![RegionSummary::default(); self.layout.num_regions];
+        }
+        (0..self.layout.num_regions)
+            .map(|i| RegionSummary::unpack(self.dev.read_u64(self.layout.region_summary_entry(i))))
+            .collect()
+    }
+
+    /// Marks the region containing `off` as written since the last
+    /// collection (a DRAM-only bit; see [`Pjh::dirty`]).
+    #[inline]
+    pub(crate) fn mark_dirty_off(&mut self, off: usize) {
+        self.dirty.set(self.layout.region_of(off));
+    }
+
+    /// Drops the incremental-collection state; the next collection will be
+    /// a full one. Called by every operation that rewrites references
+    /// behind the collector's back (remap, zeroing, VM pointer patching).
+    fn invalidate_incremental_state(&mut self) {
+        self.remsets = None;
+        self.incremental_ready = false;
+        self.dirty.clear_all();
+    }
+
     // ---- class registration ----
 
     /// Registers an instance class (the volatile side of class loading).
@@ -297,6 +404,13 @@ impl Pjh {
         fields: Vec<FieldDesc>,
     ) -> crate::Result<KlassId> {
         self.klasses.register_instance(name, fields)
+    }
+
+    /// Fast path for repeated allocations: the id of an already-registered
+    /// class, without re-validating its layout (the moral equivalent of a
+    /// resolved constant-pool entry).
+    pub fn lookup_klass(&self, name: &str) -> Option<KlassId> {
+        self.klasses.registry().by_name(name).map(|k| k.id())
     }
 
     /// Registers the object-array class for `elem_name`.
@@ -345,6 +459,7 @@ impl Pjh {
         self.persist_free_bit(next);
         self.alloc_region = next;
         self.alloc_top = start;
+        self.plab_end = start;
         self.dev.write_u64(meta::ALLOC_REGION, next as u64);
         self.dev.write_u64(meta::ALLOC_TOP, self.alloc_top as u64);
         self.dev.persist(meta::ALLOC_REGION, 16);
@@ -387,13 +502,22 @@ impl Pjh {
                 other => other,
             })?;
         }
+        if self.alloc_top + bytes > self.plab_end {
+            // §4.1 step 2, batched: the persisted replica of `top` advances
+            // a whole allocation buffer at a time, *before* any header in
+            // the buffer is initialized. A crash can never expose an object
+            // that recovery would truncate, and the unused tail of the
+            // buffer stays zeroed, so the walker sees a hole there.
+            self.plab_end = self
+                .layout
+                .region_end(self.alloc_region)
+                .min(self.alloc_top + bytes.max(self.plab_size));
+            self.dev.write_u64(meta::ALLOC_TOP, self.plab_end as u64);
+            self.dev.persist(meta::ALLOC_TOP, 8);
+        }
         let off = self.alloc_top;
         self.alloc_top += bytes;
-        // §4.1 step 2: the persisted replica of `top` advances *before* the
-        // header is initialized, so a crash can never expose an object that
-        // recovery would truncate.
-        self.dev.write_u64(meta::ALLOC_TOP, self.alloc_top as u64);
-        self.dev.persist(meta::ALLOC_TOP, 8);
+        self.dirty.set(self.alloc_region);
         Ok(off)
     }
 
@@ -471,13 +595,19 @@ impl Pjh {
 
     /// Reads raw field `index`.
     ///
+    /// Field offsets are uniform (`HEADER_WORDS + index`), so the hot path
+    /// is a single device read; the Klass-level index check runs under
+    /// debug assertions only, mirroring how verified bytecode skips
+    /// per-access re-validation.
+    ///
     /// # Panics
     ///
-    /// Panics on null refs or out-of-range indices.
+    /// Panics on null refs; debug builds also panic on out-of-range
+    /// indices.
     pub fn field(&self, r: Ref, index: usize) -> u64 {
         let off = self.obj_off(r);
-        let k = self.klass_of(r);
-        self.dev.read_u64(off + k.field_offset(index) * WORD)
+        debug_assert!(self.klass_of(r).field_offset(index) == HEADER_WORDS + index);
+        self.dev.read_u64(off + (HEADER_WORDS + index) * WORD)
     }
 
     /// Writes raw field `index` (volatile until flushed; see
@@ -485,12 +615,14 @@ impl Pjh {
     ///
     /// # Panics
     ///
-    /// Panics on null refs or out-of-range indices.
+    /// Panics on null refs; debug builds also panic on out-of-range
+    /// indices.
     pub fn set_field(&mut self, r: Ref, index: usize, value: u64) {
         let off = self.obj_off(r);
-        let k = self.klass_of(r);
+        debug_assert!(self.klass_of(r).field_offset(index) == HEADER_WORDS + index);
+        self.mark_dirty_off(off);
         self.dev
-            .write_u64(off + k.field_offset(index) * WORD, value);
+            .write_u64(off + (HEADER_WORDS + index) * WORD, value);
     }
 
     /// Reads reference field `index`.
@@ -523,10 +655,10 @@ impl Pjh {
     ///
     /// # Panics
     ///
-    /// Panics if `r` is not an array.
+    /// Panics in debug builds if `r` is not an array.
     pub fn array_len(&self, r: Ref) -> usize {
         let off = self.obj_off(r);
-        assert!(self.klass_of(r).is_array(), "not an array: {r:?}");
+        debug_assert!(self.klass_of(r).is_array(), "not an array: {r:?}");
         self.dev.read_u64(off + 16) as usize
     }
 
@@ -551,6 +683,7 @@ impl Pjh {
         let off = self.obj_off(r);
         let len = self.array_len(r);
         assert!(i < len, "array index {i} out of bounds (len {len})");
+        self.mark_dirty_off(off);
         self.dev
             .write_u64(off + (ARRAY_HEADER_WORDS + i) * WORD, value);
     }
@@ -577,8 +710,8 @@ impl Pjh {
     /// fence, preserving atomicity and order).
     pub fn flush_field(&self, r: Ref, index: usize) {
         let off = self.obj_off(r);
-        let k = self.klass_of(r);
-        self.dev.persist(off + k.field_offset(index) * WORD, WORD);
+        debug_assert!(self.klass_of(r).field_offset(index) == HEADER_WORDS + index);
+        self.dev.persist(off + (HEADER_WORDS + index) * WORD, WORD);
     }
 
     /// Persists one array element: `Array.flush` of Figure 12.
@@ -625,7 +758,27 @@ impl Pjh {
             self.layout.in_data(off),
             "address {vaddr:#x} outside data heap"
         );
+        self.mark_dirty_off(off);
         self.dev.write_u64(off, value);
+    }
+
+    /// Writes a reference-valued word at a virtual address, enforcing the
+    /// configured safety level (the raw-word counterpart of
+    /// [`set_field_ref`](Self::set_field_ref), for libraries that compute
+    /// slot addresses themselves).
+    ///
+    /// # Errors
+    ///
+    /// [`PjhError::SafetyViolation`] under [`SafetyLevel::TypeBased`] when
+    /// storing a volatile reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is outside the data heap.
+    pub fn write_ref_word_at(&mut self, vaddr: u64, value: Ref) -> crate::Result<()> {
+        self.check_store(value)?;
+        self.write_word_at(vaddr, value.to_raw());
+        Ok(())
     }
 
     /// Flush-and-fence the word at a virtual address.
@@ -640,6 +793,22 @@ impl Pjh {
             "address {vaddr:#x} outside data heap"
         );
         self.dev.persist(off, WORD);
+    }
+
+    /// Flush-and-fence `len` bytes starting at a virtual address with a
+    /// single trailing fence — lets log writers batch a multi-word record
+    /// into one persist instead of one per word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range leaves the data heap.
+    pub fn persist_range_at(&self, vaddr: u64, len: usize) {
+        let off = self.layout.to_off(vaddr);
+        assert!(
+            len > 0 && self.layout.in_data(off) && self.layout.in_data(off + len - 1),
+            "range {vaddr:#x}+{len} outside data heap"
+        );
+        self.dev.persist(off, len);
     }
 
     // ---- roots (§3.3) ----
@@ -679,14 +848,47 @@ impl Pjh {
 
     // ---- GC ----
 
-    /// Collects the persistent space (§4.2). `extra_roots` are additional
-    /// live references (the VM passes every NVM pointer held in DRAM).
+    /// Collects the persistent space. `extra_roots` are additional live
+    /// references (the VM passes every NVM pointer held in DRAM).
+    ///
+    /// Picks the cheapest sound collection: once a full collection has
+    /// built per-region summaries and remembered sets, later cycles run
+    /// **incrementally** — only regions written since the previous cycle
+    /// are rescanned, wholly-garbage regions are reclaimed without touching
+    /// their objects, and nothing moves. A full mark-summarize-compact
+    /// cycle (§4.2) runs when the incremental state is unavailable (fresh
+    /// or reloaded heap) or free regions run low (compaction needed).
     ///
     /// # Errors
     ///
     /// Propagates device errors; the collection itself cannot fail.
     pub fn gc(&mut self, extra_roots: &[Ref]) -> crate::Result<crate::GcReport> {
-        crate::gc::collect(self, extra_roots)
+        crate::gc::collect_auto(self, extra_roots)
+    }
+
+    /// Forces a full compacting collection (§4.2), regardless of
+    /// incremental state. Use when maximum reclamation matters more than
+    /// pause time (e.g. before snapshotting a heap image).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn gc_full(&mut self, extra_roots: &[Ref]) -> crate::Result<crate::GcReport> {
+        crate::gc::collect_full(self, extra_roots)
+    }
+
+    /// The per-region live summaries as persisted in the metadata segment
+    /// (live words / live objects per region, as of the last collection;
+    /// conservative between collections).
+    pub fn region_summaries(&self) -> Vec<RegionSummary> {
+        self.read_summaries()
+    }
+
+    /// Recomputes per-region live summaries with a from-scratch
+    /// reachability scan (no cached state). The persisted table must agree
+    /// with this immediately after a completed or recovered collection.
+    pub fn scan_region_summaries(&self) -> Vec<RegionSummary> {
+        crate::gc::scan_summaries(self)
     }
 
     // ---- iteration, census, verification ----
@@ -701,37 +903,45 @@ impl Pjh {
         }
     }
 
-    /// Walks every object image in non-free regions (including unreachable
-    /// ones left behind by in-place compaction).
-    pub(crate) fn for_each_object_off(&self, mut f: impl FnMut(usize, &Arc<Klass>, usize)) {
-        for region in 0..self.layout.num_regions {
-            if self.free.get(region) {
+    /// Walks every object image physically present in region `region`
+    /// (including unreachable ones left behind by in-place compaction).
+    pub(crate) fn for_each_object_in_region(
+        &self,
+        region: usize,
+        mut f: impl FnMut(usize, &Arc<Klass>, usize),
+    ) {
+        let start = self.layout.region_start(region);
+        let end = self.layout.region_end(region);
+        let mut pos = start;
+        while pos + (HEADER_WORDS * WORD) <= end {
+            let w0 = self.dev.read_u64(pos);
+            if w0 & FILLER_FLAG != 0 {
+                pos += ((w0 & !FILLER_FLAG) as usize) * WORD;
                 continue;
             }
-            let start = self.layout.region_start(region);
-            let end = self.layout.region_end(region);
-            let mut pos = start;
-            while pos + (HEADER_WORDS * WORD) <= end {
-                let w0 = self.dev.read_u64(pos);
-                if w0 & FILLER_FLAG != 0 {
-                    pos += ((w0 & !FILLER_FLAG) as usize) * WORD;
-                    continue;
-                }
-                let seg = self.dev.read_u64(pos + 8);
-                if seg == 0 {
-                    break; // hole: end of allocated prefix
-                }
-                let klass = self
-                    .klasses
-                    .klass_by_seg(seg)
-                    .unwrap_or_else(|| panic!("corrupt class word {seg:#x} at offset {pos:#x}"))
-                    .clone();
-                let words = match klass.kind() {
-                    ObjKind::Instance => klass.instance_words(),
-                    _ => klass.array_words(self.dev.read_u64(pos + 16) as usize),
-                };
-                f(pos, &klass, words);
-                pos += words * WORD;
+            let seg = self.dev.read_u64(pos + 8);
+            if seg == 0 {
+                break; // hole: end of allocated prefix
+            }
+            let klass = self
+                .klasses
+                .klass_by_seg(seg)
+                .unwrap_or_else(|| panic!("corrupt class word {seg:#x} at offset {pos:#x}"))
+                .clone();
+            let words = match klass.kind() {
+                ObjKind::Instance => klass.instance_words(),
+                _ => klass.array_words(self.dev.read_u64(pos + 16) as usize),
+            };
+            f(pos, &klass, words);
+            pos += words * WORD;
+        }
+    }
+
+    /// Walks every object image in non-free regions.
+    pub(crate) fn for_each_object_off(&self, mut f: impl FnMut(usize, &Arc<Klass>, usize)) {
+        for region in 0..self.layout.num_regions {
+            if !self.free.get(region) {
+                self.for_each_object_in_region(region, &mut f);
             }
         }
     }
@@ -766,6 +976,8 @@ impl Pjh {
         }
         self.names
             .rewrite_values(&self.dev, EntryKind::Root, |v| f(Ref::from_raw(v)).to_raw());
+        // References changed wholesale behind the dirty tracking.
+        self.invalidate_incremental_state();
     }
 
     /// Collects every volatile (DRAM) reference stored anywhere in the
@@ -974,9 +1186,9 @@ mod tests {
             h.alloc_instance(k).unwrap();
         }
         let before = h.census().objects;
-        // Allow only the top persist (1 flush) of the next allocation, not
-        // the header persist.
-        dev.schedule_crash_after_line_flushes(1);
+        // The buffer watermark already covers the next allocation, so the
+        // only flush it issues is the header persist — drop it.
+        dev.schedule_crash_after_line_flushes(0);
         let _ = h.alloc_instance(k);
         dev.recover();
         let (h2, _) = Pjh::load(dev, LoadOptions::default()).unwrap();
@@ -1187,6 +1399,107 @@ mod tests {
         let (h2, _) = Pjh::load(dev, LoadOptions::default()).unwrap();
         assert_eq!(h2.census().objects, count);
         h2.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn plab_batches_cursor_persists() {
+        let (dev, mut h) = new_heap();
+        let k = person(&mut h);
+        h.alloc_instance(k).unwrap(); // reserves the buffer
+        let flushes = dev.stats().line_flushes;
+        // Subsequent in-buffer allocations persist only their headers:
+        // one line flush each, no cursor traffic.
+        for _ in 0..3 {
+            h.alloc_instance(k).unwrap();
+        }
+        assert_eq!(dev.stats().line_flushes - flushes, 3);
+        assert_eq!(
+            dev.read_u64(meta::ALLOC_TOP) as usize,
+            h.plab_end,
+            "persisted top is the buffer watermark"
+        );
+        assert!(h.plab_end > h.alloc_top);
+    }
+
+    #[test]
+    fn crash_mid_buffer_resumes_at_true_top() {
+        let (dev, mut h) = new_heap();
+        let k = person(&mut h);
+        for i in 0..5 {
+            let p = h.alloc_instance(k).unwrap();
+            h.set_field(p, 0, i);
+            h.flush_object(p);
+            h.set_root(&format!("o{i}"), p).unwrap();
+        }
+        let true_top = h.alloc_top;
+        assert!(h.plab_end > true_top, "buffer must be mid-flight");
+        dev.crash();
+        let (mut h2, _) = Pjh::load(dev, LoadOptions::default()).unwrap();
+        assert_eq!(h2.alloc_top, true_top, "gap walk finds the real top");
+        assert_eq!(h2.census().objects, 5);
+        // New allocations fill the gap below the watermark and stay
+        // visible to the walker.
+        let k2 = person(&mut h2);
+        let extra = h2.alloc_instance(k2).unwrap();
+        h2.set_root("extra", extra).unwrap();
+        assert_eq!(h2.census().objects, 6);
+        h2.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn crash_between_filler_and_region_switch_exhausts_region() {
+        // Regression: a persisted filler always runs to the region end and
+        // may span past the buffer watermark. If power fails before the
+        // region switch it precedes becomes durable, reload must not
+        // resume allocating inside the filler span (the walker skips it).
+        let dev = NvmDevice::new(NvmConfig::with_size(4 << 20));
+        let cfg = PjhConfig {
+            plab_size: 512,
+            ..PjhConfig::small()
+        };
+        let mut h = Pjh::create(dev.clone(), cfg).unwrap();
+        let pa = h.register_prim_array();
+        for _ in 0..30 {
+            h.alloc_array(pa, 2).unwrap(); // 40-byte objects drift the grid
+        }
+        assert!(h.plab_end < h.layout.region_end(h.alloc_region));
+        let before = h.census().objects;
+        // Oversized for the region remainder: writes + persists the filler,
+        // then crashes before the new region becomes durable.
+        dev.schedule_crash_after_line_flushes(1);
+        let _ = h.alloc_array(pa, 497);
+        dev.recover();
+        let (mut h2, _) = Pjh::load(dev, LoadOptions::default()).unwrap();
+        assert_eq!(h2.census().objects, before);
+        let p = h2.alloc_array(pa, 2).unwrap();
+        h2.set_root("fresh", p).unwrap();
+        assert_eq!(h2.census().objects, before + 1, "new object visible");
+        h2.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn zero_plab_restores_per_object_cursor_persist() {
+        let dev = NvmDevice::new(NvmConfig::with_size(4 << 20));
+        let cfg = PjhConfig {
+            plab_size: 0,
+            ..PjhConfig::small()
+        };
+        let mut h = Pjh::create(dev.clone(), cfg).unwrap();
+        let k = person(&mut h);
+        h.alloc_instance(k).unwrap();
+        let flushes = dev.stats().line_flushes;
+        h.alloc_instance(k).unwrap();
+        // Cursor flush + header flush.
+        assert_eq!(dev.stats().line_flushes - flushes, 2);
+        assert_eq!(h.plab_end, h.alloc_top);
+        // The strict mode survives reload: the buffer size is part of the
+        // persisted heap configuration.
+        dev.crash();
+        let (mut h2, _) = Pjh::load(dev.clone(), LoadOptions::default()).unwrap();
+        assert_eq!(h2.plab_size, 0);
+        let k2 = person(&mut h2);
+        h2.alloc_instance(k2).unwrap();
+        assert_eq!(h2.plab_end, h2.alloc_top, "no buffering after reload");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! | mark bitmap (end)  |  1 bit per data-heap word
 //! | region done bitmap |  1 bit per region           (§4.2)
 //! | region free bitmap |  1 bit per region
+//! | region summaries   |  8 bytes per region (live words / live objects)
 //! +--------------------+
 //! | data heap          |  fixed-size regions, bump-allocated
 //! +--------------------+
@@ -24,8 +25,9 @@ use crate::{PjhConfig, PjhError};
 
 /// Magic number identifying a formatted PJH image.
 pub const MAGIC: u64 = 0x4553_5052_4553_4f31; // "ESPRESO1"
-/// Format version.
-pub const VERSION: u64 = 1;
+/// Format version. Bumped to 2 when the per-region summary table was
+/// added to the metadata segment.
+pub const VERSION: u64 = 2;
 
 /// Byte offsets of the metadata-area fields (Figure 8 plus bookkeeping).
 pub mod meta {
@@ -81,6 +83,15 @@ pub mod meta {
     pub const SAVED_ALLOC_REGION: usize = 192;
     /// Allocation top saved at GC start (recovery input).
     pub const SAVED_ALLOC_TOP: usize = 200;
+    /// Offset of the per-region summary table (8 bytes per region:
+    /// live words in the low half, live objects in the high half).
+    pub const REGION_SUMMARY_OFF: usize = 208;
+    /// GC timestamp the summary table was last written at (0 = table has
+    /// never been written, or a write was torn and must not be trusted).
+    pub const SUMMARY_TS: usize = 216;
+    /// Configured allocation-buffer size in bytes (so the batching policy
+    /// survives reload; 0 = strict per-object cursor persists).
+    pub const PLAB_SIZE: usize = 224;
     /// Total bytes reserved for the metadata area.
     pub const AREA_SIZE: usize = 512;
 }
@@ -125,6 +136,11 @@ pub struct Layout {
     pub saved_free_off: usize,
     /// Bytes per region bitmap.
     pub region_bitmap_bytes: usize,
+    /// Offset of the per-region summary table (the incremental collector's
+    /// persisted live/free accounting; one 8-byte record per region).
+    pub region_summary_off: usize,
+    /// Bytes reserved for the region summary table.
+    pub region_summary_bytes: usize,
     /// Data heap offset.
     pub data_off: usize,
     /// Data heap size in bytes.
@@ -159,7 +175,10 @@ impl Layout {
             let data_size = num_regions * region_size;
             let bitmap_bytes = (data_size / 64 + 64).next_multiple_of(64);
             let region_bitmap_bytes = (num_regions.div_ceil(8) + 64).next_multiple_of(64);
-            if fixed + data_size + 2 * bitmap_bytes + 3 * region_bitmap_bytes <= device_size {
+            let region_summary_bytes = (num_regions * 8).next_multiple_of(64);
+            if fixed + data_size + 2 * bitmap_bytes + 3 * region_bitmap_bytes + region_summary_bytes
+                <= device_size
+            {
                 let name_table_off = meta::AREA_SIZE;
                 let klass_segment_off = name_table_off + name_bytes;
                 let mark_begin_off = klass_segment_off + klass_bytes;
@@ -167,7 +186,8 @@ impl Layout {
                 let region_done_off = mark_end_off + bitmap_bytes;
                 let region_free_off = region_done_off + region_bitmap_bytes;
                 let saved_free_off = region_free_off + region_bitmap_bytes;
-                let data_off = saved_free_off + region_bitmap_bytes;
+                let region_summary_off = saved_free_off + region_bitmap_bytes;
+                let data_off = region_summary_off + region_summary_bytes;
                 return Ok(Layout {
                     base: config.base_address,
                     region_size,
@@ -183,6 +203,8 @@ impl Layout {
                     region_free_off,
                     saved_free_off,
                     region_bitmap_bytes,
+                    region_summary_off,
+                    region_summary_bytes,
                     data_off,
                     data_size,
                 });
@@ -218,6 +240,8 @@ impl Layout {
         w(meta::REGION_BITMAP_BYTES, self.region_bitmap_bytes as u64);
         w(meta::SAVED_ALLOC_REGION, 0);
         w(meta::SAVED_ALLOC_TOP, 0);
+        w(meta::REGION_SUMMARY_OFF, self.region_summary_off as u64);
+        w(meta::SUMMARY_TS, 0);
         w(meta::DATA_OFF, self.data_off as u64);
         w(meta::DATA_SIZE, self.data_size as u64);
         dev.persist(0, meta::AREA_SIZE);
@@ -255,6 +279,8 @@ impl Layout {
             region_free_off: r(meta::REGION_FREE_OFF) as usize,
             saved_free_off: r(meta::SAVED_FREE_OFF) as usize,
             region_bitmap_bytes: r(meta::REGION_BITMAP_BYTES) as usize,
+            region_summary_off: r(meta::REGION_SUMMARY_OFF) as usize,
+            region_summary_bytes: (r(meta::NUM_REGIONS) as usize * 8).next_multiple_of(64),
             data_off: r(meta::DATA_OFF) as usize,
             data_size: r(meta::DATA_SIZE) as usize,
         })
@@ -269,6 +295,12 @@ impl Layout {
     /// Exclusive end offset of region `i`.
     pub fn region_end(&self, i: usize) -> usize {
         self.region_start(i) + self.region_size
+    }
+
+    /// Device offset of region `i`'s summary record.
+    pub fn region_summary_entry(&self, i: usize) -> usize {
+        debug_assert!(i < self.num_regions);
+        self.region_summary_off + i * 8
     }
 
     /// Region index containing device offset `off`.

@@ -60,7 +60,7 @@ mod manager;
 mod name_table;
 
 pub use bitmap::Bitmap;
-pub use gc::GcReport;
+pub use gc::{GcKind, GcReport, RegionSummary};
 pub use heap::{HeapCensus, LoadOptions, LoadReport, Pjh, SafetyLevel};
 pub use klass_segment::PKlassTable;
 pub use layout::{Layout, MAX_NAME_LEN};
@@ -84,6 +84,13 @@ pub struct PjhConfig {
     /// crash consistency — the §6.4 baseline ("remove all the clflush
     /// operations").
     pub recoverable_gc: bool,
+    /// Allocation-buffer (PLAB) size in bytes: the persisted allocation
+    /// top advances a whole buffer at a time, so `pnew` amortizes its
+    /// metadata persist over `plab_size / object_size` allocations instead
+    /// of flushing the cursor per object (§4.1 batching). The buffer never
+    /// crosses a region boundary; `0` restores the strict per-object
+    /// cursor persist.
+    pub plab_size: usize,
 }
 
 impl PjhConfig {
@@ -104,6 +111,7 @@ impl Default for PjhConfig {
             klass_segment_size: 256 << 10,
             base_address: 0x5000_0000_0000,
             recoverable_gc: true,
+            plab_size: 8 << 10,
         }
     }
 }

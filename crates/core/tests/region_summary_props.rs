@@ -1,0 +1,157 @@
+//! Property suite for the persisted per-region summaries: whatever the
+//! workload — and wherever a crash lands inside a recoverable collection —
+//! `Pjh::load` must leave the summary table consistent with a from-scratch
+//! reachability scan of the recovered heap.
+
+use espresso_core::{GcKind, LoadOptions, Pjh, PjhConfig};
+use espresso_nvm::{NvmConfig, NvmDevice};
+use espresso_object::{FieldDesc, KlassId, Ref};
+use proptest::prelude::*;
+
+fn new_heap() -> (NvmDevice, Pjh) {
+    let dev = NvmDevice::new(NvmConfig::with_size(4 << 20));
+    let heap = Pjh::create(dev.clone(), PjhConfig::small()).unwrap();
+    (dev, heap)
+}
+
+fn node(h: &mut Pjh) -> KlassId {
+    h.register_instance(
+        "Node",
+        vec![FieldDesc::prim("v"), FieldDesc::reference("next")],
+    )
+    .unwrap()
+}
+
+/// Builds a rooted chain interleaved with garbage, shaped by the inputs.
+fn build_workload(h: &mut Pjh, k: KlassId, live: usize, garbage_every: usize) {
+    let mut head = Ref::NULL;
+    for i in 0..live {
+        if garbage_every > 0 && i % garbage_every == 0 {
+            let g = h.alloc_instance(k).unwrap();
+            h.set_field(g, 0, 0xDEAD);
+        }
+        let o = h.alloc_instance(k).unwrap();
+        h.set_field(o, 0, i as u64);
+        h.set_field_ref(o, 1, head).unwrap();
+        h.flush_object(o);
+        head = o;
+    }
+    h.set_root("head", head).unwrap();
+}
+
+fn chain_len(h: &Pjh) -> usize {
+    let mut n = 0;
+    let mut cur = h.get_root("head").unwrap_or(Ref::NULL);
+    while !cur.is_null() {
+        n += 1;
+        cur = h.field_ref(cur, 1);
+    }
+    n
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Crash at an arbitrary flush during a full collection of a heap
+    /// that already has valid summaries. If load finds the crashed
+    /// collection (the in-progress flag was durable), recovery must
+    /// rebuild summaries that equal a fresh reachability scan; if the
+    /// crash hit before the collection's first durable effect, the
+    /// previous table must still be intact (the torn-write guard).
+    #[test]
+    fn summaries_survive_crash_mid_gc(
+        live in 20usize..200,
+        garbage_every in 1usize..5,
+        crash_frac in 0u32..100,
+    ) {
+        let (dev, mut h) = new_heap();
+        let k = node(&mut h);
+        build_workload(&mut h, k, live, garbage_every);
+        h.gc(&[]).unwrap(); // first collection: summaries become valid
+        for _ in 0..100 {
+            h.alloc_instance(k).unwrap(); // garbage for the second cycle
+        }
+        let before = h.region_summaries();
+        // Dry-run the same (full) collection on a copy of the image to
+        // learn its flush count.
+        let total_flushes = {
+            let probe = NvmDevice::new(NvmConfig::with_size(dev.size()));
+            let image = dev.snapshot_persisted();
+            probe.write_bytes(0, &image);
+            probe.persist(0, image.len());
+            probe.reset_stats();
+            let (mut hp, _) = Pjh::load(probe.clone(), LoadOptions::default()).unwrap();
+            hp.gc_full(&[]).unwrap();
+            probe.stats().line_flushes
+        };
+        prop_assert!(total_flushes > 0);
+        let at = (total_flushes * crash_frac as u64) / 100;
+        dev.reset_stats();
+        dev.schedule_crash_after_line_flushes(at);
+        h.gc_full(&[]).unwrap();
+        dev.recover();
+
+        let (h2, report) = Pjh::load(dev, LoadOptions::default()).unwrap();
+        if report.recovered_gc {
+            prop_assert_eq!(h2.region_summaries(), h2.scan_region_summaries());
+        } else {
+            prop_assert_eq!(h2.region_summaries(), before);
+        }
+        prop_assert_eq!(chain_len(&h2), live);
+        h2.verify_integrity().unwrap();
+    }
+
+    /// A clean (crash-free) full collection leaves summaries that agree
+    /// with a from-scratch scan, survive reload verbatim, and add up to
+    /// the collector's own live count.
+    #[test]
+    fn summaries_match_scan_after_clean_gc(
+        live in 10usize..250,
+        garbage_every in 1usize..6,
+    ) {
+        let (dev, mut h) = new_heap();
+        let k = node(&mut h);
+        build_workload(&mut h, k, live, garbage_every);
+        let report = h.gc(&[]).unwrap();
+        prop_assert_eq!(report.kind, GcKind::Full);
+        let summaries = h.region_summaries();
+        prop_assert_eq!(summaries.clone(), h.scan_region_summaries());
+        let total: usize = summaries.iter().map(|s| s.live_objects as usize).sum();
+        prop_assert_eq!(total, report.live_objects);
+
+        dev.crash();
+        let (h2, _) = Pjh::load(dev, LoadOptions::default()).unwrap();
+        prop_assert_eq!(h2.region_summaries(), summaries);
+    }
+
+    /// Incremental cycles keep summaries conservative: every region's
+    /// recorded liveness covers at least the freshly-scanned liveness, and
+    /// regions the scan proves non-empty are never recorded empty.
+    #[test]
+    fn incremental_summaries_stay_conservative(
+        live in 50usize..200,
+        churn in 1usize..4,
+    ) {
+        let (_dev, mut h) = new_heap();
+        let k = node(&mut h);
+        build_workload(&mut h, k, live, 3);
+        h.gc(&[]).unwrap();
+        for _ in 0..churn {
+            for _ in 0..120 {
+                h.alloc_instance(k).unwrap();
+            }
+            let report = h.gc(&[]).unwrap();
+            prop_assert_eq!(report.kind, GcKind::Incremental);
+            let persisted = h.region_summaries();
+            let scanned = h.scan_region_summaries();
+            for (p, s) in persisted.iter().zip(&scanned) {
+                prop_assert!(
+                    p.live_words >= s.live_words && p.live_objects >= s.live_objects,
+                    "summary under-counts a region: persisted {p:?} vs scan {s:?}"
+                );
+            }
+            prop_assert_eq!(chain_len(&h), live);
+            h.verify_integrity().unwrap();
+        }
+    }
+}

@@ -10,7 +10,7 @@
 //! | [`nvm`] | `espresso-nvm` | simulated NVDIMM with crash injection |
 //! | [`object`] | `espresso-object` | object headers, Klass metadata, tagged refs |
 //! | [`runtime`] | `espresso-runtime` | volatile generational heap (PSHeap) |
-//! | [`heap`] | `espresso-core` | **Persistent Java Heap** (§3–§4) |
+//! | [`heap`] | `espresso-core` | **Persistent Java Heap** (§3–§4): PLAB allocation, incremental region GC |
 //! | [`vm`] | `espresso-vm` | unified VM, `pnew`, alias Klasses |
 //! | [`collections`] | `espresso-collections` | persistent collections atop PJH |
 //! | [`pcj`] | `espresso-pcj` | PCJ baseline (off-heap, refcount GC) |

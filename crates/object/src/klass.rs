@@ -214,6 +214,9 @@ impl Klass {
 pub struct KlassRegistry {
     klasses: Vec<Arc<Klass>>,
     by_name: HashMap<String, KlassId>,
+    /// Memoized object-array ids keyed by element-class name, so repeated
+    /// `[L<elem>;` registrations skip the mangled-name formatting.
+    obj_array_by_elem: HashMap<String, KlassId>,
 }
 
 impl KlassRegistry {
@@ -244,8 +247,13 @@ impl KlassRegistry {
 
     /// Registers (or finds) the object-array class for element class `elem`.
     pub fn register_obj_array(&mut self, elem_name: &str) -> KlassId {
+        if let Some(&id) = self.obj_array_by_elem.get(elem_name) {
+            return id;
+        }
         let name = format!("[L{elem_name};");
-        self.insert(&name, |id| Klass::array(id, &name, ObjKind::ObjArray))
+        let id = self.insert(&name, |id| Klass::array(id, &name, ObjKind::ObjArray));
+        self.obj_array_by_elem.insert(elem_name.to_string(), id);
+        id
     }
 
     /// Registers (or finds) the primitive (long) array class.

@@ -17,7 +17,6 @@ mod meta {
     pub const ALLOC_TOP: usize = 8;
     pub const FREELIST: usize = 16;
     pub const TYPE_TOP: usize = 24;
-    pub const LOG_COUNT: usize = 32;
     pub const ROOT: usize = 40;
     /// NVML-style transaction stage word (its own cache line so the
     /// per-transaction flushes are honest).
@@ -25,9 +24,22 @@ mod meta {
     pub const SIZE: usize = 256;
 }
 
+/// Undo-log entries are self-validating, NVML-ulog style: a 16-byte
+/// `(addr, old)` record is live iff its `addr` word is non-zero. The log
+/// area starts line-aligned and records are 16 bytes, so each record
+/// persist is a single atomic line flush; commit invalidates the
+/// transaction by zeroing the used records' `addr` words (one flush per
+/// four records, typically one), and recovery re-zeroes the whole log so
+/// every transaction starts from an all-zero persisted log. No separately
+/// persisted entry count — that used to double the metadata flushes of
+/// every logged store inside a transaction.
 const LOG_ENTRIES: usize = 1024;
 const LOG_OFF: usize = meta::SIZE;
 const LOG_BYTES: usize = LOG_ENTRIES * 16;
+// Record atomicity requires that 16-byte records never straddle a cache
+// line from the line-aligned log base.
+const _: () = assert!(LOG_OFF.is_multiple_of(espresso_nvm::CACHE_LINE));
+const _: () = assert!(espresso_nvm::CACHE_LINE.is_multiple_of(16));
 const TYPE_OFF: usize = LOG_OFF + LOG_BYTES;
 const TYPE_BYTES: usize = 32 << 10;
 const DATA_OFF: usize = TYPE_OFF + TYPE_BYTES;
@@ -116,9 +128,13 @@ impl PcjStore {
         dev.write_u64(meta::ALLOC_TOP, DATA_OFF as u64 + 8); // offset 0 stays null
         dev.write_u64(meta::FREELIST, 0);
         dev.write_u64(meta::TYPE_TOP, TYPE_OFF as u64);
-        dev.write_u64(meta::LOG_COUNT, 0);
         dev.write_u64(meta::ROOT, 0);
+        dev.write_u64(meta::TX_STAGE, 0);
         dev.persist(0, meta::SIZE);
+        // Establish the all-zero persisted log the record-validity scan
+        // relies on (the device may be reused).
+        dev.fill(LOG_OFF, LOG_BYTES, 0);
+        dev.persist(LOG_OFF, LOG_BYTES);
         Ok(PcjStore {
             dev,
             lock: Arc::new(Mutex::new(())),
@@ -136,15 +152,31 @@ impl PcjStore {
         if dev.size() < meta::SIZE || dev.read_u64(meta::MAGIC) != MAGIC {
             return Err(PcjError::NotAStore);
         }
-        let count = dev.read_u64(meta::LOG_COUNT) as usize;
-        for i in (0..count).rev() {
-            let addr = dev.read_u64(LOG_OFF + i * 16) as usize;
-            let old = dev.read_u64(LOG_OFF + i * 16 + 8);
-            dev.write_u64(addr, old);
-            dev.persist(addr, 8);
+        if dev.read_u64(meta::TX_STAGE) != 0 {
+            // A transaction was torn: undo its valid record prefix in
+            // reverse. Every record whose data write may have reached the
+            // persistence domain is fully durable here (the single-line
+            // record is persisted before its data write).
+            let mut entries = Vec::new();
+            for i in 0..LOG_ENTRIES {
+                let addr = dev.read_u64(LOG_OFF + i * 16) as usize;
+                if addr == 0 {
+                    break;
+                }
+                entries.push((addr, dev.read_u64(LOG_OFF + i * 16 + 8)));
+            }
+            for &(addr, old) in entries.iter().rev() {
+                dev.write_u64(addr, old);
+                dev.persist(addr, 8);
+            }
+            // Re-zero the whole log: a crash inside commit's invalidation
+            // can leave live-looking records beyond a zeroed prefix, and
+            // the next transaction's validity scan must not find them.
+            dev.fill(LOG_OFF, LOG_BYTES, 0);
+            dev.persist(LOG_OFF, LOG_BYTES);
+            dev.write_u64(meta::TX_STAGE, 0);
+            dev.persist(meta::TX_STAGE, 8);
         }
-        dev.write_u64(meta::LOG_COUNT, 0);
-        dev.persist(meta::LOG_COUNT, 8);
         Ok(PcjStore {
             dev,
             lock: Arc::new(Mutex::new(())),
@@ -191,9 +223,15 @@ impl PcjStore {
 
     pub(crate) fn txn_commit(&mut self) {
         self.timed(Phase::Transaction, |s| {
-            s.dev.write_u64(meta::LOG_COUNT, 0);
-            s.dev.persist(meta::LOG_COUNT, 8);
-            // NVML tx_end: stage back to NONE, persisted.
+            // NVML tx_end: invalidate the used records (their addr words
+            // share lines four to one, so this is usually one flush — not
+            // a per-entry count rewrite), then stage back to NONE.
+            if s.log_entries > 0 {
+                for i in 0..s.log_entries {
+                    s.dev.write_u64(LOG_OFF + i * 16, 0);
+                }
+                s.dev.persist(LOG_OFF, s.log_entries * 16);
+            }
             s.dev.write_u64(meta::TX_STAGE, 0);
             s.dev.persist(meta::TX_STAGE, 8);
             s.log_entries = 0;
@@ -209,10 +247,11 @@ impl PcjStore {
         let i = self.log_entries;
         self.dev.write_u64(LOG_OFF + i * 16, addr as u64);
         self.dev.write_u64(LOG_OFF + i * 16 + 8, old);
+        // One single-line persist makes the record live atomically (the
+        // log is line-aligned and records are 16 bytes); everything beyond
+        // the prefix is already durably zero, so no count flush is needed.
         self.dev.persist(LOG_OFF + i * 16, 16);
         self.log_entries = i + 1;
-        self.dev.write_u64(meta::LOG_COUNT, self.log_entries as u64);
-        self.dev.persist(meta::LOG_COUNT, 8);
         self.timers.add(Phase::Transaction, t0.elapsed());
         Ok(())
     }
@@ -287,6 +326,7 @@ impl PcjStore {
                         s.dev.persist(prev + 8, 8);
                     }
                     s.dev.write_u64(cur, size as u64);
+                    s.dev.persist(cur, 8); // the bump path persists its size word too
                     return Ok(cur);
                 }
                 prev = cur;
@@ -571,14 +611,54 @@ mod tests {
         let o = s.create("T", 1, false).unwrap();
         s.set_root(o).unwrap();
         s.set_word(o, 0, 5).unwrap();
-        // Tear the next write: let the log flushes land but crash before
-        // the data flush (log entry = 1 line + count = 1 line; data = 3rd).
+        // Tear the next write: let the stage and log-entry flushes land but
+        // crash before the data flush (stage = 1st, entry+terminator = 2nd,
+        // data = 3rd).
         dev.schedule_crash_after_line_flushes(2);
         let _ = s.set_word(o, 0, 99);
         dev.recover();
         let s2 = PcjStore::attach(dev).unwrap();
         let root = s2.root();
         assert_eq!(s2.device().read_u64(root.0 as usize + HEADER_WORDS * 8), 5);
+    }
+
+    #[test]
+    fn logged_store_costs_one_metadata_flush_per_entry() {
+        let (dev, mut s) = store();
+        let o = s.create("T", 2, false).unwrap();
+        let f0 = dev.stats().line_flushes;
+        s.set_word(o, 0, 1).unwrap();
+        // stage + (entry + terminator, one line) + data + log invalidate +
+        // stage reset — no per-entry count flush.
+        assert_eq!(dev.stats().line_flushes - f0, 5);
+    }
+
+    #[test]
+    fn crash_sweep_over_logged_store_is_atomic() {
+        let (dev, mut s) = store();
+        let o = s.create("T", 1, false).unwrap();
+        s.set_root(o).unwrap();
+        s.set_word(o, 0, 5).unwrap();
+        let base = dev.snapshot_persisted();
+        let f0 = dev.stats().line_flushes;
+        s.set_word(o, 0, 99).unwrap();
+        let per_op = dev.stats().line_flushes - f0;
+        for at in 0..=per_op {
+            let trial = NvmDevice::new(NvmConfig::with_size(dev.size()));
+            trial.write_bytes(0, &base);
+            trial.persist(0, base.len());
+            let mut st = PcjStore::attach(trial.clone()).unwrap();
+            let root = st.root();
+            trial.schedule_crash_after_line_flushes(at);
+            let _ = st.set_word(root, 0, 99);
+            trial.recover();
+            let s2 = PcjStore::attach(trial).unwrap();
+            let v = s2.device().read_u64(root.0 as usize + HEADER_WORDS * 8);
+            assert!(
+                v == 5 || v == 99,
+                "crash after {at}/{per_op} flushes left torn value {v}"
+            );
+        }
     }
 
     #[test]

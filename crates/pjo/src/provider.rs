@@ -406,14 +406,17 @@ impl PjoEntityManager {
     }
 
     /// Drops unreferenced PJH copies (e.g. after removals) by collecting
-    /// the persistent heap with the live copies as roots.
+    /// the persistent heap with the live copies as roots. Forces a full
+    /// compacting cycle: copy reclamation is about space, so trading pause
+    /// time for maximum reclamation is the right call here (the heap's
+    /// incremental mode would leave dead copies in partially-live regions).
     ///
     /// # Errors
     ///
     /// Heap errors.
     pub fn gc_copies(&mut self) -> crate::Result<()> {
         let roots: Vec<Ref> = self.copies.values().copied().collect();
-        let report = self.pjh.gc(&roots)?;
+        let report = self.pjh.gc_full(&roots)?;
         for r in self.copies.values_mut() {
             if let Some(&new) = report.relocations.get(&r.addr()) {
                 *r = Ref::new(espresso_object::Space::Persistent, new);
