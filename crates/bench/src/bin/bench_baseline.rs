@@ -9,13 +9,16 @@
 //! ```
 //!
 //! Flags: `--n15 <ops>` (fig15 ops per cell, default 2000), `--n18 <objects>`
-//! (fig18 max object count, default 50000), `--out <path>` (default stdout).
-//! Absolute times vary by machine; the *shape* (speedup ratios, UG-vs-zeroing
-//! growth) is what future PRs compare against.
+//! (fig18 max object count, default 50000), `--nshard <ops>` (shard-scaling
+//! ops per cell, default `max(n15, 200)`), `--out <path>` (default stdout).
+//! Absolute times vary by machine; the *shape* (speedup ratios, shard
+//! throughput ratios, UG-vs-zeroing growth) is what future PRs compare
+//! against.
 
 use espresso::heap::SafetyLevel;
 use espresso_bench::micro::{
-    build_loading_image, measure_load, run_pcj_micro, run_pjh_micro, DataType, MicroOp,
+    build_loading_image, measure_load, run_pcj_micro, run_pjh_micro, run_shard_scaling, DataType,
+    MicroOp,
 };
 use std::fmt::Write as _;
 
@@ -54,6 +57,35 @@ fn main() {
         }
     }
     json.push_str(&cells.join(",\n"));
+    json.push_str("\n    }\n  },\n");
+
+    // Shard-routing overhead: fixed op count across 1/2/4 shards; the
+    // gated number is single-shard time over N-shard time (throughput
+    // ratio, ~1.0 when routing is free; a drop means the façade got
+    // slower). Ratios, not absolute times, so the gate transfers across
+    // machines like fig15.
+    let n_shard: usize = flag("--nshard")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(n15.max(200));
+    let best_shard = |shards: usize| {
+        (0..3)
+            .map(|_| run_shard_scaling(shards, n_shard).as_secs_f64())
+            .fold(f64::MAX, f64::min)
+    };
+    let t1 = best_shard(1);
+    let _ = writeln!(json, "  \"shard_scaling\": {{");
+    let _ = writeln!(json, "    \"ops_per_cell\": {n_shard},");
+    let _ = writeln!(json, "    \"throughput_vs_one_shard\": {{");
+    let mut shard_cells = Vec::new();
+    for shards in [2usize, 4] {
+        let tn = best_shard(shards);
+        shard_cells.push(format!(
+            "      \"shards/{}\": {:.2}",
+            shards,
+            t1 / tn.max(f64::MIN_POSITIVE)
+        ));
+    }
+    json.push_str(&shard_cells.join(",\n"));
     json.push_str("\n    }\n  },\n");
 
     let _ = writeln!(json, "  \"fig18\": {{");

@@ -12,10 +12,13 @@
 //! The tolerance is a fraction of the baseline ratio (default `0.20`,
 //! i.e. a cell may lose up to 20% before the gate trips); it can also be
 //! set via the `BENCH_DIFF_TOLERANCE` environment variable, with the
-//! flag taking precedence. fig18 load times are printed for context but
-//! never gate (absolute milliseconds are too machine-dependent).
+//! flag taking precedence. The `shard_scaling` throughput ratios
+//! (single-shard time over N-shard time at a fixed op count) gate with
+//! the same rule, so shard-routing overhead regressions fail CI. fig18
+//! load times are printed for context but never gate (absolute
+//! milliseconds are too machine-dependent).
 
-use espresso_bench::diff::{diff_speedups, parse_map_section};
+use espresso_bench::diff::{diff_ratio_cells, diff_speedups, parse_map_section, CellDiff};
 use espresso_bench::report::print_table;
 
 fn flag(name: &str) -> Option<String> {
@@ -52,23 +55,42 @@ fn main() {
     }
 
     let floor = 1.0 - tolerance;
-    let rows: Vec<Vec<String>> = diffs
-        .iter()
-        .map(|d| {
-            vec![
-                d.name.clone(),
-                format!("{:.2}", d.baseline),
-                d.current.map_or("missing".into(), |c| format!("{c:.2}")),
-                format!("{:.2}", d.baseline * floor),
-                if d.regressed { "REGRESSED" } else { "ok" }.to_string(),
-            ]
-        })
-        .collect();
+    let ratio_rows = |diffs: &[CellDiff]| -> Vec<Vec<String>> {
+        diffs
+            .iter()
+            .map(|d| {
+                vec![
+                    d.name.clone(),
+                    format!("{:.2}", d.baseline),
+                    d.current.map_or("missing".into(), |c| format!("{c:.2}")),
+                    format!("{:.2}", d.baseline * floor),
+                    if d.regressed { "REGRESSED" } else { "ok" }.to_string(),
+                ]
+            })
+            .collect()
+    };
     print_table(
         &format!("fig15 speedup gate (tolerance {:.0}%)", tolerance * 100.0),
         &["cell", "baseline", "current", "floor", "status"],
-        &rows,
+        &ratio_rows(&diffs),
     );
+
+    // Shard-routing overhead gate: throughput ratios vs one shard, same
+    // lower-bound rule as fig15. Absent in pre-shard baselines — then the
+    // section is skipped rather than failed.
+    let shard_diffs = diff_ratio_cells(&baseline, &current, "throughput_vs_one_shard", tolerance);
+    if !shard_diffs.is_empty() {
+        print_table(
+            &format!(
+                "shard_scaling throughput gate (tolerance {:.0}%)",
+                tolerance * 100.0
+            ),
+            &["cell", "baseline", "current", "floor", "status"],
+            &ratio_rows(&shard_diffs),
+        );
+    } else {
+        eprintln!("bench_diff: no shard_scaling cells in {baseline_path}; skipping that gate");
+    }
 
     let fig18_base = parse_map_section(&baseline, "load_ms");
     let fig18_cur = parse_map_section(&current, "load_ms");
@@ -90,13 +112,17 @@ fn main() {
         );
     }
 
-    let regressions = diffs.iter().filter(|d| d.regressed).count();
+    let regressions = diffs
+        .iter()
+        .chain(shard_diffs.iter())
+        .filter(|d| d.regressed)
+        .count();
     if regressions > 0 {
-        eprintln!("bench_diff: {regressions} fig15 cell(s) regressed beyond {tolerance:.2}");
+        eprintln!("bench_diff: {regressions} gated cell(s) regressed beyond {tolerance:.2}");
         std::process::exit(1);
     }
     println!(
-        "\nbench_diff: all {} fig15 cells within tolerance",
-        diffs.len()
+        "\nbench_diff: all {} gated cells within tolerance",
+        diffs.len() + shard_diffs.len()
     );
 }

@@ -48,8 +48,20 @@ pub fn parse_map_section(json: &str, section: &str) -> Vec<(String, f64)> {
 /// Compares fig15 speedups: a cell regresses when the current speedup
 /// falls below `baseline * (1 - tolerance)`, or is missing entirely.
 pub fn diff_speedups(baseline: &str, current: &str, tolerance: f64) -> Vec<CellDiff> {
-    let base = parse_map_section(baseline, "pjh_speedup_over_pcj");
-    let cur = parse_map_section(current, "pjh_speedup_over_pcj");
+    diff_ratio_cells(baseline, current, "pjh_speedup_over_pcj", tolerance)
+}
+
+/// Compares any higher-is-better ratio section (fig15 speedups, shard
+/// throughput ratios): a cell regresses when the current value falls
+/// below `baseline * (1 - tolerance)`, or is missing entirely.
+pub fn diff_ratio_cells(
+    baseline: &str,
+    current: &str,
+    section: &str,
+    tolerance: f64,
+) -> Vec<CellDiff> {
+    let base = parse_map_section(baseline, section);
+    let cur = parse_map_section(current, section);
     base.into_iter()
         .map(|(name, b)| {
             let c = cur.iter().find(|(n, _)| *n == name).map(|&(_, v)| v);

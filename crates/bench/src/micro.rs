@@ -365,6 +365,44 @@ pub fn run_pcj_micro(dtype: DataType, op: MicroOp, n: usize) -> Duration {
     t
 }
 
+// ---- shard routing overhead (ShardedHeap façade) ----
+
+/// Runs a fixed op count (alloc + field store + flush, every 16th op a
+/// root publish + shard-local txn) against an `espresso::heap::ShardedHeap`
+/// with the given shard count, through a temp manager, ending in a
+/// full-façade commit. With the op count fixed, wall time across shard counts
+/// isolates the façade's routing + locking overhead — the `shard_scaling`
+/// cell of the CI bench gate.
+pub fn run_shard_scaling(shards: usize, ops: usize) -> Duration {
+    use espresso::heap::{HeapManager, ShardedHeap};
+    let mgr = HeapManager::temp().expect("temp manager");
+    let sh = ShardedHeap::create(&mgr, "scale", shards, 8 << 20, PjhConfig::default())
+        .expect("sharded heap");
+    let k = sh
+        .register_instance(
+            "Rec",
+            vec![FieldDesc::prim("a"), FieldDesc::reference("next")],
+        )
+        .expect("klass");
+    let t0 = Instant::now();
+    for i in 0..ops {
+        let key = format!("k{i}");
+        let r = sh.alloc_instance(&key, &k).expect("alloc");
+        sh.set_field(r, 0, i as u64);
+        sh.flush_object(r);
+        if i % 16 == 0 {
+            sh.txn(&key, |t| {
+                t.set_field(r.r, 0, (i as u64) << 1);
+                Ok(())
+            })
+            .expect("txn");
+            sh.set_root(&key, r).expect("root");
+        }
+    }
+    sh.commit().expect("commit");
+    t0.elapsed()
+}
+
 // ---- Figure 18: heap loading ----
 
 /// Builds a heap image with `objects` instances spread over `klasses`
@@ -488,6 +526,13 @@ mod tests {
         let ug = measure_load(&image, SafetyLevel::UserGuaranteed);
         let zero = measure_load(&image, SafetyLevel::Zeroing);
         assert!(ug > Duration::ZERO && zero > Duration::ZERO);
+    }
+
+    #[test]
+    fn shard_scaling_runs_at_every_width() {
+        for shards in [1, 2, 4] {
+            assert!(run_shard_scaling(shards, 64) > Duration::ZERO);
+        }
     }
 
     #[test]

@@ -24,16 +24,11 @@ impl PLong {
     ///
     /// Allocation errors.
     pub fn pnew(store: &mut PStore, value: u64) -> Result<PLong, PjhError> {
-        let kid = match store.heap().lookup_klass(CLASS) {
-            Some(kid) => kid,
-            None => store
-                .heap_mut()
-                .register_instance(CLASS, vec![FieldDesc::prim("value")])?,
-        };
+        let kid = store.ensure_instance_klass(CLASS, || vec![FieldDesc::prim("value")])?;
         let obj = store.alloc_instance(kid)?;
         // A fresh box is unreachable until the caller publishes it, so its
         // initialization needs no undo log — just a persisted store.
-        let heap = store.heap_mut();
+        let mut heap = store.heap_mut();
         heap.set_field(obj, 0, value);
         heap.flush_field(obj, 0);
         Ok(PLong { obj })

@@ -5,8 +5,11 @@
 //! PJH" and adds ACID semantics "by providing a simple undo log to make a
 //! fair comparison" — exactly what this crate does. Every collection is a
 //! plain object graph in the persistent heap (on-heap design), and every
-//! mutating operation runs inside a [`PStore`] transaction whose undo log
-//! also lives in NVM.
+//! mutating operation runs inside a [`PStore`] transaction backed by the
+//! heap's own NVM undo log (`espresso_core`'s unified transaction engine,
+//! also reachable as `HeapHandle::txn`). A `PStore` is a thin view over a
+//! shared `HeapHandle`, so collections coexist with any other session
+//! traffic on the same heap.
 //!
 //! Types (matching the five Figure 15 data-type columns):
 //!
@@ -20,17 +23,17 @@
 //!
 //! ```
 //! use espresso_collections::{PArrayList, PStore};
-//! use espresso_core::{Pjh, PjhConfig};
-//! use espresso_nvm::{NvmConfig, NvmDevice};
+//! use espresso_core::{HeapManager, PjhConfig};
 //!
 //! # fn main() -> Result<(), espresso_core::PjhError> {
-//! let dev = NvmDevice::new(NvmConfig::with_size(8 << 20));
-//! let pjh = Pjh::create(dev, PjhConfig::small())?;
-//! let mut store = PStore::new(pjh)?;
+//! let mgr = HeapManager::temp()?;
+//! let heap = mgr.create("app", 8 << 20, PjhConfig::small())?;
+//! let mut store = PStore::open(&heap)?;
 //! let mut list = PArrayList::pnew(&mut store, 4)?;
 //! list.push(&mut store, 10)?;
 //! list.push(&mut store, 20)?;
 //! assert_eq!(list.get(&store, 1), Some(20));
+//! heap.commit()?; // durability boundary for everything above
 //! # Ok(())
 //! # }
 //! ```

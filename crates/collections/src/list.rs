@@ -27,20 +27,16 @@ impl PArrayList {
     ///
     /// Allocation errors.
     pub fn pnew(store: &mut PStore, capacity: usize) -> Result<PArrayList, PjhError> {
-        let kid = match store.heap().lookup_klass(CLASS) {
-            Some(kid) => kid,
-            None => store.heap_mut().register_instance(
-                CLASS,
-                vec![FieldDesc::prim("size"), FieldDesc::reference("elems")],
-            )?,
-        };
+        let kid = store.ensure_instance_klass(CLASS, || {
+            vec![FieldDesc::prim("size"), FieldDesc::reference("elems")]
+        })?;
         let arr_kid = store.heap_mut().register_prim_array();
         let obj = store.alloc_instance(kid)?;
         let elems = store.alloc_array(arr_kid, capacity.max(1))?;
         // The header is unreachable until the caller publishes it, so the
         // initial stores skip the undo log; `size` is already zero from
         // the region's persisted zero-fill.
-        let heap = store.heap_mut();
+        let mut heap = store.heap_mut();
         heap.set_field_ref(obj, F_ELEMS, elems)?;
         heap.flush_field(obj, F_ELEMS);
         Ok(PArrayList { obj })
@@ -68,18 +64,18 @@ impl PArrayList {
 
     /// Current backing-array capacity.
     pub fn capacity(&self, store: &PStore) -> usize {
-        store
-            .heap()
-            .array_len(store.heap().field_ref(self.obj, F_ELEMS))
+        let h = store.heap();
+        h.array_len(h.field_ref(self.obj, F_ELEMS))
     }
 
     /// Reads element `i`, or `None` past the end.
     pub fn get(&self, store: &PStore, i: usize) -> Option<u64> {
-        if i >= self.len(store) {
+        let h = store.heap();
+        if i >= h.field(self.obj, F_SIZE) as usize {
             return None;
         }
-        let elems = store.heap().field_ref(self.obj, F_ELEMS);
-        Some(store.heap().array_get(elems, i))
+        let elems = h.field_ref(self.obj, F_ELEMS);
+        Some(h.array_get(elems, i))
     }
 
     /// Transactionally overwrites element `i`.
@@ -92,8 +88,14 @@ impl PArrayList {
     ///
     /// Panics if `i` is out of bounds.
     pub fn set(&self, store: &mut PStore, i: usize, value: u64) -> Result<(), PjhError> {
-        assert!(i < self.len(store), "index {i} out of bounds");
-        let elems = store.heap().field_ref(self.obj, F_ELEMS);
+        let elems = {
+            let h = store.heap();
+            assert!(
+                i < h.field(self.obj, F_SIZE) as usize,
+                "index {i} out of bounds"
+            );
+            h.field_ref(self.obj, F_ELEMS)
+        };
         store.transact(|s| {
             s.array_set(elems, i, value);
             Ok(())
@@ -106,9 +108,12 @@ impl PArrayList {
     ///
     /// Allocation errors while growing.
     pub fn push(&self, store: &mut PStore, value: u64) -> Result<(), PjhError> {
-        let size = self.len(store);
-        let elems = store.heap().field_ref(self.obj, F_ELEMS);
-        let cap = store.heap().array_len(elems);
+        let (size, elems, cap) = {
+            let h = store.heap();
+            let size = h.field(self.obj, F_SIZE) as usize;
+            let elems = h.field_ref(self.obj, F_ELEMS);
+            (size, elems, h.array_len(elems))
+        };
         store.transact(|s| {
             let elems = if size == cap {
                 // Grow: the fresh array is invisible until the logged
@@ -152,9 +157,10 @@ impl PArrayList {
 
     /// Copies the contents into a `Vec`.
     pub fn to_vec(&self, store: &PStore) -> Vec<u64> {
-        (0..self.len(store))
-            .map(|i| self.get(store, i).expect("in range"))
-            .collect()
+        let h = store.heap();
+        let len = h.field(self.obj, F_SIZE) as usize;
+        let elems = h.field_ref(self.obj, F_ELEMS);
+        (0..len).map(|i| h.array_get(elems, i)).collect()
     }
 }
 

@@ -34,30 +34,22 @@ impl PHashMap {
     ///
     /// Allocation errors.
     pub fn pnew(store: &mut PStore, buckets: usize) -> Result<PHashMap, PjhError> {
-        let kid = match store.heap().lookup_klass(MAP_CLASS) {
-            Some(kid) => kid,
-            None => {
-                let kid = store.heap_mut().register_instance(
-                    MAP_CLASS,
-                    vec![FieldDesc::prim("size"), FieldDesc::reference("buckets")],
-                )?;
-                store.heap_mut().register_instance(
-                    ENTRY_CLASS,
-                    vec![
-                        FieldDesc::prim("key"),
-                        FieldDesc::prim("value"),
-                        FieldDesc::reference("next"),
-                    ],
-                )?;
-                kid
-            }
-        };
+        let kid = store.ensure_instance_klass(MAP_CLASS, || {
+            vec![FieldDesc::prim("size"), FieldDesc::reference("buckets")]
+        })?;
+        store.ensure_instance_klass(ENTRY_CLASS, || {
+            vec![
+                FieldDesc::prim("key"),
+                FieldDesc::prim("value"),
+                FieldDesc::reference("next"),
+            ]
+        })?;
         let bucket_kid = store.heap_mut().register_obj_array(ENTRY_CLASS);
         let obj = store.alloc_instance(kid)?;
         let arr = store.alloc_array(bucket_kid, buckets.max(1))?;
         // Unreachable until published: initialize without the undo log
         // (`size` is already zero from the region's persisted zero-fill).
-        let heap = store.heap_mut();
+        let mut heap = store.heap_mut();
         heap.set_field_ref(obj, M_BUCKETS, arr)?;
         heap.flush_field(obj, M_BUCKETS);
         Ok(PHashMap { obj })
@@ -84,14 +76,16 @@ impl PHashMap {
     }
 
     fn find(&self, store: &PStore, key: u64) -> (Ref, usize, Option<Ref>) {
-        let buckets = store.heap().field_ref(self.obj, M_BUCKETS);
-        let b = bucket_of(key, store.heap().array_len(buckets));
-        let mut cur = store.heap().array_get_ref(buckets, b);
+        // One guard for the whole chain walk (reads only).
+        let h = store.heap();
+        let buckets = h.field_ref(self.obj, M_BUCKETS);
+        let b = bucket_of(key, h.array_len(buckets));
+        let mut cur = h.array_get_ref(buckets, b);
         while !cur.is_null() {
-            if store.heap().field(cur, E_KEY) == key {
+            if h.field(cur, E_KEY) == key {
                 return (buckets, b, Some(cur));
             }
-            cur = store.heap().field_ref(cur, E_NEXT);
+            cur = h.field_ref(cur, E_NEXT);
         }
         (buckets, b, None)
     }
@@ -126,14 +120,13 @@ impl PHashMap {
             None => {
                 let size = self.len(store);
                 let head = store.heap().array_get_ref(buckets, b);
-                let ekid = store.heap_mut().register_instance(
-                    ENTRY_CLASS,
+                let ekid = store.ensure_instance_klass(ENTRY_CLASS, || {
                     vec![
                         FieldDesc::prim("key"),
                         FieldDesc::prim("value"),
                         FieldDesc::reference("next"),
-                    ],
-                )?;
+                    ]
+                })?;
                 store.transact(|s| {
                     let e = s.alloc_instance(ekid)?;
                     // New entry: invisible until the logged head store.
@@ -184,16 +177,14 @@ impl PHashMap {
 
     /// All `(key, value)` pairs, unordered.
     pub fn entries(&self, store: &PStore) -> Vec<(u64, u64)> {
-        let buckets = store.heap().field_ref(self.obj, M_BUCKETS);
-        let mut out = Vec::with_capacity(self.len(store));
-        for b in 0..store.heap().array_len(buckets) {
-            let mut cur = store.heap().array_get_ref(buckets, b);
+        let h = store.heap();
+        let buckets = h.field_ref(self.obj, M_BUCKETS);
+        let mut out = Vec::with_capacity(h.field(self.obj, M_SIZE) as usize);
+        for b in 0..h.array_len(buckets) {
+            let mut cur = h.array_get_ref(buckets, b);
             while !cur.is_null() {
-                out.push((
-                    store.heap().field(cur, E_KEY),
-                    store.heap().field(cur, E_VALUE),
-                ));
-                cur = store.heap().field_ref(cur, E_NEXT);
+                out.push((h.field(cur, E_KEY), h.field(cur, E_VALUE)));
+                cur = h.field_ref(cur, E_NEXT);
             }
         }
         out

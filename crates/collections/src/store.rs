@@ -1,57 +1,50 @@
-//! Transactional wrapper over PJH with an NVM-resident undo log.
+//! Transactional wrapper over PJH, now a thin view onto the heap's own
+//! undo-log transaction engine.
+//!
+//! Historically `PStore` owned the heap and its own NVM undo log. The
+//! log machinery lives in `espresso-core` today (`Pjh::txn_*`, shared
+//! with `HeapHandle::txn`), and `PStore` is a compatibility surface for
+//! the collections: it wraps a shared [`HeapHandle`], so the same heap
+//! can simultaneously serve collections here and raw `txn` scopes
+//! elsewhere, with one log and one set of ACID guarantees (§6.2).
 
-use espresso_core::{Pjh, PjhError};
-use espresso_nvm::CACHE_LINE;
-use espresso_object::{KlassId, Ref, ARRAY_HEADER_WORDS, HEADER_WORDS, WORD};
+use espresso_core::{HeapHandle, Pjh, PjhError};
+use espresso_object::{KlassId, Ref};
+use parking_lot::{RwLockReadGuard, RwLockWriteGuard};
 
-/// Root name under which the undo log array is published.
-const LOG_ROOT: &str = "espresso.collections.txlog";
-/// Undo-log capacity in (address, old-value) entry pairs. Sized so the
-/// log array (1 + 2 × entries elements) fits in the smallest supported
-/// region (4 KiB = 512 words, 3 of which are the array header).
-const LOG_ENTRIES: usize = 240;
-
-/// A persistent heap plus a word-granular undo log, giving every
+/// A persistent heap plus the heap's word-granular undo log, giving every
 /// collection operation the same ACID guarantee PCJ provides (§6.2).
 ///
-/// Log records are self-validating: a `(slot, old value)` pair is live
-/// iff its slot word is non-zero (slots are virtual addresses, never 0).
-/// Appending persists the pair in one call when it fits a cache line and
-/// in old-then-slot order when it straddles two, so a record can never
-/// become live with a torn old value. A store is performed and flushed
-/// only after its record is durable; commit invalidates the used records
-/// by zeroing their slot words (adjacent, so usually one flush), and
-/// [`PStore::attach`] re-zeroes the whole log, so every transaction
-/// starts from an all-zero persisted log. If a crash leaves a live record
-/// prefix, attach rolls it back in reverse.
-#[derive(Debug)]
+/// Construct it over a shared [`HeapHandle`] with [`PStore::open`], or
+/// from a raw [`Pjh`] (wrapped in an unmanaged handle) with
+/// [`PStore::new`] / [`PStore::attach`]. All clones and all other handles
+/// to the same heap share one transaction state.
+///
+/// **Sharing semantics:** a `PStore` transaction acquires the heap lock
+/// per operation, not for the whole `begin`…`commit` span, so a
+/// transaction opened concurrently (by another `PStore` clone or a raw
+/// `txn_begin`) *flattens into it* — exactly like this type's own nested
+/// `begin`s — and an abort rolls back the whole flattened scope. That
+/// makes `PStore` a single-session idiom: for a transaction that must be
+/// isolated from other threads on the same heap, use `HeapHandle::txn`,
+/// which holds the write lock for its entire scope.
+#[derive(Debug, Clone)]
 pub struct PStore {
-    heap: Pjh,
-    log: Ref,
-    active: bool,
-    depth: u32,
-    entries: usize,
+    handle: HeapHandle,
 }
 
 impl PStore {
-    /// Wraps a fresh heap, allocating and publishing the undo log.
+    /// Wraps a fresh heap (or anything convertible to a handle),
+    /// allocating and publishing the undo log.
     ///
     /// # Errors
     ///
-    /// Allocation or root-table errors.
-    pub fn new(mut heap: Pjh) -> Result<PStore, PjhError> {
-        let kid = heap.register_prim_array();
-        // The array body comes from a zeroed, persisted region, so the
-        // first record's slot word is already a durable terminator.
-        let log = heap.alloc_array(kid, 1 + 2 * LOG_ENTRIES)?;
-        heap.set_root(LOG_ROOT, log)?;
-        Ok(PStore {
-            heap,
-            log,
-            active: false,
-            depth: 0,
-            entries: 0,
-        })
+    /// Allocation or root-table errors publishing the log (surfaced here
+    /// so the infallible `begin` can never fail later).
+    pub fn new(heap: impl Into<HeapHandle>) -> Result<PStore, PjhError> {
+        let handle = heap.into();
+        handle.with_mut(|h| h.txn_prepare())?;
+        Ok(PStore { handle })
     }
 
     /// Re-attaches to a reloaded heap, rolling back any transaction that
@@ -59,121 +52,63 @@ impl PStore {
     ///
     /// # Errors
     ///
-    /// [`PjhError::NotAHeap`] if the heap has no published log.
-    pub fn attach(mut heap: Pjh) -> Result<PStore, PjhError> {
-        let log = heap.get_root(LOG_ROOT).ok_or(PjhError::NotAHeap)?;
-        // A live record prefix means a transaction was torn: undo it in
-        // reverse.
-        let mut records = Vec::new();
-        for i in 0..LOG_ENTRIES {
-            let addr = heap.array_get(log, 1 + 2 * i);
-            if addr == 0 {
-                break;
-            }
-            records.push((addr, heap.array_get(log, 2 + 2 * i)));
-        }
-        for &(addr, old) in records.iter().rev() {
-            heap.write_word_at(addr, old);
-            heap.persist_word_at(addr);
-        }
-        // Re-zero any slot word left non-zero anywhere in the log: a crash
-        // inside a commit's invalidation sweep can leave live-looking
-        // records beyond a zeroed prefix, and the validity scan must never
-        // find them in a later crash. A clean attach writes (and flushes)
-        // nothing.
-        let mut stale = false;
-        for i in 0..LOG_ENTRIES {
-            if heap.array_get(log, 1 + 2 * i) != 0 {
-                heap.array_set(log, 1 + 2 * i, 0);
-                stale = true;
-            }
-        }
-        if stale {
-            heap.flush_object(log);
-        }
+    /// Device errors during rollback; log-publication errors.
+    pub fn attach(heap: impl Into<HeapHandle>) -> Result<PStore, PjhError> {
+        let handle = heap.into();
+        handle.with_mut(|h| {
+            h.txn_recover()?;
+            h.txn_prepare()
+        })?;
+        Ok(PStore { handle })
+    }
+
+    /// Opens a store over a shared live handle (manager-loaded heaps have
+    /// already run crash recovery).
+    ///
+    /// # Errors
+    ///
+    /// Log-publication errors.
+    pub fn open(handle: &HeapHandle) -> Result<PStore, PjhError> {
+        handle.with_mut(|h| h.txn_prepare())?;
         Ok(PStore {
-            heap,
-            log,
-            active: false,
-            depth: 0,
-            entries: 0,
+            handle: handle.clone(),
         })
     }
 
-    /// The wrapped heap.
-    pub fn heap(&self) -> &Pjh {
-        &self.heap
+    /// The shared handle this store operates through.
+    pub fn handle(&self) -> &HeapHandle {
+        &self.handle
     }
 
-    /// Mutable access to the wrapped heap (non-transactional).
-    pub fn heap_mut(&mut self) -> &mut Pjh {
-        &mut self.heap
+    /// Read access to the wrapped heap. The guard blocks writers — hold
+    /// it only for the duration of the reads, and never across a call
+    /// that takes `&mut PStore`.
+    pub fn heap(&self) -> RwLockReadGuard<'_, Pjh> {
+        self.handle.read()
     }
 
-    /// Consumes the store, returning the heap.
-    pub fn into_heap(self) -> Pjh {
-        self.heap
+    /// Exclusive access to the wrapped heap (non-transactional). Same
+    /// guard discipline as [`heap`](Self::heap).
+    pub fn heap_mut(&mut self) -> RwLockWriteGuard<'_, Pjh> {
+        self.handle.write()
     }
 
-    /// Begins a transaction; nested begins are flattened.
+    /// Begins a transaction; nested begins are flattened. Infallible:
+    /// every constructor published the undo log up front.
     pub fn begin(&mut self) {
-        if self.active {
-            self.depth += 1;
-            return;
-        }
-        self.active = true;
-        self.depth = 0;
-        self.entries = 0;
+        self.handle
+            .with_mut(|h| h.txn_begin())
+            .expect("log published at construction");
     }
 
-    /// Device virtual address of log array element `i` (element 0 is the
-    /// persisted entry count).
-    #[inline]
-    fn log_slot(&self, i: usize) -> u64 {
-        self.log.addr() + ((ARRAY_HEADER_WORDS + i) * WORD) as u64
-    }
-
-    /// Zeroes the slot words of records `0..self.entries` and persists
-    /// them with one trailing fence, invalidating the transaction.
-    fn invalidate_log(&mut self) {
-        if self.entries == 0 {
-            return;
-        }
-        for i in 0..self.entries {
-            self.heap.write_word_at(self.log_slot(1 + 2 * i), 0);
-        }
-        let span = (2 * (self.entries - 1) + 1) * WORD;
-        self.heap.persist_range_at(self.log_slot(1), span);
-    }
-
-    /// Commits: invalidates the used records (their slot words are 16
-    /// bytes apart, so this is typically a single flush).
+    /// Commits the innermost flattened transaction.
     pub fn commit(&mut self) {
-        if self.depth > 0 {
-            self.depth -= 1;
-            return;
-        }
-        self.invalidate_log();
-        self.active = false;
-        self.entries = 0;
+        self.handle.with_mut(|h| h.txn_commit());
     }
 
     /// Aborts: applies the undo entries in reverse and truncates the log.
     pub fn abort(&mut self) {
-        if self.depth > 0 {
-            self.depth -= 1;
-            // An inner abort aborts the whole flattened transaction.
-        }
-        for i in (0..self.entries).rev() {
-            let addr = self.heap.read_word_at(self.log_slot(1 + 2 * i));
-            let old = self.heap.read_word_at(self.log_slot(2 + 2 * i));
-            self.heap.write_word_at(addr, old);
-            self.heap.persist_word_at(addr);
-        }
-        self.invalidate_log();
-        self.active = false;
-        self.depth = 0;
-        self.entries = 0;
+        self.handle.with_mut(|h| h.txn_abort());
     }
 
     /// Runs `f` in a transaction (joining the current one if active).
@@ -198,43 +133,11 @@ impl PStore {
         }
     }
 
-    fn log_old(&mut self, slot_vaddr: u64) {
-        if !self.active {
-            return;
-        }
-        assert!(
-            self.entries < LOG_ENTRIES,
-            "undo log overflow (transaction too large)"
-        );
-        let old = self.heap.read_word_at(slot_vaddr);
-        let i = self.entries;
-        let entry = self.log_slot(1 + 2 * i);
-        self.heap.write_word_at(entry, slot_vaddr);
-        self.heap.write_word_at(entry + WORD as u64, old);
-        // The record becomes live the instant its slot word is durable,
-        // so the old value must never trail it: one persist when the pair
-        // shares a cache line, old-then-slot order when it straddles two.
-        if self.heap.layout().to_off(entry) % CACHE_LINE + 2 * WORD <= CACHE_LINE {
-            self.heap.persist_range_at(entry, 2 * WORD);
-        } else {
-            self.heap.persist_word_at(entry + WORD as u64);
-            self.heap.persist_word_at(entry);
-        }
-        self.entries = i + 1;
-    }
-
     // ---- logged primitive operations used by the collections ----
-    //
-    // Slot addresses are computed once and reused for the log record, the
-    // store and the flush, so each logged store costs two persists (log
-    // record, data) and no redundant Klass traffic.
 
     /// Logged, persisted field store.
     pub fn set_field(&mut self, obj: Ref, index: usize, value: u64) {
-        let slot = obj.addr() + ((HEADER_WORDS + index) * WORD) as u64;
-        self.log_old(slot);
-        self.heap.write_word_at(slot, value);
-        self.heap.persist_word_at(slot);
+        self.handle.with_mut(|h| h.txn_set_field(obj, index, value));
     }
 
     /// Logged, persisted reference-field store.
@@ -243,20 +146,13 @@ impl PStore {
     ///
     /// Safety violations from the heap.
     pub fn set_field_ref(&mut self, obj: Ref, index: usize, value: Ref) -> Result<(), PjhError> {
-        let slot = obj.addr() + ((HEADER_WORDS + index) * WORD) as u64;
-        self.log_old(slot);
-        self.heap.write_ref_word_at(slot, value)?;
-        self.heap.persist_word_at(slot);
-        Ok(())
+        self.handle
+            .with_mut(|h| h.txn_set_field_ref(obj, index, value))
     }
 
     /// Logged, persisted array store.
     pub fn array_set(&mut self, arr: Ref, i: usize, value: u64) {
-        debug_assert!(i < self.heap.array_len(arr));
-        let slot = arr.addr() + ((ARRAY_HEADER_WORDS + i) * WORD) as u64;
-        self.log_old(slot);
-        self.heap.write_word_at(slot, value);
-        self.heap.persist_word_at(slot);
+        self.handle.with_mut(|h| h.txn_array_set(arr, i, value));
     }
 
     /// Logged, persisted array reference store.
@@ -265,12 +161,30 @@ impl PStore {
     ///
     /// Safety violations from the heap.
     pub fn array_set_ref(&mut self, arr: Ref, i: usize, value: Ref) -> Result<(), PjhError> {
-        debug_assert!(i < self.heap.array_len(arr));
-        let slot = arr.addr() + ((ARRAY_HEADER_WORDS + i) * WORD) as u64;
-        self.log_old(slot);
-        self.heap.write_ref_word_at(slot, value)?;
-        self.heap.persist_word_at(slot);
-        Ok(())
+        self.handle.with_mut(|h| h.txn_array_set_ref(arr, i, value))
+    }
+
+    /// Resolves the klass id for `name`, registering it with `fields()`
+    /// on first use. Centralizes the probe-then-register idiom the
+    /// collections' `pnew` constructors share — the read probe and the
+    /// write registration are separate lock acquisitions, so callers
+    /// never hold a read guard across the write-locking register path.
+    ///
+    /// # Errors
+    ///
+    /// [`espresso_core::PjhError::KlassLayoutMismatch`] on conflicting
+    /// layouts.
+    pub fn ensure_instance_klass(
+        &mut self,
+        name: &str,
+        fields: impl FnOnce() -> Vec<espresso_object::FieldDesc>,
+    ) -> Result<KlassId, PjhError> {
+        match self.handle.with(|h| h.lookup_klass(name)) {
+            Some(kid) => Ok(kid),
+            None => self
+                .handle
+                .with_mut(|h| h.register_instance(name, fields())),
+        }
     }
 
     /// Allocation passthrough (new objects need no undo: they are
@@ -280,7 +194,7 @@ impl PStore {
     ///
     /// Heap allocation errors.
     pub fn alloc_instance(&mut self, kid: KlassId) -> Result<Ref, PjhError> {
-        self.heap.alloc_instance(kid)
+        self.handle.with_mut(|h| h.alloc_instance(kid))
     }
 
     /// Array allocation passthrough.
@@ -289,22 +203,19 @@ impl PStore {
     ///
     /// Heap allocation errors.
     pub fn alloc_array(&mut self, kid: KlassId, len: usize) -> Result<Ref, PjhError> {
-        self.heap.alloc_array(kid, len)
+        self.handle.with_mut(|h| h.alloc_array(kid, len))
     }
 
     /// Collects the persistent space; the caller supplies collection roots
     /// it holds privately (the log array and named roots are reachable via
-    /// the name table already).
+    /// the name table already, and the heap re-points its own log after a
+    /// compaction).
     ///
     /// # Errors
     ///
     /// Device errors.
     pub fn gc(&mut self, extra_roots: &[Ref]) -> Result<espresso_core::GcReport, PjhError> {
-        let report = self.heap.gc(extra_roots)?;
-        if let Some(&new) = report.relocations.get(&self.log.addr()) {
-            self.log = Ref::new(espresso_object::Space::Persistent, new);
-        }
-        Ok(report)
+        self.handle.with_mut(|h| h.gc(extra_roots))
     }
 }
 
@@ -391,10 +302,10 @@ mod tests {
     #[test]
     fn crash_sweep_mid_transaction_is_atomic() {
         // Whatever the crash point, attach() must observe either the old
-        // or (after commit) the new state — never a mix for field 0/1 pairs
-        // written in one transaction... field-granular atomicity: each
-        // individual logged store is undone, so after rollback both fields
-        // return to their pre-transaction values.
+        // or (after commit) the new state — never a mix for field 0/1
+        // pairs written in one transaction: each individual logged store
+        // is undone, so after rollback both fields return to their
+        // pre-transaction values.
         let (dev, mut s) = store();
         let k = point(&mut s);
         let p = s.alloc_instance(k).unwrap();
@@ -472,5 +383,28 @@ mod tests {
         })
         .unwrap();
         assert_eq!(s.heap().field(p, 0), 3);
+    }
+
+    #[test]
+    fn shares_one_txn_state_with_handle_scopes() {
+        // The same heap serves a PStore and raw handle.txn scopes, with
+        // one undo log behind both.
+        let dev = NvmDevice::new(NvmConfig::with_size(8 << 20));
+        let handle = HeapHandle::from_pjh(Pjh::create(dev, PjhConfig::small()).unwrap());
+        let mut s = PStore::open(&handle).unwrap();
+        let k = point(&mut s);
+        let p = s.alloc_instance(k).unwrap();
+        handle
+            .txn(|t| {
+                t.set_field(p, 0, 41);
+                Ok(())
+            })
+            .unwrap();
+        s.transact(|s| {
+            s.set_field(p, 0, 42);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(handle.with(|h| h.field(p, 0)), 42);
     }
 }

@@ -29,15 +29,11 @@ impl PTuple {
     pub fn pnew(store: &mut PStore, arity: usize) -> Result<PTuple, PjhError> {
         assert!(arity > 0, "tuples need at least one slot");
         let name = format!("espresso.Tuple{arity}");
-        let kid = match store.heap().lookup_klass(&name) {
-            Some(kid) => kid,
-            None => {
-                let fields = (0..arity)
-                    .map(|i| FieldDesc::prim(&format!("_{i}")))
-                    .collect();
-                store.heap_mut().register_instance(&name, fields)?
-            }
-        };
+        let kid = store.ensure_instance_klass(&name, || {
+            (0..arity)
+                .map(|i| FieldDesc::prim(&format!("_{i}")))
+                .collect()
+        })?;
         let obj = store.alloc_instance(kid)?;
         Ok(PTuple { obj, arity })
     }

@@ -116,6 +116,9 @@ pub struct Pjh {
     pub(crate) recoverable_gc: bool,
     pub(crate) persistent_capable: HashSet<String>,
     pub(crate) gc_count: u64,
+    /// Undo-log transaction state (see [`crate::txn`]): the NVM log is
+    /// published under a reserved root, this is its DRAM mirror.
+    pub(crate) txn: crate::txn::TxnState,
 }
 
 impl fmt::Debug for Pjh {
@@ -176,6 +179,7 @@ impl Pjh {
             recoverable_gc: config.recoverable_gc,
             persistent_capable: HashSet::new(),
             gc_count: 0,
+            txn: crate::txn::TxnState::default(),
         })
     }
 
@@ -209,6 +213,7 @@ impl Pjh {
             recoverable_gc: true,
             persistent_capable: HashSet::new(),
             gc_count: 0,
+            txn: crate::txn::TxnState::default(),
             dirty: Bitmap::new(layout.num_regions),
             remsets: None,
             incremental_ready: false,
@@ -863,7 +868,9 @@ impl Pjh {
     ///
     /// Propagates device errors; the collection itself cannot fail.
     pub fn gc(&mut self, extra_roots: &[Ref]) -> crate::Result<crate::GcReport> {
-        crate::gc::collect_auto(self, extra_roots)
+        let report = crate::gc::collect_auto(self, extra_roots)?;
+        self.relocate_txn_log(&report);
+        Ok(report)
     }
 
     /// Forces a full compacting collection (§4.2), regardless of
@@ -874,7 +881,19 @@ impl Pjh {
     ///
     /// Propagates device errors.
     pub fn gc_full(&mut self, extra_roots: &[Ref]) -> crate::Result<crate::GcReport> {
-        crate::gc::collect_full(self, extra_roots)
+        let report = crate::gc::collect_full(self, extra_roots)?;
+        self.relocate_txn_log(&report);
+        Ok(report)
+    }
+
+    /// Re-points the cached undo-log reference after a compacting
+    /// collection moved the log array.
+    fn relocate_txn_log(&mut self, report: &crate::GcReport) {
+        if let Some(log) = self.txn.log {
+            if let Some(&new) = report.relocations.get(&log.addr()) {
+                self.txn.log = Some(Ref::new(Space::Persistent, new));
+            }
+        }
     }
 
     /// The per-region live summaries as persisted in the metadata segment
@@ -976,6 +995,10 @@ impl Pjh {
         }
         self.names
             .rewrite_values(&self.dev, EntryKind::Root, |v| f(Ref::from_raw(v)).to_raw());
+        // Keep the cached undo-log pointer coherent with its root entry.
+        if let Some(log) = self.txn.log {
+            self.txn.log = Some(f(log));
+        }
         // References changed wholesale behind the dirty tracking.
         self.invalidate_incremental_state();
     }

@@ -18,8 +18,14 @@
 //!   finishes the compaction.
 //!
 //! Heap instances are managed by name through [`HeapManager`]
-//! (`createHeap` / `loadHeap` / `existsHeap` of Table 1), and objects are
-//! published across restarts through named roots (`setRoot` / `getRoot`).
+//! (`createHeap` / `loadHeap` / `existsHeap` of Table 1), which hands out
+//! shared live [`HeapHandle`]s: opening the same name twice yields the
+//! same instance, [`HeapHandle::commit`] is the explicit (incremental)
+//! durability boundary, and [`HeapHandle::txn`] runs undo-logged ACID
+//! transactions (see [`HeapTxn`]). [`ShardedHeap`] spreads one logical
+//! heap over N instances by key hash for multi-heap workloads. Objects
+//! are published across restarts through named roots (`setRoot` /
+//! `getRoot`).
 //!
 //! # Example
 //!
@@ -58,14 +64,18 @@ mod klass_segment;
 mod layout;
 mod manager;
 mod name_table;
+mod shard;
+mod txn;
 
 pub use bitmap::Bitmap;
 pub use gc::{GcKind, GcReport, RegionSummary};
 pub use heap::{HeapCensus, LoadOptions, LoadReport, Pjh, SafetyLevel};
 pub use klass_segment::PKlassTable;
 pub use layout::{Layout, MAX_NAME_LEN};
-pub use manager::HeapManager;
+pub use manager::{CommitReport, HeapHandle, HeapManager};
 pub use name_table::EntryKind;
+pub use shard::{hash_key, ShardRef, ShardedHeap, ShardedKlass};
+pub use txn::HeapTxn;
 
 use std::fmt;
 
@@ -164,6 +174,11 @@ pub enum PjhError {
         /// The heap name.
         name: String,
     },
+    /// A heap with this name already exists (open or on disk).
+    HeapExists {
+        /// The heap name.
+        name: String,
+    },
 }
 
 impl fmt::Display for PjhError {
@@ -191,6 +206,7 @@ impl fmt::Display for PjhError {
             PjhError::SafetyViolation { reason } => write!(f, "memory safety violation: {reason}"),
             PjhError::Nvm(e) => write!(f, "nvm device error: {e}"),
             PjhError::NoSuchHeap { name } => write!(f, "no heap named {name:?}"),
+            PjhError::HeapExists { name } => write!(f, "heap {name:?} already exists"),
         }
     }
 }

@@ -1,38 +1,276 @@
-//! The external name manager behind the Table 1 heap APIs:
+//! The session-based heap manager behind the Table 1 heap APIs:
 //! `createHeap(name, size)`, `loadHeap(name)`, `existsHeap(name)`.
 //!
-//! Maps heap names to persisted device images in a directory, one file per
-//! PJH instance. The image written on [`save`](HeapManager::save) is the
-//! device's *persistence domain* — exactly what a power failure would have
-//! preserved — so crash-recovery behaviour carries across processes.
+//! A [`HeapManager`] maps heap names to persisted device images in a
+//! directory (one file per PJH instance) and keeps a **live registry** of
+//! the heaps currently open: loading the same name twice yields the *same*
+//! shared [`HeapHandle`], so every part of a process observes one
+//! consistent heap. Durability is an explicit commit point —
+//! [`HeapHandle::commit`] incrementally syncs the cache lines persisted
+//! since the previous commit into the image file (the moral equivalent of
+//! the NVDIMM keeping its contents at shutdown), replacing the old
+//! whole-image `save(name, &heap)` call, which survives only as a
+//! deprecated shim.
+//!
+//! # Example
+//!
+//! ```
+//! use espresso_core::{HeapManager, LoadOptions, PjhConfig};
+//! use espresso_object::FieldDesc;
+//!
+//! # fn main() -> Result<(), espresso_core::PjhError> {
+//! let mgr = HeapManager::temp()?;
+//! let jimmy = mgr.create("jimmy", 4 << 20, PjhConfig::small())?;
+//! let p = jimmy.with_mut(|heap| {
+//!     let k = heap.register_instance("Person", vec![FieldDesc::prim("id")])?;
+//!     let p = heap.alloc_instance(k)?;
+//!     heap.set_field(p, 0, 31);
+//!     heap.flush_object(p);
+//!     heap.set_root("jimmy_info", p)?;
+//!     Ok::<_, espresso_core::PjhError>(p)
+//! })?;
+//! jimmy.commit()?; // explicit durability boundary
+//!
+//! // A second open anywhere in the process sees the same live heap.
+//! let again = mgr.load("jimmy", LoadOptions::default())?;
+//! assert_eq!(again.with(|heap| heap.get_root("jimmy_info")), Some(p));
+//! # Ok(())
+//! # }
+//! ```
 
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Weak};
 
 use espresso_nvm::{LatencyModel, NvmConfig, NvmDevice};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::heap::{LoadOptions, LoadReport, Pjh};
+use crate::txn::HeapTxn;
 use crate::{PjhConfig, PjhError};
 
-/// A directory of named persistent heaps.
-#[derive(Debug, Clone)]
-pub struct HeapManager {
+/// What [`HeapHandle::commit`] flushed to the image.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommitReport {
+    /// Cache lines written to the image file.
+    pub synced_lines: usize,
+    /// Bytes written to the image file.
+    pub synced_bytes: usize,
+    /// The whole image was rewritten (first commit of a fresh file).
+    pub full_rewrite: bool,
+    /// Whether the handle is bound to an image file at all. Unmanaged
+    /// handles (wrapped raw heaps) report `false` and sync nothing — their
+    /// device's persistence domain is the durability boundary.
+    pub managed: bool,
+}
+
+struct HandleInner {
+    name: String,
+    /// Image file backing this heap; `None` for unmanaged handles and for
+    /// handles detached by [`HeapManager::delete_heap`] (a stale commit
+    /// must never clobber a successor heap's image).
+    path: Mutex<Option<PathBuf>>,
+    report: LoadReport,
+    heap: RwLock<Pjh>,
+}
+
+/// A shared, live handle to one open PJH instance.
+///
+/// Cheap to clone; all clones (and every [`HeapManager::load`] of the same
+/// name while the heap stays open) refer to the same heap behind one
+/// reader-writer lock. See [`HeapManager`] for the lifecycle.
+#[derive(Clone)]
+pub struct HeapHandle {
+    inner: Arc<HandleInner>,
+}
+
+impl std::fmt::Debug for HeapHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeapHandle")
+            .field("name", &self.inner.name)
+            .field("managed", &self.is_managed())
+            .finish()
+    }
+}
+
+impl HeapHandle {
+    fn managed(name: String, path: PathBuf, heap: Pjh, report: LoadReport) -> HeapHandle {
+        HeapHandle {
+            inner: Arc::new(HandleInner {
+                name,
+                path: Mutex::new(Some(path)),
+                report,
+                heap: RwLock::new(heap),
+            }),
+        }
+    }
+
+    /// Wraps a raw heap in an unmanaged handle (no backing image file).
+    /// [`commit`](Self::commit) becomes a no-op report; everything else —
+    /// sharing, [`txn`](Self::txn), locking — works identically, which
+    /// lets device-level tests and benches use the session API without a
+    /// filesystem.
+    pub fn from_pjh(heap: Pjh) -> HeapHandle {
+        HeapHandle {
+            inner: Arc::new(HandleInner {
+                name: "<unmanaged>".to_string(),
+                path: Mutex::new(None),
+                report: LoadReport::default(),
+                heap: RwLock::new(heap),
+            }),
+        }
+    }
+
+    /// The heap's registered name (`"<unmanaged>"` for wrapped raw heaps).
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Whether this handle is bound to an image file (false for wrapped
+    /// raw heaps, and for handles detached by `delete_heap`).
+    pub fn is_managed(&self) -> bool {
+        self.inner.path.lock().is_some()
+    }
+
+    /// What happened when the heap was loaded (all-default for heaps
+    /// created fresh this session).
+    pub fn load_report(&self) -> LoadReport {
+        self.inner.report
+    }
+
+    /// Acquires the heap for reading. Hold the guard only for the duration
+    /// of the accesses; it blocks writers.
+    pub fn read(&self) -> RwLockReadGuard<'_, Pjh> {
+        self.inner.heap.read()
+    }
+
+    /// Acquires the heap for writing (exclusive).
+    pub fn write(&self) -> RwLockWriteGuard<'_, Pjh> {
+        self.inner.heap.write()
+    }
+
+    /// Runs `f` with shared read access to the heap.
+    pub fn with<R>(&self, f: impl FnOnce(&Pjh) -> R) -> R {
+        f(&self.inner.heap.read())
+    }
+
+    /// Runs `f` with exclusive write access to the heap.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut Pjh) -> R) -> R {
+        f(&mut self.inner.heap.write())
+    }
+
+    /// Runs `f` inside an undo-logged transaction with exclusive access:
+    /// commit on `Ok`, abort on `Err`, abort on panic (see
+    /// [`Pjh::txn`]). Do not call [`commit`](Self::commit) or re-enter the
+    /// handle from inside `f` — the heap lock is held for the whole scope.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `f`'s error after aborting.
+    pub fn txn<T>(&self, f: impl FnOnce(&mut HeapTxn<'_>) -> crate::Result<T>) -> crate::Result<T> {
+        self.inner.heap.write().txn(f)
+    }
+
+    /// The explicit durability boundary: incrementally syncs every cache
+    /// line persisted since the last commit into the heap's image file.
+    /// What lands in the file is exactly the device's persistence domain —
+    /// a transaction torn by a mid-transaction commit is rolled back by
+    /// the next load, like any crash.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing the image.
+    pub fn commit(&self) -> crate::Result<CommitReport> {
+        // A read guard suffices: it excludes every `&mut Pjh` mutator, and
+        // the device snapshot below reads only the persisted image. The
+        // path lock is held across the sync so a concurrent `delete_heap`
+        // (which detaches the path) serializes with in-flight commits
+        // instead of letting a stale sync race a successor's image.
+        let heap = self.inner.heap.read();
+        let path = self.inner.path.lock();
+        match path.as_ref() {
+            Some(path) => {
+                let r = heap.device().sync_image(path)?;
+                Ok(CommitReport {
+                    synced_lines: r.lines_synced,
+                    synced_bytes: r.bytes_written,
+                    full_rewrite: r.full_rewrite,
+                    managed: true,
+                })
+            }
+            None => Ok(CommitReport {
+                managed: false,
+                ..CommitReport::default()
+            }),
+        }
+    }
+}
+
+impl From<Pjh> for HeapHandle {
+    fn from(heap: Pjh) -> HeapHandle {
+        HeapHandle::from_pjh(heap)
+    }
+}
+
+struct ManagerInner {
     dir: PathBuf,
+    /// `temp()` managers own their directory and remove it on drop.
+    owns_dir: bool,
+    /// Live registry: name → open handle. Weak so dropping every handle
+    /// closes the heap (a later load re-reads the image).
+    live: Mutex<HashMap<String, Weak<HandleInner>>>,
+}
+
+impl Drop for ManagerInner {
+    fn drop(&mut self) {
+        if self.owns_dir {
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+}
+
+/// A directory of named persistent heaps with a live-handle registry.
+///
+/// Cheap to clone; clones share the registry (and, for
+/// [`temp`](Self::temp) managers, ownership of the directory).
+#[derive(Clone)]
+pub struct HeapManager {
+    inner: Arc<ManagerInner>,
+}
+
+impl std::fmt::Debug for HeapManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeapManager")
+            .field("dir", &self.inner.dir)
+            .field("owns_dir", &self.inner.owns_dir)
+            .finish()
+    }
 }
 
 impl HeapManager {
+    fn new(dir: PathBuf, owns_dir: bool) -> crate::Result<HeapManager> {
+        std::fs::create_dir_all(&dir).map_err(espresso_nvm::NvmError::Io)?;
+        Ok(HeapManager {
+            inner: Arc::new(ManagerInner {
+                dir,
+                owns_dir,
+                live: Mutex::new(HashMap::new()),
+            }),
+        })
+    }
+
     /// Opens (creating if needed) a heap directory.
     ///
     /// # Errors
     ///
     /// I/O errors creating the directory.
     pub fn open(dir: impl AsRef<Path>) -> crate::Result<HeapManager> {
-        std::fs::create_dir_all(dir.as_ref()).map_err(espresso_nvm::NvmError::Io)?;
-        Ok(HeapManager {
-            dir: dir.as_ref().to_path_buf(),
-        })
+        HeapManager::new(dir.as_ref().to_path_buf(), false)
     }
 
-    /// Opens a manager over a fresh unique temporary directory.
+    /// Opens a manager over a fresh unique temporary directory. The
+    /// manager owns the directory: when the last clone drops, the
+    /// directory and every image in it are removed.
     ///
     /// # Errors
     ///
@@ -46,67 +284,129 @@ impl HeapManager {
                 .map(|d| d.as_nanos())
                 .unwrap_or(0)
         );
-        HeapManager::open(std::env::temp_dir().join(unique))
+        HeapManager::new(std::env::temp_dir().join(unique), true)
+    }
+
+    /// The directory holding the images.
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
     }
 
     fn path(&self, name: &str) -> PathBuf {
-        self.dir.join(format!("{name}.pjh"))
+        self.inner.dir.join(format!("{name}.pjh"))
     }
 
-    /// `existsHeap`: whether a heap image with this name exists.
+    /// `existsHeap`: whether a heap with this name exists — open in the
+    /// live registry or persisted as an image.
     pub fn exists_heap(&self, name: &str) -> bool {
-        self.path(name).exists()
+        self.live_handle(name).is_some() || self.path(name).exists()
     }
 
-    /// `createHeap(name, size)`: formats a new heap on a fresh device and
-    /// registers the name mapping.
+    fn live_handle(&self, name: &str) -> Option<HeapHandle> {
+        let mut live = self.inner.live.lock();
+        match live.get(name).and_then(Weak::upgrade) {
+            Some(inner) => Some(HeapHandle { inner }),
+            None => {
+                live.remove(name); // prune the dead entry
+                None
+            }
+        }
+    }
+
+    /// `createHeap(name, size)`: formats a new heap on a fresh device,
+    /// writes its initial image, and registers the live handle.
     ///
     /// # Errors
     ///
-    /// Layout errors; I/O errors writing the initial image.
-    pub fn create_heap(&self, name: &str, size: usize, config: PjhConfig) -> crate::Result<Pjh> {
+    /// [`PjhError::HeapExists`] if the name is already taken (open or on
+    /// disk); layout errors; I/O errors writing the initial image.
+    pub fn create(&self, name: &str, size: usize, config: PjhConfig) -> crate::Result<HeapHandle> {
+        let mut live = self.inner.live.lock();
+        let open = live.get(name).and_then(Weak::upgrade).is_some();
+        if open || self.path(name).exists() {
+            return Err(PjhError::HeapExists {
+                name: name.to_string(),
+            });
+        }
         let dev = NvmDevice::new(NvmConfig::with_size(size));
         let heap = Pjh::create(dev, config)?;
-        heap.device().save_image(&self.path(name))?;
-        Ok(heap)
+        let path = self.path(name);
+        heap.device().save_image(&path)?;
+        let handle = HeapHandle::managed(name.to_string(), path, heap, LoadReport::default());
+        live.insert(name.to_string(), Arc::downgrade(&handle.inner));
+        Ok(handle)
     }
 
-    /// `loadHeap(name)`: locates the image, maps it, and runs the loading
-    /// pipeline (recovery, optional remap, optional zeroing scan).
+    /// `loadHeap(name)`: returns the live handle if the heap is already
+    /// open (`options` are ignored then — they applied when it was first
+    /// opened); otherwise maps the image and runs the loading pipeline
+    /// (recovery, optional remap, optional zeroing scan, rollback of any
+    /// transaction the last commit point captured mid-flight).
     ///
     /// # Errors
     ///
     /// [`PjhError::NoSuchHeap`] if the name is unknown; image and format
     /// errors otherwise.
-    pub fn load_heap(&self, name: &str, options: LoadOptions) -> crate::Result<(Pjh, LoadReport)> {
-        if !self.exists_heap(name) {
+    pub fn load(&self, name: &str, options: LoadOptions) -> crate::Result<HeapHandle> {
+        // The registry lock is held across check + load + insert: two
+        // racing loads of one name must never map two divergent live
+        // heaps over the same image.
+        let mut live = self.inner.live.lock();
+        if let Some(inner) = live.get(name).and_then(Weak::upgrade) {
+            return Ok(HeapHandle { inner });
+        }
+        let path = self.path(name);
+        if !path.exists() {
             return Err(PjhError::NoSuchHeap {
                 name: name.to_string(),
             });
         }
-        let dev = NvmDevice::load_image(&self.path(name), LatencyModel::zero())?;
-        Pjh::load(dev, options)
+        let dev = NvmDevice::load_image(&path, LatencyModel::zero())?;
+        let (mut heap, report) = Pjh::load(dev, options)?;
+        heap.txn_recover()?;
+        let handle = HeapHandle::managed(name.to_string(), path, heap, report);
+        live.insert(name.to_string(), Arc::downgrade(&handle.inner));
+        Ok(handle)
     }
 
-    /// Persists the heap's durable image back to its file (the moral
-    /// equivalent of the NVDIMM keeping its contents at shutdown).
+    /// Loads the heap if it exists, creating it otherwise.
     ///
     /// # Errors
     ///
-    /// I/O errors writing the image.
-    pub fn save(&self, name: &str, heap: &Pjh) -> crate::Result<()> {
-        heap.device().save_image(&self.path(name))?;
-        Ok(())
+    /// Creation or loading errors.
+    pub fn open_or_create(
+        &self,
+        name: &str,
+        size: usize,
+        config: PjhConfig,
+    ) -> crate::Result<HeapHandle> {
+        if self.exists_heap(name) {
+            self.load(name, LoadOptions::default())
+        } else {
+            self.create(name, size, config)
+        }
     }
 
-    /// Deletes a heap image; returns whether it existed.
+    /// Deletes a heap image and drops its registry entry; returns whether
+    /// the image existed. A live handle keeps operating on its in-memory
+    /// device but is **detached** — its later commits become no-op reports
+    /// rather than clobbering whatever heap takes the name next.
     pub fn delete_heap(&self, name: &str) -> bool {
+        if let Some(inner) = self
+            .inner
+            .live
+            .lock()
+            .remove(name)
+            .and_then(|w| w.upgrade())
+        {
+            *inner.path.lock() = None;
+        }
         std::fs::remove_file(self.path(name)).is_ok()
     }
 
-    /// Names of all heaps in this directory, sorted.
+    /// Names of all heaps persisted in this directory, sorted.
     pub fn heap_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = std::fs::read_dir(&self.dir)
+        let mut names: Vec<String> = std::fs::read_dir(&self.inner.dir)
             .map(|rd| {
                 rd.flatten()
                     .filter_map(|e| {
@@ -121,6 +421,59 @@ impl HeapManager {
         names.sort();
         names
     }
+
+    // ---- deprecated pre-session compat shims ----
+
+    /// Formats a new heap and returns it detached from the manager.
+    ///
+    /// # Errors
+    ///
+    /// Layout errors; I/O errors writing the initial image.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `create`, which returns a shared live `HeapHandle`"
+    )]
+    pub fn create_heap(&self, name: &str, size: usize, config: PjhConfig) -> crate::Result<Pjh> {
+        let dev = NvmDevice::new(NvmConfig::with_size(size));
+        let heap = Pjh::create(dev, config)?;
+        heap.device().save_image(&self.path(name))?;
+        Ok(heap)
+    }
+
+    /// Loads a detached copy of the heap image.
+    ///
+    /// # Errors
+    ///
+    /// [`PjhError::NoSuchHeap`] if the name is unknown; image and format
+    /// errors otherwise.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `load`, which returns a shared live `HeapHandle`"
+    )]
+    pub fn load_heap(&self, name: &str, options: LoadOptions) -> crate::Result<(Pjh, LoadReport)> {
+        let path = self.path(name);
+        if !path.exists() {
+            return Err(PjhError::NoSuchHeap {
+                name: name.to_string(),
+            });
+        }
+        let dev = NvmDevice::load_image(&path, LatencyModel::zero())?;
+        Pjh::load(dev, options)
+    }
+
+    /// Persists a detached heap's whole durable image back to its file.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing the image.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `HeapHandle::commit`, the explicit (incremental) commit point"
+    )]
+    pub fn save(&self, name: &str, heap: &Pjh) -> crate::Result<()> {
+        heap.device().save_image(&self.path(name))?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -132,60 +485,235 @@ mod tests {
     fn create_exists_load_roundtrip() {
         let mgr = HeapManager::temp().unwrap();
         assert!(!mgr.exists_heap("jimmy"));
-        let mut h = mgr
-            .create_heap("jimmy", 4 << 20, PjhConfig::small())
-            .unwrap();
+        let jimmy = mgr.create("jimmy", 4 << 20, PjhConfig::small()).unwrap();
         assert!(mgr.exists_heap("jimmy"));
 
-        let k = h
-            .register_instance(
-                "Person",
-                vec![FieldDesc::prim("id"), FieldDesc::reference("next")],
-            )
+        jimmy
+            .with_mut(|h| {
+                let k = h.register_instance(
+                    "Person",
+                    vec![FieldDesc::prim("id"), FieldDesc::reference("next")],
+                )?;
+                let p = h.alloc_instance(k)?;
+                h.set_field(p, 0, 31);
+                h.flush_object(p);
+                h.set_root("jimmy_info", p)
+            })
             .unwrap();
-        let p = h.alloc_instance(k).unwrap();
-        h.set_field(p, 0, 31);
-        h.flush_object(p);
-        h.set_root("jimmy_info", p).unwrap();
-        mgr.save("jimmy", &h).unwrap();
+        let report = jimmy.commit().unwrap();
+        assert!(report.managed);
+        assert!(report.synced_lines > 0);
 
-        let (h2, _) = mgr.load_heap("jimmy", LoadOptions::default()).unwrap();
-        let p2 = h2.get_root("jimmy_info").unwrap();
-        assert_eq!(h2.field(p2, 0), 31);
+        // Drop the live handle: the next load maps the committed image.
+        drop(jimmy);
+        let again = mgr.load("jimmy", LoadOptions::default()).unwrap();
+        again.with(|h| {
+            let p = h.get_root("jimmy_info").unwrap();
+            assert_eq!(h.field(p, 0), 31);
+        });
+    }
+
+    #[test]
+    fn loading_twice_yields_the_same_live_instance() {
+        let mgr = HeapManager::temp().unwrap();
+        let a = mgr.create("app", 4 << 20, PjhConfig::small()).unwrap();
+        let b = mgr.load("app", LoadOptions::default()).unwrap();
+        // Writes through one handle are visible through the other without
+        // any commit: they are the same heap.
+        a.with_mut(|h| {
+            let k = h.register_instance("T", vec![FieldDesc::prim("x")])?;
+            let t = h.alloc_instance(k)?;
+            h.set_field(t, 0, 7);
+            h.set_root("t", t)
+        })
+        .unwrap();
+        b.with(|h| {
+            let t = h.get_root("t").unwrap();
+            assert_eq!(h.field(t, 0), 7);
+        });
+        assert!(Arc::ptr_eq(&a.inner, &b.inner));
+    }
+
+    #[test]
+    fn create_rejects_existing_names() {
+        let mgr = HeapManager::temp().unwrap();
+        let live = mgr.create("a", 4 << 20, PjhConfig::small()).unwrap();
+        assert!(matches!(
+            mgr.create("a", 4 << 20, PjhConfig::small()),
+            Err(PjhError::HeapExists { .. })
+        ));
+        // Still taken after the handle closes: the image remains.
+        drop(live);
+        assert!(matches!(
+            mgr.create("a", 4 << 20, PjhConfig::small()),
+            Err(PjhError::HeapExists { .. })
+        ));
+        // Deleting frees the name.
+        assert!(mgr.delete_heap("a"));
+        mgr.create("a", 4 << 20, PjhConfig::small()).unwrap();
     }
 
     #[test]
     fn load_missing_heap_errors() {
         let mgr = HeapManager::temp().unwrap();
         assert!(matches!(
-            mgr.load_heap("ghost", LoadOptions::default()),
+            mgr.load("ghost", LoadOptions::default()),
             Err(PjhError::NoSuchHeap { .. })
         ));
     }
 
     #[test]
-    fn unsaved_changes_do_not_reach_the_image() {
+    fn uncommitted_changes_do_not_reach_the_image() {
         let mgr = HeapManager::temp().unwrap();
-        let mut h = mgr.create_heap("a", 4 << 20, PjhConfig::small()).unwrap();
-        let k = h
-            .register_instance("T", vec![FieldDesc::prim("x")])
+        let a = mgr.create("a", 4 << 20, PjhConfig::small()).unwrap();
+        a.with_mut(|h| {
+            let k = h.register_instance("T", vec![FieldDesc::prim("x")])?;
+            let t = h.alloc_instance(k)?;
+            h.set_root("t", t)
+        })
+        .unwrap();
+        // No commit: a reload sees the freshly created image.
+        drop(a);
+        let a2 = mgr.load("a", LoadOptions::default()).unwrap();
+        a2.with(|h| {
+            assert_eq!(h.get_root("t"), None);
+            assert_eq!(h.census().objects, 0);
+        });
+    }
+
+    #[test]
+    fn commit_is_incremental() {
+        let mgr = HeapManager::temp().unwrap();
+        let a = mgr.create("a", 4 << 20, PjhConfig::small()).unwrap();
+        a.with_mut(|h| {
+            let k = h.register_instance("T", vec![FieldDesc::prim("x")])?;
+            let t = h.alloc_instance(k)?;
+            h.set_field(t, 0, 1);
+            h.flush_object(t);
+            h.set_root("t", t)
+        })
+        .unwrap();
+        let first = a.commit().unwrap();
+        assert!(first.synced_lines > 0);
+        // Nothing persisted since: the second commit writes nothing.
+        let second = a.commit().unwrap();
+        assert_eq!(second.synced_lines, 0);
+        // One more persisted field: the next commit is proportional to the
+        // delta, not the heap size.
+        a.with_mut(|h| {
+            let t = h.get_root("t").unwrap();
+            h.set_field(t, 0, 2);
+            h.flush_field(t, 0);
+        });
+        let third = a.commit().unwrap();
+        assert!(third.synced_lines >= 1 && third.synced_lines < first.synced_lines);
+    }
+
+    #[test]
+    fn commit_mid_txn_is_rolled_back_on_reload() {
+        let mgr = HeapManager::temp().unwrap();
+        let a = mgr.create("a", 4 << 20, PjhConfig::small()).unwrap();
+        let t = a
+            .txn(|t| {
+                let k = t.register_instance("T", vec![FieldDesc::prim("x")])?;
+                let obj = t.alloc_instance(k)?;
+                t.set_field(obj, 0, 5);
+                Ok(obj)
+            })
             .unwrap();
-        let t = h.alloc_instance(k).unwrap();
-        h.set_root("t", t).unwrap();
-        // No save: loading sees the freshly created image.
-        let (h2, _) = mgr.load_heap("a", LoadOptions::default()).unwrap();
-        assert_eq!(h2.get_root("t"), None);
-        assert_eq!(h2.census().objects, 0);
+        a.with_mut(|h| h.set_root("t", t)).unwrap();
+        // Open a transaction, apply a store, and take a commit point
+        // before it finishes — the image captures a torn transaction.
+        a.with_mut(|h| {
+            h.txn_begin().unwrap();
+            h.txn_set_field(t, 0, 99);
+        });
+        a.commit().unwrap();
+        drop(a);
+        let a2 = mgr.load("a", LoadOptions::default()).unwrap();
+        a2.with(|h| {
+            let t = h.get_root("t").unwrap();
+            assert_eq!(h.field(t, 0), 5, "torn transaction rolled back");
+        });
+    }
+
+    #[test]
+    fn delete_detaches_live_handles_from_the_image() {
+        let mgr = HeapManager::temp().unwrap();
+        let stale = mgr.create("a", 4 << 20, PjhConfig::small()).unwrap();
+        stale
+            .with_mut(|h| {
+                let k = h.register_instance("Old", vec![FieldDesc::prim("x")])?;
+                let t = h.alloc_instance(k)?;
+                h.flush_object(t);
+                h.set_root("old", t)
+            })
+            .unwrap();
+        assert!(mgr.delete_heap("a"));
+        assert!(!stale.is_managed(), "deleted ⇒ detached");
+        // A successor takes the name; the stale handle's commit must not
+        // splice its lines into the successor's image.
+        let fresh = mgr.create("a", 4 << 20, PjhConfig::small()).unwrap();
+        fresh
+            .with_mut(|h| {
+                let k = h.register_instance("New", vec![FieldDesc::prim("y")])?;
+                let t = h.alloc_instance(k)?;
+                h.set_field(t, 0, 5);
+                h.flush_object(t);
+                h.set_root("new", t)
+            })
+            .unwrap();
+        let stale_commit = stale.commit().unwrap();
+        assert!(!stale_commit.managed, "stale commit is a no-op");
+        fresh.commit().unwrap();
+        drop(fresh);
+        let reloaded = mgr.load("a", LoadOptions::default()).unwrap();
+        reloaded.with(|h| {
+            assert_eq!(h.get_root("old"), None, "no bleed-through");
+            let t = h.get_root("new").unwrap();
+            assert_eq!(h.field(t, 0), 5);
+        });
+    }
+
+    #[test]
+    fn temp_manager_removes_its_directory_on_drop() {
+        let mgr = HeapManager::temp().unwrap();
+        let dir = mgr.dir().to_path_buf();
+        mgr.create("x", 4 << 20, PjhConfig::small()).unwrap();
+        assert!(dir.exists());
+        let clone = mgr.clone();
+        drop(mgr);
+        assert!(dir.exists(), "clone keeps the directory alive");
+        drop(clone);
+        assert!(!dir.exists(), "last clone removes the directory");
     }
 
     #[test]
     fn delete_and_list() {
         let mgr = HeapManager::temp().unwrap();
-        mgr.create_heap("x", 4 << 20, PjhConfig::small()).unwrap();
-        mgr.create_heap("y", 4 << 20, PjhConfig::small()).unwrap();
+        mgr.create("x", 4 << 20, PjhConfig::small()).unwrap();
+        mgr.create("y", 4 << 20, PjhConfig::small()).unwrap();
         assert_eq!(mgr.heap_names(), vec!["x", "y"]);
         assert!(mgr.delete_heap("x"));
         assert!(!mgr.delete_heap("x"));
         assert_eq!(mgr.heap_names(), vec!["y"]);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn compat_shims_still_roundtrip() {
+        let mgr = HeapManager::temp().unwrap();
+        let mut h = mgr.create_heap("old", 4 << 20, PjhConfig::small()).unwrap();
+        let k = h
+            .register_instance("T", vec![FieldDesc::prim("x")])
+            .unwrap();
+        let t = h.alloc_instance(k).unwrap();
+        h.set_field(t, 0, 9);
+        h.flush_object(t);
+        h.set_root("t", t).unwrap();
+        mgr.save("old", &h).unwrap();
+        let (h2, _) = mgr.load_heap("old", LoadOptions::default()).unwrap();
+        let t2 = h2.get_root("t").unwrap();
+        assert_eq!(h2.field(t2, 0), 9);
     }
 }

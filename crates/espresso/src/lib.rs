@@ -20,30 +20,53 @@
 //!
 //! # Quickstart
 //!
+//! The heap API is session-based: a [`heap::HeapManager`] maps names to
+//! images and hands out shared live [`heap::HeapHandle`]s (loading the
+//! same name twice yields the same instance). `commit()` is the explicit
+//! durability boundary — an incremental sync of everything persisted
+//! since the previous commit — and `txn(|t| ...)` runs undo-logged ACID
+//! transactions that abort on error or panic.
+//!
 //! ```
 //! use espresso::heap::{HeapManager, LoadOptions, PjhConfig};
 //! use espresso::object::FieldDesc;
 //!
 //! # fn main() -> Result<(), espresso::heap::PjhError> {
 //! let mgr = HeapManager::temp()?;
-//! let mut heap = mgr.create_heap("jimmy", 4 << 20, PjhConfig::small())?;
-//! let person = heap.register_instance(
-//!     "Person",
-//!     vec![FieldDesc::prim("id"), FieldDesc::reference("next")],
-//! )?;
-//! let p = heap.alloc_instance(person)?; // pnew Person(...)
-//! heap.set_field(p, 0, 7);
-//! heap.flush_object(p);
-//! heap.set_root("jimmy_info", p)?;
-//! mgr.save("jimmy", &heap)?;
+//! let jimmy = mgr.create("jimmy", 4 << 20, PjhConfig::small())?;
+//! let p = jimmy.txn(|t| {
+//!     let person = t.register_instance(
+//!         "Person",
+//!         vec![FieldDesc::prim("id"), FieldDesc::reference("next")],
+//!     )?;
+//!     let p = t.alloc_instance(person)?; // pnew Person(...)
+//!     t.set_field(p, 0, 7);              // logged + persisted
+//!     Ok(p)
+//! })?;
+//! jimmy.with_mut(|heap| heap.set_root("jimmy_info", p))?;
+//! jimmy.commit()?; // durability boundary (incremental image sync)
 //!
-//! // A later process:
-//! let (heap, _) = mgr.load_heap("jimmy", LoadOptions::default())?;
-//! let p = heap.get_root("jimmy_info").expect("survived");
-//! assert_eq!(heap.field(p, 0), 7);
+//! // A later process (drop the session first, then load the image):
+//! drop(jimmy);
+//! let jimmy = mgr.load("jimmy", LoadOptions::default())?;
+//! jimmy.with(|heap| {
+//!     let p = heap.get_root("jimmy_info").expect("survived");
+//!     assert_eq!(heap.field(p, 0), 7);
+//! });
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Migration from the pre-session API
+//!
+//! | Old (deprecated) | New |
+//! |---|---|
+//! | `mgr.create_heap(name, size, cfg)` → `Pjh` | `mgr.create(name, size, cfg)` → [`heap::HeapHandle`] |
+//! | `mgr.load_heap(name, opts)` → `(Pjh, report)` | `mgr.load(name, opts)` → handle (`handle.load_report()`) |
+//! | `mgr.save(name, &heap)` (whole image) | `handle.commit()` (incremental sync of the delta) |
+//! | `heap.set_field(..)` on an owned `Pjh` | `handle.with_mut(\|h\| ..)`, or `handle.txn(\|t\| ..)` for ACID |
+//! | `PStore::new(pjh)` owning the heap | `PStore::open(&handle)` sharing it |
+//! | one `Pjh` per workload | [`heap::ShardedHeap`] routes keys across N instances |
 
 pub use espresso_collections as collections;
 pub use espresso_core as heap;

@@ -127,6 +127,12 @@ struct Inner {
     tables: HashMap<String, Table>,
     stats: DbStats,
     txn: Option<(Vec<Undo>, Vec<Redo>)>,
+    /// Auto-checkpoint knob: once the WAL tail (bytes a reopen would
+    /// replay) exceeds this *and* outweighs a fresh snapshot, a
+    /// checkpoint is written at the next commit-quiesce point.
+    ckpt_threshold: usize,
+    /// Records replayed by the `open` that produced this instance.
+    replayed: usize,
 }
 
 /// An embedded database bound to one NVM device. Cheap to clone; clones
@@ -158,11 +164,14 @@ impl Database {
                 tables: HashMap::new(),
                 stats: DbStats::default(),
                 txn: None,
+                ckpt_threshold: DEFAULT_CKPT_THRESHOLD,
+                replayed: 0,
             })),
         })
     }
 
-    /// Opens an existing database, replaying the committed WAL.
+    /// Opens an existing database, replaying only the committed WAL tail
+    /// since the last checkpoint.
     ///
     /// # Errors
     ///
@@ -170,8 +179,10 @@ impl Database {
     pub fn open(dev: NvmDevice) -> crate::Result<Database> {
         let wal = Wal::open(dev).ok_or(DbError::NotADatabase)?;
         let mut tables = HashMap::new();
+        let mut replayed = 0;
         for record in wal.replay() {
             apply_redo(&mut tables, record);
+            replayed += 1;
         }
         Ok(Database {
             inner: Arc::new(Mutex::new(Inner {
@@ -179,8 +190,36 @@ impl Database {
                 tables,
                 stats: DbStats::default(),
                 txn: None,
+                ckpt_threshold: DEFAULT_CKPT_THRESHOLD,
+                replayed,
             })),
         })
+    }
+
+    /// Records replayed by the `open` that produced this instance (0 for
+    /// a freshly created database). After a checkpoint, reopening replays
+    /// only the tail, so this stays small regardless of history length.
+    pub fn replayed_records(&self) -> usize {
+        self.inner.lock().replayed
+    }
+
+    /// Sets the auto-checkpoint threshold in WAL-tail bytes (0 forces a
+    /// checkpoint attempt after every quiesced commit that grew the tail
+    /// beyond one snapshot).
+    pub fn set_checkpoint_threshold(&self, bytes: usize) {
+        self.inner.lock().ckpt_threshold = bytes;
+    }
+
+    /// Writes a checkpoint now (if no explicit transaction is open):
+    /// commits a snapshot of every table and advances the replay pointer,
+    /// so the next `open` replays only records committed after this
+    /// point. Returns whether a checkpoint was written.
+    pub fn checkpoint(&self) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.txn.is_some() {
+            return false; // not quiesced
+        }
+        force_checkpoint(&mut inner)
     }
 
     /// Opens a connection (all connections share one serialized engine,
@@ -463,6 +502,7 @@ impl Connection {
         let ok = inner.wal.commit(&redo);
         inner.stats.wal_ns += t0.elapsed().as_nanos() as u64;
         if ok {
+            maybe_checkpoint(&mut inner);
             Ok(())
         } else {
             // The in-memory state kept the changes; a real engine would
@@ -497,6 +537,65 @@ impl Connection {
     }
 }
 
+/// Default WAL-tail size that arms an automatic checkpoint (16 KiB).
+const DEFAULT_CKPT_THRESHOLD: usize = 16 << 10;
+
+/// Serializes the whole engine state as redo records: `CreateTable` per
+/// table (which resets it on replay) followed by its rows, in
+/// deterministic (sorted) table order.
+fn snapshot_records(tables: &HashMap<String, Table>) -> Vec<Redo> {
+    let mut names: Vec<&String> = tables.keys().collect();
+    names.sort();
+    let mut out = Vec::new();
+    for name in names {
+        let t = &tables[name];
+        out.push(Redo::CreateTable {
+            name: name.clone(),
+            columns: t.columns.clone(),
+            primary_key: t.primary_key,
+        });
+        for row in t.rows.values() {
+            out.push(Redo::Insert {
+                table: name.clone(),
+                row: row.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// Writes a checkpoint unconditionally (caller checks quiescence).
+/// Returns whether the WAL accepted it.
+fn force_checkpoint(inner: &mut Inner) -> bool {
+    let t0 = Instant::now();
+    let snapshot = snapshot_records(&inner.tables);
+    let ok = inner.wal.checkpoint(&snapshot);
+    inner.stats.wal_ns += t0.elapsed().as_nanos() as u64;
+    ok
+}
+
+/// Auto-checkpoint policy, run at commit-quiesce points: checkpoint when
+/// the tail a reopen would replay exceeds the threshold *and* is worth
+/// more than the snapshot it would be replaced by (a cheap row-count
+/// estimate keeps this O(1) per commit). A full WAL is ignored — the
+/// checkpoint is an optimization, never a correctness requirement.
+fn maybe_checkpoint(inner: &mut Inner) {
+    debug_assert!(inner.txn.is_none(), "checkpoints only at quiesce points");
+    let tail = inner.wal.tail_bytes();
+    if tail < inner.ckpt_threshold.max(1) {
+        return;
+    }
+    // ~32 bytes per row + per-table overhead approximates the snapshot.
+    let estimate: usize = inner
+        .tables
+        .values()
+        .map(|t| 64 + t.rows.len() * 32)
+        .sum::<usize>();
+    if tail > estimate {
+        let _ = force_checkpoint(inner);
+    }
+}
+
 fn pk_name(inner: &Inner, table: &str) -> crate::Result<String> {
     let t = inner
         .tables
@@ -515,6 +614,7 @@ fn finish_write(inner: &mut Inner, undo: Vec<Undo>, redo: Vec<Redo>) -> crate::R
         let ok = inner.wal.commit(&redo);
         inner.stats.wal_ns += t0.elapsed().as_nanos() as u64;
         if ok {
+            maybe_checkpoint(inner);
             Ok(())
         } else {
             Err(DbError::LogFull)
@@ -541,6 +641,7 @@ fn run_statement(inner: &mut Inner, stmt: Statement) -> crate::Result<QueryResul
             let ok = inner.wal.commit(&redo);
             inner.stats.wal_ns += t1.elapsed().as_nanos() as u64;
             return if ok {
+                maybe_checkpoint(inner);
                 Ok(QueryResult::default())
             } else {
                 Err(DbError::LogFull)
@@ -951,6 +1052,70 @@ mod tests {
         }
         let sql = db.stats();
         assert!(sql.parse_ns > 0, "SQL path pays for parsing");
+    }
+
+    #[test]
+    fn explicit_checkpoint_trims_reopen_replay() {
+        let (dev, db, mut conn) = db();
+        setup_person(&mut conn);
+        for i in 10..110 {
+            conn.execute(&format!("INSERT INTO person VALUES ({i}, 'P', {i})"))
+                .unwrap();
+        }
+        assert!(db.checkpoint());
+        conn.execute("INSERT INTO person VALUES (999, 'Tail', 1)")
+            .unwrap();
+        dev.crash();
+        let db2 = Database::open(dev).unwrap();
+        // Snapshot (1 create + 102 inserts) + 1 tail insert, not the
+        // 102-statement history plus creates.
+        assert_eq!(db2.replayed_records(), 104);
+        assert_eq!(db2.row_count("person").unwrap(), 103);
+        let mut c2 = db2.connect();
+        let r = c2.execute("SELECT * FROM person WHERE id = 999").unwrap();
+        assert_eq!(r.rows[0][1], Value::Str("Tail".into()));
+    }
+
+    #[test]
+    fn auto_checkpoint_bounds_reopen_replay() {
+        let (dev, db, mut conn) = db();
+        db.set_checkpoint_threshold(0); // checkpoint whenever it pays off
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+            .unwrap();
+        // Heavy update churn on few rows: history grows, state does not.
+        for i in 0..20 {
+            conn.execute(&format!("INSERT INTO t VALUES ({i}, 0)"))
+                .unwrap();
+        }
+        for round in 0..50 {
+            for i in 0..20 {
+                conn.execute(&format!("UPDATE t SET v = {round} WHERE id = {i}"))
+                    .unwrap();
+            }
+        }
+        dev.crash();
+        let db2 = Database::open(dev).unwrap();
+        assert_eq!(db2.row_count("t").unwrap(), 20);
+        assert!(
+            db2.replayed_records() < 200,
+            "replayed {} records; auto-checkpoint should bound the tail far below the ~1020-record history",
+            db2.replayed_records()
+        );
+        let mut c2 = db2.connect();
+        let r = c2.execute("SELECT * FROM t WHERE id = 7").unwrap();
+        assert_eq!(r.rows[0][1], Value::Int(49));
+    }
+
+    #[test]
+    fn checkpoint_refused_inside_open_transaction() {
+        let (_dev, db, mut conn) = db();
+        setup_person(&mut conn);
+        conn.begin();
+        conn.execute("INSERT INTO person VALUES (3, 'Cid', 20)")
+            .unwrap();
+        assert!(!db.checkpoint(), "not quiesced");
+        conn.commit().unwrap();
+        assert!(db.checkpoint());
     }
 
     #[test]

@@ -81,6 +81,17 @@ impl NvmConfig {
     }
 }
 
+/// What [`NvmDevice::sync_image`] wrote to the image file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ImageSyncReport {
+    /// Cache lines written to the file.
+    pub lines_synced: usize,
+    /// Bytes written to the file.
+    pub bytes_written: usize,
+    /// The whole image was rewritten (missing or mismatched file).
+    pub full_rewrite: bool,
+}
+
 /// A scheduled power failure, expressed in remaining successful line flushes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CrashPlan {
@@ -93,6 +104,9 @@ struct Inner {
     persisted: Vec<u8>,
     /// One bit per cache line: line differs from the persisted image.
     dirty: Vec<u64>,
+    /// One bit per cache line: persisted line differs from the last image
+    /// written by [`NvmDevice::save_image`] / [`NvmDevice::sync_image`].
+    unsynced: Vec<u64>,
     stats: NvmStats,
     latency: LatencyModel,
     sim_ns: f64,
@@ -111,6 +125,10 @@ impl Inner {
 
     fn clear_dirty(&mut self, line: usize) {
         self.dirty[line / 64] &= !(1 << (line % 64));
+    }
+
+    fn is_unsynced(&self, line: usize) -> bool {
+        self.unsynced[line / 64] & (1 << (line % 64)) != 0
     }
 
     fn charge(&mut self, ns: f64) {
@@ -170,6 +188,7 @@ impl Inner {
                 let hi = lo + CACHE_LINE;
                 self.persisted[lo..hi].copy_from_slice(&self.volatile[lo..hi]);
                 self.clear_dirty(line);
+                self.unsynced[line / 64] |= 1 << (line % 64);
             }
         }
     }
@@ -220,6 +239,9 @@ impl NvmDevice {
                 volatile: vec![0; size],
                 persisted: vec![0; size],
                 dirty: vec![0; lines.div_ceil(64)],
+                // A fresh device has never been written to an image, so
+                // every line counts as unsynced until the first full save.
+                unsynced: vec![u64::MAX; lines.div_ceil(64)],
                 stats: NvmStats::default(),
                 latency: config.latency,
                 sim_ns: 0.0,
@@ -389,15 +411,77 @@ impl NvmDevice {
         self.inner.lock().persisted.clone()
     }
 
-    /// Writes the durable image to `path`.
+    /// Writes the durable image to `path` in full and marks every line as
+    /// synced (subsequent [`sync_image`](Self::sync_image) calls write only
+    /// what was persisted after this point).
     ///
     /// # Errors
     ///
     /// Returns [`NvmError::Io`] on filesystem failure.
     pub fn save_image(&self, path: &Path) -> crate::Result<()> {
-        let image = self.snapshot_persisted();
-        std::fs::write(path, image)?;
+        let mut inner = self.inner.lock();
+        std::fs::write(path, &inner.persisted)?;
+        inner.unsynced.iter_mut().for_each(|w| *w = 0);
         Ok(())
+    }
+
+    /// Incrementally syncs the durable image at `path`: only cache lines
+    /// persisted since the last [`save_image`](Self::save_image) /
+    /// `sync_image` are written (contiguous runs are coalesced into single
+    /// `write` calls). Falls back to a full rewrite when the file is
+    /// missing or its size does not match the device.
+    ///
+    /// This is the device half of an explicit commit point: the bytes that
+    /// reach the file are exactly the persistence domain — what a power
+    /// failure at the moment of the sync would have preserved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NvmError::Io`] on filesystem failure.
+    pub fn sync_image(&self, path: &Path) -> crate::Result<ImageSyncReport> {
+        use std::io::{Seek, SeekFrom, Write};
+        let mut inner = self.inner.lock();
+        let lines = self.size / CACHE_LINE;
+        let full = match std::fs::metadata(path) {
+            Ok(m) => m.len() != self.size as u64,
+            Err(_) => true,
+        };
+        if full {
+            std::fs::write(path, &inner.persisted)?;
+            inner.unsynced.iter_mut().for_each(|w| *w = 0);
+            return Ok(ImageSyncReport {
+                lines_synced: lines,
+                bytes_written: self.size,
+                full_rewrite: true,
+            });
+        }
+        let mut file = std::fs::OpenOptions::new().write(true).open(path)?;
+        let mut lines_synced = 0;
+        let mut bytes_written = 0;
+        let mut line = 0;
+        while line < lines {
+            if !inner.is_unsynced(line) {
+                line += 1;
+                continue;
+            }
+            let run_start = line;
+            while line < lines && inner.is_unsynced(line) {
+                line += 1;
+            }
+            let lo = run_start * CACHE_LINE;
+            let hi = line * CACHE_LINE;
+            file.seek(SeekFrom::Start(lo as u64))?;
+            file.write_all(&inner.persisted[lo..hi])?;
+            lines_synced += line - run_start;
+            bytes_written += hi - lo;
+        }
+        file.flush()?;
+        inner.unsynced.iter_mut().for_each(|w| *w = 0);
+        Ok(ImageSyncReport {
+            lines_synced,
+            bytes_written,
+            full_rewrite: false,
+        })
     }
 
     /// Creates a device whose durable *and* volatile contents come from an
@@ -423,6 +507,9 @@ impl NvmDevice {
             let mut inner = dev.inner.lock();
             inner.persisted.copy_from_slice(&image);
             inner.volatile.copy_from_slice(&image);
+            // The persisted state and the on-disk image agree by
+            // construction, so a sync right after a load writes nothing.
+            inner.unsynced.iter_mut().for_each(|w| *w = 0);
         }
         Ok(dev)
     }
@@ -577,6 +664,58 @@ mod tests {
         let d2 = NvmDevice::load_image(&path, LatencyModel::zero()).unwrap();
         assert_eq!(d2.read_u64(256), 77);
         assert_eq!(d2.read_u64(512), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sync_image_writes_only_persisted_deltas() {
+        let dir = std::env::temp_dir().join(format!("espresso-nvm-sync-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("heap.img");
+        let d = dev(4096);
+        d.write_u64(0, 1);
+        d.persist(0, 8);
+        // First sync: no file yet, full rewrite.
+        let r = d.sync_image(&path).unwrap();
+        assert!(r.full_rewrite);
+        assert_eq!(r.bytes_written, d.size());
+        // Nothing new persisted: the next sync writes zero bytes.
+        let r = d.sync_image(&path).unwrap();
+        assert!(!r.full_rewrite);
+        assert_eq!(r.bytes_written, 0);
+        // Persist two distant lines: exactly two lines are written.
+        d.write_u64(128, 2);
+        d.write_u64(1024, 3);
+        d.persist(128, 8);
+        d.persist(1024, 8);
+        d.write_u64(2048, 4); // never flushed: must not reach the image
+        let r = d.sync_image(&path).unwrap();
+        assert_eq!(r.lines_synced, 2);
+        assert_eq!(r.bytes_written, 2 * CACHE_LINE);
+        let d2 = NvmDevice::load_image(&path, LatencyModel::zero()).unwrap();
+        assert_eq!(d2.read_u64(0), 1);
+        assert_eq!(d2.read_u64(128), 2);
+        assert_eq!(d2.read_u64(1024), 3);
+        assert_eq!(d2.read_u64(2048), 0, "unpersisted write stayed out");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sync_image_coalesces_contiguous_runs() {
+        let dir = std::env::temp_dir().join(format!("espresso-nvm-sync2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("heap.img");
+        let d = dev(4096);
+        d.sync_image(&path).unwrap();
+        d.fill(0, 256, 0xEE);
+        d.persist(0, 256);
+        let r = d.sync_image(&path).unwrap();
+        assert_eq!(r.lines_synced, 4);
+        assert_eq!(r.bytes_written, 256);
+        let d2 = NvmDevice::load_image(&path, LatencyModel::zero()).unwrap();
+        let mut buf = [0u8; 256];
+        d2.read_bytes(0, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0xEE));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

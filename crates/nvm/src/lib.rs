@@ -34,7 +34,7 @@ mod device;
 mod latency;
 mod stats;
 
-pub use device::{CrashPlan, NvmConfig, NvmDevice, NvmError};
+pub use device::{CrashPlan, ImageSyncReport, NvmConfig, NvmDevice, NvmError};
 pub use latency::LatencyModel;
 pub use stats::NvmStats;
 

@@ -103,6 +103,9 @@ pub struct PcjStore {
     lock: Arc<Mutex<()>>,
     timers: PhaseBreakdown,
     log_entries: usize,
+    /// Open-transaction depth: nested begins (an op inside a
+    /// [`transact`](Self::transact) scope) flatten into the outer one.
+    txn_depth: u32,
 }
 
 impl fmt::Debug for PcjStore {
@@ -140,6 +143,7 @@ impl PcjStore {
             lock: Arc::new(Mutex::new(())),
             timers: PhaseBreakdown::default(),
             log_entries: 0,
+            txn_depth: 0,
         })
     }
 
@@ -182,6 +186,7 @@ impl PcjStore {
             lock: Arc::new(Mutex::new(())),
             timers: PhaseBreakdown::default(),
             log_entries: 0,
+            txn_depth: 0,
         })
     }
 
@@ -210,6 +215,10 @@ impl PcjStore {
     // ---- transactions (NVML-style undo log, per-entry flushes) ----
 
     pub(crate) fn txn_begin(&mut self) {
+        if self.txn_depth > 0 {
+            self.txn_depth += 1;
+            return;
+        }
         self.timed(Phase::Transaction, |s| {
             // The synchronization primitive PCJ pays for on every op, plus
             // NVML's persisted transaction-stage update (tx_begin writes
@@ -218,10 +227,15 @@ impl PcjStore {
             s.dev.write_u64(meta::TX_STAGE, 1);
             s.dev.persist(meta::TX_STAGE, 8);
             s.log_entries = 0;
+            s.txn_depth = 1;
         });
     }
 
     pub(crate) fn txn_commit(&mut self) {
+        if self.txn_depth > 1 {
+            self.txn_depth -= 1;
+            return;
+        }
         self.timed(Phase::Transaction, |s| {
             // NVML tx_end: invalidate the used records (their addr words
             // share lines four to one, so this is usually one flush — not
@@ -235,6 +249,7 @@ impl PcjStore {
             s.dev.write_u64(meta::TX_STAGE, 0);
             s.dev.persist(meta::TX_STAGE, 8);
             s.log_entries = 0;
+            s.txn_depth = 0;
         });
     }
 
@@ -261,6 +276,77 @@ impl PcjStore {
         self.dev.write_u64(addr, value);
         self.dev.persist(addr, 8);
         Ok(())
+    }
+
+    /// Undoes records `start..log_entries` in reverse and invalidates
+    /// them (the abort half of the NVML idiom, scoped so a nested
+    /// [`transact`](Self::transact) rolls back only its own stores;
+    /// recovery does the full-prefix equivalent from the persisted log).
+    fn txn_rollback_from(&mut self, start: usize) {
+        if self.log_entries <= start {
+            return;
+        }
+        for i in (start..self.log_entries).rev() {
+            let addr = self.dev.read_u64(LOG_OFF + i * 16) as usize;
+            let old = self.dev.read_u64(LOG_OFF + i * 16 + 8);
+            self.dev.write_u64(addr, old);
+            self.dev.persist(addr, 8);
+        }
+        // Zero the rolled-back records so neither an outer commit's sweep
+        // nor crash recovery ever treats them as live again.
+        for i in start..self.log_entries {
+            self.dev.write_u64(LOG_OFF + i * 16, 0);
+        }
+        self.dev
+            .persist(LOG_OFF + start * 16, (self.log_entries - start) * 16);
+        self.log_entries = start;
+    }
+
+    /// Runs `f` as one scoped NVML-style transaction — the same typed
+    /// entry-point shape as the PJH session API's `txn`: one stage-word
+    /// persist per scope instead of per operation, commit on `Ok`,
+    /// rollback + commit-stage-reset on `Err` *and* on panic (the panic
+    /// is re-raised after the rollback). Batching several logged stores
+    /// under one scope is how PCJ applications amortize the transaction
+    /// overhead the paper measures per-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `f`'s error after rolling back its logged stores.
+    pub fn transact<T>(
+        &mut self,
+        f: impl FnOnce(&mut PcjStore) -> crate::Result<T>,
+    ) -> crate::Result<T> {
+        self.txn_begin();
+        // This scope owns only the records appended from here on: a
+        // nested transact that fails must not undo its enclosing scope's
+        // stores (the outer scope decides its own fate).
+        let scope_start = self.log_entries;
+        let scope_depth = self.txn_depth;
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(self)));
+        match out {
+            Ok(Ok(v)) => {
+                self.txn_commit();
+                Ok(v)
+            }
+            Ok(Err(e)) => {
+                self.txn_rollback_from(scope_start);
+                self.txn_commit();
+                Err(e)
+            }
+            Err(payload) => {
+                // A panicking closure must not leave the stage word set
+                // and the depth stuck — the panic may even have unwound
+                // out of a nested op between its begin and commit, so
+                // force the depth back to this scope before closing it;
+                // then let the panic continue (an enclosing transact will
+                // roll back its own slice the same way).
+                self.txn_depth = scope_depth;
+                self.txn_rollback_from(scope_start);
+                self.txn_commit();
+                std::panic::resume_unwind(payload);
+            }
+        }
     }
 
     // ---- type table (the "metadata" cost of Figure 6) ----
@@ -695,6 +781,83 @@ mod tests {
                 "{phase} never timed"
             );
         }
+    }
+
+    #[test]
+    fn scoped_transact_batches_ops_under_one_stage() {
+        let (dev, mut s) = store();
+        let o = s.create("T", 2, false).unwrap();
+        s.set_word(o, 0, 1).unwrap();
+        let f0 = dev.stats().line_flushes;
+        s.transact(|s| {
+            s.set_word(o, 0, 2)?;
+            s.set_word(o, 1, 3)?;
+            Ok(())
+        })
+        .unwrap();
+        let batched = dev.stats().line_flushes - f0;
+        // One stage set + 2×(record + data) + invalidate + stage reset = 7,
+        // versus 2 standalone ops at 5 flushes each.
+        assert_eq!(batched, 7);
+        assert_eq!(s.get_word(o, 0), 2);
+        assert_eq!(s.get_word(o, 1), 3);
+    }
+
+    #[test]
+    fn nested_transact_error_spares_the_outer_scope() {
+        let (dev, mut s) = store();
+        let o = s.create("T", 2, false).unwrap();
+        s.set_word(o, 0, 1).unwrap();
+        s.set_word(o, 1, 2).unwrap();
+        let out: crate::Result<()> = s.transact(|s| {
+            s.set_word(o, 0, 10)?; // outer store
+            let inner: crate::Result<()> = s.transact(|s| {
+                s.set_word(o, 1, 20)?; // inner store
+                Err(PcjError::LogOverflow)
+            });
+            assert!(inner.is_err());
+            Ok(()) // outer recovers from the inner failure
+        });
+        assert!(out.is_ok());
+        assert_eq!(s.get_word(o, 0), 10, "outer store committed");
+        assert_eq!(s.get_word(o, 1), 2, "inner store rolled back");
+        assert_eq!(dev.read_u64(meta::TX_STAGE), 0);
+    }
+
+    #[test]
+    fn scoped_transact_survives_a_panicking_closure() {
+        let (dev, mut s) = store();
+        let o = s.create("T", 1, false).unwrap();
+        s.set_word(o, 0, 5).unwrap();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _: crate::Result<()> = s.transact(|s| {
+                s.set_word(o, 0, 99)?;
+                panic!("mid-transaction");
+            });
+        }));
+        assert!(caught.is_err());
+        assert_eq!(s.get_word(o, 0), 5, "panic rolled the scope back");
+        assert_eq!(dev.read_u64(meta::TX_STAGE), 0, "stage word reset");
+        // The store still runs standalone ops with the normal flush cost.
+        let f0 = dev.stats().line_flushes;
+        s.set_word(o, 0, 6).unwrap();
+        assert_eq!(dev.stats().line_flushes - f0, 5);
+        assert_eq!(s.get_word(o, 0), 6);
+    }
+
+    #[test]
+    fn scoped_transact_rolls_back_on_error() {
+        let (_dev, mut s) = store();
+        let o = s.create("T", 2, false).unwrap();
+        s.set_word(o, 0, 5).unwrap();
+        let out: crate::Result<()> = s.transact(|s| {
+            s.set_word(o, 0, 99)?;
+            s.set_word(o, 1, 100)?;
+            Err(PcjError::LogOverflow)
+        });
+        assert!(out.is_err());
+        assert_eq!(s.get_word(o, 0), 5, "error rolled the scope back");
+        assert_eq!(s.get_word(o, 1), 0);
     }
 
     #[test]

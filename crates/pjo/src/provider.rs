@@ -4,10 +4,11 @@ use std::collections::HashMap;
 use std::fmt;
 use std::time::Instant;
 
-use espresso_core::{Pjh, PjhError};
+use espresso_core::{CommitReport, HeapHandle, Pjh, PjhError};
 use espresso_jpa::{EntityMeta, EntityObject};
 use espresso_minidb::{ColType, Connection, DbError, Value};
 use espresso_object::{FieldDesc, FieldKind, Ref};
+use parking_lot::RwLockReadGuard;
 
 /// Errors from the PJO provider.
 #[derive(Debug)]
@@ -78,11 +79,55 @@ fn key_i64(v: &Value) -> i64 {
     }
 }
 
+fn pjh_klass(h: &mut Pjh, meta: &EntityMeta) -> Result<espresso_object::KlassId, PjhError> {
+    let fields: Vec<FieldDesc> = meta
+        .fields()
+        .iter()
+        .map(|(n, t)| FieldDesc {
+            name: n.clone(),
+            kind: match t {
+                ColType::Int => FieldKind::Prim,
+                ColType::Text => FieldKind::Reference,
+            },
+        })
+        .collect();
+    h.register_instance(&format!("DB{}", meta.name()), fields)
+}
+
+fn store_string(h: &mut Pjh, s: &str) -> Result<Ref, PjhError> {
+    let kid = h.register_prim_array();
+    let words = 1 + s.len().div_ceil(8);
+    let arr = h.alloc_array(kid, words)?;
+    h.array_set(arr, 0, s.len() as u64);
+    for (i, chunk) in s.as_bytes().chunks(8).enumerate() {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        h.array_set(arr, 1 + i, u64::from_le_bytes(w));
+    }
+    h.flush_object(arr);
+    Ok(arr)
+}
+
+fn load_string(h: &Pjh, arr: Ref) -> String {
+    let len = h.array_get(arr, 0) as usize;
+    let mut bytes = Vec::with_capacity(len);
+    for i in 0..len.div_ceil(8) {
+        bytes.extend_from_slice(&h.array_get(arr, 1 + i).to_le_bytes());
+    }
+    bytes.truncate(len);
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
 /// The PJO entity manager: JPA's API, PJH's data path. See the
 /// [crate docs](crate).
+///
+/// The persistent heap is held through a shared [`HeapHandle`], so the
+/// same heap can serve other sessions concurrently;
+/// [`commit`](Self::commit) ends with the handle's commit point when the
+/// heap is manager-backed.
 pub struct PjoEntityManager {
     conn: Connection,
-    pjh: Pjh,
+    pjh: HeapHandle,
     pending: Vec<Pending>,
     /// Deduplicated copies: (table, pk) → PJH object.
     copies: HashMap<(String, i64), Ref>,
@@ -100,11 +145,13 @@ impl fmt::Debug for PjoEntityManager {
 }
 
 impl PjoEntityManager {
-    /// Wraps a backend connection and a persistent heap.
-    pub fn new(conn: Connection, pjh: Pjh) -> PjoEntityManager {
+    /// Wraps a backend connection and a persistent heap (a shared
+    /// [`HeapHandle`] or a raw [`Pjh`], which is wrapped in an unmanaged
+    /// handle).
+    pub fn new(conn: Connection, pjh: impl Into<HeapHandle>) -> PjoEntityManager {
         PjoEntityManager {
             conn,
-            pjh,
+            pjh: pjh.into(),
             pending: Vec::new(),
             copies: HashMap::new(),
             dedup: false,
@@ -130,8 +177,14 @@ impl PjoEntityManager {
         self.stats = PjoStats::default();
     }
 
-    /// The persistent heap holding the deduplicated copies.
-    pub fn pjh(&self) -> &Pjh {
+    /// Read access to the persistent heap holding the deduplicated
+    /// copies. The guard blocks writers; hold it only for the reads.
+    pub fn pjh(&self) -> RwLockReadGuard<'_, Pjh> {
+        self.pjh.read()
+    }
+
+    /// The shared handle to the heap holding the deduplicated copies.
+    pub fn pjh_handle(&self) -> &HeapHandle {
         &self.pjh
     }
 
@@ -188,69 +241,34 @@ impl PjoEntityManager {
 
     // ---- the PJH DBPersistable copy (Figure 14) ----
 
-    fn pjh_klass(&mut self, meta: &EntityMeta) -> crate::Result<espresso_object::KlassId> {
-        let fields: Vec<FieldDesc> = meta
-            .fields()
-            .iter()
-            .map(|(n, t)| FieldDesc {
-                name: n.clone(),
-                kind: match t {
-                    ColType::Int => FieldKind::Prim,
-                    ColType::Text => FieldKind::Reference,
-                },
-            })
-            .collect();
-        Ok(self
-            .pjh
-            .register_instance(&format!("DB{}", meta.name()), fields)?)
-    }
-
     fn store_copy(&mut self, obj: &EntityObject) -> crate::Result<Ref> {
         let t0 = Instant::now();
-        let kid = self.pjh_klass(obj.meta())?;
-        let copy = self.pjh.alloc_instance(kid)?;
-        for (i, (_, ty)) in obj.meta().fields().iter().enumerate() {
-            match ty {
-                ColType::Int => self.pjh.set_field(copy, i, key_i64(obj.get(i)) as u64),
-                ColType::Text => {
-                    let s = match obj.get(i) {
-                        Value::Str(s) => s.clone(),
-                        _ => String::new(),
-                    };
-                    let r = self.store_string(&s)?;
-                    self.pjh.set_field_ref(copy, i, r)?;
+        // One write-lock scope covers the whole copy: klass resolution,
+        // allocation, field stores, and the object flush.
+        let copy = {
+            let mut h = self.pjh.write();
+            let kid = pjh_klass(&mut h, obj.meta())?;
+            let copy = h.alloc_instance(kid)?;
+            for (i, (_, ty)) in obj.meta().fields().iter().enumerate() {
+                match ty {
+                    ColType::Int => h.set_field(copy, i, key_i64(obj.get(i)) as u64),
+                    ColType::Text => {
+                        let s = match obj.get(i) {
+                            Value::Str(s) => s.clone(),
+                            _ => String::new(),
+                        };
+                        let r = store_string(&mut h, &s)?;
+                        h.set_field_ref(copy, i, r)?;
+                    }
                 }
             }
-        }
-        self.pjh.flush_object(copy);
+            h.flush_object(copy);
+            copy
+        };
         self.copies
             .insert((obj.meta().name().to_string(), key_i64(obj.key())), copy);
         self.stats.dedup_ns += t0.elapsed().as_nanos() as u64;
         Ok(copy)
-    }
-
-    fn store_string(&mut self, s: &str) -> crate::Result<Ref> {
-        let kid = self.pjh.register_prim_array();
-        let words = 1 + s.len().div_ceil(8);
-        let arr = self.pjh.alloc_array(kid, words)?;
-        self.pjh.array_set(arr, 0, s.len() as u64);
-        for (i, chunk) in s.as_bytes().chunks(8).enumerate() {
-            let mut w = [0u8; 8];
-            w[..chunk.len()].copy_from_slice(chunk);
-            self.pjh.array_set(arr, 1 + i, u64::from_le_bytes(w));
-        }
-        self.pjh.flush_object(arr);
-        Ok(arr)
-    }
-
-    fn load_string(&self, arr: Ref) -> String {
-        let len = self.pjh.array_get(arr, 0) as usize;
-        let mut bytes = Vec::with_capacity(len);
-        for i in 0..len.div_ceil(8) {
-            bytes.extend_from_slice(&self.pjh.array_get(arr, 1 + i).to_le_bytes());
-        }
-        bytes.truncate(len);
-        String::from_utf8_lossy(&bytes).into_owned()
     }
 
     /// The deduplicated PJH copy of `(meta, key)`, if one exists.
@@ -261,16 +279,17 @@ impl PjoEntityManager {
     }
 
     fn hydrate_from_copy(&self, meta: &EntityMeta, copy: Ref) -> EntityObject {
+        let h = self.pjh.read();
         let mut obj = meta.instantiate();
         for (i, (_, ty)) in meta.fields().iter().enumerate() {
             let v = match ty {
-                ColType::Int => Value::Int(self.pjh.field(copy, i) as i64),
+                ColType::Int => Value::Int(h.field(copy, i) as i64),
                 ColType::Text => {
-                    let r = self.pjh.field_ref(copy, i);
+                    let r = h.field_ref(copy, i);
                     if r.is_null() {
                         Value::Null
                     } else {
-                        Value::Str(self.load_string(r))
+                        Value::Str(load_string(&h, r))
                     }
                 }
             };
@@ -401,6 +420,10 @@ impl PjoEntityManager {
             }
         }
         self.conn.commit()?;
+        // Transaction boundary == durability boundary: when the heap is
+        // manager-backed, sync the dedup copies' image incrementally (a
+        // no-op report for unmanaged heaps).
+        let _: CommitReport = self.pjh.commit()?;
         self.stats.commits += 1;
         Ok(())
     }
@@ -416,7 +439,7 @@ impl PjoEntityManager {
     /// Heap errors.
     pub fn gc_copies(&mut self) -> crate::Result<()> {
         let roots: Vec<Ref> = self.copies.values().copied().collect();
-        let report = self.pjh.gc_full(&roots)?;
+        let report = self.pjh.with_mut(|h| h.gc_full(&roots))?;
         for r in self.copies.values_mut() {
             if let Some(&new) = report.relocations.get(&r.addr()) {
                 *r = Ref::new(espresso_object::Space::Persistent, new);

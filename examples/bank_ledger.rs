@@ -1,13 +1,13 @@
 //! A crash-safe bank ledger on persistent collections: accounts in a
-//! `PHashMap`, an append-only audit trail in a `PArrayList`, and every
-//! transfer wrapped in an undo-logged transaction — the fine-grained
+//! `PHashMap`, an append-only audit trail in a `PArrayList`, every
+//! transfer wrapped in an undo-logged transaction, and an explicit
+//! commit point as the durability boundary — the fine-grained
 //! persistence programming model of §3 without any ORM.
 //!
 //! Run with: `cargo run --example bank_ledger`
 
 use espresso::collections::{PArrayList, PHashMap, PStore};
-use espresso::heap::{LoadOptions, Pjh, PjhConfig, PjhError};
-use espresso::nvm::{NvmConfig, NvmDevice};
+use espresso::heap::{HeapManager, LoadOptions, PjhConfig, PjhError};
 
 fn transfer(
     store: &mut PStore,
@@ -33,9 +33,9 @@ fn transfer(
 }
 
 fn main() -> Result<(), PjhError> {
-    let dev = NvmDevice::new(NvmConfig::with_size(16 << 20));
-    let pjh = Pjh::create(dev.clone(), PjhConfig::default())?;
-    let mut store = PStore::new(pjh)?;
+    let mgr = HeapManager::temp()?;
+    let ledger = mgr.create("ledger", 16 << 20, PjhConfig::default())?;
+    let mut store = PStore::open(&ledger)?;
 
     let accounts = PHashMap::pnew(&mut store, 64)?;
     let log = PArrayList::pnew(&mut store, 16)?;
@@ -50,21 +50,37 @@ fn main() -> Result<(), PjhError> {
     }
     let total: u64 = accounts.entries(&store).iter().map(|&(_, v)| v).sum();
     println!(
-        "before crash: total balance = {total}, audit entries = {}",
+        "before commit: total balance = {total}, audit entries = {}",
         log.len(&store)
     );
 
-    // Power failure mid-run; reload and verify the invariant.
-    dev.crash();
-    let (heap, _) = Pjh::load(dev, LoadOptions::default())?;
-    let store = PStore::attach(heap)?; // rolls back any torn transaction
+    // The explicit durability boundary: everything above reaches the image.
+    let commit = ledger.commit()?;
+    println!(
+        "commit point taken ({} lines / {} bytes synced)",
+        commit.synced_lines, commit.synced_bytes
+    );
+
+    // More transfers *after* the commit point: durable on the device, but
+    // never synced to the image — a process death discards them, exactly
+    // like power failing after the last commit.
+    for i in 0..20u64 {
+        transfer(&mut store, &accounts, &log, i % 8, (i + 5) % 8, 25)?;
+    }
+
+    // "Process death": drop every handle, then reload from the image.
+    drop(store);
+    drop(ledger);
+    let ledger = mgr.load("ledger", LoadOptions::default())?;
+    let store = PStore::open(&ledger)?; // crash recovery already ran on load
     let accounts = PHashMap::from_ref(store.heap().get_root("accounts").unwrap());
     let log = PArrayList::from_ref(store.heap().get_root("audit").unwrap());
     let total: u64 = accounts.entries(&store).iter().map(|&(_, v)| v).sum();
     println!(
-        "after crash:  total balance = {total}, audit entries = {}",
+        "after reload:  total balance = {total}, audit entries = {}",
         log.len(&store)
     );
     assert_eq!(total, 8000, "money is conserved across the crash");
+    assert_eq!(log.len(&store), 100, "exactly the committed transfers");
     Ok(())
 }

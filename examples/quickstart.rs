@@ -1,6 +1,7 @@
-//! Quickstart: create a persistent heap, allocate objects with the `pnew`
-//! path, survive a power failure, and read the data back (§3.3,
-//! Figure 11's "Jimmy" example).
+//! Quickstart: open a session-based heap manager, allocate objects with
+//! the `pnew` path through a live `HeapHandle`, take an explicit commit
+//! point, survive a "reboot", and read the data back (§3.3, Figure 11's
+//! "Jimmy" example).
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -13,45 +14,62 @@ fn main() -> Result<(), PjhError> {
     // Check if the heap exists; create it otherwise (Figure 11).
     if !mgr.exists_heap("Jimmy") {
         println!("heap 'Jimmy' does not exist; creating it");
-        let mut heap = mgr.create_heap("Jimmy", 8 << 20, PjhConfig::default())?;
-        let person = heap.register_instance(
-            "Person",
-            vec![FieldDesc::prim("id"), FieldDesc::reference("friend")],
-        )?;
+        let jimmy = mgr.create("Jimmy", 8 << 20, PjhConfig::default())?;
+        let alice = jimmy.with_mut(|heap| {
+            let person = heap.register_instance(
+                "Person",
+                vec![FieldDesc::prim("id"), FieldDesc::reference("friend")],
+            )?;
+            // Person p = pnew Person(...); two friends pointing at each other.
+            let alice = heap.alloc_instance(person)?;
+            let bob = heap.alloc_instance(person)?;
+            heap.set_field(alice, 0, 1);
+            heap.set_field(bob, 0, 2);
+            heap.set_field_ref(alice, 1, bob)?;
+            heap.set_field_ref(bob, 1, alice)?;
+            // Application-level persistence is explicit (§3.5).
+            heap.flush_object(alice);
+            heap.flush_object(bob);
+            heap.set_root("Jimmy_info", alice)?;
+            Ok::<_, PjhError>(alice)
+        })?;
 
-        // Person p = pnew Person(...); two friends pointing at each other.
-        let alice = heap.alloc_instance(person)?;
-        let bob = heap.alloc_instance(person)?;
-        heap.set_field(alice, 0, 1);
-        heap.set_field(bob, 0, 2);
-        heap.set_field_ref(alice, 1, bob)?;
-        heap.set_field_ref(bob, 1, alice)?;
-        // Application-level persistence is explicit (§3.5).
-        heap.flush_object(alice);
-        heap.flush_object(bob);
-        heap.set_root("Jimmy_info", alice)?;
-        mgr.save("Jimmy", &heap)?;
-        println!("persisted Alice (id 1) and Bob (id 2)");
+        // Loading while the heap is open returns the *same* live instance —
+        // no copy, no image traffic.
+        let same = mgr.load("Jimmy", LoadOptions::default())?;
+        assert_eq!(same.with(|h| h.get_root("Jimmy_info")), Some(alice));
+
+        // The explicit durability boundary: an incremental image sync of
+        // exactly the cache lines persisted since the last commit.
+        let commit = jimmy.commit()?;
+        println!(
+            "committed Alice (id 1) and Bob (id 2): {} lines / {} bytes synced",
+            commit.synced_lines, commit.synced_bytes
+        );
     }
 
-    // "After a system reboot": load the heap and navigate from the root.
-    let (heap, report) = mgr.load_heap("Jimmy", LoadOptions::default())?;
+    // "After a system reboot": every handle is gone, so loading maps the
+    // committed image and runs the loading pipeline.
+    let jimmy = mgr.load("Jimmy", LoadOptions::default())?;
+    let report = jimmy.load_report();
     println!(
         "loaded heap: {} klasses reinitialized in place, recovered_gc={}",
         report.klasses_reloaded, report.recovered_gc
     );
-    let alice = heap.get_root("Jimmy_info").expect("root survives restarts");
-    let bob = heap.field_ref(alice, 1);
-    println!(
-        "alice.id = {}, alice.friend.id = {}, friend.friend == alice: {}",
-        heap.field(alice, 0),
-        heap.field(bob, 0),
-        heap.field_ref(bob, 1) == alice
-    );
-    let census = heap.census();
-    println!(
-        "census: {} objects, {} words",
-        census.objects, census.object_words
-    );
+    jimmy.with(|heap| {
+        let alice = heap.get_root("Jimmy_info").expect("root survives restarts");
+        let bob = heap.field_ref(alice, 1);
+        println!(
+            "alice.id = {}, alice.friend.id = {}, friend.friend == alice: {}",
+            heap.field(alice, 0),
+            heap.field(bob, 0),
+            heap.field_ref(bob, 1) == alice
+        );
+        let census = heap.census();
+        println!(
+            "census: {} objects, {} words",
+            census.objects, census.object_words
+        );
+    });
     Ok(())
 }

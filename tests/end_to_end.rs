@@ -14,29 +14,35 @@ use espresso::vm::{Vm, VmConfig};
 #[test]
 fn vm_objects_survive_restart_through_the_manager() {
     let mgr = HeapManager::temp().unwrap();
-    let mut heap = mgr
-        .create_heap("app", 8 << 20, PjhConfig::default())
-        .unwrap();
-    let k = heap
-        .register_instance(
-            "Account",
-            vec![FieldDesc::prim("balance"), FieldDesc::reference("next")],
-        )
-        .unwrap();
-    let mut head = espresso::object::Ref::NULL;
-    for i in 0..100 {
-        let a = heap.alloc_instance(k).unwrap();
-        heap.set_field(a, 0, i * 10);
-        heap.set_field_ref(a, 1, head).unwrap();
-        heap.flush_object(a);
-        head = a;
-    }
-    heap.set_root("accounts", head).unwrap();
-    mgr.save("app", &heap).unwrap();
+    let app = mgr.create("app", 8 << 20, PjhConfig::default()).unwrap();
+    app.with_mut(|heap| {
+        let k = heap
+            .register_instance(
+                "Account",
+                vec![FieldDesc::prim("balance"), FieldDesc::reference("next")],
+            )
+            .unwrap();
+        let mut head = espresso::object::Ref::NULL;
+        for i in 0..100 {
+            let a = heap.alloc_instance(k).unwrap();
+            heap.set_field(a, 0, i * 10);
+            heap.set_field_ref(a, 1, head).unwrap();
+            heap.flush_object(a);
+            head = a;
+        }
+        heap.set_root("accounts", head).unwrap();
+    });
+    app.commit().unwrap();
+    drop(app); // close the session so the load below maps the image
 
-    // "Reboot" into a VM that attaches the reloaded heap.
-    let (pjh, report) = mgr.load_heap("app", LoadOptions::default()).unwrap();
-    assert_eq!(report.klasses_reloaded, 1);
+    // "Reboot" into a VM that attaches the reloaded heap. The VM owns its
+    // persistent heap outright, so take the loading pipeline directly —
+    // the managed image on disk is exactly the committed state.
+    let handle = mgr.load("app", LoadOptions::default()).unwrap();
+    assert_eq!(handle.load_report().klasses_reloaded, 1);
+    let dev = handle.with(|h| h.device().clone());
+    drop(handle);
+    let (pjh, _) = Pjh::load(dev, LoadOptions::default()).unwrap();
     let mut vm = Vm::new(VmConfig::default());
     vm.define_class(
         "Account",

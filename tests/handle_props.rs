@@ -1,0 +1,110 @@
+//! Property tests for the session-based heap API: shared `HeapHandle`s,
+//! `txn` abort-on-panic, and `ShardedHeap` commit→reload durability.
+
+use espresso::heap::{HeapManager, LoadOptions, PjhConfig, PjhError, ShardedHeap};
+use espresso::object::FieldDesc;
+use proptest::prelude::*;
+
+fn rec_fields() -> Vec<FieldDesc> {
+    vec![FieldDesc::prim("a"), FieldDesc::prim("b")]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Two handles obtained for the same heap name are one live instance:
+    /// any interleaving of writes through either is observed by both,
+    /// field for field.
+    #[test]
+    fn two_handles_to_one_name_observe_each_others_writes(
+        writes in proptest::collection::vec((any::<bool>(), 0usize..8, any::<u64>()), 1..40),
+    ) {
+        let mgr = HeapManager::temp().unwrap();
+        let a = mgr.create("shared", 4 << 20, PjhConfig::small()).unwrap();
+        let b = mgr.load("shared", LoadOptions::default()).unwrap();
+        let objs = a.with_mut(|h| {
+            let k = h.register_instance("Rec", rec_fields()).unwrap();
+            (0..8).map(|_| h.alloc_instance(k).unwrap()).collect::<Vec<_>>()
+        });
+        let mut model = [0u64; 8];
+        for (via_b, i, v) in writes {
+            let writer = if via_b { &b } else { &a };
+            writer.with_mut(|h| h.set_field(objs[i], 0, v));
+            model[i] = v;
+        }
+        for (i, obj) in objs.iter().enumerate() {
+            prop_assert_eq!(a.with(|h| h.field(*obj, 0)), model[i]);
+            prop_assert_eq!(b.with(|h| h.field(*obj, 0)), model[i]);
+        }
+    }
+
+    /// A transaction that panics mid-flight aborts: every logged store is
+    /// rolled back to its pre-transaction value, and the heap stays
+    /// usable afterwards.
+    #[test]
+    fn txn_panic_restores_pre_state(
+        committed in proptest::collection::vec(any::<u64>(), 4..5),
+        torn in proptest::collection::vec((0usize..4, any::<u64>()), 1..12),
+    ) {
+        let mgr = HeapManager::temp().unwrap();
+        let handle = mgr.create("txn", 4 << 20, PjhConfig::small()).unwrap();
+        let objs = handle.with_mut(|h| {
+            let k = h.register_instance("Rec", rec_fields()).unwrap();
+            (0..4).map(|_| h.alloc_instance(k).unwrap()).collect::<Vec<_>>()
+        });
+        // Committed baseline state.
+        handle.txn(|t| {
+            for (i, v) in committed.iter().enumerate() {
+                t.set_field(objs[i], 0, *v);
+            }
+            Ok(())
+        }).unwrap();
+        // A transaction that applies `torn` stores, then panics.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _: Result<(), PjhError> = handle.txn(|t| {
+                for (i, v) in &torn {
+                    t.set_field(objs[*i], 0, *v);
+                }
+                panic!("power struggle");
+            });
+        }));
+        prop_assert!(caught.is_err());
+        for (i, v) in committed.iter().enumerate() {
+            prop_assert_eq!(handle.with(|h| h.field(objs[i], 0)), *v,
+                "panic must roll back to the committed value");
+        }
+        // Still usable: the next transaction commits normally.
+        handle.txn(|t| { t.set_field(objs[0], 1, 77); Ok(()) }).unwrap();
+        prop_assert_eq!(handle.with(|h| h.field(objs[0], 1)), 77);
+    }
+
+    /// ShardedHeap: roots written through the façade survive a
+    /// commit→close→reload cycle on every shard, whatever the key mix.
+    #[test]
+    fn sharded_roots_survive_commit_reload_per_shard(
+        key_ids in proptest::collection::vec(0u32..10_000, 1..24),
+        shards in 1usize..5,
+    ) {
+        let keys: std::collections::BTreeSet<String> =
+            key_ids.iter().map(|id| format!("user{id}")).collect();
+        let mgr = HeapManager::temp().unwrap();
+        let sh = ShardedHeap::create(&mgr, "props", shards, 4 << 20, PjhConfig::small()).unwrap();
+        let k = sh.register_instance("Rec", rec_fields()).unwrap();
+        let mut expect = Vec::new();
+        for (n, key) in keys.iter().enumerate() {
+            let r = sh.alloc_instance(key, &k).unwrap();
+            sh.txn(key, |t| { t.set_field(r.r, 0, n as u64); Ok(()) }).unwrap();
+            sh.set_root(key, r).unwrap();
+            expect.push((key.clone(), n as u64));
+        }
+        sh.commit().unwrap();
+        drop(sh);
+        let sh2 = ShardedHeap::open(&mgr, "props", LoadOptions::default()).unwrap();
+        prop_assert_eq!(sh2.num_shards(), shards);
+        for (key, v) in expect {
+            let r = sh2.get_root(&key).expect("root survived");
+            prop_assert_eq!(r.shard, sh2.shard_of(&key));
+            prop_assert_eq!(sh2.field(r, 0), v);
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! Implements the subset this workspace's property suites use: the
 //! `proptest!` macro with `#![proptest_config(..)]`, weighted `prop_oneof!`,
-//! `prop_assert*!`, the [`Strategy`] trait with `prop_map`, integer-range and
+//! `prop_assert*!`, the [`strategy::Strategy`] trait with `prop_map`, integer-range and
 //! tuple strategies, `any::<T>()`, `Just`, and `collection::vec`.
 //!
 //! Differences from real proptest, by design:
