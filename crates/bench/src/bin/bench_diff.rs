@@ -13,10 +13,13 @@
 //! i.e. a cell may lose up to 20% before the gate trips); it can also be
 //! set via the `BENCH_DIFF_TOLERANCE` environment variable, with the
 //! flag taking precedence. The `shard_scaling` throughput ratios
-//! (single-shard time over N-shard time at a fixed op count) gate with
-//! the same rule, so shard-routing overhead regressions fail CI. fig18
-//! load times are printed for context but never gate (absolute
-//! milliseconds are too machine-dependent).
+//! (single-shard time over N-shard time at a fixed total op count and
+//! heap budget) gate with the same rule, so shard-scaling regressions
+//! fail CI; `--shard4-floor <ratio>` (default `1.0`) additionally
+//! enforces an **absolute** floor on the current 4-shard cell — sharding
+//! must never fall below break-even with one shard, whatever the
+//! baseline says. fig18 load times are printed for context but never
+//! gate (absolute milliseconds are too machine-dependent).
 
 use espresso_bench::diff::{diff_ratio_cells, diff_speedups, parse_map_section, CellDiff};
 use espresso_bench::report::print_table;
@@ -75,7 +78,7 @@ fn main() {
         &ratio_rows(&diffs),
     );
 
-    // Shard-routing overhead gate: throughput ratios vs one shard, same
+    // Shard-scaling gate: throughput ratios vs one shard, same
     // lower-bound rule as fig15. Absent in pre-shard baselines — then the
     // section is skipped rather than failed.
     let shard_diffs = diff_ratio_cells(&baseline, &current, "throughput_vs_one_shard", tolerance);
@@ -90,6 +93,25 @@ fn main() {
         );
     } else {
         eprintln!("bench_diff: no shard_scaling cells in {baseline_path}; skipping that gate");
+    }
+
+    // Absolute 4-shard floor, independent of the committed baseline.
+    let shard4_floor: f64 = flag("--shard4-floor")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let mut shard4_failed = false;
+    if let Some(&(_, current4)) = parse_map_section(&current, "throughput_vs_one_shard")
+        .iter()
+        .find(|(n, _)| n == "shards/4")
+    {
+        if current4 < shard4_floor {
+            eprintln!(
+                "bench_diff: shards/4 throughput {current4:.2}x is below the absolute floor {shard4_floor:.2}x"
+            );
+            shard4_failed = true;
+        } else {
+            println!("shards/4 absolute floor: {current4:.2}x >= {shard4_floor:.2}x ok");
+        }
     }
 
     let fig18_base = parse_map_section(&baseline, "load_ms");
@@ -117,7 +139,7 @@ fn main() {
         .chain(shard_diffs.iter())
         .filter(|d| d.regressed)
         .count();
-    if regressions > 0 {
+    if regressions > 0 || shard4_failed {
         eprintln!("bench_diff: {regressions} gated cell(s) regressed beyond {tolerance:.2}");
         std::process::exit(1);
     }

@@ -33,7 +33,7 @@
 //! list.push(&mut store, 10)?;
 //! list.push(&mut store, 20)?;
 //! assert_eq!(list.get(&store, 1), Some(20));
-//! heap.commit()?; // durability boundary for everything above
+//! heap.commit_sync()?; // durability barrier for everything above
 //! # Ok(())
 //! # }
 //! ```

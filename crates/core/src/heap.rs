@@ -252,6 +252,12 @@ impl Pjh {
         // §3.3: remap if the address hint is unavailable.
         if let Some(new_base) = options.base_override {
             if new_base != stored_base {
+                // Roll back any transaction torn into the image *before*
+                // rebasing: live undo records hold stored-base slot
+                // addresses (and stored-base reference values), which
+                // stop being meaningful the moment the heap moves. The
+                // caller's post-load `txn_recover` then finds a clean log.
+                heap.txn_recover()?;
                 heap.remap(stored_base, new_base);
                 heap.layout.base = new_base;
                 report.remapped = true;
@@ -868,6 +874,7 @@ impl Pjh {
     ///
     /// Propagates device errors; the collection itself cannot fail.
     pub fn gc(&mut self, extra_roots: &[Ref]) -> crate::Result<crate::GcReport> {
+        self.gc_txn_guard()?;
         let report = crate::gc::collect_auto(self, extra_roots)?;
         self.relocate_txn_log(&report);
         Ok(report)
@@ -881,9 +888,25 @@ impl Pjh {
     ///
     /// Propagates device errors.
     pub fn gc_full(&mut self, extra_roots: &[Ref]) -> crate::Result<crate::GcReport> {
+        self.gc_txn_guard()?;
         let report = crate::gc::collect_full(self, extra_roots)?;
         self.relocate_txn_log(&report);
         Ok(report)
+    }
+
+    /// Collections are refused while a transaction is open: live undo
+    /// records hold absolute slot addresses, so compaction moving their
+    /// objects would make a later abort (or crash recovery) write through
+    /// stale addresses. Commit or abort first.
+    fn gc_txn_guard(&self) -> crate::Result<()> {
+        if self.txn.active {
+            return Err(crate::PjhError::SafetyViolation {
+                reason: "garbage collection during an active transaction: live undo records \
+                         pin absolute slot addresses"
+                    .to_string(),
+            });
+        }
+        Ok(())
     }
 
     /// Re-points the cached undo-log reference after a compacting

@@ -72,9 +72,9 @@ pub use gc::{GcKind, GcReport, RegionSummary};
 pub use heap::{HeapCensus, LoadOptions, LoadReport, Pjh, SafetyLevel};
 pub use klass_segment::PKlassTable;
 pub use layout::{Layout, MAX_NAME_LEN};
-pub use manager::{CommitReport, HeapHandle, HeapManager};
+pub use manager::{CommitReport, CommitTicket, HeapHandle, HeapManager};
 pub use name_table::EntryKind;
-pub use shard::{hash_key, ShardRef, ShardedHeap, ShardedKlass};
+pub use shard::{hash_key, ShardRef, ShardedCommitTicket, ShardedHeap, ShardedKlass};
 pub use txn::HeapTxn;
 
 use std::fmt;

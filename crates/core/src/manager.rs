@@ -5,12 +5,18 @@
 //! directory (one file per PJH instance) and keeps a **live registry** of
 //! the heaps currently open: loading the same name twice yields the *same*
 //! shared [`HeapHandle`], so every part of a process observes one
-//! consistent heap. Durability is an explicit commit point —
-//! [`HeapHandle::commit`] incrementally syncs the cache lines persisted
-//! since the previous commit into the image file (the moral equivalent of
-//! the NVDIMM keeping its contents at shutdown), replacing the old
-//! whole-image `save(name, &heap)` call, which survives only as a
-//! deprecated shim.
+//! consistent heap.
+//!
+//! Durability is an explicit, **pipelined** commit point.
+//! [`HeapHandle::commit`] *seals an epoch*: it snapshots the cache lines
+//! persisted since the previous commit (copying their bytes under the
+//! heap lock) and hands the snapshot to a per-heap background
+//! [`FlushPipeline`], returning a [`CommitTicket`] immediately — mutations
+//! in the next epoch proceed while the image sync runs off-thread, and
+//! re-dirtied lines cannot leak into the sealed epoch because the snapshot
+//! pinned their bytes. [`CommitTicket::wait`] (or the
+//! [`HeapHandle::commit_sync`] shorthand) is the durability barrier: when
+//! it returns, the image file holds at least the sealed epoch.
 //!
 //! # Example
 //!
@@ -29,7 +35,9 @@
 //!     heap.set_root("jimmy_info", p)?;
 //!     Ok::<_, espresso_core::PjhError>(p)
 //! })?;
-//! jimmy.commit()?; // explicit durability boundary
+//! let ticket = jimmy.commit()?; // seals the epoch, sync runs off-thread
+//! // ... epoch N+1 mutations would proceed here ...
+//! ticket.wait()?;              // durability barrier
 //!
 //! // A second open anywhere in the process sees the same live heap.
 //! let again = mgr.load("jimmy", LoadOptions::default())?;
@@ -42,19 +50,19 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Weak};
 
-use espresso_nvm::{LatencyModel, NvmConfig, NvmDevice};
+use espresso_nvm::{FlushPipeline, LatencyModel, NvmConfig, NvmDevice};
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::heap::{LoadOptions, LoadReport, Pjh};
 use crate::txn::HeapTxn;
 use crate::{PjhConfig, PjhError};
 
-/// What [`HeapHandle::commit`] flushed to the image.
+/// What a commit sealed (and, once its ticket resolves, synced).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CommitReport {
-    /// Cache lines written to the image file.
+    /// Cache lines captured for the image file.
     pub synced_lines: usize,
-    /// Bytes written to the image file.
+    /// Bytes captured for the image file.
     pub synced_bytes: usize,
     /// The whole image was rewritten (first commit of a fresh file).
     pub full_rewrite: bool,
@@ -64,6 +72,57 @@ pub struct CommitReport {
     pub managed: bool,
 }
 
+/// A sealed-but-possibly-not-yet-durable commit epoch, returned by
+/// [`HeapHandle::commit`].
+///
+/// The epoch's contents were snapshotted when the ticket was issued;
+/// [`wait`](Self::wait) blocks until the background apply has written them
+/// to the image file and is the durability barrier. Dropping a ticket
+/// without waiting is fine — the commit still becomes durable in the
+/// background: the manager retains the heap's pipeline, and a later
+/// `load` of the name waits for pending applies before mapping the
+/// image.
+#[derive(Debug)]
+pub struct CommitTicket {
+    /// Per-heap commit epoch this ticket seals (0 for unmanaged handles).
+    epoch: u64,
+    report: CommitReport,
+    pipeline: Option<Arc<FlushPipeline>>,
+}
+
+impl CommitTicket {
+    /// The sealed epoch (0 for unmanaged handles, whose commits have
+    /// nothing to sync).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// What the commit sealed: delta sizes known at seal time.
+    pub fn sealed_report(&self) -> CommitReport {
+        self.report
+    }
+
+    /// Whether the epoch has already reached the image file.
+    pub fn is_durable(&self) -> bool {
+        self.pipeline
+            .as_ref()
+            .is_none_or(|p| p.durable_epoch() >= self.epoch)
+    }
+
+    /// Blocks until the sealed epoch is durable in the image file.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the background apply (the epoch's lines were
+    /// restored, so a later commit re-captures them).
+    pub fn wait(self) -> crate::Result<CommitReport> {
+        if let Some(pipeline) = &self.pipeline {
+            pipeline.wait_durable(self.epoch)?;
+        }
+        Ok(self.report)
+    }
+}
+
 struct HandleInner {
     name: String,
     /// Image file backing this heap; `None` for unmanaged handles and for
@@ -71,6 +130,12 @@ struct HandleInner {
     /// must never clobber a successor heap's image).
     path: Mutex<Option<PathBuf>>,
     report: LoadReport,
+    /// Background apply worker; shared by every clone of the handle so
+    /// commits form one FIFO epoch sequence. Manager-backed handles get
+    /// their name's pipeline at construction (the manager retains it, so
+    /// applies outlive the handle and a reopen waits for them);
+    /// unmanaged handles spawn one lazily if the crash hooks ask.
+    pipeline: Mutex<Option<Arc<FlushPipeline>>>,
     heap: RwLock<Pjh>,
 }
 
@@ -94,19 +159,26 @@ impl std::fmt::Debug for HeapHandle {
 }
 
 impl HeapHandle {
-    fn managed(name: String, path: PathBuf, heap: Pjh, report: LoadReport) -> HeapHandle {
+    fn managed(
+        name: String,
+        path: PathBuf,
+        heap: Pjh,
+        report: LoadReport,
+        pipeline: Arc<FlushPipeline>,
+    ) -> HeapHandle {
         HeapHandle {
             inner: Arc::new(HandleInner {
                 name,
                 path: Mutex::new(Some(path)),
                 report,
+                pipeline: Mutex::new(Some(pipeline)),
                 heap: RwLock::new(heap),
             }),
         }
     }
 
     /// Wraps a raw heap in an unmanaged handle (no backing image file).
-    /// [`commit`](Self::commit) becomes a no-op report; everything else —
+    /// [`commit`](Self::commit) becomes a no-op ticket; everything else —
     /// sharing, [`txn`](Self::txn), locking — works identically, which
     /// lets device-level tests and benches use the session API without a
     /// filesystem.
@@ -116,9 +188,17 @@ impl HeapHandle {
                 name: "<unmanaged>".to_string(),
                 path: Mutex::new(None),
                 report: LoadReport::default(),
+                pipeline: Mutex::new(None),
                 heap: RwLock::new(heap),
             }),
         }
+    }
+
+    /// The heap's flush pipeline, spawned on first use.
+    fn pipeline(&self) -> Arc<FlushPipeline> {
+        let mut slot = self.inner.pipeline.lock();
+        slot.get_or_insert_with(|| Arc::new(FlushPipeline::new()))
+            .clone()
     }
 
     /// The heap's registered name (`"<unmanaged>"` for wrapped raw heaps).
@@ -171,38 +251,119 @@ impl HeapHandle {
         self.inner.heap.write().txn(f)
     }
 
-    /// The explicit durability boundary: incrementally syncs every cache
-    /// line persisted since the last commit into the heap's image file.
-    /// What lands in the file is exactly the device's persistence domain —
-    /// a transaction torn by a mid-transaction commit is rolled back by
-    /// the next load, like any crash.
+    /// The explicit commit point: **seals an epoch**. Every cache line
+    /// persisted since the previous commit is snapshotted (bytes copied)
+    /// and handed to the heap's background flush pipeline; the returned
+    /// [`CommitTicket`] resolves when the image sync finishes. Mutations
+    /// in the next epoch proceed immediately — lines dirtied again before
+    /// the apply lands cannot contaminate the sealed epoch, because the
+    /// snapshot pinned their contents.
+    ///
+    /// What lands in the file is exactly the device's persistence domain
+    /// at seal time — a transaction torn by a mid-transaction commit is
+    /// rolled back by the next load, like any crash.
+    ///
+    /// Use [`commit_sync`](Self::commit_sync) (or `ticket.wait()`) when
+    /// the caller needs the durability barrier.
     ///
     /// # Errors
     ///
-    /// I/O errors writing the image.
-    pub fn commit(&self) -> crate::Result<CommitReport> {
+    /// None today at seal time; the I/O of the apply surfaces through the
+    /// ticket. The `Result` keeps the seal fallible for future layouts.
+    pub fn commit(&self) -> crate::Result<CommitTicket> {
         // A read guard suffices: it excludes every `&mut Pjh` mutator, and
         // the device snapshot below reads only the persisted image. The
-        // path lock is held across the sync so a concurrent `delete_heap`
-        // (which detaches the path) serializes with in-flight commits
-        // instead of letting a stale sync race a successor's image.
+        // path lock is held across the snapshot so a concurrent
+        // `delete_heap` (which detaches the path and aborts queued
+        // applies) serializes with in-flight seals instead of letting a
+        // stale sync race a successor's image.
         let heap = self.inner.heap.read();
         let path = self.inner.path.lock();
         match path.as_ref() {
             Some(path) => {
-                let r = heap.device().sync_image(path)?;
-                Ok(CommitReport {
-                    synced_lines: r.lines_synced,
-                    synced_bytes: r.bytes_written,
-                    full_rewrite: r.full_rewrite,
+                // The generation is read before the snapshot: if a failed
+                // apply restores lines while we are snapshotting, the
+                // pipeline refuses this (incomplete) snapshot instead of
+                // applying it over the restored lines.
+                let pipeline = self.pipeline();
+                let seal_gen = pipeline.seal_generation();
+                let snapshot = heap.device().snapshot_sync(path);
+                let report = CommitReport {
+                    synced_lines: snapshot.lines(),
+                    synced_bytes: snapshot.bytes(),
+                    full_rewrite: snapshot.is_full_rewrite(),
                     managed: true,
+                };
+                let epoch = pipeline.submit_sealed(seal_gen, heap.device(), path.clone(), snapshot);
+                Ok(CommitTicket {
+                    epoch,
+                    report,
+                    pipeline: Some(pipeline),
                 })
             }
-            None => Ok(CommitReport {
-                managed: false,
-                ..CommitReport::default()
+            None => Ok(CommitTicket {
+                epoch: 0,
+                report: CommitReport {
+                    managed: false,
+                    ..CommitReport::default()
+                },
+                pipeline: None,
             }),
         }
+    }
+
+    /// Commit with the durability barrier inline: seals the epoch and
+    /// blocks until it reaches the image file. Equivalent to
+    /// `self.commit()?.wait()`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the image sync.
+    pub fn commit_sync(&self) -> crate::Result<CommitReport> {
+        self.commit()?.wait()
+    }
+
+    /// Highest commit epoch sealed on this heap (0 before the first
+    /// commit).
+    pub fn sealed_epoch(&self) -> u64 {
+        self.inner
+            .pipeline
+            .lock()
+            .as_ref()
+            .map_or(0, |p| p.sealed_epoch())
+    }
+
+    /// Highest commit epoch whose image sync has completed.
+    pub fn durable_epoch(&self) -> u64 {
+        self.inner
+            .pipeline
+            .lock()
+            .as_ref()
+            .map_or(0, |p| p.durable_epoch())
+    }
+
+    /// Pauses (or resumes) the background applies — with
+    /// [`abort_pending_commits`](Self::abort_pending_commits), the
+    /// deterministic crash-injection hook for the window between a sealed
+    /// epoch and its image sync. While paused, `wait`/`commit_sync` on
+    /// newly sealed epochs block — and so does a `HeapManager::load` of
+    /// the name after the handles drop (it waits for pending applies), so
+    /// resume or abort before closing the session.
+    pub fn set_flush_paused(&self, paused: bool) {
+        self.pipeline().set_paused(paused);
+    }
+
+    /// Discards every sealed-but-not-yet-applied commit, as if the
+    /// process died between seal and apply: their tickets report errors,
+    /// their lines are restored so the next commit re-captures them, and
+    /// the image file keeps the last applied epoch. Returns how many
+    /// commits were discarded.
+    pub fn abort_pending_commits(&self) -> usize {
+        self.inner
+            .pipeline
+            .lock()
+            .as_ref()
+            .map_or(0, |p| p.abort_pending())
     }
 }
 
@@ -219,10 +380,22 @@ struct ManagerInner {
     /// Live registry: name → open handle. Weak so dropping every handle
     /// closes the heap (a later load re-reads the image).
     live: Mutex<HashMap<String, Weak<HandleInner>>>,
+    /// name → that heap's flush pipeline, retained **strongly** so
+    /// background applies outlive their handles: a `load` of a
+    /// just-closed name waits for the pipeline to go idle before mapping
+    /// the image (otherwise it could read a half-applied epoch), and
+    /// `delete_heap` waits before removing the file. Entries live until
+    /// the heap is deleted or the manager drops.
+    pipelines: Mutex<HashMap<String, Arc<FlushPipeline>>>,
 }
 
 impl Drop for ManagerInner {
     fn drop(&mut self) {
+        // Drain every pipeline (applying still-queued commits) before the
+        // directory disappears under them.
+        for (_, pipeline) in self.pipelines.get_mut().drain() {
+            drop(pipeline);
+        }
         if self.owns_dir {
             let _ = std::fs::remove_dir_all(&self.dir);
         }
@@ -255,6 +428,7 @@ impl HeapManager {
                 dir,
                 owns_dir,
                 live: Mutex::new(HashMap::new()),
+                pipelines: Mutex::new(HashMap::new()),
             }),
         })
     }
@@ -296,6 +470,18 @@ impl HeapManager {
         self.inner.dir.join(format!("{name}.pjh"))
     }
 
+    /// The retained flush pipeline for `name`, created on first use and
+    /// reused across close/reopen cycles of the heap (so every apply to
+    /// one image file funnels through one FIFO worker).
+    fn pipeline_for(&self, name: &str) -> Arc<FlushPipeline> {
+        self.inner
+            .pipelines
+            .lock()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(FlushPipeline::new()))
+            .clone()
+    }
+
     /// `existsHeap`: whether a heap with this name exists — open in the
     /// live registry or persisted as an image.
     pub fn exists_heap(&self, name: &str) -> bool {
@@ -332,7 +518,13 @@ impl HeapManager {
         let heap = Pjh::create(dev, config)?;
         let path = self.path(name);
         heap.device().save_image(&path)?;
-        let handle = HeapHandle::managed(name.to_string(), path, heap, LoadReport::default());
+        let handle = HeapHandle::managed(
+            name.to_string(),
+            path,
+            heap,
+            LoadReport::default(),
+            self.pipeline_for(name),
+        );
         live.insert(name.to_string(), Arc::downgrade(&handle.inner));
         Ok(handle)
     }
@@ -361,10 +553,16 @@ impl HeapManager {
                 name: name.to_string(),
             });
         }
+        // The previous session's handles may be gone while their commits
+        // are still applying (outstanding tickets, or a drain in
+        // progress): wait for the retained pipeline to go idle so the
+        // image read below can never observe a half-applied epoch.
+        let pipeline = self.pipeline_for(name);
+        pipeline.wait_idle();
         let dev = NvmDevice::load_image(&path, LatencyModel::zero())?;
         let (mut heap, report) = Pjh::load(dev, options)?;
         heap.txn_recover()?;
-        let handle = HeapHandle::managed(name.to_string(), path, heap, report);
+        let handle = HeapHandle::managed(name.to_string(), path, heap, report, pipeline);
         live.insert(name.to_string(), Arc::downgrade(&handle.inner));
         Ok(handle)
     }
@@ -389,17 +587,39 @@ impl HeapManager {
 
     /// Deletes a heap image and drops its registry entry; returns whether
     /// the image existed. A live handle keeps operating on its in-memory
-    /// device but is **detached** — its later commits become no-op reports
-    /// rather than clobbering whatever heap takes the name next.
+    /// device but is **detached** — its later commits become no-op
+    /// tickets, and any commit still queued in its flush pipeline is
+    /// aborted — rather than clobbering (or resurrecting the file under)
+    /// whatever heap takes the name next.
     pub fn delete_heap(&self, name: &str) -> bool {
-        if let Some(inner) = self
+        // The registry lock is scoped to the lookup: waiting out an
+        // in-flight image apply below must not stall unrelated
+        // create/load traffic on the manager.
+        let doomed = self
             .inner
             .live
             .lock()
             .remove(name)
-            .and_then(|w| w.upgrade())
-        {
-            *inner.path.lock() = None;
+            .and_then(|w| w.upgrade());
+        let retained = self.inner.pipelines.lock().remove(name);
+        if let Some(inner) = doomed {
+            // Take the path lock first: `commit` holds it across
+            // snapshot + submit, so once we hold it no new job can slip
+            // into the pipeline behind the abort. An apply that already
+            // left the queue cannot be aborted — wait it out, so a stale
+            // in-flight sync never writes into (or re-creates the file
+            // under) a successor heap.
+            let mut path = inner.path.lock();
+            if let Some(pipeline) = inner.pipeline.lock().as_ref() {
+                pipeline.abort_pending();
+                pipeline.wait_idle();
+            }
+            *path = None;
+        } else if let Some(pipeline) = &retained {
+            // No live handle, but the last session's applies may still be
+            // in flight on the retained pipeline.
+            pipeline.abort_pending();
+            pipeline.wait_idle();
         }
         std::fs::remove_file(self.path(name)).is_ok()
     }
@@ -420,59 +640,6 @@ impl HeapManager {
             .unwrap_or_default();
         names.sort();
         names
-    }
-
-    // ---- deprecated pre-session compat shims ----
-
-    /// Formats a new heap and returns it detached from the manager.
-    ///
-    /// # Errors
-    ///
-    /// Layout errors; I/O errors writing the initial image.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `create`, which returns a shared live `HeapHandle`"
-    )]
-    pub fn create_heap(&self, name: &str, size: usize, config: PjhConfig) -> crate::Result<Pjh> {
-        let dev = NvmDevice::new(NvmConfig::with_size(size));
-        let heap = Pjh::create(dev, config)?;
-        heap.device().save_image(&self.path(name))?;
-        Ok(heap)
-    }
-
-    /// Loads a detached copy of the heap image.
-    ///
-    /// # Errors
-    ///
-    /// [`PjhError::NoSuchHeap`] if the name is unknown; image and format
-    /// errors otherwise.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `load`, which returns a shared live `HeapHandle`"
-    )]
-    pub fn load_heap(&self, name: &str, options: LoadOptions) -> crate::Result<(Pjh, LoadReport)> {
-        let path = self.path(name);
-        if !path.exists() {
-            return Err(PjhError::NoSuchHeap {
-                name: name.to_string(),
-            });
-        }
-        let dev = NvmDevice::load_image(&path, LatencyModel::zero())?;
-        Pjh::load(dev, options)
-    }
-
-    /// Persists a detached heap's whole durable image back to its file.
-    ///
-    /// # Errors
-    ///
-    /// I/O errors writing the image.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `HeapHandle::commit`, the explicit (incremental) commit point"
-    )]
-    pub fn save(&self, name: &str, heap: &Pjh) -> crate::Result<()> {
-        heap.device().save_image(&self.path(name))?;
-        Ok(())
     }
 }
 
@@ -500,7 +667,7 @@ mod tests {
                 h.set_root("jimmy_info", p)
             })
             .unwrap();
-        let report = jimmy.commit().unwrap();
+        let report = jimmy.commit_sync().unwrap();
         assert!(report.managed);
         assert!(report.synced_lines > 0);
 
@@ -593,10 +760,10 @@ mod tests {
             h.set_root("t", t)
         })
         .unwrap();
-        let first = a.commit().unwrap();
+        let first = a.commit_sync().unwrap();
         assert!(first.synced_lines > 0);
         // Nothing persisted since: the second commit writes nothing.
-        let second = a.commit().unwrap();
+        let second = a.commit_sync().unwrap();
         assert_eq!(second.synced_lines, 0);
         // One more persisted field: the next commit is proportional to the
         // delta, not the heap size.
@@ -605,7 +772,7 @@ mod tests {
             h.set_field(t, 0, 2);
             h.flush_field(t, 0);
         });
-        let third = a.commit().unwrap();
+        let third = a.commit_sync().unwrap();
         assert!(third.synced_lines >= 1 && third.synced_lines < first.synced_lines);
     }
 
@@ -628,7 +795,7 @@ mod tests {
             h.txn_begin().unwrap();
             h.txn_set_field(t, 0, 99);
         });
-        a.commit().unwrap();
+        a.commit_sync().unwrap();
         drop(a);
         let a2 = mgr.load("a", LoadOptions::default()).unwrap();
         a2.with(|h| {
@@ -663,9 +830,9 @@ mod tests {
                 h.set_root("new", t)
             })
             .unwrap();
-        let stale_commit = stale.commit().unwrap();
+        let stale_commit = stale.commit_sync().unwrap();
         assert!(!stale_commit.managed, "stale commit is a no-op");
-        fresh.commit().unwrap();
+        fresh.commit_sync().unwrap();
         drop(fresh);
         let reloaded = mgr.load("a", LoadOptions::default()).unwrap();
         reloaded.with(|h| {
@@ -700,20 +867,131 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn compat_shims_still_roundtrip() {
+    fn commit_pipeline_overlaps_the_next_epoch() {
         let mgr = HeapManager::temp().unwrap();
-        let mut h = mgr.create_heap("old", 4 << 20, PjhConfig::small()).unwrap();
-        let k = h
-            .register_instance("T", vec![FieldDesc::prim("x")])
+        let a = mgr.create("a", 4 << 20, PjhConfig::small()).unwrap();
+        let (k, t) = a
+            .with_mut(|h| {
+                let k = h.register_instance("T", vec![FieldDesc::prim("x")])?;
+                let t = h.alloc_instance(k)?;
+                h.set_field(t, 0, 1);
+                h.flush_object(t);
+                h.set_root("t", t)?;
+                Ok::<_, PjhError>((k, t))
+            })
             .unwrap();
-        let t = h.alloc_instance(k).unwrap();
-        h.set_field(t, 0, 9);
-        h.flush_object(t);
-        h.set_root("t", t).unwrap();
-        mgr.save("old", &h).unwrap();
-        let (h2, _) = mgr.load_heap("old", LoadOptions::default()).unwrap();
-        let t2 = h2.get_root("t").unwrap();
-        assert_eq!(h2.field(t2, 0), 9);
+        // Hold the apply in the pipeline: epoch 1 is sealed, not durable.
+        a.set_flush_paused(true);
+        let ticket = a.commit().unwrap();
+        assert_eq!(ticket.epoch(), 1);
+        assert!(!ticket.is_durable());
+        assert_eq!(a.sealed_epoch(), 1);
+        assert_eq!(a.durable_epoch(), 0);
+        // Epoch 2 mutations proceed while epoch 1 is in flight — including
+        // re-dirtying the very line epoch 1 sealed.
+        a.with_mut(|h| {
+            h.set_field(t, 0, 2);
+            h.flush_field(t, 0);
+            let t2 = h.alloc_instance(k)?;
+            h.flush_object(t2);
+            Ok::<_, PjhError>(())
+        })
+        .unwrap();
+        a.set_flush_paused(false);
+        let report = ticket.wait().unwrap();
+        assert!(report.managed && report.synced_lines > 0);
+        assert_eq!(a.durable_epoch(), 1);
+        // The sealed epoch pinned its bytes: the image holds x == 1.
+        drop(a);
+        let a2 = mgr.load("a", LoadOptions::default()).unwrap();
+        a2.with(|h| {
+            let t = h.get_root("t").unwrap();
+            assert_eq!(h.field(t, 0), 1, "epoch 2's store stayed out");
+        });
+    }
+
+    #[test]
+    fn reopen_after_async_commit_waits_for_the_apply() {
+        let mgr = HeapManager::temp().unwrap();
+        let a = mgr.create("a", 4 << 20, PjhConfig::small()).unwrap();
+        a.with_mut(|h| {
+            let k = h.register_instance("T", vec![FieldDesc::prim("x")])?;
+            let t = h.alloc_instance(k)?;
+            h.set_field(t, 0, 7);
+            h.flush_object(t);
+            h.set_root("t", t)
+        })
+        .unwrap();
+        // Async commit; the ticket (which keeps the pipeline alive) and
+        // the handle are dropped with the apply possibly still queued.
+        drop(a.commit().unwrap());
+        drop(a);
+        // The manager retains the pipeline: load waits for it to go idle
+        // before mapping the image, so the committed epoch is always
+        // visible — never a torn, half-applied file.
+        let a2 = mgr.load("a", LoadOptions::default()).unwrap();
+        a2.with(|h| {
+            let t = h.get_root("t").expect("async commit landed before load");
+            assert_eq!(h.field(t, 0), 7);
+        });
+    }
+
+    #[test]
+    fn delete_after_close_cannot_be_resurrected_by_a_late_apply() {
+        let mgr = HeapManager::temp().unwrap();
+        let a = mgr.create("a", 4 << 20, PjhConfig::small()).unwrap();
+        a.with_mut(|h| {
+            let k = h.register_instance("Old", vec![FieldDesc::prim("x")])?;
+            let t = h.alloc_instance(k)?;
+            h.flush_object(t);
+            h.set_root("old", t)
+        })
+        .unwrap();
+        drop(a.commit().unwrap()); // async, maybe still queued
+        drop(a); // close the session with the apply in flight
+        assert!(mgr.delete_heap("a"), "image existed");
+        // The retained pipeline was waited out before the file removal,
+        // so no stale apply re-creates or rewrites it.
+        assert!(!mgr.exists_heap("a"));
+        let fresh = mgr.create("a", 4 << 20, PjhConfig::small()).unwrap();
+        fresh.commit_sync().unwrap();
+        drop(fresh);
+        let reloaded = mgr.load("a", LoadOptions::default()).unwrap();
+        reloaded.with(|h| assert_eq!(h.get_root("old"), None, "no bleed-through"));
+    }
+
+    #[test]
+    fn aborted_pending_commit_recovers_to_last_durable_epoch() {
+        let mgr = HeapManager::temp().unwrap();
+        let a = mgr.create("a", 4 << 20, PjhConfig::small()).unwrap();
+        let t = a
+            .with_mut(|h| {
+                let k = h.register_instance("T", vec![FieldDesc::prim("x")])?;
+                let t = h.alloc_instance(k)?;
+                h.set_field(t, 0, 10);
+                h.flush_object(t);
+                h.set_root("t", t)?;
+                Ok::<_, PjhError>(t)
+            })
+            .unwrap();
+        a.commit_sync().unwrap(); // epoch 1 durable
+        a.with_mut(|h| {
+            h.set_field(t, 0, 20);
+            h.flush_field(t, 0);
+        });
+        a.set_flush_paused(true);
+        let ticket = a.commit().unwrap(); // epoch 2 sealed, never applied
+        assert_eq!(a.abort_pending_commits(), 1);
+        assert!(ticket.wait().is_err(), "aborted epoch reports failure");
+        // A retry commit re-captures the restored lines and heals.
+        a.set_flush_paused(false);
+        let healed = a.commit_sync().unwrap();
+        assert!(healed.synced_lines > 0, "restored lines were re-captured");
+        drop(a);
+        let a2 = mgr.load("a", LoadOptions::default()).unwrap();
+        a2.with(|h| {
+            let t = h.get_root("t").unwrap();
+            assert_eq!(h.field(t, 0), 20);
+        });
     }
 }

@@ -26,7 +26,7 @@
 //! heap.set_field(acct, 0, 100);
 //! heap.flush_object(acct);
 //! heap.set_root("alice", acct)?;
-//! heap.commit()?; // commits every shard
+//! heap.commit_sync()?; // commits every shard in parallel, waits for all
 //! assert_eq!(heap.get_root("alice"), Some(acct));
 //! # Ok(())
 //! # }
@@ -35,9 +35,53 @@
 use espresso_object::{FieldDesc, KlassId, Ref};
 
 use crate::heap::{HeapCensus, LoadOptions};
-use crate::manager::{CommitReport, HeapHandle, HeapManager};
+use crate::manager::{CommitReport, CommitTicket, HeapHandle, HeapManager};
 use crate::txn::HeapTxn;
 use crate::{PjhConfig, PjhError};
+
+/// One sealed commit epoch per shard, returned by [`ShardedHeap::commit`].
+///
+/// Each shard's image sync runs on that shard's own flush pipeline, so the
+/// applies proceed in parallel; [`wait`](Self::wait) is the all-shards
+/// durability barrier.
+#[derive(Debug)]
+pub struct ShardedCommitTicket {
+    tickets: Vec<CommitTicket>,
+}
+
+impl ShardedCommitTicket {
+    /// Per-shard tickets, in shard order.
+    pub fn tickets(&self) -> &[CommitTicket] {
+        &self.tickets
+    }
+
+    /// Blocks until every shard's sealed epoch is durable, returning the
+    /// aggregate report.
+    ///
+    /// # Errors
+    ///
+    /// The first shard's apply error (every ticket is still waited, so no
+    /// pipeline is left mid-flight).
+    pub fn wait(self) -> crate::Result<CommitReport> {
+        let mut total = CommitReport::default();
+        let mut first_err = None;
+        for ticket in self.tickets {
+            match ticket.wait() {
+                Ok(r) => {
+                    total.synced_lines += r.synced_lines;
+                    total.synced_bytes += r.synced_bytes;
+                    total.full_rewrite |= r.full_rewrite;
+                    total.managed |= r.managed;
+                }
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        match first_err {
+            None => Ok(total),
+            Some(e) => Err(e),
+        }
+    }
+}
 
 /// A reference into one shard of a [`ShardedHeap`].
 ///
@@ -296,34 +340,58 @@ impl ShardedHeap {
         self.handle_for(key).txn(f)
     }
 
-    /// Commits every shard (each an incremental image sync), returning
-    /// the aggregate report.
+    /// Commits every shard: seals one epoch per shard and fans the image
+    /// syncs out across the shards' flush pipelines — the applies run in
+    /// parallel, and mutations of the next epoch proceed on every shard
+    /// immediately. The returned [`ShardedCommitTicket`] is the all-shards
+    /// durability barrier; [`commit_sync`](Self::commit_sync) waits
+    /// inline.
+    ///
+    /// # Errors
+    ///
+    /// Seal-time errors from any shard (apply errors surface through the
+    /// ticket).
+    pub fn commit(&self) -> crate::Result<ShardedCommitTicket> {
+        let tickets = self
+            .shards
+            .iter()
+            .map(HeapHandle::commit)
+            .collect::<crate::Result<Vec<_>>>()?;
+        Ok(ShardedCommitTicket { tickets })
+    }
+
+    /// Commits every shard and blocks until all are durable, returning
+    /// the aggregate report. Equivalent to `self.commit()?.wait()`.
     ///
     /// # Errors
     ///
     /// The first shard's I/O error.
-    pub fn commit(&self) -> crate::Result<CommitReport> {
-        let mut total = CommitReport::default();
-        for s in &self.shards {
-            let r = s.commit()?;
-            total.synced_lines += r.synced_lines;
-            total.synced_bytes += r.synced_bytes;
-            total.full_rewrite |= r.full_rewrite;
-            total.managed |= r.managed;
-        }
-        Ok(total)
+    pub fn commit_sync(&self) -> crate::Result<CommitReport> {
+        self.commit()?.wait()
     }
 
-    /// Collects every shard independently.
+    /// Collects every shard, fanning the collections out on a scoped
+    /// thread pool (one thread per shard) — shards are independent GC
+    /// domains, so their collections never need to serialize.
     ///
     /// # Errors
     ///
-    /// Device errors.
+    /// The first shard's device error.
     pub fn gc(&self) -> crate::Result<()> {
-        for s in &self.shards {
-            s.with_mut(|h| h.gc(&[]).map(|_| ()))?;
-        }
-        Ok(())
+        let mut results: Vec<crate::Result<()>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|s| scope.spawn(move || s.with_mut(|h| h.gc(&[]).map(|_| ()))))
+                .collect();
+            results.extend(
+                handles
+                    .into_iter()
+                    .map(|j| j.join().expect("shard gc thread panicked")),
+            );
+        });
+        results.into_iter().collect()
     }
 
     /// Aggregate census over all shards.
@@ -429,7 +497,7 @@ mod tests {
             .unwrap();
             sh.set_root(&key, r).unwrap();
         }
-        let report = sh.commit().unwrap();
+        let report = sh.commit_sync().unwrap();
         assert!(report.managed && report.synced_lines > 0);
         // Close every shard, then reopen from the images.
         drop(sh);
@@ -462,6 +530,56 @@ mod tests {
         });
         assert!(out.is_err());
         assert_eq!(sh.field(r, 0), 1, "shard-local abort rolled back");
+    }
+
+    #[test]
+    fn commit_fans_out_one_epoch_per_shard() {
+        let mgr = HeapManager::temp().unwrap();
+        let sh = ShardedHeap::create(&mgr, "fan", 4, 4 << 20, PjhConfig::small()).unwrap();
+        let k = sh.register_instance("Rec", fields()).unwrap();
+        for i in 0..32 {
+            let key = format!("k{i}");
+            let r = sh.alloc_instance(&key, &k).unwrap();
+            sh.set_field(r, 0, i);
+            sh.flush_object(r);
+        }
+        let ticket = sh.commit().unwrap();
+        assert_eq!(ticket.tickets().len(), 4);
+        let report = ticket.wait().unwrap();
+        assert!(report.managed && report.synced_lines > 0);
+        for i in 0..4 {
+            assert_eq!(sh.handle(i).sealed_epoch(), 1);
+            assert_eq!(sh.handle(i).durable_epoch(), 1);
+        }
+    }
+
+    #[test]
+    fn gc_collects_every_shard_in_parallel() {
+        let mgr = HeapManager::temp().unwrap();
+        let sh = ShardedHeap::create(&mgr, "gc", 4, 4 << 20, PjhConfig::small()).unwrap();
+        let k = sh.register_instance("Rec", fields()).unwrap();
+        // Garbage everywhere, one live root per shard-ish key.
+        for i in 0..64 {
+            let key = format!("g{i}");
+            let r = sh.alloc_instance(&key, &k).unwrap();
+            if i % 8 == 0 {
+                sh.set_root(&key, r).unwrap();
+            }
+        }
+        let before = sh.census().objects;
+        sh.gc().unwrap();
+        let after = sh.census().objects;
+        assert!(after < before, "garbage reclaimed ({before} -> {after})");
+        for i in 0..64 {
+            let key = format!("g{i}");
+            if i % 8 == 0 {
+                let r = sh.get_root(&key).expect("live root survived gc");
+                assert_eq!(r.shard, sh.shard_of(&key));
+            }
+        }
+        for i in 0..4 {
+            sh.handle(i).with(|h| h.verify_integrity().unwrap());
+        }
     }
 
     #[test]

@@ -573,6 +573,71 @@ mod tests {
     }
 
     #[test]
+    fn gc_is_refused_while_a_transaction_is_open() {
+        let (_dev, mut h) = heap();
+        let k = point(&mut h);
+        let p = h.alloc_instance(k).unwrap();
+        h.set_root("p", p).unwrap();
+        h.txn_begin().unwrap();
+        h.txn_set_field(p, 0, 1);
+        assert!(
+            matches!(h.gc(&[]), Err(PjhError::SafetyViolation { .. })),
+            "compaction would orphan the live undo records"
+        );
+        assert!(matches!(
+            h.gc_full(&[]),
+            Err(PjhError::SafetyViolation { .. })
+        ));
+        h.txn_commit();
+        h.gc_full(&[]).unwrap();
+        let p = h.get_root("p").unwrap();
+        assert_eq!(h.field(p, 0), 1);
+    }
+
+    #[test]
+    fn torn_txn_is_rolled_back_before_a_remap() {
+        let (dev, mut h) = heap();
+        let k = point(&mut h);
+        let p = h.alloc_instance(k).unwrap();
+        let q = h.alloc_instance(k).unwrap();
+        h.set_root("p", p).unwrap();
+        h.set_root("q", q).unwrap();
+        h.txn(|t| {
+            t.set_field(p, 0, 5);
+            Ok(())
+        })
+        .unwrap();
+        // Torn transaction captured by the crash: its undo records hold
+        // stored-base addresses.
+        h.txn_begin().unwrap();
+        h.txn_set_field(p, 0, 999);
+        h.txn_set_field(q, 1, 888);
+        dev.crash();
+        // Reload at a different base: rollback must run before the
+        // rebase, or the old-base record addresses would corrupt the
+        // moved heap.
+        let new_base = 0x7000_0000_0000;
+        let (mut h2, report) = Pjh::load(
+            dev,
+            LoadOptions {
+                base_override: Some(new_base),
+                ..LoadOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(report.remapped);
+        assert!(
+            !h2.txn_recover().unwrap(),
+            "load already rolled the torn transaction back"
+        );
+        let p2 = h2.get_root("p").unwrap();
+        let q2 = h2.get_root("q").unwrap();
+        assert_eq!(h2.field(p2, 0), 5, "torn store rolled back pre-remap");
+        assert_eq!(h2.field(q2, 1), 0);
+        h2.verify_integrity().unwrap();
+    }
+
+    #[test]
     fn gc_relocates_the_log() {
         let (_dev, mut h) = heap();
         let k = point(&mut h);

@@ -23,9 +23,8 @@
 //! The heap API is session-based: a [`heap::HeapManager`] maps names to
 //! images and hands out shared live [`heap::HeapHandle`]s (loading the
 //! same name twice yields the same instance). `commit()` is the explicit
-//! durability boundary — an incremental sync of everything persisted
-//! since the previous commit — and `txn(|t| ...)` runs undo-logged ACID
-//! transactions that abort on error or panic.
+//! commit point and `txn(|t| ...)` runs undo-logged ACID transactions
+//! that abort on error or panic.
 //!
 //! ```
 //! use espresso::heap::{HeapManager, LoadOptions, PjhConfig};
@@ -44,7 +43,7 @@
 //!     Ok(p)
 //! })?;
 //! jimmy.with_mut(|heap| heap.set_root("jimmy_info", p))?;
-//! jimmy.commit()?; // durability boundary (incremental image sync)
+//! jimmy.commit_sync()?; // seal the epoch AND wait for the image sync
 //!
 //! // A later process (drop the session first, then load the image):
 //! drop(jimmy);
@@ -57,13 +56,45 @@
 //! # }
 //! ```
 //!
+//! # The commit pipeline
+//!
+//! Commits are asynchronous by default. `handle.commit()` **seals an
+//! epoch**: it snapshots every cache line persisted since the previous
+//! commit (copying the bytes, so later mutations — even of the same
+//! lines — cannot leak in) and hands the snapshot to the heap's
+//! background flush pipeline, returning a [`heap::CommitTicket`]
+//! immediately. `ticket.wait()` — or the `handle.commit_sync()`
+//! shorthand — is the durability barrier: when it returns, the image
+//! file holds at least that sealed epoch.
+//!
+//! The guarantees:
+//!
+//! * **Epochs apply in order.** The image file only ever steps from one
+//!   sealed epoch to the next; a crash of the pipeline between seal and
+//!   apply loses exactly the unapplied epochs, and reloading recovers
+//!   the last applied one (the discarded epochs' lines are restored so
+//!   a later commit re-captures them — nothing is silently lost).
+//! * **A dropped ticket still commits.** The pipeline drains when the
+//!   last handle drops; tickets exist so callers *can* wait, not so they
+//!   must.
+//! * **`ShardedHeap::commit` fans out.** Each shard seals its own epoch
+//!   on its own pipeline; the returned `ShardedCommitTicket` is the
+//!   all-shards barrier, and `ShardedHeap::gc` likewise collects shards
+//!   on parallel scoped threads.
+//! * **Crash injection for tests:** `handle.set_flush_paused(true)`
+//!   holds applies, `handle.abort_pending_commits()` discards them —
+//!   the deterministic "died between seal and apply" window.
+//!
 //! # Migration from the pre-session API
 //!
-//! | Old (deprecated) | New |
+//! The deprecated pre-session shims (`create_heap`, `load_heap`, `save`)
+//! lived for one release and are now **removed**:
+//!
+//! | Old (removed) | New |
 //! |---|---|
 //! | `mgr.create_heap(name, size, cfg)` → `Pjh` | `mgr.create(name, size, cfg)` → [`heap::HeapHandle`] |
 //! | `mgr.load_heap(name, opts)` → `(Pjh, report)` | `mgr.load(name, opts)` → handle (`handle.load_report()`) |
-//! | `mgr.save(name, &heap)` (whole image) | `handle.commit()` (incremental sync of the delta) |
+//! | `mgr.save(name, &heap)` (whole image) | `handle.commit()` → ticket, or `handle.commit_sync()` to block |
 //! | `heap.set_field(..)` on an owned `Pjh` | `handle.with_mut(\|h\| ..)`, or `handle.txn(\|t\| ..)` for ACID |
 //! | `PStore::new(pjh)` owning the heap | `PStore::open(&handle)` sharing it |
 //! | one `Pjh` per workload | [`heap::ShardedHeap`] routes keys across N instances |

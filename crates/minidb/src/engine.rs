@@ -1,7 +1,7 @@
 //! Tables, executor, transactions, and the two front doors (SQL strings
 //! vs `DBPersistable` direct calls).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
@@ -77,6 +77,12 @@ pub struct DbStats {
     pub exec_ns: u64,
     /// Nanoseconds in WAL serialization and flushing.
     pub wal_ns: u64,
+    /// Group flushes written to the WAL (length persists / rotations).
+    pub wal_flushes: u64,
+    /// Transactions made durable through those flushes. Under concurrent
+    /// commits this exceeds `wal_flushes`: the difference is the group
+    /// commit's batching win.
+    pub wal_txns: u64,
     /// Statements executed.
     pub statements: u64,
     /// Rows returned by SELECTs.
@@ -93,6 +99,8 @@ impl DbStats {
             parse_ns: self.parse_ns - earlier.parse_ns,
             exec_ns: self.exec_ns - earlier.exec_ns,
             wal_ns: self.wal_ns - earlier.wal_ns,
+            wal_flushes: self.wal_flushes - earlier.wal_flushes,
+            wal_txns: self.wal_txns - earlier.wal_txns,
             statements: self.statements - earlier.statements,
             rows_read: self.rows_read - earlier.rows_read,
             rows_written: self.rows_written - earlier.rows_written,
@@ -127,6 +135,16 @@ struct Inner {
     tables: HashMap<String, Table>,
     stats: DbStats,
     txn: Option<(Vec<Undo>, Vec<Redo>)>,
+    /// Commits whose redo is applied in memory but not yet in the WAL:
+    /// `(sequence, records)`, drained wholesale by the next group flush.
+    group: VecDeque<(u64, Vec<Redo>)>,
+    /// Next commit sequence number to hand out.
+    next_seq: u64,
+    /// Every commit sequence at or below this is durable in the WAL.
+    durable_seq: u64,
+    /// Sequence the current statement enqueued, for the connection to
+    /// flush after releasing the engine lock (the group-commit window).
+    pending_flush: Option<u64>,
     /// Auto-checkpoint knob: once the WAL tail (bytes a reopen would
     /// replay) exceeds this *and* outweighs a fresh snapshot, a
     /// checkpoint is written at the next commit-quiesce point.
@@ -164,6 +182,10 @@ impl Database {
                 tables: HashMap::new(),
                 stats: DbStats::default(),
                 txn: None,
+                group: VecDeque::new(),
+                next_seq: 1,
+                durable_seq: 0,
+                pending_flush: None,
                 ckpt_threshold: DEFAULT_CKPT_THRESHOLD,
                 replayed: 0,
             })),
@@ -190,6 +212,10 @@ impl Database {
                 tables,
                 stats: DbStats::default(),
                 txn: None,
+                group: VecDeque::new(),
+                next_seq: 1,
+                durable_seq: 0,
+                pending_flush: None,
                 ckpt_threshold: DEFAULT_CKPT_THRESHOLD,
                 replayed,
             })),
@@ -226,6 +252,44 @@ impl Database {
     /// like embedded H2).
     pub fn connect(&self) -> Connection {
         Connection { db: self.clone() }
+    }
+
+    /// Runs `stmt` under the engine lock, then — with the lock released —
+    /// flushes whatever commit it enqueued. The unlock between apply and
+    /// flush is the group-commit window: commits from other connections
+    /// that land in it ride the same WAL flush.
+    fn run(&self, stmt: Statement) -> crate::Result<QueryResult> {
+        let mut inner = self.inner.lock();
+        let result = run_statement(&mut inner, stmt);
+        match result {
+            Ok(result) => {
+                self.finish_pending(inner)?;
+                Ok(result)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Makes commit `seq` durable. If another connection's flush already
+    /// covered it (this commit was batched), returns immediately;
+    /// otherwise this caller becomes the leader and drains every queued
+    /// commit into one WAL append.
+    fn flush_group(&self, seq: u64) -> crate::Result<()> {
+        flush_group_locked(&mut self.inner.lock(), seq)
+    }
+
+    /// The one exit path for statements that may have enqueued a commit:
+    /// takes the pending sequence, releases the engine lock (opening the
+    /// group-commit window), and runs the leader flush. Every write path
+    /// funnels through here so the acknowledge-implies-durable handshake
+    /// cannot drift between call sites.
+    fn finish_pending(&self, mut inner: parking_lot::MutexGuard<'_, Inner>) -> crate::Result<()> {
+        let seq = inner.pending_flush.take();
+        drop(inner);
+        match seq {
+            Some(seq) => self.flush_group(seq),
+            None => Ok(()),
+        }
     }
 
     /// Phase counters.
@@ -319,11 +383,11 @@ impl Connection {
     ///
     /// Syntax and execution errors.
     pub fn execute_params(&mut self, sql: &str, params: &[Value]) -> crate::Result<QueryResult> {
-        let mut inner = self.db.inner.lock();
         let t0 = Instant::now();
         let stmt = parse(sql, params).map_err(DbError::Syntax)?;
-        inner.stats.parse_ns += t0.elapsed().as_nanos() as u64;
-        run_statement(&mut inner, stmt)
+        let parse_ns = t0.elapsed().as_nanos() as u64;
+        self.db.inner.lock().stats.parse_ns += parse_ns;
+        self.db.run(stmt)
     }
 
     // ---- DBPersistable direct interface (§5) ----
@@ -339,16 +403,13 @@ impl Connection {
         columns: Vec<(String, ColType)>,
         primary_key: usize,
     ) -> crate::Result<()> {
-        let mut inner = self.db.inner.lock();
-        run_statement(
-            &mut inner,
-            Statement::CreateTable {
+        self.db
+            .run(Statement::CreateTable {
                 name: name.to_string(),
                 columns,
                 primary_key,
-            },
-        )
-        .map(|_| ())
+            })
+            .map(|_| ())
     }
 
     /// `persistInTable`: ships an object's fields straight to storage.
@@ -357,15 +418,12 @@ impl Connection {
     ///
     /// Arity / key errors.
     pub fn persist_row(&mut self, table: &str, row: Vec<Value>) -> crate::Result<()> {
-        let mut inner = self.db.inner.lock();
-        run_statement(
-            &mut inner,
-            Statement::Insert {
+        self.db
+            .run(Statement::Insert {
                 table: table.to_string(),
                 values: row,
-            },
-        )
-        .map(|_| ())
+            })
+            .map(|_| ())
     }
 
     /// Point lookup by primary key, no SQL.
@@ -458,7 +516,8 @@ impl Connection {
             key: key.clone(),
             row: new_row,
         };
-        finish_write(&mut inner, vec![undo], vec![redo])?;
+        finish_write(&mut inner, vec![undo], vec![redo]);
+        self.db.finish_pending(inner)?;
         Ok(1)
     }
 
@@ -468,16 +527,13 @@ impl Connection {
     ///
     /// Table errors.
     pub fn delete_row(&mut self, table: &str, key: &Value) -> crate::Result<usize> {
-        let mut inner = self.db.inner.lock();
-        let pk = pk_name(&inner, table)?;
-        run_statement(
-            &mut inner,
-            Statement::Delete {
+        let pk = pk_name(&self.db.inner.lock(), table)?;
+        self.db
+            .run(Statement::Delete {
                 table: table.to_string(),
                 filter: (pk, key.clone()),
-            },
-        )
-        .map(|r| r.affected)
+            })
+            .map(|r| r.affected)
     }
 
     /// Begins an explicit transaction.
@@ -488,27 +544,20 @@ impl Connection {
         }
     }
 
-    /// Commits the explicit transaction (WAL flush happens here).
+    /// Commits the explicit transaction (the WAL group flush happens
+    /// here).
     ///
     /// # Errors
     ///
-    /// [`DbError::LogFull`].
+    /// [`DbError::LogFull`] when neither the active log area nor a
+    /// rotating checkpoint can hold the state.
     pub fn commit(&mut self) -> crate::Result<()> {
         let mut inner = self.db.inner.lock();
         let Some((_, redo)) = inner.txn.take() else {
             return Ok(());
         };
-        let t0 = Instant::now();
-        let ok = inner.wal.commit(&redo);
-        inner.stats.wal_ns += t0.elapsed().as_nanos() as u64;
-        if ok {
-            maybe_checkpoint(&mut inner);
-            Ok(())
-        } else {
-            // The in-memory state kept the changes; a real engine would
-            // checkpoint. We surface the condition instead.
-            Err(DbError::LogFull)
-        }
+        enqueue_commit(&mut inner, redo);
+        self.db.finish_pending(inner)
     }
 
     /// Rolls the explicit transaction back.
@@ -564,14 +613,63 @@ fn snapshot_records(tables: &HashMap<String, Table>) -> Vec<Redo> {
     out
 }
 
-/// Writes a checkpoint unconditionally (caller checks quiescence).
-/// Returns whether the WAL accepted it.
+/// Writes a rotating checkpoint unconditionally (caller checks
+/// quiescence). Returns whether the WAL accepted it. On success, every
+/// commit applied in memory — including any still queued for a group
+/// flush — is embodied by the snapshot, so the queue is drained and the
+/// durable sequence catches up.
 fn force_checkpoint(inner: &mut Inner) -> bool {
     let t0 = Instant::now();
     let snapshot = snapshot_records(&inner.tables);
     let ok = inner.wal.checkpoint(&snapshot);
     inner.stats.wal_ns += t0.elapsed().as_nanos() as u64;
+    if ok {
+        inner.stats.wal_flushes += 1;
+        inner.stats.wal_txns += inner.group.len() as u64;
+        inner.group.clear();
+        inner.durable_seq = inner.next_seq - 1;
+    }
     ok
+}
+
+/// The group-commit leader path: drains every queued commit into one WAL
+/// append (a single length persist for the whole batch). Falls back to a
+/// rotating checkpoint when the active area is full — the snapshot
+/// reconstructs the in-memory state, which already includes the drained
+/// commits, so rotation both compacts the log and lands the batch.
+fn flush_group_locked(inner: &mut Inner, seq: u64) -> crate::Result<()> {
+    if inner.durable_seq >= seq {
+        return Ok(()); // batched into an earlier leader's flush
+    }
+    let drained: Vec<(u64, Vec<Redo>)> = inner.group.drain(..).collect();
+    debug_assert!(
+        drained.iter().any(|(s, _)| *s == seq),
+        "sequence neither durable nor queued"
+    );
+    let last = drained.last().map_or(seq, |(s, _)| *s);
+    let t0 = Instant::now();
+    let batches: Vec<&[Redo]> = drained.iter().map(|(_, r)| r.as_slice()).collect();
+    let ok = inner.wal.commit_batch(&batches);
+    inner.stats.wal_ns += t0.elapsed().as_nanos() as u64;
+    if ok {
+        inner.durable_seq = last;
+        inner.stats.wal_flushes += 1;
+        inner.stats.wal_txns += drained.len() as u64;
+        if inner.txn.is_none() {
+            maybe_checkpoint(inner);
+        }
+        return Ok(());
+    }
+    if inner.txn.is_none() && force_checkpoint(inner) {
+        inner.stats.wal_txns += drained.len() as u64;
+        return Ok(());
+    }
+    // Could not persist (snapshot larger than an area, or a transaction
+    // holds the engine mid-flight): requeue so a later leader retries.
+    for batch in drained.into_iter().rev() {
+        inner.group.push_front(batch);
+    }
+    Err(DbError::LogFull)
 }
 
 /// Auto-checkpoint policy, run at commit-quiesce points: checkpoint when
@@ -604,21 +702,26 @@ fn pk_name(inner: &Inner, table: &str) -> crate::Result<String> {
     Ok(t.columns[t.primary_key].0.clone())
 }
 
-fn finish_write(inner: &mut Inner, undo: Vec<Undo>, redo: Vec<Redo>) -> crate::Result<()> {
+/// Queues a commit's redo for the next group flush and records its
+/// sequence in `pending_flush` — the connection flushes after dropping
+/// the engine lock, opening the window in which concurrent commits pile
+/// into one batch.
+fn enqueue_commit(inner: &mut Inner, redo: Vec<Redo>) {
+    if redo.is_empty() {
+        return;
+    }
+    let seq = inner.next_seq;
+    inner.next_seq += 1;
+    inner.group.push_back((seq, redo));
+    inner.pending_flush = Some(seq);
+}
+
+fn finish_write(inner: &mut Inner, undo: Vec<Undo>, redo: Vec<Redo>) {
     if let Some((u, r)) = &mut inner.txn {
         u.extend(undo);
         r.extend(redo);
-        Ok(())
     } else {
-        let t0 = Instant::now();
-        let ok = inner.wal.commit(&redo);
-        inner.stats.wal_ns += t0.elapsed().as_nanos() as u64;
-        if ok {
-            maybe_checkpoint(inner);
-            Ok(())
-        } else {
-            Err(DbError::LogFull)
-        }
+        enqueue_commit(inner, redo);
     }
 }
 
@@ -637,15 +740,8 @@ fn run_statement(inner: &mut Inner, stmt: Statement) -> crate::Result<QueryResul
             let Some((_, redo)) = inner.txn.take() else {
                 return Ok(QueryResult::default());
             };
-            let t1 = Instant::now();
-            let ok = inner.wal.commit(&redo);
-            inner.stats.wal_ns += t1.elapsed().as_nanos() as u64;
-            return if ok {
-                maybe_checkpoint(inner);
-                Ok(QueryResult::default())
-            } else {
-                Err(DbError::LogFull)
-            };
+            enqueue_commit(inner, redo);
+            return Ok(QueryResult::default());
         }
         Statement::Rollback => {
             let undo = inner.txn.take().map(|(u, _)| u).unwrap_or_default();
@@ -691,8 +787,8 @@ fn run_statement(inner: &mut Inner, stmt: Statement) -> crate::Result<QueryResul
                     primary_key,
                 };
                 inner.stats.exec_ns += t0.elapsed().as_nanos() as u64;
-                return finish_write(inner, vec![undo], vec![redo])
-                    .map(|()| QueryResult::default());
+                finish_write(inner, vec![undo], vec![redo]);
+                return Ok(QueryResult::default());
             }
         }
         Statement::Insert { table, values } => {
@@ -715,7 +811,8 @@ fn run_statement(inner: &mut Inner, stmt: Statement) -> crate::Result<QueryResul
                     let undo = Undo::RemoveRow(table.clone(), key);
                     let redo = Redo::Insert { table, row: values };
                     inner.stats.exec_ns += t0.elapsed().as_nanos() as u64;
-                    return finish_write(inner, vec![undo], vec![redo]).map(|()| QueryResult {
+                    finish_write(inner, vec![undo], vec![redo]);
+                    return Ok(QueryResult {
                         affected: 1,
                         ..QueryResult::default()
                     });
@@ -795,7 +892,8 @@ fn run_statement(inner: &mut Inner, stmt: Statement) -> crate::Result<QueryResul
             inner.stats.rows_written += keys.len() as u64;
             let affected = keys.len();
             inner.stats.exec_ns += t0.elapsed().as_nanos() as u64;
-            return finish_write(inner, undo, redo).map(|()| QueryResult {
+            finish_write(inner, undo, redo);
+            return Ok(QueryResult {
                 affected,
                 ..QueryResult::default()
             });
@@ -832,7 +930,8 @@ fn run_statement(inner: &mut Inner, stmt: Statement) -> crate::Result<QueryResul
             inner.stats.rows_written += keys.len() as u64;
             let affected = keys.len();
             inner.stats.exec_ns += t0.elapsed().as_nanos() as u64;
-            return finish_write(inner, undo, redo).map(|()| QueryResult {
+            finish_write(inner, undo, redo);
+            return Ok(QueryResult {
                 affected,
                 ..QueryResult::default()
             });
@@ -1104,6 +1203,116 @@ mod tests {
         let mut c2 = db2.connect();
         let r = c2.execute("SELECT * FROM t WHERE id = 7").unwrap();
         assert_eq!(r.rows[0][1], Value::Int(49));
+    }
+
+    #[test]
+    fn group_commit_batches_queued_txns_under_one_flush() {
+        let (dev, db, mut conn) = db();
+        conn.create_table_direct(
+            "t",
+            vec![("id".into(), ColType::Int), ("v".into(), ColType::Int)],
+            0,
+        )
+        .unwrap();
+        db.reset_stats();
+        // Deterministic window: apply + enqueue two commits under the
+        // engine lock (exactly what two racing connections do inside the
+        // group-commit window), then run one leader flush.
+        let (seq1, seq2) = {
+            let mut inner = db.inner.lock();
+            run_statement(
+                &mut inner,
+                Statement::Insert {
+                    table: "t".into(),
+                    values: vec![Value::Int(1), Value::Int(10)],
+                },
+            )
+            .unwrap();
+            let seq1 = inner.pending_flush.take().unwrap();
+            run_statement(
+                &mut inner,
+                Statement::Insert {
+                    table: "t".into(),
+                    values: vec![Value::Int(2), Value::Int(20)],
+                },
+            )
+            .unwrap();
+            let seq2 = inner.pending_flush.take().unwrap();
+            (seq1, seq2)
+        };
+        db.flush_group(seq2).unwrap();
+        db.flush_group(seq1).unwrap(); // already covered by the leader
+        let s = db.stats();
+        assert_eq!(s.wal_txns, 2, "both transactions durable");
+        assert_eq!(s.wal_flushes, 1, "one WAL flush for the batch");
+        dev.crash();
+        let db2 = Database::open(dev).unwrap();
+        assert_eq!(db2.row_count("t").unwrap(), 2);
+    }
+
+    #[test]
+    fn concurrent_autocommits_all_survive_a_crash() {
+        let (dev, db, mut conn) = db();
+        conn.create_table_direct(
+            "t",
+            vec![("id".into(), ColType::Int), ("v".into(), ColType::Int)],
+            0,
+        )
+        .unwrap();
+        db.reset_stats();
+        let threads = 4;
+        let per_thread = 25;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let db = db.clone();
+                s.spawn(move || {
+                    let mut conn = db.connect();
+                    for i in 0..per_thread {
+                        let id = t * per_thread + i;
+                        conn.persist_row("t", vec![Value::Int(id as i64), Value::Int(id as i64)])
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let s = db.stats();
+        assert_eq!(s.wal_txns, (threads * per_thread) as u64);
+        assert!(
+            s.wal_flushes <= s.wal_txns,
+            "a flush never covers less than one txn"
+        );
+        dev.crash();
+        let db2 = Database::open(dev).unwrap();
+        assert_eq!(db2.row_count("t").unwrap(), threads * per_thread);
+    }
+
+    #[test]
+    fn full_log_rotates_instead_of_failing() {
+        // A device so small the WAL areas hold only a handful of records:
+        // update churn on a tiny table must keep committing forever,
+        // because the rotation fallback reclaims the history each time
+        // the active area fills.
+        let dev = NvmDevice::new(NvmConfig::with_size(8 << 10));
+        let db = Database::create(dev.clone()).unwrap();
+        let mut conn = db.connect();
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+            .unwrap();
+        for i in 0..8 {
+            conn.execute(&format!("INSERT INTO t VALUES ({i}, 0)"))
+                .unwrap();
+        }
+        for round in 0..200 {
+            for i in 0..8 {
+                conn.execute(&format!("UPDATE t SET v = {round} WHERE id = {i}"))
+                    .unwrap();
+            }
+        }
+        dev.crash();
+        let db2 = Database::open(dev).unwrap();
+        assert_eq!(db2.row_count("t").unwrap(), 8);
+        let mut c2 = db2.connect();
+        let r = c2.execute("SELECT * FROM t WHERE id = 3").unwrap();
+        assert_eq!(r.rows[0][1], Value::Int(199));
     }
 
     #[test]

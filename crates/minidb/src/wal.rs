@@ -1,31 +1,39 @@
-//! Redo write-ahead log on the simulated NVM device, with checkpoints.
+//! Redo write-ahead log on the simulated NVM device, with group commit
+//! and rotating checkpoint compaction.
 //!
-//! Commit protocol: append the transaction's serialized redo records past
-//! the committed region, flush them, *then* advance the persisted
-//! committed-length word. A crash between the two leaves the records
-//! outside the committed region, so recovery never replays a torn
-//! transaction — the same single-word-commit idea as the heap's `top`.
+//! Commit protocol: append the serialized redo records of one **or many**
+//! transactions past the committed region, flush them, *then* advance the
+//! persisted committed-length word — [`Wal::commit_batch`] makes N
+//! concurrent transactions durable under a single length persist (group
+//! commit). A crash between the two leaves the records outside the
+//! committed region, so recovery never replays a torn batch — the same
+//! single-word-commit idea as the heap's `top`.
 //!
-//! Checkpoint protocol: a checkpoint is an ordinary committed batch of
-//! redo records that reconstructs the whole engine state (CreateTable +
-//! Insert per row), followed by a persisted update of the checkpoint
-//! pointer (`H_CKPT`, the offset the next replay starts from). Replaying
-//! a checkpoint batch is idempotent — `CreateTable` resets the table and
-//! the inserts restore its rows — so a crash *between* the length persist
-//! and the pointer persist is safe: replay starts at the old pointer and
-//! simply passes through the snapshot. Opening a database therefore
-//! replays only the records since the last checkpoint, not the whole
-//! history (the ROADMAP "whole-log replay on every open" slow path).
+//! Checkpoint protocol: the log space is split into **two areas**, and a
+//! checkpoint *rotates* between them. The snapshot (a full-state
+//! reconstruction: CreateTable + Insert per row) is written to the start
+//! of the inactive area and flushed; then one persist of the header line
+//! atomically publishes the new area length *and* flips the active-area
+//! word. A crash before the flip replays the old area (the snapshot bytes
+//! are garbage in an inactive area); after it, the new. Rotation is also
+//! the log's **compaction**: the space consumed by the pre-checkpoint
+//! history is reclaimed wholesale when the next rotation lands on it, so
+//! a bounded device serves an unbounded commit history as long as the
+//! live state fits in one area (the ROADMAP "log file grows append-only"
+//! item).
 
 use espresso_nvm::NvmDevice;
 
 use crate::sql::{ColType, Value};
 
-const MAGIC: u64 = 0x4d49_4e49_4442_5741; // "MINIDBWA"
+const MAGIC: u64 = 0x4d49_4e49_4442_5732; // "MINIDBW2" (two-area layout)
 const H_MAGIC: usize = 0;
-const H_LEN: usize = 8;
-/// Committed byte offset (relative to `DATA`) replay starts from.
-const H_CKPT: usize = 16;
+/// Which area (0/1) replay reads.
+const H_ACTIVE: usize = 8;
+/// Committed byte lengths of areas 0 and 1.
+const H_LEN: [usize; 2] = [16, 24];
+/// Snapshot prefix length of the active area (its checkpoint).
+const H_SNAP: usize = 32;
 const DATA: usize = 64;
 
 /// One redo record.
@@ -203,24 +211,43 @@ impl Redo {
     }
 }
 
-/// The on-device log.
+/// The on-device log: a header line plus two equally sized record areas
+/// (see the module docs for the rotation protocol).
 #[derive(Debug)]
 pub(crate) struct Wal {
     dev: NvmDevice,
-    len: usize,  // committed bytes past DATA
-    ckpt: usize, // replay starts here (bytes past DATA)
+    /// Which area holds the live log.
+    active: usize,
+    /// Committed bytes in the active area.
+    len: usize,
+    /// Snapshot prefix of the active area (0 when the area was never
+    /// produced by a checkpoint).
+    snap: usize,
 }
 
 impl Wal {
+    /// Byte capacity of each record area.
+    fn area_cap(&self) -> usize {
+        (self.dev.size().saturating_sub(DATA)) / 2
+    }
+
+    /// Device offset of area `i`.
+    fn area_off(&self, i: usize) -> usize {
+        DATA + i * self.area_cap()
+    }
+
     pub(crate) fn format(dev: NvmDevice) -> Wal {
         dev.write_u64(H_MAGIC, MAGIC);
-        dev.write_u64(H_LEN, 0);
-        dev.write_u64(H_CKPT, 0);
+        dev.write_u64(H_ACTIVE, 0);
+        dev.write_u64(H_LEN[0], 0);
+        dev.write_u64(H_LEN[1], 0);
+        dev.write_u64(H_SNAP, 0);
         dev.persist(0, DATA);
         Wal {
             dev,
+            active: 0,
             len: 0,
-            ckpt: 0,
+            snap: 0,
         }
     }
 
@@ -228,57 +255,100 @@ impl Wal {
         if dev.size() < DATA || dev.read_u64(H_MAGIC) != MAGIC {
             return None;
         }
-        let len = dev.read_u64(H_LEN) as usize;
-        let ckpt = (dev.read_u64(H_CKPT) as usize).min(len);
-        Some(Wal { dev, len, ckpt })
+        let active = (dev.read_u64(H_ACTIVE) as usize).min(1);
+        let len = dev.read_u64(H_LEN[active]) as usize;
+        let snap = dev.read_u64(H_SNAP) as usize;
+        let mut wal = Wal {
+            dev,
+            active,
+            len: 0,
+            snap: 0,
+        };
+        // Clamp the length to the area first, then the snapshot mark to
+        // the clamped length — the other order lets a corrupt header
+        // leave snap > len and underflow `tail_bytes`.
+        wal.len = len.min(wal.area_cap());
+        wal.snap = snap.min(wal.len);
+        Some(wal)
     }
 
-    /// Appends and commits a batch of records. Returns false (log full)
-    /// without committing anything if space runs out.
+    /// Appends and commits one batch of records. Returns false (log full)
+    /// without committing anything if space runs out. (The engine always
+    /// goes through [`commit_batch`](Self::commit_batch); this is the
+    /// single-transaction convenience the tests exercise.)
+    #[cfg(test)]
     pub(crate) fn commit(&mut self, records: &[Redo]) -> bool {
-        if records.is_empty() {
+        self.commit_batch(&[records])
+    }
+
+    /// Group commit: appends the records of every batch contiguously and
+    /// makes them all durable under a **single** length persist — N
+    /// transactions, one commit flush. Returns false (log full) without
+    /// committing anything if the active area cannot hold them.
+    pub(crate) fn commit_batch(&mut self, batches: &[&[Redo]]) -> bool {
+        let mut buf = Vec::new();
+        for records in batches {
+            for r in *records {
+                r.encode(&mut buf);
+            }
+        }
+        if buf.is_empty() {
             return true;
         }
-        let mut buf = Vec::new();
-        for r in records {
-            r.encode(&mut buf);
-        }
-        let start = DATA + self.len;
-        if start + buf.len() > self.dev.size() {
+        if self.len + buf.len() > self.area_cap() {
             return false;
         }
+        let start = self.area_off(self.active) + self.len;
         self.dev.write_bytes(start, &buf);
         self.dev.flush(start, buf.len());
         self.dev.fence();
         self.len += buf.len();
-        self.dev.write_u64(H_LEN, self.len as u64);
-        self.dev.persist(H_LEN, 8);
+        self.dev.write_u64(H_LEN[self.active], self.len as u64);
+        self.dev.persist(H_LEN[self.active], 8);
         true
     }
 
-    /// Commits `snapshot` (a full-state reconstruction) as a checkpoint
-    /// and advances the replay pointer past everything before it. Returns
-    /// false (log full) without changing anything if space runs out.
+    /// Rotating checkpoint: writes `snapshot` (a full-state
+    /// reconstruction) at the start of the inactive area, then atomically
+    /// flips the active-area word — the header words share one cache
+    /// line, so the new length, snapshot mark, and flip land in a single
+    /// line persist. The old area's whole history is thereby reclaimed
+    /// (compaction). Returns false without changing anything when the
+    /// snapshot exceeds one area.
     pub(crate) fn checkpoint(&mut self, snapshot: &[Redo]) -> bool {
-        let at = self.len;
-        if !self.commit(snapshot) {
+        let mut buf = Vec::new();
+        for r in snapshot {
+            r.encode(&mut buf);
+        }
+        if buf.len() > self.area_cap() {
             return false;
         }
-        // The pointer advances only after the snapshot is committed; a
-        // crash before this persist replays from the old pointer, through
-        // the (idempotent) snapshot records.
-        self.ckpt = at;
-        self.dev.write_u64(H_CKPT, at as u64);
-        self.dev.persist(H_CKPT, 8);
+        let other = 1 - self.active;
+        if !buf.is_empty() {
+            let start = self.area_off(other);
+            self.dev.write_bytes(start, &buf);
+            self.dev.flush(start, buf.len());
+        }
+        self.dev.fence();
+        // One persisted header line publishes length + snapshot mark and
+        // flips the active area: a crash strictly before this flush
+        // replays the old area, strictly after it the new — never a mix.
+        self.dev.write_u64(H_LEN[other], buf.len() as u64);
+        self.dev.write_u64(H_SNAP, buf.len() as u64);
+        self.dev.write_u64(H_ACTIVE, other as u64);
+        self.dev.persist(0, DATA);
+        self.active = other;
+        self.len = buf.len();
+        self.snap = buf.len();
         true
     }
 
-    /// Replays every committed record at or after the last checkpoint.
+    /// Replays every committed record of the active area (the last
+    /// checkpoint snapshot plus everything committed after it).
     pub(crate) fn replay(&self) -> Vec<Redo> {
-        let tail = self.len - self.ckpt;
-        let mut buf = vec![0u8; tail];
-        if tail > 0 {
-            self.dev.read_bytes(DATA + self.ckpt, &mut buf);
+        let mut buf = vec![0u8; self.len];
+        if self.len > 0 {
+            self.dev.read_bytes(self.area_off(self.active), &mut buf);
         }
         let mut d = Dec { buf: &buf, pos: 0 };
         let mut out = Vec::new();
@@ -288,16 +358,21 @@ impl Wal {
         out
     }
 
-    /// Committed bytes past the last checkpoint (what the next open will
-    /// replay).
+    /// Committed bytes past the last checkpoint snapshot.
     pub(crate) fn tail_bytes(&self) -> usize {
-        self.len - self.ckpt
+        self.len - self.snap
     }
 
-    /// Committed bytes.
+    /// Committed bytes in the active area.
     #[cfg(test)]
     pub(crate) fn committed_bytes(&self) -> usize {
         self.len
+    }
+
+    /// Which area is live (tests observe rotation through this).
+    #[cfg(test)]
+    pub(crate) fn active_area(&self) -> usize {
+        self.active
     }
 }
 
@@ -374,13 +449,10 @@ mod tests {
         // Snapshot state (here: just the create) and checkpoint it.
         let snapshot = vec![sample_records()[0].clone()];
         assert!(w.checkpoint(&snapshot));
-        assert_eq!(w.tail_bytes(), {
-            let mut b = Vec::new();
-            snapshot[0].encode(&mut b);
-            b.len()
-        });
+        assert_eq!(w.tail_bytes(), 0, "checkpoint resets the tail");
         // A tail commit after the checkpoint.
         assert!(w.commit(&sample_records()[1..2]));
+        assert!(w.tail_bytes() > 0);
         dev.crash();
         let w2 = Wal::open(dev).unwrap();
         let replayed = w2.replay();
@@ -390,13 +462,14 @@ mod tests {
     }
 
     #[test]
-    fn crash_between_snapshot_and_pointer_is_safe() {
+    fn crash_before_the_rotation_flip_replays_the_old_area() {
         let dev = NvmDevice::new(NvmConfig::with_size(1 << 20));
         let mut w = Wal::format(dev.clone());
         assert!(w.commit(&sample_records()[..2]));
-        // A checkpoint persists: records flush(es), H_LEN, then H_CKPT
-        // last. Count the flushes of an identical checkpoint on a scratch
-        // copy, then crash one flush early on the real device.
+        // A checkpoint flushes the snapshot bytes into the inactive area,
+        // then persists the header line (length + flip) last. Count the
+        // flushes of an identical checkpoint on a scratch copy, then
+        // crash one flush early on the real device.
         let probe = NvmDevice::new(NvmConfig::with_size(dev.size()));
         probe.write_bytes(0, &dev.snapshot_persisted());
         probe.persist(0, dev.size());
@@ -408,9 +481,70 @@ mod tests {
         assert!(w.checkpoint(&sample_records()[..1]));
         dev.recover();
         let w2 = Wal::open(dev).unwrap();
-        // Pointer never advanced: replay passes through the history AND
-        // the snapshot records — idempotent, so the state is identical.
-        assert_eq!(w2.replay().len(), 3);
+        // The flip never landed: the old area (the 2-record history) is
+        // still the log; the half-written snapshot is inert garbage in
+        // the inactive area.
+        assert_eq!(w2.active_area(), 0);
+        assert_eq!(w2.replay(), sample_records()[..2].to_vec());
+    }
+
+    #[test]
+    fn rotation_reclaims_the_pre_checkpoint_log() {
+        // Tiny log: each area holds only a few records. Without rotation
+        // the history would exhaust the device; with it, an unbounded
+        // commit count cycles between the two areas for as long as the
+        // snapshot stays small.
+        let dev = NvmDevice::new(NvmConfig::with_size(4096));
+        let mut w = Wal::format(dev.clone());
+        let one = &sample_records()[1..2]; // a single small insert
+        let snapshot = vec![sample_records()[0].clone()];
+        let mut total_commits = 0;
+        for _ in 0..64 {
+            while w.commit(one) {
+                total_commits += 1;
+            }
+            assert!(w.checkpoint(&snapshot), "snapshot must always fit");
+            assert_eq!(w.tail_bytes(), 0);
+        }
+        let cap = (dev.size() - 64) / 2;
+        assert!(
+            total_commits * {
+                let mut b = Vec::new();
+                one[0].encode(&mut b);
+                b.len()
+            } > 4 * cap,
+            "committed far more bytes than one area holds ({total_commits} commits)"
+        );
+        // Still a consistent log after all that cycling.
+        dev.crash();
+        let w2 = Wal::open(dev).unwrap();
+        assert_eq!(w2.replay()[0], snapshot[0]);
+    }
+
+    #[test]
+    fn commit_batch_groups_n_txns_under_one_length_persist() {
+        let recs = sample_records();
+        let batches: Vec<&[Redo]> = vec![&recs[1..2], &recs[2..3], &recs[3..4]];
+        // Separate commits: one length persist each.
+        let dev_a = NvmDevice::new(NvmConfig::with_size(1 << 20));
+        let mut wa = Wal::format(dev_a.clone());
+        let f0 = dev_a.stats().line_flushes;
+        for b in &batches {
+            assert!(wa.commit(b));
+        }
+        let separate = dev_a.stats().line_flushes - f0;
+        // One grouped commit: identical bytes, one length persist.
+        let dev_b = NvmDevice::new(NvmConfig::with_size(1 << 20));
+        let mut wb = Wal::format(dev_b.clone());
+        let f0 = dev_b.stats().line_flushes;
+        assert!(wb.commit_batch(&batches));
+        let grouped = dev_b.stats().line_flushes - f0;
+        assert!(
+            grouped < separate,
+            "group commit must save flushes ({grouped} vs {separate})"
+        );
+        assert_eq!(wa.replay(), wb.replay(), "same committed records");
+        assert_eq!(wb.replay().len(), 3);
     }
 
     #[test]
@@ -426,5 +560,21 @@ mod tests {
     fn open_rejects_foreign_device() {
         let dev = NvmDevice::new(NvmConfig::with_size(1024));
         assert!(Wal::open(dev).is_none());
+    }
+
+    #[test]
+    fn open_clamps_a_corrupt_header() {
+        let dev = NvmDevice::new(NvmConfig::with_size(4096));
+        let mut w = Wal::format(dev.clone());
+        assert!(w.commit(&sample_records()[..1]));
+        // Corrupt the header: a length far past the area and a snapshot
+        // mark past the (clamped) length.
+        dev.write_u64(16, 5000);
+        dev.write_u64(32, 3000);
+        dev.persist(0, 64);
+        dev.crash();
+        let w2 = Wal::open(dev).unwrap();
+        assert!(w2.committed_bytes() <= (4096 - 64) / 2);
+        assert!(w2.tail_bytes() <= w2.committed_bytes(), "no underflow");
     }
 }

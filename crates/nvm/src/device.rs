@@ -99,6 +99,95 @@ pub struct CrashPlan {
     pub flushes_remaining: u64,
 }
 
+/// A consistent image delta captured by [`NvmDevice::snapshot_sync`].
+///
+/// The snapshot step runs under the device lock and copies the persisted
+/// bytes of every line not yet in the image file; the [`apply`](Self::apply)
+/// step writes those copies to the file with **no** device lock held, so
+/// mutations (even re-persists of the same lines) proceed while the sync is
+/// in flight — the copies pin the commit point's contents.
+///
+/// If an apply fails or is abandoned, hand the snapshot back to
+/// [`NvmDevice::restore_unsynced`] so the next snapshot re-captures its
+/// lines; otherwise they would silently never reach the image.
+#[derive(Debug)]
+pub struct SyncSnapshot {
+    device_size: usize,
+    /// The whole image must be rewritten (missing or mismatched file);
+    /// `runs` then holds one run covering the full persisted image.
+    full: bool,
+    lines: usize,
+    /// `(byte offset, persisted bytes)` runs, coalesced and ascending.
+    runs: Vec<(usize, Vec<u8>)>,
+}
+
+impl SyncSnapshot {
+    /// Cache lines captured.
+    pub fn lines(&self) -> usize {
+        self.lines
+    }
+
+    /// Bytes the apply will write.
+    pub fn bytes(&self) -> usize {
+        self.runs.iter().map(|(_, b)| b.len()).sum()
+    }
+
+    /// Whether the apply will rewrite the whole image file.
+    pub fn is_full_rewrite(&self) -> bool {
+        self.full
+    }
+
+    /// Whether there is nothing to write.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Writes the captured runs to the image file. Takes no device lock —
+    /// this is the half of a sync that can run on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// [`NvmError::Io`] on filesystem failure, and
+    /// [`NvmError::ImageSizeMismatch`] when a partial snapshot finds the
+    /// file missing or resized (something replaced it since the snapshot);
+    /// the caller should restore the snapshot's lines and retry with a
+    /// fresh snapshot.
+    pub fn apply(&self, path: &Path) -> crate::Result<ImageSyncReport> {
+        use std::io::{Seek, SeekFrom, Write};
+        if self.full {
+            std::fs::write(path, &self.runs[0].1)?;
+            return Ok(ImageSyncReport {
+                lines_synced: self.lines,
+                bytes_written: self.device_size,
+                full_rewrite: true,
+            });
+        }
+        if self.runs.is_empty() {
+            return Ok(ImageSyncReport::default());
+        }
+        let image = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0) as usize;
+        if image != self.device_size {
+            return Err(NvmError::ImageSizeMismatch {
+                device: self.device_size,
+                image,
+            });
+        }
+        let mut file = std::fs::OpenOptions::new().write(true).open(path)?;
+        let mut bytes_written = 0;
+        for (off, bytes) in &self.runs {
+            file.seek(SeekFrom::Start(*off as u64))?;
+            file.write_all(bytes)?;
+            bytes_written += bytes.len();
+        }
+        file.flush()?;
+        Ok(ImageSyncReport {
+            lines_synced: self.lines,
+            bytes_written,
+            full_rewrite: false,
+        })
+    }
+}
+
 struct Inner {
     volatile: Vec<u8>,
     persisted: Vec<u8>,
@@ -435,53 +524,84 @@ impl NvmDevice {
     /// reach the file are exactly the persistence domain — what a power
     /// failure at the moment of the sync would have preserved.
     ///
+    /// Implemented as [`snapshot_sync`](Self::snapshot_sync) (under the
+    /// lock) followed by [`SyncSnapshot::apply`] (off the lock); callers
+    /// that want the apply on a background thread use those halves
+    /// directly, usually through [`crate::FlushPipeline`].
+    ///
     /// # Errors
     ///
-    /// Returns [`NvmError::Io`] on filesystem failure.
+    /// Returns [`NvmError::Io`] on filesystem failure. The snapshot's
+    /// lines are restored on failure, so a retry loses nothing.
     pub fn sync_image(&self, path: &Path) -> crate::Result<ImageSyncReport> {
-        use std::io::{Seek, SeekFrom, Write};
+        let snapshot = self.snapshot_sync(path);
+        snapshot.apply(path).inspect_err(|_| {
+            self.restore_unsynced(&snapshot);
+        })
+    }
+
+    /// The snapshot half of [`sync_image`](Self::sync_image): captures
+    /// (and copies) every cache line persisted since the last sync, marks
+    /// those lines synced, and returns the delta for a later, lock-free
+    /// [`SyncSnapshot::apply`]. Checks `path` only to decide between a
+    /// delta and a full rewrite.
+    pub fn snapshot_sync(&self, path: &Path) -> SyncSnapshot {
         let mut inner = self.inner.lock();
-        let lines = self.size / CACHE_LINE;
+        let total = self.size / CACHE_LINE;
         let full = match std::fs::metadata(path) {
             Ok(m) => m.len() != self.size as u64,
             Err(_) => true,
         };
         if full {
-            std::fs::write(path, &inner.persisted)?;
+            let runs = vec![(0, inner.persisted.clone())];
             inner.unsynced.iter_mut().for_each(|w| *w = 0);
-            return Ok(ImageSyncReport {
-                lines_synced: lines,
-                bytes_written: self.size,
-                full_rewrite: true,
-            });
+            return SyncSnapshot {
+                device_size: self.size,
+                full: true,
+                lines: total,
+                runs,
+            };
         }
-        let mut file = std::fs::OpenOptions::new().write(true).open(path)?;
-        let mut lines_synced = 0;
-        let mut bytes_written = 0;
+        let mut runs = Vec::new();
+        let mut lines = 0;
         let mut line = 0;
-        while line < lines {
+        while line < total {
             if !inner.is_unsynced(line) {
                 line += 1;
                 continue;
             }
             let run_start = line;
-            while line < lines && inner.is_unsynced(line) {
+            while line < total && inner.is_unsynced(line) {
                 line += 1;
             }
             let lo = run_start * CACHE_LINE;
             let hi = line * CACHE_LINE;
-            file.seek(SeekFrom::Start(lo as u64))?;
-            file.write_all(&inner.persisted[lo..hi])?;
-            lines_synced += line - run_start;
-            bytes_written += hi - lo;
+            runs.push((lo, inner.persisted[lo..hi].to_vec()));
+            lines += line - run_start;
         }
-        file.flush()?;
         inner.unsynced.iter_mut().for_each(|w| *w = 0);
-        Ok(ImageSyncReport {
-            lines_synced,
-            bytes_written,
-            full_rewrite: false,
-        })
+        SyncSnapshot {
+            device_size: self.size,
+            full: false,
+            lines,
+            runs,
+        }
+    }
+
+    /// Re-marks every line of `snapshot` as unsynced, undoing the
+    /// bookkeeping of [`snapshot_sync`](Self::snapshot_sync) after a
+    /// failed or abandoned apply. The next snapshot then re-captures the
+    /// lines (with their *current* persisted contents, which are at least
+    /// as new), so no committed line can silently miss the image.
+    pub fn restore_unsynced(&self, snapshot: &SyncSnapshot) {
+        let mut inner = self.inner.lock();
+        for (off, bytes) in &snapshot.runs {
+            let first = off / CACHE_LINE;
+            let last = first + bytes.len() / CACHE_LINE;
+            for line in first..last {
+                inner.unsynced[line / 64] |= 1 << (line % 64);
+            }
+        }
     }
 
     /// Creates a device whose durable *and* volatile contents come from an
@@ -716,6 +836,71 @@ mod tests {
         let mut buf = [0u8; 256];
         d2.read_bytes(0, &mut buf);
         assert!(buf.iter().all(|&b| b == 0xEE));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_pins_bytes_at_seal_time() {
+        let dir = std::env::temp_dir().join(format!("espresso-nvm-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("heap.img");
+        let d = dev(4096);
+        d.sync_image(&path).unwrap();
+        d.write_u64(0, 5);
+        d.persist(0, 8);
+        let snap = d.snapshot_sync(&path);
+        assert_eq!(snap.lines(), 1);
+        assert!(!snap.is_full_rewrite());
+        // Re-persist the same line before the apply: the snapshot's copy
+        // wins, the newer store waits for the next snapshot.
+        d.write_u64(0, 6);
+        d.persist(0, 8);
+        snap.apply(&path).unwrap();
+        let d2 = NvmDevice::load_image(&path, LatencyModel::zero()).unwrap();
+        assert_eq!(d2.read_u64(0), 5);
+        let next = d.snapshot_sync(&path);
+        assert_eq!(next.lines(), 1, "re-dirtied line is captured again");
+        next.apply(&path).unwrap();
+        let d3 = NvmDevice::load_image(&path, LatencyModel::zero()).unwrap();
+        assert_eq!(d3.read_u64(0), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restore_unsynced_recaptures_abandoned_lines() {
+        let dir = std::env::temp_dir().join(format!("espresso-nvm-rest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("heap.img");
+        let d = dev(4096);
+        d.sync_image(&path).unwrap();
+        d.write_u64(256, 9);
+        d.persist(256, 8);
+        let snap = d.snapshot_sync(&path);
+        // Abandon the apply (simulated crash of the sync worker).
+        d.restore_unsynced(&snap);
+        drop(snap);
+        let r = d.sync_image(&path).unwrap();
+        assert_eq!(r.lines_synced, 1, "restored line syncs on the retry");
+        let d2 = NvmDevice::load_image(&path, LatencyModel::zero()).unwrap();
+        assert_eq!(d2.read_u64(256), 9);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partial_apply_refuses_a_replaced_image() {
+        let dir = std::env::temp_dir().join(format!("espresso-nvm-repl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("heap.img");
+        let d = dev(4096);
+        d.sync_image(&path).unwrap();
+        d.write_u64(0, 1);
+        d.persist(0, 8);
+        let snap = d.snapshot_sync(&path);
+        std::fs::write(&path, [0u8; 16]).unwrap();
+        assert!(matches!(
+            snap.apply(&path),
+            Err(NvmError::ImageSizeMismatch { .. })
+        ));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -32,10 +32,12 @@
 
 mod device;
 mod latency;
+mod pipeline;
 mod stats;
 
-pub use device::{CrashPlan, ImageSyncReport, NvmConfig, NvmDevice, NvmError};
+pub use device::{CrashPlan, ImageSyncReport, NvmConfig, NvmDevice, NvmError, SyncSnapshot};
 pub use latency::LatencyModel;
+pub use pipeline::FlushPipeline;
 pub use stats::NvmStats;
 
 /// Size of a simulated cache line in bytes.

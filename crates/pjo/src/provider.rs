@@ -421,9 +421,10 @@ impl PjoEntityManager {
         }
         self.conn.commit()?;
         // Transaction boundary == durability boundary: when the heap is
-        // manager-backed, sync the dedup copies' image incrementally (a
-        // no-op report for unmanaged heaps).
-        let _: CommitReport = self.pjh.commit()?;
+        // manager-backed, wait out the incremental image sync of the dedup
+        // copies (a no-op report for unmanaged heaps) — JPA `commit()`
+        // promises durability on return, so this is the sync barrier.
+        let _: CommitReport = self.pjh.commit_sync()?;
         self.stats.commits += 1;
         Ok(())
     }

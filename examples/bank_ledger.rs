@@ -55,7 +55,7 @@ fn main() -> Result<(), PjhError> {
     );
 
     // The explicit durability boundary: everything above reaches the image.
-    let commit = ledger.commit()?;
+    let commit = ledger.commit_sync()?;
     println!(
         "commit point taken ({} lines / {} bytes synced)",
         commit.synced_lines, commit.synced_bytes

@@ -41,7 +41,7 @@ fn main() -> Result<(), PjhError> {
 
         // The explicit durability boundary: an incremental image sync of
         // exactly the cache lines persisted since the last commit.
-        let commit = jimmy.commit()?;
+        let commit = jimmy.commit_sync()?;
         println!(
             "committed Alice (id 1) and Bob (id 2): {} lines / {} bytes synced",
             commit.synced_lines, commit.synced_bytes

@@ -32,7 +32,7 @@ fn vm_objects_survive_restart_through_the_manager() {
         }
         heap.set_root("accounts", head).unwrap();
     });
-    app.commit().unwrap();
+    app.commit_sync().unwrap();
     drop(app); // close the session so the load below maps the image
 
     // "Reboot" into a VM that attaches the reloaded heap. The VM owns its

@@ -1,5 +1,7 @@
 //! Property tests for the session-based heap API: shared `HeapHandle`s,
-//! `txn` abort-on-panic, and `ShardedHeap` commit→reload durability.
+//! `txn` abort-on-panic, `ShardedHeap` commit→reload durability, and the
+//! async commit pipeline's crash windows (seal→apply aborts, concurrent
+//! `commit()` + `txn()` interleavings).
 
 use espresso::heap::{HeapManager, LoadOptions, PjhConfig, PjhError, ShardedHeap};
 use espresso::object::FieldDesc;
@@ -97,7 +99,7 @@ proptest! {
             sh.set_root(key, r).unwrap();
             expect.push((key.clone(), n as u64));
         }
-        sh.commit().unwrap();
+        sh.commit_sync().unwrap();
         drop(sh);
         let sh2 = ShardedHeap::open(&mgr, "props", LoadOptions::default()).unwrap();
         prop_assert_eq!(sh2.num_shards(), shards);
@@ -106,5 +108,162 @@ proptest! {
             prop_assert_eq!(r.shard, sh2.shard_of(&key));
             prop_assert_eq!(sh2.field(r, 0), v);
         }
+    }
+
+    /// A pipeline that dies between seal and apply (pause + abort) loses
+    /// exactly the sealed-but-unapplied epoch: reloading the image
+    /// recovers the last *applied* epoch, bit for bit, whatever the torn
+    /// epoch had mutated.
+    #[test]
+    fn pipeline_killed_between_seal_and_apply_recovers_last_applied_epoch(
+        committed in proptest::collection::vec(any::<u64>(), 8..9),
+        torn in proptest::collection::vec((0usize..8, any::<u64>()), 1..24),
+    ) {
+        let mgr = HeapManager::temp().unwrap();
+        let handle = mgr.create("pipe", 4 << 20, PjhConfig::small()).unwrap();
+        let objs = handle.with_mut(|h| {
+            let k = h.register_instance("Rec", rec_fields()).unwrap();
+            let objs: Vec<_> = (0..8).map(|_| h.alloc_instance(k).unwrap()).collect();
+            for (i, o) in objs.iter().enumerate() {
+                h.set_root(&format!("o{i}"), *o).unwrap();
+            }
+            objs
+        });
+        handle.txn(|t| {
+            for (i, v) in committed.iter().enumerate() {
+                t.set_field(objs[i], 0, *v);
+            }
+            Ok(())
+        }).unwrap();
+        handle.commit_sync().unwrap(); // the last applied epoch
+        // The torn epoch: mutations sealed into a commit whose apply
+        // never runs.
+        handle.with_mut(|h| {
+            for (i, v) in &torn {
+                h.set_field(objs[*i], 0, *v);
+                h.flush_field(objs[*i], 0);
+            }
+        });
+        handle.set_flush_paused(true);
+        let ticket = handle.commit().unwrap();
+        prop_assert_eq!(handle.abort_pending_commits(), 1);
+        prop_assert!(ticket.wait().is_err(), "the torn epoch must report failure");
+        drop(handle);
+        let reloaded = mgr.load("pipe", LoadOptions::default()).unwrap();
+        reloaded.with(|h| {
+            for (i, v) in committed.iter().enumerate() {
+                let o = h.get_root(&format!("o{i}")).unwrap();
+                assert_eq!(h.field(o, 0), *v, "object {i}: last applied epoch");
+            }
+        });
+    }
+
+    /// After an aborted apply, one ordinary commit re-captures every
+    /// restored line: the next reload sees the full post-abort state —
+    /// nothing from the discarded epoch is ever silently lost.
+    #[test]
+    fn commit_after_aborted_apply_heals_the_image(
+        torn in proptest::collection::vec((0usize..8, any::<u64>()), 1..24),
+    ) {
+        let mgr = HeapManager::temp().unwrap();
+        let handle = mgr.create("heal", 4 << 20, PjhConfig::small()).unwrap();
+        let objs = handle.with_mut(|h| {
+            let k = h.register_instance("Rec", rec_fields()).unwrap();
+            let objs: Vec<_> = (0..8).map(|_| h.alloc_instance(k).unwrap()).collect();
+            for (i, o) in objs.iter().enumerate() {
+                h.set_root(&format!("o{i}"), *o).unwrap();
+            }
+            objs
+        });
+        handle.commit_sync().unwrap();
+        let mut model = [0u64; 8];
+        handle.with_mut(|h| {
+            for (i, v) in &torn {
+                h.set_field(objs[*i], 0, *v);
+                h.flush_field(objs[*i], 0);
+            }
+        });
+        for (i, v) in &torn {
+            model[*i] = *v;
+        }
+        handle.set_flush_paused(true);
+        let ticket = handle.commit().unwrap();
+        handle.abort_pending_commits();
+        prop_assert!(ticket.wait().is_err());
+        // The retry: restored lines ride the next sealed epoch.
+        handle.set_flush_paused(false);
+        handle.commit_sync().unwrap();
+        drop(handle);
+        let reloaded = mgr.load("heal", LoadOptions::default()).unwrap();
+        reloaded.with(|h| {
+            for (i, want) in model.iter().enumerate() {
+                let o = h.get_root(&format!("o{i}")).unwrap();
+                assert_eq!(h.field(o, 0), *want, "object {i} healed");
+            }
+        });
+    }
+
+    /// Transactions racing asynchronous commit points stay atomic: a
+    /// writer thread runs `txn`s (each sets both fields of an object to
+    /// one value) while another thread seals commit epochs; after the
+    /// final durability barrier and a reload, every object's field pair
+    /// is consistent and equals the writer's final value.
+    #[test]
+    fn concurrent_commits_and_txns_stay_atomic_through_reload(
+        writes in proptest::collection::vec((0usize..6, 1u64..u64::MAX), 4..40),
+        commits in 1usize..6,
+    ) {
+        let mgr = HeapManager::temp().unwrap();
+        let handle = mgr.create("race", 4 << 20, PjhConfig::small()).unwrap();
+        let objs = handle.with_mut(|h| {
+            let k = h.register_instance("Rec", rec_fields()).unwrap();
+            let objs: Vec<_> = (0..6).map(|_| h.alloc_instance(k).unwrap()).collect();
+            for (i, o) in objs.iter().enumerate() {
+                h.set_root(&format!("o{i}"), *o).unwrap();
+            }
+            objs
+        });
+        handle.commit_sync().unwrap();
+        let mut model = [0u64; 6];
+        for (i, v) in &writes {
+            model[*i] = *v;
+        }
+        let per_committer = writes.len().div_ceil(commits);
+        std::thread::scope(|scope| {
+            let writer_handle = handle.clone();
+            let writer_objs = objs.clone();
+            let writer_writes = writes.clone();
+            scope.spawn(move || {
+                for (i, v) in &writer_writes {
+                    writer_handle
+                        .txn(|t| {
+                            t.set_field(writer_objs[*i], 0, *v);
+                            t.set_field(writer_objs[*i], 1, *v);
+                            Ok(())
+                        })
+                        .unwrap();
+                }
+            });
+            let committer_handle = handle.clone();
+            scope.spawn(move || {
+                for _ in 0..per_committer {
+                    // Async seal: the apply overlaps the writer's txns.
+                    drop(committer_handle.commit().unwrap());
+                    std::thread::yield_now();
+                }
+            });
+        });
+        handle.commit_sync().unwrap();
+        drop(handle);
+        let reloaded = mgr.load("race", LoadOptions::default()).unwrap();
+        reloaded.with(|h| {
+            for (i, want) in model.iter().enumerate() {
+                let o = h.get_root(&format!("o{i}")).unwrap();
+                let a = h.field(o, 0);
+                let b = h.field(o, 1);
+                assert_eq!(a, b, "object {i}: txn atomicity under racing commits");
+                assert_eq!(a, *want, "object {i}: final barrier covers all txns");
+            }
+        });
     }
 }
