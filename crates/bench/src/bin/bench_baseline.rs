@@ -10,7 +10,9 @@
 //!
 //! Flags: `--n15 <ops>` (fig15 ops per cell, default 2000), `--n18 <objects>`
 //! (fig18 max object count, default 50000), `--nshard <ops>` (shard-scaling
-//! ops per cell, default `max(n15, 200)`), `--out <path>` (default stdout).
+//! ops per cell, default `max(n15, 4000)` — the shard cell needs enough ops
+//! to amortize per-worker fixed costs now that commit seals are
+//! delta-proportional), `--out <path>` (default stdout).
 //! Absolute times vary by machine; the *shape* (speedup ratios, shard
 //! throughput ratios, UG-vs-zeroing growth) is what future PRs compare
 //! against.
@@ -68,7 +70,7 @@ fn main() {
     // like fig15.
     let n_shard: usize = flag("--nshard")
         .and_then(|v| v.parse().ok())
-        .unwrap_or(n15.max(200));
+        .unwrap_or(n15.max(4000));
     let best_shard = |shards: usize| {
         (0..3)
             .map(|_| run_shard_scaling(shards, n_shard).as_secs_f64())

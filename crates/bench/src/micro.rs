@@ -373,15 +373,21 @@ const SHARD_TOTAL_BYTES: usize = 32 << 20;
 /// Serving cadence: each worker takes a commit point on *its* shard every
 /// this many of its ops (async seal; the final commit is the sync barrier).
 const SHARD_COMMIT_EVERY: usize = 64;
+/// Root-publish cadence. Roots share the fixed-capacity name table, so
+/// this bounds the cell's maximum op count (`cadence × capacity` on one
+/// shard); 64 keeps op counts up to ~16k legal while still exercising
+/// the root path continuously.
+const SHARD_ROOT_EVERY: usize = 64;
 
 /// The `shard_scaling` cell of the CI bench gate: committed serving
 /// throughput of an `espresso::heap::ShardedHeap` at a fixed total op
 /// count and a fixed total heap budget, driven by **one worker thread per
 /// shard**. Each worker serves its shard's keys (alloc + field store +
-/// flush, every 16th op a shard-local txn + root publish) and takes a
+/// flush, every 16th op a shard-local txn) and takes a
 /// commit point on its own shard every `SHARD_COMMIT_EVERY` of its ops
 /// (sealed asynchronously on the shard's flush pipeline), ending in a
-/// per-shard `commit_sync` durability barrier.
+/// per-shard `commit_sync` durability barrier. Roots are published every
+/// `SHARD_ROOT_EVERY` ops (the name table bounds how many fit).
 ///
 /// Sharding wins on two real axes, and the cell observes both: commits
 /// are **targeted** — a commit point covers only the 1/N-sized
@@ -431,6 +437,8 @@ pub fn run_shard_scaling(shards: usize, ops: usize) -> Duration {
                             Ok(())
                         })
                         .expect("txn");
+                    }
+                    if n % SHARD_ROOT_EVERY == 0 {
                         sh.set_root(key, r).expect("root");
                     }
                     if (n + 1) % SHARD_COMMIT_EVERY == 0 {

@@ -2,11 +2,17 @@
 //! Figure 15).
 
 use espresso_core::PjhError;
-use espresso_object::{FieldDesc, Ref};
+use espresso_object::{Ref, Schema};
 
 use crate::PStore;
 
 const CLASS: &str = "espresso.PLong";
+
+/// The declared layout, registered (and validated against the persisted
+/// fingerprint) through the typed schema path.
+fn long_schema() -> Schema {
+    Schema::builder(CLASS).u64_field("value").build()
+}
 
 /// A persistent boxed 64-bit value.
 ///
@@ -24,7 +30,7 @@ impl PLong {
     ///
     /// Allocation errors.
     pub fn pnew(store: &mut PStore, value: u64) -> Result<PLong, PjhError> {
-        let kid = store.ensure_instance_klass(CLASS, || vec![FieldDesc::prim("value")])?;
+        let kid = store.ensure_schema_klass(CLASS, long_schema)?;
         let obj = store.alloc_instance(kid)?;
         // A fresh box is unreachable until the caller publishes it, so its
         // initialization needs no undo log — just a persisted store.

@@ -1,13 +1,23 @@
 //! Growable list of 64-bit values ("ArrayList" in Figure 15).
 
 use espresso_core::PjhError;
-use espresso_object::{FieldDesc, Ref};
+use espresso_object::{Ref, Schema};
 
 use crate::PStore;
 
 const CLASS: &str = "espresso.PArrayList";
+// Raw field indices for the hot element path (the documented low-level
+// escape hatch); the layout itself is declared and validated by
+// `list_schema` below.
 const F_SIZE: usize = 0;
 const F_ELEMS: usize = 1;
+
+fn list_schema() -> Schema {
+    Schema::builder(CLASS)
+        .u64_field("size")
+        .array_field("elems")
+        .build()
+}
 
 /// A persistent growable array list of 64-bit values.
 ///
@@ -27,9 +37,7 @@ impl PArrayList {
     ///
     /// Allocation errors.
     pub fn pnew(store: &mut PStore, capacity: usize) -> Result<PArrayList, PjhError> {
-        let kid = store.ensure_instance_klass(CLASS, || {
-            vec![FieldDesc::prim("size"), FieldDesc::reference("elems")]
-        })?;
+        let kid = store.ensure_schema_klass(CLASS, list_schema)?;
         let arr_kid = store.heap_mut().register_prim_array();
         let obj = store.alloc_instance(kid)?;
         let elems = store.alloc_array(arr_kid, capacity.max(1))?;

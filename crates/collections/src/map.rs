@@ -1,17 +1,35 @@
 //! Bucketed hash map ("Hashmap" in Figure 15).
 
 use espresso_core::PjhError;
-use espresso_object::{FieldDesc, Ref};
+use espresso_object::{Ref, Schema};
 
 use crate::PStore;
 
 const MAP_CLASS: &str = "espresso.PHashMap";
 const ENTRY_CLASS: &str = "espresso.PHashMap$Entry";
+// Raw field indices for the chain-walk hot path (the documented
+// low-level escape hatch); the layouts are declared and validated by the
+// schemas below.
 const M_SIZE: usize = 0;
 const M_BUCKETS: usize = 1;
 const E_KEY: usize = 0;
 const E_VALUE: usize = 1;
 const E_NEXT: usize = 2;
+
+fn map_schema() -> Schema {
+    Schema::builder(MAP_CLASS)
+        .u64_field("size")
+        .ref_array_named("buckets", ENTRY_CLASS)
+        .build()
+}
+
+fn entry_schema() -> Schema {
+    Schema::builder(ENTRY_CLASS)
+        .u64_field("key")
+        .u64_field("value")
+        .ref_named("next", ENTRY_CLASS)
+        .build()
+}
 
 fn bucket_of(key: u64, buckets: usize) -> usize {
     (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16) as usize % buckets
@@ -34,16 +52,8 @@ impl PHashMap {
     ///
     /// Allocation errors.
     pub fn pnew(store: &mut PStore, buckets: usize) -> Result<PHashMap, PjhError> {
-        let kid = store.ensure_instance_klass(MAP_CLASS, || {
-            vec![FieldDesc::prim("size"), FieldDesc::reference("buckets")]
-        })?;
-        store.ensure_instance_klass(ENTRY_CLASS, || {
-            vec![
-                FieldDesc::prim("key"),
-                FieldDesc::prim("value"),
-                FieldDesc::reference("next"),
-            ]
-        })?;
+        let kid = store.ensure_schema_klass(MAP_CLASS, map_schema)?;
+        store.ensure_schema_klass(ENTRY_CLASS, entry_schema)?;
         let bucket_kid = store.heap_mut().register_obj_array(ENTRY_CLASS);
         let obj = store.alloc_instance(kid)?;
         let arr = store.alloc_array(bucket_kid, buckets.max(1))?;
@@ -120,13 +130,7 @@ impl PHashMap {
             None => {
                 let size = self.len(store);
                 let head = store.heap().array_get_ref(buckets, b);
-                let ekid = store.ensure_instance_klass(ENTRY_CLASS, || {
-                    vec![
-                        FieldDesc::prim("key"),
-                        FieldDesc::prim("value"),
-                        FieldDesc::reference("next"),
-                    ]
-                })?;
+                let ekid = store.ensure_schema_klass(ENTRY_CLASS, entry_schema)?;
                 store.transact(|s| {
                     let e = s.alloc_instance(ekid)?;
                     // New entry: invisible until the logged head store.

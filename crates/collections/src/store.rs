@@ -9,7 +9,7 @@
 //! elsewhere, with one log and one set of ACID guarantees (§6.2).
 
 use espresso_core::{HeapHandle, Pjh, PjhError};
-use espresso_object::{KlassId, Ref};
+use espresso_object::{KlassId, Ref, Schema};
 use parking_lot::{RwLockReadGuard, RwLockWriteGuard};
 
 /// A persistent heap plus the heap's word-granular undo log, giving every
@@ -184,6 +184,36 @@ impl PStore {
             None => self
                 .handle
                 .with_mut(|h| h.register_instance(name, fields())),
+        }
+    }
+
+    /// Resolves the klass id for a schema-declared class, registering —
+    /// and **validating** — `schema()` against the heap's persisted
+    /// layout and fingerprint on first use (see `Pjh::register_schema`).
+    /// The typed counterpart of
+    /// [`ensure_instance_klass`](Self::ensure_instance_klass), with the
+    /// same lock discipline: a read probe first, the write-locking
+    /// registration only when the schema has not been validated this
+    /// session.
+    ///
+    /// # Errors
+    ///
+    /// [`espresso_core::PjhError::KlassLayoutMismatch`] /
+    /// [`espresso_core::PjhError::SchemaMismatch`] on layouts that
+    /// disagree with what the heap persisted.
+    pub fn ensure_schema_klass(
+        &mut self,
+        name: &str,
+        schema: impl FnOnce() -> Schema,
+    ) -> Result<KlassId, PjhError> {
+        let probed = self.handle.with(|h| {
+            h.schema_validated(name)
+                .then(|| h.lookup_klass(name))
+                .flatten()
+        });
+        match probed {
+            Some(kid) => Ok(kid),
+            None => self.handle.with_mut(|h| h.register_schema(&schema())),
         }
     }
 

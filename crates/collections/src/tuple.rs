@@ -1,7 +1,7 @@
 //! Fixed-arity tuples ("Tuple" in Figure 15).
 
 use espresso_core::PjhError;
-use espresso_object::{FieldDesc, Ref};
+use espresso_object::{Ref, Schema};
 
 use crate::PStore;
 
@@ -29,10 +29,10 @@ impl PTuple {
     pub fn pnew(store: &mut PStore, arity: usize) -> Result<PTuple, PjhError> {
         assert!(arity > 0, "tuples need at least one slot");
         let name = format!("espresso.Tuple{arity}");
-        let kid = store.ensure_instance_klass(&name, || {
+        let kid = store.ensure_schema_klass(&name, || {
             (0..arity)
-                .map(|i| FieldDesc::prim(&format!("_{i}")))
-                .collect()
+                .fold(Schema::builder(&name), |b, i| b.u64_field(&format!("_{i}")))
+                .build()
         })?;
         let obj = store.alloc_instance(kid)?;
         Ok(PTuple { obj, arity })

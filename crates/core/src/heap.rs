@@ -119,6 +119,11 @@ pub struct Pjh {
     /// Undo-log transaction state (see [`crate::txn`]): the NVM log is
     /// published under a reserved root, this is its DRAM mirror.
     pub(crate) txn: crate::txn::TxnState,
+    /// Typed-layer session state (see [`crate::typed`]): schemas validated
+    /// against the persisted fingerprints this session, plus the
+    /// marker-type → klass-id resolution cache. DRAM-only; a reload
+    /// forgets it, so every schema is re-validated after a load.
+    pub(crate) schemas: crate::typed::SchemaCache,
 }
 
 impl fmt::Debug for Pjh {
@@ -180,6 +185,7 @@ impl Pjh {
             persistent_capable: HashSet::new(),
             gc_count: 0,
             txn: crate::txn::TxnState::default(),
+            schemas: crate::typed::SchemaCache::default(),
         })
     }
 
@@ -214,6 +220,7 @@ impl Pjh {
             persistent_capable: HashSet::new(),
             gc_count: 0,
             txn: crate::txn::TxnState::default(),
+            schemas: crate::typed::SchemaCache::default(),
             dirty: Bitmap::new(layout.num_regions),
             remsets: None,
             incremental_ready: false,
@@ -604,6 +611,29 @@ impl Pjh {
         off
     }
 
+    /// Debug-build field-index check whose panic names the klass, its
+    /// field count, and the offending index — a bare `assertion failed`
+    /// on an index is undiagnosable from test logs.
+    #[inline]
+    #[cfg_attr(not(debug_assertions), allow(unused_variables))]
+    pub(crate) fn debug_check_field(&self, r: Ref, index: usize) {
+        #[cfg(debug_assertions)]
+        {
+            let klass = self.klass_of(r);
+            assert!(
+                !klass.is_array(),
+                "field access (index {index}) on array klass {} at {r:?}",
+                klass.name()
+            );
+            assert!(
+                index < klass.fields().len(),
+                "field index {index} out of range for klass {} ({} fields) at {r:?}",
+                klass.name(),
+                klass.fields().len()
+            );
+        }
+    }
+
     /// Reads raw field `index`.
     ///
     /// Field offsets are uniform (`HEADER_WORDS + index`), so the hot path
@@ -614,10 +644,10 @@ impl Pjh {
     /// # Panics
     ///
     /// Panics on null refs; debug builds also panic on out-of-range
-    /// indices.
+    /// indices, naming the klass and index.
     pub fn field(&self, r: Ref, index: usize) -> u64 {
         let off = self.obj_off(r);
-        debug_assert!(self.klass_of(r).field_offset(index) == HEADER_WORDS + index);
+        self.debug_check_field(r, index);
         self.dev.read_u64(off + (HEADER_WORDS + index) * WORD)
     }
 
@@ -627,10 +657,10 @@ impl Pjh {
     /// # Panics
     ///
     /// Panics on null refs; debug builds also panic on out-of-range
-    /// indices.
+    /// indices, naming the klass and index.
     pub fn set_field(&mut self, r: Ref, index: usize, value: u64) {
         let off = self.obj_off(r);
-        debug_assert!(self.klass_of(r).field_offset(index) == HEADER_WORDS + index);
+        self.debug_check_field(r, index);
         self.mark_dirty_off(off);
         self.dev
             .write_u64(off + (HEADER_WORDS + index) * WORD, value);
@@ -669,7 +699,11 @@ impl Pjh {
     /// Panics in debug builds if `r` is not an array.
     pub fn array_len(&self, r: Ref) -> usize {
         let off = self.obj_off(r);
-        debug_assert!(self.klass_of(r).is_array(), "not an array: {r:?}");
+        debug_assert!(
+            self.klass_of(r).is_array(),
+            "array access on instance klass {} at {r:?}",
+            self.klass_of(r).name()
+        );
         self.dev.read_u64(off + 16) as usize
     }
 
@@ -677,11 +711,17 @@ impl Pjh {
     ///
     /// # Panics
     ///
-    /// Panics if `i` is out of bounds.
+    /// Panics if `i` is out of bounds, naming the array klass (the format
+    /// arguments are only evaluated on failure, so the klass lookup costs
+    /// nothing on the hot path).
     pub fn array_get(&self, r: Ref, i: usize) -> u64 {
         let off = self.obj_off(r);
         let len = self.array_len(r);
-        assert!(i < len, "array index {i} out of bounds (len {len})");
+        assert!(
+            i < len,
+            "array index {i} out of bounds (len {len}) for klass {} at {r:?}",
+            self.klass_of(r).name()
+        );
         self.dev.read_u64(off + (ARRAY_HEADER_WORDS + i) * WORD)
     }
 
@@ -689,11 +729,15 @@ impl Pjh {
     ///
     /// # Panics
     ///
-    /// Panics if `i` is out of bounds.
+    /// Panics if `i` is out of bounds, naming the array klass.
     pub fn array_set(&mut self, r: Ref, i: usize, value: u64) {
         let off = self.obj_off(r);
         let len = self.array_len(r);
-        assert!(i < len, "array index {i} out of bounds (len {len})");
+        assert!(
+            i < len,
+            "array index {i} out of bounds (len {len}) for klass {} at {r:?}",
+            self.klass_of(r).name()
+        );
         self.mark_dirty_off(off);
         self.dev
             .write_u64(off + (ARRAY_HEADER_WORDS + i) * WORD, value);
@@ -721,7 +765,7 @@ impl Pjh {
     /// fence, preserving atomicity and order).
     pub fn flush_field(&self, r: Ref, index: usize) {
         let off = self.obj_off(r);
-        debug_assert!(self.klass_of(r).field_offset(index) == HEADER_WORDS + index);
+        self.debug_check_field(r, index);
         self.dev.persist(off + (HEADER_WORDS + index) * WORD, WORD);
     }
 

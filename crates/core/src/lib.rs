@@ -66,6 +66,7 @@ mod manager;
 mod name_table;
 mod shard;
 mod txn;
+mod typed;
 
 pub use bitmap::Bitmap;
 pub use gc::{GcKind, GcReport, RegionSummary};
@@ -76,6 +77,11 @@ pub use manager::{CommitReport, CommitTicket, HeapHandle, HeapManager};
 pub use name_table::EntryKind;
 pub use shard::{hash_key, ShardRef, ShardedCommitTicket, ShardedHeap, ShardedKlass};
 pub use txn::HeapTxn;
+// Re-export the schema vocabulary so typed callers need only this crate.
+pub use espresso_object::{
+    ArrFld, FieldType, Fld, PArr, PClass, PClassBuilder, PObject, PRef, PValue, RefFld, Schema,
+    SchemaError, SchemaField, StrFld,
+};
 
 use std::fmt;
 
@@ -162,6 +168,16 @@ pub enum PjhError {
         /// The class name.
         name: String,
     },
+    /// A typed-layer violation: a declared schema disagrees with the
+    /// schema persisted in the heap (schema evolution), a field was
+    /// accessed with the wrong type, or a typed handle's class check
+    /// failed.
+    SchemaMismatch {
+        /// The class name.
+        class: String,
+        /// Human-readable description of the disagreement.
+        detail: String,
+    },
     /// A store or allocation violated the configured safety level (§3.4).
     SafetyViolation {
         /// Human-readable description.
@@ -203,6 +219,9 @@ impl fmt::Display for PjhError {
             PjhError::KlassLayoutMismatch { name } => {
                 write!(f, "class {name} disagrees with the persisted layout")
             }
+            PjhError::SchemaMismatch { class, detail } => {
+                write!(f, "schema mismatch on class {class}: {detail}")
+            }
             PjhError::SafetyViolation { reason } => write!(f, "memory safety violation: {reason}"),
             PjhError::Nvm(e) => write!(f, "nvm device error: {e}"),
             PjhError::NoSuchHeap { name } => write!(f, "no heap named {name:?}"),
@@ -223,6 +242,15 @@ impl std::error::Error for PjhError {
 impl From<espresso_nvm::NvmError> for PjhError {
     fn from(e: espresso_nvm::NvmError) -> Self {
         PjhError::Nvm(e)
+    }
+}
+
+impl From<espresso_object::SchemaError> for PjhError {
+    fn from(e: espresso_object::SchemaError) -> Self {
+        PjhError::SchemaMismatch {
+            class: e.class,
+            detail: e.detail,
+        }
     }
 }
 

@@ -218,8 +218,12 @@ impl HeapHandle {
         self.inner.report
     }
 
-    /// Acquires the heap for reading. Hold the guard only for the duration
-    /// of the accesses; it blocks writers.
+    /// Acquires the heap for reading — a **read-only session**: every
+    /// typed getter (`get`, `get_ref`, `get_str`, `root::<T>`, …) and
+    /// every raw read takes `&Pjh`, so any number of read sessions run
+    /// concurrently on the shared lock instead of serializing behind the
+    /// write path. Hold the guard only for the duration of the accesses;
+    /// it blocks writers.
     pub fn read(&self) -> RwLockReadGuard<'_, Pjh> {
         self.inner.heap.read()
     }

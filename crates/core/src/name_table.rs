@@ -13,13 +13,16 @@ use espresso_nvm::NvmDevice;
 use crate::layout::{Layout, MAX_NAME_LEN, NAME_ENTRY_SIZE};
 use crate::PjhError;
 
-/// The two entry kinds the table distinguishes.
+/// The entry kinds the table distinguishes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EntryKind {
     /// Maps a class name to its record offset in the Klass segment.
     Klass,
     /// Maps a user-chosen name to a root object address (§3.3).
     Root,
+    /// Maps a class name to its declared-schema fingerprint (the typed
+    /// layer's schema-evolution guard; see `Pjh::register_schema`).
+    Schema,
 }
 
 impl EntryKind {
@@ -27,6 +30,7 @@ impl EntryKind {
         match self {
             EntryKind::Klass => 1,
             EntryKind::Root => 2,
+            EntryKind::Schema => 3,
         }
     }
 
@@ -34,6 +38,7 @@ impl EntryKind {
         match tag {
             1 => Some(EntryKind::Klass),
             2 => Some(EntryKind::Root),
+            3 => Some(EntryKind::Schema),
             _ => None,
         }
     }

@@ -332,6 +332,12 @@ impl Drop for HeapTxn<'_> {
 }
 
 impl HeapTxn<'_> {
+    /// Mutable heap access for the typed layer (see [`crate::typed`]),
+    /// which routes every store back through the logged `txn_*` ops.
+    pub(crate) fn heap_internal(&mut self) -> &mut Pjh {
+        self.heap
+    }
+
     // ---- logged writes ----
 
     /// Logged, persisted field store.

@@ -18,43 +18,69 @@
 //! | [`jpa`] | `espresso-jpa` | JPA/DataNucleus baseline |
 //! | [`pjo`] | `espresso-pjo` | **Persistent Java Object** provider (§5) |
 //!
-//! # Quickstart
+//! # Quickstart — the typed object API
 //!
 //! The heap API is session-based: a [`heap::HeapManager`] maps names to
 //! images and hands out shared live [`heap::HeapHandle`]s (loading the
 //! same name twice yields the same instance). `commit()` is the explicit
 //! commit point and `txn(|t| ...)` runs undo-logged ACID transactions
-//! that abort on error or panic.
+//! that abort on error or panic. On top of the sessions sits the
+//! **typed** layer — declared schemas, `PRef<T>` handles, typed roots —
+//! which is the surface applications program against:
 //!
 //! ```
-//! use espresso::heap::{HeapManager, LoadOptions, PjhConfig};
-//! use espresso::object::FieldDesc;
+//! use espresso::heap::{HeapManager, LoadOptions, PObject, PjhConfig, Schema};
+//!
+//! struct Person; // @Persistent class Person { long id; Person next; }
+//! impl PObject for Person {
+//!     const CLASS_NAME: &'static str = "Person";
+//!     fn schema() -> Schema {
+//!         Schema::builder("Person")
+//!             .u64_field("id")
+//!             .ref_field::<Person>("next")
+//!             .build()
+//!     }
+//! }
 //!
 //! # fn main() -> Result<(), espresso::heap::PjhError> {
 //! let mgr = HeapManager::temp()?;
 //! let jimmy = mgr.create("jimmy", 4 << 20, PjhConfig::small())?;
+//! // Registration validates the declaration against the heap's persisted
+//! // Klass table and schema fingerprint — here and after every reload.
+//! let person = jimmy.register::<Person>()?;
+//! let id = person.field::<u64>("id")?;   // name → offset, resolved once
+//! let next = person.ref_field::<Person>("next")?;
+//!
 //! let p = jimmy.txn(|t| {
-//!     let person = t.register_instance(
-//!         "Person",
-//!         vec![FieldDesc::prim("id"), FieldDesc::reference("next")],
-//!     )?;
-//!     let p = t.alloc_instance(person)?; // pnew Person(...)
-//!     t.set_field(p, 0, 7);              // logged + persisted
+//!     let p = t.alloc::<Person>()?;      // pnew Person(...)
+//!     t.set(p, id, 7u64);                // logged + persisted, type-checked
+//!     t.set_ref(p, next, None)?;         // only a PRef<Person> fits here
 //!     Ok(p)
 //! })?;
-//! jimmy.with_mut(|heap| heap.set_root("jimmy_info", p))?;
+//! jimmy.set_root_typed("jimmy_info", p)?;
 //! jimmy.commit_sync()?; // seal the epoch AND wait for the image sync
 //!
 //! // A later process (drop the session first, then load the image):
 //! drop(jimmy);
 //! let jimmy = mgr.load("jimmy", LoadOptions::default())?;
-//! jimmy.with(|heap| {
-//!     let p = heap.get_root("jimmy_info").expect("survived");
-//!     assert_eq!(heap.field(p, 0), 7);
-//! });
+//! let person = jimmy.register::<Person>()?; // revalidates the schema
+//! let id = person.field::<u64>("id")?;
+//! // A read-only session: typed getters on the shared read guard, so
+//! // concurrent readers don't serialize behind writers.
+//! let heap = jimmy.read();
+//! let p = heap.root::<Person>("jimmy_info")?.expect("survived");
+//! assert_eq!(heap.get(p, id), 7);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! A schema whose field names or declared types drift from what the heap
+//! persisted is rejected at registration with
+//! `PjhError::SchemaMismatch` — including evolutions the reference
+//! bitmap cannot see, like `u64` → `f64`. The word-granular raw surface
+//! (`Ref`, `field(r, index)`, `set_field`) remains available as the
+//! documented low-level escape hatch; `PRef::raw()` and `Pjh::cast`
+//! bridge the two worlds. See the README's "Raw vs typed" table.
 //!
 //! # The commit pipeline
 //!

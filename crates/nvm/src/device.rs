@@ -216,10 +216,6 @@ impl Inner {
         self.dirty[line / 64] &= !(1 << (line % 64));
     }
 
-    fn is_unsynced(&self, line: usize) -> bool {
-        self.unsynced[line / 64] & (1 << (line % 64)) != 0
-    }
-
     fn charge(&mut self, ns: f64) {
         self.sim_ns += ns;
         self.stats.simulated_ns = self.sim_ns as u64;
@@ -562,23 +558,48 @@ impl NvmDevice {
                 runs,
             };
         }
+        // Word-skipping scan: commits are usually sparse relative to the
+        // device, so the bitmap is mostly zero words. Testing one `u64`
+        // per 64 lines (instead of every line bit) makes the seal cost
+        // proportional to the delta, not the device size.
         let mut runs = Vec::new();
         let mut lines = 0;
-        let mut line = 0;
-        while line < total {
-            if !inner.is_unsynced(line) {
-                line += 1;
+        let mut run_start: Option<usize> = None;
+        let close_run = |runs: &mut Vec<(usize, Vec<u8>)>,
+                         start: Option<usize>,
+                         end: usize,
+                         persisted: &[u8]| {
+            if let Some(start) = start {
+                let lo = start * CACHE_LINE;
+                let hi = end * CACHE_LINE;
+                runs.push((lo, persisted[lo..hi].to_vec()));
+            }
+        };
+        for (w, &word) in inner.unsynced.iter().enumerate() {
+            if word == 0 {
+                close_run(&mut runs, run_start.take(), w * 64, &inner.persisted);
                 continue;
             }
-            let run_start = line;
-            while line < total && inner.is_unsynced(line) {
-                line += 1;
+            if word == u64::MAX && (w + 1) * 64 <= total {
+                // Fully dirty word: the run continues (or starts) across it.
+                run_start.get_or_insert(w * 64);
+                lines += 64;
+                continue;
             }
-            let lo = run_start * CACHE_LINE;
-            let hi = line * CACHE_LINE;
-            runs.push((lo, inner.persisted[lo..hi].to_vec()));
-            lines += line - run_start;
+            for bit in 0..64 {
+                let line = w * 64 + bit;
+                if line >= total {
+                    break;
+                }
+                if word & (1 << bit) != 0 {
+                    run_start.get_or_insert(line);
+                    lines += 1;
+                } else {
+                    close_run(&mut runs, run_start.take(), line, &inner.persisted);
+                }
+            }
         }
+        close_run(&mut runs, run_start.take(), total, &inner.persisted);
         inner.unsynced.iter_mut().for_each(|w| *w = 0);
         SyncSnapshot {
             device_size: self.size,
@@ -863,6 +884,47 @@ mod tests {
         next.apply(&path).unwrap();
         let d3 = NvmDevice::load_image(&path, LatencyModel::zero()).unwrap();
         assert_eq!(d3.read_u64(0), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sparse_sync_captures_exact_lines_across_word_boundaries() {
+        // The word-skipping bitmap scan must produce byte-identical runs
+        // to a per-line scan: exercise empty words, a fully-set word, runs
+        // straddling 64-line word boundaries, and an isolated tail line.
+        let dir = std::env::temp_dir().join(format!("espresso-nvm-skip-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("heap.img");
+        let d = dev(1 << 20); // 16384 lines = 256 bitmap words
+        d.sync_image(&path).unwrap();
+        let mut expect_lines = 0;
+        // A full 64-line word (lines 128..192).
+        for line in 128..192 {
+            d.write_u64(line * CACHE_LINE, line as u64);
+            d.persist(line * CACHE_LINE, 8);
+            expect_lines += 1;
+        }
+        // A run straddling the word boundary at line 320.
+        for line in 318..323 {
+            d.write_u64(line * CACHE_LINE, line as u64);
+            d.persist(line * CACHE_LINE, 8);
+            expect_lines += 1;
+        }
+        // An isolated line far away (thousands of zero words skipped).
+        let last = (1 << 20) / CACHE_LINE - 1;
+        d.write_u64(last * CACHE_LINE, 777);
+        d.persist(last * CACHE_LINE, 8);
+        expect_lines += 1;
+        let r = d.sync_image(&path).unwrap();
+        assert_eq!(r.lines_synced, expect_lines);
+        assert_eq!(r.bytes_written, expect_lines * CACHE_LINE);
+        let d2 = NvmDevice::load_image(&path, LatencyModel::zero()).unwrap();
+        for line in (128..192).chain(318..323) {
+            assert_eq!(d2.read_u64(line * CACHE_LINE), line as u64);
+        }
+        assert_eq!(d2.read_u64(last * CACHE_LINE), 777);
+        // Everything synced: the next delta is empty.
+        assert_eq!(d.sync_image(&path).unwrap().bytes_written, 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -31,12 +31,17 @@
 mod header;
 mod klass;
 mod refs;
+mod schema;
 
 pub use header::{
     mark, ARRAY_HEADER_WORDS, ARRAY_LENGTH_WORD, HEADER_WORDS, KLASS_WORD, MARK_WORD,
 };
 pub use klass::{FieldDesc, FieldKind, Klass, KlassId, KlassRegistry, ObjKind};
 pub use refs::{Ref, Space};
+pub use schema::{
+    ArrFld, FieldType, Fld, PArr, PClass, PClassBuilder, PObject, PRef, PValue, RefFld, Schema,
+    SchemaError, SchemaField, StrFld,
+};
 
 /// Size of one heap word in bytes. Every field occupies one word.
 pub const WORD: usize = 8;

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use espresso_nvm::NvmDevice;
+use espresso_object::{FieldKind, FieldType, Schema};
 use parking_lot::Mutex;
 
 use crate::timers::{Phase, PhaseBreakdown};
@@ -58,6 +59,12 @@ pub enum PcjError {
     LogOverflow,
     /// The device does not hold a formatted store.
     NotAStore,
+    /// A declared schema cannot be represented in PCJ's object model, or
+    /// a named field access violated it.
+    Schema {
+        /// Human-readable description.
+        detail: String,
+    },
 }
 
 impl fmt::Display for PcjError {
@@ -67,6 +74,7 @@ impl fmt::Display for PcjError {
             PcjError::TypeTableFull => write!(f, "pcj type table full"),
             PcjError::LogOverflow => write!(f, "pcj undo log overflow"),
             PcjError::NotAStore => write!(f, "device does not hold a pcj store"),
+            PcjError::Schema { detail } => write!(f, "pcj schema violation: {detail}"),
         }
     }
 }
@@ -514,6 +522,97 @@ impl PcjStore {
         result
     }
 
+    /// Creates an off-heap object from a declared [`Schema`] — the PCJ
+    /// face of the workspace's typed object API. The schema's class name
+    /// becomes the memorized type, and its field count sizes the payload.
+    ///
+    /// PCJ's object model is *homogeneous*: one per-type flag says
+    /// whether every slot is a reference (traced by the refcount GC) or
+    /// every slot is a primitive. A schema mixing the two — or using
+    /// field types PCJ has no representation for, like `str` — is
+    /// rejected with a real error; that representational gap is part of
+    /// what the paper's PJH-vs-PCJ comparison measures.
+    ///
+    /// # Errors
+    ///
+    /// [`PcjError::Schema`] for unrepresentable schemas; space errors
+    /// from any area.
+    pub fn create_from_schema(&mut self, schema: &Schema) -> crate::Result<PcjRef> {
+        let refs = schema
+            .fields()
+            .iter()
+            .filter(|f| f.ty.kind() == FieldKind::Reference)
+            .count();
+        if refs != 0 && refs != schema.len() {
+            return Err(PcjError::Schema {
+                detail: format!(
+                    "class {} mixes {} reference and {} primitive fields; PCJ slots are \
+                     homogeneous per type",
+                    schema.name(),
+                    refs,
+                    schema.len() - refs
+                ),
+            });
+        }
+        if let Some(f) = schema.fields().iter().find(|f| {
+            matches!(
+                f.ty,
+                FieldType::Str | FieldType::Array | FieldType::RefArray { .. }
+            )
+        }) {
+            return Err(PcjError::Schema {
+                detail: format!(
+                    "field {:?} of class {} is declared {}, which PCJ objects cannot hold",
+                    f.name,
+                    schema.name(),
+                    f.ty
+                ),
+            });
+        }
+        self.create(schema.name(), schema.len(), refs != 0)
+    }
+
+    /// Resolves `name` against `schema` and reads that payload slot.
+    ///
+    /// # Errors
+    ///
+    /// [`PcjError::Schema`] for unknown field names.
+    pub fn get_field(&mut self, schema: &Schema, obj: PcjRef, name: &str) -> crate::Result<u64> {
+        let (index, _) = self.resolve_field(schema, name)?;
+        Ok(self.get_word(obj, index))
+    }
+
+    /// Resolves `name` against `schema` and writes that payload slot
+    /// (logged, like every PCJ store).
+    ///
+    /// # Errors
+    ///
+    /// [`PcjError::Schema`] for unknown field names; log errors.
+    pub fn set_field(
+        &mut self,
+        schema: &Schema,
+        obj: PcjRef,
+        name: &str,
+        value: u64,
+    ) -> crate::Result<()> {
+        let (index, ty) = self.resolve_field(schema, name)?;
+        if ty.kind() == FieldKind::Reference {
+            self.set_ref(obj, index, PcjRef::from_raw(value))
+        } else {
+            self.set_word(obj, index, value)
+        }
+    }
+
+    fn resolve_field<'s>(
+        &self,
+        schema: &'s Schema,
+        name: &str,
+    ) -> crate::Result<(usize, &'s FieldType)> {
+        schema.field(name).ok_or_else(|| PcjError::Schema {
+            detail: format!("class {} has no field named {name:?}", schema.name()),
+        })
+    }
+
     /// Payload word count.
     pub fn payload_words(&self, obj: PcjRef) -> usize {
         self.dev.read_u64(obj.0 as usize) as usize
@@ -632,6 +731,56 @@ mod tests {
         assert_eq!(s.get_word(o, 0), 42);
         assert_eq!(s.type_name(o), "PersistentLong");
         assert_eq!(s.refcount(o), 1);
+    }
+
+    #[test]
+    fn schema_create_and_named_fields() {
+        let (_dev, mut s) = store();
+        let point = Schema::builder("Point")
+            .u64_field("x")
+            .u64_field("y")
+            .build();
+        let o = s.create_from_schema(&point).unwrap();
+        assert_eq!(s.type_name(o), "Point");
+        assert_eq!(s.payload_words(o), 2);
+        s.set_field(&point, o, "y", 9).unwrap();
+        assert_eq!(s.get_field(&point, o, "y").unwrap(), 9);
+        assert_eq!(s.get_field(&point, o, "x").unwrap(), 0);
+        assert!(matches!(
+            s.get_field(&point, o, "z"),
+            Err(PcjError::Schema { .. })
+        ));
+        // All-reference schemas map to traced slots.
+        let pair = Schema::builder("Pair")
+            .ref_named("left", "Point")
+            .ref_named("right", "Point")
+            .build();
+        let p = s.create_from_schema(&pair).unwrap();
+        s.set_field(&pair, p, "left", o.to_raw()).unwrap();
+        assert_eq!(s.refcount(o), 2, "named ref store bumped the refcount");
+    }
+
+    #[test]
+    fn unrepresentable_schemas_are_rejected() {
+        let (_dev, mut s) = store();
+        let mixed = Schema::builder("Mixed")
+            .u64_field("n")
+            .ref_named("r", "Mixed")
+            .build();
+        assert!(matches!(
+            s.create_from_schema(&mixed),
+            Err(PcjError::Schema { .. })
+        ));
+        let stringy = Schema::builder("S").str_field("s").build();
+        assert!(matches!(
+            s.create_from_schema(&stringy),
+            Err(PcjError::Schema { .. })
+        ));
+        let ref_array = Schema::builder("R").ref_array_named("a", "Y").build();
+        assert!(matches!(
+            s.create_from_schema(&ref_array),
+            Err(PcjError::Schema { .. })
+        ));
     }
 
     #[test]

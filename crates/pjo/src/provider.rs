@@ -4,10 +4,10 @@ use std::collections::HashMap;
 use std::fmt;
 use std::time::Instant;
 
-use espresso_core::{CommitReport, HeapHandle, Pjh, PjhError};
+use espresso_core::{CommitReport, CommitTicket, HeapHandle, Pjh, PjhError};
 use espresso_jpa::{EntityMeta, EntityObject};
 use espresso_minidb::{ColType, Connection, DbError, Value};
-use espresso_object::{FieldDesc, FieldKind, Ref};
+use espresso_object::{Ref, Schema};
 use parking_lot::RwLockReadGuard;
 
 /// Errors from the PJO provider.
@@ -79,43 +79,28 @@ fn key_i64(v: &Value) -> i64 {
     }
 }
 
-fn pjh_klass(h: &mut Pjh, meta: &EntityMeta) -> Result<espresso_object::KlassId, PjhError> {
-    let fields: Vec<FieldDesc> = meta
-        .fields()
+/// The typed schema of an entity's DBPersistable copy: `Int` columns
+/// become `i64` fields, `Text` columns become `str` fields (length-
+/// prefixed byte arrays, `Pjh::alloc_string`'s representation). Going
+/// through [`Pjh::register_schema`] gives the dedup copies the same
+/// schema-evolution guard as hand-declared classes — an entity whose
+/// column types drifted from the heap image is rejected with a real
+/// error at registration.
+fn pjh_schema(meta: &EntityMeta) -> Schema {
+    meta.fields()
         .iter()
-        .map(|(n, t)| FieldDesc {
-            name: n.clone(),
-            kind: match t {
-                ColType::Int => FieldKind::Prim,
-                ColType::Text => FieldKind::Reference,
+        .fold(
+            Schema::builder(&format!("DB{}", meta.name())),
+            |b, (n, t)| match t {
+                ColType::Int => b.i64_field(n),
+                ColType::Text => b.str_field(n),
             },
-        })
-        .collect();
-    h.register_instance(&format!("DB{}", meta.name()), fields)
+        )
+        .build()
 }
 
-fn store_string(h: &mut Pjh, s: &str) -> Result<Ref, PjhError> {
-    let kid = h.register_prim_array();
-    let words = 1 + s.len().div_ceil(8);
-    let arr = h.alloc_array(kid, words)?;
-    h.array_set(arr, 0, s.len() as u64);
-    for (i, chunk) in s.as_bytes().chunks(8).enumerate() {
-        let mut w = [0u8; 8];
-        w[..chunk.len()].copy_from_slice(chunk);
-        h.array_set(arr, 1 + i, u64::from_le_bytes(w));
-    }
-    h.flush_object(arr);
-    Ok(arr)
-}
-
-fn load_string(h: &Pjh, arr: Ref) -> String {
-    let len = h.array_get(arr, 0) as usize;
-    let mut bytes = Vec::with_capacity(len);
-    for i in 0..len.div_ceil(8) {
-        bytes.extend_from_slice(&h.array_get(arr, 1 + i).to_le_bytes());
-    }
-    bytes.truncate(len);
-    String::from_utf8_lossy(&bytes).into_owned()
+fn pjh_klass(h: &mut Pjh, meta: &EntityMeta) -> Result<espresso_object::KlassId, PjhError> {
+    h.register_schema(&pjh_schema(meta))
 }
 
 /// The PJO entity manager: JPA's API, PJH's data path. See the
@@ -257,7 +242,7 @@ impl PjoEntityManager {
                             Value::Str(s) => s.clone(),
                             _ => String::new(),
                         };
-                        let r = store_string(&mut h, &s)?;
+                        let r = h.alloc_string(&s)?;
                         h.set_field_ref(copy, i, r)?;
                     }
                 }
@@ -289,7 +274,7 @@ impl PjoEntityManager {
                     if r.is_null() {
                         Value::Null
                     } else {
-                        Value::Str(load_string(&h, r))
+                        Value::Str(h.read_string(r))
                     }
                 }
             };
@@ -365,10 +350,52 @@ impl PjoEntityManager {
     /// text anywhere on this path — and PJH copies are written for
     /// deduplication.
     ///
+    /// JPA promises durability when `commit` returns, so this ends with
+    /// the heap's synchronous commit barrier. Use
+    /// [`commit_async`](Self::commit_async) to overlap the image sync
+    /// with the next transaction instead.
+    ///
     /// # Errors
     ///
     /// Database or heap errors.
     pub fn commit(&mut self) -> crate::Result<()> {
+        self.commit_backend()?;
+        // Transaction boundary == durability boundary: when the heap is
+        // manager-backed, wait out the incremental image sync of the dedup
+        // copies (a no-op report for unmanaged heaps) — JPA `commit()`
+        // promises durability on return, so this is the sync barrier.
+        let _: CommitReport = self.pjh.commit_sync()?;
+        self.stats.commits += 1;
+        Ok(())
+    }
+
+    /// The opt-in pipelined commit: identical to [`commit`](Self::commit)
+    /// on the backend side, but the heap commit only **seals** the epoch
+    /// holding the dedup copies and returns its [`CommitTicket`] — the
+    /// image sync runs on the heap's background flush pipeline while the
+    /// caller starts the next transaction. `ticket.wait()` is the
+    /// durability barrier; dropping the ticket still commits in the
+    /// background (a later load waits for pending applies).
+    ///
+    /// This relaxes JPA's durable-on-return promise for callers that
+    /// batch transactions and take one barrier at the end; `commit()`
+    /// keeps the strict semantics.
+    ///
+    /// # Errors
+    ///
+    /// Database or heap errors at seal time; apply-time I/O errors
+    /// surface through the ticket.
+    pub fn commit_async(&mut self) -> crate::Result<CommitTicket> {
+        self.commit_backend()?;
+        let ticket = self.pjh.commit()?;
+        self.stats.commits += 1;
+        Ok(ticket)
+    }
+
+    /// The backend half of a commit: drains the pending queue into the
+    /// database (and the dedup copies into the heap), then commits the
+    /// database transaction.
+    fn commit_backend(&mut self) -> crate::Result<()> {
         let pending = std::mem::take(&mut self.pending);
         let mut rowid = 0i64;
         for op in &pending {
@@ -420,12 +447,6 @@ impl PjoEntityManager {
             }
         }
         self.conn.commit()?;
-        // Transaction boundary == durability boundary: when the heap is
-        // manager-backed, wait out the incremental image sync of the dedup
-        // copies (a no-op report for unmanaged heaps) — JPA `commit()`
-        // promises durability on return, so this is the sync barrier.
-        let _: CommitReport = self.pjh.commit_sync()?;
-        self.stats.commits += 1;
         Ok(())
     }
 
@@ -606,6 +627,79 @@ mod tests {
         dev.crash();
         let db2 = Database::open(dev).unwrap();
         assert_eq!(db2.row_count("person").unwrap(), 1);
+    }
+
+    #[test]
+    fn commit_async_returns_the_ticket_and_lands_in_the_image() {
+        use espresso_core::{HeapManager, LoadOptions};
+        let mgr = HeapManager::temp().unwrap();
+        let handle = mgr.create("dedup", 8 << 20, PjhConfig::small()).unwrap();
+        let db = Database::create(NvmDevice::new(NvmConfig::with_size(4 << 20))).unwrap();
+        let mut em = PjoEntityManager::new(db.connect(), handle.clone());
+        em.set_dedup(true);
+        let meta = person();
+        em.create_schema(&[&meta]).unwrap();
+        em.begin();
+        em.persist(mk(&meta, 1, "Ann", 30));
+        let ticket = em.commit_async().unwrap();
+        assert!(ticket.epoch() >= 1, "manager-backed heap seals an epoch");
+        // The durability barrier is explicit now.
+        ticket.wait().unwrap();
+        assert_eq!(em.stats().commits, 1);
+        // The dedup copy reached the image: a reload of the heap sees it.
+        drop(em);
+        drop(handle);
+        let reloaded = mgr.load("dedup", LoadOptions::default()).unwrap();
+        reloaded.with(|h| {
+            let mut found = false;
+            h.for_each_object(|_, k| found |= k.name() == "DBperson");
+            assert!(found, "dedup copy object survived in the image");
+        });
+    }
+
+    #[test]
+    fn drifted_entity_schema_is_rejected_by_the_dedup_path() {
+        use espresso_core::{HeapManager, LoadOptions};
+        let mgr = HeapManager::temp().unwrap();
+        let handle = mgr.create("drift", 8 << 20, PjhConfig::small()).unwrap();
+        let db = Database::create(NvmDevice::new(NvmConfig::with_size(4 << 20))).unwrap();
+        let mut em = PjoEntityManager::new(db.connect(), handle.clone());
+        em.set_dedup(true);
+        let meta = person();
+        em.create_schema(&[&meta]).unwrap();
+        em.begin();
+        em.persist(mk(&meta, 1, "Ann", 30));
+        em.commit().unwrap();
+        drop(em);
+        drop(handle);
+        // Same entity name, but the "age" column became Text: the copy
+        // klass would reinterpret persisted words, so registration fails.
+        let drifted = EntityMeta::builder("person")
+            .pk_field("id", ColType::Int)
+            .field("name", ColType::Text)
+            .field("age", ColType::Text)
+            .build();
+        let handle = mgr.load("drift", LoadOptions::default()).unwrap();
+        let db2 = Database::create(NvmDevice::new(NvmConfig::with_size(4 << 20))).unwrap();
+        let mut em = PjoEntityManager::new(db2.connect(), handle);
+        em.set_dedup(true);
+        em.create_schema(&[&drifted]).unwrap();
+        em.begin();
+        let mut o = drifted.instantiate();
+        o.set(0, Value::Int(2));
+        o.set(1, Value::Str("Bob".into()));
+        o.set(2, Value::Str("forty".into()));
+        em.persist(o);
+        let err = em.commit().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PjoError::Pjh(
+                    PjhError::SchemaMismatch { .. } | PjhError::KlassLayoutMismatch { .. }
+                )
+            ),
+            "got {err}"
+        );
     }
 
     #[test]

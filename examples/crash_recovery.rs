@@ -1,32 +1,44 @@
 //! Demonstrates §4 end to end: a power failure in the *middle of a
 //! persistent-heap garbage collection*, followed by recovery at load time
-//! — the mark bitmap, timestamp, and region-done protocol in action.
+//! — the mark bitmap, timestamp, and region-done protocol in action —
+//! driven through the **typed** object API: the live list is declared as
+//! a schema, walked through `ref<Node>` handles, and re-validated after
+//! the crash.
 //!
 //! Run with: `cargo run --example crash_recovery`
 
-use espresso::heap::{LoadOptions, Pjh, PjhConfig, PjhError};
+use espresso::heap::{LoadOptions, PObject, Pjh, PjhConfig, PjhError, Schema};
 use espresso::nvm::{NvmConfig, NvmDevice};
-use espresso::object::{FieldDesc, Ref};
+
+struct Node;
+impl PObject for Node {
+    const CLASS_NAME: &'static str = "Node";
+    fn schema() -> Schema {
+        Schema::builder("Node")
+            .u64_field("v")
+            .ref_field::<Node>("next")
+            .build()
+    }
+}
 
 fn main() -> Result<(), PjhError> {
     let dev = NvmDevice::new(NvmConfig::with_size(8 << 20));
     let mut heap = Pjh::create(dev.clone(), PjhConfig::small())?;
-    let node = heap.register_instance(
-        "Node",
-        vec![FieldDesc::prim("v"), FieldDesc::reference("next")],
-    )?;
+    let node = heap.register::<Node>()?;
+    let v = node.field::<u64>("v")?;
+    let next = node.ref_field::<Node>("next")?;
 
     // A live list interleaved with garbage, so the GC has real work.
-    let mut head = Ref::NULL;
+    let mut head = None;
     for i in 0..500u64 {
-        heap.alloc_instance(node)?; // garbage
-        let n = heap.alloc_instance(node)?;
-        heap.set_field(n, 0, i);
-        heap.set_field_ref(n, 1, head)?;
-        heap.flush_object(n);
-        head = n;
+        heap.alloc::<Node>()?; // garbage
+        let n = heap.alloc::<Node>()?;
+        heap.put(n, v, i);
+        heap.put_ref(n, next, head)?;
+        heap.flush(n);
+        head = Some(n);
     }
-    heap.set_root("list", head)?;
+    heap.set_root_typed("list", head.expect("built 500 nodes"))?;
     println!(
         "before GC: {} object images on the heap",
         heap.census().objects
@@ -39,19 +51,23 @@ fn main() -> Result<(), PjhError> {
     println!("power failed mid-collection (flushes after the 40th were lost)");
 
     // Reboot: recovery (§4.3) finishes the collection from the persisted
-    // mark bitmap, region-done bitmap, and timestamps.
+    // mark bitmap, region-done bitmap, and timestamps. Re-registering the
+    // schema re-validates the declaration against the recovered image.
     dev.recover();
-    let (heap, report) = Pjh::load(dev, LoadOptions::default())?;
+    let (mut heap, report) = Pjh::load(dev, LoadOptions::default())?;
     println!("loadHeap: recovered_gc = {}", report.recovered_gc);
+    let node = heap.register::<Node>()?;
+    let v = node.field::<u64>("v")?;
+    let next = node.ref_field::<Node>("next")?;
 
-    // The live list is intact, in order.
-    let mut cur = heap.get_root("list").expect("root survived");
+    // The live list is intact, in order — walked through typed refs.
+    let mut cur = heap.root::<Node>("list")?;
     let mut expected = 499u64;
     let mut count = 0;
-    while !cur.is_null() {
-        assert_eq!(heap.field(cur, 0), expected);
+    while let Some(n) = cur {
+        assert_eq!(heap.get(n, v), expected);
         expected = expected.wrapping_sub(1);
-        cur = heap.field_ref(cur, 1);
+        cur = heap.get_ref(n, next);
         count += 1;
     }
     heap.verify_integrity().expect("structurally sound");

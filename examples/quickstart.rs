@@ -1,12 +1,30 @@
-//! Quickstart: open a session-based heap manager, allocate objects with
-//! the `pnew` path through a live `HeapHandle`, take an explicit commit
-//! point, survive a "reboot", and read the data back (§3.3, Figure 11's
-//! "Jimmy" example).
+//! Quickstart on the **typed** object API: declare a schema, allocate
+//! with `pnew`-style `alloc::<T>()` inside a transaction, publish a typed
+//! root, take an explicit commit point, survive a "reboot", and read the
+//! data back in a read-only session — §3.3's "Jimmy" example (Figure 11)
+//! with persistent objects that feel like ordinary language objects, and
+//! zero positional `field(index)` calls.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use espresso::heap::{HeapManager, LoadOptions, PjhConfig, PjhError};
-use espresso::object::FieldDesc;
+use espresso::heap::{HeapManager, LoadOptions, PObject, PjhConfig, PjhError, Schema};
+
+/// `@Persistent class Person { long id; double karma; Person friend;
+/// String name; }` — the declaration is the schema; the marker type
+/// anchors the typed API.
+struct Person;
+
+impl PObject for Person {
+    const CLASS_NAME: &'static str = "Person";
+    fn schema() -> Schema {
+        Schema::builder("Person")
+            .u64_field("id")
+            .f64_field("karma")
+            .ref_field::<Person>("friend")
+            .str_field("name")
+            .build()
+    }
+}
 
 fn main() -> Result<(), PjhError> {
     let mgr = HeapManager::temp()?;
@@ -15,29 +33,38 @@ fn main() -> Result<(), PjhError> {
     if !mgr.exists_heap("Jimmy") {
         println!("heap 'Jimmy' does not exist; creating it");
         let jimmy = mgr.create("Jimmy", 8 << 20, PjhConfig::default())?;
-        let alice = jimmy.with_mut(|heap| {
-            let person = heap.register_instance(
-                "Person",
-                vec![FieldDesc::prim("id"), FieldDesc::reference("friend")],
-            )?;
-            // Person p = pnew Person(...); two friends pointing at each other.
-            let alice = heap.alloc_instance(person)?;
-            let bob = heap.alloc_instance(person)?;
-            heap.set_field(alice, 0, 1);
-            heap.set_field(bob, 0, 2);
-            heap.set_field_ref(alice, 1, bob)?;
-            heap.set_field_ref(bob, 1, alice)?;
-            // Application-level persistence is explicit (§3.5).
-            heap.flush_object(alice);
-            heap.flush_object(bob);
-            heap.set_root("Jimmy_info", alice)?;
-            Ok::<_, PjhError>(alice)
-        })?;
 
-        // Loading while the heap is open returns the *same* live instance —
-        // no copy, no image traffic.
+        // Registering the schema validates it against the heap's
+        // persisted Klass table and schema fingerprint — on a fresh heap
+        // it records the declaration; after a reload it re-checks it.
+        let person = jimmy.register::<Person>()?;
+        let id = person.field::<u64>("id")?;
+        let karma = person.field::<f64>("karma")?;
+        let friend = person.ref_field::<Person>("friend")?;
+        let name = person.str_field("name")?;
+
+        // Person alice = pnew Person(...): typed allocation inside an
+        // undo-logged transaction — every store is logged and persisted,
+        // so the pair of friends appears atomically.
+        let alice = jimmy.txn(|t| {
+            let alice = t.alloc::<Person>()?;
+            let bob = t.alloc::<Person>()?;
+            t.set(alice, id, 1u64);
+            t.set(alice, karma, 99.5);
+            t.set_str(alice, name, "Alice")?;
+            t.set(bob, id, 2u64);
+            t.set(bob, karma, 64.0);
+            t.set_str(bob, name, "Bob")?;
+            t.set_ref(alice, friend, Some(bob))?;
+            t.set_ref(bob, friend, Some(alice))?;
+            Ok(alice)
+        })?;
+        jimmy.set_root_typed("Jimmy_info", alice)?;
+
+        // Loading while the heap is open returns the *same* live
+        // instance — no copy, no image traffic.
         let same = mgr.load("Jimmy", LoadOptions::default())?;
-        assert_eq!(same.with(|h| h.get_root("Jimmy_info")), Some(alice));
+        assert_eq!(same.root::<Person>("Jimmy_info")?, Some(alice));
 
         // The explicit durability boundary: an incremental image sync of
         // exactly the cache lines persisted since the last commit.
@@ -49,27 +76,64 @@ fn main() -> Result<(), PjhError> {
     }
 
     // "After a system reboot": every handle is gone, so loading maps the
-    // committed image and runs the loading pipeline.
+    // committed image — and re-registering the schema re-validates the
+    // declaration against what the image persisted.
     let jimmy = mgr.load("Jimmy", LoadOptions::default())?;
     let report = jimmy.load_report();
     println!(
         "loaded heap: {} klasses reinitialized in place, recovered_gc={}",
         report.klasses_reloaded, report.recovered_gc
     );
-    jimmy.with(|heap| {
-        let alice = heap.get_root("Jimmy_info").expect("root survives restarts");
-        let bob = heap.field_ref(alice, 1);
+    let person = jimmy.register::<Person>()?;
+    let id = person.field::<u64>("id")?;
+    let karma = person.field::<f64>("karma")?;
+    let friend = person.ref_field::<Person>("friend")?;
+    let name = person.str_field("name")?;
+
+    // A read-only session: the shared read guard exposes every typed
+    // getter, and concurrent readers do not serialize behind writers.
+    {
+        let heap = jimmy.read();
+        let alice = heap
+            .root::<Person>("Jimmy_info")?
+            .expect("root survives restarts");
+        let bob = heap.get_ref(alice, friend).expect("alice has a friend");
         println!(
-            "alice.id = {}, alice.friend.id = {}, friend.friend == alice: {}",
-            heap.field(alice, 0),
-            heap.field(bob, 0),
-            heap.field_ref(bob, 1) == alice
+            "{}(id {}, karma {}) <-> {}(id {}, karma {}), mutual: {}",
+            heap.get_str(alice, name).unwrap_or_default(),
+            heap.get(alice, id),
+            heap.get(alice, karma),
+            heap.get_str(bob, name).unwrap_or_default(),
+            heap.get(bob, id),
+            heap.get(bob, karma),
+            heap.get_ref(bob, friend) == Some(alice),
         );
         let census = heap.census();
         println!(
             "census: {} objects, {} words",
             census.objects, census.object_words
         );
-    });
+    }
+
+    // The schema-evolution guard: in a fresh session, a declaration whose
+    // field types drifted from the image is rejected against the
+    // *persisted* fingerprint — a real error instead of silently
+    // reinterpreting words.
+    struct DriftedPerson;
+    impl PObject for DriftedPerson {
+        const CLASS_NAME: &'static str = "Person";
+        fn schema() -> Schema {
+            Schema::builder("Person")
+                .f64_field("id") // was u64!
+                .f64_field("karma")
+                .ref_field::<DriftedPerson>("friend")
+                .str_field("name")
+                .build()
+        }
+    }
+    drop(jimmy); // close the session; the next load maps the image anew
+    let fresh = mgr.load("Jimmy", LoadOptions::default())?;
+    let err = fresh.register::<DriftedPerson>().unwrap_err();
+    println!("drifted schema rejected as expected: {err}");
     Ok(())
 }
