@@ -12,15 +12,17 @@
 //! (fig18 max object count, default 50000), `--nshard <ops>` (shard-scaling
 //! ops per cell, default `max(n15, 4000)` — the shard cell needs enough ops
 //! to amortize per-worker fixed costs now that commit seals are
-//! delta-proportional), `--out <path>` (default stdout).
+//! delta-proportional), `--nread <ops>` (reader-scaling reads per reader,
+//! default 100000 — retention ratios need enough reads to swamp setup
+//! and scheduler noise), `--out <path>` (default stdout).
 //! Absolute times vary by machine; the *shape* (speedup ratios, shard
 //! throughput ratios, UG-vs-zeroing growth) is what future PRs compare
 //! against.
 
 use espresso::heap::SafetyLevel;
 use espresso_bench::micro::{
-    build_loading_image, measure_load, run_pcj_micro, run_pjh_micro, run_shard_scaling, DataType,
-    MicroOp,
+    build_loading_image, measure_load, run_pcj_micro, run_pjh_micro, run_reader_scaling,
+    run_shard_scaling, DataType, MicroOp,
 };
 use std::fmt::Write as _;
 
@@ -90,6 +92,35 @@ fn main() {
         ));
     }
     json.push_str(&shard_cells.join(",\n"));
+    json.push_str("\n    }\n  },\n");
+
+    // Reader scaling: lock-free read-session throughput retention under
+    // one continuously committing writer — quiet time over contended
+    // time at the same reader count (1.0 = the writer costs the readers
+    // nothing; readers share only the device with it, never a lock).
+    // A ratio like fig15/shard_scaling, so it transfers across machines.
+    let n_read: usize = flag("--nread")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let best_read = |readers: usize, with_writer: bool| {
+        (0..3)
+            .map(|_| run_reader_scaling(readers, n_read, with_writer).as_secs_f64())
+            .fold(f64::MAX, f64::min)
+    };
+    let _ = writeln!(json, "  \"reader_scaling\": {{");
+    let _ = writeln!(json, "    \"ops_per_reader\": {n_read},");
+    let _ = writeln!(json, "    \"reader_retention_vs_quiet\": {{");
+    let mut reader_cells = Vec::new();
+    for readers in [1usize, 4] {
+        let quiet = best_read(readers, false);
+        let contended = best_read(readers, true);
+        reader_cells.push(format!(
+            "      \"readers/{}\": {:.2}",
+            readers,
+            quiet / contended.max(f64::MIN_POSITIVE)
+        ));
+    }
+    json.push_str(&reader_cells.join(",\n"));
     json.push_str("\n    }\n  },\n");
 
     let _ = writeln!(json, "  \"fig18\": {{");

@@ -18,8 +18,13 @@
 //! fail CI; `--shard4-floor <ratio>` (default `1.0`) additionally
 //! enforces an **absolute** floor on the current 4-shard cell — sharding
 //! must never fall below break-even with one shard, whatever the
-//! baseline says. fig18 load times are printed for context but never
-//! gate (absolute milliseconds are too machine-dependent).
+//! baseline says. The `reader_scaling` retention ratios (quiet time over
+//! contended time for N epoch-pinned read sessions under one committing
+//! writer) gate the same way, and `--readers-floor <ratio>` (default
+//! `0.0`, i.e. off unless passed) enforces an absolute floor on the
+//! `readers/4` cell — the lock-free read guarantee itself. fig18 load
+//! times are printed for context but never gate (absolute milliseconds
+//! are too machine-dependent).
 
 use espresso_bench::diff::{diff_ratio_cells, diff_speedups, parse_map_section, CellDiff};
 use espresso_bench::report::print_table;
@@ -95,6 +100,47 @@ fn main() {
         eprintln!("bench_diff: no shard_scaling cells in {baseline_path}; skipping that gate");
     }
 
+    // Reader-scaling gate: read-session throughput retention under a
+    // concurrent writer, same lower-bound rule. Absent in baselines from
+    // before sessions were lock-free — skipped, not failed.
+    let reader_diffs =
+        diff_ratio_cells(&baseline, &current, "reader_retention_vs_quiet", tolerance);
+    if !reader_diffs.is_empty() {
+        print_table(
+            &format!(
+                "reader_scaling retention gate (tolerance {:.0}%)",
+                tolerance * 100.0
+            ),
+            &["cell", "baseline", "current", "floor", "status"],
+            &ratio_rows(&reader_diffs),
+        );
+    } else {
+        eprintln!("bench_diff: no reader_scaling cells in {baseline_path}; skipping that gate");
+    }
+
+    // Absolute readers/4 floor, independent of the committed baseline:
+    // four pinned readers under one committing writer must retain at
+    // least this fraction of their quiet throughput — the lock-free
+    // guarantee itself, not a relative drift bound (a writer-held RwLock
+    // collapses this toward zero).
+    let readers_floor: f64 = flag("--readers-floor")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0);
+    let mut readers_failed = false;
+    if let Some(&(_, current4)) = parse_map_section(&current, "reader_retention_vs_quiet")
+        .iter()
+        .find(|(n, _)| n == "readers/4")
+    {
+        if current4 < readers_floor {
+            eprintln!(
+                "bench_diff: readers/4 retention {current4:.2}x is below the absolute floor {readers_floor:.2}x"
+            );
+            readers_failed = true;
+        } else if readers_floor > 0.0 {
+            println!("readers/4 absolute floor: {current4:.2}x >= {readers_floor:.2}x ok");
+        }
+    }
+
     // Absolute 4-shard floor, independent of the committed baseline.
     let shard4_floor: f64 = flag("--shard4-floor")
         .and_then(|v| v.parse().ok())
@@ -137,14 +183,15 @@ fn main() {
     let regressions = diffs
         .iter()
         .chain(shard_diffs.iter())
+        .chain(reader_diffs.iter())
         .filter(|d| d.regressed)
         .count();
-    if regressions > 0 || shard4_failed {
+    if regressions > 0 || shard4_failed || readers_failed {
         eprintln!("bench_diff: {regressions} gated cell(s) regressed beyond {tolerance:.2}");
         std::process::exit(1);
     }
     println!(
         "\nbench_diff: all {} gated cells within tolerance",
-        diffs.len() + shard_diffs.len()
+        diffs.len() + shard_diffs.len() + reader_diffs.len()
     );
 }

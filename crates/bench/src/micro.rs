@@ -454,6 +454,115 @@ pub fn run_shard_scaling(shards: usize, ops: usize) -> Duration {
     t0.elapsed()
 }
 
+// ---- Reader scaling: lock-free read sessions under a writer ----
+
+/// Heap budget for the reader-scaling cell.
+const READER_HEAP_BYTES: usize = 8 << 20;
+/// Objects the readers cycle over (captured once, before the clock).
+const READER_OBJS: usize = 256;
+/// Readers reopen their session every this many reads, so the pin/unpin
+/// hot path is part of the measured work, not just the field loads.
+const READER_SESSION_EVERY: usize = 64;
+/// The writer seals a commit epoch every this many stores.
+const READER_COMMIT_EVERY: usize = 256;
+
+/// The `reader_scaling` cell of the CI bench gate: wall time for
+/// `readers` threads to each complete `ops` field reads through
+/// epoch-pinned [`ReadSession`s](espresso::heap::ReadSession), optionally
+/// with one writer thread continuously storing, flushing, and sealing
+/// commit epochs on the same heap until the readers finish.
+///
+/// The gated number is the **retention ratio** — quiet time over
+/// contended time for the same reader count — computed by the caller
+/// from two runs of this function. Read sessions take no lock (they pin
+/// an epoch and borrow the published replica), so the only contention a
+/// writer can inflict is on the shared device; before sessions were
+/// lock-free, the writer's held `RwLock` serialized every read behind
+/// every write section and the ratio collapsed toward zero.
+pub fn run_reader_scaling(readers: usize, ops: usize, with_writer: bool) -> Duration {
+    use espresso::heap::{HeapManager, PjhError};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let mgr = HeapManager::temp().expect("temp manager");
+    let h = mgr
+        .create("readers", READER_HEAP_BYTES, PjhConfig::default())
+        .expect("heap");
+    let (refs, own) = h
+        .with_mut(|p| {
+            let k = p.register_instance(
+                "Rec",
+                vec![FieldDesc::prim("a"), FieldDesc::reference("next")],
+            )?;
+            let mut refs = Vec::with_capacity(READER_OBJS);
+            for i in 0..READER_OBJS {
+                let r = p.alloc_instance(k)?;
+                p.set_field(r, 0, i as u64);
+                p.flush_object(r);
+                if i % 8 == 0 {
+                    p.set_root(&format!("k{i}"), r)?;
+                }
+                refs.push(r);
+            }
+            // The writer's private working set: stores go here, so the
+            // values the readers check stay fixed.
+            let own: Vec<_> = (0..64)
+                .map(|_| p.alloc_instance(k))
+                .collect::<Result<_, _>>()?;
+            Ok::<_, PjhError>((refs, own))
+        })
+        .expect("setup");
+    let stop = AtomicBool::new(false);
+    let mut elapsed = Duration::ZERO;
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        if with_writer {
+            let h = h.clone();
+            let stop = &stop;
+            let own = &own;
+            scope.spawn(move || {
+                let mut n = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    h.with_mut(|p| {
+                        let r = own[n % own.len()];
+                        p.set_field(r, 0, n as u64);
+                        p.flush_object(r);
+                    });
+                    n += 1;
+                    if n.is_multiple_of(READER_COMMIT_EVERY) {
+                        drop(h.commit().expect("commit"));
+                    }
+                }
+                h.commit_sync().expect("final commit");
+            });
+        }
+        let workers: Vec<_> = (0..readers)
+            .map(|t| {
+                let h = h.clone();
+                let refs = &refs;
+                scope.spawn(move || {
+                    let mut sum = 0u64;
+                    let mut done = 0usize;
+                    while done < ops {
+                        let session = h.read();
+                        let batch = READER_SESSION_EVERY.min(ops - done);
+                        for i in 0..batch {
+                            let r = refs[(t + done + i) % refs.len()];
+                            sum = sum.wrapping_add(session.field(r, 0));
+                        }
+                        done += batch;
+                    }
+                    std::hint::black_box(sum);
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("reader thread");
+        }
+        elapsed = t0.elapsed();
+        stop.store(true, Ordering::Relaxed);
+    });
+    elapsed
+}
+
 // ---- Figure 18: heap loading ----
 
 /// Builds a heap image with `objects` instances spread over `klasses`

@@ -8,15 +8,15 @@
 //! can simultaneously serve collections here and raw `txn` scopes
 //! elsewhere, with one log and one set of ACID guarantees (§6.2).
 
-use espresso_core::{HeapHandle, Pjh, PjhError};
+use espresso_core::{HeapHandle, PjhError, ReadSession, WriteSession};
 use espresso_object::{KlassId, Ref, Schema};
-use parking_lot::{RwLockReadGuard, RwLockWriteGuard};
 
 /// A persistent heap plus the heap's word-granular undo log, giving every
 /// collection operation the same ACID guarantee PCJ provides (§6.2).
 ///
 /// Construct it over a shared [`HeapHandle`] with [`PStore::open`], or
-/// from a raw [`Pjh`] (wrapped in an unmanaged handle) with
+/// from a raw [`Pjh`](espresso_core::Pjh) (wrapped in an unmanaged
+/// handle) with
 /// [`PStore::new`] / [`PStore::attach`]. All clones and all other handles
 /// to the same heap share one transaction state.
 ///
@@ -80,16 +80,16 @@ impl PStore {
         &self.handle
     }
 
-    /// Read access to the wrapped heap. The guard blocks writers — hold
-    /// it only for the duration of the reads, and never across a call
-    /// that takes `&mut PStore`.
-    pub fn heap(&self) -> RwLockReadGuard<'_, Pjh> {
+    /// A read-only session over the wrapped heap. Lock-free — it never
+    /// blocks writers — but still do not hold it across a call that
+    /// takes `&mut PStore` if you expect to observe that call's writes.
+    pub fn heap(&self) -> ReadSession {
         self.handle.read()
     }
 
-    /// Exclusive access to the wrapped heap (non-transactional). Same
-    /// guard discipline as [`heap`](Self::heap).
-    pub fn heap_mut(&mut self) -> RwLockWriteGuard<'_, Pjh> {
+    /// Exclusive access to the wrapped heap (non-transactional). The
+    /// session publishes a fresh read replica when dropped.
+    pub fn heap_mut(&mut self) -> WriteSession<'_> {
         self.handle.write()
     }
 
@@ -252,7 +252,7 @@ impl PStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use espresso_core::{LoadOptions, PjhConfig};
+    use espresso_core::{LoadOptions, Pjh, PjhConfig};
     use espresso_nvm::{NvmConfig, NvmDevice};
     use espresso_object::FieldDesc;
 

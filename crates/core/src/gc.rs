@@ -81,6 +81,20 @@ impl RegionSummary {
     }
 }
 
+/// Why an auto collection ([`Pjh::gc`]) ran a full compaction when the
+/// caller might have expected the cheaper incremental cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcEscalation {
+    /// Dirty tracking has not been continuous since the last full
+    /// collection. Remembered sets and the dirty bitmap are DRAM-only,
+    /// so the first collection after a reload (or after anything that
+    /// rewrites references behind the tracking) always lands here.
+    IncrementalNotReady,
+    /// Free space ran low enough that compaction was needed to open
+    /// regions, even though incremental state was valid.
+    LowSpace,
+}
+
 /// Outcome of a persistent-space collection.
 #[derive(Debug, Clone)]
 pub struct GcReport {
@@ -106,6 +120,10 @@ pub struct GcReport {
     pub pause_flushes: u64,
     /// Simulated NVM nanoseconds consumed by the collection.
     pub pause_sim_ns: u64,
+    /// `Some` when the auto policy ([`Pjh::gc`]) silently upgraded an
+    /// expected incremental cycle to a full compaction; `None` for
+    /// explicitly requested collections and for incremental cycles.
+    pub escalation: Option<GcEscalation>,
 }
 
 #[derive(Debug, Clone)]
@@ -272,11 +290,20 @@ fn mark_live(h: &Pjh, extra_roots: &[Ref]) -> (Bitmap, Bitmap) {
 
 // ---- summary (§4.2: idempotent, derived only from persisted inputs) ----
 
+/// Derives the compaction schedule from persisted inputs only, so
+/// recovery can replay it bit for bit. `usable` masks the regions the
+/// schedule may overwrite (evacuation destinations, the alloc-region
+/// rewind): with no pinned read sessions it is all-ones; while readers
+/// are pinned it shrinks to drained free regions, because a region that
+/// held objects — live or garbage — may still be walked through a
+/// pinned reader's pre-GC refs. The mask is persisted alongside the mark
+/// bitmaps (`saved_free_off`), keeping the schedule a pure function of
+/// NVM state.
 fn build_schedule(
     layout: &Layout,
     begin: &Bitmap,
     end: &Bitmap,
-    free_before: &Bitmap,
+    usable: &Bitmap,
     alloc_region_before: usize,
     alloc_top_before: usize,
 ) -> Schedule {
@@ -294,7 +321,9 @@ fn build_schedule(
         b = begin.next_set(w + words);
     }
 
-    let mut avail: BTreeSet<usize> = (0..n).filter(|&r| live[r].is_empty()).collect();
+    let mut avail: BTreeSet<usize> = (0..n)
+        .filter(|&r| live[r].is_empty() && usable.get(r))
+        .collect();
     let mut plans: Vec<Plan> = vec![Plan::Skip; n];
     let mut forwarding: HashMap<usize, usize> = HashMap::new();
     let mut dest: Option<(usize, usize)> = None; // (region, fill bytes)
@@ -335,7 +364,12 @@ fn build_schedule(
             forwarding.insert(off, dst);
             moves.push((off, words, dst));
         }
-        avail.insert(r);
+        // An evacuated source can serve as a later destination only when
+        // it is overwrite-safe; under pinned readers it is not — their
+        // pre-GC refs still resolve into its (intact) old images.
+        if usable.get(r) {
+            avail.insert(r);
+        }
         plans[r] = Plan::Evacuate(moves);
         evacuations = true;
     }
@@ -344,6 +378,7 @@ fn build_schedule(
         let (dr, fill) = dest.expect("evacuations imply a destination");
         (dr, layout.region_start(dr) + fill, Vec::new())
     } else if live[alloc_region_before].is_empty()
+        && usable.get(alloc_region_before)
         && !matches!(plans[alloc_region_before], Plan::InPlace(_))
     {
         // Nothing moved and the allocation region holds only garbage:
@@ -370,7 +405,6 @@ fn build_schedule(
         }
     }
 
-    let _ = free_before; // summary input kept for signature stability
     Schedule {
         plans,
         forwarding,
@@ -548,21 +582,50 @@ pub(crate) fn collect_auto(h: &mut Pjh, extra_roots: &[Ref]) -> crate::Result<Gc
     if h.incremental_ready && !low_space {
         collect_incremental(h, extra_roots)
     } else {
-        collect_full(h, extra_roots)
+        // The upgrade to a full compaction is deliberate but must not be
+        // silent: callers budgeting for an incremental pause can read why
+        // they got a full one (remembered sets are DRAM-only, so the
+        // first collection after a reload always escalates).
+        let reason = if h.incremental_ready {
+            GcEscalation::LowSpace
+        } else {
+            GcEscalation::IncrementalNotReady
+        };
+        let mut report = collect_full(h, extra_roots)?;
+        report.escalation = Some(reason);
+        Ok(report)
     }
 }
 
 pub(crate) fn collect_full(h: &mut Pjh, extra_roots: &[Ref]) -> crate::Result<GcReport> {
     let stats0 = h.dev.stats();
+    h.prune_deferred();
+    // Which regions may this collection overwrite? All of them while no
+    // read session is pinned; only drained free regions otherwise — a
+    // pinned reader's pre-GC refs may still resolve into any region that
+    // ever held objects. Persisted below so recovery replays the exact
+    // same schedule.
+    let pins = h
+        .epoch_clock
+        .as_ref()
+        .and_then(|c| c.min_pinned())
+        .is_some();
+    let mut usable = Bitmap::new(h.layout.num_regions);
+    for r in 0..h.layout.num_regions {
+        if !pins || (h.free.get(r) && h.region_reusable(r)) {
+            usable.set(r);
+        }
+    }
+    let free_before_gc = h.free.clone();
     let (begin, end) = mark_live(h, extra_roots);
     let ts = h.global_ts.wrapping_add(1);
 
     if h.recoverable_gc {
-        // Persist the summary inputs: mark bitmaps, the pre-GC free bitmap
-        // snapshot, and the pre-GC allocation cursor.
+        // Persist the summary inputs: mark bitmaps, the overwrite-safety
+        // mask, and the pre-GC allocation cursor.
         begin.store(&h.dev, h.layout.mark_begin_off, h.layout.bitmap_bytes);
         end.store(&h.dev, h.layout.mark_end_off, h.layout.bitmap_bytes);
-        h.free.store_raw(
+        usable.store_raw(
             &h.dev,
             h.layout.saved_free_off,
             h.layout.region_bitmap_bytes,
@@ -589,7 +652,7 @@ pub(crate) fn collect_full(h: &mut Pjh, extra_roots: &[Ref]) -> crate::Result<Gc
         &h.layout,
         &begin,
         &end,
-        &h.free,
+        &usable,
         h.alloc_region,
         h.alloc_top,
     );
@@ -600,6 +663,20 @@ pub(crate) fn collect_full(h: &mut Pjh, extra_roots: &[Ref]) -> crate::Result<Gc
     let (moved, in_place) = execute(h, &schedule, ts, false);
     finalize(h, &schedule, ts);
     h.gc_count += 1;
+
+    // Evacuated sources (and every other newly freed region) may still be
+    // walked by readers pinned before this point: defer their reuse until
+    // the clock drains past the current epoch, then tick the clock so
+    // readers arriving after the collection do not hold them back.
+    if let Some(clock) = h.epoch_clock.clone() {
+        let freed_epoch = clock.now();
+        for r in 0..h.layout.num_regions {
+            if h.free.get(r) && !free_before_gc.get(r) {
+                h.deferred_free.push((freed_epoch, r));
+            }
+        }
+        clock.advance();
+    }
 
     // Arm incremental collection: dirty tracking restarts from a clean
     // slate; remembered sets are built lazily by the first incremental
@@ -626,11 +703,13 @@ pub(crate) fn collect_full(h: &mut Pjh, extra_roots: &[Ref]) -> crate::Result<Gc
         relocations,
         pause_flushes: stats.line_flushes,
         pause_sim_ns: stats.simulated_ns,
+        escalation: None,
     })
 }
 
 pub(crate) fn collect_incremental(h: &mut Pjh, extra_roots: &[Ref]) -> crate::Result<GcReport> {
     let stats0 = h.dev.stats();
+    h.prune_deferred();
     let n = h.layout.num_regions;
     // The first incremental cycle after a full collection builds the
     // remembered sets from scratch; later cycles reuse them.
@@ -729,12 +808,27 @@ pub(crate) fn collect_incremental(h: &mut Pjh, extra_roots: &[Ref]) -> crate::Re
     }
 
     // 4. Reclaim empty regions wholesale — one persisted free-bit word
-    //    each, no object traffic. (They are re-zeroed on reuse.)
+    //    each, no object traffic. (They are re-zeroed on reuse, which the
+    //    deferred-free list holds off while pinned readers could still
+    //    walk their garbage images.)
+    let mut any_freed = false;
     for (r, &f) in freeable.iter().enumerate() {
         if f {
             h.free.set(r);
             h.persist_free_bit(r);
             remsets[r].clear();
+            any_freed = true;
+        }
+    }
+    if any_freed {
+        if let Some(clock) = h.epoch_clock.clone() {
+            let freed_epoch = clock.now();
+            for (r, &f) in freeable.iter().enumerate() {
+                if f {
+                    h.deferred_free.push((freed_epoch, r));
+                }
+            }
+            clock.advance();
         }
     }
 
@@ -782,6 +876,7 @@ pub(crate) fn collect_incremental(h: &mut Pjh, extra_roots: &[Ref]) -> crate::Re
         relocations: HashMap::new(),
         pause_flushes: stats.line_flushes,
         pause_sim_ns: stats.simulated_ns,
+        escalation: None,
     })
 }
 
@@ -793,18 +888,12 @@ pub(crate) fn recover(h: &mut Pjh) -> crate::Result<()> {
     // Step 1: fetch the mark bitmaps persisted by the marking phase.
     let begin = Bitmap::load(&h.dev, h.layout.mark_begin_off, words);
     let end = Bitmap::load(&h.dev, h.layout.mark_end_off, words);
-    let saved_free = Bitmap::load_raw(&h.dev, h.layout.saved_free_off, h.layout.num_regions);
+    let usable = Bitmap::load_raw(&h.dev, h.layout.saved_free_off, h.layout.num_regions);
     let alloc_region = h.dev.read_u64(meta::SAVED_ALLOC_REGION) as usize;
     let alloc_top = h.dev.read_u64(meta::SAVED_ALLOC_TOP) as usize;
-    // Step 2: redo the summary (idempotent by construction).
-    let schedule = build_schedule(
-        &h.layout,
-        &begin,
-        &end,
-        &saved_free,
-        alloc_region,
-        alloc_top,
-    );
+    // Step 2: redo the summary (idempotent by construction — the
+    // overwrite-safety mask was persisted with the mark bitmaps).
+    let schedule = build_schedule(&h.layout, &begin, &end, &usable, alloc_region, alloc_top);
     // Step 3: process the regions not marked done, then finalize.
     execute(h, &schedule, ts, true);
     finalize(h, &schedule, ts);

@@ -124,6 +124,25 @@ pub struct Pjh {
     /// marker-type → klass-id resolution cache. DRAM-only; a reload
     /// forgets it, so every schema is re-validated after a load.
     pub(crate) schemas: crate::typed::SchemaCache,
+    /// Reclamation clock shared with the owning handle's read sessions
+    /// (see `HeapHandle::read`). `None` for raw heaps with no handle —
+    /// then nothing can pin, and every free region is immediately
+    /// reusable.
+    pub(crate) epoch_clock: Option<Arc<espresso_nvm::EpochClock>>,
+    /// Regions freed by GC at a given clock epoch, still possibly visible
+    /// to readers pinned at or before it. A free region listed here may
+    /// not be zeroed, reallocated, or used as an evacuation target until
+    /// the clock [drains](espresso_nvm::EpochClock::drained) past its
+    /// epoch. DRAM-only: after a crash or reload no reader survives, so
+    /// the persisted free bitmap alone is the truth.
+    pub(crate) deferred_free: Vec<(u64, usize)>,
+    /// Generation counter over **reader-visible** DRAM metadata: the
+    /// klass registry, name table mirror, schema cache, safety level, and
+    /// post-GC root/region state. Bumped by the mutators that change what
+    /// a published read replica would contain; a closing `WriteSession`
+    /// republishes only when it moved, so plain object stores and
+    /// allocations never pay the replica clone.
+    pub(crate) meta_gen: u64,
 }
 
 impl fmt::Debug for Pjh {
@@ -186,6 +205,9 @@ impl Pjh {
             gc_count: 0,
             txn: crate::txn::TxnState::default(),
             schemas: crate::typed::SchemaCache::default(),
+            epoch_clock: None,
+            deferred_free: Vec::new(),
+            meta_gen: 0,
         })
     }
 
@@ -221,6 +243,9 @@ impl Pjh {
             gc_count: 0,
             txn: crate::txn::TxnState::default(),
             schemas: crate::typed::SchemaCache::default(),
+            epoch_clock: None,
+            deferred_free: Vec::new(),
+            meta_gen: 0,
             dirty: Bitmap::new(layout.num_regions),
             remsets: None,
             incremental_ready: false,
@@ -421,6 +446,7 @@ impl Pjh {
         name: &str,
         fields: Vec<FieldDesc>,
     ) -> crate::Result<KlassId> {
+        self.meta_gen += 1;
         self.klasses.register_instance(name, fields)
     }
 
@@ -433,17 +459,20 @@ impl Pjh {
 
     /// Registers the object-array class for `elem_name`.
     pub fn register_obj_array(&mut self, elem_name: &str) -> KlassId {
+        self.meta_gen += 1;
         self.klasses.register_obj_array(elem_name)
     }
 
     /// Registers the primitive array class.
     pub fn register_prim_array(&mut self) -> KlassId {
+        self.meta_gen += 1;
         self.klasses.register_prim_array()
     }
 
     /// Marks a class as allowed under [`SafetyLevel::TypeBased`] (§3.4's
     /// annotation library).
     pub fn mark_persistent_capable(&mut self, name: &str) {
+        self.meta_gen += 1;
         self.persistent_capable.insert(name.to_string());
     }
 
@@ -461,13 +490,93 @@ impl Pjh {
             .clone()
     }
 
+    // ---- epoch-deferred reclamation (read sessions) ----
+
+    /// Binds the reclamation clock read sessions pin against. Called once
+    /// by the owning `HeapHandle` before the heap goes behind its lock.
+    pub(crate) fn attach_epoch_clock(&mut self, clock: Arc<espresso_nvm::EpochClock>) {
+        self.epoch_clock = Some(clock);
+    }
+
+    /// Whether every reader pinned at or before `epoch` is gone. With no
+    /// clock attached nothing can pin, so everything is drained.
+    pub(crate) fn epoch_drained(&self, epoch: u64) -> bool {
+        self.epoch_clock.as_ref().is_none_or(|c| c.drained(epoch))
+    }
+
+    /// Whether a free region may actually be rewritten: either it was
+    /// never deferred, or every reader that could still walk its old
+    /// contents has unpinned.
+    pub(crate) fn region_reusable(&self, region: usize) -> bool {
+        self.deferred_free
+            .iter()
+            .all(|&(e, r)| r != region || self.epoch_drained(e))
+    }
+
+    /// Drops deferred-free entries whose epoch has drained.
+    pub(crate) fn prune_deferred(&mut self) {
+        if self.epoch_clock.is_some() {
+            let drained: Vec<bool> = self
+                .deferred_free
+                .iter()
+                .map(|&(e, _)| self.epoch_drained(e))
+                .collect();
+            let mut it = drained.into_iter();
+            self.deferred_free.retain(|_| !it.next().unwrap());
+        } else {
+            self.deferred_free.clear();
+        }
+    }
+
+    /// An owned snapshot of this heap's DRAM state sharing the same
+    /// device, for publication to lock-free read sessions. Replicas are
+    /// read-only by contract: `ReadSession` never hands out `&mut`.
+    pub(crate) fn read_replica(&self) -> Pjh {
+        Pjh {
+            dev: self.dev.clone(),
+            layout: self.layout,
+            klasses: self.klasses.clone(),
+            names: self.names.clone(),
+            alloc_region: self.alloc_region,
+            alloc_top: self.alloc_top,
+            plab_end: self.plab_end,
+            plab_size: self.plab_size,
+            free: self.free.clone(),
+            dirty: self.dirty.clone(),
+            remsets: self.remsets.clone(),
+            incremental_ready: self.incremental_ready,
+            summaries: self.summaries.clone(),
+            global_ts: self.global_ts,
+            safety: self.safety,
+            recoverable_gc: self.recoverable_gc,
+            persistent_capable: self.persistent_capable.clone(),
+            gc_count: self.gc_count,
+            txn: self.txn.clone(),
+            schemas: self.schemas.clone(),
+            epoch_clock: self.epoch_clock.clone(),
+            deferred_free: self.deferred_free.clone(),
+            meta_gen: self.meta_gen,
+        }
+    }
+
     // ---- allocation (§4.1) ----
 
     fn acquire_alloc_region(&mut self) -> crate::Result<()> {
-        let next = self
-            .free
-            .next_set(0)
-            .ok_or(PjhError::HeapFull { requested_words: 0 })?;
+        self.prune_deferred();
+        // Skip free regions still visible to pinned readers: zeroing one
+        // under a reader that holds pre-GC refs into it would be a
+        // use-after-reclaim. When every free region is held back, report
+        // the heap full — the allocation succeeds once readers drain.
+        let mut cursor = 0;
+        let next = loop {
+            let Some(r) = self.free.next_set(cursor) else {
+                return Err(PjhError::HeapFull { requested_words: 0 });
+            };
+            if self.region_reusable(r) {
+                break r;
+            }
+            cursor = r + 1;
+        };
         let start = self.layout.region_start(next);
         // Zero the region so the walker's hole invariant holds, persist it,
         // then take it and move the cursor.
@@ -564,9 +673,16 @@ impl Pjh {
             });
         }
         // §4.1 step 1: resolve the Klass (appending its record on first use).
+        // A first-use append extends the seg→klass map that read replicas
+        // resolve class words through, so it must bump `meta_gen`; repeat
+        // allocations of an already-segged klass stay replica-clone-free.
+        let first_use = self.klasses.seg_of(kid).is_none();
         let seg = self
             .klasses
             .ensure_in_segment(&self.dev, &self.layout, &mut self.names, kid)?;
+        if first_use {
+            self.meta_gen += 1;
+        }
         let words = klass.instance_words();
         let off = self.alloc_raw(words)?;
         self.dev.write_u64(off, mark::new(self.global_ts));
@@ -587,9 +703,13 @@ impl Pjh {
             .by_id(kid)
             .expect("unknown klass")
             .clone();
+        let first_use = self.klasses.seg_of(kid).is_none();
         let seg = self
             .klasses
             .ensure_in_segment(&self.dev, &self.layout, &mut self.names, kid)?;
+        if first_use {
+            self.meta_gen += 1;
+        }
         let words = klass.array_words(len);
         let off = self.alloc_raw(words)?;
         self.dev.write_u64(off, mark::new(self.global_ts));
@@ -876,6 +996,7 @@ impl Pjh {
     /// type-based safety.
     pub fn set_root(&mut self, name: &str, r: Ref) -> crate::Result<()> {
         self.check_store(r)?;
+        self.meta_gen += 1;
         self.names.set(&self.dev, EntryKind::Root, name, r.to_raw())
     }
 
@@ -889,6 +1010,7 @@ impl Pjh {
 
     /// Removes a root; returns whether it existed.
     pub fn remove_root(&mut self, name: &str) -> bool {
+        self.meta_gen += 1;
         self.names.remove(&self.dev, EntryKind::Root, name)
     }
 
@@ -921,6 +1043,10 @@ impl Pjh {
         self.gc_txn_guard()?;
         let report = crate::gc::collect_auto(self, extra_roots)?;
         self.relocate_txn_log(&report);
+        // Roots were forwarded and regions freed: stale replicas must not
+        // outlive this section (a fresh session's pin does not hold the
+        // newly freed regions back).
+        self.meta_gen += 1;
         Ok(report)
     }
 
@@ -935,6 +1061,7 @@ impl Pjh {
         self.gc_txn_guard()?;
         let report = crate::gc::collect_full(self, extra_roots)?;
         self.relocate_txn_log(&report);
+        self.meta_gen += 1;
         Ok(report)
     }
 
@@ -1166,6 +1293,7 @@ impl Pjh {
 
     /// Changes the safety level for subsequent operations.
     pub fn set_safety(&mut self, safety: SafetyLevel) {
+        self.meta_gen += 1;
         self.safety = safety;
     }
 

@@ -37,7 +37,7 @@ fn record_len(field_count: usize, name_len: usize) -> usize {
 }
 
 /// DRAM-side mirror of the Klass segment plus the class registry it feeds.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PKlassTable {
     registry: KlassRegistry,
     seg_of: HashMap<u32, u64>,

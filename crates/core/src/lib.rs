@@ -69,11 +69,13 @@ mod txn;
 mod typed;
 
 pub use bitmap::Bitmap;
-pub use gc::{GcKind, GcReport, RegionSummary};
+pub use gc::{GcEscalation, GcKind, GcReport, RegionSummary};
 pub use heap::{HeapCensus, LoadOptions, LoadReport, Pjh, SafetyLevel};
 pub use klass_segment::PKlassTable;
 pub use layout::{Layout, MAX_NAME_LEN};
-pub use manager::{CommitReport, CommitTicket, HeapHandle, HeapManager};
+pub use manager::{
+    CommitReport, CommitState, CommitTicket, HeapHandle, HeapManager, ReadSession, WriteSession,
+};
 pub use name_table::EntryKind;
 pub use shard::{hash_key, ShardRef, ShardedCommitTicket, ShardedHeap, ShardedKlass};
 pub use txn::HeapTxn;

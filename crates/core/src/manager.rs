@@ -47,11 +47,14 @@
 //! ```
 
 use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Weak};
 
-use espresso_nvm::{FlushPipeline, LatencyModel, NvmConfig, NvmDevice};
-use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use espresso_nvm::{
+    EpochClock, EpochPin, EpochState, FlushPipeline, LatencyModel, NvmConfig, NvmDevice,
+};
+use parking_lot::{Mutex, RwLock, RwLockWriteGuard};
 
 use crate::heap::{LoadOptions, LoadReport, Pjh};
 use crate::txn::HeapTxn;
@@ -70,6 +73,28 @@ pub struct CommitReport {
     /// handles (wrapped raw heaps) report `false` and sync nothing — their
     /// device's persistence domain is the durability boundary.
     pub managed: bool,
+}
+
+/// Where a sealed commit epoch stands, answered non-consumingly by
+/// [`CommitTicket::state`].
+///
+/// `is_durable()` alone cannot distinguish "still applying" from "the
+/// apply failed": a failed or aborted epoch would read as `false`
+/// forever, with the I/O error observable only by consuming
+/// [`CommitTicket::wait`]. `state()` closes that gap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitState {
+    /// Sealed, apply not yet completed (queued, paused, or running).
+    InFlight,
+    /// The epoch's content is durably in the image file — its own apply
+    /// landed, or a later apply covered its restored lines.
+    Durable,
+    /// The apply failed or was aborted and no later apply has covered it
+    /// yet; the payload is the same reason [`CommitTicket::wait`] would
+    /// return as an error. The lines were restored to the device, so a
+    /// fresh commit heals — after which the state becomes
+    /// [`Durable`](Self::Durable).
+    Failed(String),
 }
 
 /// A sealed-but-possibly-not-yet-durable commit epoch, returned by
@@ -102,11 +127,29 @@ impl CommitTicket {
         self.report
     }
 
-    /// Whether the epoch has already reached the image file.
+    /// Whether the epoch has already reached the image file. `false`
+    /// covers both "still in flight" and "failed" — use
+    /// [`state`](Self::state) to tell them apart.
     pub fn is_durable(&self) -> bool {
-        self.pipeline
-            .as_ref()
-            .is_none_or(|p| p.durable_epoch() >= self.epoch)
+        matches!(self.state(), CommitState::Durable)
+    }
+
+    /// Where the sealed epoch stands right now, without consuming the
+    /// ticket or blocking: in flight, durable, or failed (with the apply
+    /// error's reason). Consistent with the pipeline's failure cascade —
+    /// an aborted or failed epoch reports [`CommitState::Failed`] until a
+    /// later commit re-captures its restored lines, after which it reads
+    /// [`CommitState::Durable`], exactly as [`wait`](Self::wait) would
+    /// resolve. Unmanaged handles' no-op commits are trivially durable.
+    pub fn state(&self) -> CommitState {
+        match &self.pipeline {
+            None => CommitState::Durable,
+            Some(p) => match p.epoch_state(self.epoch) {
+                EpochState::Durable => CommitState::Durable,
+                EpochState::InFlight => CommitState::InFlight,
+                EpochState::Failed(reason) => CommitState::Failed(reason),
+            },
+        }
     }
 
     /// Blocks until the sealed epoch is durable in the image file.
@@ -123,6 +166,21 @@ impl CommitTicket {
     }
 }
 
+/// Lock order, outermost first — every multi-lock path must acquire in
+/// this order (levels may be skipped, never reversed):
+///
+/// ```text
+/// manager.live → manager.pipelines → handle.heap → handle.path
+///              → handle.pipeline → handle.replica
+/// ```
+///
+/// Notable holders: `commit` takes `heap.read → path → pipeline`;
+/// `delete_heap` scopes `live`, then `pipelines`, then takes
+/// `path → pipeline`; `create` takes `live → pipelines`; `load` takes
+/// `pipelines` and `live` in *separate* scopes and never blocks on the
+/// pipeline while holding either (see its body); a closing
+/// `WriteSession` holds `heap.write` while briefly taking `replica`.
+/// Read sessions take only `replica` (no `RwLock` at all).
 struct HandleInner {
     name: String,
     /// Image file backing this heap; `None` for unmanaged handles and for
@@ -137,6 +195,18 @@ struct HandleInner {
     /// unmanaged handles spawn one lazily if the crash hooks ask.
     pipeline: Mutex<Option<Arc<FlushPipeline>>>,
     heap: RwLock<Pjh>,
+    /// Reclamation clock for lock-free read sessions: readers pin it, GC
+    /// defers region reuse past it. For managed handles this *is* the
+    /// commit pipeline's clock, so sealed commit epochs and reclamation
+    /// epochs share one timeline.
+    clock: Arc<EpochClock>,
+    /// The published read replica and the metadata generation it was
+    /// taken at: an owned snapshot of the heap's DRAM metadata over the
+    /// same (internally synchronized) device. A closing write section
+    /// republishes only when the generation moved (registrations, roots,
+    /// GC — not plain object stores); readers clone the `Arc` and go —
+    /// they never touch `heap`'s `RwLock`.
+    replica: Mutex<(u64, Arc<Pjh>)>,
 }
 
 /// A shared, live handle to one open PJH instance.
@@ -158,7 +228,127 @@ impl std::fmt::Debug for HeapHandle {
     }
 }
 
+/// A lock-free read-only session over one heap, returned by
+/// [`HeapHandle::read`] — it derefs to [`Pjh`], so every raw and typed
+/// getter works unchanged.
+///
+/// **What "non-blocking" guarantees.** Opening a session never waits on
+/// the heap's writer lock: it pins the reclamation epoch (two atomic
+/// stores on the hot path) and clones an `Arc` to the latest published
+/// metadata replica. Concurrent writers, transactions, commits, and
+/// collections all proceed while any number of sessions are open.
+///
+/// **What a session observes.** Data reads go to the shared device,
+/// which is internally synchronized — a session sees committed object
+/// *contents* live, including stores a concurrent writer lands after the
+/// session opened. The session's *metadata* (klass table, name index,
+/// summaries) is the snapshot published at the last write-section close.
+/// There is no snapshot isolation across multiple fields; what the pin
+/// buys is memory safety, not serializability.
+///
+/// **What a pinned epoch holds back.** GC may run and relocate objects
+/// while sessions are open, but every region it frees is deferred: not
+/// zeroed, not reallocated, not reused as an evacuation target until all
+/// sessions pinned at or before the freeing epoch drop. Refs obtained
+/// inside the session therefore stay readable (old images are kept
+/// intact) for the session's whole lifetime. The cost of holding a
+/// session across collections is space: deferred regions count as free
+/// but are not reusable, so a long-pinned reader can drive an allocating
+/// writer to [`PjhError::HeapFull`](crate::PjhError::HeapFull) until the
+/// session drops.
+pub struct ReadSession {
+    replica: Arc<Pjh>,
+    _pin: EpochPin,
+}
+
+impl ReadSession {
+    /// The reclamation epoch this session pins: regions freed at or
+    /// after it stay readable until the session drops.
+    pub fn epoch(&self) -> u64 {
+        self._pin.epoch()
+    }
+}
+
+impl Deref for ReadSession {
+    type Target = Pjh;
+    fn deref(&self) -> &Pjh {
+        &self.replica
+    }
+}
+
+impl std::fmt::Debug for ReadSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadSession")
+            .field("epoch", &self.epoch())
+            .finish()
+    }
+}
+
+/// An exclusive write session over one heap, returned by
+/// [`HeapHandle::write`]; derefs to [`Pjh`]. Holds the heap's writer
+/// lock; on drop it publishes a fresh metadata replica so later read
+/// sessions observe everything this section changed.
+pub struct WriteSession<'a> {
+    guard: Option<RwLockWriteGuard<'a, Pjh>>,
+    inner: &'a HandleInner,
+}
+
+impl Deref for WriteSession<'_> {
+    type Target = Pjh;
+    fn deref(&self) -> &Pjh {
+        self.guard.as_ref().expect("guard present until drop")
+    }
+}
+
+impl DerefMut for WriteSession<'_> {
+    fn deref_mut(&mut self) -> &mut Pjh {
+        self.guard.as_mut().expect("guard present until drop")
+    }
+}
+
+impl Drop for WriteSession<'_> {
+    fn drop(&mut self) {
+        // Publish while still holding the write lock: a reader pinning
+        // between the publication and the lock release sees either this
+        // replica or a later one, never a half-written section... of the
+        // *metadata*; device contents are always live. Runs on unwind
+        // too, so a panicking transaction still publishes its (aborted,
+        // rolled-back) state. Skipped entirely when the section touched
+        // no reader-visible metadata — the common store/alloc path stays
+        // clone-free.
+        let guard = self.guard.take().expect("dropped once");
+        let gen = guard.meta_gen;
+        let mut replica = self.inner.replica.lock();
+        if replica.0 != gen {
+            *replica = (gen, Arc::new(guard.read_replica()));
+        }
+    }
+}
+
 impl HeapHandle {
+    fn build(
+        name: String,
+        path: Option<PathBuf>,
+        mut heap: Pjh,
+        report: LoadReport,
+        pipeline: Option<Arc<FlushPipeline>>,
+        clock: Arc<EpochClock>,
+    ) -> HeapHandle {
+        heap.attach_epoch_clock(Arc::clone(&clock));
+        let replica = (heap.meta_gen, Arc::new(heap.read_replica()));
+        HeapHandle {
+            inner: Arc::new(HandleInner {
+                name,
+                path: Mutex::new(path),
+                report,
+                pipeline: Mutex::new(pipeline),
+                heap: RwLock::new(heap),
+                clock,
+                replica: Mutex::new(replica),
+            }),
+        }
+    }
+
     fn managed(
         name: String,
         path: PathBuf,
@@ -166,15 +356,10 @@ impl HeapHandle {
         report: LoadReport,
         pipeline: Arc<FlushPipeline>,
     ) -> HeapHandle {
-        HeapHandle {
-            inner: Arc::new(HandleInner {
-                name,
-                path: Mutex::new(Some(path)),
-                report,
-                pipeline: Mutex::new(Some(pipeline)),
-                heap: RwLock::new(heap),
-            }),
-        }
+        // Managed handles pin readers against the pipeline's own clock:
+        // sealed commit epochs tick the same counter GC defers against.
+        let clock = pipeline.epoch_clock();
+        HeapHandle::build(name, Some(path), heap, report, Some(pipeline), clock)
     }
 
     /// Wraps a raw heap in an unmanaged handle (no backing image file).
@@ -183,15 +368,14 @@ impl HeapHandle {
     /// lets device-level tests and benches use the session API without a
     /// filesystem.
     pub fn from_pjh(heap: Pjh) -> HeapHandle {
-        HeapHandle {
-            inner: Arc::new(HandleInner {
-                name: "<unmanaged>".to_string(),
-                path: Mutex::new(None),
-                report: LoadReport::default(),
-                pipeline: Mutex::new(None),
-                heap: RwLock::new(heap),
-            }),
-        }
+        HeapHandle::build(
+            "<unmanaged>".to_string(),
+            None,
+            heap,
+            LoadReport::default(),
+            None,
+            Arc::new(EpochClock::new()),
+        )
     }
 
     /// The heap's flush pipeline, spawned on first use.
@@ -218,29 +402,41 @@ impl HeapHandle {
         self.inner.report
     }
 
-    /// Acquires the heap for reading — a **read-only session**: every
-    /// typed getter (`get`, `get_ref`, `get_str`, `root::<T>`, …) and
-    /// every raw read takes `&Pjh`, so any number of read sessions run
-    /// concurrently on the shared lock instead of serializing behind the
-    /// write path. Hold the guard only for the duration of the accesses;
-    /// it blocks writers.
-    pub fn read(&self) -> RwLockReadGuard<'_, Pjh> {
-        self.inner.heap.read()
+    /// Opens a **lock-free read-only session**: every typed getter
+    /// (`get`, `get_ref`, `get_str`, `root::<T>`, …) and every raw read
+    /// takes `&Pjh` through the returned [`ReadSession`]. Opening never
+    /// blocks on (or takes) the heap's writer lock — it pins the
+    /// reclamation epoch and borrows the latest published metadata
+    /// replica, so any number of sessions run concurrently with writers,
+    /// commits, and GC. See [`ReadSession`] for the exact guarantees and
+    /// for what a long-held pin holds back.
+    pub fn read(&self) -> ReadSession {
+        // Pin FIRST, then take the replica: a GC completing in between
+        // would defer its freed regions against an epoch ≥ ours, so
+        // every ref this session can reach stays un-reclaimed.
+        let pin = self.inner.clock.pin();
+        let replica = Arc::clone(&self.inner.replica.lock().1);
+        ReadSession { replica, _pin: pin }
     }
 
-    /// Acquires the heap for writing (exclusive).
-    pub fn write(&self) -> RwLockWriteGuard<'_, Pjh> {
-        self.inner.heap.write()
+    /// Acquires the heap for writing (exclusive). The returned session
+    /// publishes a fresh read replica when dropped.
+    pub fn write(&self) -> WriteSession<'_> {
+        WriteSession {
+            guard: Some(self.inner.heap.write()),
+            inner: &self.inner,
+        }
     }
 
-    /// Runs `f` with shared read access to the heap.
+    /// Runs `f` in a read-only session (see [`read`](Self::read) — `f`
+    /// takes no lock and runs concurrently with writers).
     pub fn with<R>(&self, f: impl FnOnce(&Pjh) -> R) -> R {
-        f(&self.inner.heap.read())
+        f(&self.read())
     }
 
     /// Runs `f` with exclusive write access to the heap.
     pub fn with_mut<R>(&self, f: impl FnOnce(&mut Pjh) -> R) -> R {
-        f(&mut self.inner.heap.write())
+        f(&mut self.write())
     }
 
     /// Runs `f` inside an undo-logged transaction with exclusive access:
@@ -252,7 +448,7 @@ impl HeapHandle {
     ///
     /// Propagates `f`'s error after aborting.
     pub fn txn<T>(&self, f: impl FnOnce(&mut HeapTxn<'_>) -> crate::Result<T>) -> crate::Result<T> {
-        self.inner.heap.write().txn(f)
+        self.write().txn(f)
     }
 
     /// The explicit commit point: **seals an epoch**. Every cache line
@@ -544,31 +740,49 @@ impl HeapManager {
     /// [`PjhError::NoSuchHeap`] if the name is unknown; image and format
     /// errors otherwise.
     pub fn load(&self, name: &str, options: LoadOptions) -> crate::Result<HeapHandle> {
-        // The registry lock is held across check + load + insert: two
-        // racing loads of one name must never map two divergent live
-        // heaps over the same image.
-        let mut live = self.inner.live.lock();
-        if let Some(inner) = live.get(name).and_then(Weak::upgrade) {
-            return Ok(HeapHandle { inner });
+        // Lock discipline (this used to deadlock the whole manager): the
+        // registry lock must NOT be held while waiting for the retained
+        // pipeline to go idle — a paused pipeline makes that wait
+        // unbounded, and with `live` held it would wedge every unrelated
+        // `create`/`load` on the manager. So: check, wait with no locks
+        // held, then re-take the registry lock and re-validate before
+        // mapping.
+        loop {
+            if let Some(handle) = self.live_handle(name) {
+                return Ok(handle);
+            }
+            let path = self.path(name);
+            if !path.exists() {
+                return Err(PjhError::NoSuchHeap {
+                    name: name.to_string(),
+                });
+            }
+            // The previous session's handles may be gone while their
+            // commits are still applying (outstanding tickets, or a drain
+            // in progress): wait for the retained pipeline to go idle so
+            // the image read below can never observe a half-applied epoch.
+            let pipeline = self.pipeline_for(name);
+            pipeline.wait_idle();
+            let mut live = self.inner.live.lock();
+            // Re-validate under the lock: a racing load may have opened
+            // the heap while we waited (use its live instance), and a
+            // racing open-then-close may have queued fresh applies (wait
+            // again) — two racing loads must never map two divergent
+            // live heaps over the same image.
+            if let Some(inner) = live.get(name).and_then(Weak::upgrade) {
+                return Ok(HeapHandle { inner });
+            }
+            if !pipeline.is_idle() {
+                drop(live);
+                continue;
+            }
+            let dev = NvmDevice::load_image(&path, LatencyModel::zero())?;
+            let (mut heap, report) = Pjh::load(dev, options)?;
+            heap.txn_recover()?;
+            let handle = HeapHandle::managed(name.to_string(), path, heap, report, pipeline);
+            live.insert(name.to_string(), Arc::downgrade(&handle.inner));
+            return Ok(handle);
         }
-        let path = self.path(name);
-        if !path.exists() {
-            return Err(PjhError::NoSuchHeap {
-                name: name.to_string(),
-            });
-        }
-        // The previous session's handles may be gone while their commits
-        // are still applying (outstanding tickets, or a drain in
-        // progress): wait for the retained pipeline to go idle so the
-        // image read below can never observe a half-applied epoch.
-        let pipeline = self.pipeline_for(name);
-        pipeline.wait_idle();
-        let dev = NvmDevice::load_image(&path, LatencyModel::zero())?;
-        let (mut heap, report) = Pjh::load(dev, options)?;
-        heap.txn_recover()?;
-        let handle = HeapHandle::managed(name.to_string(), path, heap, report, pipeline);
-        live.insert(name.to_string(), Arc::downgrade(&handle.inner));
-        Ok(handle)
     }
 
     /// Loads the heap if it exists, creating it otherwise.
@@ -650,6 +864,7 @@ impl HeapManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{GcEscalation, GcKind};
     use espresso_object::FieldDesc;
 
     #[test]
@@ -962,6 +1177,219 @@ mod tests {
         drop(fresh);
         let reloaded = mgr.load("a", LoadOptions::default()).unwrap();
         reloaded.with(|h| assert_eq!(h.get_root("old"), None, "no bleed-through"));
+    }
+
+    #[test]
+    fn ticket_state_distinguishes_in_flight_failed_and_durable() {
+        let mgr = HeapManager::temp().unwrap();
+        let a = mgr.create("a", 4 << 20, PjhConfig::small()).unwrap();
+        a.with_mut(|h| {
+            let k = h.register_instance("T", vec![FieldDesc::prim("x")])?;
+            let t = h.alloc_instance(k)?;
+            h.set_field(t, 0, 1);
+            h.flush_object(t);
+            h.set_root("t", t)
+        })
+        .unwrap();
+        a.set_flush_paused(true);
+        let ticket = a.commit().unwrap();
+        // Queued behind a paused pipeline: in flight, and saying so does
+        // not consume the ticket.
+        assert_eq!(ticket.state(), CommitState::InFlight);
+        assert!(!ticket.is_durable());
+        assert_eq!(ticket.state(), CommitState::InFlight);
+        // Abort: the ticket turns observably Failed — before this, the
+        // only way to see the failure was consuming `wait()`.
+        assert_eq!(a.abort_pending_commits(), 1);
+        match ticket.state() {
+            CommitState::Failed(reason) => assert!(!reason.is_empty(), "reason is surfaced"),
+            other => panic!("aborted epoch reads {other:?}, expected Failed"),
+        }
+        assert!(!ticket.is_durable());
+        // A healing commit re-captures the restored lines; once it lands,
+        // the old epoch's content is durably in the image and the ticket
+        // reads Durable — exactly the pipeline's failure-cascade rule.
+        a.set_flush_paused(false);
+        let healed = a.commit().unwrap();
+        healed.wait().unwrap();
+        assert_eq!(ticket.state(), CommitState::Durable);
+        assert!(ticket.is_durable());
+    }
+
+    #[test]
+    fn load_blocked_on_a_paused_pipeline_does_not_wedge_the_manager() {
+        let mgr = HeapManager::temp().unwrap();
+        let a = mgr.create("a", 4 << 20, PjhConfig::small()).unwrap();
+        a.with_mut(|h| {
+            let k = h.register_instance("T", vec![FieldDesc::prim("x")])?;
+            let t = h.alloc_instance(k)?;
+            h.set_field(t, 0, 7);
+            h.flush_object(t);
+            h.set_root("t", t)
+        })
+        .unwrap();
+        // Seal an epoch into a paused pipeline, then close the session:
+        // the retained pipeline holds a queued apply that cannot land.
+        a.set_flush_paused(true);
+        drop(a.commit().unwrap());
+        drop(a);
+        // The loader must park waiting for that apply WITHOUT holding the
+        // registry lock.
+        let loader = {
+            let mgr = mgr.clone();
+            std::thread::spawn(move || mgr.load("a", LoadOptions::default()))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        // Regression: load() used to hold the registry lock across the
+        // unbounded pipeline wait, so this unrelated create deadlocked
+        // the whole manager.
+        let (tx, rx) = std::sync::mpsc::channel();
+        {
+            let mgr = mgr.clone();
+            std::thread::spawn(move || {
+                let ok = mgr.create("b", 4 << 20, PjhConfig::small()).is_ok();
+                let _ = tx.send(ok);
+            });
+        }
+        assert!(rx
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .expect("create of an unrelated heap proceeds while a load waits"),);
+        // Resume the retained pipeline; the parked loader completes and
+        // observes the commit it waited for.
+        mgr.inner
+            .pipelines
+            .lock()
+            .get("a")
+            .unwrap()
+            .set_paused(false);
+        let a2 = loader.join().unwrap().unwrap();
+        a2.with(|h| {
+            let t = h.get_root("t").unwrap();
+            assert_eq!(h.field(t, 0), 7);
+        });
+    }
+
+    #[test]
+    fn reloaded_heap_reports_why_gc_escalated_to_full() {
+        let mgr = HeapManager::temp().unwrap();
+        let a = mgr.create("a", 4 << 20, PjhConfig::small()).unwrap();
+        a.with_mut(|h| {
+            let k = h.register_instance("T", vec![FieldDesc::prim("x")])?;
+            let t = h.alloc_instance(k)?;
+            h.flush_object(t);
+            h.set_root("t", t)
+        })
+        .unwrap();
+        // A fresh heap has no incremental state: auto escalates and says
+        // why. The next cycle runs incrementally with no escalation.
+        let first = a.with_mut(|h| h.gc(&[])).unwrap();
+        assert_eq!(first.kind, GcKind::Full);
+        assert_eq!(first.escalation, Some(GcEscalation::IncrementalNotReady));
+        let second = a.with_mut(|h| h.gc(&[])).unwrap();
+        assert_eq!(second.kind, GcKind::Incremental);
+        assert_eq!(second.escalation, None);
+        a.commit_sync().unwrap();
+        drop(a);
+        // A reload drops the DRAM incremental state. This fallback used
+        // to be silent — a `gc()` caller budgeting for an incremental
+        // pause got a full compaction with no way to tell; now the report
+        // carries the reason.
+        let a2 = mgr.load("a", LoadOptions::default()).unwrap();
+        let report = a2.with_mut(|h| h.gc(&[])).unwrap();
+        assert_eq!(report.kind, GcKind::Full);
+        assert_eq!(report.escalation, Some(GcEscalation::IncrementalNotReady));
+        // An explicitly requested full collection is not an escalation.
+        let forced = a2.with_mut(|h| h.gc_full(&[])).unwrap();
+        assert_eq!(forced.escalation, None);
+    }
+
+    #[test]
+    fn read_sessions_open_while_a_writer_holds_the_heap_lock() {
+        let mgr = HeapManager::temp().unwrap();
+        let a = mgr.create("a", 4 << 20, PjhConfig::small()).unwrap();
+        let t = a
+            .with_mut(|h| {
+                let k = h.register_instance("T", vec![FieldDesc::prim("x")])?;
+                let t = h.alloc_instance(k)?;
+                h.set_field(t, 0, 9);
+                h.flush_object(t);
+                h.set_root("t", t)?;
+                Ok::<_, PjhError>(t)
+            })
+            .unwrap();
+        // Hold the exclusive writer lock for the whole scope.
+        let writer = a.write();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let reader = {
+            let a = a.clone();
+            std::thread::spawn(move || {
+                let session = a.read(); // must not touch the writer lock
+                let _ = tx.send(session.field(t, 0));
+            })
+        };
+        // Regression: when read() shared the RwLock, this recv timed out
+        // until the writer dropped.
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(5))
+                .expect("read session opens concurrently with a held write lock"),
+            9
+        );
+        reader.join().unwrap();
+        drop(writer);
+    }
+
+    #[test]
+    fn pinned_reader_defers_region_reclamation_across_full_gc() {
+        let mgr = HeapManager::temp().unwrap();
+        let a = mgr.create("a", 1 << 20, PjhConfig::small()).unwrap();
+        let (k, live, garbage) = a
+            .with_mut(|h| {
+                let k = h.register_instance("T", vec![FieldDesc::prim("x")])?;
+                let mut garbage = Vec::new();
+                for i in 0..64u64 {
+                    let g = h.alloc_instance(k)?;
+                    h.set_field(g, 0, 1000 + i);
+                    h.flush_object(g);
+                    garbage.push(g);
+                }
+                let live = h.alloc_instance(k)?;
+                h.set_field(live, 0, 7);
+                h.flush_object(live);
+                h.set_root("live", live)?;
+                Ok::<_, PjhError>((k, live, garbage))
+            })
+            .unwrap();
+        let session = a.read();
+        // A full compaction runs concurrently with the pinned session;
+        // the regions it frees are deferred, not reclaimed.
+        let report = a.with_mut(|h| h.gc_full(&[])).unwrap();
+        assert_eq!(report.kind, GcKind::Full);
+        // Every ref the session captured before the collection — live
+        // (now relocated; its source copy is the one we read) and garbage
+        // alike — still reads its original bytes.
+        assert_eq!(session.field(live, 0), 7);
+        for (i, g) in garbage.iter().enumerate() {
+            assert_eq!(
+                session.field(*g, 0),
+                1000 + i as u64,
+                "evacuated source region stays intact while pinned"
+            );
+        }
+        // Deferred regions are unavailable to the allocator: exhaust the
+        // reusable space and hit HeapFull even though `free` has slack.
+        let exhausted = a.with_mut(|h| loop {
+            match h.alloc_instance(k) {
+                Ok(_) => {}
+                Err(PjhError::HeapFull { .. }) => break true,
+                Err(e) => panic!("unexpected allocation error: {e}"),
+            }
+        });
+        assert!(exhausted);
+        // Dropping the session drains the pin; the deferred regions
+        // become reusable and the very same allocation succeeds.
+        drop(session);
+        a.with_mut(|h| h.alloc_instance(k))
+            .expect("deferred regions reclaimed once the last pin drops");
     }
 
     #[test]

@@ -45,7 +45,7 @@ impl EntryKind {
 }
 
 /// DRAM-side view of the on-NVM name table.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct NameTable {
     off: usize,
     cap: usize,

@@ -33,7 +33,7 @@ pub(crate) const TXN_LOG_ROOT: &str = "espresso.txn.log";
 const LOG_ENTRIES: usize = 240;
 
 /// Per-heap transaction state (DRAM side; the log itself lives in NVM).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct TxnState {
     /// The published undo-log array, once attached or allocated.
     pub(crate) log: Option<Ref>,

@@ -88,7 +88,7 @@ use crate::PjhError;
 /// Both maps are caches over persisted truth (the Klass table and the
 /// fingerprint entries): a reload starts empty, so the first registration
 /// of every class after a load re-runs the full validation.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct SchemaCache {
     /// Class name → fingerprint validated against NVM this session.
     validated: HashMap<String, u64>,

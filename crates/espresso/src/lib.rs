@@ -65,8 +65,9 @@
 //! let jimmy = mgr.load("jimmy", LoadOptions::default())?;
 //! let person = jimmy.register::<Person>()?; // revalidates the schema
 //! let id = person.field::<u64>("id")?;
-//! // A read-only session: typed getters on the shared read guard, so
-//! // concurrent readers don't serialize behind writers.
+//! // A read-only session: lock-free — it pins an epoch and reads
+//! // through a published metadata replica instead of taking the
+//! // writer lock, so readers never serialize behind writers.
 //! let heap = jimmy.read();
 //! let p = heap.root::<Person>("jimmy_info")?.expect("survived");
 //! assert_eq!(heap.get(p, id), 7);
@@ -81,6 +82,22 @@
 //! (`Ref`, `field(r, index)`, `set_field`) remains available as the
 //! documented low-level escape hatch; `PRef::raw()` and `Pjh::cast`
 //! bridge the two worlds. See the README's "Raw vs typed" table.
+//!
+//! # Read sessions are lock-free
+//!
+//! `handle.read()` / `handle.with(..)` never take the heap's writer
+//! lock. A [`heap::ReadSession`] pins the heap's epoch clock and holds
+//! an `Arc` to the *published replica*: a snapshot of the heap's DRAM
+//! metadata (klass tables, roots, region maps) that a closing write
+//! section republishes whenever reader-visible metadata changed. The
+//! pin buys **memory safety, not snapshot isolation** — object data
+//! reads go to the shared device and observe committed writes live,
+//! while the metadata view stays frozen at session open. While any
+//! session pinned at or before a collection's epoch is open, the GC
+//! defers reclaiming the regions it evacuated: stale references read
+//! the original, well-formed copies, and allocation pressure surfaces
+//! as `PjhError::HeapFull` until the pins drain (never a dangling
+//! read). See the README's "Lock-free read sessions" section.
 //!
 //! # The commit pipeline
 //!

@@ -1,0 +1,299 @@
+//! Epoch clock for lock-free read-side reclamation.
+//!
+//! The commit pipeline already orders durability with a monotone epoch
+//! counter; this module turns that counter into a *reclamation* clock.
+//! Readers [`pin`](EpochClock::pin) the current epoch into a per-thread
+//! slot before touching shared state and unpin on drop; reclaimers
+//! (allocators, GC) ask for the [`min_pinned`](EpochClock::min_pinned)
+//! epoch and defer reuse of anything freed at or after it. The protocol
+//! is the classic hazard-era scheme (store the epoch, re-validate the
+//! clock, retry if it moved), so a successful pin is guaranteed to be
+//! visible to every advance that happens after it:
+//!
+//! ```text
+//! reader                         reclaimer
+//! e = now            (1)
+//! slot = e           (2)
+//! now == e? yes      (3)         now += 1          (4)  // after (2) in SeqCst order
+//!                                scan sees slot=e  (5)  // so freed@now-1 stays deferred
+//! ```
+//!
+//! Slots are registered in a shared table and cached per thread (keyed by
+//! a process-unique clock id, so a recycled allocation can never alias a
+//! dead clock's cache entry). Nested or cross-thread pins fall back to
+//! fresh overflow slots; unpinned slots nobody references any more are
+//! pruned during scans.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use espresso_nvm::EpochClock;
+//!
+//! let clock = Arc::new(EpochClock::new());
+//! let pin = clock.pin();
+//! let freed_at = clock.now();
+//! clock.advance();
+//! assert!(!clock.drained(freed_at), "a reader still pinned at freed_at");
+//! drop(pin);
+//! assert!(clock.drained(freed_at), "no pins left at or before freed_at");
+//! ```
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+/// Process-wide source of unique clock ids (thread-local cache keys).
+static NEXT_CLOCK_ID: AtomicU64 = AtomicU64::new(1);
+
+/// One reader's pinned epoch; `0` means unpinned.
+#[derive(Debug, Default)]
+struct Slot {
+    pinned: AtomicU64,
+}
+
+/// A monotone epoch counter plus the table of reader pin slots.
+///
+/// Cheap to share (`Arc`); all operations are thread-safe. The clock
+/// starts at epoch `1` and only ever moves forward.
+#[derive(Debug)]
+pub struct EpochClock {
+    id: u64,
+    now: AtomicU64,
+    slots: Mutex<Vec<Arc<Slot>>>,
+}
+
+impl Default for EpochClock {
+    fn default() -> Self {
+        EpochClock::new()
+    }
+}
+
+thread_local! {
+    /// Per-thread slot cache: `(clock id, slot)` pairs. Keeping the `Arc`
+    /// here holds the slot's strong count above 1, which is exactly the
+    /// signal [`EpochClock::min_pinned`] uses not to prune it.
+    static SLOT_CACHE: RefCell<Vec<(u64, Arc<Slot>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// How many `(clock, slot)` pairs one thread caches before evicting.
+const SLOT_CACHE_CAP: usize = 8;
+
+impl EpochClock {
+    /// A fresh clock at epoch `1` with no pinned readers.
+    pub fn new() -> EpochClock {
+        EpochClock {
+            id: NEXT_CLOCK_ID.fetch_add(1, SeqCst),
+            now: AtomicU64::new(1),
+            slots: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The current epoch.
+    pub fn now(&self) -> u64 {
+        self.now.load(SeqCst)
+    }
+
+    /// Moves the clock one epoch forward and returns the new epoch.
+    pub fn advance(&self) -> u64 {
+        self.now.fetch_add(1, SeqCst) + 1
+    }
+
+    /// Moves the clock forward to at least `epoch` (never backwards).
+    /// Lets an external epoch stream — the commit pipeline's sealed
+    /// epochs — drive the same clock readers pin against.
+    pub fn advance_to(&self, epoch: u64) {
+        self.now.fetch_max(epoch, SeqCst);
+    }
+
+    /// Pins the current epoch for the calling reader. Until the returned
+    /// guard drops, [`min_pinned`](Self::min_pinned) reports at most this
+    /// epoch, so anything freed at or after it stays un-reclaimed.
+    ///
+    /// Lock-free on the hot path: one cached slot per `(thread, clock)`
+    /// pair is reused with two atomic stores and two loads. Nested pins
+    /// on the same thread (or a cache miss) take the slot-table mutex
+    /// once to register a fresh slot.
+    pub fn pin(&self) -> EpochPin {
+        let slot = self.thread_slot();
+        loop {
+            let epoch = self.now.load(SeqCst);
+            slot.pinned.store(epoch, SeqCst);
+            // Re-validate: if the clock already moved, a reclaimer may
+            // have scanned before our store landed — retry at the new
+            // epoch rather than claim one we cannot prove visible.
+            if self.now.load(SeqCst) == epoch {
+                return EpochPin { slot, epoch };
+            }
+            slot.pinned.store(0, SeqCst);
+        }
+    }
+
+    /// The oldest epoch any live reader holds, or `None` when no reader
+    /// is pinned. Reuse of a region freed at epoch `e` is safe only when
+    /// `min_pinned() > e` (or no pins remain) — see
+    /// [`drained`](Self::drained). Also prunes dead unpinned slots.
+    pub fn min_pinned(&self) -> Option<u64> {
+        let mut slots = self.slots.lock().unwrap();
+        slots.retain(|s| Arc::strong_count(s) > 1 || s.pinned.load(SeqCst) != 0);
+        slots
+            .iter()
+            .map(|s| s.pinned.load(SeqCst))
+            .filter(|&e| e != 0)
+            .min()
+    }
+
+    /// Whether every reader pinned at or before `epoch` is gone: memory
+    /// freed at `epoch` may be reused only once this returns `true`.
+    pub fn drained(&self, epoch: u64) -> bool {
+        self.min_pinned().is_none_or(|min| min > epoch)
+    }
+
+    /// The cached slot for this `(thread, clock)` pair if it is free, or
+    /// a freshly registered one (nested pin / cache miss / eviction).
+    fn thread_slot(&self) -> Arc<Slot> {
+        SLOT_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some((_, slot)) = cache.iter().find(|(id, _)| *id == self.id) {
+                if slot.pinned.load(SeqCst) == 0 {
+                    return Arc::clone(slot);
+                }
+                // Nested pin on this thread: the cached slot is busy.
+                return self.register_slot();
+            }
+            let slot = self.register_slot();
+            if cache.len() >= SLOT_CACHE_CAP {
+                cache.remove(0);
+            }
+            cache.push((self.id, Arc::clone(&slot)));
+            slot
+        })
+    }
+
+    fn register_slot(&self) -> Arc<Slot> {
+        let slot = Arc::new(Slot::default());
+        self.slots.lock().unwrap().push(Arc::clone(&slot));
+        slot
+    }
+}
+
+/// An active reader pin; dropping it releases the epoch. Safe to move to
+/// (and drop on) another thread.
+#[derive(Debug)]
+pub struct EpochPin {
+    slot: Arc<Slot>,
+    epoch: u64,
+}
+
+impl EpochPin {
+    /// The epoch this pin holds.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl Drop for EpochPin {
+    fn drop(&mut self) {
+        self.slot.pinned.store(0, SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpinned_clock_is_always_drained() {
+        let c = EpochClock::new();
+        assert_eq!(c.now(), 1);
+        assert!(c.drained(0));
+        assert!(c.drained(c.now()));
+        assert_eq!(c.min_pinned(), None);
+    }
+
+    #[test]
+    fn pin_blocks_reuse_until_dropped() {
+        let c = EpochClock::new();
+        let pin = c.pin();
+        assert_eq!(pin.epoch(), 1);
+        let freed_at = c.now();
+        c.advance();
+        assert!(!c.drained(freed_at));
+        drop(pin);
+        assert!(c.drained(freed_at));
+    }
+
+    #[test]
+    fn nested_pins_use_distinct_slots() {
+        let c = EpochClock::new();
+        let outer = c.pin();
+        c.advance();
+        let inner = c.pin();
+        assert_eq!(outer.epoch(), 1);
+        assert_eq!(inner.epoch(), 2);
+        assert_eq!(c.min_pinned(), Some(1));
+        drop(outer);
+        assert_eq!(c.min_pinned(), Some(2), "inner pin survives outer drop");
+        drop(inner);
+        assert_eq!(c.min_pinned(), None);
+    }
+
+    #[test]
+    fn advance_to_never_moves_backwards() {
+        let c = EpochClock::new();
+        c.advance_to(10);
+        assert_eq!(c.now(), 10);
+        c.advance_to(4);
+        assert_eq!(c.now(), 10);
+    }
+
+    #[test]
+    fn pins_from_many_threads_report_the_oldest() {
+        let c = Arc::new(EpochClock::new());
+        let barrier = Arc::new(std::sync::Barrier::new(5));
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&c);
+            let b = Arc::clone(&barrier);
+            joins.push(std::thread::spawn(move || {
+                let pin = c.pin();
+                let e = pin.epoch();
+                b.wait(); // all pinned
+                b.wait(); // main observed min
+                drop(pin);
+                e
+            }));
+        }
+        barrier.wait();
+        let min = c.min_pinned().expect("four readers pinned");
+        barrier.wait();
+        let epochs: Vec<u64> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        assert_eq!(min, *epochs.iter().min().unwrap());
+        // Readers dropped their pins after the second barrier; their
+        // threads are joined, so every slot is unpinned now.
+        assert_eq!(c.min_pinned(), None);
+    }
+
+    #[test]
+    fn cross_thread_guard_drop_releases_the_pin() {
+        let c = Arc::new(EpochClock::new());
+        let pin = c.pin();
+        std::thread::spawn(move || drop(pin)).join().unwrap();
+        assert_eq!(c.min_pinned(), None);
+    }
+
+    #[test]
+    fn dead_slots_are_pruned_but_cached_ones_survive() {
+        let c = EpochClock::new();
+        // Nested pins leave overflow slots behind.
+        let a = c.pin();
+        let b = c.pin();
+        drop(b);
+        drop(a);
+        assert_eq!(c.min_pinned(), None);
+        let after_prune = c.slots.lock().unwrap().len();
+        // The thread-cached slot is retained (strong count 2); the
+        // overflow slot from the nested pin is pruned.
+        assert_eq!(after_prune, 1);
+    }
+}

@@ -31,13 +31,15 @@
 //! ```
 
 mod device;
+mod epoch;
 mod latency;
 mod pipeline;
 mod stats;
 
 pub use device::{CrashPlan, ImageSyncReport, NvmConfig, NvmDevice, NvmError, SyncSnapshot};
+pub use epoch::{EpochClock, EpochPin};
 pub use latency::LatencyModel;
-pub use pipeline::FlushPipeline;
+pub use pipeline::{EpochState, FlushPipeline};
 pub use stats::NvmStats;
 
 /// Size of a simulated cache line in bytes.

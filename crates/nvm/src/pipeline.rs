@@ -40,7 +40,23 @@ use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use crate::{NvmDevice, NvmError, SyncSnapshot};
+use crate::{EpochClock, NvmDevice, NvmError, SyncSnapshot};
+
+/// The non-consuming answer to "where is my sealed epoch?" — see
+/// [`FlushPipeline::epoch_state`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EpochState {
+    /// Sealed, apply not yet completed: queued, paused, or mid-apply.
+    InFlight,
+    /// The epoch's content is durably in the image file — its own apply
+    /// landed, or a later generation-checked apply covered it.
+    Durable,
+    /// The apply failed or was aborted and no later apply has covered it;
+    /// the reason is what [`wait_durable`](FlushPipeline::wait_durable)
+    /// would report. The epoch's lines were restored to the device, so a
+    /// fresh commit heals.
+    Failed(String),
+}
 
 struct Job {
     epoch: u64,
@@ -85,6 +101,10 @@ struct Shared {
 /// submission order. See the module docs for the epoch protocol.
 pub struct FlushPipeline {
     shared: Arc<Shared>,
+    /// The reclamation clock readers pin against: sealed epochs tick it
+    /// forward, so "freed at epoch e" and "sealed epoch e" share one
+    /// timeline. See [`epoch_clock`](Self::epoch_clock).
+    clock: Arc<EpochClock>,
     worker: Option<JoinHandle<()>>,
 }
 
@@ -120,8 +140,17 @@ impl FlushPipeline {
             .expect("spawn flush worker");
         FlushPipeline {
             shared,
+            clock: Arc::new(EpochClock::new()),
             worker: Some(worker),
         }
+    }
+
+    /// The epoch clock this pipeline ticks: every sealed epoch advances
+    /// it, so readers that [`pin`](EpochClock::pin) the clock and
+    /// reclaimers that check [`drained`](EpochClock::drained) speak the
+    /// same epoch stream as [`wait_durable`](Self::wait_durable).
+    pub fn epoch_clock(&self) -> Arc<EpochClock> {
+        Arc::clone(&self.clock)
     }
 
     /// The restore generation to read **before** taking a snapshot that
@@ -152,6 +181,7 @@ impl FlushPipeline {
         let mut state = self.shared.state.lock().unwrap();
         state.sealed += 1;
         let epoch = state.sealed;
+        self.clock.advance_to(epoch);
         if state.restore_gen != seal_gen {
             dev.restore_unsynced(&snapshot);
             state.restore_gen += 1;
@@ -218,6 +248,24 @@ impl FlushPipeline {
         }
     }
 
+    /// Where a sealed epoch stands, without blocking and without
+    /// consuming anything: [`EpochState::Durable`] once `durable` has
+    /// passed it (covering applies count, exactly as in
+    /// [`wait_durable`](Self::wait_durable)), [`EpochState::Failed`] with
+    /// the failure reason while it sits in the failure cascade uncovered,
+    /// [`EpochState::InFlight`] otherwise. Epoch `0` (from before this
+    /// pipeline existed) is trivially durable.
+    pub fn epoch_state(&self, epoch: u64) -> EpochState {
+        let state = self.shared.state.lock().unwrap();
+        if state.durable >= epoch {
+            return EpochState::Durable;
+        }
+        if let Some((_, reason)) = state.failed.iter().find(|(e, _)| *e == epoch) {
+            return EpochState::Failed(reason.clone());
+        }
+        EpochState::InFlight
+    }
+
     /// Highest epoch handed out by [`submit`](Self::submit).
     pub fn sealed_epoch(&self) -> u64 {
         self.shared.state.lock().unwrap().sealed
@@ -231,6 +279,13 @@ impl FlushPipeline {
     /// Queued applies not yet started.
     pub fn pending(&self) -> usize {
         self.shared.state.lock().unwrap().queue.len()
+    }
+
+    /// Whether the queue is empty and no apply is in flight right now —
+    /// the non-blocking counterpart of [`wait_idle`](Self::wait_idle).
+    pub fn is_idle(&self) -> bool {
+        let state = self.shared.state.lock().unwrap();
+        !state.in_flight && state.queue.is_empty()
     }
 
     /// Pauses (or resumes) the worker. While paused, submits queue up and
@@ -391,6 +446,56 @@ mod tests {
         pipe.wait_durable(e3).unwrap();
         let loaded = NvmDevice::load_image(&path, LatencyModel::zero()).unwrap();
         assert_eq!(loaded.read_u64(128), 8);
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn epoch_state_tracks_the_failure_cascade() {
+        let d = dir("state");
+        let path = d.join("img");
+        let device = dev(4096);
+        let pipe = FlushPipeline::new();
+        assert_eq!(
+            pipe.epoch_state(0),
+            EpochState::Durable,
+            "pre-pipeline epoch"
+        );
+        let e1 = pipe.submit(&device, path.clone(), device.snapshot_sync(&path));
+        pipe.wait_durable(e1).unwrap();
+        assert_eq!(pipe.epoch_state(e1), EpochState::Durable);
+        // A sealed-but-unapplied epoch is in flight, then fails on abort.
+        pipe.set_paused(true);
+        device.write_u64(0, 9);
+        device.persist(0, 8);
+        let e2 = pipe.submit(&device, path.clone(), device.snapshot_sync(&path));
+        assert_eq!(pipe.epoch_state(e2), EpochState::InFlight);
+        pipe.abort_pending();
+        match pipe.epoch_state(e2) {
+            EpochState::Failed(reason) => assert!(reason.contains("aborted"), "{reason}"),
+            other => panic!("aborted epoch must report Failed, got {other:?}"),
+        }
+        // The state is re-askable (non-consuming) and heals once a later
+        // apply covers the restored lines.
+        assert!(matches!(pipe.epoch_state(e2), EpochState::Failed(_)));
+        pipe.set_paused(false);
+        let e3 = pipe.submit(&device, path.clone(), device.snapshot_sync(&path));
+        pipe.wait_durable(e3).unwrap();
+        assert_eq!(pipe.epoch_state(e2), EpochState::Durable, "covered by e3");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn sealed_epochs_tick_the_reclamation_clock() {
+        let d = dir("clock");
+        let path = d.join("img");
+        let device = dev(4096);
+        let pipe = FlushPipeline::new();
+        let clock = pipe.epoch_clock();
+        let before = clock.now();
+        let e = pipe.submit(&device, path.clone(), device.snapshot_sync(&path));
+        assert!(clock.now() >= e, "seal advanced the clock past the epoch");
+        assert!(clock.now() >= before);
+        pipe.wait_durable(e).unwrap();
         std::fs::remove_dir_all(&d).unwrap();
     }
 

@@ -4,11 +4,10 @@ use std::collections::HashMap;
 use std::fmt;
 use std::time::Instant;
 
-use espresso_core::{CommitReport, CommitTicket, HeapHandle, Pjh, PjhError};
+use espresso_core::{CommitReport, CommitTicket, HeapHandle, Pjh, PjhError, ReadSession};
 use espresso_jpa::{EntityMeta, EntityObject};
 use espresso_minidb::{ColType, Connection, DbError, Value};
 use espresso_object::{Ref, Schema};
-use parking_lot::RwLockReadGuard;
 
 /// Errors from the PJO provider.
 #[derive(Debug)]
@@ -162,9 +161,10 @@ impl PjoEntityManager {
         self.stats = PjoStats::default();
     }
 
-    /// Read access to the persistent heap holding the deduplicated
-    /// copies. The guard blocks writers; hold it only for the reads.
-    pub fn pjh(&self) -> RwLockReadGuard<'_, Pjh> {
+    /// A read-only session over the persistent heap holding the
+    /// deduplicated copies. Lock-free: it never blocks (or is blocked
+    /// by) writers — see [`ReadSession`] for the exact guarantees.
+    pub fn pjh(&self) -> ReadSession {
         self.pjh.read()
     }
 

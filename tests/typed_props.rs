@@ -212,11 +212,15 @@ proptest! {
     }
 }
 
-/// Concurrent read-only sessions race a writer: readers take the shared
-/// read guard and do typed reads while the writer mutates pairs inside
-/// transactions. Every reader must observe one of the two legal pair
-/// states — never a torn mix — and readers never serialize the heap into
-/// an inconsistent view.
+/// Concurrent read-only sessions race a writer: readers open lock-free
+/// epoch-pinned sessions and do typed reads while the writer mutates
+/// pairs inside transactions. Read sessions give memory safety, not
+/// snapshot isolation — data reads are live, so a reader *may* see field
+/// `a` from one transaction and `b` from the next (for an isolated view,
+/// run the reads inside `handle.txn`). What must still hold, with one
+/// writer incrementing the pair: every observed value is one the writer
+/// actually wrote, `a` is monotone within a reader, and `b` never lags
+/// more than one transaction behind the `a` read just before it.
 #[test]
 fn concurrent_read_sessions_race_a_writer() {
     let mgr = HeapManager::temp().unwrap();
@@ -235,23 +239,45 @@ fn concurrent_read_sessions_race_a_writer() {
     handle.set_root_typed("obj", obj).unwrap();
 
     const ROUNDS: u64 = 300;
+    // 7 is odd, so it has a multiplicative inverse mod 2^64: recover the
+    // round that produced an observed `b` even under wrapping.
+    const INV7: u64 = 0x6db6_db6d_b6db_6db7;
     let stop = AtomicBool::new(false);
+    // Upper bound on any value the writer may have written, published
+    // *before* each transaction runs (so it over-approximates, never
+    // under-approximates, what a racing reader can see).
+    let ceiling = AtomicU64::new(0);
     let reads = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
     let mut last = ROUNDS;
     std::thread::scope(|scope| {
         let mut readers = Vec::new();
         for counter in &reads {
             let handle = handle.clone();
-            let stop = &stop;
+            let (stop, ceiling) = (&stop, &ceiling);
             readers.push(scope.spawn(move || {
+                let mut prev_a = 0u64;
                 while !stop.load(Ordering::Relaxed) {
-                    // A read-only session: the guard holds the RwLock
-                    // read side, so all three readers overlap freely.
+                    // A lock-free read session: pins an epoch, never
+                    // touches the writer lock, reads data live.
                     let h = handle.read();
                     let o = h.root::<Link>("obj").unwrap().unwrap();
                     let x = h.get(o, a);
                     let y = h.get(o, b);
-                    assert_eq!(y, x.wrapping_mul(7), "reader saw a torn pair: a={x} b={y}");
+                    let bound = ceiling.load(Ordering::SeqCst);
+                    assert!(x <= bound, "a={x} was never written (bound {bound})");
+                    let k = y.wrapping_mul(INV7);
+                    assert!(
+                        k <= bound,
+                        "b={y} (round {k}) was never written (bound {bound})"
+                    );
+                    // Writes go a-then-b: by the time a=x is visible, b
+                    // is at least round x-1, and only moves forward.
+                    assert!(
+                        k + 1 >= x,
+                        "b={y} (round {k}) lags more than one txn behind a={x}"
+                    );
+                    assert!(x >= prev_a, "a went backwards: {prev_a} -> {x}");
+                    prev_a = x;
                     counter.fetch_add(1, Ordering::Relaxed);
                 }
             }));
@@ -262,6 +288,7 @@ fn concurrent_read_sessions_race_a_writer() {
         let mut i = 0u64;
         loop {
             i += 1;
+            ceiling.store(i, Ordering::SeqCst);
             handle
                 .txn(|t| {
                     t.set(obj, a, i);
