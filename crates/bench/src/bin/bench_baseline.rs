@@ -14,7 +14,8 @@
 //! to amortize per-worker fixed costs now that commit seals are
 //! delta-proportional), `--nread <ops>` (reader-scaling reads per reader,
 //! default 100000 — retention ratios need enough reads to swamp setup
-//! and scheduler noise), `--out <path>` (default stdout).
+//! and scheduler noise), `--nserver <ops>` (server-throughput ops per
+//! cell over real TCP, default 8000), `--out <path>` (default stdout).
 //! Absolute times vary by machine; the *shape* (speedup ratios, shard
 //! throughput ratios, UG-vs-zeroing growth) is what future PRs compare
 //! against.
@@ -24,6 +25,7 @@ use espresso_bench::micro::{
     build_loading_image, measure_load, run_pcj_micro, run_pjh_micro, run_reader_scaling,
     run_shard_scaling, DataType, MicroOp,
 };
+use espresso_bench::srv::run_server_throughput;
 use std::fmt::Write as _;
 
 fn flag(name: &str) -> Option<String> {
@@ -122,6 +124,39 @@ fn main() {
     }
     json.push_str(&reader_cells.join(",\n"));
     json.push_str("\n    }\n  },\n");
+
+    // Server throughput: the networked front end at 1 vs 8 connections
+    // against a fresh 4-shard server (50/50 mix, zipfian keys). The
+    // gated cell is the ops/s ratio — cross-connection group commit
+    // amortizes epoch seals across concurrent writers, so it must beat
+    // a lone connection paying a full seal per write. Latencies are
+    // recorded for context only (absolute µs are machine-dependent).
+    let n_srv: usize = flag("--nserver")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8_000);
+    let best_srv = |conns: usize| {
+        (0..3)
+            .map(|_| run_server_throughput(conns, n_srv))
+            .max_by(|a, b| a.ops_per_sec().total_cmp(&b.ops_per_sec()))
+            .expect("three runs")
+    };
+    let srv1 = best_srv(1);
+    let srv8 = best_srv(8);
+    let _ = writeln!(json, "  \"server_throughput\": {{");
+    let _ = writeln!(json, "    \"ops_per_cell\": {n_srv},");
+    let _ = writeln!(json, "    \"throughput_vs_one_conn\": {{");
+    let _ = writeln!(
+        json,
+        "      \"conns/8\": {:.2}",
+        srv8.ops_per_sec() / srv1.ops_per_sec().max(f64::MIN_POSITIVE)
+    );
+    json.push_str("    },\n");
+    let _ = writeln!(json, "    \"server_latency_us\": {{");
+    let _ = writeln!(json, "      \"p50/1\": {},", srv1.p50_us);
+    let _ = writeln!(json, "      \"p99/1\": {},", srv1.p99_us);
+    let _ = writeln!(json, "      \"p50/8\": {},", srv8.p50_us);
+    let _ = writeln!(json, "      \"p99/8\": {}", srv8.p99_us);
+    json.push_str("    }\n  },\n");
 
     let _ = writeln!(json, "  \"fig18\": {{");
     let _ = writeln!(json, "    \"klasses\": 20,");

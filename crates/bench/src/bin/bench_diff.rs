@@ -22,9 +22,14 @@
 //! contended time for N epoch-pinned read sessions under one committing
 //! writer) gate the same way, and `--readers-floor <ratio>` (default
 //! `0.0`, i.e. off unless passed) enforces an absolute floor on the
-//! `readers/4` cell — the lock-free read guarantee itself. fig18 load
-//! times are printed for context but never gate (absolute milliseconds
-//! are too machine-dependent).
+//! `readers/4` cell — the lock-free read guarantee itself. The
+//! `server_throughput` ratio (8-connection over 1-connection ops/s
+//! against a 4-shard networked server) gates the same way, and
+//! `--server8-floor <ratio>` (default `1.2`) enforces an absolute floor
+//! on the `conns/8` cell — cross-connection group commit must keep
+//! concurrent clients meaningfully ahead of a lone connection. fig18
+//! load times and server latencies are printed for context but never
+//! gate (absolute milliseconds/µs are too machine-dependent).
 
 use espresso_bench::diff::{diff_ratio_cells, diff_speedups, parse_map_section, CellDiff};
 use espresso_bench::report::print_table;
@@ -118,6 +123,23 @@ fn main() {
         eprintln!("bench_diff: no reader_scaling cells in {baseline_path}; skipping that gate");
     }
 
+    // Server-throughput gate: N-connection over 1-connection ops/s on
+    // the networked front end, same lower-bound rule. Absent in
+    // baselines from before the server existed — skipped, not failed.
+    let server_diffs = diff_ratio_cells(&baseline, &current, "throughput_vs_one_conn", tolerance);
+    if !server_diffs.is_empty() {
+        print_table(
+            &format!(
+                "server_throughput gate (tolerance {:.0}%)",
+                tolerance * 100.0
+            ),
+            &["cell", "baseline", "current", "floor", "status"],
+            &ratio_rows(&server_diffs),
+        );
+    } else {
+        eprintln!("bench_diff: no server_throughput cells in {baseline_path}; skipping that gate");
+    }
+
     // Absolute readers/4 floor, independent of the committed baseline:
     // four pinned readers under one committing writer must retain at
     // least this fraction of their quiet throughput — the lock-free
@@ -160,6 +182,28 @@ fn main() {
         }
     }
 
+    // Absolute conns/8 floor, independent of the committed baseline:
+    // eight connections against a 4-shard server must beat one
+    // connection by this margin — the whole point of cross-connection
+    // group commit (a per-write full seal would pin this near 1.0).
+    let server8_floor: f64 = flag("--server8-floor")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.2);
+    let mut server8_failed = false;
+    if let Some(&(_, current8)) = parse_map_section(&current, "throughput_vs_one_conn")
+        .iter()
+        .find(|(n, _)| n == "conns/8")
+    {
+        if current8 < server8_floor {
+            eprintln!(
+                "bench_diff: conns/8 throughput {current8:.2}x is below the absolute floor {server8_floor:.2}x"
+            );
+            server8_failed = true;
+        } else {
+            println!("conns/8 absolute floor: {current8:.2}x >= {server8_floor:.2}x ok");
+        }
+    }
+
     let fig18_base = parse_map_section(&baseline, "load_ms");
     let fig18_cur = parse_map_section(&current, "load_ms");
     if !fig18_cur.is_empty() {
@@ -180,18 +224,39 @@ fn main() {
         );
     }
 
+    let lat_base = parse_map_section(&baseline, "server_latency_us");
+    let lat_cur = parse_map_section(&current, "server_latency_us");
+    if !lat_cur.is_empty() {
+        let rows: Vec<Vec<String>> = lat_cur
+            .iter()
+            .map(|(name, c)| {
+                let b = lat_base
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map_or("-".to_string(), |&(_, v)| format!("{v:.0}"));
+                vec![name.clone(), b, format!("{c:.0}")]
+            })
+            .collect();
+        print_table(
+            "server_latency_us (informational, not gated)",
+            &["cell", "baseline", "current"],
+            &rows,
+        );
+    }
+
     let regressions = diffs
         .iter()
         .chain(shard_diffs.iter())
         .chain(reader_diffs.iter())
+        .chain(server_diffs.iter())
         .filter(|d| d.regressed)
         .count();
-    if regressions > 0 || shard4_failed || readers_failed {
+    if regressions > 0 || shard4_failed || readers_failed || server8_failed {
         eprintln!("bench_diff: {regressions} gated cell(s) regressed beyond {tolerance:.2}");
         std::process::exit(1);
     }
     println!(
         "\nbench_diff: all {} gated cells within tolerance",
-        diffs.len() + shard_diffs.len() + reader_diffs.len()
+        diffs.len() + shard_diffs.len() + reader_diffs.len() + server_diffs.len()
     );
 }

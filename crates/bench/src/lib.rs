@@ -13,6 +13,7 @@ pub mod diff;
 pub mod jpab;
 pub mod micro;
 pub mod report;
+pub mod srv;
 
 /// Parses `--n <count>` from argv, falling back to `default`.
 pub fn scale_arg(default: usize) -> usize {

@@ -1,0 +1,61 @@
+//! Server throughput cell: drives a fresh in-process espresso-server
+//! (4 shards, temp heap) over real TCP with the loadgen harness, at 1
+//! and N connections. The gated number is the N-connection over
+//! 1-connection ops/s ratio — cross-connection group commit is what
+//! makes it exceed 1: concurrent writers share epoch seals, so per-op
+//! durability cost falls with concurrency, while a single connection
+//! pays a full seal round-trip per write.
+
+use std::time::Duration;
+
+use espresso_server::load::{run_load, LoadConfig, LoadReport};
+use espresso_server::server::{Server, ServerConfig, ServerHandle};
+
+/// Boots the benchmark server configuration: 4 shards on a temp heap,
+/// generous commit timeout (the bench must measure throughput, not
+/// backpressure refusals).
+fn start_server() -> ServerHandle {
+    Server::start(ServerConfig {
+        shards: 4,
+        shard_bytes: 32 << 20,
+        commit_timeout: Duration::from_secs(30),
+        max_pending: 1 << 20,
+        ..ServerConfig::default()
+    })
+    .expect("start bench server")
+}
+
+/// Runs `ops` total operations (50/50 read/write mix, zipfian keys)
+/// over `conns` connections against a fresh server; returns the load
+/// report (ops/s, p50/p99).
+///
+/// # Panics
+///
+/// If the server fails to start, a connection fails, or the run sees
+/// errors/BUSY — a throughput cell measured under refusals would be
+/// meaningless, so it fails loudly instead.
+pub fn run_server_throughput(conns: usize, ops: usize) -> LoadReport {
+    let handle = start_server();
+    let report = run_load(&LoadConfig {
+        addr: handle.addr(),
+        conns,
+        ops,
+        read_pct: 50,
+        keys_per_conn: 256,
+        value_len: 64,
+        zipf_theta: 0.99,
+        check: false,
+        ..LoadConfig::default()
+    })
+    .expect("loadgen run");
+    handle.stop_and_wait();
+    assert_eq!(
+        report.errors, 0,
+        "server bench saw error responses; cell is invalid"
+    );
+    assert_eq!(
+        report.busy, 0,
+        "server bench hit backpressure; raise max_pending/timeout"
+    );
+    report
+}

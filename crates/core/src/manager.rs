@@ -542,6 +542,30 @@ impl HeapHandle {
             .map_or(0, |p| p.durable_epoch())
     }
 
+    /// Commit epochs sealed but not yet applied: the depth of the flush
+    /// pipeline's queue. A serving layer polls this to decide when the
+    /// pipeline is lagging and new writes should be refused (backpressure)
+    /// instead of queueing unboundedly behind a slow or paused apply.
+    pub fn pending_commits(&self) -> usize {
+        self.inner
+            .pipeline
+            .lock()
+            .as_ref()
+            .map_or(0, |p| p.pending())
+    }
+
+    /// Whether background applies are currently paused (see
+    /// [`set_flush_paused`](Self::set_flush_paused)) — the observation
+    /// half of the crash-injection hook, so callers can tell a paused
+    /// pipeline from a merely slow one.
+    pub fn flush_paused(&self) -> bool {
+        self.inner
+            .pipeline
+            .lock()
+            .as_ref()
+            .is_some_and(|p| p.is_paused())
+    }
+
     /// Pauses (or resumes) the background applies — with
     /// [`abort_pending_commits`](Self::abort_pending_commits), the
     /// deterministic crash-injection hook for the window between a sealed

@@ -35,7 +35,7 @@
 use espresso_object::{FieldDesc, KlassId, Ref};
 
 use crate::heap::{HeapCensus, LoadOptions};
-use crate::manager::{CommitReport, CommitTicket, HeapHandle, HeapManager};
+use crate::manager::{CommitReport, CommitState, CommitTicket, HeapHandle, HeapManager};
 use crate::txn::HeapTxn;
 use crate::{PjhConfig, PjhError};
 
@@ -53,6 +53,45 @@ impl ShardedCommitTicket {
     /// Per-shard tickets, in shard order.
     pub fn tickets(&self) -> &[CommitTicket] {
         &self.tickets
+    }
+
+    /// Where the fan-out stands right now, without consuming the barrier
+    /// or blocking — the sharded counterpart of [`CommitTicket::state`]
+    /// (which PR 6 added only to the single-heap ticket; a serving
+    /// layer's commit leader polls *this* to fan replies out as shards
+    /// turn durable). Aggregation rules:
+    ///
+    /// * [`CommitState::Durable`] once **every** shard's epoch is durable
+    ///   — the same condition under which [`wait`](Self::wait) returns
+    ///   `Ok`.
+    /// * [`CommitState::Failed`] as soon as **any** shard's epoch sits in
+    ///   its pipeline's failure cascade uncovered (first failing shard's
+    ///   reason, tagged with its index). Like the single-heap state, this
+    ///   heals back to in-flight/durable once a later apply covers the
+    ///   restored lines.
+    /// * [`CommitState::InFlight`] otherwise.
+    pub fn state(&self) -> CommitState {
+        let mut all_durable = true;
+        for (shard, ticket) in self.tickets.iter().enumerate() {
+            match ticket.state() {
+                CommitState::Durable => {}
+                CommitState::InFlight => all_durable = false,
+                CommitState::Failed(reason) => {
+                    return CommitState::Failed(format!("shard {shard}: {reason}"));
+                }
+            }
+        }
+        if all_durable {
+            CommitState::Durable
+        } else {
+            CommitState::InFlight
+        }
+    }
+
+    /// Whether every shard's epoch has reached its image file — shorthand
+    /// for `self.state() == CommitState::Durable`.
+    pub fn is_durable(&self) -> bool {
+        matches!(self.state(), CommitState::Durable)
     }
 
     /// Blocks until every shard's sealed epoch is durable, returning the
@@ -370,6 +409,28 @@ impl ShardedHeap {
         self.commit()?.wait()
     }
 
+    /// Deepest per-shard flush-pipeline queue: commit epochs sealed but
+    /// not yet applied, maximized over shards. The serving layer's
+    /// backpressure signal — when one shard's pipeline lags, writes
+    /// routed anywhere may still be waiting on it at the all-shards
+    /// barrier, so the worst shard is the honest number.
+    pub fn pending_commits(&self) -> usize {
+        self.shards
+            .iter()
+            .map(HeapHandle::pending_commits)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Pauses (or resumes) background applies on **every** shard — the
+    /// fan-out of [`HeapHandle::set_flush_paused`], used by tests to make
+    /// a lagging flush pipeline deterministic.
+    pub fn set_flush_paused(&self, paused: bool) {
+        for s in &self.shards {
+            s.set_flush_paused(paused);
+        }
+    }
+
     /// Collects every shard, fanning the collections out on a scoped
     /// thread pool (one thread per shard) — shards are independent GC
     /// domains, so their collections never need to serialize.
@@ -580,6 +641,45 @@ mod tests {
         for i in 0..4 {
             sh.handle(i).with(|h| h.verify_integrity().unwrap());
         }
+    }
+
+    #[test]
+    fn sharded_ticket_state_is_non_consuming_and_aggregates() {
+        let mgr = HeapManager::temp().unwrap();
+        let sh = ShardedHeap::create(&mgr, "st", 2, 4 << 20, PjhConfig::small()).unwrap();
+        let k = sh.register_instance("Rec", fields()).unwrap();
+        for i in 0..16 {
+            let key = format!("k{i}");
+            let r = sh.alloc_instance(&key, &k).unwrap();
+            sh.set_field(r, 0, i);
+            sh.flush_object(r);
+        }
+        // Hold every shard's apply: the fan-out is observably in flight,
+        // and asking does not consume the barrier.
+        sh.set_flush_paused(true);
+        let ticket = sh.commit().unwrap();
+        assert_eq!(ticket.state(), CommitState::InFlight);
+        assert!(!ticket.is_durable());
+        assert_eq!(ticket.state(), CommitState::InFlight);
+        assert!(sh.pending_commits() >= 1, "queued applies are observable");
+        // Abort one shard's queued apply: the aggregate turns Failed with
+        // the shard named, while the other shard is merely in flight.
+        assert_eq!(sh.handle(0).abort_pending_commits(), 1);
+        match ticket.state() {
+            CommitState::Failed(reason) => {
+                assert!(reason.starts_with("shard 0:"), "{reason}");
+            }
+            other => panic!("one aborted shard must surface as Failed, got {other:?}"),
+        }
+        // Resume and heal shard 0 with a fresh commit; once every shard's
+        // epoch is durable the same barrier reads Durable — and `wait`
+        // (the consuming path) agrees.
+        sh.set_flush_paused(false);
+        sh.handle(0).commit_sync().unwrap();
+        sh.handle(1).commit_sync().unwrap();
+        assert_eq!(ticket.state(), CommitState::Durable);
+        assert!(ticket.is_durable());
+        assert_eq!(sh.pending_commits(), 0);
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //! | [`jpa`] | `espresso-jpa` | JPA/DataNucleus baseline |
 //! | [`pjo`] | `espresso-pjo` | **Persistent Java Object** provider (§5) |
 //!
+//! Two workspace crates sit beside the facade rather than behind it:
+//! `espresso-server` (the networked front end — see `docs/PROTOCOL.md`
+//! and `docs/ARCHITECTURE.md`) and `espresso-bench` (figure
+//! regeneration and the committed CI baseline).
+//!
 //! # Quickstart — the typed object API
 //!
 //! The heap API is session-based: a [`heap::HeapManager`] maps names to
@@ -130,8 +135,10 @@
 //!
 //! # Migration from the pre-session API
 //!
-//! The deprecated pre-session shims (`create_heap`, `load_heap`, `save`)
-//! lived for one release and are now **removed**:
+//! The pre-session shims (`create_heap`, `load_heap`, `save`) carried
+//! `#[deprecated]` markers for one release; both the shims and the
+//! markers are gone now, so code still calling them fails to compile
+//! rather than warning. The replacements:
 //!
 //! | Old (removed) | New |
 //! |---|---|

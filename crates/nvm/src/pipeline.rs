@@ -288,6 +288,14 @@ impl FlushPipeline {
         !state.in_flight && state.queue.is_empty()
     }
 
+    /// Whether the worker is currently paused ([`set_paused`](Self::set_paused)).
+    /// Serving layers use this together with [`pending`](Self::pending) to
+    /// observe a lagging pipeline and shed load instead of queueing
+    /// unboundedly.
+    pub fn is_paused(&self) -> bool {
+        self.shared.state.lock().unwrap().paused
+    }
+
     /// Pauses (or resumes) the worker. While paused, submits queue up and
     /// `wait_durable` on them blocks — pair with
     /// [`abort_pending`](Self::abort_pending) to test crash windows

@@ -1,0 +1,72 @@
+//! The espresso-server binary: boots a [`ShardedHeap`]-backed server and
+//! serves until a `SHUTDOWN` opcode (or SIGTERM-by-socket via a client)
+//! drains it.
+//!
+//! ```text
+//! espresso-server [--addr 127.0.0.1:7878] [--shards 4] [--shard-mb 16]
+//!                 [--dir PATH] [--base kv] [--max-pending 64]
+//!                 [--commit-timeout-ms 1000] [--name-table 8192]
+//! ```
+//!
+//! With no `--dir` the server runs on a temp heap that is removed on
+//! exit; pass a directory for persistence across restarts. The bound
+//! address is printed as `listening on ADDR` once accepting (port 0
+//! picks a free port).
+//!
+//! [`ShardedHeap`]: espresso_core::ShardedHeap
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use espresso_server::server::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: espresso-server [--addr A] [--shards N] [--shard-mb MB] [--dir PATH] \
+         [--base NAME] [--max-pending N] [--commit-timeout-ms MS] [--name-table ENTRIES]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => config.addr = value(),
+            "--shards" => config.shards = parse(&value()),
+            "--shard-mb" => config.shard_bytes = parse::<usize>(&value()) << 20,
+            "--dir" => config.dir = Some(value().into()),
+            "--base" => config.base = value(),
+            "--max-pending" => config.max_pending = parse(&value()),
+            "--commit-timeout-ms" => {
+                config.commit_timeout = Duration::from_millis(parse(&value()));
+            }
+            "--name-table" => config.name_table_capacity = parse(&value()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    let handle = match Server::start(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("espresso-server: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", handle.addr());
+    handle.wait();
+    println!("espresso-server: clean shutdown");
+    ExitCode::SUCCESS
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad numeric argument: {s}");
+        std::process::exit(2);
+    })
+}

@@ -1,0 +1,114 @@
+//! Load generator for espresso-server: N connections, read/write mix,
+//! zipfian keys, latency percentiles, optional read-your-writes check.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT [--conns 4] [--ops 10000] [--read-pct 70]
+//!         [--keys 256] [--value-len 64] [--zipf 0.99] [--seed N]
+//!         [--check] [--shutdown]
+//! ```
+//!
+//! `--check` verifies every read against a local model (per-connection
+//! disjoint keyspaces make this exact even under concurrency) and exits
+//! non-zero on any mismatch — this is the CI smoke check. `--check`
+//! assumes the keyspace is fresh (keys `c{conn}-k{i}` unset at start).
+//! `--shutdown` sends the `SHUTDOWN` opcode after the run so a scripted
+//! server exits cleanly.
+
+use std::net::ToSocketAddrs;
+use std::process::ExitCode;
+
+use espresso_server::client::Client;
+use espresso_server::load::{run_load, LoadConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen --addr HOST:PORT [--conns N] [--ops N] [--read-pct P] [--keys N] \
+         [--value-len N] [--zipf THETA] [--seed N] [--check] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut config = LoadConfig::default();
+    let mut addr_given = false;
+    let mut shutdown_after = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => {
+                let addr = value();
+                config.addr = addr
+                    .to_socket_addrs()
+                    .ok()
+                    .and_then(|mut it| it.next())
+                    .unwrap_or_else(|| {
+                        eprintln!("bad address: {addr}");
+                        std::process::exit(2);
+                    });
+                addr_given = true;
+            }
+            "--conns" => config.conns = parse(&value()),
+            "--ops" => config.ops = parse(&value()),
+            "--read-pct" => config.read_pct = parse(&value()),
+            "--keys" => config.keys_per_conn = parse(&value()),
+            "--value-len" => config.value_len = parse(&value()),
+            "--zipf" => config.zipf_theta = parse(&value()),
+            "--seed" => config.seed = parse(&value()),
+            "--check" => config.check = true,
+            "--shutdown" => shutdown_after = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    if !addr_given {
+        usage();
+    }
+    let report = match run_load(&config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "ops_done={} busy={} errors={} check_failures={} elapsed_ms={} ops_per_sec={:.0} \
+         p50_us={} p99_us={}",
+        report.ops_done,
+        report.busy,
+        report.errors,
+        report.check_failures,
+        report.elapsed.as_millis(),
+        report.ops_per_sec(),
+        report.p50_us,
+        report.p99_us,
+    );
+    if shutdown_after {
+        match Client::connect(config.addr).and_then(|mut c| {
+            c.shutdown()
+                .map_err(|e| std::io::Error::other(e.to_string()))
+        }) {
+            Ok(()) => println!("shutdown acknowledged"),
+            Err(e) => {
+                eprintln!("loadgen: shutdown failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if report.errors > 0 || report.check_failures > 0 {
+        eprintln!("loadgen: FAILED (errors or check failures)");
+        return ExitCode::FAILURE;
+    }
+    println!("loadgen: OK");
+    ExitCode::SUCCESS
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad numeric argument: {s}");
+        std::process::exit(2);
+    })
+}

@@ -1,0 +1,230 @@
+//! A small blocking client for the wire protocol: one request in flight
+//! per call, plus explicit pipelining helpers for tests.
+
+use std::io::BufWriter;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{self, ProtocolError, Request, Response, Status, TxnOp};
+
+/// A blocking connection to an espresso-server.
+///
+/// Every helper sends one request and reads one response. For pipelining
+/// (several requests on the wire before any response is read), use
+/// [`send`](Self::send) repeatedly followed by matching
+/// [`recv`](Self::recv) calls — the server answers strictly in order.
+pub struct Client {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = stream.try_clone()?;
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Writes one request frame without waiting for the response
+    /// (pipelining). Pair with [`recv`](Self::recv).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn send(&mut self, req: &Request) -> Result<(), ProtocolError> {
+        protocol::write_frame(&mut self.writer, &protocol::encode_request(req))
+    }
+
+    /// Reads one response frame.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors; [`ProtocolError::Malformed`] on a bad response
+    /// frame; an unexpected EOF surfaces as `Malformed`.
+    pub fn recv(&mut self) -> Result<Response, ProtocolError> {
+        match protocol::read_frame(&mut self.reader)? {
+            Some(body) => protocol::decode_response(&body),
+            None => Err(ProtocolError::Malformed(
+                "connection closed while awaiting a response",
+            )),
+        }
+    }
+
+    /// One round trip: send `req`, read its response.
+    ///
+    /// # Errors
+    ///
+    /// See [`send`](Self::send) and [`recv`](Self::recv).
+    pub fn request(&mut self, req: &Request) -> Result<Response, ProtocolError> {
+        self.send(req)?;
+        self.recv()
+    }
+
+    /// `PING` → true on an `OK` answer.
+    ///
+    /// # Errors
+    ///
+    /// Protocol/socket errors.
+    pub fn ping(&mut self) -> Result<bool, ProtocolError> {
+        Ok(self.request(&Request::Ping)?.status == Status::Ok)
+    }
+
+    /// `GET key` → `Some(value)`, or `None` when the key is unset.
+    ///
+    /// # Errors
+    ///
+    /// Protocol/socket errors; a non-`OK`, non-`NOT_FOUND` status.
+    pub fn get(&mut self, key: &str) -> Result<Option<Vec<u8>>, ProtocolError> {
+        let resp = self.request(&Request::Get {
+            key: key.to_string(),
+        })?;
+        match resp.status {
+            Status::Ok => Ok(Some(resp.payload)),
+            Status::NotFound => Ok(None),
+            other => Err(unexpected(other, &resp)),
+        }
+    }
+
+    /// `SET key value`, acknowledged durable.
+    ///
+    /// # Errors
+    ///
+    /// Protocol/socket errors; a non-`OK` status (including `BUSY` under
+    /// backpressure — retryable).
+    pub fn set(&mut self, key: &str, value: &[u8]) -> Result<(), ProtocolError> {
+        let resp = self.request(&Request::Set {
+            key: key.to_string(),
+            value: value.to_vec(),
+        })?;
+        match resp.status {
+            Status::Ok => Ok(()),
+            other => Err(unexpected(other, &resp)),
+        }
+    }
+
+    /// `DEL key` → true when the key existed.
+    ///
+    /// # Errors
+    ///
+    /// Protocol/socket errors; a non-`OK`, non-`NOT_FOUND` status.
+    pub fn del(&mut self, key: &str) -> Result<bool, ProtocolError> {
+        let resp = self.request(&Request::Del {
+            key: key.to_string(),
+        })?;
+        match resp.status {
+            Status::Ok => Ok(true),
+            Status::NotFound => Ok(false),
+            other => Err(unexpected(other, &resp)),
+        }
+    }
+
+    /// `FGET key index` → `Some(u64)` from the entry's typed field slot.
+    ///
+    /// # Errors
+    ///
+    /// Protocol/socket errors; a non-`OK`, non-`NOT_FOUND` status.
+    pub fn fget(&mut self, key: &str, index: u8) -> Result<Option<u64>, ProtocolError> {
+        let resp = self.request(&Request::FGet {
+            key: key.to_string(),
+            index,
+        })?;
+        match resp.status {
+            Status::Ok => {
+                if resp.payload.len() != 8 {
+                    return Err(ProtocolError::Malformed("FGET payload is not 8 bytes"));
+                }
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&resp.payload);
+                Ok(Some(u64::from_be_bytes(b)))
+            }
+            Status::NotFound => Ok(None),
+            other => Err(unexpected(other, &resp)),
+        }
+    }
+
+    /// `FSET key index value`, acknowledged durable.
+    ///
+    /// # Errors
+    ///
+    /// Protocol/socket errors; a non-`OK` status.
+    pub fn fset(&mut self, key: &str, index: u8, value: u64) -> Result<(), ProtocolError> {
+        let resp = self.request(&Request::FSet {
+            key: key.to_string(),
+            index,
+            value,
+        })?;
+        match resp.status {
+            Status::Ok => Ok(()),
+            other => Err(unexpected(other, &resp)),
+        }
+    }
+
+    /// `TXN ops`: all-or-nothing; every key must route to one shard.
+    ///
+    /// # Errors
+    ///
+    /// Protocol/socket errors; a non-`OK` status (`ERR` for cross-shard
+    /// key sets).
+    pub fn txn(&mut self, ops: Vec<TxnOp>) -> Result<(), ProtocolError> {
+        let resp = self.request(&Request::Txn { ops })?;
+        match resp.status {
+            Status::Ok => Ok(()),
+            other => Err(unexpected(other, &resp)),
+        }
+    }
+
+    /// `STATS` → the server's `key=value` text block.
+    ///
+    /// # Errors
+    ///
+    /// Protocol/socket errors; a non-`OK` status.
+    pub fn stats(&mut self) -> Result<String, ProtocolError> {
+        let resp = self.request(&Request::Stats)?;
+        match resp.status {
+            Status::Ok => Ok(String::from_utf8_lossy(&resp.payload).into_owned()),
+            other => Err(unexpected(other, &resp)),
+        }
+    }
+
+    /// `FLUSHCTL`: pause or resume every shard's flush pipeline (admin).
+    ///
+    /// # Errors
+    ///
+    /// Protocol/socket errors; a non-`OK` status.
+    pub fn flushctl(&mut self, pause: bool) -> Result<(), ProtocolError> {
+        let resp = self.request(&Request::FlushCtl { pause })?;
+        match resp.status {
+            Status::Ok => Ok(()),
+            other => Err(unexpected(other, &resp)),
+        }
+    }
+
+    /// `SHUTDOWN`: asks the server to drain and exit; the `OK` reply
+    /// arrives before the server stops.
+    ///
+    /// # Errors
+    ///
+    /// Protocol/socket errors; a non-`OK` status.
+    pub fn shutdown(&mut self) -> Result<(), ProtocolError> {
+        let resp = self.request(&Request::Shutdown)?;
+        match resp.status {
+            Status::Ok => Ok(()),
+            other => Err(unexpected(other, &resp)),
+        }
+    }
+}
+
+fn unexpected(status: Status, resp: &Response) -> ProtocolError {
+    let detail = String::from_utf8_lossy(&resp.payload).into_owned();
+    ProtocolError::Io(std::io::Error::other(format!(
+        "server answered {status:?}: {detail}"
+    )))
+}

@@ -1,0 +1,27 @@
+//! espresso-server: a networked serving front end over
+//! [`espresso_core::ShardedHeap`].
+//!
+//! This crate turns the embedded persistent heap into a small network
+//! service: a TCP server speaking a length-prefixed binary protocol
+//! (`GET`/`SET`/`DEL` on raw values, `FGET`/`FSET` on typed u64 fields,
+//! multi-key `TXN`, plus `PING`/`STATS` and admin opcodes), a blocking
+//! [`client::Client`], and a load generator. The full wire format is
+//! specified in `docs/PROTOCOL.md`; the serving model (group commit
+//! across connections, lock-free reads, bounded backpressure) is
+//! documented on the [`server`] module.
+//!
+//! ```no_run
+//! use espresso_server::client::Client;
+//! use espresso_server::server::{Server, ServerConfig};
+//!
+//! let handle = Server::start(ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! client.set("greeting", b"hello over the wire").unwrap();
+//! assert_eq!(client.get("greeting").unwrap().as_deref(), Some(&b"hello over the wire"[..]));
+//! handle.stop_and_wait();
+//! ```
+
+pub mod client;
+pub mod load;
+pub mod protocol;
+pub mod server;

@@ -1,0 +1,285 @@
+//! Load generation over the wire protocol: N client connections, a
+//! configurable read/write mix, zipfian key popularity, latency
+//! percentiles, and an optional read-your-writes `check` mode.
+//!
+//! Used by the `loadgen` binary and by the bench harness's
+//! `server_throughput` cell. Self-contained RNG and zipf sampler — the
+//! vendored `rand` shim is deliberately minimal.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::client::Client;
+use crate::protocol::{Request, Status};
+
+/// Parameters for [`run_load`].
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Concurrent client connections.
+    pub conns: usize,
+    /// Total operations across all connections.
+    pub ops: usize,
+    /// Percentage of operations that are reads (0–100).
+    pub read_pct: u8,
+    /// Keys per connection (each connection owns a disjoint keyspace, so
+    /// read-your-writes is verifiable under concurrency).
+    pub keys_per_conn: usize,
+    /// Value size in bytes for writes.
+    pub value_len: usize,
+    /// Zipf exponent for key popularity (0 = uniform).
+    pub zipf_theta: f64,
+    /// Verify read-your-writes against a local model; count mismatches
+    /// as check failures.
+    pub check: bool,
+    /// RNG seed (per-connection streams derive from it).
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            conns: 4,
+            ops: 10_000,
+            read_pct: 70,
+            keys_per_conn: 256,
+            value_len: 64,
+            zipf_theta: 0.99,
+            check: false,
+            seed: 0x5eed_e59e_e550,
+        }
+    }
+}
+
+/// What a load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Operations that completed with a definitive answer (`OK` or
+    /// `NOT_FOUND`).
+    pub ops_done: u64,
+    /// Operations refused or unacknowledged under backpressure.
+    pub busy: u64,
+    /// Error responses.
+    pub errors: u64,
+    /// Check-mode verification failures (0 when `check` is off).
+    pub check_failures: u64,
+    /// Wall-clock for the whole run.
+    pub elapsed: Duration,
+    /// Median per-op latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile per-op latency, microseconds.
+    pub p99_us: u64,
+}
+
+impl LoadReport {
+    /// Completed operations per second of wall-clock.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.elapsed.as_secs_f64() == 0.0 {
+            return 0.0;
+        }
+        self.ops_done as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// xorshift64* — tiny, deterministic, good enough for key/mix draws.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+    /// Uniform in `[0, n)`.
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+    /// Uniform in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Zipfian sampler over `[0, n)` via a precomputed CDF and binary
+/// search; `theta = 0` degenerates to uniform.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, theta: f64) -> Zipf {
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 1..=n {
+            total += 1.0 / (i as f64).powf(theta);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+    fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.unit();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[derive(Default)]
+struct Totals {
+    ops_done: AtomicU64,
+    busy: AtomicU64,
+    errors: AtomicU64,
+    check_failures: AtomicU64,
+}
+
+/// Runs the configured load and aggregates per-connection results.
+///
+/// Each connection owns keys `c{conn}-k{i}`, so every read observes only
+/// that connection's writes and `check` mode can assert exact
+/// read-your-writes. A `BUSY` write leaves the key's expected value
+/// *uncertain* (applied-but-unacknowledged is allowed) until the next
+/// acknowledged write.
+///
+/// # Errors
+///
+/// Connection setup failure on any worker.
+pub fn run_load(config: &LoadConfig) -> std::io::Result<LoadReport> {
+    let totals = Arc::new(Totals::default());
+    let mut latencies: Vec<u64> = Vec::new();
+    let started = Instant::now();
+    let ops_per_conn = config.ops.div_ceil(config.conns.max(1));
+    let results: Vec<std::io::Result<Vec<u64>>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for conn in 0..config.conns {
+            let totals = Arc::clone(&totals);
+            handles.push(scope.spawn(move || run_conn(config, conn, ops_per_conn, &totals)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load worker"))
+            .collect()
+    });
+    for r in results {
+        latencies.extend(r?);
+    }
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies.len() as f64 * p).ceil() as usize).saturating_sub(1);
+        latencies[idx.min(latencies.len() - 1)]
+    };
+    Ok(LoadReport {
+        ops_done: totals.ops_done.load(Ordering::Relaxed),
+        busy: totals.busy.load(Ordering::Relaxed),
+        errors: totals.errors.load(Ordering::Relaxed),
+        check_failures: totals.check_failures.load(Ordering::Relaxed),
+        elapsed: started.elapsed(),
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+    })
+}
+
+/// The expected value under `check`: a deterministic function of the key
+/// and its write version, padded/truncated to `value_len`.
+fn check_value(key: &str, version: u64, value_len: usize) -> Vec<u8> {
+    let mut v = format!("v{version}:{key}:").into_bytes();
+    while v.len() < value_len {
+        v.push(b'a' + (v.len() % 26) as u8);
+    }
+    v.truncate(value_len.max(1));
+    v
+}
+
+fn run_conn(
+    config: &LoadConfig,
+    conn: usize,
+    ops: usize,
+    totals: &Totals,
+) -> std::io::Result<Vec<u64>> {
+    let mut client = Client::connect(config.addr)?;
+    let mut rng = Rng::new(config.seed ^ (conn as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let zipf = Zipf::new(config.keys_per_conn.max(1), config.zipf_theta);
+    // Expected value per key index: None = never written or deleted;
+    // an entry flagged uncertain (BUSY write) is skipped by the checker.
+    let mut model: HashMap<usize, (Vec<u8>, bool)> = HashMap::new();
+    let mut versions: HashMap<usize, u64> = HashMap::new();
+    let mut latencies = Vec::with_capacity(ops);
+    for _ in 0..ops {
+        let key_idx = zipf.sample(&mut rng);
+        let key = format!("c{conn}-k{key_idx}");
+        let is_read = rng.below(100) < usize::from(config.read_pct.min(100));
+        let op_started = Instant::now();
+        if is_read {
+            let got = client.get(&key);
+            latencies.push(op_started.elapsed().as_micros() as u64);
+            match got {
+                Ok(value) => {
+                    totals.ops_done.fetch_add(1, Ordering::Relaxed);
+                    if config.check {
+                        let expected = model.get(&key_idx);
+                        let ok = match (expected, &value) {
+                            // Uncertain entries accept any outcome.
+                            (Some((_, true)), _) => true,
+                            (Some((want, false)), Some(got)) => want == got,
+                            (Some((_, false)), None) => false,
+                            (None, None) => true,
+                            // A never-written key must not exist (keyspaces
+                            // are disjoint per connection).
+                            (None, Some(_)) => false,
+                        };
+                        if !ok {
+                            totals.check_failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                Err(_) => {
+                    totals.errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        } else {
+            let version = versions.entry(key_idx).or_insert(0);
+            *version += 1;
+            let value = check_value(&key, *version, config.value_len);
+            let resp = client.request(&Request::Set {
+                key: key.clone(),
+                value: value.clone(),
+            });
+            latencies.push(op_started.elapsed().as_micros() as u64);
+            match resp {
+                Ok(resp) => match resp.status {
+                    Status::Ok => {
+                        totals.ops_done.fetch_add(1, Ordering::Relaxed);
+                        model.insert(key_idx, (value, false));
+                    }
+                    Status::Busy => {
+                        totals.busy.fetch_add(1, Ordering::Relaxed);
+                        // Applied-or-not is unknown; stop asserting this
+                        // key until the next acknowledged write.
+                        model.insert(key_idx, (value, true));
+                    }
+                    _ => {
+                        totals.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                },
+                Err(_) => {
+                    totals.errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+    Ok(latencies)
+}

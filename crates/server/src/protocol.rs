@@ -1,0 +1,668 @@
+//! The espresso wire protocol: length-prefixed binary frames over TCP.
+//!
+//! This module is the single source of truth for the encoding; the
+//! human-readable spec in `docs/PROTOCOL.md` is written against it and
+//! precise enough to implement a client from. The shape, in one line:
+//!
+//! ```text
+//! request  = u32 len | u8 version (=1) | u8 opcode | payload
+//! response = u32 len | u8 status  | payload
+//! ```
+//!
+//! `len` is big-endian and counts everything *after* itself (so version +
+//! opcode + payload for requests, status + payload for responses). All
+//! integers are big-endian. Strings (keys) are `u16 len | bytes` and must
+//! be UTF-8; values are raw bytes as `u32 len | bytes`.
+//!
+//! Decoding is **total**: any byte sequence either decodes or returns a
+//! [`ProtocolError`] — never a panic, never an out-of-bounds read — and
+//! frames larger than [`MAX_FRAME`] are refused before their payload is
+//! buffered, so a hostile peer cannot balloon server memory. The
+//! `tests/protocol_props.rs` property suite holds the codec to that.
+
+use std::io::{self, Read, Write};
+
+/// The one protocol version this build speaks; requests carrying any
+/// other version byte are answered with [`Status::BadRequest`].
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Hard ceiling on a frame's `len` field (16 MiB). Covers the largest
+/// legal value (1 MiB) with generous headroom; anything above is refused
+/// at the length prefix, before allocation.
+pub const MAX_FRAME: u32 = 16 << 20;
+
+/// Largest value accepted in a `SET` (1 MiB).
+pub const MAX_VALUE: usize = 1 << 20;
+
+/// Largest key accepted (4 KiB; keys are routing hashes and root-table
+/// names, not payloads).
+pub const MAX_KEY: usize = 4 << 10;
+
+/// Typed field slots per key: every key's entry carries this many u64
+/// fields addressable by `FGET`/`FSET` index.
+pub const NUM_FIELDS: usize = 8;
+
+/// Most operations accepted in one `TXN`. The server applies a
+/// transaction through a bounded undo log, so the op count is capped at
+/// the wire (a larger count is a malformed frame).
+pub const MAX_TXN_OPS: usize = 64;
+
+/// Request opcodes (the byte after the version).
+pub mod opcode {
+    /// Liveness probe; empty payload, empty `OK` reply.
+    pub const PING: u8 = 0x01;
+    /// Read a key's value: `key`.
+    pub const GET: u8 = 0x02;
+    /// Write a key's value: `key value`.
+    pub const SET: u8 = 0x03;
+    /// Delete a key: `key`.
+    pub const DEL: u8 = 0x04;
+    /// Read typed field `index` of a key: `key u8(index)`.
+    pub const FGET: u8 = 0x05;
+    /// Write typed field `index` of a key: `key u8(index) u64(value)`.
+    pub const FSET: u8 = 0x06;
+    /// Multi-key transaction: `u16 count` (at most [`MAX_TXN_OPS`]),
+    /// then sub-ops. All keys must route to one shard.
+    ///
+    /// [`MAX_TXN_OPS`]: super::MAX_TXN_OPS
+    pub const TXN: u8 = 0x07;
+    /// Server statistics; empty payload, UTF-8 text reply.
+    pub const STATS: u8 = 0x08;
+    /// Admin: pause/resume the flush pipeline: `u8 (1 = pause)`.
+    pub const FLUSHCTL: u8 = 0x09;
+    /// Admin: drain, final-commit, and stop the server.
+    pub const SHUTDOWN: u8 = 0x0A;
+}
+
+/// Sub-opcodes inside a `TXN` payload.
+pub mod txnop {
+    /// `key value`
+    pub const SET: u8 = 0x01;
+    /// `key`
+    pub const DEL: u8 = 0x02;
+    /// `key u8(index) u64(value)`
+    pub const FSET: u8 = 0x03;
+}
+
+/// Response status bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// Success; payload depends on the request.
+    Ok = 0x00,
+    /// The key has no entry (GET/FGET/DEL of a missing key).
+    NotFound = 0x01,
+    /// Backpressure: the commit pipeline is lagging and the write was
+    /// **not applied**. Retry later.
+    Busy = 0x02,
+    /// The request was well-formed but failed (payload: UTF-8 reason).
+    Err = 0x03,
+    /// The request was malformed or unversioned (payload: UTF-8 reason).
+    /// The server closes the connection after sending this.
+    BadRequest = 0x04,
+}
+
+impl Status {
+    /// The status for a wire byte, if it names one.
+    pub fn from_byte(b: u8) -> Option<Status> {
+        match b {
+            0x00 => Some(Status::Ok),
+            0x01 => Some(Status::NotFound),
+            0x02 => Some(Status::Busy),
+            0x03 => Some(Status::Err),
+            0x04 => Some(Status::BadRequest),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Read `key`'s value.
+    Get { key: String },
+    /// Write `key`'s value (upsert; replies once durable).
+    Set { key: String, value: Vec<u8> },
+    /// Delete `key` (replies once durable).
+    Del { key: String },
+    /// Read typed field `index` of `key`.
+    FGet { key: String, index: u8 },
+    /// Write typed field `index` of `key` (upsert; replies once durable).
+    FSet { key: String, index: u8, value: u64 },
+    /// Apply `ops` atomically. Every key must route to the same shard —
+    /// shards are independent atomicity domains.
+    Txn { ops: Vec<TxnOp> },
+    /// Server statistics snapshot.
+    Stats,
+    /// Pause (`true`) or resume (`false`) every shard's flush pipeline.
+    FlushCtl { pause: bool },
+    /// Drain and stop the server.
+    Shutdown,
+}
+
+/// One operation inside a [`Request::Txn`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnOp {
+    /// Write `key`'s value.
+    Set { key: String, value: Vec<u8> },
+    /// Delete `key`.
+    Del { key: String },
+    /// Write typed field `index` of `key`.
+    FSet { key: String, index: u8, value: u64 },
+}
+
+impl TxnOp {
+    /// The op's routing key.
+    pub fn key(&self) -> &str {
+        match self {
+            TxnOp::Set { key, .. } | TxnOp::Del { key } | TxnOp::FSet { key, .. } => key,
+        }
+    }
+}
+
+/// One decoded response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Outcome class.
+    pub status: Status,
+    /// `GET`: the value bytes. `FGET`: 8 bytes, big-endian u64. `STATS`:
+    /// UTF-8 text. `Err`/`BadRequest`: UTF-8 reason. Empty otherwise.
+    pub payload: Vec<u8>,
+}
+
+impl Response {
+    /// An empty-payload response.
+    pub fn status(status: Status) -> Response {
+        Response {
+            status,
+            payload: Vec::new(),
+        }
+    }
+
+    /// An `OK` carrying `payload`.
+    pub fn ok(payload: Vec<u8>) -> Response {
+        Response {
+            status: Status::Ok,
+            payload,
+        }
+    }
+
+    /// An `ERR` carrying a UTF-8 reason.
+    pub fn err(reason: impl Into<String>) -> Response {
+        Response {
+            status: Status::Err,
+            payload: reason.into().into_bytes(),
+        }
+    }
+
+    /// A `BAD_REQUEST` carrying a UTF-8 reason.
+    pub fn bad_request(reason: impl Into<String>) -> Response {
+        Response {
+            status: Status::BadRequest,
+            payload: reason.into().into_bytes(),
+        }
+    }
+}
+
+/// Why a frame failed to decode (or arrive).
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The underlying stream failed or closed mid-frame.
+    Io(io::Error),
+    /// The length prefix exceeds [`MAX_FRAME`] (refused before buffering).
+    FrameTooLarge(u32),
+    /// The version byte is not [`PROTOCOL_VERSION`].
+    BadVersion(u8),
+    /// Unknown opcode / status / sub-opcode byte.
+    BadOpcode(u8),
+    /// The payload is truncated, has trailing garbage, violates a size
+    /// bound, or holds non-UTF-8 where a string is required.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "i/o: {e}"),
+            ProtocolError::FrameTooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte cap")
+            }
+            ProtocolError::BadVersion(v) => {
+                write!(
+                    f,
+                    "protocol version {v} (this build speaks {PROTOCOL_VERSION})"
+                )
+            }
+            ProtocolError::BadOpcode(b) => write!(f, "unknown opcode byte 0x{b:02x}"),
+            ProtocolError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<io::Error> for ProtocolError {
+    fn from(e: io::Error) -> ProtocolError {
+        ProtocolError::Io(e)
+    }
+}
+
+/// Codec result.
+pub type Result<T> = std::result::Result<T, ProtocolError>;
+
+// ---- cursor-based, bounds-checked payload reading ----
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(ProtocolError::Malformed("truncated payload"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        let mut w = [0u8; 8];
+        w.copy_from_slice(b);
+        Ok(u64::from_be_bytes(w))
+    }
+
+    fn key(&mut self) -> Result<String> {
+        let len = self.u16()? as usize;
+        if len > MAX_KEY {
+            return Err(ProtocolError::Malformed("key exceeds MAX_KEY"));
+        }
+        if len == 0 {
+            return Err(ProtocolError::Malformed("empty key"));
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtocolError::Malformed("key is not UTF-8"))
+    }
+
+    fn value(&mut self) -> Result<Vec<u8>> {
+        let len = self.u32()? as usize;
+        if len > MAX_VALUE {
+            return Err(ProtocolError::Malformed("value exceeds MAX_VALUE"));
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn finish(&self) -> Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtocolError::Malformed("trailing bytes after payload"))
+        }
+    }
+}
+
+// ---- payload writing ----
+
+fn put_key(out: &mut Vec<u8>, key: &str) {
+    debug_assert!(key.len() <= MAX_KEY);
+    out.extend_from_slice(&(key.len() as u16).to_be_bytes());
+    out.extend_from_slice(key.as_bytes());
+}
+
+fn put_value(out: &mut Vec<u8>, value: &[u8]) {
+    debug_assert!(value.len() <= MAX_VALUE);
+    out.extend_from_slice(&(value.len() as u32).to_be_bytes());
+    out.extend_from_slice(value);
+}
+
+fn put_txn_op(out: &mut Vec<u8>, op: &TxnOp) {
+    match op {
+        TxnOp::Set { key, value } => {
+            out.push(txnop::SET);
+            put_key(out, key);
+            put_value(out, value);
+        }
+        TxnOp::Del { key } => {
+            out.push(txnop::DEL);
+            put_key(out, key);
+        }
+        TxnOp::FSet { key, index, value } => {
+            out.push(txnop::FSET);
+            put_key(out, key);
+            out.push(*index);
+            out.extend_from_slice(&value.to_be_bytes());
+        }
+    }
+}
+
+/// Encodes a request to its full wire frame (length prefix included).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut body = vec![PROTOCOL_VERSION];
+    match req {
+        Request::Ping => body.push(opcode::PING),
+        Request::Get { key } => {
+            body.push(opcode::GET);
+            put_key(&mut body, key);
+        }
+        Request::Set { key, value } => {
+            body.push(opcode::SET);
+            put_key(&mut body, key);
+            put_value(&mut body, value);
+        }
+        Request::Del { key } => {
+            body.push(opcode::DEL);
+            put_key(&mut body, key);
+        }
+        Request::FGet { key, index } => {
+            body.push(opcode::FGET);
+            put_key(&mut body, key);
+            body.push(*index);
+        }
+        Request::FSet { key, index, value } => {
+            body.push(opcode::FSET);
+            put_key(&mut body, key);
+            body.push(*index);
+            body.extend_from_slice(&value.to_be_bytes());
+        }
+        Request::Txn { ops } => {
+            body.push(opcode::TXN);
+            body.extend_from_slice(&(ops.len() as u16).to_be_bytes());
+            for op in ops {
+                put_txn_op(&mut body, op);
+            }
+        }
+        Request::Stats => body.push(opcode::STATS),
+        Request::FlushCtl { pause } => {
+            body.push(opcode::FLUSHCTL);
+            body.push(u8::from(*pause));
+        }
+        Request::Shutdown => body.push(opcode::SHUTDOWN),
+    }
+    frame(body)
+}
+
+/// Encodes a response to its full wire frame (length prefix included).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut body = Vec::with_capacity(1 + resp.payload.len());
+    body.push(resp.status as u8);
+    body.extend_from_slice(&resp.payload);
+    frame(body)
+}
+
+fn frame(body: Vec<u8>) -> Vec<u8> {
+    debug_assert!(body.len() <= MAX_FRAME as usize);
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decodes a request from a frame *body* (the bytes the length prefix
+/// counts: version, opcode, payload).
+///
+/// # Errors
+///
+/// Every malformation maps to a [`ProtocolError`]; no input panics.
+pub fn decode_request(body: &[u8]) -> Result<Request> {
+    let mut c = Cursor::new(body);
+    let version = c
+        .u8()
+        .map_err(|_| ProtocolError::Malformed("empty frame"))?;
+    if version != PROTOCOL_VERSION {
+        return Err(ProtocolError::BadVersion(version));
+    }
+    let op = c
+        .u8()
+        .map_err(|_| ProtocolError::Malformed("missing opcode"))?;
+    let req = match op {
+        opcode::PING => Request::Ping,
+        opcode::GET => Request::Get { key: c.key()? },
+        opcode::SET => {
+            let key = c.key()?;
+            let value = c.value()?;
+            Request::Set { key, value }
+        }
+        opcode::DEL => Request::Del { key: c.key()? },
+        opcode::FGET => {
+            let key = c.key()?;
+            let index = c.u8()?;
+            Request::FGet { key, index }
+        }
+        opcode::FSET => {
+            let key = c.key()?;
+            let index = c.u8()?;
+            let value = c.u64()?;
+            Request::FSet { key, index, value }
+        }
+        opcode::TXN => {
+            let count = c.u16()? as usize;
+            if count > MAX_TXN_OPS {
+                return Err(ProtocolError::Malformed("transaction exceeds MAX_TXN_OPS"));
+            }
+            let mut ops = Vec::new();
+            for _ in 0..count {
+                let sub = c.u8()?;
+                ops.push(match sub {
+                    txnop::SET => {
+                        let key = c.key()?;
+                        let value = c.value()?;
+                        TxnOp::Set { key, value }
+                    }
+                    txnop::DEL => TxnOp::Del { key: c.key()? },
+                    txnop::FSET => {
+                        let key = c.key()?;
+                        let index = c.u8()?;
+                        let value = c.u64()?;
+                        TxnOp::FSet { key, index, value }
+                    }
+                    other => return Err(ProtocolError::BadOpcode(other)),
+                });
+            }
+            Request::Txn { ops }
+        }
+        opcode::STATS => Request::Stats,
+        opcode::FLUSHCTL => Request::FlushCtl {
+            pause: c.u8()? != 0,
+        },
+        opcode::SHUTDOWN => Request::Shutdown,
+        other => return Err(ProtocolError::BadOpcode(other)),
+    };
+    c.finish()?;
+    Ok(req)
+}
+
+/// Decodes a response from a frame body (status byte + payload).
+///
+/// # Errors
+///
+/// [`ProtocolError::BadOpcode`] for an unknown status byte;
+/// [`ProtocolError::Malformed`] for an empty body.
+pub fn decode_response(body: &[u8]) -> Result<Response> {
+    let mut c = Cursor::new(body);
+    let status = c
+        .u8()
+        .map_err(|_| ProtocolError::Malformed("empty frame"))?;
+    let status = Status::from_byte(status).ok_or(ProtocolError::BadOpcode(status))?;
+    let payload = body[1..].to_vec();
+    Ok(Response { status, payload })
+}
+
+/// Reads one length-prefixed frame body from `r`. Returns `Ok(None)` on a
+/// clean EOF at a frame boundary (the peer closed between requests).
+///
+/// # Errors
+///
+/// [`ProtocolError::FrameTooLarge`] before any payload is buffered; I/O
+/// errors (including EOF mid-frame) as [`ProtocolError::Io`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    // A clean close before any length byte is a normal end of session.
+    match r.read(&mut len_buf) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut len_buf[n..])?,
+        Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {
+            r.read_exact(&mut len_buf)?;
+        }
+        Err(e) => return Err(ProtocolError::Io(e)),
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(ProtocolError::FrameTooLarge(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+/// Writes a pre-encoded frame to `w` and flushes.
+///
+/// # Errors
+///
+/// I/O errors from the stream.
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> Result<()> {
+    w.write_all(frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_frames_roundtrip() {
+        let reqs = vec![
+            Request::Ping,
+            Request::Get { key: "k".into() },
+            Request::Set {
+                key: "user:1".into(),
+                value: b"\x00\xffbytes".to_vec(),
+            },
+            Request::Del { key: "gone".into() },
+            Request::FGet {
+                key: "k".into(),
+                index: 7,
+            },
+            Request::FSet {
+                key: "k".into(),
+                index: 0,
+                value: u64::MAX,
+            },
+            Request::Txn {
+                ops: vec![
+                    TxnOp::Set {
+                        key: "a".into(),
+                        value: vec![1, 2, 3],
+                    },
+                    TxnOp::Del { key: "b".into() },
+                    TxnOp::FSet {
+                        key: "c".into(),
+                        index: 3,
+                        value: 42,
+                    },
+                ],
+            },
+            Request::Stats,
+            Request::FlushCtl { pause: true },
+            Request::FlushCtl { pause: false },
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let wire = encode_request(&req);
+            let mut r = io::Cursor::new(wire);
+            let body = read_frame(&mut r).unwrap().unwrap();
+            assert_eq!(decode_request(&body).unwrap(), req);
+            // Nothing left on the stream: the frame is self-delimiting.
+            assert!(read_frame(&mut r).unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn response_frames_roundtrip() {
+        for resp in [
+            Response::status(Status::Ok),
+            Response::ok(b"payload".to_vec()),
+            Response::status(Status::NotFound),
+            Response::status(Status::Busy),
+            Response::err("commit failed"),
+            Response::bad_request("version 9"),
+        ] {
+            let wire = encode_response(&resp);
+            let mut r = io::Cursor::new(wire);
+            let body = read_frame(&mut r).unwrap().unwrap();
+            assert_eq!(decode_response(&body).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_refused_before_buffering() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
+        wire.extend_from_slice(&[0u8; 16]);
+        let mut r = io::Cursor::new(wire);
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(ProtocolError::FrameTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_and_trailing_payloads_error_without_panicking() {
+        // A SET whose frame body is cut at every possible point.
+        let full = encode_request(&Request::Set {
+            key: "key".into(),
+            value: vec![9; 32],
+        });
+        let body = &full[4..];
+        for cut in 0..body.len() {
+            let _ = decode_request(&body[..cut]); // must not panic
+        }
+        // Trailing garbage after a well-formed payload is rejected.
+        let mut extended = body.to_vec();
+        extended.push(0);
+        assert!(matches!(
+            decode_request(&extended),
+            Err(ProtocolError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_version_and_unknown_opcode_are_named_errors() {
+        let mut wire = encode_request(&Request::Ping);
+        wire[4] = 2; // version byte
+        assert!(matches!(
+            decode_request(&wire[4..]),
+            Err(ProtocolError::BadVersion(2))
+        ));
+        let mut wire = encode_request(&Request::Ping);
+        wire[5] = 0x7f; // opcode byte
+        assert!(matches!(
+            decode_request(&wire[4..]),
+            Err(ProtocolError::BadOpcode(0x7f))
+        ));
+    }
+}

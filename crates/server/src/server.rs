@@ -1,0 +1,1047 @@
+//! The serving front end: a TCP server mapping the wire protocol onto a
+//! [`ShardedHeap`].
+//!
+//! # How requests meet the heap
+//!
+//! * **Reads (`GET`/`FGET`) ride lock-free read sessions.** Each read
+//!   pins the reclamation epoch and goes through the shard's published
+//!   metadata replica ([`HeapHandle::read`]) — it never touches the
+//!   heap's writer lock, so reads keep flowing while writers commit and
+//!   while the flush pipeline is paused or lagging.
+//! * **Writes (`SET`/`DEL`/`FSET`/`TXN`) are applied under the shard's
+//!   undo-logged transaction engine and acknowledged on *durability*.**
+//!   The durability wait is where connections cooperate: a per-shard
+//!   `GroupCommitter` batches every connection's pending commit request
+//!   into **one epoch seal** — the first writer to arrive becomes the
+//!   leader, seals the epoch (capturing every already-applied mutation),
+//!   and polls the [`CommitTicket`] while followers park; when the epoch
+//!   turns durable, all of them are answered at once. This is the same
+//!   leader-drain idiom as minidb's WAL group commit, lifted across
+//!   connections.
+//! * **Backpressure.** Before a write is applied, the shard's flush
+//!   pipeline depth ([`HeapHandle::pending_commits`]) and the committer's
+//!   waiter count are checked against `max_pending`; past the bound the
+//!   server answers [`Status::Busy`] without touching the heap. A write
+//!   that was applied but cannot be made durable within `commit_timeout`
+//!   (e.g. the pipeline is paused) is also answered `BUSY` — bounded
+//!   queues and bounded waits, so a lagging flush pipeline degrades into
+//!   refusals, never into unbounded memory or hung connections.
+//!
+//! # Data model
+//!
+//! Every key owns one persistent [`KvEntry`] object in the shard the key
+//! hashes to, published under the key in that shard's root table. The
+//! entry's schema has two typed fields: `data` (a u64 array packing the
+//! raw value bytes) and `fields` ([`NUM_FIELDS`] u64 slots addressed by
+//! `FGET`/`FSET`). `DEL` unpublishes the root; the entry becomes garbage
+//! for the shard's GC.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::BufWriter;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use espresso_core::{
+    CommitState, CommitTicket, HeapHandle, HeapManager, LoadOptions, PjhConfig, PjhError,
+    ShardedHeap,
+};
+use espresso_object::{ArrFld, PArr, PObject, PRef, Schema};
+
+use crate::protocol::{
+    self, Request, Response, Status, TxnOp, MAX_KEY, MAX_VALUE, NUM_FIELDS, PROTOCOL_VERSION,
+};
+
+/// The persistent object behind every key: raw value bytes in `data`,
+/// [`NUM_FIELDS`] typed u64 slots in `fields`.
+pub struct KvEntry;
+
+impl PObject for KvEntry {
+    const CLASS_NAME: &'static str = "EspressoKvEntry";
+    fn schema() -> Schema {
+        Schema::builder(Self::CLASS_NAME)
+            .array_field("data")
+            .array_field("fields")
+            .build()
+    }
+}
+
+/// Server construction/runtime errors.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Heap creation/loading failed.
+    Heap(PjhError),
+    /// Socket setup failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Heap(e) => write!(f, "heap error: {e}"),
+            ServerError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl From<PjhError> for ServerError {
+    fn from(e: PjhError) -> ServerError {
+        ServerError::Heap(e)
+    }
+}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> ServerError {
+        ServerError::Io(e)
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// Configuration for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Number of heap shards (each with its own flush pipeline and group
+    /// committer).
+    pub shards: usize,
+    /// Bytes per shard.
+    pub shard_bytes: usize,
+    /// Heap directory; `None` uses a fresh temp directory owned by the
+    /// server (removed when it stops).
+    pub dir: Option<PathBuf>,
+    /// Sharded-heap base name (`{base}.shard{i}` images).
+    pub base: String,
+    /// Backpressure bound: a write is refused `BUSY` when the target
+    /// shard's flush-pipeline queue or durability-waiter count exceeds
+    /// this.
+    pub max_pending: usize,
+    /// How long a write may wait for its epoch to turn durable before
+    /// being answered `BUSY`.
+    pub commit_timeout: Duration,
+    /// Per-shard name-table capacity. Every raw key is a named root, so
+    /// this bounds the distinct keys a shard can hold; the core default
+    /// (256) suits embedded use but is far too small for a KV front end.
+    pub name_table_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards: 4,
+            shard_bytes: 16 << 20,
+            dir: None,
+            base: "kv".to_string(),
+            max_pending: 64,
+            commit_timeout: Duration::from_secs(1),
+            name_table_capacity: 8 << 10,
+        }
+    }
+}
+
+/// Cross-connection group commit for one shard: the leader-drain idiom.
+///
+/// A *generation* is one cohort of writers acknowledged by one epoch
+/// seal. Writers apply their mutation first, then join the current
+/// generation; the first joiner with no active leader seals **after**
+/// closing the generation (so the snapshot provably contains every
+/// member's mutation) and everyone in it is released together when the
+/// epoch turns durable.
+struct GroupCommitter {
+    state: Mutex<GcState>,
+    cond: Condvar,
+}
+
+struct GcState {
+    /// Generation currently accepting members. Starts at 1 so that no
+    /// member is ever "already covered" by the initial `completed_gen`.
+    open_gen: u64,
+    /// Highest generation whose drain has completed.
+    completed_gen: u64,
+    /// A leader is sealing/waiting right now.
+    leader_active: bool,
+    /// Members currently inside `commit_durable` (backpressure input).
+    waiting: usize,
+    /// Recent drain outcomes by generation; cohort members resolve their
+    /// reply from the first drain at or past their generation.
+    results: VecDeque<(u64, DrainOutcome)>,
+    /// Drains performed (stats: epoch seals issued by this committer).
+    drains: u64,
+    /// Writers acknowledged across all drains (stats: `acked / drains`
+    /// is the coalescing factor).
+    acked: u64,
+}
+
+/// How one leader drain ended — inherited by every cohort member.
+#[derive(Clone)]
+enum DrainOutcome {
+    /// The sealed epoch is durable: the whole cohort is acked `OK`.
+    Durable,
+    /// The seal landed but durability missed the deadline (paused or
+    /// lagging pipeline): the cohort answers `BUSY`; the epoch may still
+    /// become durable later.
+    TimedOut,
+    /// The seal or flush failed.
+    Failed(String),
+}
+
+/// How a write's durability wait ended.
+enum CommitOutcome {
+    /// The epoch covering the write is durable in the image file.
+    Durable,
+    /// Not durable within the deadline (pipeline lagging or paused); the
+    /// mutation is applied and may become durable later.
+    TimedOut,
+    /// The apply failed or was aborted.
+    Failed(String),
+}
+
+impl GroupCommitter {
+    fn new() -> GroupCommitter {
+        GroupCommitter {
+            state: Mutex::new(GcState {
+                open_gen: 1,
+                completed_gen: 0,
+                leader_active: false,
+                waiting: 0,
+                results: VecDeque::new(),
+                drains: 0,
+                acked: 0,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Members currently parked in [`commit_durable`](Self::commit_durable).
+    fn waiting(&self) -> usize {
+        self.state.lock().unwrap().waiting
+    }
+
+    fn drains_and_acked(&self) -> (u64, u64) {
+        let st = self.state.lock().unwrap();
+        (st.drains, st.acked)
+    }
+
+    /// Joins the open generation and blocks until a leader-sealed epoch
+    /// covering it turns durable (or the deadline passes). The caller
+    /// must have **already applied** its mutation — membership means "my
+    /// stores happened before this generation's seal".
+    fn commit_durable(&self, handle: &HeapHandle, timeout: Duration) -> CommitOutcome {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock().unwrap();
+        let my_gen = st.open_gen;
+        st.waiting += 1;
+        let outcome = loop {
+            if st.completed_gen >= my_gen {
+                // Covered: the drain that completed a generation ≥ mine
+                // sealed after my mutation was applied; inherit its
+                // outcome.
+                let drained = st
+                    .results
+                    .iter()
+                    .find(|(g, _)| *g >= my_gen)
+                    .map(|(_, outcome)| outcome.clone())
+                    .unwrap_or(DrainOutcome::TimedOut);
+                break match drained {
+                    DrainOutcome::Durable => {
+                        st.acked += 1;
+                        CommitOutcome::Durable
+                    }
+                    DrainOutcome::TimedOut => CommitOutcome::TimedOut,
+                    DrainOutcome::Failed(reason) => CommitOutcome::Failed(reason),
+                };
+            }
+            if !st.leader_active {
+                // Become the leader: close the generation (later writers
+                // join the next one), seal with no lock held, publish the
+                // outcome for the whole cohort.
+                st.leader_active = true;
+                let lead_gen = st.open_gen;
+                st.open_gen += 1;
+                drop(st);
+                let result = seal_and_wait(handle, deadline);
+                st = self.state.lock().unwrap();
+                st.leader_active = false;
+                st.completed_gen = lead_gen;
+                st.drains += 1;
+                let drained = match &result {
+                    CommitOutcome::Durable => DrainOutcome::Durable,
+                    CommitOutcome::TimedOut => DrainOutcome::TimedOut,
+                    CommitOutcome::Failed(reason) => DrainOutcome::Failed(reason.clone()),
+                };
+                st.results.push_back((lead_gen, drained));
+                while st.results.len() > 32 {
+                    st.results.pop_front();
+                }
+                self.cond.notify_all();
+                // Loop: completed_gen ≥ my_gen resolves our own outcome
+                // through the same path as every cohort member.
+                continue;
+            }
+            let (guard, wait) = self
+                .cond
+                .wait_timeout(st, deadline.saturating_duration_since(Instant::now()))
+                .unwrap();
+            st = guard;
+            if wait.timed_out() && st.completed_gen < my_gen {
+                break CommitOutcome::TimedOut;
+            }
+        };
+        st.waiting -= 1;
+        outcome
+    }
+}
+
+/// Seals one epoch on `handle` and polls the ticket until durable,
+/// failed, or the deadline passes. Polling (not `wait()`) keeps the
+/// barrier non-consuming *and* bounded: a paused pipeline turns into a
+/// timeout, never a hung connection.
+fn seal_and_wait(handle: &HeapHandle, deadline: Instant) -> CommitOutcome {
+    let ticket: CommitTicket = match handle.commit() {
+        Ok(t) => t,
+        Err(e) => return CommitOutcome::Failed(e.to_string()),
+    };
+    loop {
+        match ticket.state() {
+            CommitState::Durable => return CommitOutcome::Durable,
+            CommitState::Failed(reason) => return CommitOutcome::Failed(reason),
+            CommitState::InFlight => {
+                if Instant::now() >= deadline {
+                    return CommitOutcome::TimedOut;
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    pings: AtomicU64,
+    gets: AtomicU64,
+    sets: AtomicU64,
+    dels: AtomicU64,
+    fgets: AtomicU64,
+    fsets: AtomicU64,
+    txns: AtomicU64,
+    stats: AtomicU64,
+    busy: AtomicU64,
+    errors: AtomicU64,
+    bad_frames: AtomicU64,
+    conns_opened: AtomicU64,
+    conns_closed: AtomicU64,
+}
+
+struct Inner {
+    heap: ShardedHeap,
+    /// Keeps the heap directory alive (temp managers remove it on drop).
+    _mgr: HeapManager,
+    committers: Vec<GroupCommitter>,
+    /// Typed field handles into [`KvEntry`] (indices; identical on every
+    /// shard because the schema is).
+    data_fld: ArrFld<KvEntry>,
+    fields_fld: ArrFld<KvEntry>,
+    config: ServerConfig,
+    counters: Counters,
+    started: Instant,
+    shutdown: AtomicBool,
+    /// Live connection sockets by id, shut down to unblock readers on
+    /// stop; each entry is removed by its connection's [`ConnCleanup`].
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+    next_conn_id: AtomicU64,
+}
+
+/// Drop guard owned by each connection thread: removes the connection's
+/// registry entry and closes its socket even if the handler panics —
+/// without it, a dying handler would leave the registry clone's FD open
+/// and the client blocked in `read` forever.
+struct ConnCleanup {
+    inner: Arc<Inner>,
+    id: u64,
+}
+
+impl Drop for ConnCleanup {
+    fn drop(&mut self) {
+        let mut conns = self.inner.conns.lock().unwrap();
+        if let Some(pos) = conns.iter().position(|(id, _)| *id == self.id) {
+            let (_, stream) = conns.swap_remove(pos);
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        drop(conns);
+        self.inner
+            .counters
+            .conns_closed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`stop`](Self::stop) or send the `SHUTDOWN` opcode, then
+/// [`wait`](Self::wait).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// The server: see the module docs for the serving model.
+pub struct Server;
+
+impl Server {
+    /// Opens (or creates) the sharded heap and starts accepting
+    /// connections. Returns once the listener is bound.
+    ///
+    /// # Errors
+    ///
+    /// Heap creation/open errors; socket bind errors.
+    pub fn start(config: ServerConfig) -> Result<ServerHandle, ServerError> {
+        let mgr = match &config.dir {
+            Some(dir) => HeapManager::open(dir)?,
+            None => HeapManager::temp()?,
+        };
+        let heap = if ShardedHeap::exists(&mgr, &config.base) {
+            ShardedHeap::open(&mgr, &config.base, LoadOptions::default())?
+        } else {
+            ShardedHeap::create(
+                &mgr,
+                &config.base,
+                config.shards,
+                config.shard_bytes,
+                PjhConfig {
+                    name_table_capacity: config.name_table_capacity,
+                    ..PjhConfig::default()
+                },
+            )?
+        };
+        // Register the entry schema on every shard up front: validates
+        // persisted fingerprints on reopen, and publishes the klass into
+        // each shard's read replica before the first GET.
+        let mut fld = None;
+        for i in 0..heap.num_shards() {
+            let class = heap
+                .handle(i)
+                .register::<KvEntry>()
+                .map_err(ServerError::Heap)?;
+            if fld.is_none() {
+                let data = class.arr_field("data").expect("declared field");
+                let fields = class.arr_field("fields").expect("declared field");
+                fld = Some((data, fields));
+            }
+        }
+        let (data_fld, fields_fld) = fld.expect("at least one shard");
+        let committers = (0..heap.num_shards())
+            .map(|_| GroupCommitter::new())
+            .collect();
+
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            heap,
+            _mgr: mgr,
+            committers,
+            data_fld,
+            fields_fld,
+            config,
+            counters: Counters::default(),
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            next_conn_id: AtomicU64::new(0),
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept_thread = std::thread::Builder::new()
+            .name("espresso-accept".to_string())
+            .spawn(move || accept_loop(&listener, &accept_inner))
+            .expect("spawn accept thread");
+        Ok(ServerHandle {
+            addr,
+            inner,
+            accept_thread: Some(accept_thread),
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served heap — test and bench access to the pause/abort crash
+    /// hooks and to shard state.
+    pub fn heap(&self) -> &ShardedHeap {
+        &self.inner.heap
+    }
+
+    /// Asks the server to stop (idempotent): stops accepting, unblocks
+    /// every connection, resumes a paused flush pipeline so the final
+    /// commit can land. [`wait`](Self::wait) joins the drain.
+    pub fn stop(&self) {
+        trigger_shutdown(&self.inner, self.addr);
+    }
+
+    /// Blocks until the server has fully stopped (accept loop joined,
+    /// connections drained, final all-shards commit sealed and waited).
+    pub fn wait(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// [`stop`](Self::stop) then [`wait`](Self::wait).
+    pub fn stop_and_wait(self) {
+        self.stop();
+        self.wait();
+    }
+}
+
+fn trigger_shutdown(inner: &Arc<Inner>, addr: SocketAddr) {
+    if inner.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    // A paused pipeline would wedge the final commit and any parked
+    // durability waiters: resume before draining.
+    inner.heap.set_flush_paused(false);
+    // Unblock every connection reader, then the accept loop itself.
+    for (_, conn) in inner.conns.lock().unwrap().iter() {
+        let _ = conn.shutdown(std::net::Shutdown::Both);
+    }
+    let _ = TcpStream::connect(addr);
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
+    let mut workers = Vec::new();
+    for stream in listener.incoming() {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        inner.counters.conns_opened.fetch_add(1, Ordering::Relaxed);
+        let id = inner.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        inner
+            .conns
+            .lock()
+            .unwrap()
+            .push((id, stream.try_clone().expect("clone connection socket")));
+        let conn_inner = Arc::clone(inner);
+        let addr = listener.local_addr().expect("listener addr");
+        workers.push(
+            std::thread::Builder::new()
+                .name("espresso-conn".to_string())
+                .spawn(move || {
+                    let _cleanup = ConnCleanup {
+                        inner: Arc::clone(&conn_inner),
+                        id,
+                    };
+                    serve_connection(stream, &conn_inner, addr);
+                })
+                .expect("spawn connection thread"),
+        );
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+    // Final checkpoint: seal every shard and poll the fan-out barrier
+    // non-consumingly (ShardedCommitTicket::state), bounded by the commit
+    // timeout — shutdown must not hang on a wedged shard.
+    if let Ok(ticket) = inner.heap.commit() {
+        let deadline = Instant::now() + inner.config.commit_timeout;
+        loop {
+            match ticket.state() {
+                CommitState::Durable => break,
+                CommitState::Failed(reason) => {
+                    eprintln!("espresso-server: final commit failed: {reason}");
+                    break;
+                }
+                CommitState::InFlight => {
+                    if Instant::now() >= deadline {
+                        eprintln!("espresso-server: final commit still in flight at shutdown");
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, inner: &Arc<Inner>, server_addr: SocketAddr) {
+    let mut reader = stream.try_clone().expect("clone connection socket");
+    let mut writer = BufWriter::new(stream);
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let body = match protocol::read_frame(&mut reader) {
+            Ok(Some(body)) => body,
+            Ok(None) => return, // clean close between frames
+            Err(protocol::ProtocolError::Io(_)) => return,
+            Err(e) => {
+                // Framing is broken (oversized length prefix): answer and
+                // drop the connection — resynchronization is impossible.
+                inner.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::bad_request(e.to_string());
+                let _ = protocol::write_frame(&mut writer, &protocol::encode_response(&resp));
+                return;
+            }
+        };
+        let (resp, shutdown) = match protocol::decode_request(&body) {
+            Ok(req) => handle_request(inner, req),
+            Err(e) => {
+                inner.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
+                let _ = protocol::write_frame(
+                    &mut writer,
+                    &protocol::encode_response(&Response::bad_request(e.to_string())),
+                );
+                return; // same: cannot trust the stream position anymore
+            }
+        };
+        if protocol::write_frame(&mut writer, &protocol::encode_response(&resp)).is_err() {
+            return;
+        }
+        if shutdown {
+            trigger_shutdown(inner, server_addr);
+            return;
+        }
+    }
+}
+
+/// Handles one decoded request; the bool asks the caller to trigger
+/// server shutdown after replying.
+fn handle_request(inner: &Arc<Inner>, req: Request) -> (Response, bool) {
+    let c = &inner.counters;
+    let resp = match req {
+        Request::Ping => {
+            c.pings.fetch_add(1, Ordering::Relaxed);
+            Response::status(Status::Ok)
+        }
+        Request::Get { key } => {
+            c.gets.fetch_add(1, Ordering::Relaxed);
+            op_get(inner, &key)
+        }
+        Request::Set { key, value } => {
+            c.sets.fetch_add(1, Ordering::Relaxed);
+            write_op(inner, &key, |inner| op_set(inner, &key, &value))
+        }
+        Request::Del { key } => {
+            c.dels.fetch_add(1, Ordering::Relaxed);
+            op_del(inner, &key)
+        }
+        Request::FGet { key, index } => {
+            c.fgets.fetch_add(1, Ordering::Relaxed);
+            op_fget(inner, &key, index)
+        }
+        Request::FSet { key, index, value } => {
+            c.fsets.fetch_add(1, Ordering::Relaxed);
+            if usize::from(index) >= NUM_FIELDS {
+                Response::err(format!(
+                    "field index {index} out of range (0..{NUM_FIELDS})"
+                ))
+            } else {
+                write_op(inner, &key, |inner| op_fset(inner, &key, index, value))
+            }
+        }
+        Request::Txn { ops } => {
+            c.txns.fetch_add(1, Ordering::Relaxed);
+            op_txn(inner, &ops)
+        }
+        Request::Stats => {
+            c.stats.fetch_add(1, Ordering::Relaxed);
+            Response::ok(render_stats(inner).into_bytes())
+        }
+        Request::FlushCtl { pause } => {
+            inner.heap.set_flush_paused(pause);
+            Response::status(Status::Ok)
+        }
+        Request::Shutdown => return (Response::status(Status::Ok), true),
+    };
+    match resp.status {
+        Status::Busy => {
+            c.busy.fetch_add(1, Ordering::Relaxed);
+        }
+        Status::Err => {
+            c.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        _ => {}
+    }
+    (resp, false)
+}
+
+// ---- value <-> word-array packing ----
+
+/// Words needed for `len` value bytes: one length word plus packed bytes.
+fn value_words(len: usize) -> usize {
+    1 + len.div_ceil(8)
+}
+
+fn pack_word(chunk: &[u8]) -> u64 {
+    let mut w = [0u8; 8];
+    w[..chunk.len()].copy_from_slice(chunk);
+    u64::from_le_bytes(w)
+}
+
+// ---- operations ----
+
+/// Admission control + group-commit acknowledgement around a write: the
+/// closure applies the mutation; the reply is sent only once a sealed
+/// epoch covering it is durable.
+fn write_op(
+    inner: &Arc<Inner>,
+    key: &str,
+    apply: impl FnOnce(&Arc<Inner>) -> Result<Response, PjhError>,
+) -> Response {
+    let shard = inner.heap.shard_of(key);
+    if let Some(busy) = admission_check(inner, shard) {
+        return busy;
+    }
+    let resp = match apply(inner) {
+        Ok(resp) => resp,
+        Err(e) => return Response::err(e.to_string()),
+    };
+    if resp.status != Status::Ok {
+        return resp; // e.g. NotFound: nothing was mutated, nothing to wait on
+    }
+    ack_durable(inner, shard, resp)
+}
+
+/// `BUSY` when the shard's flush pipeline or durability queue is past the
+/// bound — checked before the mutation so refused writes are never
+/// applied.
+fn admission_check(inner: &Arc<Inner>, shard: usize) -> Option<Response> {
+    let bound = inner.config.max_pending;
+    if inner.heap.handle(shard).pending_commits() > bound
+        || inner.committers[shard].waiting() >= bound
+    {
+        return Some(Response::status(Status::Busy));
+    }
+    None
+}
+
+/// Joins the shard's group commit and maps the outcome to a reply.
+fn ack_durable(inner: &Arc<Inner>, shard: usize, ok: Response) -> Response {
+    match inner.committers[shard]
+        .commit_durable(inner.heap.handle(shard), inner.config.commit_timeout)
+    {
+        CommitOutcome::Durable => ok,
+        CommitOutcome::TimedOut => Response::status(Status::Busy),
+        CommitOutcome::Failed(reason) => Response::err(format!("commit failed: {reason}")),
+    }
+}
+
+fn op_get(inner: &Arc<Inner>, key: &str) -> Response {
+    let session = inner.heap.handle_for(key).read();
+    let entry: Option<PRef<KvEntry>> = match session.root::<KvEntry>(key) {
+        Ok(e) => e,
+        Err(e) => return Response::err(e.to_string()),
+    };
+    let Some(entry) = entry else {
+        return Response::status(Status::NotFound);
+    };
+    let Some(data) = session.get_arr(entry, inner.data_fld) else {
+        // Entry exists (e.g. created by FSET) but holds no value.
+        return Response::status(Status::NotFound);
+    };
+    let len = session.arr_get(data, 0) as usize;
+    let mut value = Vec::with_capacity(len);
+    for i in 0..len.div_ceil(8) {
+        let word = session.arr_get(data, 1 + i).to_le_bytes();
+        let take = (len - i * 8).min(8);
+        value.extend_from_slice(&word[..take]);
+    }
+    Response::ok(value)
+}
+
+fn op_fget(inner: &Arc<Inner>, key: &str, index: u8) -> Response {
+    if usize::from(index) >= NUM_FIELDS {
+        return Response::err(format!(
+            "field index {index} out of range (0..{NUM_FIELDS})"
+        ));
+    }
+    let session = inner.heap.handle_for(key).read();
+    let entry: Option<PRef<KvEntry>> = match session.root::<KvEntry>(key) {
+        Ok(e) => e,
+        Err(e) => return Response::err(e.to_string()),
+    };
+    let Some(entry) = entry else {
+        return Response::status(Status::NotFound);
+    };
+    let Some(fields) = session.get_arr(entry, inner.fields_fld) else {
+        return Response::status(Status::NotFound);
+    };
+    let v = session.arr_get(fields, usize::from(index));
+    Response::ok(v.to_be_bytes().to_vec())
+}
+
+/// Allocates and fills a value array **outside** any transaction, with
+/// raw persisted stores (the `alloc_string` idiom). The array is fresh
+/// and unreachable, so it needs no undo logging — crucial because the
+/// undo log is bounded and a 1 MiB value spans ~128 K words. Word 0 is
+/// the byte length; the rest pack the bytes 8-per-word, little-endian.
+fn alloc_value_arr(h: &mut espresso_core::Pjh, value: &[u8]) -> Result<PArr, PjhError> {
+    let arr = h.alloc_arr(value_words(value.len()))?;
+    h.array_set(arr.raw(), 0, value.len() as u64);
+    for (i, chunk) in value.chunks(8).enumerate() {
+        h.array_set(arr.raw(), 1 + i, pack_word(chunk));
+    }
+    h.flush_object(arr.raw());
+    Ok(arr)
+}
+
+fn op_set(inner: &Arc<Inner>, key: &str, value: &[u8]) -> Result<Response, PjhError> {
+    let handle = inner.heap.handle_for(key);
+    with_gc_retry(handle, |h| {
+        let arr = alloc_value_arr(h, value)?;
+        let (entry, fresh) = {
+            let data_fld = inner.data_fld;
+            let fields_fld = inner.fields_fld;
+            // The transaction itself only allocates the entry (if new)
+            // and relinks `data` — a couple of logged stores, however
+            // large the value.
+            h.txn(|t| {
+                let (entry, fresh) = match t.root::<KvEntry>(key)? {
+                    Some(entry) => (entry, false),
+                    None => {
+                        let entry = t.alloc::<KvEntry>()?;
+                        let fields = t.alloc_arr(NUM_FIELDS)?;
+                        t.set_arr(entry, fields_fld, Some(fields))?;
+                        (entry, true)
+                    }
+                };
+                t.set_arr(entry, data_fld, Some(arr))?;
+                Ok((entry, fresh))
+            })?
+        };
+        if fresh {
+            // Publish after the transaction commits: a crash in between
+            // leaves an unreachable (garbage) entry, never a torn one.
+            // Still inside this write session, so no commit epoch can
+            // seal between the transaction and the publication.
+            h.set_root_typed(key, entry)?;
+        }
+        Ok(Response::status(Status::Ok))
+    })
+}
+
+fn op_fset(inner: &Arc<Inner>, key: &str, index: u8, value: u64) -> Result<Response, PjhError> {
+    let handle = inner.heap.handle_for(key);
+    with_gc_retry(handle, |h| {
+        let fields_fld = inner.fields_fld;
+        let (entry, fresh) = h.txn(|t| {
+            let (entry, fresh) = match t.root::<KvEntry>(key)? {
+                Some(entry) => (entry, false),
+                None => {
+                    let entry = t.alloc::<KvEntry>()?;
+                    let fields = t.alloc_arr(NUM_FIELDS)?;
+                    t.set_arr(entry, fields_fld, Some(fields))?;
+                    (entry, true)
+                }
+            };
+            let fields = t
+                .get_arr(entry, fields_fld)
+                .expect("entries always carry a fields array");
+            t.arr_set(fields, usize::from(index), value);
+            Ok((entry, fresh))
+        })?;
+        if fresh {
+            h.set_root_typed(key, entry)?;
+        }
+        Ok(Response::status(Status::Ok))
+    })
+}
+
+fn op_del(inner: &Arc<Inner>, key: &str) -> Response {
+    let shard = inner.heap.shard_of(key);
+    if let Some(busy) = admission_check(inner, shard) {
+        return busy;
+    }
+    let existed = inner.heap.handle(shard).with_mut(|h| h.remove_root(key));
+    if !existed {
+        return Response::status(Status::NotFound);
+    }
+    ack_durable(inner, shard, Response::status(Status::Ok))
+}
+
+fn op_txn(inner: &Arc<Inner>, ops: &[TxnOp]) -> Response {
+    if ops.is_empty() {
+        return Response::err("empty transaction");
+    }
+    let shard = inner.heap.shard_of(ops[0].key());
+    for op in &ops[1..] {
+        let s = inner.heap.shard_of(op.key());
+        if s != shard {
+            return Response::err(format!(
+                "cross-shard transaction: key {:?} routes to shard {s}, {:?} to shard {shard} \
+                 (shards are independent atomicity domains)",
+                op.key(),
+                ops[0].key()
+            ));
+        }
+    }
+    for op in ops {
+        if let TxnOp::FSet { index, .. } = op {
+            if usize::from(*index) >= NUM_FIELDS {
+                return Response::err(format!(
+                    "field index {index} out of range (0..{NUM_FIELDS})"
+                ));
+            }
+        }
+    }
+    if let Some(busy) = admission_check(inner, shard) {
+        return busy;
+    }
+    let handle = inner.heap.handle(shard);
+    let data_fld = inner.data_fld;
+    let fields_fld = inner.fields_fld;
+    let applied = with_gc_retry(handle, |h| {
+        // All object mutations run inside one undo-logged transaction;
+        // the net root change per key is staged and applied right after
+        // it commits, still under this write session — so no epoch can
+        // seal a state where the transaction landed but the roots did
+        // not, and an abort leaves the root table untouched. Staging is
+        // *per key, in op order* (a map, not publish/unpublish lists):
+        // `Del k` then `Set k` must leave a fresh entry published, and
+        // `Set k` then `Del k` must leave the key gone.
+        let mut staged: HashMap<String, Option<PRef<KvEntry>>> = HashMap::new();
+        // Value arrays are filled unlogged before the transaction (fresh
+        // objects need no undo records — see `alloc_value_arr`); the
+        // transaction links them, so its log cost is a few words per op
+        // regardless of value sizes.
+        let mut value_arrs: Vec<PArr> = Vec::new();
+        for op in ops {
+            if let TxnOp::Set { value, .. } = op {
+                value_arrs.push(alloc_value_arr(h, value)?);
+            }
+        }
+        h.txn(|t| {
+            staged.clear();
+            let mut next_arr = value_arrs.iter();
+            // The entry an upsert op targets: the staged view of the key
+            // if an earlier op touched it (`None` = staged-deleted, so a
+            // fresh entry is required), else the published root.
+            let resolve = |t: &mut espresso_core::HeapTxn<'_>,
+                           staged: &mut HashMap<String, Option<PRef<KvEntry>>>,
+                           key: &String|
+             -> Result<PRef<KvEntry>, PjhError> {
+                let current = match staged.get(key) {
+                    Some(view) => *view,
+                    None => t.root::<KvEntry>(key)?,
+                };
+                if let Some(entry) = current {
+                    return Ok(entry);
+                }
+                let entry = t.alloc::<KvEntry>()?;
+                let fields = t.alloc_arr(NUM_FIELDS)?;
+                t.set_arr(entry, fields_fld, Some(fields))?;
+                staged.insert(key.clone(), Some(entry));
+                Ok(entry)
+            };
+            for op in ops {
+                match op {
+                    TxnOp::Set { key, .. } => {
+                        let entry = resolve(t, &mut staged, key)?;
+                        let arr = *next_arr.next().expect("one array per Set op");
+                        t.set_arr(entry, data_fld, Some(arr))?;
+                    }
+                    TxnOp::Del { key } => {
+                        staged.insert(key.clone(), None);
+                    }
+                    TxnOp::FSet { key, index, value } => {
+                        let entry = resolve(t, &mut staged, key)?;
+                        let fields = t
+                            .get_arr(entry, fields_fld)
+                            .expect("entries always carry a fields array");
+                        t.arr_set(fields, usize::from(*index), *value);
+                    }
+                }
+            }
+            Ok(())
+        })?;
+        for (key, action) in &staged {
+            match action {
+                Some(entry) => h.set_root_typed(key, *entry)?,
+                None => {
+                    h.remove_root(key);
+                }
+            }
+        }
+        Ok(Response::status(Status::Ok))
+    });
+    match applied {
+        Ok(resp) if resp.status == Status::Ok => ack_durable(inner, shard, resp),
+        Ok(resp) => resp,
+        Err(e) => Response::err(e.to_string()),
+    }
+}
+
+/// Runs a write section; on [`PjhError::HeapFull`] collects the shard
+/// (reclaiming dead entries and replaced values) and retries once.
+fn with_gc_retry<T>(
+    handle: &HeapHandle,
+    mut f: impl FnMut(&mut espresso_core::Pjh) -> Result<T, PjhError>,
+) -> Result<T, PjhError> {
+    match handle.with_mut(&mut f) {
+        Err(PjhError::HeapFull { .. }) => {
+            handle.with_mut(|h| h.gc_full(&[]).map(|_| ()))?;
+            handle.with_mut(&mut f)
+        }
+        other => other,
+    }
+}
+
+fn render_stats(inner: &Arc<Inner>) -> String {
+    use std::fmt::Write as _;
+    let c = &inner.counters;
+    let mut out = String::new();
+    let _ = writeln!(out, "version={PROTOCOL_VERSION}");
+    let _ = writeln!(out, "shards={}", inner.heap.num_shards());
+    let _ = writeln!(out, "uptime_ms={}", inner.started.elapsed().as_millis());
+    let _ = writeln!(out, "max_value_bytes={MAX_VALUE}");
+    let _ = writeln!(out, "max_key_bytes={MAX_KEY}");
+    let _ = writeln!(out, "num_fields={NUM_FIELDS}");
+    let _ = writeln!(out, "max_pending={}", inner.config.max_pending);
+    let _ = writeln!(
+        out,
+        "conns_open={}",
+        c.conns_opened.load(Ordering::Relaxed) - c.conns_closed.load(Ordering::Relaxed)
+    );
+    for (name, v) in [
+        ("ops_ping", &c.pings),
+        ("ops_get", &c.gets),
+        ("ops_set", &c.sets),
+        ("ops_del", &c.dels),
+        ("ops_fget", &c.fgets),
+        ("ops_fset", &c.fsets),
+        ("ops_txn", &c.txns),
+        ("ops_stats", &c.stats),
+        ("busy", &c.busy),
+        ("errors", &c.errors),
+        ("bad_frames", &c.bad_frames),
+    ] {
+        let _ = writeln!(out, "{name}={}", v.load(Ordering::Relaxed));
+    }
+    let (mut drains, mut acked) = (0u64, 0u64);
+    for committer in &inner.committers {
+        let (d, a) = committer.drains_and_acked();
+        drains += d;
+        acked += a;
+    }
+    let _ = writeln!(out, "group_drains={drains}");
+    let _ = writeln!(out, "group_acked={acked}");
+    for i in 0..inner.heap.num_shards() {
+        let h = inner.heap.handle(i);
+        let _ = writeln!(
+            out,
+            "shard{i}.sealed={} shard{i}.durable={} shard{i}.pending={} shard{i}.flush_paused={}",
+            h.sealed_epoch(),
+            h.durable_epoch(),
+            h.pending_commits(),
+            h.flush_paused()
+        );
+    }
+    out
+}

@@ -1,0 +1,207 @@
+//! Property tests for the espresso-server wire protocol.
+//!
+//! The codec's contract (see `crates/server/src/protocol.rs`): encoding
+//! then decoding any legal frame is the identity; decoding is *total* —
+//! truncations, trailing garbage, and arbitrary byte soup return
+//! [`ProtocolError`]s, never panic, and oversized length prefixes are
+//! refused before any payload is buffered. On a live connection,
+//! pipelined requests are answered strictly in order.
+
+use std::time::Duration;
+
+use espresso_server::client::Client;
+use espresso_server::protocol::{self, ProtocolError, Request, Response, Status, TxnOp, MAX_FRAME};
+use espresso_server::server::{Server, ServerConfig};
+use proptest::prelude::*;
+
+// ---- strategies ----
+
+fn key_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..26, 1..24)
+        .prop_map(|v| v.into_iter().map(|b| char::from(b'a' + b)).collect())
+}
+
+fn value_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..256)
+}
+
+fn txn_op_strategy() -> BoxedStrategy<TxnOp> {
+    prop_oneof![
+        (key_strategy(), value_strategy()).prop_map(|(key, value)| TxnOp::Set { key, value }),
+        key_strategy().prop_map(|key| TxnOp::Del { key }),
+        (key_strategy(), any::<u8>(), any::<u64>()).prop_map(|(key, index, value)| TxnOp::FSet {
+            key,
+            index,
+            value
+        }),
+    ]
+    .boxed()
+}
+
+fn request_strategy() -> BoxedStrategy<Request> {
+    prop_oneof![
+        Just(Request::Ping),
+        Just(Request::Stats),
+        Just(Request::Shutdown),
+        any::<bool>().prop_map(|pause| Request::FlushCtl { pause }),
+        key_strategy().prop_map(|key| Request::Get { key }),
+        key_strategy().prop_map(|key| Request::Del { key }),
+        (key_strategy(), value_strategy()).prop_map(|(key, value)| Request::Set { key, value }),
+        (key_strategy(), any::<u8>()).prop_map(|(key, index)| Request::FGet { key, index }),
+        (key_strategy(), any::<u8>(), any::<u64>()).prop_map(|(key, index, value)| Request::FSet {
+            key,
+            index,
+            value
+        }),
+        proptest::collection::vec(txn_op_strategy(), 0..8).prop_map(|ops| Request::Txn { ops }),
+    ]
+    .boxed()
+}
+
+fn status_strategy() -> BoxedStrategy<Status> {
+    prop_oneof![
+        Just(Status::Ok),
+        Just(Status::NotFound),
+        Just(Status::Busy),
+        Just(Status::Err),
+        Just(Status::BadRequest),
+    ]
+    .boxed()
+}
+
+// ---- codec properties ----
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// encode → frame-read → decode is the identity for every request.
+    #[test]
+    fn random_request_frames_roundtrip(req in request_strategy()) {
+        let wire = protocol::encode_request(&req);
+        let mut r = std::io::Cursor::new(wire);
+        let body = protocol::read_frame(&mut r).unwrap().unwrap();
+        prop_assert_eq!(protocol::decode_request(&body).unwrap(), req);
+        // The frame is self-delimiting: nothing left on the stream.
+        prop_assert!(protocol::read_frame(&mut r).unwrap().is_none());
+    }
+
+    /// Same for responses (any status, any payload).
+    #[test]
+    fn random_response_frames_roundtrip(
+        status in status_strategy(),
+        payload in value_strategy(),
+    ) {
+        let resp = Response { status, payload };
+        let wire = protocol::encode_response(&resp);
+        let mut r = std::io::Cursor::new(wire);
+        let body = protocol::read_frame(&mut r).unwrap().unwrap();
+        prop_assert_eq!(protocol::decode_response(&body).unwrap(), resp);
+    }
+
+    /// Every truncation of a valid frame body decodes to an error — and
+    /// appending garbage to a complete body is rejected too (no request
+    /// silently absorbs trailing bytes).
+    #[test]
+    fn truncated_and_extended_bodies_error_without_panic(
+        req in request_strategy(),
+        cut_seed in any::<u64>(),
+        garbage in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let wire = protocol::encode_request(&req);
+        let body = &wire[4..];
+        let cut = (cut_seed % body.len() as u64) as usize;
+        prop_assert!(protocol::decode_request(&body[..cut]).is_err());
+        let mut extended = body.to_vec();
+        extended.extend_from_slice(&garbage);
+        prop_assert!(protocol::decode_request(&extended).is_err());
+    }
+
+    /// Arbitrary byte soup never panics the decoder; it either decodes
+    /// (if it happens to spell a frame) or names a protocol error.
+    #[test]
+    fn garbage_bodies_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = protocol::decode_request(&bytes);
+        let _ = protocol::decode_response(&bytes);
+    }
+
+    /// Length prefixes beyond MAX_FRAME are refused before buffering; the
+    /// reader never allocates for them.
+    #[test]
+    fn oversized_prefixes_are_refused(extra in any::<u32>()) {
+        let len = MAX_FRAME.saturating_add(extra.max(1));
+        let mut wire = len.to_be_bytes().to_vec();
+        wire.extend_from_slice(&[0u8; 8]);
+        let mut r = std::io::Cursor::new(wire);
+        prop_assert!(matches!(
+            protocol::read_frame(&mut r),
+            Err(ProtocolError::FrameTooLarge(_))
+        ));
+    }
+}
+
+// ---- live-connection ordering ----
+
+/// Pipelined requests on one connection are answered strictly in request
+/// order: a burst of SETs with distinct values, then a burst of GETs, all
+/// written before any response is read — the k-th response must belong to
+/// the k-th request.
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let handle = Server::start(ServerConfig {
+        shards: 2,
+        shard_bytes: 4 << 20,
+        commit_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Several seeded rounds of randomized interleavings.
+    for round in 0u64..4 {
+        let mut seed = 0x9e37_79b9 ^ (round + 1);
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let n = 32;
+        let mut sent = Vec::new();
+        for i in 0..n {
+            let key = format!("r{round}-k{}", next() % 8);
+            if next() % 3 == 0 {
+                sent.push(Request::Get { key });
+            } else {
+                let value = format!("v{round}-{i}").into_bytes();
+                sent.push(Request::Set { key, value });
+            }
+        }
+        for req in &sent {
+            client.send(req).expect("pipelined send");
+        }
+        // Replay the sequence against a local model; ordering holds iff
+        // every response matches the model at its position.
+        let mut model: std::collections::HashMap<String, Vec<u8>> =
+            std::collections::HashMap::new();
+        for (i, req) in sent.iter().enumerate() {
+            let resp = client.recv().expect("pipelined recv");
+            match req {
+                Request::Set { key, value } => {
+                    assert_eq!(resp.status, Status::Ok, "SET #{i} not OK");
+                    model.insert(key.clone(), value.clone());
+                }
+                Request::Get { key } => match model.get(key) {
+                    Some(want) => {
+                        assert_eq!(resp.status, Status::Ok, "GET #{i} not OK");
+                        assert_eq!(&resp.payload, want, "GET #{i} out of order");
+                    }
+                    None => {
+                        assert_eq!(resp.status, Status::NotFound, "GET #{i} of unset key");
+                    }
+                },
+                _ => unreachable!(),
+            }
+        }
+    }
+    handle.stop_and_wait();
+}
