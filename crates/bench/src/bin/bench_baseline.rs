@@ -15,7 +15,8 @@
 //! delta-proportional), `--nread <ops>` (reader-scaling reads per reader,
 //! default 100000 — retention ratios need enough reads to swamp setup
 //! and scheduler noise), `--nserver <ops>` (server-throughput ops per
-//! cell over real TCP, default 8000), `--out <path>` (default stdout).
+//! cell over real TCP, default 8000), `--nwl <ops>` (workload-replay
+//! trace length, default 4000), `--out <path>` (default stdout).
 //! Absolute times vary by machine; the *shape* (speedup ratios, shard
 //! throughput ratios, UG-vs-zeroing growth) is what future PRs compare
 //! against.
@@ -26,6 +27,8 @@ use espresso_bench::micro::{
     run_shard_scaling, DataType, MicroOp,
 };
 use espresso_bench::srv::run_server_throughput;
+use espresso_bench::wl::{bench_trace, run_workload_replay};
+use espresso_workload::BackendKind;
 use std::fmt::Write as _;
 
 fn flag(name: &str) -> Option<String> {
@@ -157,6 +160,39 @@ fn main() {
     let _ = writeln!(json, "      \"p50/8\": {},", srv8.p50_us);
     let _ = writeln!(json, "      \"p99/8\": {}", srv8.p99_us);
     json.push_str("    }\n  },\n");
+
+    // Workload replay: one recorded mixed trace through the workload
+    // harness's backend adapters. The gated cells are raw-replay time
+    // over each backend's time on the same trace — the typed/sharded/
+    // minidb overheads relative to the raw word API under a realistic
+    // op stream. Ratios, so the gate transfers across machines; the
+    // server backend is excluded (TCP latency would swamp the cell).
+    let n_wl: u64 = flag("--nwl").and_then(|v| v.parse().ok()).unwrap_or(4_000);
+    let trace = bench_trace(n_wl);
+    let best_wl = |kind: BackendKind| {
+        (0..3)
+            .map(|_| run_workload_replay(kind, &trace).as_secs_f64())
+            .fold(f64::MAX, f64::min)
+    };
+    let raw_t = best_wl(BackendKind::Raw);
+    let _ = writeln!(json, "  \"workload_replay\": {{");
+    let _ = writeln!(json, "    \"ops_per_cell\": {n_wl},");
+    let _ = writeln!(json, "    \"replay_vs_raw\": {{");
+    let mut wl_cells = Vec::new();
+    for kind in [
+        BackendKind::Typed,
+        BackendKind::Sharded,
+        BackendKind::Minidb,
+    ] {
+        let t = best_wl(kind);
+        wl_cells.push(format!(
+            "      \"{}/raw\": {:.2}",
+            kind.name(),
+            raw_t / t.max(f64::MIN_POSITIVE)
+        ));
+    }
+    json.push_str(&wl_cells.join(",\n"));
+    json.push_str("\n    }\n  },\n");
 
     let _ = writeln!(json, "  \"fig18\": {{");
     let _ = writeln!(json, "    \"klasses\": 20,");

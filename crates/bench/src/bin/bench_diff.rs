@@ -27,9 +27,13 @@
 //! against a 4-shard networked server) gates the same way, and
 //! `--server8-floor <ratio>` (default `1.2`) enforces an absolute floor
 //! on the `conns/8` cell — cross-connection group commit must keep
-//! concurrent clients meaningfully ahead of a lone connection. fig18
-//! load times and server latencies are printed for context but never
-//! gate (absolute milliseconds/µs are too machine-dependent).
+//! concurrent clients meaningfully ahead of a lone connection. The
+//! `workload_replay` ratios (raw-word replay time over each richer
+//! backend's time on one recorded trace) gate the same way — a
+//! typed-session, sharded, or minidb slowdown on a realistic op stream
+//! trips it. fig18 load times and server latencies are printed for
+//! context but never gate (absolute milliseconds/µs are too
+//! machine-dependent).
 
 use espresso_bench::diff::{diff_ratio_cells, diff_speedups, parse_map_section, CellDiff};
 use espresso_bench::report::print_table;
@@ -138,6 +142,20 @@ fn main() {
         );
     } else {
         eprintln!("bench_diff: no server_throughput cells in {baseline_path}; skipping that gate");
+    }
+
+    // Workload-replay gate: raw-replay time over each backend's time on
+    // one recorded trace, same lower-bound rule. Absent in baselines
+    // from before the workload harness existed — skipped, not failed.
+    let wl_diffs = diff_ratio_cells(&baseline, &current, "replay_vs_raw", tolerance);
+    if !wl_diffs.is_empty() {
+        print_table(
+            &format!("workload_replay gate (tolerance {:.0}%)", tolerance * 100.0),
+            &["cell", "baseline", "current", "floor", "status"],
+            &ratio_rows(&wl_diffs),
+        );
+    } else {
+        eprintln!("bench_diff: no workload_replay cells in {baseline_path}; skipping that gate");
     }
 
     // Absolute readers/4 floor, independent of the committed baseline:
@@ -249,6 +267,7 @@ fn main() {
         .chain(shard_diffs.iter())
         .chain(reader_diffs.iter())
         .chain(server_diffs.iter())
+        .chain(wl_diffs.iter())
         .filter(|d| d.regressed)
         .count();
     if regressions > 0 || shard4_failed || readers_failed || server8_failed {
@@ -257,6 +276,6 @@ fn main() {
     }
     println!(
         "\nbench_diff: all {} gated cells within tolerance",
-        diffs.len() + shard_diffs.len() + reader_diffs.len() + server_diffs.len()
+        diffs.len() + shard_diffs.len() + reader_diffs.len() + server_diffs.len() + wl_diffs.len()
     );
 }

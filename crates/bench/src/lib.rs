@@ -14,6 +14,7 @@ pub mod jpab;
 pub mod micro;
 pub mod report;
 pub mod srv;
+pub mod wl;
 
 /// Parses `--n <count>` from argv, falling back to `default`.
 pub fn scale_arg(default: usize) -> usize {

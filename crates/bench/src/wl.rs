@@ -1,0 +1,49 @@
+//! Workload-replay cell: one recorded trace (mixed get/set/del/field/txn
+//! ops, uniform keys, periodic commits) replayed through the workload
+//! harness's backend adapters. The gated numbers are ratios of raw-word
+//! replay time over each richer backend's time on the *same trace* —
+//! the typed-session, sharded-heap, and minidb overheads relative to
+//! the raw `Pjh` word API, measured end-to-end through a realistic op
+//! stream instead of a single-op microbench.
+
+use std::time::Duration;
+
+use espresso_workload::replay::replay;
+use espresso_workload::{make_backend, record, BackendKind, OpMix, Scenario, Skew, Trace};
+
+/// The bench scenario: deterministic by construction (fixed seed, no
+/// wall-clock inputs), sized by `ops`, shaped like `workloads/mixed_small.json`.
+pub fn bench_trace(ops: u64) -> Trace {
+    record(&Scenario {
+        name: "bench_mixed".into(),
+        key_space: 64,
+        ops,
+        seed: 0xBE7C_4A5E,
+        value_len: (8, 48),
+        mix: OpMix {
+            get: 35,
+            set: 30,
+            del: 5,
+            fget: 10,
+            fset: 12,
+            txn: 8,
+        },
+        skew: Skew::Uniform,
+        commit_every: 200,
+        faults: None,
+    })
+}
+
+/// Replays `trace` on a fresh backend of `kind`, returning wall-clock
+/// for the op stream (the final digest check is included — it is part
+/// of what every replay pays).
+///
+/// # Panics
+///
+/// If the backend cannot be built or the replay errors: a timing cell
+/// over a failed replay would be meaningless.
+pub fn run_workload_replay(kind: BackendKind, trace: &Trace) -> Duration {
+    let mut backend = make_backend(kind, trace.key_space).expect("build backend");
+    let report = replay(backend.as_mut(), trace, None).expect("replay trace");
+    report.elapsed
+}

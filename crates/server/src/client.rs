@@ -17,6 +17,11 @@ pub struct Client {
     writer: BufWriter<TcpStream>,
 }
 
+/// Role-named alias for [`Client`]: external tooling (the workload
+/// harness's `server` backend, scripts embedding the crate) reaches the
+/// blocking key-value client under this name.
+pub type KvClient = Client;
+
 impl Client {
     /// Connects to a server.
     ///

@@ -25,3 +25,5 @@ pub mod client;
 pub mod load;
 pub mod protocol;
 pub mod server;
+
+pub use client::{Client, KvClient};

@@ -1,0 +1,196 @@
+//! The [`Backend`] trait: one op vocabulary every persistence layer
+//! implements, so a single trace replays identically against all of
+//! them, plus the [`state_digest`] that proves two replays converged.
+//!
+//! # The shared entry model
+//!
+//! Every adapter exposes the server's KV data model (see
+//! `crates/server/src/server.rs`): each key owns one *entry* holding an
+//! optional byte value plus [`NUM_FIELDS`] u64 slots.
+//! The contract every backend must honor, because the digest hashes
+//! exactly this state:
+//!
+//! * `set` creates the entry if absent (fields all zero) and replaces
+//!   only the value.
+//! * `fset` creates the entry if absent, with **no** value.
+//! * `get` on an entry without a value reports "not found", like the
+//!   server's `GET` on a key that only ever saw `FSET`.
+//! * `fget` answers for any existing entry (fields default to 0) and
+//!   `None` only when the entry itself is absent.
+//! * `del` removes the whole entry — value and fields.
+//! * `txn` applies its parts to one key in order, atomically: `Del` then
+//!   `Set` leaves a fresh entry; `Set` then `Del` leaves the key gone.
+
+use crate::trace::TxnPart;
+use crate::{WorkloadError, NUM_FIELDS};
+
+/// The five persistence layers a trace can drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Raw word-level `Pjh` API on a single managed heap.
+    Raw,
+    /// Typed-object sessions (`PObject` schema + `PRef`) on a single
+    /// managed heap — the server's data path minus sharding and TCP.
+    Typed,
+    /// `ShardedHeap` with raw per-shard ops and fan-out commits.
+    Sharded,
+    /// The WAL-durable relational engine (`espresso-minidb`).
+    Minidb,
+    /// A live `espresso-server` over loopback TCP, driven through the
+    /// blocking client.
+    Server,
+}
+
+impl BackendKind {
+    /// Every kind, in matrix display order.
+    pub const ALL: [BackendKind; 5] = [
+        BackendKind::Raw,
+        BackendKind::Typed,
+        BackendKind::Sharded,
+        BackendKind::Minidb,
+        BackendKind::Server,
+    ];
+
+    /// Stable lowercase name (CLI argument and report label).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Raw => "raw",
+            BackendKind::Typed => "typed",
+            BackendKind::Sharded => "sharded",
+            BackendKind::Minidb => "minidb",
+            BackendKind::Server => "server",
+        }
+    }
+
+    /// Parses a CLI name.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::Invalid`] naming the accepted spellings.
+    pub fn parse(s: &str) -> Result<BackendKind, WorkloadError> {
+        BackendKind::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| {
+                WorkloadError::Invalid(format!(
+                    "unknown backend {s:?} (expected raw|typed|sharded|minidb|server)"
+                ))
+            })
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What a crash preserves, which decides the expected post-recovery
+/// state (see `crate::replay::durable_prefix`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// State becomes durable at `Commit` ops whose flush was awaited:
+    /// a crash rolls back to the last such commit. The PJH-backed
+    /// adapters.
+    EpochCommit,
+    /// Every op is WAL-durable before it returns: a crash preserves
+    /// everything executed. minidb.
+    PerOp,
+}
+
+/// One persistence layer under test. Keys are trace indices
+/// (`0..key_space`); adapters map them through
+/// [`key_name`](crate::trace::key_name) so on-heap root names match the
+/// server's keyspace conventions.
+pub trait Backend {
+    /// Which adapter this is.
+    fn kind(&self) -> BackendKind;
+
+    /// Reads the value, `None` when the key is absent **or** its entry
+    /// holds no value.
+    fn get(&mut self, key: u32) -> Result<Option<Vec<u8>>, WorkloadError>;
+
+    /// Writes the value, creating the entry if needed.
+    fn set(&mut self, key: u32, value: &[u8]) -> Result<(), WorkloadError>;
+
+    /// Removes the entry; reports whether it existed.
+    fn del(&mut self, key: u32) -> Result<bool, WorkloadError>;
+
+    /// Reads field `index`; `None` when the entry is absent.
+    fn fget(&mut self, key: u32, index: u8) -> Result<Option<u64>, WorkloadError>;
+
+    /// Writes field `index`, creating the entry (valueless) if needed.
+    fn fset(&mut self, key: u32, index: u8, value: u64) -> Result<(), WorkloadError>;
+
+    /// Applies parts to one key, in order, atomically.
+    fn txn(&mut self, key: u32, parts: &[TxnPart]) -> Result<(), WorkloadError>;
+
+    /// Seals a commit epoch; `wait` blocks until it is durable.
+    /// Always-durable backends treat this as a no-op.
+    fn commit(&mut self, wait: bool) -> Result<(), WorkloadError>;
+
+    /// This backend's crash-durability granularity.
+    fn durability(&self) -> Durability;
+
+    /// Whether [`set_flush_paused`](Self::set_flush_paused) and
+    /// [`crash_recover`](Self::crash_recover) work here. The TCP server
+    /// adapter says no: its heap lives behind the socket, and pausing
+    /// its pipeline would just turn acknowledged writes into `BUSY`.
+    fn supports_faults(&self) -> bool {
+        true
+    }
+
+    /// Pauses (or resumes) the background flush pipeline, so commits
+    /// sealed inside the window stay non-durable.
+    fn set_flush_paused(&mut self, paused: bool) -> Result<(), WorkloadError>;
+
+    /// Simulates a crash: discard everything non-durable, then recover
+    /// from the persisted image. The backend must be usable afterwards.
+    fn crash_recover(&mut self) -> Result<(), WorkloadError>;
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn feed(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Hashes the backend's full observable state: for every key in index
+/// order, entry presence, the value (length-prefixed) or its absence,
+/// and all [`NUM_FIELDS`] field slots. FNV-1a 64 —
+/// two backends (or two runs) that replayed to the same state produce
+/// the same digest, and that is the harness's convergence proof.
+///
+/// # Errors
+///
+/// Propagates backend read errors.
+pub fn state_digest(backend: &mut dyn Backend, key_space: u32) -> Result<u64, WorkloadError> {
+    let mut h = FNV_OFFSET;
+    for key in 0..key_space {
+        // Field 0 probes entry existence: `fget` answers for any live
+        // entry, even one that never saw a `set`.
+        match backend.fget(key, 0)? {
+            None => feed(&mut h, &[0]),
+            Some(_) => {
+                feed(&mut h, &[1]);
+                match backend.get(key)? {
+                    None => feed(&mut h, &[0]),
+                    Some(value) => {
+                        feed(&mut h, &[1]);
+                        feed(&mut h, &(value.len() as u32).to_be_bytes());
+                        feed(&mut h, &value);
+                    }
+                }
+                for index in 0..NUM_FIELDS as u8 {
+                    let v = backend.fget(key, index)?.unwrap_or(0);
+                    feed(&mut h, &v.to_be_bytes());
+                }
+            }
+        }
+    }
+    Ok(h)
+}

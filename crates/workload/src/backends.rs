@@ -1,0 +1,1269 @@
+//! The five [`Backend`] adapters, one per persistence layer, plus the
+//! [`make_backend`] factory the CLI and tests build from.
+//!
+//! Each adapter maps the shared entry model (see [`crate::backend`])
+//! onto its layer's native idiom:
+//!
+//! * [`RawBackend`] — word-level `Pjh` ops on one managed heap: entries
+//!   are two-reference instances (`data`, `fields`) built with
+//!   `alloc_instance`/`set_field_ref`, values are length-prefixed u64
+//!   arrays, durability at `Commit` epochs.
+//! * [`TypedBackend`] — the same heap driven through the typed-object
+//!   layer (`PObject` schema, `PRef`, undo-logged `txn`), a faithful
+//!   single-shard port of the server's `op_set`/`op_txn` data path.
+//! * [`ShardedBackend`] — raw ops routed across a [`ShardedHeap`], with
+//!   fan-out commits and per-shard crash recovery.
+//! * [`MinidbBackend`] — one `kv` table in the WAL-durable relational
+//!   engine; every statement is durable before it returns.
+//! * [`ServerBackend`] — a real `espresso-server` on loopback TCP,
+//!   driven through the blocking protocol client.
+//!
+//! The PJH-backed adapters own a unique on-disk heap directory (removed
+//! on drop) so a crash can be simulated honestly: resume the flush
+//! pipeline, abort whatever it queued, drop the manager, and reopen from
+//! the image files — exactly the state a real process would find after
+//! `kill -9`.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use espresso_core::{
+    HeapHandle, HeapManager, LoadOptions, Pjh, PjhConfig, PjhError, ShardedHeap, ShardedKlass,
+};
+use espresso_minidb::{ColType, Database, Value};
+use espresso_nvm::{NvmConfig, NvmDevice};
+use espresso_object::{ArrFld, FieldDesc, KlassId, PArr, PObject, PRef, Ref, Schema};
+use espresso_server::client::Client;
+use espresso_server::protocol::TxnOp;
+use espresso_server::server::{Server, ServerConfig, ServerHandle};
+
+use crate::backend::{Backend, BackendKind, Durability};
+use crate::trace::{key_name, TxnPart};
+use crate::{WorkloadError, NUM_FIELDS};
+
+/// Heap bytes for the single-heap adapters.
+const HEAP_BYTES: usize = 32 << 20;
+/// Shards and per-shard bytes for the sharded and server adapters.
+const SHARDS: usize = 4;
+const SHARD_BYTES: usize = 16 << 20;
+/// Heap name inside each adapter's private directory.
+const HEAP_NAME: &str = "wl";
+
+fn pjh_err(e: PjhError) -> WorkloadError {
+    WorkloadError::Backend(format!("pjh: {e}"))
+}
+
+/// Name-table capacity: every key is a root, so size for the keyspace
+/// with the same headroom the server defaults carry.
+fn table_capacity(key_space: u32) -> usize {
+    (8 << 10).max(4 * key_space as usize)
+}
+
+fn heap_config(key_space: u32) -> PjhConfig {
+    PjhConfig {
+        name_table_capacity: table_capacity(key_space),
+        ..PjhConfig::default()
+    }
+}
+
+/// A fresh directory under the system temp root; adapters remove it on
+/// drop. Uniqueness comes from pid + a process-wide counter so parallel
+/// tests never collide.
+fn unique_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "espresso-workload-{tag}-{}-{n}",
+        std::process::id()
+    ))
+}
+
+/// Words for a length-prefixed value array: word 0 is the byte length,
+/// the rest pack bytes 8-per-word little-endian (the server's layout).
+fn value_words(len: usize) -> usize {
+    1 + len.div_ceil(8)
+}
+
+fn pack_word(chunk: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    b[..chunk.len()].copy_from_slice(chunk);
+    u64::from_le_bytes(b)
+}
+
+fn unpack_value(len: usize, word_at: impl Fn(usize) -> u64) -> Vec<u8> {
+    let mut value = Vec::with_capacity(len);
+    for i in 0..len.div_ceil(8) {
+        let word = word_at(1 + i).to_le_bytes();
+        let take = (len - i * 8).min(8);
+        value.extend_from_slice(&word[..take]);
+    }
+    value
+}
+
+/// Runs a write section; on [`PjhError::HeapFull`] collects the heap
+/// (reclaiming deleted entries and replaced values) and retries once —
+/// the server's `with_gc_retry` idiom.
+fn with_gc_retry<T>(
+    handle: &HeapHandle,
+    mut f: impl FnMut(&mut Pjh) -> Result<T, PjhError>,
+) -> Result<T, WorkloadError> {
+    match handle.with_mut(&mut f) {
+        Err(PjhError::HeapFull { .. }) => {
+            handle
+                .with_mut(|h| h.gc_full(&[]).map(|_| ()))
+                .map_err(pjh_err)?;
+            handle.with_mut(&mut f).map_err(pjh_err)
+        }
+        other => other.map_err(pjh_err),
+    }
+}
+
+// ---- raw word-level ops (shared by RawBackend and ShardedBackend) ----
+
+/// The two reference slots of a raw entry instance.
+const F_DATA: usize = 0;
+const F_FIELDS: usize = 1;
+
+/// Raw entry class name (layout-validated against the image on reopen).
+const RAW_ENTRY_CLASS: &str = "WorkloadRawEntry";
+
+fn raw_entry_fields() -> Vec<FieldDesc> {
+    vec![FieldDesc::reference("data"), FieldDesc::reference("fields")]
+}
+
+/// Allocates and fills a value array with plain persisted stores. The
+/// array is fresh and unreachable until linked, so a crash in between
+/// leaves garbage, never a torn entry.
+fn raw_alloc_value(h: &mut Pjh, kid_arr: KlassId, value: &[u8]) -> Result<Ref, PjhError> {
+    let arr = h.alloc_array(kid_arr, value_words(value.len()))?;
+    h.array_set(arr, 0, value.len() as u64);
+    for (i, chunk) in value.chunks(8).enumerate() {
+        h.array_set(arr, 1 + i, pack_word(chunk));
+    }
+    h.flush_object(arr);
+    Ok(arr)
+}
+
+/// The key's entry, created (with a zeroed fields array) and published
+/// if absent.
+fn raw_entry(
+    h: &mut Pjh,
+    kid_entry: KlassId,
+    kid_arr: KlassId,
+    name: &str,
+) -> Result<Ref, PjhError> {
+    if let Some(e) = h.get_root(name) {
+        return Ok(e);
+    }
+    let e = h.alloc_instance(kid_entry)?;
+    // Freed regions are zeroed before reuse, so a fresh array reads 0 —
+    // the field-default contract the digest depends on.
+    let fields = h.alloc_array(kid_arr, NUM_FIELDS)?;
+    h.set_field_ref(e, F_FIELDS, fields)?;
+    h.flush_object(e);
+    h.set_root(name, e)?;
+    Ok(e)
+}
+
+fn raw_set(
+    handle: &HeapHandle,
+    kid_entry: KlassId,
+    kid_arr: KlassId,
+    name: &str,
+    value: &[u8],
+) -> Result<(), WorkloadError> {
+    with_gc_retry(handle, |h| {
+        let arr = raw_alloc_value(h, kid_arr, value)?;
+        let e = raw_entry(h, kid_entry, kid_arr, name)?;
+        h.set_field_ref(e, F_DATA, arr)?;
+        h.flush_object(e);
+        Ok(())
+    })
+}
+
+fn raw_fset(
+    handle: &HeapHandle,
+    kid_entry: KlassId,
+    kid_arr: KlassId,
+    name: &str,
+    index: u8,
+    value: u64,
+) -> Result<(), WorkloadError> {
+    with_gc_retry(handle, |h| {
+        let e = raw_entry(h, kid_entry, kid_arr, name)?;
+        let fields = h.field_ref(e, F_FIELDS);
+        h.array_set(fields, usize::from(index), value);
+        h.flush_element(fields, usize::from(index));
+        Ok(())
+    })
+}
+
+fn raw_get(handle: &HeapHandle, name: &str) -> Option<Vec<u8>> {
+    handle.with(|h| {
+        let e = h.get_root(name)?;
+        let data = h.field_ref(e, F_DATA);
+        if data.is_null() {
+            return None;
+        }
+        let len = h.array_get(data, 0) as usize;
+        Some(unpack_value(len, |i| h.array_get(data, i)))
+    })
+}
+
+fn raw_fget(handle: &HeapHandle, name: &str, index: u8) -> Option<u64> {
+    handle.with(|h| {
+        let e = h.get_root(name)?;
+        let fields = h.field_ref(e, F_FIELDS);
+        Some(h.array_get(fields, usize::from(index)))
+    })
+}
+
+fn raw_txn(
+    handle: &HeapHandle,
+    kid_entry: KlassId,
+    kid_arr: KlassId,
+    name: &str,
+    parts: &[TxnPart],
+) -> Result<(), WorkloadError> {
+    // Parts apply in order under one write-session lock; replay is
+    // single-threaded and commit epochs only seal between trace ops, so
+    // sequential application is indistinguishable from staged atomicity
+    // here (`Del` then `Set` leaves a fresh entry, `Set` then `Del`
+    // leaves the key gone).
+    for part in parts {
+        match part {
+            TxnPart::Set(value) => raw_set(handle, kid_entry, kid_arr, name, value)?,
+            TxnPart::FSet(index, value) => {
+                raw_fset(handle, kid_entry, kid_arr, name, *index, *value)?;
+            }
+            TxnPart::Del => {
+                handle.with_mut(|h| h.remove_root(name));
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---- raw backend ----
+
+/// Word-level `Pjh` adapter on one managed heap.
+pub struct RawBackend {
+    dir: PathBuf,
+    key_space: u32,
+    mgr: Option<HeapManager>,
+    handle: Option<HeapHandle>,
+    kid_entry: KlassId,
+    kid_arr: KlassId,
+}
+
+impl RawBackend {
+    /// Creates a fresh heap in a private directory.
+    ///
+    /// # Errors
+    ///
+    /// Heap creation errors.
+    pub fn new(key_space: u32) -> Result<RawBackend, WorkloadError> {
+        let dir = unique_dir("raw");
+        let mgr = HeapManager::open(&dir).map_err(pjh_err)?;
+        let handle = mgr
+            .open_or_create(HEAP_NAME, HEAP_BYTES, heap_config(key_space))
+            .map_err(pjh_err)?;
+        let (kid_entry, kid_arr) = Self::register(&handle)?;
+        Ok(RawBackend {
+            dir,
+            key_space,
+            mgr: Some(mgr),
+            handle: Some(handle),
+            kid_entry,
+            kid_arr,
+        })
+    }
+
+    fn register(handle: &HeapHandle) -> Result<(KlassId, KlassId), WorkloadError> {
+        handle
+            .with_mut(|h| {
+                let kid_entry = h.register_instance(RAW_ENTRY_CLASS, raw_entry_fields())?;
+                let kid_arr = h.register_prim_array();
+                Ok((kid_entry, kid_arr))
+            })
+            .map_err(pjh_err)
+    }
+
+    fn handle(&self) -> &HeapHandle {
+        self.handle.as_ref().expect("backend is open")
+    }
+}
+
+impl Backend for RawBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Raw
+    }
+
+    fn get(&mut self, key: u32) -> Result<Option<Vec<u8>>, WorkloadError> {
+        Ok(raw_get(self.handle(), &key_name(key)))
+    }
+
+    fn set(&mut self, key: u32, value: &[u8]) -> Result<(), WorkloadError> {
+        raw_set(
+            self.handle(),
+            self.kid_entry,
+            self.kid_arr,
+            &key_name(key),
+            value,
+        )
+    }
+
+    fn del(&mut self, key: u32) -> Result<bool, WorkloadError> {
+        Ok(self.handle().with_mut(|h| h.remove_root(&key_name(key))))
+    }
+
+    fn fget(&mut self, key: u32, index: u8) -> Result<Option<u64>, WorkloadError> {
+        Ok(raw_fget(self.handle(), &key_name(key), index))
+    }
+
+    fn fset(&mut self, key: u32, index: u8, value: u64) -> Result<(), WorkloadError> {
+        raw_fset(
+            self.handle(),
+            self.kid_entry,
+            self.kid_arr,
+            &key_name(key),
+            index,
+            value,
+        )
+    }
+
+    fn txn(&mut self, key: u32, parts: &[TxnPart]) -> Result<(), WorkloadError> {
+        raw_txn(
+            self.handle(),
+            self.kid_entry,
+            self.kid_arr,
+            &key_name(key),
+            parts,
+        )
+    }
+
+    fn commit(&mut self, wait: bool) -> Result<(), WorkloadError> {
+        let ticket = self.handle().commit().map_err(pjh_err)?;
+        if wait {
+            ticket.wait().map_err(pjh_err)?;
+        }
+        Ok(())
+    }
+
+    fn durability(&self) -> Durability {
+        Durability::EpochCommit
+    }
+
+    fn set_flush_paused(&mut self, paused: bool) -> Result<(), WorkloadError> {
+        self.handle().set_flush_paused(paused);
+        Ok(())
+    }
+
+    fn crash_recover(&mut self) -> Result<(), WorkloadError> {
+        let handle = self.handle.take().expect("backend is open");
+        // Abort *before* resuming: once the pipeline wakes, it would
+        // apply the queued epochs instead of losing them. Then resume so
+        // the manager's drop drain cannot hang on a paused worker.
+        handle.abort_pending_commits();
+        handle.set_flush_paused(false);
+        drop(handle);
+        self.mgr = None; // drop order: handle, then manager
+        let mgr = HeapManager::open(&self.dir).map_err(pjh_err)?;
+        let handle = mgr
+            .load(HEAP_NAME, LoadOptions::default())
+            .map_err(pjh_err)?;
+        let (kid_entry, kid_arr) = Self::register(&handle)?;
+        let _ = self.key_space; // capacity persisted with the image
+        self.kid_entry = kid_entry;
+        self.kid_arr = kid_arr;
+        self.handle = Some(handle);
+        self.mgr = Some(mgr);
+        Ok(())
+    }
+}
+
+impl Drop for RawBackend {
+    fn drop(&mut self) {
+        if let Some(h) = &self.handle {
+            h.set_flush_paused(false);
+        }
+        self.handle = None;
+        self.mgr = None;
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+// ---- typed backend ----
+
+/// The typed entry class — same two-array shape as the server's
+/// `EspressoKvEntry`, under this crate's own name so a workload heap is
+/// never mistaken for a server heap.
+struct WlEntry;
+
+impl PObject for WlEntry {
+    const CLASS_NAME: &'static str = "WorkloadKvEntry";
+    fn schema() -> Schema {
+        Schema::builder(Self::CLASS_NAME)
+            .array_field("data")
+            .array_field("fields")
+            .build()
+    }
+}
+
+/// Typed-session adapter: the server's data path on one unsharded heap.
+pub struct TypedBackend {
+    dir: PathBuf,
+    mgr: Option<HeapManager>,
+    handle: Option<HeapHandle>,
+    data_fld: ArrFld<WlEntry>,
+    fields_fld: ArrFld<WlEntry>,
+}
+
+impl TypedBackend {
+    /// Creates a fresh heap in a private directory.
+    ///
+    /// # Errors
+    ///
+    /// Heap creation / schema registration errors.
+    pub fn new(key_space: u32) -> Result<TypedBackend, WorkloadError> {
+        let dir = unique_dir("typed");
+        let mgr = HeapManager::open(&dir).map_err(pjh_err)?;
+        let handle = mgr
+            .open_or_create(HEAP_NAME, HEAP_BYTES, heap_config(key_space))
+            .map_err(pjh_err)?;
+        let (data_fld, fields_fld) = Self::register(&handle)?;
+        Ok(TypedBackend {
+            dir,
+            mgr: Some(mgr),
+            handle: Some(handle),
+            data_fld,
+            fields_fld,
+        })
+    }
+
+    fn register(handle: &HeapHandle) -> Result<(ArrFld<WlEntry>, ArrFld<WlEntry>), WorkloadError> {
+        let class = handle.register::<WlEntry>().map_err(pjh_err)?;
+        let data = class.arr_field("data").expect("declared field");
+        let fields = class.arr_field("fields").expect("declared field");
+        Ok((data, fields))
+    }
+
+    fn handle(&self) -> &HeapHandle {
+        self.handle.as_ref().expect("backend is open")
+    }
+
+    /// Allocates and fills a value array outside any transaction (the
+    /// server's `alloc_value_arr`): fresh and unreachable, so it needs
+    /// no undo logging however large the value.
+    fn alloc_value(h: &mut Pjh, value: &[u8]) -> Result<PArr, PjhError> {
+        let arr = h.alloc_arr(value_words(value.len()))?;
+        h.array_set(arr.raw(), 0, value.len() as u64);
+        for (i, chunk) in value.chunks(8).enumerate() {
+            h.array_set(arr.raw(), 1 + i, pack_word(chunk));
+        }
+        h.flush_object(arr.raw());
+        Ok(arr)
+    }
+}
+
+impl Backend for TypedBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Typed
+    }
+
+    fn get(&mut self, key: u32) -> Result<Option<Vec<u8>>, WorkloadError> {
+        let name = key_name(key);
+        let session = self.handle().read();
+        let entry: Option<PRef<WlEntry>> = session.root::<WlEntry>(&name).map_err(pjh_err)?;
+        let Some(entry) = entry else { return Ok(None) };
+        let Some(data) = session.get_arr(entry, self.data_fld) else {
+            return Ok(None);
+        };
+        let len = session.arr_get(data, 0) as usize;
+        Ok(Some(unpack_value(len, |i| session.arr_get(data, i))))
+    }
+
+    fn set(&mut self, key: u32, value: &[u8]) -> Result<(), WorkloadError> {
+        let name = key_name(key);
+        let data_fld = self.data_fld;
+        let fields_fld = self.fields_fld;
+        with_gc_retry(self.handle.as_ref().expect("backend is open"), |h| {
+            let arr = Self::alloc_value(h, value)?;
+            let (entry, fresh) = h.txn(|t| {
+                let (entry, fresh) = match t.root::<WlEntry>(&name)? {
+                    Some(entry) => (entry, false),
+                    None => {
+                        let entry = t.alloc::<WlEntry>()?;
+                        let fields = t.alloc_arr(NUM_FIELDS)?;
+                        t.set_arr(entry, fields_fld, Some(fields))?;
+                        (entry, true)
+                    }
+                };
+                t.set_arr(entry, data_fld, Some(arr))?;
+                Ok((entry, fresh))
+            })?;
+            if fresh {
+                // Publish after the transaction commits: a crash between
+                // leaves unreachable garbage, never a torn entry.
+                h.set_root_typed(&name, entry)?;
+            }
+            Ok(())
+        })
+    }
+
+    fn del(&mut self, key: u32) -> Result<bool, WorkloadError> {
+        Ok(self.handle().with_mut(|h| h.remove_root(&key_name(key))))
+    }
+
+    fn fget(&mut self, key: u32, index: u8) -> Result<Option<u64>, WorkloadError> {
+        let name = key_name(key);
+        let session = self.handle().read();
+        let entry: Option<PRef<WlEntry>> = session.root::<WlEntry>(&name).map_err(pjh_err)?;
+        let Some(entry) = entry else { return Ok(None) };
+        let fields = session
+            .get_arr(entry, self.fields_fld)
+            .expect("entries always carry a fields array");
+        Ok(Some(session.arr_get(fields, usize::from(index))))
+    }
+
+    fn fset(&mut self, key: u32, index: u8, value: u64) -> Result<(), WorkloadError> {
+        let name = key_name(key);
+        let fields_fld = self.fields_fld;
+        with_gc_retry(self.handle.as_ref().expect("backend is open"), |h| {
+            let (entry, fresh) = h.txn(|t| {
+                let (entry, fresh) = match t.root::<WlEntry>(&name)? {
+                    Some(entry) => (entry, false),
+                    None => {
+                        let entry = t.alloc::<WlEntry>()?;
+                        let fields = t.alloc_arr(NUM_FIELDS)?;
+                        t.set_arr(entry, fields_fld, Some(fields))?;
+                        (entry, true)
+                    }
+                };
+                let fields = t
+                    .get_arr(entry, fields_fld)
+                    .expect("entries always carry a fields array");
+                t.arr_set(fields, usize::from(index), value);
+                Ok((entry, fresh))
+            })?;
+            if fresh {
+                h.set_root_typed(&name, entry)?;
+            }
+            Ok(())
+        })
+    }
+
+    fn txn(&mut self, key: u32, parts: &[TxnPart]) -> Result<(), WorkloadError> {
+        let name = key_name(key);
+        let data_fld = self.data_fld;
+        let fields_fld = self.fields_fld;
+        with_gc_retry(self.handle.as_ref().expect("backend is open"), |h| {
+            // Value arrays are filled unlogged before the transaction;
+            // the transaction links them — its undo-log cost is a few
+            // words per part regardless of value sizes.
+            let mut value_arrs: Vec<PArr> = Vec::new();
+            for part in parts {
+                if let TxnPart::Set(value) = part {
+                    value_arrs.push(Self::alloc_value(h, value)?);
+                }
+            }
+            // The staged view of the single key this transaction owns:
+            // `None` = untouched (root stands), `Some(None)` = staged
+            // delete, `Some(Some(e))` = publish `e` after commit.
+            let mut staged: Option<Option<PRef<WlEntry>>> = None;
+            h.txn(|t| {
+                staged = None;
+                let mut next_arr = value_arrs.iter();
+                for part in parts {
+                    if let TxnPart::Del = part {
+                        staged = Some(None);
+                        continue;
+                    }
+                    let current = match staged {
+                        Some(view) => view,
+                        None => t.root::<WlEntry>(&name)?,
+                    };
+                    let entry = match current {
+                        Some(entry) => entry,
+                        None => {
+                            let entry = t.alloc::<WlEntry>()?;
+                            let fields = t.alloc_arr(NUM_FIELDS)?;
+                            t.set_arr(entry, fields_fld, Some(fields))?;
+                            staged = Some(Some(entry));
+                            entry
+                        }
+                    };
+                    match part {
+                        TxnPart::Set(_) => {
+                            let arr = *next_arr.next().expect("one array per Set part");
+                            t.set_arr(entry, data_fld, Some(arr))?;
+                        }
+                        TxnPart::FSet(index, value) => {
+                            let fields = t
+                                .get_arr(entry, fields_fld)
+                                .expect("entries always carry a fields array");
+                            t.arr_set(fields, usize::from(*index), *value);
+                        }
+                        TxnPart::Del => unreachable!("handled above"),
+                    }
+                }
+                Ok(())
+            })?;
+            // Root changes after the commit, still under this write
+            // session, so no epoch can seal between them.
+            match staged {
+                Some(Some(entry)) => h.set_root_typed(&name, entry)?,
+                Some(None) => {
+                    h.remove_root(&name);
+                }
+                None => {}
+            }
+            Ok(())
+        })
+    }
+
+    fn commit(&mut self, wait: bool) -> Result<(), WorkloadError> {
+        let ticket = self.handle().commit().map_err(pjh_err)?;
+        if wait {
+            ticket.wait().map_err(pjh_err)?;
+        }
+        Ok(())
+    }
+
+    fn durability(&self) -> Durability {
+        Durability::EpochCommit
+    }
+
+    fn set_flush_paused(&mut self, paused: bool) -> Result<(), WorkloadError> {
+        self.handle().set_flush_paused(paused);
+        Ok(())
+    }
+
+    fn crash_recover(&mut self) -> Result<(), WorkloadError> {
+        let handle = self.handle.take().expect("backend is open");
+        // Abort before resuming — see `RawBackend::crash_recover`.
+        handle.abort_pending_commits();
+        handle.set_flush_paused(false);
+        drop(handle);
+        self.mgr = None;
+        let mgr = HeapManager::open(&self.dir).map_err(pjh_err)?;
+        let handle = mgr
+            .load(HEAP_NAME, LoadOptions::default())
+            .map_err(pjh_err)?;
+        let (data_fld, fields_fld) = Self::register(&handle)?;
+        self.data_fld = data_fld;
+        self.fields_fld = fields_fld;
+        self.handle = Some(handle);
+        self.mgr = Some(mgr);
+        Ok(())
+    }
+}
+
+impl Drop for TypedBackend {
+    fn drop(&mut self) {
+        if let Some(h) = &self.handle {
+            h.set_flush_paused(false);
+        }
+        self.handle = None;
+        self.mgr = None;
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+// ---- sharded backend ----
+
+/// Raw ops routed across a [`ShardedHeap`]; commits fan out to every
+/// shard and durability is the all-shards barrier.
+pub struct ShardedBackend {
+    dir: PathBuf,
+    mgr: Option<HeapManager>,
+    heap: Option<ShardedHeap>,
+    klass: Option<ShardedKlass>,
+    arr_kids: Vec<KlassId>,
+}
+
+impl ShardedBackend {
+    /// Creates a fresh sharded heap in a private directory.
+    ///
+    /// # Errors
+    ///
+    /// Heap creation errors.
+    pub fn new(key_space: u32) -> Result<ShardedBackend, WorkloadError> {
+        let dir = unique_dir("sharded");
+        let mgr = HeapManager::open(&dir).map_err(pjh_err)?;
+        let heap =
+            ShardedHeap::create(&mgr, HEAP_NAME, SHARDS, SHARD_BYTES, heap_config(key_space))
+                .map_err(pjh_err)?;
+        let (klass, arr_kids) = Self::register(&heap)?;
+        Ok(ShardedBackend {
+            dir,
+            mgr: Some(mgr),
+            heap: Some(heap),
+            klass: Some(klass),
+            arr_kids,
+        })
+    }
+
+    fn register(heap: &ShardedHeap) -> Result<(ShardedKlass, Vec<KlassId>), WorkloadError> {
+        let klass = heap
+            .register_instance(RAW_ENTRY_CLASS, raw_entry_fields())
+            .map_err(pjh_err)?;
+        let arr_kids = (0..heap.num_shards())
+            .map(|i| heap.handle(i).with_mut(|h| h.register_prim_array()))
+            .collect();
+        Ok((klass, arr_kids))
+    }
+
+    fn heap(&self) -> &ShardedHeap {
+        self.heap.as_ref().expect("backend is open")
+    }
+
+    /// The shard-local raw vocabulary for `name`'s home shard.
+    fn route(&self, name: &str) -> (&HeapHandle, KlassId, KlassId) {
+        let heap = self.heap.as_ref().expect("backend is open");
+        let shard = heap.shard_of(name);
+        (
+            heap.handle(shard),
+            self.klass.as_ref().expect("backend is open").id(shard),
+            self.arr_kids[shard],
+        )
+    }
+}
+
+impl Backend for ShardedBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Sharded
+    }
+
+    fn get(&mut self, key: u32) -> Result<Option<Vec<u8>>, WorkloadError> {
+        let name = key_name(key);
+        let (handle, _, _) = self.route(&name);
+        Ok(raw_get(handle, &name))
+    }
+
+    fn set(&mut self, key: u32, value: &[u8]) -> Result<(), WorkloadError> {
+        let name = key_name(key);
+        let (handle, kid_entry, kid_arr) = self.route(&name);
+        raw_set(handle, kid_entry, kid_arr, &name, value)
+    }
+
+    fn del(&mut self, key: u32) -> Result<bool, WorkloadError> {
+        Ok(self.heap().remove_root(&key_name(key)))
+    }
+
+    fn fget(&mut self, key: u32, index: u8) -> Result<Option<u64>, WorkloadError> {
+        let name = key_name(key);
+        let (handle, _, _) = self.route(&name);
+        Ok(raw_fget(handle, &name, index))
+    }
+
+    fn fset(&mut self, key: u32, index: u8, value: u64) -> Result<(), WorkloadError> {
+        let name = key_name(key);
+        let (handle, kid_entry, kid_arr) = self.route(&name);
+        raw_fset(handle, kid_entry, kid_arr, &name, index, value)
+    }
+
+    fn txn(&mut self, key: u32, parts: &[TxnPart]) -> Result<(), WorkloadError> {
+        let name = key_name(key);
+        let (handle, kid_entry, kid_arr) = self.route(&name);
+        raw_txn(handle, kid_entry, kid_arr, &name, parts)
+    }
+
+    fn commit(&mut self, wait: bool) -> Result<(), WorkloadError> {
+        let ticket = self.heap().commit().map_err(pjh_err)?;
+        if wait {
+            ticket.wait().map_err(pjh_err)?;
+        }
+        Ok(())
+    }
+
+    fn durability(&self) -> Durability {
+        Durability::EpochCommit
+    }
+
+    fn set_flush_paused(&mut self, paused: bool) -> Result<(), WorkloadError> {
+        self.heap().set_flush_paused(paused);
+        Ok(())
+    }
+
+    fn crash_recover(&mut self) -> Result<(), WorkloadError> {
+        let heap = self.heap.take().expect("backend is open");
+        self.klass = None;
+        // Abort before resuming — see `RawBackend::crash_recover`.
+        for i in 0..heap.num_shards() {
+            heap.handle(i).abort_pending_commits();
+        }
+        heap.set_flush_paused(false);
+        drop(heap);
+        self.mgr = None;
+        let mgr = HeapManager::open(&self.dir).map_err(pjh_err)?;
+        let heap = ShardedHeap::open(&mgr, HEAP_NAME, LoadOptions::default()).map_err(pjh_err)?;
+        let (klass, arr_kids) = Self::register(&heap)?;
+        self.klass = Some(klass);
+        self.arr_kids = arr_kids;
+        self.heap = Some(heap);
+        self.mgr = Some(mgr);
+        Ok(())
+    }
+}
+
+impl Drop for ShardedBackend {
+    fn drop(&mut self) {
+        if let Some(heap) = &self.heap {
+            heap.set_flush_paused(false);
+        }
+        self.heap = None;
+        self.mgr = None;
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+// ---- minidb backend ----
+
+/// Bytes for the in-memory NVM device minidb runs on.
+const MINIDB_BYTES: usize = 48 << 20;
+const TABLE: &str = "kv";
+/// Column indices in the `kv` table.
+const COL_VALUE: usize = 1;
+const COL_F0: usize = 2;
+
+fn db_err(e: espresso_minidb::DbError) -> WorkloadError {
+    WorkloadError::Backend(format!("minidb: {e}"))
+}
+
+/// One `kv` table in the WAL-durable engine: `k TEXT` primary key,
+/// `v TEXT` (NULL = valueless entry), `f0..f7 INT` field slots. Every
+/// statement is durable before it returns, so `Commit` ops are no-ops
+/// and a crash preserves every executed op.
+pub struct MinidbBackend {
+    dev: NvmDevice,
+    db: Option<Database>,
+    conn: Option<espresso_minidb::Connection>,
+}
+
+impl MinidbBackend {
+    /// Creates a fresh database on an in-memory device.
+    ///
+    /// # Errors
+    ///
+    /// Engine creation errors.
+    pub fn new(_key_space: u32) -> Result<MinidbBackend, WorkloadError> {
+        let dev = NvmDevice::new(NvmConfig::with_size(MINIDB_BYTES));
+        let db = Database::create(dev.clone()).map_err(db_err)?;
+        let mut conn = db.connect();
+        let mut columns = vec![
+            ("k".to_string(), ColType::Text),
+            ("v".to_string(), ColType::Text),
+        ];
+        for i in 0..NUM_FIELDS {
+            columns.push((format!("f{i}"), ColType::Int));
+        }
+        conn.create_table_direct(TABLE, columns, 0)
+            .map_err(db_err)?;
+        Ok(MinidbBackend {
+            dev,
+            db: Some(db),
+            conn: Some(conn),
+        })
+    }
+
+    fn conn(&mut self) -> &mut espresso_minidb::Connection {
+        self.conn.as_mut().expect("backend is open")
+    }
+
+    fn key_value(key: u32) -> Value {
+        Value::Str(key_name(key))
+    }
+
+    /// A fresh row: key, optional value, zeroed fields.
+    fn fresh_row(key: u32, value: Option<&[u8]>) -> Result<Vec<Value>, WorkloadError> {
+        let mut row = vec![Self::key_value(key), Self::value_cell(value)?];
+        row.extend(std::iter::repeat_with(|| Value::Int(0)).take(NUM_FIELDS));
+        Ok(row)
+    }
+
+    fn value_cell(value: Option<&[u8]>) -> Result<Value, WorkloadError> {
+        match value {
+            None => Ok(Value::Null),
+            Some(bytes) => String::from_utf8(bytes.to_vec())
+                .map(Value::Str)
+                .map_err(|_| {
+                    WorkloadError::Backend(
+                        "minidb: values must be UTF-8 (trace generation emits [a-z0-9], \
+                     so only hand-built traces can hit this)"
+                            .into(),
+                    )
+                }),
+        }
+    }
+
+    fn apply_part(&mut self, key: u32, part: &TxnPart) -> Result<(), WorkloadError> {
+        match part {
+            TxnPart::Set(value) => self.set(key, value),
+            TxnPart::Del => self.del(key).map(|_| ()),
+            TxnPart::FSet(index, value) => self.fset(key, *index, *value),
+        }
+    }
+}
+
+impl Backend for MinidbBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Minidb
+    }
+
+    fn get(&mut self, key: u32) -> Result<Option<Vec<u8>>, WorkloadError> {
+        let row = self
+            .conn()
+            .find_row(TABLE, &Self::key_value(key))
+            .map_err(db_err)?;
+        Ok(match row {
+            None => None,
+            Some(row) => match &row[COL_VALUE] {
+                Value::Str(s) => Some(s.clone().into_bytes()),
+                _ => None,
+            },
+        })
+    }
+
+    fn set(&mut self, key: u32, value: &[u8]) -> Result<(), WorkloadError> {
+        let cell = Self::value_cell(Some(value))?;
+        let k = Self::key_value(key);
+        let updated = self
+            .conn()
+            .update_fields(TABLE, &k, &[(COL_VALUE, cell)])
+            .map_err(db_err)?;
+        if updated == 0 {
+            let row = Self::fresh_row(key, Some(value))?;
+            self.conn().persist_row(TABLE, row).map_err(db_err)?;
+        }
+        Ok(())
+    }
+
+    fn del(&mut self, key: u32) -> Result<bool, WorkloadError> {
+        let affected = self
+            .conn()
+            .delete_row(TABLE, &Self::key_value(key))
+            .map_err(db_err)?;
+        Ok(affected > 0)
+    }
+
+    fn fget(&mut self, key: u32, index: u8) -> Result<Option<u64>, WorkloadError> {
+        let row = self
+            .conn()
+            .find_row(TABLE, &Self::key_value(key))
+            .map_err(db_err)?;
+        Ok(row.map(|row| match row[COL_F0 + usize::from(index)] {
+            // Fields are u64 on the heap backends; the INT column stores
+            // the same bits as i64, so the cast is lossless both ways.
+            Value::Int(v) => v as u64,
+            _ => 0,
+        }))
+    }
+
+    fn fset(&mut self, key: u32, index: u8, value: u64) -> Result<(), WorkloadError> {
+        let k = Self::key_value(key);
+        let cell = (COL_F0 + usize::from(index), Value::Int(value as i64));
+        let updated = self
+            .conn()
+            .update_fields(TABLE, &k, &[cell])
+            .map_err(db_err)?;
+        if updated == 0 {
+            let mut row = Self::fresh_row(key, None)?;
+            row[COL_F0 + usize::from(index)] = Value::Int(value as i64);
+            self.conn().persist_row(TABLE, row).map_err(db_err)?;
+        }
+        Ok(())
+    }
+
+    fn txn(&mut self, key: u32, parts: &[TxnPart]) -> Result<(), WorkloadError> {
+        self.conn().begin();
+        for part in parts {
+            if let Err(e) = self.apply_part(key, part) {
+                self.conn().rollback();
+                return Err(e);
+            }
+        }
+        self.conn().commit().map_err(db_err)
+    }
+
+    fn commit(&mut self, _wait: bool) -> Result<(), WorkloadError> {
+        // Every statement already group-flushed its WAL record.
+        Ok(())
+    }
+
+    fn durability(&self) -> Durability {
+        Durability::PerOp
+    }
+
+    fn set_flush_paused(&mut self, _paused: bool) -> Result<(), WorkloadError> {
+        // No background pipeline to pause: the WAL flush is synchronous,
+        // so a pause window narrows nothing. Accepted (not an error) so
+        // fault scenarios can still run here for crash parity.
+        Ok(())
+    }
+
+    fn crash_recover(&mut self) -> Result<(), WorkloadError> {
+        self.conn = None;
+        self.db = None;
+        self.dev.crash();
+        self.dev.recover();
+        let db = Database::open(self.dev.clone()).map_err(db_err)?;
+        self.conn = Some(db.connect());
+        self.db = Some(db);
+        Ok(())
+    }
+}
+
+// ---- server backend ----
+
+fn proto_err(e: espresso_server::protocol::ProtocolError) -> WorkloadError {
+    WorkloadError::Backend(format!("server: {e}"))
+}
+
+/// A live `espresso-server` on loopback TCP driven through the blocking
+/// [`Client`]. Writes are acknowledged on durability (group commit), so
+/// `Commit` ops are no-ops; faults are unsupported — the heap lives
+/// behind the socket, and pausing its pipeline would only turn
+/// acknowledged writes into `BUSY` refusals.
+pub struct ServerBackend {
+    handle: Option<ServerHandle>,
+    client: Client,
+}
+
+impl ServerBackend {
+    /// Starts an in-process server on a fresh port and connects.
+    ///
+    /// # Errors
+    ///
+    /// Server start / connect errors.
+    pub fn new(key_space: u32) -> Result<ServerBackend, WorkloadError> {
+        let handle = Server::start(ServerConfig {
+            shards: SHARDS,
+            shard_bytes: SHARD_BYTES,
+            name_table_capacity: table_capacity(key_space),
+            // Replay is one synchronous connection: no concurrency to
+            // shed, so make admission effectively unbounded and give the
+            // commit wait generous room under simulated NVM latency.
+            max_pending: 1 << 20,
+            commit_timeout: Duration::from_secs(30),
+            ..ServerConfig::default()
+        })
+        .map_err(|e| WorkloadError::Backend(format!("server start: {e}")))?;
+        let client = Client::connect(handle.addr()).map_err(WorkloadError::Io)?;
+        Ok(ServerBackend {
+            handle: Some(handle),
+            client,
+        })
+    }
+}
+
+impl Backend for ServerBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Server
+    }
+
+    fn get(&mut self, key: u32) -> Result<Option<Vec<u8>>, WorkloadError> {
+        self.client.get(&key_name(key)).map_err(proto_err)
+    }
+
+    fn set(&mut self, key: u32, value: &[u8]) -> Result<(), WorkloadError> {
+        self.client.set(&key_name(key), value).map_err(proto_err)
+    }
+
+    fn del(&mut self, key: u32) -> Result<bool, WorkloadError> {
+        self.client.del(&key_name(key)).map_err(proto_err)
+    }
+
+    fn fget(&mut self, key: u32, index: u8) -> Result<Option<u64>, WorkloadError> {
+        self.client.fget(&key_name(key), index).map_err(proto_err)
+    }
+
+    fn fset(&mut self, key: u32, index: u8, value: u64) -> Result<(), WorkloadError> {
+        self.client
+            .fset(&key_name(key), index, value)
+            .map_err(proto_err)
+    }
+
+    fn txn(&mut self, key: u32, parts: &[TxnPart]) -> Result<(), WorkloadError> {
+        let name = key_name(key);
+        let ops = parts
+            .iter()
+            .map(|part| match part {
+                TxnPart::Set(value) => TxnOp::Set {
+                    key: name.clone(),
+                    value: value.clone(),
+                },
+                TxnPart::Del => TxnOp::Del { key: name.clone() },
+                TxnPart::FSet(index, value) => TxnOp::FSet {
+                    key: name.clone(),
+                    index: *index,
+                    value: *value,
+                },
+            })
+            .collect();
+        self.client.txn(ops).map_err(proto_err)
+    }
+
+    fn commit(&mut self, _wait: bool) -> Result<(), WorkloadError> {
+        // Every write was already acknowledged durable by group commit.
+        Ok(())
+    }
+
+    fn durability(&self) -> Durability {
+        Durability::EpochCommit
+    }
+
+    fn supports_faults(&self) -> bool {
+        false
+    }
+
+    fn set_flush_paused(&mut self, _paused: bool) -> Result<(), WorkloadError> {
+        Err(WorkloadError::Unsupported(
+            "the server backend cannot inject faults (its heap lives behind the socket)".into(),
+        ))
+    }
+
+    fn crash_recover(&mut self) -> Result<(), WorkloadError> {
+        Err(WorkloadError::Unsupported(
+            "the server backend cannot inject faults (its heap lives behind the socket)".into(),
+        ))
+    }
+}
+
+impl Drop for ServerBackend {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            handle.stop_and_wait();
+        }
+    }
+}
+
+/// Builds a fresh, empty backend of the requested kind, sized for
+/// `key_space` keys.
+///
+/// # Errors
+///
+/// Construction errors from the underlying layer.
+pub fn make_backend(kind: BackendKind, key_space: u32) -> Result<Box<dyn Backend>, WorkloadError> {
+    Ok(match kind {
+        BackendKind::Raw => Box::new(RawBackend::new(key_space)?),
+        BackendKind::Typed => Box::new(TypedBackend::new(key_space)?),
+        BackendKind::Sharded => Box::new(ShardedBackend::new(key_space)?),
+        BackendKind::Minidb => Box::new(MinidbBackend::new(key_space)?),
+        BackendKind::Server => Box::new(ServerBackend::new(key_space)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::state_digest;
+
+    /// The entry-model contract, exercised against every embedded
+    /// backend (the server adapter is covered by the matrix tests).
+    fn contract(kind: BackendKind) {
+        let mut b = make_backend(kind, 8).unwrap();
+        assert_eq!(b.get(0).unwrap(), None);
+        assert_eq!(b.fget(0, 0).unwrap(), None);
+        b.set(0, b"hello").unwrap();
+        assert_eq!(b.get(0).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(b.fget(0, 3).unwrap(), Some(0), "fields default to zero");
+        b.fset(0, 3, 99).unwrap();
+        assert_eq!(b.fget(0, 3).unwrap(), Some(99));
+        b.set(0, b"rewritten0").unwrap();
+        assert_eq!(b.get(0).unwrap().as_deref(), Some(&b"rewritten0"[..]));
+        assert_eq!(b.fget(0, 3).unwrap(), Some(99), "set keeps fields");
+        // fset on an absent key makes a valueless entry.
+        b.fset(1, 0, 7).unwrap();
+        assert_eq!(b.get(1).unwrap(), None);
+        assert_eq!(b.fget(1, 0).unwrap(), Some(7));
+        assert!(b.del(0).unwrap());
+        assert!(!b.del(0).unwrap());
+        assert_eq!(b.get(0).unwrap(), None);
+        assert_eq!(b.fget(0, 3).unwrap(), None, "del removes fields too");
+        // Del-then-Set inside a txn leaves a fresh entry.
+        b.fset(2, 1, 5).unwrap();
+        b.txn(2, &[TxnPart::Del, TxnPart::Set(b"fresh".to_vec())])
+            .unwrap();
+        assert_eq!(b.get(2).unwrap().as_deref(), Some(&b"fresh"[..]));
+        assert_eq!(b.fget(2, 1).unwrap(), Some(0), "old fields gone");
+        // Set-then-Del leaves the key gone.
+        b.txn(3, &[TxnPart::Set(b"doomed".to_vec()), TxnPart::Del])
+            .unwrap();
+        assert_eq!(b.fget(3, 0).unwrap(), None);
+        b.commit(true).unwrap();
+    }
+
+    #[test]
+    fn raw_contract() {
+        contract(BackendKind::Raw);
+    }
+
+    #[test]
+    fn typed_contract() {
+        contract(BackendKind::Typed);
+    }
+
+    #[test]
+    fn sharded_contract() {
+        contract(BackendKind::Sharded);
+    }
+
+    #[test]
+    fn minidb_contract() {
+        contract(BackendKind::Minidb);
+    }
+
+    #[test]
+    fn digests_agree_on_identical_state() {
+        let mut digests = Vec::new();
+        for kind in [BackendKind::Raw, BackendKind::Typed, BackendKind::Minidb] {
+            let mut b = make_backend(kind, 4).unwrap();
+            b.set(0, b"same").unwrap();
+            b.fset(1, 2, 11).unwrap();
+            b.commit(true).unwrap();
+            digests.push(state_digest(b.as_mut(), 4).unwrap());
+        }
+        assert_eq!(digests[0], digests[1]);
+        assert_eq!(digests[1], digests[2]);
+    }
+
+    #[test]
+    fn crash_loses_uncommitted_state_on_raw() {
+        let mut b = RawBackend::new(4).unwrap();
+        b.set(0, b"durable").unwrap();
+        b.commit(true).unwrap();
+        b.set(1, b"volatile").unwrap();
+        b.crash_recover().unwrap();
+        assert_eq!(b.get(0).unwrap().as_deref(), Some(&b"durable"[..]));
+        assert_eq!(b.get(1).unwrap(), None, "uncommitted set lost");
+        // The backend stays usable after recovery.
+        b.set(1, b"again").unwrap();
+        b.commit(true).unwrap();
+        assert_eq!(b.get(1).unwrap().as_deref(), Some(&b"again"[..]));
+    }
+
+    #[test]
+    fn paused_pipeline_commits_are_lost_on_crash() {
+        let mut b = TypedBackend::new(4).unwrap();
+        b.set(0, b"kept").unwrap();
+        b.commit(true).unwrap();
+        b.set_flush_paused(true).unwrap();
+        b.set(1, b"sealed-not-applied").unwrap();
+        b.commit(false).unwrap();
+        b.crash_recover().unwrap();
+        assert_eq!(b.get(0).unwrap().as_deref(), Some(&b"kept"[..]));
+        assert_eq!(b.get(1).unwrap(), None, "paused-epoch commit discarded");
+    }
+
+    #[test]
+    fn minidb_crash_preserves_every_op() {
+        let mut b = MinidbBackend::new(4).unwrap();
+        b.set(0, b"walled").unwrap();
+        b.fset(1, 0, 3).unwrap();
+        b.crash_recover().unwrap();
+        assert_eq!(b.get(0).unwrap().as_deref(), Some(&b"walled"[..]));
+        assert_eq!(b.fget(1, 0).unwrap(), Some(3));
+    }
+}

@@ -1,0 +1,282 @@
+//! The `workload` CLI: record scenario traces and replay them across
+//! backends.
+//!
+//! ```text
+//! workload record  --scenario workloads/mixed_small.json [--out FILE] [--print]
+//! workload replay  --backend KIND (--trace FILE | --scenario FILE) [--faults]
+//! workload compare (--trace FILE | --scenario FILE) --backends a,b,...
+//! workload matrix  (--trace FILE | --scenario FILE) [--backends a,b,...]
+//! ```
+//!
+//! `record` writes the canonical binary trace for a scenario (default
+//! `<name>.trace` next to the config). `replay` runs one backend and
+//! prints its digest; `--faults` applies the scenario's fault schedule
+//! (crash + flush-pause) and checks the recovery against the durable-
+//! prefix oracle. `compare` and `matrix` run the same trace against
+//! several fresh backends — `matrix` prints a throughput/digest table —
+//! and exit non-zero when any digest diverges.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use espresso_workload::replay::{expected_recovery_digest, replay, run_matrix, ReplayReport};
+use espresso_workload::trace::record;
+use espresso_workload::{make_backend, BackendKind, Scenario, Trace, WorkloadError};
+
+struct Args {
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, WorkloadError> {
+        let mut flags = Vec::new();
+        let mut it = raw.iter().peekable();
+        while let Some(arg) = it.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(WorkloadError::Invalid(format!(
+                    "unexpected positional argument {arg:?}"
+                )));
+            };
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => Some(it.next().unwrap().clone()),
+                _ => None,
+            };
+            flags.push((name.to_string(), value));
+        }
+        Ok(Args { flags })
+    }
+
+    fn take(&mut self, name: &str) -> Option<Option<String>> {
+        let i = self.flags.iter().position(|(n, _)| n == name)?;
+        Some(self.flags.remove(i).1)
+    }
+
+    fn value(&mut self, name: &str) -> Result<Option<String>, WorkloadError> {
+        match self.take(name) {
+            None => Ok(None),
+            Some(Some(v)) => Ok(Some(v)),
+            Some(None) => Err(WorkloadError::Invalid(format!("--{name} needs a value"))),
+        }
+    }
+
+    fn flag(&mut self, name: &str) -> Result<bool, WorkloadError> {
+        match self.take(name) {
+            None => Ok(false),
+            Some(None) => Ok(true),
+            Some(Some(v)) => Err(WorkloadError::Invalid(format!(
+                "--{name} takes no value (got {v:?})"
+            ))),
+        }
+    }
+
+    fn finish(self) -> Result<(), WorkloadError> {
+        match self.flags.first() {
+            None => Ok(()),
+            Some((name, _)) => Err(WorkloadError::Invalid(format!("unknown flag --{name}"))),
+        }
+    }
+}
+
+/// The trace to run: an explicit `--trace` file, or `--scenario`
+/// recorded on the fly. Returns the scenario too when one was loaded
+/// (for fault schedules and default names).
+fn resolve_trace(args: &mut Args) -> Result<(Trace, Option<Scenario>), WorkloadError> {
+    let trace_path = args.value("trace")?;
+    let scenario_path = args.value("scenario")?;
+    match (trace_path, scenario_path) {
+        (Some(t), None) => Ok((Trace::load(t)?, None)),
+        (None, Some(s)) => {
+            let scenario = Scenario::load(s)?;
+            Ok((record(&scenario), Some(scenario)))
+        }
+        (Some(t), Some(s)) => {
+            // Both given: the file is authoritative, the scenario rides
+            // along for its fault schedule — but they must agree.
+            let scenario = Scenario::load(s)?;
+            let trace = Trace::load(t)?;
+            let recorded = record(&scenario);
+            if recorded != trace {
+                return Err(WorkloadError::Invalid(
+                    "--trace does not match --scenario (re-record it?)".into(),
+                ));
+            }
+            Ok((trace, Some(scenario)))
+        }
+        (None, None) => Err(WorkloadError::Invalid(
+            "need --trace FILE or --scenario FILE".into(),
+        )),
+    }
+}
+
+fn parse_backends(spec: Option<String>) -> Result<Vec<BackendKind>, WorkloadError> {
+    match spec {
+        None => Ok(BackendKind::ALL.to_vec()),
+        Some(spec) => spec
+            .split(',')
+            .map(|s| BackendKind::parse(s.trim()))
+            .collect(),
+    }
+}
+
+fn cmd_record(mut args: Args) -> Result<ExitCode, WorkloadError> {
+    let path = args
+        .value("scenario")?
+        .ok_or_else(|| WorkloadError::Invalid("record needs --scenario FILE".into()))?;
+    let out = args.value("out")?;
+    let print = args.flag("print")?;
+    args.finish()?;
+    let scenario = Scenario::load(&path)?;
+    let trace = record(&scenario);
+    let out = out
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(&path).with_file_name(format!("{}.trace", scenario.name)));
+    trace.save(&out)?;
+    println!(
+        "recorded {} ops ({} bytes) for scenario {:?} -> {}",
+        trace.ops.len(),
+        trace.encode().len(),
+        scenario.name,
+        out.display()
+    );
+    if print {
+        for (i, op) in trace.ops.iter().enumerate() {
+            println!("{i:6}  {op:?}");
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_replay(mut args: Args) -> Result<ExitCode, WorkloadError> {
+    let kind = BackendKind::parse(
+        &args
+            .value("backend")?
+            .ok_or_else(|| WorkloadError::Invalid("replay needs --backend KIND".into()))?,
+    )?;
+    let with_faults = args.flag("faults")?;
+    let (trace, scenario) = resolve_trace(&mut args)?;
+    args.finish()?;
+    let faults = if with_faults {
+        Some(scenario.as_ref().and_then(|s| s.faults).ok_or_else(|| {
+            WorkloadError::Invalid("--faults needs --scenario with a \"faults\" section".into())
+        })?)
+    } else {
+        None
+    };
+    let mut backend = make_backend(kind, trace.key_space)?;
+    let report = replay(backend.as_mut(), &trace, faults.as_ref())?;
+    print_report(&report, trace.ops.len());
+    if let Some(f) = &faults {
+        let expected = expected_recovery_digest(kind, &trace, f)?;
+        if report.digest != expected {
+            eprintln!(
+                "RECOVERY DIVERGED: post-crash digest {:016x}, durable-prefix oracle {:016x}",
+                report.digest, expected
+            );
+            return Ok(ExitCode::FAILURE);
+        }
+        println!("recovery matches the durable-prefix oracle ({expected:016x})");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_matrix(mut args: Args, compare_only: bool) -> Result<ExitCode, WorkloadError> {
+    let kinds = parse_backends(args.value("backends")?)?;
+    if kinds.is_empty() {
+        return Err(WorkloadError::Invalid("--backends list is empty".into()));
+    }
+    let (trace, scenario) = resolve_trace(&mut args)?;
+    args.finish()?;
+    let label = scenario
+        .as_ref()
+        .map(|s| s.name.clone())
+        .unwrap_or_else(|| "trace".into());
+    println!(
+        "{label}: {} ops over {} keys, backends: {}",
+        trace.ops.len(),
+        trace.key_space,
+        kinds
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let reports = run_matrix(&trace, &kinds)?;
+    if !compare_only {
+        println!("{:<10} {:>12} {:>12}  digest", "backend", "ops/s", "ms");
+        for r in &reports {
+            println!(
+                "{:<10} {:>12.0} {:>12.1}  {:016x}",
+                r.kind.name(),
+                r.ops_per_sec(),
+                r.elapsed.as_secs_f64() * 1e3,
+                r.digest
+            );
+        }
+    }
+    let first = reports[0].digest;
+    if reports.iter().all(|r| r.digest == first) {
+        println!(
+            "CONVERGED: all {} backends reached digest {first:016x}",
+            reports.len()
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for r in &reports {
+            eprintln!("  {:<10} {:016x}", r.kind.name(), r.digest);
+        }
+        eprintln!("DIVERGED: backends did not converge");
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn print_report(r: &ReplayReport, total_ops: usize) {
+    println!(
+        "{}: executed {}/{} ops in {:.1} ms ({:.0} ops/s){}, digest {:016x}",
+        r.kind.name(),
+        r.executed,
+        total_ops,
+        r.elapsed.as_secs_f64() * 1e3,
+        r.ops_per_sec(),
+        if r.crashed { ", crashed+recovered" } else { "" },
+        r.digest
+    );
+}
+
+const USAGE: &str = "\
+workload — scenario harness for the espresso backends
+
+USAGE:
+  workload record  --scenario FILE [--out FILE] [--print]
+  workload replay  --backend raw|typed|sharded|minidb|server
+                   (--trace FILE | --scenario FILE) [--faults]
+  workload compare (--trace FILE | --scenario FILE) [--backends a,b,...]
+  workload matrix  (--trace FILE | --scenario FILE) [--backends a,b,...]
+
+Scenario configs live under workloads/ — see docs/WORKLOADS.md.";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = raw.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let run = || -> Result<ExitCode, WorkloadError> {
+        let args = Args::parse(rest)?;
+        match cmd.as_str() {
+            "record" => cmd_record(args),
+            "replay" => cmd_replay(args),
+            "compare" => cmd_matrix(args, true),
+            "matrix" => cmd_matrix(args, false),
+            other => Err(WorkloadError::Invalid(format!(
+                "unknown command {other:?}\n{USAGE}"
+            ))),
+        }
+    };
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("workload: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

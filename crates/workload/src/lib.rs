@@ -1,0 +1,115 @@
+//! espresso-workload: the config-driven scenario harness.
+//!
+//! The repo grew five distinct persistence layers — raw [`Pjh`] words,
+//! typed object sessions, [`ShardedHeap`], the minidb relational engine,
+//! and the espresso-server TCP front end — and, before this crate, each
+//! was exercised by its own ad-hoc bin, so results were never
+//! apples-to-apples and a new scenario meant new Rust code. This crate
+//! turns scenarios into data, the way the paper's evaluation fixes a
+//! workload matrix and runs every contender through it:
+//!
+//! 1. **Scenario model** ([`scenario`]) — a JSON file under
+//!    `workloads/` declares key-space, value sizes, op mix, skew, op
+//!    count, seed, and an optional fault schedule; parsing validates
+//!    everything into a [`Scenario`].
+//! 2. **Trace engine** ([`trace`]) — [`record`] expands
+//!    a scenario into a versioned binary op trace from a seeded RNG
+//!    (no wall-clock anywhere), so the same config always yields
+//!    byte-identical traces.
+//! 3. **Backends** ([`backend`], [`backends`]) — one [`Backend`] trait
+//!    with five adapters; [`replay`](replay::replay) drives any of them
+//!    with a trace, and [`state_digest`] proves
+//!    two backends (or two runs, or a crash-recovery) converged to the
+//!    same observable state.
+//!
+//! The `workload` CLI (`record | replay | compare | matrix`) fronts all
+//! of it; `docs/WORKLOADS.md` is the schema and format reference, and a
+//! contributor adds a scenario by writing a JSON file, not a bin.
+//!
+//! ```no_run
+//! use espresso_workload::{BackendKind, replay::run_matrix, Scenario, trace::record};
+//!
+//! let scenario = Scenario::load("workloads/mixed_small.json").unwrap();
+//! let trace = record(&scenario);
+//! let reports = run_matrix(&trace, &BackendKind::ALL).unwrap();
+//! assert!(reports.windows(2).all(|w| w[0].digest == w[1].digest));
+//! ```
+//!
+//! [`Pjh`]: espresso_core::Pjh
+//! [`ShardedHeap`]: espresso_core::ShardedHeap
+
+pub mod backend;
+pub mod backends;
+pub mod replay;
+pub mod scenario;
+pub mod trace;
+
+pub use backend::{state_digest, Backend, BackendKind, Durability};
+pub use backends::make_backend;
+pub use replay::{durable_prefix, expected_recovery_digest, run_matrix, ReplayReport};
+pub use scenario::{FaultSchedule, OpMix, Scenario, Skew};
+pub use trace::{key_name, record, Op, Trace, TxnPart};
+
+/// Field slots per entry — the server's `protocol::NUM_FIELDS`,
+/// mirrored so this crate's trace format stands alone (a unit test
+/// pins the two together).
+pub const NUM_FIELDS: usize = 8;
+
+/// Longest value a trace op may carry — the server's
+/// `protocol::MAX_VALUE`, mirrored likewise.
+pub const MAX_VALUE_LEN: usize = 1 << 20;
+
+/// Everything the harness can fail with.
+#[derive(Debug)]
+pub enum WorkloadError {
+    /// Malformed JSON in a scenario file.
+    Parse(String),
+    /// A well-formed config that violates the schema (unknown keys,
+    /// out-of-range values, a mix that does not sum to 100), or bad CLI
+    /// arguments.
+    Invalid(String),
+    /// A trace file that fails validation (bad magic, truncation,
+    /// out-of-range ops, trailing bytes).
+    Trace(String),
+    /// Filesystem / socket I/O.
+    Io(std::io::Error),
+    /// An error surfaced by the backend under test.
+    Backend(String),
+    /// The requested operation is not supported by this backend (e.g.
+    /// fault injection against the TCP server).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::Parse(e) => write!(f, "scenario parse error: {e}"),
+            WorkloadError::Invalid(e) => write!(f, "invalid: {e}"),
+            WorkloadError::Trace(e) => write!(f, "trace error: {e}"),
+            WorkloadError::Io(e) => write!(f, "io error: {e}"),
+            WorkloadError::Backend(e) => write!(f, "backend error: {e}"),
+            WorkloadError::Unsupported(e) => write!(f, "unsupported: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkloadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    /// The entry model mirrors the server's wire constants; if the
+    /// protocol ever widens, the trace format needs a version bump, and
+    /// this test is the tripwire.
+    #[test]
+    fn constants_match_the_server_protocol() {
+        assert_eq!(crate::NUM_FIELDS, espresso_server::protocol::NUM_FIELDS);
+        assert_eq!(crate::MAX_VALUE_LEN, espresso_server::protocol::MAX_VALUE);
+    }
+}

@@ -1,0 +1,304 @@
+//! Deterministic replay: drive a [`Backend`] with a [`Trace`], inject
+//! the fault schedule, and report the resulting [`state_digest`].
+//!
+//! Replay is synchronous and single-connection, so op `i` always
+//! executes after op `i-1` completed — fault indices are exact, and two
+//! replays of one trace on fresh backends walk identical states.
+//!
+//! # Crash expectations
+//!
+//! A crash-schedule replay is only meaningful against a prediction.
+//! [`durable_prefix`] computes, from the backend's durability model and
+//! the fault schedule, how many leading trace ops survive the crash;
+//! [`expected_recovery_digest`] replays exactly that prefix fault-free
+//! on a second fresh backend of the same kind. `crash_matrix` asserts
+//! the two digests agree — the harness's recovery oracle.
+
+use std::time::{Duration, Instant};
+
+use crate::backend::{state_digest, Backend, BackendKind, Durability};
+use crate::backends::make_backend;
+use crate::scenario::FaultSchedule;
+use crate::trace::{Op, Trace};
+use crate::WorkloadError;
+
+/// What one replay did and where it converged.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Which backend ran.
+    pub kind: BackendKind,
+    /// Trace ops executed (short of the trace length only when a crash
+    /// schedule stopped the run).
+    pub executed: usize,
+    /// Wall time spent executing ops (excludes backend construction and
+    /// the digest read-back).
+    pub elapsed: Duration,
+    /// The post-replay (post-recovery, if crashed) state digest.
+    pub digest: u64,
+    /// Whether a crash was injected.
+    pub crashed: bool,
+}
+
+impl ReplayReport {
+    /// Executed ops per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.elapsed.as_secs_f64() == 0.0 {
+            return 0.0;
+        }
+        self.executed as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+fn check_faults(trace: &Trace, faults: &FaultSchedule) -> Result<(), WorkloadError> {
+    let n = trace.ops.len() as u64;
+    if faults.crash_after_op >= n {
+        return Err(WorkloadError::Invalid(format!(
+            "crash_after_op {} is past the trace ({n} ops) — fault indices count final \
+             trace positions, including interleaved Commit ops",
+            faults.crash_after_op
+        )));
+    }
+    Ok(())
+}
+
+/// Replays `trace` against `backend`, optionally injecting `faults`,
+/// and digests the resulting state.
+///
+/// With a fault schedule: the flush pipeline pauses right before the op
+/// at `flush_pause_from_op` executes, `Commit` ops inside the pause
+/// window seal without waiting (their epochs queue, then die with the
+/// crash), and after the op at `crash_after_op` the backend crashes and
+/// recovers; the digest then reads the *recovered* state.
+///
+/// # Errors
+///
+/// Fault indices out of range, faults on a backend that does not
+/// support them, and backend op errors.
+pub fn replay(
+    backend: &mut dyn Backend,
+    trace: &Trace,
+    faults: Option<&FaultSchedule>,
+) -> Result<ReplayReport, WorkloadError> {
+    if let Some(f) = faults {
+        check_faults(trace, f)?;
+        if !backend.supports_faults() {
+            return Err(WorkloadError::Unsupported(format!(
+                "backend {} does not support fault injection",
+                backend.kind()
+            )));
+        }
+    }
+    let mut paused = false;
+    let mut crashed = false;
+    let mut executed = 0usize;
+    let start = Instant::now();
+    for (i, op) in trace.ops.iter().enumerate() {
+        let i = i as u64;
+        if let Some(f) = faults {
+            if !paused && f.flush_pause_from_op == Some(i) {
+                backend.set_flush_paused(true)?;
+                paused = true;
+            }
+        }
+        match op {
+            Op::Get(k) => {
+                backend.get(*k)?;
+            }
+            Op::Set(k, v) => backend.set(*k, v)?,
+            Op::Del(k) => {
+                backend.del(*k)?;
+            }
+            Op::FGet(k, f) => {
+                backend.fget(*k, *f)?;
+            }
+            Op::FSet(k, f, v) => backend.fset(*k, *f, *v)?,
+            Op::Txn(k, parts) => backend.txn(*k, parts)?,
+            // Inside the pause window a durability wait would deadlock
+            // against the paused pipeline: seal-and-queue instead, which
+            // is exactly the lagging-flush shape the fault models.
+            Op::Commit => backend.commit(!paused)?,
+        }
+        executed += 1;
+        if let Some(f) = faults {
+            if f.crash_after_op == i {
+                backend.crash_recover()?;
+                crashed = true;
+                // The crash also un-paused the pipeline (recovery starts
+                // a fresh one); stop executing — post-crash ops are not
+                // part of the scenario's story.
+                break;
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+    let digest = state_digest(backend, trace.key_space)?;
+    Ok(ReplayReport {
+        kind: backend.kind(),
+        executed,
+        elapsed,
+        digest,
+        crashed,
+    })
+}
+
+/// How many leading trace ops survive the crash in `faults`, given a
+/// backend's durability model.
+///
+/// * [`Durability::PerOp`]: everything executed survives —
+///   `crash_after_op + 1` ops.
+/// * [`Durability::EpochCommit`]: state rolls back to the last `Commit`
+///   that was *awaited* — the last commit at an index before the pause
+///   window opened (commits inside the window seal but never flush, and
+///   the crash discards their queued epochs). No such commit → empty
+///   heap.
+pub fn durable_prefix(trace: &Trace, faults: &FaultSchedule, durability: Durability) -> usize {
+    match durability {
+        Durability::PerOp => faults.crash_after_op as usize + 1,
+        Durability::EpochCommit => {
+            let pause = faults.flush_pause_from_op.unwrap_or(u64::MAX);
+            trace.ops[..=faults.crash_after_op as usize]
+                .iter()
+                .enumerate()
+                .rev()
+                .find(|(i, op)| **op == Op::Commit && (*i as u64) < pause)
+                .map(|(i, _)| i + 1)
+                .unwrap_or(0)
+        }
+    }
+}
+
+/// The digest a crashed replay must recover to: replays the durable
+/// prefix fault-free on a second fresh backend of the same kind.
+///
+/// # Errors
+///
+/// Backend construction / replay errors.
+pub fn expected_recovery_digest(
+    kind: BackendKind,
+    trace: &Trace,
+    faults: &FaultSchedule,
+) -> Result<u64, WorkloadError> {
+    check_faults(trace, faults)?;
+    let mut oracle = make_backend(kind, trace.key_space)?;
+    let prefix = durable_prefix(trace, faults, oracle.durability());
+    let truncated = Trace {
+        key_space: trace.key_space,
+        seed: trace.seed,
+        ops: trace.ops[..prefix].to_vec(),
+    };
+    Ok(replay(oracle.as_mut(), &truncated, None)?.digest)
+}
+
+/// Runs one trace against each backend kind on a fresh instance and
+/// collects the reports (in `kinds` order). Divergence is the caller's
+/// judgment — the CLI and CI fail when the digests differ.
+///
+/// # Errors
+///
+/// The first backend construction or replay error.
+pub fn run_matrix(
+    trace: &Trace,
+    kinds: &[BackendKind],
+) -> Result<Vec<ReplayReport>, WorkloadError> {
+    let mut reports = Vec::with_capacity(kinds.len());
+    for kind in kinds {
+        let mut backend = make_backend(*kind, trace.key_space)?;
+        reports.push(replay(backend.as_mut(), trace, None)?);
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{OpMix, Scenario, Skew};
+    use crate::trace::record;
+
+    fn scenario() -> Scenario {
+        Scenario {
+            name: "replay_test".into(),
+            key_space: 12,
+            ops: 120,
+            seed: 99,
+            value_len: (4, 16),
+            mix: OpMix::default(),
+            skew: Skew::Uniform,
+            commit_every: 40,
+            faults: None,
+        }
+    }
+
+    #[test]
+    fn same_trace_same_digest_on_fresh_backends() {
+        let trace = record(&scenario());
+        let mut a = make_backend(BackendKind::Raw, trace.key_space).unwrap();
+        let mut b = make_backend(BackendKind::Raw, trace.key_space).unwrap();
+        let ra = replay(a.as_mut(), &trace, None).unwrap();
+        let rb = replay(b.as_mut(), &trace, None).unwrap();
+        assert_eq!(ra.digest, rb.digest);
+        assert_eq!(ra.executed, trace.ops.len());
+        assert!(!ra.crashed);
+    }
+
+    #[test]
+    fn crash_replay_matches_the_recovery_oracle() {
+        let trace = record(&scenario());
+        // Crash mid-trace with the pipeline paused shortly before.
+        let faults = FaultSchedule {
+            crash_after_op: 100,
+            flush_pause_from_op: Some(60),
+        };
+        for kind in [BackendKind::Typed, BackendKind::Minidb] {
+            let mut b = make_backend(kind, trace.key_space).unwrap();
+            let report = replay(b.as_mut(), &trace, Some(&faults)).unwrap();
+            assert!(report.crashed);
+            assert_eq!(report.executed, 101);
+            let expected = expected_recovery_digest(kind, &trace, &faults).unwrap();
+            assert_eq!(report.digest, expected, "{kind} recovery diverged");
+        }
+    }
+
+    #[test]
+    fn durable_prefix_models() {
+        let trace = record(&scenario()); // Commit at indices 40, 81, 122, final
+        let commit_idx: Vec<usize> = trace
+            .ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| **op == Op::Commit)
+            .map(|(i, _)| i)
+            .collect();
+        let crash = FaultSchedule {
+            crash_after_op: commit_idx[1] as u64 + 5,
+            flush_pause_from_op: None,
+        };
+        assert_eq!(
+            durable_prefix(&trace, &crash, Durability::EpochCommit),
+            commit_idx[1] + 1
+        );
+        assert_eq!(
+            durable_prefix(&trace, &crash, Durability::PerOp),
+            commit_idx[1] + 6
+        );
+        // A pause window before the first commit voids every commit.
+        let all_paused = FaultSchedule {
+            crash_after_op: commit_idx[1] as u64 + 5,
+            flush_pause_from_op: Some(0),
+        };
+        assert_eq!(
+            durable_prefix(&trace, &all_paused, Durability::EpochCommit),
+            0
+        );
+    }
+
+    #[test]
+    fn fault_indices_are_validated() {
+        let trace = record(&scenario());
+        let faults = FaultSchedule {
+            crash_after_op: trace.ops.len() as u64,
+            flush_pause_from_op: None,
+        };
+        let mut b = make_backend(BackendKind::Raw, trace.key_space).unwrap();
+        assert!(replay(b.as_mut(), &trace, Some(&faults)).is_err());
+    }
+}

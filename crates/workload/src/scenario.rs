@@ -1,0 +1,698 @@
+//! The scenario model: a JSON config file parsed and validated into a
+//! [`Scenario`], the unit a contributor writes to add a workload.
+//!
+//! A scenario declares *what* load looks like — key-space size, value
+//! sizes, the op mix, skew, op count, seed — plus an optional fault
+//! schedule; [`crate::trace::record`] expands it into a deterministic op
+//! trace. The JSON reader is self-contained (the workspace is offline;
+//! no serde), strict about unknown keys, and every limit is validated
+//! here so the trace engine and backends can trust the numbers.
+//!
+//! # Config schema
+//!
+//! ```json
+//! {
+//!   "name": "mixed_small",
+//!   "key_space": 128,
+//!   "ops": 1500,
+//!   "seed": 7,
+//!   "value_len": { "min": 8, "max": 48 },
+//!   "mix": { "get": 40, "set": 30, "del": 5, "fget": 10, "fset": 10, "txn": 5 },
+//!   "skew": { "kind": "zipfian", "theta": 0.99 },
+//!   "commit_every": 250,
+//!   "faults": { "crash_after_op": 900, "flush_pause_from_op": 700 }
+//! }
+//! ```
+//!
+//! `value_len`, `mix`, `skew`, `commit_every`, `seed`, and `faults` are
+//! optional and default as in [`Scenario`]'s field docs. Percentages in
+//! `mix` must sum to 100. See `docs/WORKLOADS.md` for the full schema
+//! reference.
+
+use std::path::Path;
+
+use crate::{WorkloadError, MAX_VALUE_LEN};
+
+/// Hard ceiling on `key_space`: every key becomes a named root (and a
+/// digest probe), so the harness keeps scenarios at "CI can replay this"
+/// scale.
+pub const MAX_KEY_SPACE: u32 = 1 << 20;
+
+/// Relative op weights, in percent; must sum to 100.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMix {
+    /// Point reads of a key's value.
+    pub get: u32,
+    /// Value writes.
+    pub set: u32,
+    /// Key deletions.
+    pub del: u32,
+    /// Typed-field reads.
+    pub fget: u32,
+    /// Typed-field writes.
+    pub fset: u32,
+    /// Single-key multi-part transactions (2–4 set/fset/del parts applied
+    /// atomically).
+    pub txn: u32,
+}
+
+impl Default for OpMix {
+    fn default() -> OpMix {
+        OpMix {
+            get: 50,
+            set: 30,
+            del: 5,
+            fget: 5,
+            fset: 5,
+            txn: 5,
+        }
+    }
+}
+
+/// Key-popularity skew.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Skew {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipfian hot keys with the given exponent (`theta = 0` degenerates
+    /// to uniform).
+    Zipfian {
+        /// The zipf exponent.
+        theta: f64,
+    },
+}
+
+/// When to inject faults during replay, in **trace op indices** (the
+/// recorded trace interleaves `Commit` ops per `commit_every`, so indices
+/// refer to positions in the final trace — `workload record --print`
+/// shows them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSchedule {
+    /// Crash after executing the op at this index: the backend discards
+    /// everything that is not durable and recovers from its image, and
+    /// replay stops there.
+    pub crash_after_op: u64,
+    /// Pause the flush pipeline starting at this index (inclusive):
+    /// commits sealed inside the window queue without becoming durable,
+    /// so the crash also discards them — the "crash mid-burst with a
+    /// lagging flush pipeline" shape.
+    pub flush_pause_from_op: Option<u64>,
+}
+
+/// A validated workload declaration. See the module docs for the JSON
+/// shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (reports and trace filenames).
+    pub name: String,
+    /// Number of distinct keys (`wk0..wkN-1`).
+    pub key_space: u32,
+    /// Number of generated data ops (interleaved `Commit` ops come on
+    /// top).
+    pub ops: u64,
+    /// RNG seed; two records of the same scenario are byte-identical.
+    /// Default `0xE5_9E55`.
+    pub seed: u64,
+    /// Inclusive value-length range for `set` values. Default `8..=64`.
+    pub value_len: (u32, u32),
+    /// Op weights. Default: 50/30/5/5/5/5.
+    pub mix: OpMix,
+    /// Key skew. Default: uniform.
+    pub skew: Skew,
+    /// Insert a `Commit` op every N data ops (`0` = only the final
+    /// commit). Default 0.
+    pub commit_every: u64,
+    /// Optional fault schedule for crash-recovery scenarios.
+    pub faults: Option<FaultSchedule>,
+}
+
+impl Scenario {
+    /// Parses and validates a scenario from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::Parse`] on malformed JSON;
+    /// [`WorkloadError::Invalid`] on schema violations (unknown keys,
+    /// out-of-range values, a mix that does not sum to 100).
+    pub fn from_json(text: &str) -> Result<Scenario, WorkloadError> {
+        let json = parse_json(text).map_err(WorkloadError::Parse)?;
+        Scenario::from_value(&json)
+    }
+
+    /// Reads and parses a scenario file.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors plus everything [`from_json`](Self::from_json) rejects.
+    pub fn load(path: impl AsRef<Path>) -> Result<Scenario, WorkloadError> {
+        let text = std::fs::read_to_string(path.as_ref()).map_err(WorkloadError::Io)?;
+        Scenario::from_json(&text)
+    }
+
+    fn from_value(json: &Json) -> Result<Scenario, WorkloadError> {
+        let obj = json.as_obj("scenario")?;
+        for (key, _) in obj {
+            match key.as_str() {
+                "name" | "key_space" | "ops" | "seed" | "value_len" | "mix" | "skew"
+                | "commit_every" | "faults" => {}
+                other => {
+                    return Err(WorkloadError::Invalid(format!(
+                        "unknown scenario key {other:?}"
+                    )))
+                }
+            }
+        }
+        let name = get(obj, "name")
+            .ok_or_else(|| WorkloadError::Invalid("scenario needs a \"name\"".into()))?
+            .as_str("name")?
+            .to_string();
+        if name.is_empty() || !name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_') {
+            return Err(WorkloadError::Invalid(format!(
+                "name {name:?} must be non-empty [A-Za-z0-9_]"
+            )));
+        }
+        let key_space = get(obj, "key_space")
+            .ok_or_else(|| WorkloadError::Invalid("scenario needs \"key_space\"".into()))?
+            .as_u64("key_space")? as u32;
+        if key_space == 0 || key_space > MAX_KEY_SPACE {
+            return Err(WorkloadError::Invalid(format!(
+                "key_space {key_space} out of range 1..={MAX_KEY_SPACE}"
+            )));
+        }
+        let ops = get(obj, "ops")
+            .ok_or_else(|| WorkloadError::Invalid("scenario needs \"ops\"".into()))?
+            .as_u64("ops")?;
+        if ops == 0 {
+            return Err(WorkloadError::Invalid("ops must be at least 1".into()));
+        }
+        let seed = match get(obj, "seed") {
+            Some(v) => v.as_u64("seed")?,
+            None => 0xE5_9E55,
+        };
+        let value_len = match get(obj, "value_len") {
+            Some(v) => {
+                let o = v.as_obj("value_len")?;
+                for (key, _) in o {
+                    if key != "min" && key != "max" {
+                        return Err(WorkloadError::Invalid(format!(
+                            "unknown value_len key {key:?}"
+                        )));
+                    }
+                }
+                let min = get(o, "min")
+                    .ok_or_else(|| WorkloadError::Invalid("value_len needs \"min\"".into()))?
+                    .as_u64("value_len.min")? as u32;
+                let max = get(o, "max")
+                    .ok_or_else(|| WorkloadError::Invalid("value_len needs \"max\"".into()))?
+                    .as_u64("value_len.max")? as u32;
+                (min, max)
+            }
+            None => (8, 64),
+        };
+        if value_len.0 == 0 || value_len.0 > value_len.1 || value_len.1 as usize > MAX_VALUE_LEN {
+            return Err(WorkloadError::Invalid(format!(
+                "value_len {}..={} out of range (min >= 1, max <= {MAX_VALUE_LEN})",
+                value_len.0, value_len.1
+            )));
+        }
+        let mix = match get(obj, "mix") {
+            Some(v) => {
+                let o = v.as_obj("mix")?;
+                let mut mix = OpMix {
+                    get: 0,
+                    set: 0,
+                    del: 0,
+                    fget: 0,
+                    fset: 0,
+                    txn: 0,
+                };
+                for (key, value) in o {
+                    let pct = value.as_u64(key)? as u32;
+                    match key.as_str() {
+                        "get" => mix.get = pct,
+                        "set" => mix.set = pct,
+                        "del" => mix.del = pct,
+                        "fget" => mix.fget = pct,
+                        "fset" => mix.fset = pct,
+                        "txn" => mix.txn = pct,
+                        other => {
+                            return Err(WorkloadError::Invalid(format!(
+                                "unknown mix key {other:?}"
+                            )))
+                        }
+                    }
+                }
+                mix
+            }
+            None => OpMix::default(),
+        };
+        let total = mix.get + mix.set + mix.del + mix.fget + mix.fset + mix.txn;
+        if total != 100 {
+            return Err(WorkloadError::Invalid(format!(
+                "mix percentages sum to {total}, need exactly 100"
+            )));
+        }
+        let skew = match get(obj, "skew") {
+            Some(v) => {
+                let o = v.as_obj("skew")?;
+                for (key, _) in o {
+                    if key != "kind" && key != "theta" {
+                        return Err(WorkloadError::Invalid(format!("unknown skew key {key:?}")));
+                    }
+                }
+                let kind = get(o, "kind")
+                    .ok_or_else(|| WorkloadError::Invalid("skew needs \"kind\"".into()))?
+                    .as_str("skew.kind")?;
+                match kind {
+                    "uniform" => Skew::Uniform,
+                    "zipfian" => {
+                        let theta = get(o, "theta")
+                            .ok_or_else(|| {
+                                WorkloadError::Invalid("zipfian skew needs \"theta\"".into())
+                            })?
+                            .as_f64("skew.theta")?;
+                        if !(0.0..=5.0).contains(&theta) {
+                            return Err(WorkloadError::Invalid(format!(
+                                "skew.theta {theta} out of range 0..=5"
+                            )));
+                        }
+                        Skew::Zipfian { theta }
+                    }
+                    other => {
+                        return Err(WorkloadError::Invalid(format!(
+                            "skew.kind {other:?} is neither \"uniform\" nor \"zipfian\""
+                        )))
+                    }
+                }
+            }
+            None => Skew::Uniform,
+        };
+        let commit_every = match get(obj, "commit_every") {
+            Some(v) => v.as_u64("commit_every")?,
+            None => 0,
+        };
+        let faults = match get(obj, "faults") {
+            Some(v) => {
+                let o = v.as_obj("faults")?;
+                for (key, _) in o {
+                    if key != "crash_after_op" && key != "flush_pause_from_op" {
+                        return Err(WorkloadError::Invalid(format!(
+                            "unknown faults key {key:?}"
+                        )));
+                    }
+                }
+                let crash_after_op = get(o, "crash_after_op")
+                    .ok_or_else(|| {
+                        WorkloadError::Invalid("faults needs \"crash_after_op\"".into())
+                    })?
+                    .as_u64("faults.crash_after_op")?;
+                let flush_pause_from_op = match get(o, "flush_pause_from_op") {
+                    Some(v) => Some(v.as_u64("faults.flush_pause_from_op")?),
+                    None => None,
+                };
+                if let Some(pause) = flush_pause_from_op {
+                    if pause > crash_after_op {
+                        return Err(WorkloadError::Invalid(format!(
+                            "flush_pause_from_op {pause} is after crash_after_op \
+                             {crash_after_op}: the window would never be entered"
+                        )));
+                    }
+                }
+                Some(FaultSchedule {
+                    crash_after_op,
+                    flush_pause_from_op,
+                })
+            }
+            None => None,
+        };
+        Ok(Scenario {
+            name,
+            key_space,
+            ops,
+            seed,
+            value_len,
+            mix,
+            skew,
+            commit_every,
+            faults,
+        })
+    }
+}
+
+fn get<'j>(obj: &'j [(String, Json)], key: &str) -> Option<&'j Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+// ---- minimal strict JSON ----
+
+/// A parsed JSON value. Numbers keep their source text so u64 seeds
+/// survive without an f64 round-trip.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    fn as_obj(&self, what: &str) -> Result<&[(String, Json)], WorkloadError> {
+        match self {
+            Json::Obj(o) => Ok(o),
+            other => Err(WorkloadError::Invalid(format!(
+                "{what} must be an object, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, WorkloadError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(WorkloadError::Invalid(format!(
+                "{what} must be a string, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn as_u64(&self, what: &str) -> Result<u64, WorkloadError> {
+        match self {
+            Json::Num(n) => n.parse().map_err(|_| {
+                WorkloadError::Invalid(format!("{what} must be a non-negative integer, got {n}"))
+            }),
+            other => Err(WorkloadError::Invalid(format!(
+                "{what} must be a number, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn as_f64(&self, what: &str) -> Result<f64, WorkloadError> {
+        match self {
+            Json::Num(n) => n
+                .parse()
+                .map_err(|_| WorkloadError::Invalid(format!("{what} must be a number, got {n}"))),
+            other => Err(WorkloadError::Invalid(format!(
+                "{what} must be a number, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+struct Parser<'t> {
+    bytes: &'t [u8],
+    at: usize,
+}
+
+impl<'t> Parser<'t> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.at += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.at)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        let got = self.peek()?;
+        if got != b {
+            return Err(format!(
+                "expected {:?} at byte {}, got {:?}",
+                b as char, self.at, got as char
+            ));
+        }
+        self.at += 1;
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other as char, self.at
+            )),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.at..].starts_with(text.as_bytes()) {
+            self.at += text.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.at))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.at;
+        if self.bytes.get(self.at) == Some(&b'-') {
+            self.at += 1;
+        }
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.at += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at]).expect("ascii digits");
+        // Validate now so `as_u64`/`as_f64` only see well-formed numbers.
+        text.parse::<f64>()
+            .map_err(|_| format!("bad number {text:?} at byte {start}"))?;
+        Ok(Json::Num(text.to_string()))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self
+                .bytes
+                .get(self.at)
+                .copied()
+                .ok_or("unterminated string")?
+            {
+                b'"' => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.at += 1;
+                    let esc = self
+                        .bytes
+                        .get(self.at)
+                        .copied()
+                        .ok_or("unterminated escape")?;
+                    out.push(match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        other => {
+                            return Err(format!(
+                                "unsupported escape \\{} at byte {}",
+                                other as char, self.at
+                            ))
+                        }
+                    });
+                    self.at += 1;
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (input is a &str, so slicing
+                    // at char boundaries is safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.at..])
+                        .map_err(|_| "invalid utf-8".to_string())?;
+                    let ch = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(ch);
+                    self.at += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.at += 1,
+                b']' => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', got {:?}", other as char)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        if self.peek()? == b'}' {
+            self.at += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(format!("duplicate key {key:?}"));
+            }
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.at += 1,
+                b'}' => {
+                    self.at += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("expected ',' or '}}', got {:?}", other as char)),
+            }
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        at: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.at != p.bytes.len() {
+        return Err(format!("trailing bytes at {}", p.at));
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: &str = r#"{
+        "name": "mixed_small",
+        "key_space": 128,
+        "ops": 1500,
+        "seed": 7,
+        "value_len": {"min": 8, "max": 48},
+        "mix": {"get": 40, "set": 30, "del": 5, "fget": 10, "fset": 10, "txn": 5},
+        "skew": {"kind": "zipfian", "theta": 0.99},
+        "commit_every": 250,
+        "faults": {"crash_after_op": 900, "flush_pause_from_op": 700}
+    }"#;
+
+    #[test]
+    fn parses_a_full_scenario() {
+        let s = Scenario::from_json(FULL).unwrap();
+        assert_eq!(s.name, "mixed_small");
+        assert_eq!(s.key_space, 128);
+        assert_eq!(s.ops, 1500);
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.value_len, (8, 48));
+        assert_eq!(s.mix.get, 40);
+        assert_eq!(s.skew, Skew::Zipfian { theta: 0.99 });
+        assert_eq!(s.commit_every, 250);
+        assert_eq!(
+            s.faults,
+            Some(FaultSchedule {
+                crash_after_op: 900,
+                flush_pause_from_op: Some(700)
+            })
+        );
+    }
+
+    #[test]
+    fn defaults_fill_optional_sections() {
+        let s = Scenario::from_json(r#"{"name": "tiny", "key_space": 4, "ops": 10}"#).unwrap();
+        assert_eq!(s.seed, 0xE5_9E55);
+        assert_eq!(s.value_len, (8, 64));
+        assert_eq!(s.mix, OpMix::default());
+        assert_eq!(s.skew, Skew::Uniform);
+        assert_eq!(s.commit_every, 0);
+        assert!(s.faults.is_none());
+    }
+
+    #[test]
+    fn large_seeds_survive_exactly() {
+        let s = Scenario::from_json(
+            r#"{"name": "s", "key_space": 1, "ops": 1, "seed": 18446744073709551615}"#,
+        )
+        .unwrap();
+        assert_eq!(s.seed, u64::MAX);
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_bad_mixes() {
+        assert!(
+            Scenario::from_json(r#"{"name": "s", "key_space": 1, "ops": 1, "zzz": 1}"#).is_err()
+        );
+        assert!(Scenario::from_json(
+            r#"{"name": "s", "key_space": 1, "ops": 1, "mix": {"get": 50, "set": 49}}"#
+        )
+        .is_err());
+        assert!(Scenario::from_json(
+            r#"{"name": "s", "key_space": 1, "ops": 1, "mix": {"scan": 100}}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_json_and_limits() {
+        assert!(Scenario::from_json("{").is_err());
+        assert!(Scenario::from_json(r#"{"name": "s", "key_space": 0, "ops": 1}"#).is_err());
+        assert!(Scenario::from_json(r#"{"name": "s", "key_space": 1, "ops": 0}"#).is_err());
+        assert!(Scenario::from_json(
+            r#"{"name": "s", "key_space": 1, "ops": 1, "value_len": {"min": 9, "max": 8}}"#
+        )
+        .is_err());
+        // A pause window opening after the crash point can never be entered.
+        assert!(Scenario::from_json(
+            r#"{"name": "s", "key_space": 1, "ops": 1,
+                "faults": {"crash_after_op": 5, "flush_pause_from_op": 9}}"#
+        )
+        .is_err());
+        // Duplicate keys are config bugs, not last-wins surprises.
+        assert!(
+            Scenario::from_json(r#"{"name": "s", "name": "t", "key_space": 1, "ops": 1}"#).is_err()
+        );
+    }
+}

@@ -1,0 +1,568 @@
+//! The trace engine: [`record`] expands a [`Scenario`] into a
+//! deterministic, versioned binary op [`Trace`]; [`Trace::encode`] /
+//! [`Trace::decode`] round-trip it through a file.
+//!
+//! Determinism is the whole point — the generator uses a seeded
+//! xorshift64* stream and no wall-clock, so the same scenario always
+//! yields byte-identical traces, and a trace file is a self-contained
+//! artifact that replays identically on any backend (see
+//! [`crate::replay`]).
+//!
+//! # Trace format v1
+//!
+//! All integers big-endian. Header: 8-byte magic `b"ESPWTR01"` (the
+//! trailing two bytes are the format version), then `key_space: u32`,
+//! `seed: u64`, `op_count: u64`. Then `op_count` ops, each a 1-byte tag:
+//!
+//! | tag | op | payload |
+//! |-----|----|---------|
+//! | `0x01` | `Get` | `key: u32` |
+//! | `0x02` | `Set` | `key: u32`, `len: u32`, `len` value bytes |
+//! | `0x03` | `Del` | `key: u32` |
+//! | `0x04` | `FGet` | `key: u32`, `index: u8` |
+//! | `0x05` | `FSet` | `key: u32`, `index: u8`, `value: u64` |
+//! | `0x06` | `Txn` | `key: u32`, `nparts: u8`, then parts (tags `0x02`/`0x03`/`0x05` with the key omitted) |
+//! | `0x07` | `Commit` | — |
+//!
+//! Decode validates everything (tags, key range, field indices, value
+//! lengths, txn part counts) and rejects trailing bytes, so a corrupt or
+//! truncated trace fails loudly instead of replaying garbage.
+
+use crate::scenario::{Scenario, Skew};
+use crate::{WorkloadError, MAX_VALUE_LEN, NUM_FIELDS};
+
+/// Trace file magic; the last two bytes are the format version.
+pub const TRACE_MAGIC: [u8; 8] = *b"ESPWTR01";
+
+/// Most parts a generated [`Op::Txn`] carries (the server protocol caps
+/// transactions far higher; generated ones stay small and readable).
+pub const MAX_TXN_PARTS: usize = 8;
+
+/// One part of a single-key transaction; the key lives on the enclosing
+/// [`Op::Txn`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnPart {
+    /// Replace the key's value.
+    Set(Vec<u8>),
+    /// Delete the key.
+    Del,
+    /// Write one numbered field.
+    FSet(u8, u64),
+}
+
+/// One replayable operation against a keyed store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Read the value of key `wk{0}`.
+    Get(u32),
+    /// Write a value.
+    Set(u32, Vec<u8>),
+    /// Delete the key (value and fields).
+    Del(u32),
+    /// Read field `{1}` of the key.
+    FGet(u32, u8),
+    /// Write field `{1}` of the key.
+    FSet(u32, u8, u64),
+    /// Apply the parts to one key atomically, in order.
+    Txn(u32, Vec<TxnPart>),
+    /// Seal an epoch; durability of the sealed epoch depends on the
+    /// backend's flush pipeline (and the replay fault window).
+    Commit,
+}
+
+/// A decoded trace: header fields plus the op list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Number of distinct keys the ops draw from (`wk0..wkN-1`).
+    pub key_space: u32,
+    /// Seed the trace was generated from (informational once recorded).
+    pub seed: u64,
+    /// The operations, in replay order.
+    pub ops: Vec<Op>,
+}
+
+/// Canonical name of key index `i` across every backend.
+pub fn key_name(i: u32) -> String {
+    format!("wk{i}")
+}
+
+impl Trace {
+    /// Serializes to the v1 binary format described in the module docs.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.ops.len() * 8);
+        out.extend_from_slice(&TRACE_MAGIC);
+        out.extend_from_slice(&self.key_space.to_be_bytes());
+        out.extend_from_slice(&self.seed.to_be_bytes());
+        out.extend_from_slice(&(self.ops.len() as u64).to_be_bytes());
+        for op in &self.ops {
+            match op {
+                Op::Get(k) => {
+                    out.push(0x01);
+                    out.extend_from_slice(&k.to_be_bytes());
+                }
+                Op::Set(k, v) => {
+                    out.push(0x02);
+                    out.extend_from_slice(&k.to_be_bytes());
+                    out.extend_from_slice(&(v.len() as u32).to_be_bytes());
+                    out.extend_from_slice(v);
+                }
+                Op::Del(k) => {
+                    out.push(0x03);
+                    out.extend_from_slice(&k.to_be_bytes());
+                }
+                Op::FGet(k, i) => {
+                    out.push(0x04);
+                    out.extend_from_slice(&k.to_be_bytes());
+                    out.push(*i);
+                }
+                Op::FSet(k, i, v) => {
+                    out.push(0x05);
+                    out.extend_from_slice(&k.to_be_bytes());
+                    out.push(*i);
+                    out.extend_from_slice(&v.to_be_bytes());
+                }
+                Op::Txn(k, parts) => {
+                    out.push(0x06);
+                    out.extend_from_slice(&k.to_be_bytes());
+                    out.push(parts.len() as u8);
+                    for part in parts {
+                        match part {
+                            TxnPart::Set(v) => {
+                                out.push(0x02);
+                                out.extend_from_slice(&(v.len() as u32).to_be_bytes());
+                                out.extend_from_slice(v);
+                            }
+                            TxnPart::Del => out.push(0x03),
+                            TxnPart::FSet(i, v) => {
+                                out.push(0x05);
+                                out.push(*i);
+                                out.extend_from_slice(&v.to_be_bytes());
+                            }
+                        }
+                    }
+                }
+                Op::Commit => out.push(0x07),
+            }
+        }
+        out
+    }
+
+    /// Parses and fully validates a v1 trace.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::Trace`] on a bad magic/version, truncation, an
+    /// unknown tag, out-of-range keys/fields/lengths, or trailing bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Trace, WorkloadError> {
+        let mut r = Reader { bytes, at: 0 };
+        let magic = r.take::<8>()?;
+        if magic != TRACE_MAGIC {
+            return Err(WorkloadError::Trace(format!(
+                "bad magic {:02x?} (expected {:02x?} — not a v1 trace file)",
+                magic, TRACE_MAGIC
+            )));
+        }
+        let key_space = u32::from_be_bytes(r.take::<4>()?);
+        if key_space == 0 || key_space > crate::scenario::MAX_KEY_SPACE {
+            return Err(WorkloadError::Trace(format!(
+                "key_space {key_space} out of range"
+            )));
+        }
+        let seed = u64::from_be_bytes(r.take::<8>()?);
+        let op_count = u64::from_be_bytes(r.take::<8>()?);
+        // Each op is at least 1 byte, so op_count can't exceed what's left.
+        if op_count > (bytes.len() - r.at) as u64 {
+            return Err(WorkloadError::Trace(format!(
+                "op_count {op_count} exceeds remaining {} bytes",
+                bytes.len() - r.at
+            )));
+        }
+        let mut ops = Vec::with_capacity(op_count as usize);
+        for n in 0..op_count {
+            let op = r
+                .op(key_space)
+                .map_err(|e| WorkloadError::Trace(format!("op {n}: {e}")))?;
+            ops.push(op);
+        }
+        if r.at != bytes.len() {
+            return Err(WorkloadError::Trace(format!(
+                "{} trailing bytes after op {op_count}",
+                bytes.len() - r.at
+            )));
+        }
+        Ok(Trace {
+            key_space,
+            seed,
+            ops,
+        })
+    }
+
+    /// Writes the encoded trace to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), WorkloadError> {
+        std::fs::write(path.as_ref(), self.encode()).map_err(WorkloadError::Io)
+    }
+
+    /// Reads and decodes a trace file.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures plus everything [`decode`](Self::decode) rejects.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Trace, WorkloadError> {
+        let bytes = std::fs::read(path.as_ref()).map_err(WorkloadError::Io)?;
+        Trace::decode(&bytes)
+    }
+}
+
+struct Reader<'b> {
+    bytes: &'b [u8],
+    at: usize,
+}
+
+impl Reader<'_> {
+    fn take<const N: usize>(&mut self) -> Result<[u8; N], WorkloadError> {
+        let end = self.at + N;
+        if end > self.bytes.len() {
+            return Err(WorkloadError::Trace(format!(
+                "truncated at byte {} (needed {N} more)",
+                self.at
+            )));
+        }
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.bytes[self.at..end]);
+        self.at = end;
+        Ok(out)
+    }
+
+    fn take_vec(&mut self, n: usize) -> Result<Vec<u8>, WorkloadError> {
+        let end = self.at + n;
+        if end > self.bytes.len() {
+            return Err(WorkloadError::Trace(format!(
+                "truncated at byte {} (needed {n} more)",
+                self.at
+            )));
+        }
+        let out = self.bytes[self.at..end].to_vec();
+        self.at = end;
+        Ok(out)
+    }
+
+    fn key(&mut self, key_space: u32) -> Result<u32, WorkloadError> {
+        let k = u32::from_be_bytes(self.take::<4>()?);
+        if k >= key_space {
+            return Err(WorkloadError::Trace(format!(
+                "key {k} outside key_space {key_space}"
+            )));
+        }
+        Ok(k)
+    }
+
+    fn field(&mut self) -> Result<u8, WorkloadError> {
+        let i = self.take::<1>()?[0];
+        if i as usize >= NUM_FIELDS {
+            return Err(WorkloadError::Trace(format!(
+                "field index {i} outside 0..{NUM_FIELDS}"
+            )));
+        }
+        Ok(i)
+    }
+
+    fn value(&mut self) -> Result<Vec<u8>, WorkloadError> {
+        let len = u32::from_be_bytes(self.take::<4>()?) as usize;
+        if len > MAX_VALUE_LEN {
+            return Err(WorkloadError::Trace(format!(
+                "value length {len} exceeds {MAX_VALUE_LEN}"
+            )));
+        }
+        self.take_vec(len)
+    }
+
+    fn op(&mut self, key_space: u32) -> Result<Op, WorkloadError> {
+        let tag = self.take::<1>()?[0];
+        Ok(match tag {
+            0x01 => Op::Get(self.key(key_space)?),
+            0x02 => {
+                let k = self.key(key_space)?;
+                Op::Set(k, self.value()?)
+            }
+            0x03 => Op::Del(self.key(key_space)?),
+            0x04 => {
+                let k = self.key(key_space)?;
+                Op::FGet(k, self.field()?)
+            }
+            0x05 => {
+                let k = self.key(key_space)?;
+                let i = self.field()?;
+                Op::FSet(k, i, u64::from_be_bytes(self.take::<8>()?))
+            }
+            0x06 => {
+                let k = self.key(key_space)?;
+                let nparts = self.take::<1>()?[0] as usize;
+                if nparts == 0 || nparts > MAX_TXN_PARTS {
+                    return Err(WorkloadError::Trace(format!(
+                        "txn part count {nparts} outside 1..={MAX_TXN_PARTS}"
+                    )));
+                }
+                let mut parts = Vec::with_capacity(nparts);
+                for _ in 0..nparts {
+                    parts.push(match self.take::<1>()?[0] {
+                        0x02 => TxnPart::Set(self.value()?),
+                        0x03 => TxnPart::Del,
+                        0x05 => {
+                            let i = self.field()?;
+                            TxnPart::FSet(i, u64::from_be_bytes(self.take::<8>()?))
+                        }
+                        other => {
+                            return Err(WorkloadError::Trace(format!(
+                                "unknown txn part tag {other:#04x}"
+                            )))
+                        }
+                    });
+                }
+                Op::Txn(k, parts)
+            }
+            0x07 => Op::Commit,
+            other => return Err(WorkloadError::Trace(format!("unknown op tag {other:#04x}"))),
+        })
+    }
+}
+
+// ---- generation ----
+
+/// xorshift64* — tiny, seedable, and good enough for op mixing. Same
+/// generator the server's load module uses, duplicated here so trace
+/// bytes never change if the load tool evolves.
+pub(crate) struct Rng(u64);
+
+impl Rng {
+    pub(crate) fn new(seed: u64) -> Rng {
+        // A zero state would be absorbing; fold in a constant like SplitMix
+        // does rather than silently remapping seed 0 onto some other seed.
+        Rng(seed ^ 0x9E37_79B9_7F4A_7C15)
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `0..n` (n > 0).
+    pub(crate) fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// Uniform in `0.0..1.0`.
+    pub(crate) fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// CDF-table zipfian key picker; `theta = 0` degenerates to uniform.
+struct KeyPicker {
+    cdf: Option<Vec<f64>>,
+    n: u64,
+}
+
+impl KeyPicker {
+    fn new(key_space: u32, skew: Skew) -> KeyPicker {
+        match skew {
+            Skew::Uniform => KeyPicker {
+                cdf: None,
+                n: key_space as u64,
+            },
+            Skew::Zipfian { theta } => {
+                let mut weights = Vec::with_capacity(key_space as usize);
+                let mut total = 0.0;
+                for i in 0..key_space {
+                    let w = 1.0 / ((i + 1) as f64).powf(theta);
+                    total += w;
+                    weights.push(total);
+                }
+                for w in &mut weights {
+                    *w /= total;
+                }
+                KeyPicker {
+                    cdf: Some(weights),
+                    n: key_space as u64,
+                }
+            }
+        }
+    }
+
+    fn pick(&self, rng: &mut Rng) -> u32 {
+        match &self.cdf {
+            None => rng.below(self.n) as u32,
+            Some(cdf) => {
+                let p = rng.unit();
+                cdf.partition_point(|&c| c < p).min(cdf.len() - 1) as u32
+            }
+        }
+    }
+}
+
+fn gen_value(rng: &mut Rng, value_len: (u32, u32)) -> Vec<u8> {
+    // Printable [a-z0-9] so every backend can hold the value (minidb
+    // stores values as UTF-8 text) and hex dumps stay readable.
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+    let len = value_len.0 + rng.below((value_len.1 - value_len.0 + 1) as u64) as u32;
+    (0..len)
+        .map(|_| ALPHABET[rng.below(ALPHABET.len() as u64) as usize])
+        .collect()
+}
+
+/// Expands a scenario into its canonical trace. Pure function of the
+/// scenario: same config, same bytes, every time.
+pub fn record(scenario: &Scenario) -> Trace {
+    let mut rng = Rng::new(scenario.seed);
+    let picker = KeyPicker::new(scenario.key_space, scenario.skew);
+    let mix = scenario.mix;
+    // Cumulative thresholds over 0..100 in declaration order.
+    let t_get = mix.get;
+    let t_set = t_get + mix.set;
+    let t_del = t_set + mix.del;
+    let t_fget = t_del + mix.fget;
+    let t_fset = t_fget + mix.fset;
+    let mut ops = Vec::with_capacity(scenario.ops as usize + 2);
+    for n in 0..scenario.ops {
+        let key = picker.pick(&mut rng);
+        let roll = rng.below(100) as u32;
+        let op = if roll < t_get {
+            Op::Get(key)
+        } else if roll < t_set {
+            Op::Set(key, gen_value(&mut rng, scenario.value_len))
+        } else if roll < t_del {
+            Op::Del(key)
+        } else if roll < t_fget {
+            Op::FGet(key, rng.below(NUM_FIELDS as u64) as u8)
+        } else if roll < t_fset {
+            Op::FSet(key, rng.below(NUM_FIELDS as u64) as u8, rng.next())
+        } else {
+            let nparts = 2 + rng.below(3) as usize;
+            let parts = (0..nparts)
+                .map(|_| match rng.below(100) {
+                    0..=39 => TxnPart::Set(gen_value(&mut rng, scenario.value_len)),
+                    40..=79 => TxnPart::FSet(rng.below(NUM_FIELDS as u64) as u8, rng.next()),
+                    _ => TxnPart::Del,
+                })
+                .collect();
+            Op::Txn(key, parts)
+        };
+        ops.push(op);
+        if scenario.commit_every > 0 && (n + 1) % scenario.commit_every == 0 {
+            ops.push(Op::Commit);
+        }
+    }
+    // Always seal whatever the tail wrote so a fault-free replay ends on
+    // a durable state.
+    if ops.last() != Some(&Op::Commit) {
+        ops.push(Op::Commit);
+    }
+    Trace {
+        key_space: scenario.key_space,
+        seed: scenario.seed,
+        ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::OpMix;
+
+    fn scenario(ops: u64) -> Scenario {
+        Scenario {
+            name: "t".into(),
+            key_space: 16,
+            ops,
+            seed: 42,
+            value_len: (4, 12),
+            mix: OpMix {
+                get: 30,
+                set: 30,
+                del: 10,
+                fget: 10,
+                fset: 10,
+                txn: 10,
+            },
+            skew: Skew::Uniform,
+            commit_every: 25,
+            faults: None,
+        }
+    }
+
+    #[test]
+    fn record_is_deterministic() {
+        let s = scenario(200);
+        assert_eq!(record(&s).encode(), record(&s).encode());
+        let mut other = s.clone();
+        other.seed = 43;
+        assert_ne!(record(&other).encode(), record(&s).encode());
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let t = record(&scenario(300));
+        let decoded = Trace::decode(&t.encode()).unwrap();
+        assert_eq!(decoded, t);
+    }
+
+    #[test]
+    fn commit_interleaving_and_final_seal() {
+        let t = record(&scenario(50));
+        let commits = t.ops.iter().filter(|o| **o == Op::Commit).count();
+        assert_eq!(commits, 2, "one per 25 ops, final already on a boundary");
+        assert_eq!(t.ops.last(), Some(&Op::Commit));
+        let mut s = scenario(26);
+        s.commit_every = 25;
+        let t = record(&s);
+        assert_eq!(t.ops.iter().filter(|o| **o == Op::Commit).count(), 2);
+    }
+
+    #[test]
+    fn zipf_prefers_low_keys() {
+        let mut s = scenario(2000);
+        s.skew = Skew::Zipfian { theta: 0.99 };
+        s.mix = OpMix {
+            get: 100,
+            set: 0,
+            del: 0,
+            fget: 0,
+            fset: 0,
+            txn: 0,
+        };
+        let t = record(&s);
+        let hot = t
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::Get(k) if *k < 2))
+            .count();
+        // With theta=0.99 over 16 keys the top two take ~45% of picks;
+        // uniform would give 12.5%.
+        assert!(hot > t.ops.len() / 4, "hot keys took {hot}/{}", t.ops.len());
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let t = record(&scenario(20));
+        let good = t.encode();
+        assert!(Trace::decode(&good[..good.len() - 1]).is_err(), "truncated");
+        let mut bad_magic = good.clone();
+        bad_magic[7] = b'9';
+        assert!(Trace::decode(&bad_magic).is_err(), "bad version byte");
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(Trace::decode(&trailing).is_err(), "trailing byte");
+        // Key outside key_space: header says 16 keys; patch first op's key.
+        let mut bad_key = good;
+        // Header is 8 + 4 + 8 + 8 = 28 bytes, then tag byte, then key u32.
+        bad_key[29..33].copy_from_slice(&999u32.to_be_bytes());
+        assert!(Trace::decode(&bad_key).is_err(), "key out of range");
+    }
+}

@@ -1,134 +1,203 @@
-//! Systematic failure injection across the whole stack: for each
-//! subsystem, sweep power failures over every flush boundary of a
-//! scripted workload and require a consistent recovery at each point.
+//! Scenario-driven crash matrix: replay workload traces with fault
+//! schedules (flush-pause windows + crash-after-op-N) against every
+//! embedded backend, and require each recovery to match the
+//! durable-prefix oracle — a second fresh backend replaying exactly the
+//! ops the crash should have preserved.
+//!
+//! These are the op-granularity descendants of the old hand-scripted
+//! crash sweeps (now `tests/flush_crash_sweeps.rs`): what used to be a
+//! bespoke Rust scenario per subsystem is now a `Scenario` value — or a
+//! JSON file under `workloads/` — and one assertion covers raw, typed,
+//! sharded, and minidb at once.
 
-use espresso::collections::{PHashMap, PStore};
-use espresso::heap::{LoadOptions, Pjh, PjhConfig};
-use espresso::minidb::{Database, Value};
-use espresso::nvm::{NvmConfig, NvmDevice};
-use espresso::object::FieldDesc;
+use espresso_workload::replay::{expected_recovery_digest, replay};
+use espresso_workload::{make_backend, BackendKind, FaultSchedule, OpMix, Scenario, Skew, Trace};
 
-fn clone_device(src: &NvmDevice) -> NvmDevice {
-    let image = src.snapshot_persisted();
-    let dev = NvmDevice::new(NvmConfig::with_size(src.size()));
-    dev.write_bytes(0, &image);
-    dev.persist(0, image.len());
-    dev
-}
+/// Every backend that supports fault injection (the TCP server's heap
+/// lives behind the socket, so it sits the crash matrix out).
+const FAULTABLE: [BackendKind; 4] = [
+    BackendKind::Raw,
+    BackendKind::Typed,
+    BackendKind::Sharded,
+    BackendKind::Minidb,
+];
 
-#[test]
-fn pjh_allocation_crash_sweep() {
-    // Base image: heap with a klass registered and some objects.
-    let base = NvmDevice::new(NvmConfig::with_size(4 << 20));
-    let mut heap = Pjh::create(base.clone(), PjhConfig::small()).unwrap();
-    let k = heap
-        .register_instance("T", vec![FieldDesc::prim("x")])
-        .unwrap();
-    for _ in 0..5 {
-        heap.alloc_instance(k).unwrap();
-    }
-    // Count flushes of one allocation.
-    let f0 = base.stats().line_flushes;
-    heap.alloc_instance(k).unwrap();
-    let per_alloc = base.stats().line_flushes - f0;
-
-    for at in 0..=per_alloc {
-        let dev = clone_device(&base);
-        let (mut h, _) = Pjh::load(dev.clone(), LoadOptions::default()).unwrap();
-        let objs_before = h.census().objects;
-        dev.schedule_crash_after_line_flushes(at);
-        let _ = h.alloc_instance(k);
-        dev.recover();
-        let (h2, _) = Pjh::load(dev, LoadOptions::default()).unwrap();
-        let objs_after = h2.census().objects;
-        assert!(
-            objs_after == objs_before || objs_after == objs_before + 1,
-            "crash after {at} flushes left {objs_after} objects (had {objs_before})"
-        );
-        h2.verify_integrity()
-            .unwrap_or_else(|e| panic!("crash after {at}: {e}"));
+fn base_scenario(name: &str, seed: u64) -> Scenario {
+    Scenario {
+        name: name.into(),
+        key_space: 24,
+        ops: 180,
+        seed,
+        value_len: (6, 24),
+        mix: OpMix {
+            get: 25,
+            set: 35,
+            del: 10,
+            fget: 10,
+            fset: 12,
+            txn: 8,
+        },
+        skew: Skew::Uniform,
+        commit_every: 30,
+        faults: None,
     }
 }
 
-#[test]
-fn collection_transaction_crash_sweep() {
-    let base = NvmDevice::new(NvmConfig::with_size(8 << 20));
-    let mut store = PStore::new(Pjh::create(base.clone(), PjhConfig::small()).unwrap()).unwrap();
-    let map = PHashMap::pnew(&mut store, 8).unwrap();
-    store.heap_mut().set_root("m", map.as_ref()).unwrap();
-    for i in 0..10 {
-        map.put(&mut store, i, i).unwrap();
-    }
-    let f0 = base.stats().line_flushes;
-    map.put(&mut store, 100, 100).unwrap();
-    let per_put = base.stats().line_flushes - f0;
-
-    for at in 0..=per_put {
-        let dev = clone_device(&base);
-        let (heap, _) = Pjh::load(dev.clone(), LoadOptions::default()).unwrap();
-        let mut st = PStore::attach(heap).unwrap();
-        let m = PHashMap::from_ref(st.heap().get_root("m").unwrap());
-        dev.schedule_crash_after_line_flushes(at);
-        let _ = m.put(&mut st, 200, 42);
-        dev.recover();
-        let (heap2, _) = Pjh::load(dev, LoadOptions::default()).unwrap();
-        let st2 = PStore::attach(heap2).unwrap();
-        let m2 = PHashMap::from_ref(st2.heap().get_root("m").unwrap());
-        // Atomicity: the new entry is fully there or fully absent; old
-        // entries never corrupted.
-        let v = m2.get(&st2, 200);
-        assert!(v == Some(42) || v.is_none(), "crash after {at}: got {v:?}");
-        for i in 0..10 {
+/// Crash `scenario` at each schedule and check the recovered digest
+/// against the oracle, on every faultable backend.
+fn assert_recovery(scenario: &Scenario, schedules: &[FaultSchedule]) {
+    let trace = espresso_workload::record(scenario);
+    for faults in schedules {
+        for kind in FAULTABLE {
+            let mut backend = make_backend(kind, trace.key_space).unwrap();
+            let report = replay(backend.as_mut(), &trace, Some(faults)).unwrap();
+            assert!(report.crashed, "{kind}: crash was not injected");
+            let expected = expected_recovery_digest(kind, &trace, faults).unwrap();
             assert_eq!(
-                m2.get(&st2, i),
-                Some(i),
-                "crash after {at} corrupted key {i}"
+                report.digest, expected,
+                "{kind}: recovery after crash@{} (pause@{:?}) diverged from the \
+                 durable-prefix oracle",
+                faults.crash_after_op, faults.flush_pause_from_op
             );
         }
     }
 }
 
 #[test]
-fn database_commit_crash_sweep() {
-    let base = NvmDevice::new(NvmConfig::with_size(4 << 20));
-    {
-        let db = Database::create(base.clone()).unwrap();
-        let mut conn = db.connect();
-        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
-            .unwrap();
-        conn.execute("INSERT INTO t VALUES (1, 10)").unwrap();
-    }
-    // Count flushes of one committed transaction.
-    let probe = clone_device(&base);
-    let f0 = probe.stats().line_flushes;
-    {
-        let db = Database::open(probe.clone()).unwrap();
-        let mut conn = db.connect();
-        conn.execute("BEGIN").unwrap();
-        conn.execute("INSERT INTO t VALUES (2, 20)").unwrap();
-        conn.execute("UPDATE t SET v = 11 WHERE id = 1").unwrap();
-        conn.execute("COMMIT").unwrap();
-    }
-    let per_txn = probe.stats().line_flushes - f0;
+fn crash_between_commits_recovers_the_last_durable_epoch() {
+    let scenario = base_scenario("crash_between_commits", 7);
+    // Commits land at trace indices 30, 61, 92, ... (every 30 data ops
+    // plus the interleaved Commit itself). Crash just after, mid-epoch,
+    // and right before a commit.
+    assert_recovery(
+        &scenario,
+        &[
+            FaultSchedule {
+                crash_after_op: 35,
+                flush_pause_from_op: None,
+            },
+            FaultSchedule {
+                crash_after_op: 75,
+                flush_pause_from_op: None,
+            },
+            FaultSchedule {
+                crash_after_op: 91,
+                flush_pause_from_op: None,
+            },
+        ],
+    );
+}
 
-    for at in 0..=per_txn {
-        let dev = clone_device(&base);
-        let db = Database::open(dev.clone()).unwrap();
-        let mut conn = db.connect();
-        dev.schedule_crash_after_line_flushes(at);
-        conn.execute("BEGIN").unwrap();
-        conn.execute("INSERT INTO t VALUES (2, 20)").unwrap();
-        conn.execute("UPDATE t SET v = 11 WHERE id = 1").unwrap();
-        let _ = conn.execute("COMMIT");
-        dev.recover();
-        let db2 = Database::open(dev).unwrap();
-        let mut c2 = db2.connect();
-        let rows = c2.execute("SELECT * FROM t").unwrap().rows;
-        let committed = rows.len() == 2 && rows[0][1] == Value::Int(11);
-        let rolled_back = rows.len() == 1 && rows[0][1] == Value::Int(10);
-        assert!(
-            committed || rolled_back,
-            "crash after {at}/{per_txn} flushes left a torn transaction: {rows:?}"
+#[test]
+fn crash_before_any_commit_recovers_empty() {
+    let scenario = base_scenario("crash_early", 11);
+    assert_recovery(
+        &scenario,
+        &[FaultSchedule {
+            crash_after_op: 10,
+            flush_pause_from_op: None,
+        }],
+    );
+}
+
+#[test]
+fn paused_flush_pipeline_loses_sealed_epochs() {
+    // The lagging-pipeline shape: the pause window opens mid-trace, so
+    // commits sealed inside it queue without flushing and the crash
+    // discards them — recovery must land on the last commit *before*
+    // the window, not the last commit executed.
+    let scenario = base_scenario("crash_paused_pipeline", 13);
+    assert_recovery(
+        &scenario,
+        &[
+            FaultSchedule {
+                crash_after_op: 120,
+                flush_pause_from_op: Some(70),
+            },
+            // Window opens at op 0: nothing ever durable on the heap
+            // backends, everything preserved on minidb.
+            FaultSchedule {
+                crash_after_op: 60,
+                flush_pause_from_op: Some(0),
+            },
+        ],
+    );
+}
+
+#[test]
+fn zipfian_txn_heavy_crash() {
+    // Hot keys + transactions: the staged-root path (del-then-set,
+    // set-then-del) gets rewritten repeatedly on a few keys before the
+    // crash.
+    let mut scenario = base_scenario("crash_txn_heavy", 17);
+    scenario.skew = Skew::Zipfian { theta: 0.99 };
+    scenario.mix = OpMix {
+        get: 10,
+        set: 25,
+        del: 10,
+        fget: 5,
+        fset: 20,
+        txn: 30,
+    };
+    assert_recovery(
+        &scenario,
+        &[FaultSchedule {
+            crash_after_op: 150,
+            flush_pause_from_op: Some(100),
+        }],
+    );
+}
+
+#[test]
+fn checked_in_crash_scenario_recovers() {
+    // The shipped config, end to end: load the JSON, record, replay
+    // with its own fault schedule, check the oracle — exactly what
+    // `workload replay --faults` does.
+    let scenario = Scenario::load(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../workloads/crash_mid_burst.json"
+    ))
+    .unwrap();
+    let faults = scenario.faults.expect("crash scenario declares faults");
+    let trace = espresso_workload::record(&scenario);
+    for kind in FAULTABLE {
+        let mut backend = make_backend(kind, trace.key_space).unwrap();
+        let report = replay(backend.as_mut(), &trace, Some(&faults)).unwrap();
+        let expected = expected_recovery_digest(kind, &trace, &faults).unwrap();
+        assert_eq!(
+            report.digest, expected,
+            "{kind} diverged on crash_mid_burst"
+        );
+    }
+}
+
+#[test]
+fn recovered_heap_stays_writable_and_convergent() {
+    // After a crash-recovery, keep replaying the tail of the trace on
+    // the survivor: it must converge with a fresh backend that replayed
+    // durable-prefix + tail directly.
+    let scenario = base_scenario("crash_then_continue", 23);
+    let trace = espresso_workload::record(&scenario);
+    let faults = FaultSchedule {
+        crash_after_op: 95,
+        flush_pause_from_op: None,
+    };
+    for kind in [BackendKind::Raw, BackendKind::Typed] {
+        let mut survivor = make_backend(kind, trace.key_space).unwrap();
+        replay(survivor.as_mut(), &trace, Some(&faults)).unwrap();
+        let prefix = espresso_workload::durable_prefix(&trace, &faults, survivor.durability());
+        let tail = Trace {
+            key_space: trace.key_space,
+            seed: trace.seed,
+            ops: trace.ops[prefix..].to_vec(),
+        };
+        let after = replay(survivor.as_mut(), &tail, None).unwrap();
+
+        let mut oracle = make_backend(kind, trace.key_space).unwrap();
+        let direct = replay(oracle.as_mut(), &trace, None).unwrap();
+        assert_eq!(
+            after.digest, direct.digest,
+            "{kind}: resumed replay after recovery diverged from an uncrashed run"
         );
     }
 }

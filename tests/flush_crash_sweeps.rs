@@ -1,0 +1,140 @@
+//! Flush-granularity failure injection: for each subsystem, sweep power
+//! failures over every cache-line flush boundary of a scripted workload
+//! and require a consistent recovery at each point.
+//!
+//! This is the fine-grained companion to `tests/crash_matrix.rs`, which
+//! injects *op-granularity* crashes through the workload harness's
+//! scenario fault schedules. Keep both: scenarios cover cross-backend
+//! recovery convergence, these sweeps cover single-flush torn states no
+//! scenario can express.
+
+use espresso::collections::{PHashMap, PStore};
+use espresso::heap::{LoadOptions, Pjh, PjhConfig};
+use espresso::minidb::{Database, Value};
+use espresso::nvm::{NvmConfig, NvmDevice};
+use espresso::object::FieldDesc;
+
+fn clone_device(src: &NvmDevice) -> NvmDevice {
+    let image = src.snapshot_persisted();
+    let dev = NvmDevice::new(NvmConfig::with_size(src.size()));
+    dev.write_bytes(0, &image);
+    dev.persist(0, image.len());
+    dev
+}
+
+#[test]
+fn pjh_allocation_crash_sweep() {
+    // Base image: heap with a klass registered and some objects.
+    let base = NvmDevice::new(NvmConfig::with_size(4 << 20));
+    let mut heap = Pjh::create(base.clone(), PjhConfig::small()).unwrap();
+    let k = heap
+        .register_instance("T", vec![FieldDesc::prim("x")])
+        .unwrap();
+    for _ in 0..5 {
+        heap.alloc_instance(k).unwrap();
+    }
+    // Count flushes of one allocation.
+    let f0 = base.stats().line_flushes;
+    heap.alloc_instance(k).unwrap();
+    let per_alloc = base.stats().line_flushes - f0;
+
+    for at in 0..=per_alloc {
+        let dev = clone_device(&base);
+        let (mut h, _) = Pjh::load(dev.clone(), LoadOptions::default()).unwrap();
+        let objs_before = h.census().objects;
+        dev.schedule_crash_after_line_flushes(at);
+        let _ = h.alloc_instance(k);
+        dev.recover();
+        let (h2, _) = Pjh::load(dev, LoadOptions::default()).unwrap();
+        let objs_after = h2.census().objects;
+        assert!(
+            objs_after == objs_before || objs_after == objs_before + 1,
+            "crash after {at} flushes left {objs_after} objects (had {objs_before})"
+        );
+        h2.verify_integrity()
+            .unwrap_or_else(|e| panic!("crash after {at}: {e}"));
+    }
+}
+
+#[test]
+fn collection_transaction_crash_sweep() {
+    let base = NvmDevice::new(NvmConfig::with_size(8 << 20));
+    let mut store = PStore::new(Pjh::create(base.clone(), PjhConfig::small()).unwrap()).unwrap();
+    let map = PHashMap::pnew(&mut store, 8).unwrap();
+    store.heap_mut().set_root("m", map.as_ref()).unwrap();
+    for i in 0..10 {
+        map.put(&mut store, i, i).unwrap();
+    }
+    let f0 = base.stats().line_flushes;
+    map.put(&mut store, 100, 100).unwrap();
+    let per_put = base.stats().line_flushes - f0;
+
+    for at in 0..=per_put {
+        let dev = clone_device(&base);
+        let (heap, _) = Pjh::load(dev.clone(), LoadOptions::default()).unwrap();
+        let mut st = PStore::attach(heap).unwrap();
+        let m = PHashMap::from_ref(st.heap().get_root("m").unwrap());
+        dev.schedule_crash_after_line_flushes(at);
+        let _ = m.put(&mut st, 200, 42);
+        dev.recover();
+        let (heap2, _) = Pjh::load(dev, LoadOptions::default()).unwrap();
+        let st2 = PStore::attach(heap2).unwrap();
+        let m2 = PHashMap::from_ref(st2.heap().get_root("m").unwrap());
+        // Atomicity: the new entry is fully there or fully absent; old
+        // entries never corrupted.
+        let v = m2.get(&st2, 200);
+        assert!(v == Some(42) || v.is_none(), "crash after {at}: got {v:?}");
+        for i in 0..10 {
+            assert_eq!(
+                m2.get(&st2, i),
+                Some(i),
+                "crash after {at} corrupted key {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn database_commit_crash_sweep() {
+    let base = NvmDevice::new(NvmConfig::with_size(4 << 20));
+    {
+        let db = Database::create(base.clone()).unwrap();
+        let mut conn = db.connect();
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+            .unwrap();
+        conn.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+    }
+    // Count flushes of one committed transaction.
+    let probe = clone_device(&base);
+    let f0 = probe.stats().line_flushes;
+    {
+        let db = Database::open(probe.clone()).unwrap();
+        let mut conn = db.connect();
+        conn.execute("BEGIN").unwrap();
+        conn.execute("INSERT INTO t VALUES (2, 20)").unwrap();
+        conn.execute("UPDATE t SET v = 11 WHERE id = 1").unwrap();
+        conn.execute("COMMIT").unwrap();
+    }
+    let per_txn = probe.stats().line_flushes - f0;
+
+    for at in 0..=per_txn {
+        let dev = clone_device(&base);
+        let db = Database::open(dev.clone()).unwrap();
+        let mut conn = db.connect();
+        dev.schedule_crash_after_line_flushes(at);
+        conn.execute("BEGIN").unwrap();
+        conn.execute("INSERT INTO t VALUES (2, 20)").unwrap();
+        conn.execute("UPDATE t SET v = 11 WHERE id = 1").unwrap();
+        let _ = conn.execute("COMMIT");
+        dev.recover();
+        let db2 = Database::open(dev).unwrap();
+        let mut c2 = db2.connect();
+        let rows = c2.execute("SELECT * FROM t").unwrap().rows;
+        let committed = rows.len() == 2 && rows[0][1] == Value::Int(11);
+        let rolled_back = rows.len() == 1 && rows[0][1] == Value::Int(10);
+        assert!(
+            committed || rolled_back,
+            "crash after {at}/{per_txn} flushes left a torn transaction: {rows:?}"
+        );
+    }
+}
