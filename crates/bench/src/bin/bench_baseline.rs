@@ -16,15 +16,18 @@
 //! default 100000 — retention ratios need enough reads to swamp setup
 //! and scheduler noise), `--nserver <ops>` (server-throughput ops per
 //! cell over real TCP, default 8000), `--nwl <ops>` (workload-replay
-//! trace length, default 4000), `--out <path>` (default stdout).
+//! trace length, default 4000), `--nchurn <ops>` (allocator-churn
+//! allocations per cell, default 50000 — reuse needs enough GC cycles
+//! for the free lists to reach steady state), `--out <path>` (default
+//! stdout).
 //! Absolute times vary by machine; the *shape* (speedup ratios, shard
 //! throughput ratios, UG-vs-zeroing growth) is what future PRs compare
 //! against.
 
 use espresso::heap::SafetyLevel;
 use espresso_bench::micro::{
-    build_loading_image, measure_load, run_pcj_micro, run_pjh_micro, run_reader_scaling,
-    run_shard_scaling, DataType, MicroOp,
+    build_loading_image, measure_load, run_alloc_churn, run_pcj_micro, run_pjh_micro,
+    run_reader_scaling, run_shard_scaling, DataType, MicroOp,
 };
 use espresso_bench::srv::run_server_throughput;
 use espresso_bench::wl::{bench_trace, run_workload_replay};
@@ -40,7 +43,9 @@ fn flag(name: &str) -> Option<String> {
 
 fn main() {
     let n15: usize = flag("--n15").and_then(|v| v.parse().ok()).unwrap_or(2_000);
-    let n18: usize = flag("--n18").and_then(|v| v.parse().ok()).unwrap_or(50_000);
+    let n18: usize = flag("--n18")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
 
     let mut json = String::new();
     json.push_str("{\n  \"schema\": 1,\n  \"mode\": \"ci-safe\",\n");
@@ -193,6 +198,64 @@ fn main() {
     }
     json.push_str(&wl_cells.join(",\n"));
     json.push_str("\n    }\n  },\n");
+
+    // Allocator churn: a del-heavy hot/cold allocation mix on one raw
+    // heap at a fixed budget, free-list reuse on vs off. Both gated
+    // cells are higher-is-better ratios: `reuse_vs_bump` (bump-only
+    // time over reuse time — the wall-clock cost of the 3-flush reuse
+    // commit protocol, well below 1.0 by design) and
+    // `hw_bump_over_reuse` (bump-only heap high-water regions over
+    // reuse high-water — the bounded-footprint win that is the point of
+    // v3 allocation, far above 1.0). Raw times, high-water marks, and
+    // reuse counts ride in the non-gated `churn_info` map.
+    let n_churn: usize = flag("--nchurn")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50_000);
+    let best_churn = |reuse: bool| {
+        (0..3)
+            .map(|_| run_alloc_churn(n_churn, reuse))
+            .min_by_key(|r| r.elapsed)
+            .expect("three runs")
+    };
+    let churn_reuse = best_churn(true);
+    let churn_bump = best_churn(false);
+    let _ = writeln!(json, "  \"alloc_churn\": {{");
+    let _ = writeln!(json, "    \"ops_per_cell\": {n_churn},");
+    let _ = writeln!(json, "    \"churn_ratios\": {{");
+    let _ = writeln!(
+        json,
+        "      \"reuse_vs_bump\": {:.2},",
+        churn_bump.elapsed.as_secs_f64() / churn_reuse.elapsed.as_secs_f64().max(f64::MIN_POSITIVE)
+    );
+    let _ = writeln!(
+        json,
+        "      \"hw_bump_over_reuse\": {:.2}",
+        churn_bump.high_water_regions as f64 / (churn_reuse.high_water_regions.max(1)) as f64
+    );
+    json.push_str("    },\n");
+    let _ = writeln!(json, "    \"churn_info\": {{");
+    let _ = writeln!(
+        json,
+        "      \"reuse_ms\": {:.3},",
+        churn_reuse.elapsed.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(
+        json,
+        "      \"bump_ms\": {:.3},",
+        churn_bump.elapsed.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(
+        json,
+        "      \"reuse_hw_regions\": {},",
+        churn_reuse.high_water_regions
+    );
+    let _ = writeln!(
+        json,
+        "      \"bump_hw_regions\": {},",
+        churn_bump.high_water_regions
+    );
+    let _ = writeln!(json, "      \"reused_slots\": {}", churn_reuse.reused);
+    json.push_str("    }\n  },\n");
 
     let _ = writeln!(json, "  \"fig18\": {{");
     let _ = writeln!(json, "    \"klasses\": 20,");

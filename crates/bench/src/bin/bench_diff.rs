@@ -31,9 +31,15 @@
 //! `workload_replay` ratios (raw-word replay time over each richer
 //! backend's time on one recorded trace) gate the same way — a
 //! typed-session, sharded, or minidb slowdown on a realistic op stream
-//! trips it. fig18 load times and server latencies are printed for
-//! context but never gate (absolute milliseconds/µs are too
-//! machine-dependent).
+//! trips it. The `alloc_churn` ratios (bump-only time over reuse time,
+//! and bump-only heap high-water over reuse high-water, on a del-heavy
+//! hot/cold mix) gate the same way, and `--churn-floor <ratio>`
+//! (default `0.0`, i.e. off unless passed) enforces an absolute floor
+//! on the `reuse_vs_bump` cell — the free-list commit protocol may cost
+//! wall clock for its footprint win, but never more than this bound.
+//! fig18 load times, server latencies, and the churn_info raw numbers
+//! are printed for context but never gate (absolute milliseconds/µs are
+//! too machine-dependent).
 
 use espresso_bench::diff::{diff_ratio_cells, diff_speedups, parse_map_section, CellDiff};
 use espresso_bench::report::print_table;
@@ -158,6 +164,21 @@ fn main() {
         eprintln!("bench_diff: no workload_replay cells in {baseline_path}; skipping that gate");
     }
 
+    // Allocator-churn gate: reuse-vs-bump wall-clock ratio and the
+    // bump-over-reuse heap high-water ratio, same lower-bound rule.
+    // Absent in baselines from before v3 allocation — skipped, not
+    // failed.
+    let churn_diffs = diff_ratio_cells(&baseline, &current, "churn_ratios", tolerance);
+    if !churn_diffs.is_empty() {
+        print_table(
+            &format!("alloc_churn gate (tolerance {:.0}%)", tolerance * 100.0),
+            &["cell", "baseline", "current", "floor", "status"],
+            &ratio_rows(&churn_diffs),
+        );
+    } else {
+        eprintln!("bench_diff: no alloc_churn cells in {baseline_path}; skipping that gate");
+    }
+
     // Absolute readers/4 floor, independent of the committed baseline:
     // four pinned readers under one committing writer must retain at
     // least this fraction of their quiet throughput — the lock-free
@@ -222,6 +243,29 @@ fn main() {
         }
     }
 
+    // Absolute reuse_vs_bump floor, independent of the committed
+    // baseline: the free-list path trades wall clock for a bounded
+    // footprint, but an unbounded slowdown (say, a reuse protocol that
+    // grew extra flushes) must fail even if the baseline drifted with
+    // it.
+    let churn_floor: f64 = flag("--churn-floor")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0);
+    let mut churn_failed = false;
+    if let Some(&(_, current_ratio)) = parse_map_section(&current, "churn_ratios")
+        .iter()
+        .find(|(n, _)| n == "reuse_vs_bump")
+    {
+        if current_ratio < churn_floor {
+            eprintln!(
+                "bench_diff: reuse_vs_bump throughput {current_ratio:.2}x is below the absolute floor {churn_floor:.2}x"
+            );
+            churn_failed = true;
+        } else if churn_floor > 0.0 {
+            println!("reuse_vs_bump absolute floor: {current_ratio:.2}x >= {churn_floor:.2}x ok");
+        }
+    }
+
     let fig18_base = parse_map_section(&baseline, "load_ms");
     let fig18_cur = parse_map_section(&current, "load_ms");
     if !fig18_cur.is_empty() {
@@ -238,6 +282,26 @@ fn main() {
         print_table(
             "fig18 load_ms (informational, not gated)",
             &["point", "baseline", "current"],
+            &rows,
+        );
+    }
+
+    let churn_base = parse_map_section(&baseline, "churn_info");
+    let churn_cur = parse_map_section(&current, "churn_info");
+    if !churn_cur.is_empty() {
+        let rows: Vec<Vec<String>> = churn_cur
+            .iter()
+            .map(|(name, c)| {
+                let b = churn_base
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map_or("-".to_string(), |&(_, v)| format!("{v:.3}"));
+                vec![name.clone(), b, format!("{c:.3}")]
+            })
+            .collect();
+        print_table(
+            "churn_info (informational, not gated)",
+            &["cell", "baseline", "current"],
             &rows,
         );
     }
@@ -268,14 +332,20 @@ fn main() {
         .chain(reader_diffs.iter())
         .chain(server_diffs.iter())
         .chain(wl_diffs.iter())
+        .chain(churn_diffs.iter())
         .filter(|d| d.regressed)
         .count();
-    if regressions > 0 || shard4_failed || readers_failed || server8_failed {
+    if regressions > 0 || shard4_failed || readers_failed || server8_failed || churn_failed {
         eprintln!("bench_diff: {regressions} gated cell(s) regressed beyond {tolerance:.2}");
         std::process::exit(1);
     }
     println!(
         "\nbench_diff: all {} gated cells within tolerance",
-        diffs.len() + shard_diffs.len() + reader_diffs.len() + server_diffs.len() + wl_diffs.len()
+        diffs.len()
+            + shard_diffs.len()
+            + reader_diffs.len()
+            + server_diffs.len()
+            + wl_diffs.len()
+            + churn_diffs.len()
     );
 }

@@ -563,6 +563,122 @@ pub fn run_reader_scaling(readers: usize, ops: usize, with_writer: bool) -> Dura
     elapsed
 }
 
+// ---- alloc churn: free-list reuse vs the bump-only baseline ----
+
+/// Heap bytes for the churn cell — small enough that a bump-only
+/// allocator must repeatedly compact, while the reuse path recycles the
+/// same dead slots and stops growing.
+const CHURN_HEAP_BYTES: usize = 2 << 20;
+/// Hot window: each op kills the object `CHURN_HOT` ops older.
+const CHURN_HOT: usize = 256;
+/// Cold set: one in [`CHURN_COLD_EVERY`] ops allocates a long-lived
+/// object instead, cycling through `CHURN_COLD` slots. The survivors
+/// sprinkle every region with live objects, so wholesale region
+/// reclamation cannot fire and the dead hot slots around them are
+/// exactly what the per-size-class free lists exist to recycle.
+const CHURN_COLD: usize = 2048;
+const CHURN_COLD_EVERY: usize = 16;
+/// Collection cadence — the safepoint-driven incremental GC that feeds
+/// the free lists. Identical for both modes, so the measured difference
+/// is the reuse policy alone.
+const CHURN_GC_EVERY: usize = 2048;
+
+/// Result of one [`run_alloc_churn`] measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnResult {
+    /// Wall time for the whole churn loop.
+    pub elapsed: Duration,
+    /// Maximum simultaneously non-free regions observed (the heap's
+    /// high-water footprint).
+    pub high_water_regions: usize,
+    /// Full (stop-the-world) collections the run needed.
+    pub gc_full: u64,
+    /// Allocations served from the free lists.
+    pub reused: u64,
+}
+
+/// The `alloc_churn` cell: del-heavy steady-state churn on one raw
+/// `Pjh`. Every op allocates a small instance into a fixed-size hot
+/// window, killing the object it displaces; every `CHURN_COLD_EVERY`th
+/// op allocates into the long-lived cold set instead, so each region
+/// keeps a sprinkling of survivors and can never be reclaimed
+/// wholesale. An incremental collection runs every `CHURN_GC_EVERY`
+/// ops. With `reuse` the allocator serves the next
+/// hot generation out of the per-size-class free lists the GC just
+/// harvested, so the bump top — and with it the region footprint —
+/// stops growing; bump-only keeps consuming fresh regions and must
+/// full-compact the whole heap to continue once they run out.
+pub fn run_alloc_churn(ops: usize, reuse: bool) -> ChurnResult {
+    use espresso::heap::PjhError;
+    use espresso::object::{Ref, Space};
+    let dev = NvmDevice::new(NvmConfig::with_size(CHURN_HEAP_BYTES));
+    let config = PjhConfig {
+        alloc_reuse: reuse,
+        ..PjhConfig::default()
+    };
+    let mut heap = Pjh::create(dev, config).expect("pjh");
+    let kid = heap
+        .register_instance(
+            "Churn",
+            vec![FieldDesc::prim("a"), FieldDesc::reference("next")],
+        )
+        .expect("klass");
+    let mut hot = vec![Ref::NULL; CHURN_HOT];
+    let mut cold = vec![Ref::NULL; CHURN_COLD];
+    // Collect with both live sets as extra roots, then remap the refs a
+    // compacting cycle moved (incremental cycles never move anything).
+    let collect = |heap: &mut Pjh, hot: &mut [Ref], cold: &mut [Ref]| {
+        let roots: Vec<_> = hot
+            .iter()
+            .chain(cold.iter())
+            .copied()
+            .filter(|r| !r.is_null())
+            .collect();
+        let report = heap.gc(&roots).expect("gc");
+        if !report.relocations.is_empty() {
+            for w in hot.iter_mut().chain(cold.iter_mut()) {
+                if let Some(&to) = report.relocations.get(&w.addr()) {
+                    *w = Ref::new(Space::Persistent, to);
+                }
+            }
+        }
+    };
+    let mut high_water = 0usize;
+    let t0 = Instant::now();
+    for i in 0..ops {
+        if i % CHURN_GC_EVERY == CHURN_GC_EVERY - 1 {
+            collect(&mut heap, &mut hot, &mut cold);
+        }
+        let o = loop {
+            match heap.alloc_instance(kid) {
+                Ok(o) => break o,
+                Err(PjhError::HeapFull { .. }) => collect(&mut heap, &mut hot, &mut cold),
+                Err(e) => panic!("churn alloc: {e}"),
+            }
+        };
+        heap.set_field(o, 0, i as u64);
+        heap.flush_object(o);
+        if i % CHURN_COLD_EVERY == 0 {
+            cold[(i / CHURN_COLD_EVERY) % CHURN_COLD] = o;
+        } else {
+            hot[i % CHURN_HOT] = o;
+        }
+        if i % 64 == 0 {
+            let s = heap.heap_stats();
+            high_water = high_water.max(s.total_regions - s.free_regions);
+        }
+    }
+    let elapsed = t0.elapsed();
+    let s = heap.heap_stats();
+    high_water = high_water.max(s.total_regions - s.free_regions);
+    ChurnResult {
+        elapsed,
+        high_water_regions: high_water,
+        gc_full: s.gc_full_count,
+        reused: s.reused_slots,
+    }
+}
+
 // ---- Figure 18: heap loading ----
 
 /// Builds a heap image with `objects` instances spread over `klasses`
@@ -693,6 +809,20 @@ mod tests {
         for shards in [1, 2, 4] {
             assert!(run_shard_scaling(shards, 64) > Duration::ZERO);
         }
+    }
+
+    #[test]
+    fn churn_reuse_bounds_the_heap_footprint() {
+        let reuse = run_alloc_churn(6000, true);
+        let bump = run_alloc_churn(6000, false);
+        assert!(reuse.reused > 0, "reuse run never touched the free lists");
+        assert_eq!(bump.reused, 0, "bump-only run must not reuse");
+        assert!(
+            reuse.high_water_regions <= bump.high_water_regions,
+            "reuse footprint {} exceeded bump-only {}",
+            reuse.high_water_regions,
+            bump.high_water_regions
+        );
     }
 
     #[test]

@@ -27,7 +27,8 @@
 //! # Incremental collection
 //!
 //! A completed full collection leaves behind a persisted per-region
-//! **summary** (live words / live objects) and arms dirty tracking; the
+//! **summary** (live words / live objects / reclaimable words / scan
+//! timestamp) and arms dirty tracking; the
 //! first incremental cycle builds per-region DRAM **remembered sets**
 //! (each region's outgoing cross-region references) and later cycles
 //! reuse them: only regions written since the previous cycle are
@@ -58,25 +59,38 @@ pub enum GcKind {
     Incremental,
 }
 
-/// Per-region live accounting, persisted in the metadata segment and
-/// reused across incremental collection cycles.
+/// Per-region live accounting, persisted in the metadata segment (16
+/// bytes per region) and reused across incremental collection cycles.
+/// The death side (`reclaimable_words`, `scan_ts`) is what the v3
+/// allocator rebuilds its free lists from on load.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RegionSummary {
     /// Words occupied by live objects in the region.
     pub live_words: u32,
     /// Live objects in the region.
     pub live_objects: u32,
+    /// Words of dead-but-still-walkable object images that fit a
+    /// free-list size class — slots `alloc_raw` may hand out again.
+    pub reclaimable_words: u32,
+    /// Timestamp of the collection that last proved deaths in this
+    /// region: an image stamped strictly below it is durably dead.
+    pub scan_ts: u32,
 }
 
 impl RegionSummary {
-    pub(crate) fn pack(self) -> u64 {
-        self.live_words as u64 | (self.live_objects as u64) << 32
+    pub(crate) fn pack(self) -> (u64, u64) {
+        (
+            self.live_words as u64 | (self.live_objects as u64) << 32,
+            self.reclaimable_words as u64 | (self.scan_ts as u64) << 32,
+        )
     }
 
-    pub(crate) fn unpack(raw: u64) -> RegionSummary {
+    pub(crate) fn unpack(lo: u64, hi: u64) -> RegionSummary {
         RegionSummary {
-            live_words: raw as u32,
-            live_objects: (raw >> 32) as u32,
+            live_words: lo as u32,
+            live_objects: (lo >> 32) as u32,
+            reclaimable_words: hi as u32,
+            scan_ts: (hi >> 32) as u32,
         }
     }
 }
@@ -194,16 +208,22 @@ fn persist_summaries(h: &mut Pjh, summaries: &[RegionSummary], ts: u32, write_al
     pflush(h, meta::SUMMARY_TS, 8);
     for (i, s) in summaries.iter().enumerate() {
         if write_all || h.summaries[i] != *s {
-            h.dev.write_u64(h.layout.region_summary_entry(i), s.pack());
+            let entry = h.layout.region_summary_entry(i);
+            let (lo, hi) = s.pack();
+            h.dev.write_u64(entry, lo);
+            h.dev.write_u64(entry + 8, hi);
         }
     }
-    pflush(h, h.layout.region_summary_off, h.layout.num_regions * 8);
+    pflush(h, h.layout.region_summary_off, h.layout.num_regions * 16);
     h.dev.write_u64(meta::SUMMARY_TS, ts as u64);
     pflush(h, meta::SUMMARY_TS, 8);
     h.summaries = summaries.to_vec();
 }
 
 /// From-scratch per-region live accounting (a fresh reachability scan).
+/// The death side is derived from mark stamps, exactly as the free-list
+/// rebuild does: an image stamped below the current global timestamp is
+/// dead, and the region's scan timestamp is that global timestamp.
 pub(crate) fn scan_summaries(h: &Pjh) -> Vec<RegionSummary> {
     let (begin, end) = mark_live(h, &[]);
     let mut out = vec![RegionSummary::default(); h.layout.num_regions];
@@ -215,6 +235,17 @@ pub(crate) fn scan_summaries(h: &Pjh) -> Vec<RegionSummary> {
         out[r].live_words += words as u32;
         out[r].live_objects += 1;
         b = begin.next_set(w + words);
+    }
+    for (r, s) in out.iter_mut().enumerate() {
+        if h.free.get(r) {
+            continue;
+        }
+        s.scan_ts = h.global_ts;
+        s.reclaimable_words = h
+            .harvest_region(r, h.global_ts)
+            .iter()
+            .map(|&(_, words)| words as u32)
+            .sum();
     }
     out
 }
@@ -520,11 +551,37 @@ fn execute(h: &Pjh, schedule: &Schedule, ts: u32, resume: bool) -> (usize, usize
 }
 
 fn finalize(h: &mut Pjh, schedule: &Schedule, ts: u32) {
-    // Persist the per-region summaries before anything else: finalize is
-    // re-run in full by recovery, so a crash anywhere in here leaves the
-    // table rebuildable (and the torn-write guard keeps partial writes
-    // from being trusted).
-    let summaries = summaries_of_schedule(&h.layout, schedule);
+    // Zero destination tails first: the summary walk below (and the
+    // object walker generally) must see holes there, not the stale bytes
+    // of whatever the region held before it became an evacuation target.
+    for &(region, used) in &schedule.zero_tails {
+        let start = h.layout.region_start(region) + used;
+        let len = h.layout.region_size - used;
+        if len > 0 {
+            h.dev.fill(start, len, 0);
+            pflush(h, start, len);
+        }
+    }
+    // Rewrite the per-region summaries: live accounting from the
+    // schedule, plus the death side the v3 allocator rebuilds free lists
+    // from. Every retained region is walked counting images stamped
+    // below `ts` — execute stamped each live object to `ts`, so an older
+    // stamp is a durable death certificate — and records `ts` as its
+    // scan timestamp. finalize is re-run in full by recovery, so a crash
+    // anywhere in here leaves the table rebuildable (and the torn-write
+    // guard keeps partial writes from being trusted).
+    let mut summaries = summaries_of_schedule(&h.layout, schedule);
+    for (r, s) in summaries.iter_mut().enumerate() {
+        if schedule.new_free.get(r) {
+            continue;
+        }
+        s.scan_ts = ts;
+        s.reclaimable_words = h
+            .harvest_region(r, ts)
+            .iter()
+            .map(|&(_, words)| words as u32)
+            .sum();
+    }
     persist_summaries(h, &summaries, ts, true);
     // Forward the name-table roots (idempotent fix rule).
     let fixes: Vec<(String, u64)> = h
@@ -536,15 +593,6 @@ fn finalize(h: &mut Pjh, schedule: &Schedule, ts: u32) {
         h.names
             .set(&h.dev, crate::EntryKind::Root, &name, raw)
             .expect("existing root entry cannot fail to update");
-    }
-    // Zero destination tails so the object walker sees holes.
-    for &(region, used) in &schedule.zero_tails {
-        let start = h.layout.region_start(region) + used;
-        let len = h.layout.region_size - used;
-        if len > 0 {
-            h.dev.fill(start, len, 0);
-            pflush(h, start, len);
-        }
     }
     // Publish the new free bitmap and allocation cursor.
     if h.recoverable_gc {
@@ -578,7 +626,11 @@ fn finalize(h: &mut Pjh, schedule: &Schedule, ts: u32) {
 /// full otherwise (fresh/reloaded heaps, or when compaction is needed to
 /// open regions).
 pub(crate) fn collect_auto(h: &mut Pjh, extra_roots: &[Ref]) -> crate::Result<GcReport> {
-    let low_space = h.free.count() * 8 < h.layout.num_regions;
+    // Space pressure counts the ready free lists alongside free regions:
+    // under steady-state churn the lists keep absorbing allocations
+    // without opening regions, so compaction stays the rare path.
+    let low_space = h.free.count() * 8 < h.layout.num_regions
+        && h.free_lists.ready_words() * WORD < h.layout.region_size;
     if h.incremental_ready && !low_space {
         collect_incremental(h, extra_roots)
     } else {
@@ -663,20 +715,40 @@ pub(crate) fn collect_full(h: &mut Pjh, extra_roots: &[Ref]) -> crate::Result<Gc
     let (moved, in_place) = execute(h, &schedule, ts, false);
     finalize(h, &schedule, ts);
     h.gc_count += 1;
+    h.gc_full_count += 1;
 
     // Evacuated sources (and every other newly freed region) may still be
     // walked by readers pinned before this point: defer their reuse until
     // the clock drains past the current epoch, then tick the clock so
-    // readers arriving after the collection do not hold them back.
-    if let Some(clock) = h.epoch_clock.clone() {
-        let freed_epoch = clock.now();
-        for r in 0..h.layout.num_regions {
-            if h.free.get(r) && !free_before_gc.get(r) {
-                h.deferred_free.push((freed_epoch, r));
+    // readers arriving after the collection do not hold them back. The
+    // same epoch gates the freshly harvested dead slots — a pinned
+    // reader's pre-GC refs may still resolve into them. Compaction moved
+    // or freed everything the old lists pointed at, so they are rebuilt
+    // from scratch out of the summaries finalize just wrote.
+    h.free_lists.clear();
+    let freed_epoch = h.epoch_clock.as_ref().map(|c| c.now());
+    for r in 0..h.layout.num_regions {
+        if h.free.get(r) {
+            if !free_before_gc.get(r) {
+                if let Some(e) = freed_epoch {
+                    h.deferred_free.push((e, r));
+                }
+            }
+            continue;
+        }
+        if h.reuse_enabled && h.summaries[r].reclaimable_words > 0 {
+            for (off, words) in h.harvest_region(r, ts) {
+                match freed_epoch {
+                    Some(e) => h.free_lists.push_deferred(e, off, words),
+                    None => h.free_lists.push_ready(off, words),
+                }
             }
         }
+    }
+    if let Some(clock) = h.epoch_clock.clone() {
         clock.advance();
     }
+    h.promote_free_list_deferred();
 
     // Arm incremental collection: dirty tracking restarts from a clean
     // slate; remembered sets are built lazily by the first incremental
@@ -810,31 +882,97 @@ pub(crate) fn collect_incremental(h: &mut Pjh, extra_roots: &[Ref]) -> crate::Re
     // 4. Reclaim empty regions wholesale — one persisted free-bit word
     //    each, no object traffic. (They are re-zeroed on reuse, which the
     //    deferred-free list holds off while pinned readers could still
-    //    walk their garbage images.)
-    let mut any_freed = false;
+    //    walk their garbage images.) Any free-list slots inside them are
+    //    purged: the region-level grant supersedes the slot-level one.
+    let freed_epoch = h.epoch_clock.as_ref().map(|c| c.now());
+    let mut any_deferred = false;
     for (r, &f) in freeable.iter().enumerate() {
         if f {
             h.free.set(r);
             h.persist_free_bit(r);
             remsets[r].clear();
-            any_freed = true;
-        }
-    }
-    if any_freed {
-        if let Some(clock) = h.epoch_clock.clone() {
-            let freed_epoch = clock.now();
-            for (r, &f) in freeable.iter().enumerate() {
-                if f {
-                    h.deferred_free.push((freed_epoch, r));
-                }
+            h.free_lists
+                .purge_range(h.layout.region_start(r), h.layout.region_end(r));
+            if let Some(e) = freed_epoch {
+                h.deferred_free.push((e, r));
+                any_deferred = true;
             }
-            clock.advance();
         }
     }
 
-    // 5. Refresh summaries for rescanned regions; clean regions keep their
-    //    previous (conservative) accounting.
+    // 5. Advance and persist the global timestamp *before* anything is
+    //    stamped with `ts` or any summary records `ts` as a scan
+    //    timestamp. In the other order a crash in between would leave the
+    //    device clock behind `ts`: the free-list rebuild would read
+    //    post-reload allocations (stamped with the stale clock) as dead,
+    //    and a later full collection reusing `ts` would skip
+    //    "already processed" objects mid-compaction.
     let ts = h.global_ts.wrapping_add(1);
+    h.dev.write_u64(meta::GLOBAL_TIMESTAMP, ts as u64);
+    pflush(h, meta::GLOBAL_TIMESTAMP, 8);
+
+    // 6. Re-stamp live objects and harvest dead slots in the rescanned
+    //    regions: once every live image carries `ts`, "stamped below the
+    //    region's scan timestamp" is a durable death certificate — the
+    //    invariant the on-load free-list rebuild relies on. Only dirty,
+    //    still-retained regions pay the walk (and one 8-byte flush per
+    //    stale live stamp); clean regions keep their old scan timestamp,
+    //    which their old stamps still satisfy. Harvested slots go through
+    //    the same epoch gate as freed regions, since pinned readers may
+    //    still resolve pre-cycle refs into them.
+    let mut reclaimable = vec![0u32; n];
+    for (r, recl) in reclaimable.iter_mut().enumerate() {
+        if h.free.get(r) || !h.dirty.get(r) {
+            continue;
+        }
+        h.free_lists
+            .purge_range(h.layout.region_start(r), h.layout.region_end(r));
+        let mut stale_live: Vec<usize> = Vec::new();
+        let mut dead: Vec<(usize, usize)> = Vec::new();
+        h.for_each_object_in_region(r, |off, _, words| {
+            if marked.get(h.layout.word_of(off)) {
+                if mark::timestamp(h.dev.read_u64(off)) != ts {
+                    stale_live.push(off);
+                }
+            } else if words < crate::heap::MAX_CLASS_WORDS {
+                dead.push((off, words));
+            }
+        });
+        // Restamps are written first and flushed one cache line at a
+        // time — the walk yields offsets in address order, so a peek at
+        // the next stamp tells whether this line is done. Same lines
+        // flushed as a per-stamp loop (never a byte more — wider spans
+        // could persist unrelated volatile mutator writes early), but
+        // co-resident stamps share a single flush instead of re-dirtying
+        // the line between flushes.
+        let mut stale = stale_live.iter().peekable();
+        while let Some(&off) = stale.next() {
+            let m = h.dev.read_u64(off);
+            h.dev.write_u64(off, mark::with_timestamp(m, ts));
+            let line = off / espresso_nvm::CACHE_LINE;
+            if stale
+                .peek()
+                .is_none_or(|&&next| next / espresso_nvm::CACHE_LINE != line)
+            {
+                pflush(h, off, 8);
+            }
+        }
+        *recl = dead.iter().map(|&(_, w)| w as u32).sum();
+        if h.reuse_enabled {
+            for (off, words) in dead {
+                match freed_epoch {
+                    Some(e) => {
+                        h.free_lists.push_deferred(e, off, words);
+                        any_deferred = true;
+                    }
+                    None => h.free_lists.push_ready(off, words),
+                }
+            }
+        }
+    }
+
+    // 7. Refresh summaries for rescanned regions; clean regions keep
+    //    their previous (conservative) accounting.
     let mut summaries = h.summaries.clone();
     for r in 0..n {
         if freeable[r] {
@@ -843,15 +981,22 @@ pub(crate) fn collect_incremental(h: &mut Pjh, extra_roots: &[Ref]) -> crate::Re
             summaries[r] = RegionSummary {
                 live_words: live_words[r] as u32,
                 live_objects: live_objects[r],
+                reclaimable_words: reclaimable[r],
+                scan_ts: ts,
             };
         }
     }
     persist_summaries(h, &summaries, ts, false);
 
-    // 6. Advance the global timestamp so a later full collection's stamp
-    //    is distinct from every existing mark word.
-    h.dev.write_u64(meta::GLOBAL_TIMESTAMP, ts as u64);
-    pflush(h, meta::GLOBAL_TIMESTAMP, 8);
+    // 8. Close the cycle: one clock tick covers both the freed regions
+    //    and the harvested slots, so readers arriving after the cycle do
+    //    not hold them back.
+    if any_deferred {
+        if let Some(clock) = h.epoch_clock.clone() {
+            clock.advance();
+        }
+    }
+    h.promote_free_list_deferred();
     h.global_ts = ts;
     h.dirty.clear_all();
     h.remsets = Some(remsets);

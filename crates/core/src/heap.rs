@@ -80,6 +80,193 @@ pub struct HeapCensus {
     pub segment_klasses: usize,
 }
 
+/// Allocator and collector statistics: the v3 allocation path made "where
+/// do bytes come from" a real question (bump cursor vs. reused dead
+/// slot), so this snapshot exposes both sides plus the reclamation state
+/// that gates them. Cheap to take — no heap walk.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Words bump-allocated so far in the current allocation region.
+    pub bump_top_words: usize,
+    /// Regions currently free.
+    pub free_regions: usize,
+    /// Regions in total.
+    pub total_regions: usize,
+    /// Dead slots ready for reuse across all size classes.
+    pub free_list_slots: usize,
+    /// Words those ready slots cover.
+    pub free_list_words: usize,
+    /// Ready-slot occupancy per size class, `(words, slots)`, non-empty
+    /// classes only, ascending by class.
+    pub free_list_by_class: Vec<(usize, usize)>,
+    /// Harvested slots still parked behind pinned read sessions.
+    pub deferred_slots: usize,
+    /// Freed regions still parked behind pinned read sessions.
+    pub deferred_regions: usize,
+    /// Allocations served from the free lists since this heap opened.
+    pub reused_slots: u64,
+    /// Collections completed (full + incremental).
+    pub gc_count: u64,
+    /// Full compacting collections completed (a subset of `gc_count`).
+    pub gc_full_count: u64,
+}
+
+impl HeapStats {
+    /// Folds `other` into `self` (per-shard aggregation). Per-class
+    /// occupancies merge by size class.
+    pub fn merge(&mut self, other: &HeapStats) {
+        self.bump_top_words += other.bump_top_words;
+        self.free_regions += other.free_regions;
+        self.total_regions += other.total_regions;
+        self.free_list_slots += other.free_list_slots;
+        self.free_list_words += other.free_list_words;
+        for &(words, slots) in &other.free_list_by_class {
+            match self
+                .free_list_by_class
+                .binary_search_by_key(&words, |c| c.0)
+            {
+                Ok(i) => self.free_list_by_class[i].1 += slots,
+                Err(i) => self.free_list_by_class.insert(i, (words, slots)),
+            }
+        }
+        self.deferred_slots += other.deferred_slots;
+        self.deferred_regions += other.deferred_regions;
+        self.reused_slots += other.reused_slots;
+        self.gc_count += other.gc_count;
+        self.gc_full_count += other.gc_full_count;
+    }
+
+    /// One-line human-readable rendering for replay summaries and logs.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "bump {}w, free-lists {} slots/{}w in {} classes (+{} deferred), \
+             reused {}, regions {}/{} free (+{} deferred), gc {} ({} full)",
+            self.bump_top_words,
+            self.free_list_slots,
+            self.free_list_words,
+            self.free_list_by_class.len(),
+            self.deferred_slots,
+            self.reused_slots,
+            self.free_regions,
+            self.total_regions,
+            self.deferred_regions,
+            self.gc_count,
+            self.gc_full_count,
+        )
+    }
+}
+
+/// Largest object size (in words, exclusive) served by the free lists.
+/// One exact-fit class per word count keeps reuse walk-preserving — a
+/// replacement object occupies exactly the dead image's span — and lets
+/// the ready-class mask fit one machine word. Bigger dead slots wait for
+/// a compaction.
+pub(crate) const MAX_CLASS_WORDS: usize = 64;
+
+/// Per-size-class free lists over dead object slots (the v3 allocation
+/// path). DRAM-only by design: entries are *derived* from persisted state
+/// (an object image whose mark timestamp predates its region's last scan
+/// is durably dead), so on load the lists are rebuilt from the region
+/// summaries instead of being crash-atomic themselves.
+#[derive(Debug, Clone)]
+pub(crate) struct FreeLists {
+    /// `ready[w]`: device offsets of reusable dead slots of exactly `w`
+    /// words, popped LIFO.
+    ready: Vec<Vec<usize>>,
+    /// Bit `w` set ⇔ `ready[w]` is non-empty, so the allocation fast path
+    /// costs one mask test on a miss.
+    nonempty: u64,
+    /// Slots harvested while read sessions could still walk their old
+    /// contents: `(epoch, offset, words)`, promoted to `ready` once the
+    /// clock drains past the epoch (the slot-granular analogue of
+    /// `Pjh::deferred_free`).
+    deferred: Vec<(u64, usize, usize)>,
+    /// Allocations served from `ready` since this heap opened.
+    reused: u64,
+}
+
+impl FreeLists {
+    pub(crate) fn new() -> FreeLists {
+        FreeLists {
+            ready: vec![Vec::new(); MAX_CLASS_WORDS],
+            nonempty: 0,
+            deferred: Vec::new(),
+            reused: 0,
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        for list in &mut self.ready {
+            list.clear();
+        }
+        self.nonempty = 0;
+        self.deferred.clear();
+    }
+
+    pub(crate) fn push_ready(&mut self, off: usize, words: usize) {
+        if words < MAX_CLASS_WORDS {
+            self.ready[words].push(off);
+            self.nonempty |= 1 << words;
+        }
+    }
+
+    pub(crate) fn push_deferred(&mut self, epoch: u64, off: usize, words: usize) {
+        if words < MAX_CLASS_WORDS {
+            self.deferred.push((epoch, off, words));
+        }
+    }
+
+    pub(crate) fn take(&mut self, words: usize) -> Option<usize> {
+        let off = self.ready[words].pop()?;
+        if self.ready[words].is_empty() {
+            self.nonempty &= !(1 << words);
+        }
+        Some(off)
+    }
+
+    /// Drops every entry (ready and deferred) inside `[start, end)` —
+    /// called when a region is freed wholesale or rescanned for a fresh
+    /// harvest, so a slot can never be listed twice or outlive its region.
+    pub(crate) fn purge_range(&mut self, start: usize, end: usize) {
+        for (w, list) in self.ready.iter_mut().enumerate() {
+            if list.is_empty() {
+                continue;
+            }
+            list.retain(|&off| off < start || off >= end);
+            if list.is_empty() {
+                self.nonempty &= !(1 << w);
+            }
+        }
+        self.deferred
+            .retain(|&(_, off, _)| off < start || off >= end);
+    }
+
+    pub(crate) fn ready_slots(&self) -> usize {
+        self.ready.iter().map(Vec::len).sum()
+    }
+
+    pub(crate) fn ready_words(&self) -> usize {
+        self.ready
+            .iter()
+            .enumerate()
+            .map(|(w, l)| w * l.len())
+            .sum()
+    }
+
+    pub(crate) fn deferred_slots(&self) -> usize {
+        self.deferred.len()
+    }
+
+    pub(crate) fn by_class(&self) -> Vec<(usize, usize)> {
+        self.ready
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.is_empty())
+            .map(|(w, l)| (w, l.len()))
+            .collect()
+    }
+}
+
 /// A Persistent Java Heap bound to one NVM device.
 ///
 /// See the [crate docs](crate) for an end-to-end example.
@@ -143,6 +330,19 @@ pub struct Pjh {
     /// republishes only when it moved, so plain object stores and
     /// allocations never pay the replica clone.
     pub(crate) meta_gen: u64,
+    /// The v3 allocation path: per-size-class free lists over dead object
+    /// slots, fed by GC harvests and consulted by `alloc_raw` before the
+    /// bump cursor. DRAM-only — rebuilt from the persisted region
+    /// summaries on load, never crash-atomic itself.
+    pub(crate) free_lists: FreeLists,
+    /// DRAM-only knob: when `false`, `alloc_raw` never consults the free
+    /// lists (the bump-only baseline the churn benchmark compares
+    /// against). Persisted state is identical either way.
+    pub(crate) reuse_enabled: bool,
+    /// Full (compacting) collections completed, a subset of `gc_count` —
+    /// the number the free lists are supposed to drive toward zero under
+    /// steady-state churn.
+    pub(crate) gc_full_count: u64,
 }
 
 impl fmt::Debug for Pjh {
@@ -208,6 +408,9 @@ impl Pjh {
             epoch_clock: None,
             deferred_free: Vec::new(),
             meta_gen: 0,
+            free_lists: FreeLists::new(),
+            reuse_enabled: config.alloc_reuse,
+            gc_full_count: 0,
         })
     }
 
@@ -246,6 +449,9 @@ impl Pjh {
             epoch_clock: None,
             deferred_free: Vec::new(),
             meta_gen: 0,
+            free_lists: FreeLists::new(),
+            reuse_enabled: true,
+            gc_full_count: 0,
             dirty: Bitmap::new(layout.num_regions),
             remsets: None,
             incremental_ready: false,
@@ -280,6 +486,13 @@ impl Pjh {
             heap.alloc_top = heap.rewind_alloc_top(watermark);
         }
         heap.summaries = heap.read_summaries();
+        // Rebuild the v3 free lists from the summaries (both the clean
+        // and the recovered-GC path land here): a region's `scan_ts`
+        // names the collection that last proved deaths in it, so every
+        // image stamped strictly below it is durably dead and reusable.
+        // Objects allocated after that scan carry newer stamps and are
+        // skipped, which also makes slots reused-then-crashed invisible.
+        heap.rebuild_free_lists();
 
         // §3.3: remap if the address hint is unavailable.
         if let Some(new_base) = options.base_override {
@@ -413,8 +626,46 @@ impl Pjh {
             return vec![RegionSummary::default(); self.layout.num_regions];
         }
         (0..self.layout.num_regions)
-            .map(|i| RegionSummary::unpack(self.dev.read_u64(self.layout.region_summary_entry(i))))
+            .map(|i| {
+                let entry = self.layout.region_summary_entry(i);
+                RegionSummary::unpack(self.dev.read_u64(entry), self.dev.read_u64(entry + 8))
+            })
             .collect()
+    }
+
+    /// Collects the reusable dead slots of region `r`: object images
+    /// whose mark timestamp is strictly below `scan_ts` (the region's
+    /// last death-proving scan) and whose size fits a free-list class.
+    /// Fillers are skipped by the walker. Pure read — shared by the GC
+    /// harvest and the rebuild-on-load path so the two provably agree.
+    pub(crate) fn harvest_region(&self, r: usize, scan_ts: u32) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        self.for_each_object_in_region(r, |off, _, words| {
+            if words < MAX_CLASS_WORDS && mark::timestamp(self.dev.read_u64(off)) < scan_ts {
+                out.push((off, words));
+            }
+        });
+        out
+    }
+
+    /// Rebuilds the free lists from the persisted region summaries — the
+    /// load-time half of the v3 allocator's "derive, don't persist"
+    /// contract. No reader can be pinned on a freshly loaded heap, so
+    /// every harvested slot goes straight to ready.
+    fn rebuild_free_lists(&mut self) {
+        self.free_lists.clear();
+        if !self.reuse_enabled {
+            return;
+        }
+        for r in 0..self.layout.num_regions {
+            let s = self.summaries[r];
+            if self.free.get(r) || s.reclaimable_words == 0 {
+                continue;
+            }
+            for (off, words) in self.harvest_region(r, s.scan_ts) {
+                self.free_lists.push_ready(off, words);
+            }
+        }
     }
 
     /// Marks the region containing `off` as written since the last
@@ -513,18 +764,31 @@ impl Pjh {
             .all(|&(e, r)| r != region || self.epoch_drained(e))
     }
 
-    /// Drops deferred-free entries whose epoch has drained.
+    /// Drops deferred-free entries whose epoch has drained, preserving
+    /// the push order of the survivors (a single pass; the clock is
+    /// cloned out so the retain predicate can consult it directly).
     pub(crate) fn prune_deferred(&mut self) {
-        if self.epoch_clock.is_some() {
-            let drained: Vec<bool> = self
-                .deferred_free
-                .iter()
-                .map(|&(e, _)| self.epoch_drained(e))
-                .collect();
-            let mut it = drained.into_iter();
-            self.deferred_free.retain(|_| !it.next().unwrap());
-        } else {
+        let Some(clock) = self.epoch_clock.clone() else {
             self.deferred_free.clear();
+            return;
+        };
+        self.deferred_free.retain(|&(e, _)| !clock.drained(e));
+    }
+
+    /// Moves free-list slots parked behind pinned readers to the ready
+    /// lists once their epoch drains; undrained entries keep their order.
+    pub(crate) fn promote_free_list_deferred(&mut self) {
+        if self.free_lists.deferred.is_empty() {
+            return;
+        }
+        let clock = self.epoch_clock.clone();
+        let parked = std::mem::take(&mut self.free_lists.deferred);
+        for (epoch, off, words) in parked {
+            if clock.as_ref().is_none_or(|c| c.drained(epoch)) {
+                self.free_lists.push_ready(off, words);
+            } else {
+                self.free_lists.deferred.push((epoch, off, words));
+            }
         }
     }
 
@@ -556,6 +820,9 @@ impl Pjh {
             epoch_clock: self.epoch_clock.clone(),
             deferred_free: self.deferred_free.clone(),
             meta_gen: self.meta_gen,
+            free_lists: self.free_lists.clone(),
+            reuse_enabled: self.reuse_enabled,
+            gc_full_count: self.gc_full_count,
         }
     }
 
@@ -606,12 +873,20 @@ impl Pjh {
         self.dev.persist(word_off, 8);
     }
 
-    fn alloc_raw(&mut self, words: usize) -> crate::Result<usize> {
+    /// Returns `(offset, reused)`. A reused slot comes back as a durable
+    /// filler of exactly `words` with a zeroed body; the caller must
+    /// install the class word (and array length) *before* flipping word 0
+    /// from filler to mark, so the region walk parses at every crash
+    /// point. Bump-path slots keep the §4.1 header order.
+    fn alloc_raw(&mut self, words: usize) -> crate::Result<(usize, bool)> {
         let bytes = words * WORD;
         if bytes > self.layout.region_size {
             return Err(PjhError::ObjectTooLarge {
                 requested_words: words,
             });
+        }
+        if let Some(off) = self.try_reuse(words) {
+            return Ok((off, true));
         }
         let region_end = self.layout.region_end(self.alloc_region);
         if self.alloc_top + bytes > region_end {
@@ -645,7 +920,49 @@ impl Pjh {
         let off = self.alloc_top;
         self.alloc_top += bytes;
         self.dirty.set(self.alloc_region);
-        Ok(off)
+        Ok((off, false))
+    }
+
+    /// The v3 fast path: pop an exact-fit dead slot if one is ready. A
+    /// miss costs one mask test and touches no device state — the PLAB
+    /// cursor-persist batching (and its flush-count guarantees) are
+    /// unchanged whenever the lists are empty.
+    fn try_reuse(&mut self, words: usize) -> Option<usize> {
+        if !self.reuse_enabled || words >= MAX_CLASS_WORDS {
+            return None;
+        }
+        if self.free_lists.nonempty & (1u64 << words) == 0 {
+            // Slots parked behind pinned readers are promoted lazily, on
+            // the first miss that could have used one.
+            if self.free_lists.deferred.is_empty() {
+                return None;
+            }
+            self.promote_free_list_deferred();
+            if self.free_lists.nonempty & (1u64 << words) == 0 {
+                return None;
+            }
+        }
+        let off = self.free_lists.take(words).expect("ready bit was set");
+        // Re-cover the dead image as a filler of the same width first —
+        // one atomic word write, so the region walk skips the slot
+        // identically whatever the body holds — then zero the body (the
+        // old image's class word, array length, and stale fields must
+        // not survive under the new header; a zeroed body is also what
+        // the field-default contract promises). The filler must be
+        // durable before any body state is: otherwise a crash could
+        // persist a zeroed class word under the *old* mark word, which
+        // the walker would read as a hole, truncating the region walk.
+        // The body zeroes themselves are NOT persisted here — under a
+        // durable filler word the walker skips `words` words without
+        // reading the body, so every torn body image is invisible until
+        // the mark-word flip reveals it. The caller folds the zeroes
+        // into its class-word persist, saving a flush per reuse.
+        self.dev.write_u64(off, FILLER_FLAG | words as u64);
+        self.dev.persist(off, 8);
+        self.dev.fill(off + 8, (words - 1) * WORD, 0);
+        self.dirty.set(self.layout.region_of(off));
+        self.free_lists.reused += 1;
+        Some(off)
     }
 
     /// Allocates an instance of `kid` in NVM — the `pnew` bytecode (§3.2).
@@ -684,10 +1001,24 @@ impl Pjh {
             self.meta_gen += 1;
         }
         let words = klass.instance_words();
-        let off = self.alloc_raw(words)?;
-        self.dev.write_u64(off, mark::new(self.global_ts));
-        self.dev.write_u64(off + 8, seg);
-        self.dev.persist(off, HEADER_WORDS * WORD);
+        let (off, reused) = self.alloc_raw(words)?;
+        if reused {
+            // The slot is still a durable filler: persist the class word
+            // and the zeroed fields together under its cover (one range
+            // flush — `try_reuse` left the body writes volatile), then
+            // flip word 0 to the mark — one atomic write that turns the
+            // filler into the new object. Committing the mark first
+            // could crash into a mark-over-zero-class image, which the
+            // walker reads as a hole.
+            self.dev.write_u64(off + 8, seg);
+            self.dev.persist(off + 8, (words - 1) * WORD);
+            self.dev.write_u64(off, mark::new(self.global_ts));
+            self.dev.persist(off, WORD);
+        } else {
+            self.dev.write_u64(off, mark::new(self.global_ts));
+            self.dev.write_u64(off + 8, seg);
+            self.dev.persist(off, HEADER_WORDS * WORD);
+        }
         Ok(Ref::new(Space::Persistent, self.layout.to_vaddr(off)))
     }
 
@@ -711,11 +1042,25 @@ impl Pjh {
             self.meta_gen += 1;
         }
         let words = klass.array_words(len);
-        let off = self.alloc_raw(words)?;
-        self.dev.write_u64(off, mark::new(self.global_ts));
-        self.dev.write_u64(off + 8, seg);
-        self.dev.write_u64(off + 16, len as u64);
-        self.dev.persist(off, ARRAY_HEADER_WORDS * WORD);
+        let (off, reused) = self.alloc_raw(words)?;
+        if reused {
+            // Same commit order as reused instances: class word, length,
+            // and the zeroed elements persist together under the filler
+            // cover, then the mark write atomically reveals the new
+            // array. The length word rides the same ordering argument as
+            // the body zeroes — a torn length under a durable filler is
+            // never read, and under the mark it is already durable.
+            self.dev.write_u64(off + 8, seg);
+            self.dev.write_u64(off + 16, len as u64);
+            self.dev.persist(off + 8, (words - 1) * WORD);
+            self.dev.write_u64(off, mark::new(self.global_ts));
+            self.dev.persist(off, WORD);
+        } else {
+            self.dev.write_u64(off, mark::new(self.global_ts));
+            self.dev.write_u64(off + 8, seg);
+            self.dev.write_u64(off + 16, len as u64);
+            self.dev.persist(off, ARRAY_HEADER_WORDS * WORD);
+        }
         Ok(Ref::new(Space::Persistent, self.layout.to_vaddr(off)))
     }
 
@@ -1306,6 +1651,39 @@ impl Pjh {
     pub fn gc_count(&self) -> u64 {
         self.gc_count
     }
+
+    /// Completed full (compacting) collections, a subset of
+    /// [`gc_count`](Self::gc_count).
+    pub fn gc_full_count(&self) -> u64 {
+        self.gc_full_count
+    }
+
+    /// Enables or disables the v3 slot-reuse path (DRAM-only knob; the
+    /// persisted image is identical either way). The churn benchmark
+    /// turns it off to measure the bump-only baseline.
+    pub fn set_slot_reuse(&mut self, enabled: bool) {
+        self.reuse_enabled = enabled;
+        if !enabled {
+            self.free_lists.clear();
+        }
+    }
+
+    /// Allocator and collector statistics. Cheap — no heap walk.
+    pub fn heap_stats(&self) -> HeapStats {
+        HeapStats {
+            bump_top_words: (self.alloc_top - self.layout.region_start(self.alloc_region)) / WORD,
+            free_regions: self.free.count(),
+            total_regions: self.layout.num_regions,
+            free_list_slots: self.free_lists.ready_slots(),
+            free_list_words: self.free_lists.ready_words(),
+            free_list_by_class: self.free_lists.by_class(),
+            deferred_slots: self.free_lists.deferred_slots(),
+            deferred_regions: self.deferred_free.len(),
+            reused_slots: self.free_lists.reused,
+            gc_count: self.gc_count,
+            gc_full_count: self.gc_full_count,
+        }
+    }
 }
 
 /// Device offsets of the reference slots of the object at `off`.
@@ -1733,5 +2111,112 @@ mod tests {
         let p2 = h2.get_root("p").unwrap();
         assert_eq!(h2.klass_of(p2).id(), k2);
         assert_eq!(h2.klass_of(p2).field_index("next"), Some(1));
+    }
+
+    #[test]
+    fn incremental_gc_feeds_free_lists_and_alloc_reuses_the_slot() {
+        let (dev, mut h) = new_heap();
+        let k = person(&mut h);
+        let keep = h.alloc_instance(k).unwrap();
+        h.set_root("keep", keep).unwrap();
+        h.gc_full(&[]).unwrap();
+        // A dead object in the (dirty) allocation region: the next
+        // incremental cycle proves its death and harvests the slot.
+        let dead = h.alloc_instance(k).unwrap();
+        let dead_off = h.obj_off(dead);
+        let report = h.gc(&[]).unwrap();
+        assert_eq!(report.kind, crate::GcKind::Incremental);
+        let stats = h.heap_stats();
+        assert!(stats.free_list_slots >= 1, "dead slot not harvested");
+        // Same size class → the dead slot itself comes back.
+        let reused = h.alloc_instance(k).unwrap();
+        assert_eq!(h.obj_off(reused), dead_off);
+        assert_eq!(h.heap_stats().reused_slots, 1);
+        // The reused object is a fully functional, durable object.
+        h.set_field(reused, 0, 77);
+        h.flush_object(reused);
+        h.set_root("r", reused).unwrap();
+        dev.crash();
+        let (mut h2, _) = Pjh::load(dev, LoadOptions::default()).unwrap();
+        person(&mut h2);
+        let r2 = h2.get_root("r").unwrap();
+        assert_eq!(h2.field(r2, 0), 77);
+        h2.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn free_lists_rebuild_from_summaries_on_load() {
+        let (dev, mut h) = new_heap();
+        let k = person(&mut h);
+        let keep = h.alloc_instance(k).unwrap();
+        h.set_root("keep", keep).unwrap();
+        h.gc_full(&[]).unwrap();
+        for _ in 0..5 {
+            h.alloc_instance(k).unwrap(); // garbage
+        }
+        h.gc(&[]).unwrap();
+        let before = h.heap_stats();
+        assert_eq!(before.free_list_slots, 5);
+        dev.crash();
+        let (h2, _) = Pjh::load(dev, LoadOptions::default()).unwrap();
+        let after = h2.heap_stats();
+        assert_eq!(after.free_list_slots, before.free_list_slots);
+        assert_eq!(after.free_list_words, before.free_list_words);
+        assert_eq!(after.free_list_by_class, before.free_list_by_class);
+    }
+
+    #[test]
+    fn bump_only_heap_never_consults_free_lists() {
+        let dev = NvmDevice::new(NvmConfig::with_size(4 << 20));
+        let mut h = Pjh::create(
+            dev,
+            PjhConfig {
+                alloc_reuse: false,
+                ..PjhConfig::small()
+            },
+        )
+        .unwrap();
+        let k = person(&mut h);
+        let keep = h.alloc_instance(k).unwrap();
+        h.set_root("keep", keep).unwrap();
+        h.gc_full(&[]).unwrap();
+        let dead = h.alloc_instance(k).unwrap();
+        let dead_off = h.obj_off(dead);
+        h.gc(&[]).unwrap();
+        assert_eq!(h.heap_stats().free_list_slots, 0);
+        let next = h.alloc_instance(k).unwrap();
+        assert_ne!(h.obj_off(next), dead_off, "bump-only heap reused a slot");
+        assert_eq!(h.heap_stats().reused_slots, 0);
+    }
+
+    #[test]
+    fn prune_deferred_keeps_undrained_entries_in_push_order() {
+        let (_dev, mut h) = new_heap();
+        let clock = Arc::new(espresso_nvm::EpochClock::new());
+        h.attach_epoch_clock(Arc::clone(&clock));
+        // One entry at the pre-pin epoch, two behind a pinned reader.
+        let e1 = clock.now();
+        h.deferred_free.push((e1, 3));
+        clock.advance();
+        let pin = clock.pin();
+        let e2 = clock.now();
+        h.deferred_free.push((e2, 7));
+        h.deferred_free.push((e2, 5));
+        h.prune_deferred();
+        // e1 drained (the pin sits above it); the pinned entries survive
+        // in exactly their push order.
+        assert_eq!(h.deferred_free, vec![(e2, 7), (e2, 5)]);
+        drop(pin);
+        h.prune_deferred();
+        assert!(h.deferred_free.is_empty());
+    }
+
+    #[test]
+    fn prune_deferred_without_a_clock_clears_everything() {
+        let (_dev, mut h) = new_heap();
+        h.deferred_free.push((1, 2));
+        h.deferred_free.push((9, 4));
+        h.prune_deferred();
+        assert!(h.deferred_free.is_empty());
     }
 }

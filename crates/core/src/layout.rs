@@ -13,7 +13,8 @@
 //! | mark bitmap (end)  |  1 bit per data-heap word
 //! | region done bitmap |  1 bit per region           (§4.2)
 //! | region free bitmap |  1 bit per region
-//! | region summaries   |  8 bytes per region (live words / live objects)
+//! | region summaries   |  16 bytes per region (live words / live objects /
+//! |                    |  reclaimable words / scan timestamp)
 //! +--------------------+
 //! | data heap          |  fixed-size regions, bump-allocated
 //! +--------------------+
@@ -26,8 +27,10 @@ use crate::{PjhConfig, PjhError};
 /// Magic number identifying a formatted PJH image.
 pub const MAGIC: u64 = 0x4553_5052_4553_4f31; // "ESPRESO1"
 /// Format version. Bumped to 2 when the per-region summary table was
-/// added to the metadata segment.
-pub const VERSION: u64 = 2;
+/// added to the metadata segment; to 3 when summary entries widened from
+/// 8 to 16 bytes to carry reclaimable words and the region's last scan
+/// timestamp (the free-list rebuild inputs).
+pub const VERSION: u64 = 3;
 
 /// Byte offsets of the metadata-area fields (Figure 8 plus bookkeeping).
 pub mod meta {
@@ -83,8 +86,9 @@ pub mod meta {
     pub const SAVED_ALLOC_REGION: usize = 192;
     /// Allocation top saved at GC start (recovery input).
     pub const SAVED_ALLOC_TOP: usize = 200;
-    /// Offset of the per-region summary table (8 bytes per region:
-    /// live words in the low half, live objects in the high half).
+    /// Offset of the per-region summary table (16 bytes per region: live
+    /// words, live objects, reclaimable words, and the scan timestamp,
+    /// each packed as a u32).
     pub const REGION_SUMMARY_OFF: usize = 208;
     /// GC timestamp the summary table was last written at (0 = table has
     /// never been written, or a write was torn and must not be trusted).
@@ -137,7 +141,7 @@ pub struct Layout {
     /// Bytes per region bitmap.
     pub region_bitmap_bytes: usize,
     /// Offset of the per-region summary table (the incremental collector's
-    /// persisted live/free accounting; one 8-byte record per region).
+    /// persisted live/free accounting; one 16-byte record per region).
     pub region_summary_off: usize,
     /// Bytes reserved for the region summary table.
     pub region_summary_bytes: usize,
@@ -175,7 +179,7 @@ impl Layout {
             let data_size = num_regions * region_size;
             let bitmap_bytes = (data_size / 64 + 64).next_multiple_of(64);
             let region_bitmap_bytes = (num_regions.div_ceil(8) + 64).next_multiple_of(64);
-            let region_summary_bytes = (num_regions * 8).next_multiple_of(64);
+            let region_summary_bytes = (num_regions * 16).next_multiple_of(64);
             if fixed + data_size + 2 * bitmap_bytes + 3 * region_bitmap_bytes + region_summary_bytes
                 <= device_size
             {
@@ -280,7 +284,7 @@ impl Layout {
             saved_free_off: r(meta::SAVED_FREE_OFF) as usize,
             region_bitmap_bytes: r(meta::REGION_BITMAP_BYTES) as usize,
             region_summary_off: r(meta::REGION_SUMMARY_OFF) as usize,
-            region_summary_bytes: (r(meta::NUM_REGIONS) as usize * 8).next_multiple_of(64),
+            region_summary_bytes: (r(meta::NUM_REGIONS) as usize * 16).next_multiple_of(64),
             data_off: r(meta::DATA_OFF) as usize,
             data_size: r(meta::DATA_SIZE) as usize,
         })
@@ -300,7 +304,7 @@ impl Layout {
     /// Device offset of region `i`'s summary record.
     pub fn region_summary_entry(&self, i: usize) -> usize {
         debug_assert!(i < self.num_regions);
-        self.region_summary_off + i * 8
+        self.region_summary_off + i * 16
     }
 
     /// Region index containing device offset `off`.

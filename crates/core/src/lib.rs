@@ -70,7 +70,7 @@ mod typed;
 
 pub use bitmap::Bitmap;
 pub use gc::{GcEscalation, GcKind, GcReport, RegionSummary};
-pub use heap::{HeapCensus, LoadOptions, LoadReport, Pjh, SafetyLevel};
+pub use heap::{HeapCensus, HeapStats, LoadOptions, LoadReport, Pjh, SafetyLevel};
 pub use klass_segment::PKlassTable;
 pub use layout::{Layout, MAX_NAME_LEN};
 pub use manager::{
@@ -109,6 +109,11 @@ pub struct PjhConfig {
     /// crosses a region boundary; `0` restores the strict per-object
     /// cursor persist.
     pub plab_size: usize,
+    /// Whether the v3 allocation path may serve allocations from the
+    /// per-size-class free lists over dead object slots. DRAM-only policy
+    /// (the persisted image is identical either way); `false` gives the
+    /// bump-only baseline the churn benchmark compares against.
+    pub alloc_reuse: bool,
 }
 
 impl PjhConfig {
@@ -130,6 +135,7 @@ impl Default for PjhConfig {
             base_address: 0x5000_0000_0000,
             recoverable_gc: true,
             plab_size: 8 << 10,
+            alloc_reuse: true,
         }
     }
 }

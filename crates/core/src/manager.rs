@@ -439,6 +439,13 @@ impl HeapHandle {
         f(&mut self.write())
     }
 
+    /// Allocator/collector statistics straight from the live heap (under
+    /// the read lock rather than via the replica: free-list churn does
+    /// not republish, so a replica's counters can lag).
+    pub fn heap_stats(&self) -> crate::HeapStats {
+        self.inner.heap.read().heap_stats()
+    }
+
     /// Runs `f` inside an undo-logged transaction with exclusive access:
     /// commit on `Ok`, abort on `Err`, abort on panic (see
     /// [`Pjh::txn`]). Do not call [`commit`](Self::commit) or re-enter the

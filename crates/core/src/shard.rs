@@ -455,6 +455,15 @@ impl ShardedHeap {
         results.into_iter().collect()
     }
 
+    /// Aggregate allocator/collector statistics over all shards.
+    pub fn heap_stats(&self) -> crate::HeapStats {
+        let mut total = crate::HeapStats::default();
+        for s in &self.shards {
+            total.merge(&s.heap_stats());
+        }
+        total
+    }
+
     /// Aggregate census over all shards.
     pub fn census(&self) -> HeapCensus {
         let mut total = HeapCensus::default();

@@ -1,0 +1,254 @@
+//! Property suite for the v3 allocation path (per-size-class free lists
+//! over dead object slots). The lists are DRAM-only and *derived*: a slot
+//! is reusable iff its image's mark timestamp predates its region's
+//! persisted scan timestamp. Three things must hold under any
+//! interleaving of alloc / free / gc / reload:
+//!
+//! (a) rebuilding the lists from the persisted region summaries on load
+//!     reproduces the pre-reload reuse behavior exactly;
+//! (b) a reused slot never aliases an object some live reference — in
+//!     particular a pinned read session's pre-GC reference — can still
+//!     reach;
+//! (c) a crash anywhere inside a recoverable collection leaves a heap
+//!     whose rebuilt free lists are safe: possibly empty, never dangling
+//!     into live data.
+
+use espresso_core::{GcKind, HeapManager, LoadOptions, Pjh, PjhConfig, PjhError};
+use espresso_nvm::{NvmConfig, NvmDevice};
+use espresso_object::{FieldDesc, KlassId, Ref};
+use proptest::prelude::*;
+
+fn new_heap() -> (NvmDevice, Pjh) {
+    let dev = NvmDevice::new(NvmConfig::with_size(4 << 20));
+    let heap = Pjh::create(dev.clone(), PjhConfig::small()).unwrap();
+    (dev, heap)
+}
+
+fn node(h: &mut Pjh) -> KlassId {
+    h.register_instance(
+        "Node",
+        vec![FieldDesc::prim("v"), FieldDesc::reference("next")],
+    )
+    .unwrap()
+}
+
+/// Builds a rooted chain interleaved with garbage, shaped by the inputs.
+fn build_chain(h: &mut Pjh, k: KlassId, live: usize, garbage_every: usize) {
+    let mut head = Ref::NULL;
+    for i in 0..live {
+        if garbage_every > 0 && i % garbage_every == 0 {
+            let g = h.alloc_instance(k).unwrap();
+            h.set_field(g, 0, 0xDEAD);
+        }
+        let o = h.alloc_instance(k).unwrap();
+        h.set_field(o, 0, i as u64);
+        h.set_field_ref(o, 1, head).unwrap();
+        h.flush_object(o);
+        head = o;
+    }
+    h.set_root("head", head).unwrap();
+}
+
+/// Walks the chain asserting both its length and every payload.
+fn assert_chain_intact(h: &Pjh, live: usize) {
+    let mut cur = h.get_root("head").unwrap_or(Ref::NULL);
+    let mut expect = live;
+    while !cur.is_null() {
+        assert!(expect > 0, "chain longer than built");
+        expect -= 1;
+        assert_eq!(h.field(cur, 0), expect as u64, "chain payload clobbered");
+        cur = h.field_ref(cur, 1);
+    }
+    assert_eq!(expect, 0, "chain shorter than built");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// (a) Run a random alloc/free/gc interleaving, finish with a
+    /// collection (so summaries are fresh), then reload from the
+    /// persisted image. The rebuilt free lists must match the surviving
+    /// in-memory lists slot for slot — proven the strong way: identical
+    /// subsequent allocation sequences land at identical addresses on
+    /// both heaps.
+    #[test]
+    fn rebuild_from_summaries_matches_pre_reload_reuse(
+        ops in proptest::collection::vec(0u8..8, 30..120),
+        post in proptest::collection::vec(1usize..12, 5..20),
+    ) {
+        let (dev, mut h) = new_heap();
+        let k = node(&mut h);
+        let ka = h.register_prim_array();
+        let nslots = 8usize;
+        for (step, &op) in ops.iter().enumerate() {
+            let i = (step * 7 + op as usize) % nslots;
+            let name = format!("s{i}");
+            match op {
+                0..=3 => {
+                    // Replace slot i with a fresh instance; the old
+                    // occupant becomes garbage.
+                    let o = h.alloc_instance(k).unwrap();
+                    h.set_field(o, 0, step as u64);
+                    h.flush_object(o);
+                    h.set_root(&name, o).unwrap();
+                }
+                4 | 5 => {
+                    let o = h.alloc_array(ka, 1 + step % 9).unwrap();
+                    h.set_root(&name, o).unwrap();
+                }
+                6 => {
+                    h.remove_root(&name);
+                }
+                _ => {
+                    h.gc(&[]).unwrap();
+                }
+            }
+        }
+        h.gc(&[]).unwrap(); // fresh summaries for the rebuild
+
+        let image = dev.snapshot_persisted();
+        let dev2 = NvmDevice::new(NvmConfig::with_size(dev.size()));
+        dev2.write_bytes(0, &image);
+        dev2.persist(0, image.len());
+        let (mut h2, _) = Pjh::load(dev2, LoadOptions::default()).unwrap();
+        let k2 = node(&mut h2);
+        let ka2 = h2.register_prim_array();
+
+        let s1 = h.heap_stats();
+        let s2 = h2.heap_stats();
+        prop_assert_eq!(s2.free_list_slots, s1.free_list_slots);
+        prop_assert_eq!(s2.free_list_words, s1.free_list_words);
+        prop_assert_eq!(s2.free_list_by_class, s1.free_list_by_class);
+
+        for (j, &len) in post.iter().enumerate() {
+            let a1 = if j % 3 == 0 {
+                h.alloc_instance(k).unwrap()
+            } else {
+                h.alloc_array(ka, len).unwrap()
+            };
+            let a2 = if j % 3 == 0 {
+                h2.alloc_instance(k2).unwrap()
+            } else {
+                h2.alloc_array(ka2, len).unwrap()
+            };
+            prop_assert_eq!(
+                a1.addr(), a2.addr(),
+                "reuse diverged after reload at allocation {}", j
+            );
+        }
+        h2.verify_integrity().unwrap();
+    }
+
+    /// (b) A pinned read session's pre-GC references never observe a
+    /// reused slot: harvested slots stay parked behind the session's
+    /// epoch, churn allocations come from the bump path meanwhile, and
+    /// only after the pin drops do the slots re-enter circulation.
+    #[test]
+    fn reuse_never_aliases_pinned_readers(
+        dead_count in 4usize..32,
+        churn in 4usize..32,
+    ) {
+        let mgr = HeapManager::temp().unwrap();
+        let a = mgr.create("p", 1 << 20, PjhConfig::small()).unwrap();
+        let (k, garbage) = a
+            .with_mut(|h| {
+                let k = h.register_instance("T", vec![FieldDesc::prim("x")])?;
+                let live = h.alloc_instance(k)?;
+                h.set_field(live, 0, 7);
+                h.flush_object(live);
+                h.set_root("live", live)?;
+                h.gc_full(&[])?; // arm incremental tracking
+                let mut garbage = Vec::new();
+                for i in 0..dead_count as u64 {
+                    let g = h.alloc_instance(k)?;
+                    h.set_field(g, 0, 1000 + i);
+                    h.flush_object(g);
+                    garbage.push(g);
+                }
+                Ok::<_, PjhError>((k, garbage))
+            })
+            .unwrap();
+
+        // Pin, then let an incremental cycle prove the garbage dead.
+        let session = a.read();
+        let report = a.with_mut(|h| h.gc(&[])).unwrap();
+        prop_assert_eq!(report.kind, GcKind::Incremental);
+        let stats = a.heap_stats();
+        prop_assert_eq!(stats.free_list_slots, 0, "slots ready under a pin");
+        prop_assert!(stats.deferred_slots >= dead_count, "slots not parked");
+
+        // Churn while pinned: every allocation must leave the parked
+        // slots untouched.
+        a.with_mut(|h| {
+            for _ in 0..churn {
+                h.alloc_instance(k).unwrap();
+            }
+        });
+        prop_assert_eq!(a.heap_stats().reused_slots, 0);
+        for (i, g) in garbage.iter().enumerate() {
+            prop_assert_eq!(
+                session.field(*g, 0),
+                1000 + i as u64,
+                "a reused slot aliased a pinned reader's object"
+            );
+        }
+
+        // Unpin: the parked slots drain and the very next same-class
+        // allocation reuses one.
+        drop(session);
+        a.with_mut(|h| h.alloc_instance(k)).unwrap();
+        prop_assert_eq!(a.heap_stats().reused_slots, 1);
+    }
+
+    /// (c) Crash at an arbitrary flush inside a recoverable full
+    /// collection. Whatever recovery finds, the rebuilt free lists must
+    /// be safe: draining them (and more) with fresh allocations leaves
+    /// every live object bit-identical.
+    #[test]
+    fn crash_mid_gc_recovers_safe_free_lists(
+        live in 20usize..120,
+        garbage_every in 1usize..4,
+        crash_frac in 0u32..100,
+    ) {
+        let (dev, mut h) = new_heap();
+        let k = node(&mut h);
+        build_chain(&mut h, k, live, garbage_every);
+        h.gc(&[]).unwrap();
+        for _ in 0..80 {
+            h.alloc_instance(k).unwrap(); // garbage for the crashed cycle
+        }
+        // Dry-run the same collection on a copy to learn its flush count.
+        let total_flushes = {
+            let probe = NvmDevice::new(NvmConfig::with_size(dev.size()));
+            let image = dev.snapshot_persisted();
+            probe.write_bytes(0, &image);
+            probe.persist(0, image.len());
+            probe.reset_stats();
+            let (mut hp, _) = Pjh::load(probe.clone(), LoadOptions::default()).unwrap();
+            hp.gc_full(&[]).unwrap();
+            probe.stats().line_flushes
+        };
+        prop_assert!(total_flushes > 0);
+        dev.reset_stats();
+        dev.schedule_crash_after_line_flushes((total_flushes * crash_frac as u64) / 100);
+        h.gc_full(&[]).unwrap();
+        dev.recover();
+
+        let (mut h2, _) = Pjh::load(dev, LoadOptions::default()).unwrap();
+        let k2 = node(&mut h2);
+        h2.verify_integrity().unwrap();
+        let drain = h2.heap_stats().free_list_slots + 50;
+        for _ in 0..drain {
+            match h2.alloc_instance(k2) {
+                Ok(o) => {
+                    h2.set_field(o, 0, 0xFEED);
+                    h2.flush_object(o);
+                }
+                Err(PjhError::HeapFull { .. }) => break,
+                Err(e) => panic!("unexpected allocation error: {e}"),
+            }
+        }
+        assert_chain_intact(&h2, live);
+        h2.verify_integrity().unwrap();
+    }
+}

@@ -979,15 +979,24 @@ fn op_txn(inner: &Arc<Inner>, ops: &[TxnOp]) -> Response {
 }
 
 /// Runs a write section; on [`PjhError::HeapFull`] collects the shard
-/// (reclaiming dead entries and replaced values) and retries once.
+/// (reclaiming dead entries and replaced values) and retries. The auto
+/// collector goes first — its incremental cycle also refills the
+/// allocator's free lists — and only if the shard is still full does a
+/// stop-the-world full compaction run.
 fn with_gc_retry<T>(
     handle: &HeapHandle,
     mut f: impl FnMut(&mut espresso_core::Pjh) -> Result<T, PjhError>,
 ) -> Result<T, PjhError> {
     match handle.with_mut(&mut f) {
         Err(PjhError::HeapFull { .. }) => {
-            handle.with_mut(|h| h.gc_full(&[]).map(|_| ()))?;
-            handle.with_mut(&mut f)
+            handle.with_mut(|h| h.gc(&[]).map(|_| ()))?;
+            match handle.with_mut(&mut f) {
+                Err(PjhError::HeapFull { .. }) => {
+                    handle.with_mut(|h| h.gc_full(&[]).map(|_| ()))?;
+                    handle.with_mut(&mut f)
+                }
+                other => other,
+            }
         }
         other => other,
     }
@@ -1041,6 +1050,22 @@ fn render_stats(inner: &Arc<Inner>) -> String {
             h.durable_epoch(),
             h.pending_commits(),
             h.flush_paused()
+        );
+        let s = h.heap_stats();
+        let _ = writeln!(
+            out,
+            "shard{i}.bump_top_words={} shard{i}.free_list_slots={} \
+             shard{i}.free_list_words={} shard{i}.deferred_slots={} \
+             shard{i}.reused_slots={} shard{i}.free_regions={} \
+             shard{i}.gc={} shard{i}.gc_full={}",
+            s.bump_top_words,
+            s.free_list_slots,
+            s.free_list_words,
+            s.deferred_slots,
+            s.reused_slots,
+            s.free_regions,
+            s.gc_count,
+            s.gc_full_count
         );
     }
     out

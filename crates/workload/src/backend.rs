@@ -140,6 +140,13 @@ pub trait Backend {
         true
     }
 
+    /// One-line allocator/GC statistics for the replay summary
+    /// (`HeapStats::summary_line`), `None` where the layer exposes no
+    /// heap internals (minidb, the TCP server).
+    fn heap_stats(&self) -> Option<String> {
+        None
+    }
+
     /// Pauses (or resumes) the background flush pipeline, so commits
     /// sealed inside the window stay non-durable.
     fn set_flush_paused(&mut self, paused: bool) -> Result<(), WorkloadError>;

@@ -102,8 +102,11 @@ fn unpack_value(len: usize, word_at: impl Fn(usize) -> u64) -> Vec<u8> {
 }
 
 /// Runs a write section; on [`PjhError::HeapFull`] collects the heap
-/// (reclaiming deleted entries and replaced values) and retries once —
-/// the server's `with_gc_retry` idiom.
+/// (reclaiming deleted entries and replaced values) and retries — the
+/// server's `with_gc_retry` idiom. The first retry uses the auto
+/// collector, whose incremental cycle also refills the allocator's
+/// free lists; only if that still leaves no room does a stop-the-world
+/// full compaction run.
 fn with_gc_retry<T>(
     handle: &HeapHandle,
     mut f: impl FnMut(&mut Pjh) -> Result<T, PjhError>,
@@ -111,9 +114,17 @@ fn with_gc_retry<T>(
     match handle.with_mut(&mut f) {
         Err(PjhError::HeapFull { .. }) => {
             handle
-                .with_mut(|h| h.gc_full(&[]).map(|_| ()))
+                .with_mut(|h| h.gc(&[]).map(|_| ()))
                 .map_err(pjh_err)?;
-            handle.with_mut(&mut f).map_err(pjh_err)
+            match handle.with_mut(&mut f) {
+                Err(PjhError::HeapFull { .. }) => {
+                    handle
+                        .with_mut(|h| h.gc_full(&[]).map(|_| ()))
+                        .map_err(pjh_err)?;
+                    handle.with_mut(&mut f).map_err(pjh_err)
+                }
+                other => other.map_err(pjh_err),
+            }
         }
         other => other.map_err(pjh_err),
     }
@@ -353,6 +364,10 @@ impl Backend for RawBackend {
 
     fn durability(&self) -> Durability {
         Durability::EpochCommit
+    }
+
+    fn heap_stats(&self) -> Option<String> {
+        Some(self.handle().heap_stats().summary_line())
     }
 
     fn set_flush_paused(&mut self, paused: bool) -> Result<(), WorkloadError> {
@@ -635,6 +650,10 @@ impl Backend for TypedBackend {
         Durability::EpochCommit
     }
 
+    fn heap_stats(&self) -> Option<String> {
+        Some(self.handle().heap_stats().summary_line())
+    }
+
     fn set_flush_paused(&mut self, paused: bool) -> Result<(), WorkloadError> {
         self.handle().set_flush_paused(paused);
         Ok(())
@@ -780,6 +799,10 @@ impl Backend for ShardedBackend {
 
     fn durability(&self) -> Durability {
         Durability::EpochCommit
+    }
+
+    fn heap_stats(&self) -> Option<String> {
+        Some(self.heap().heap_stats().summary_line())
     }
 
     fn set_flush_paused(&mut self, paused: bool) -> Result<(), WorkloadError> {

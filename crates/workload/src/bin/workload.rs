@@ -165,6 +165,9 @@ fn cmd_replay(mut args: Args) -> Result<ExitCode, WorkloadError> {
     let mut backend = make_backend(kind, trace.key_space)?;
     let report = replay(backend.as_mut(), &trace, faults.as_ref())?;
     print_report(&report, trace.ops.len());
+    if let Some(stats) = backend.heap_stats() {
+        println!("heap: {stats}");
+    }
     if let Some(f) = &faults {
         let expected = expected_recovery_digest(kind, &trace, f)?;
         if report.digest != expected {
