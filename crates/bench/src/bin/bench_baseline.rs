@@ -18,13 +18,16 @@
 //! cell over real TCP, default 8000), `--nwl <ops>` (workload-replay
 //! trace length, default 4000), `--nchurn <ops>` (allocator-churn
 //! allocations per cell, default 50000 — reuse needs enough GC cycles
-//! for the free lists to reach steady state), `--out <path>` (default
-//! stdout).
+//! for the free lists to reach steady state), `--nindex <objects>`
+//! (index-scan object count, default 100000 — the indexed-range-vs-
+//! full-walk speedup is gated at this size and also measured at a tenth
+//! of it), `--out <path>` (default stdout).
 //! Absolute times vary by machine; the *shape* (speedup ratios, shard
 //! throughput ratios, UG-vs-zeroing growth) is what future PRs compare
 //! against.
 
 use espresso::heap::SafetyLevel;
+use espresso_bench::idx::run_index_scan;
 use espresso_bench::micro::{
     build_loading_image, measure_load, run_alloc_churn, run_pcj_micro, run_pjh_micro,
     run_reader_scaling, run_shard_scaling, DataType, MicroOp,
@@ -256,6 +259,52 @@ fn main() {
     );
     let _ = writeln!(json, "      \"reused_slots\": {}", churn_reuse.reused);
     json.push_str("    }\n  },\n");
+
+    // Index scan: the secondary-index range query against the full heap
+    // walk it replaces, at a tenth of the gated size and at the gated
+    // size. `scan_speedup/<N>` is full-walk time over indexed-range time
+    // for a fixed 100-key window — the gated cells (the big one also has
+    // an absolute floor in bench_diff: an index that stops beating the
+    // walk by a wide margin has lost its reason to exist).
+    // `insert_plain_vs_indexed` is plain-chain build time over indexed
+    // build time (below 1.0 — the cost of same-transaction tree
+    // maintenance), gated only against baseline drift.
+    let n_index: usize = flag("--nindex")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let _ = writeln!(json, "  \"index_scan\": {{");
+    let _ = writeln!(json, "    \"objects\": {n_index},");
+    let mut idx_cells = Vec::new();
+    let mut idx_info = Vec::new();
+    for objects in [n_index / 10, n_index] {
+        let r = run_index_scan(objects);
+        idx_cells.push(format!(
+            "      \"scan_speedup/{objects}\": {:.2}",
+            r.full_scan.as_secs_f64() / r.indexed_scan.as_secs_f64().max(f64::MIN_POSITIVE)
+        ));
+        if objects == n_index {
+            idx_cells.push(format!(
+                "      \"insert_plain_vs_indexed/{objects}\": {:.2}",
+                r.plain_build.as_secs_f64() / r.indexed_build.as_secs_f64().max(f64::MIN_POSITIVE)
+            ));
+        }
+        idx_info.push(format!(
+            "      \"indexed_build_ms/{objects}\": {:.3},\n      \
+             \"plain_build_ms/{objects}\": {:.3},\n      \
+             \"indexed_scan_us/{objects}\": {:.1},\n      \
+             \"full_scan_us/{objects}\": {:.1}",
+            r.indexed_build.as_secs_f64() * 1e3,
+            r.plain_build.as_secs_f64() * 1e3,
+            r.indexed_scan.as_secs_f64() * 1e6,
+            r.full_scan.as_secs_f64() * 1e6,
+        ));
+    }
+    let _ = writeln!(json, "    \"index_ratios\": {{");
+    json.push_str(&idx_cells.join(",\n"));
+    json.push_str("\n    },\n");
+    let _ = writeln!(json, "    \"index_info\": {{");
+    json.push_str(&idx_info.join(",\n"));
+    json.push_str("\n    }\n  },\n");
 
     let _ = writeln!(json, "  \"fig18\": {{");
     let _ = writeln!(json, "    \"klasses\": 20,");

@@ -37,6 +37,14 @@
 //! (default `0.0`, i.e. off unless passed) enforces an absolute floor
 //! on the `reuse_vs_bump` cell — the free-list commit protocol may cost
 //! wall clock for its footprint win, but never more than this bound.
+//! The `index_scan` ratios (full-heap-walk time over indexed-range time
+//! for a fixed window, plus the plain-over-indexed build ratio) are
+//! printed against the baseline but gate only through `--index-floor
+//! <ratio>` (default `5.0`), an absolute floor on the largest
+//! `scan_speedup/<N>` cell: an indexed range completes in microseconds,
+//! so its run-to-run jitter swamps a relative tolerance, while the
+//! floor — the index must beat the walk it replaces by a wide margin at
+//! the gated size — holds on any machine.
 //! fig18 load times, server latencies, and the churn_info raw numbers
 //! are printed for context but never gate (absolute milliseconds/µs are
 //! too machine-dependent).
@@ -179,6 +187,33 @@ fn main() {
         eprintln!("bench_diff: no alloc_churn cells in {baseline_path}; skipping that gate");
     }
 
+    // Index-scan drift: indexed-range-vs-full-walk speedups and the
+    // insert-overhead ratio, printed against the baseline for context
+    // but never gated relatively — the indexed range completes in
+    // microseconds, so its jitter swamps the tolerance. The absolute
+    // `--index-floor` below is the gate. Absent in baselines from
+    // before the index subsystem — skipped.
+    let index_diffs = diff_ratio_cells(&baseline, &current, "index_ratios", tolerance);
+    if !index_diffs.is_empty() {
+        let rows: Vec<Vec<String>> = index_diffs
+            .iter()
+            .map(|d| {
+                vec![
+                    d.name.clone(),
+                    format!("{:.2}", d.baseline),
+                    d.current.map_or("-".to_string(), |c| format!("{c:.2}")),
+                ]
+            })
+            .collect();
+        print_table(
+            "index_scan drift (informational; gated by --index-floor)",
+            &["cell", "baseline", "current"],
+            &rows,
+        );
+    } else {
+        eprintln!("bench_diff: no index_scan cells in {baseline_path}; nothing to print there");
+    }
+
     // Absolute readers/4 floor, independent of the committed baseline:
     // four pinned readers under one committing writer must retain at
     // least this fraction of their quiet throughput — the lock-free
@@ -266,6 +301,33 @@ fn main() {
         }
     }
 
+    // Absolute index-scan floor, independent of the committed baseline:
+    // at the gated (largest-N) size, the indexed range must beat the
+    // full heap walk by this factor — O(log n + hits) vs O(heap) is the
+    // subsystem's contract, not a relative drift bound.
+    let index_floor: f64 = flag("--index-floor")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5.0);
+    let mut index_failed = false;
+    if let Some((name, speedup)) = parse_map_section(&current, "index_ratios")
+        .into_iter()
+        .filter_map(|(n, v)| {
+            let objects: u64 = n.strip_prefix("scan_speedup/")?.parse().ok()?;
+            Some((n, v, objects))
+        })
+        .max_by_key(|&(_, _, objects)| objects)
+        .map(|(n, v, _)| (n, v))
+    {
+        if speedup < index_floor {
+            eprintln!(
+                "bench_diff: {name} {speedup:.2}x is below the absolute floor {index_floor:.2}x"
+            );
+            index_failed = true;
+        } else if index_floor > 0.0 {
+            println!("{name} absolute floor: {speedup:.2}x >= {index_floor:.2}x ok");
+        }
+    }
+
     let fig18_base = parse_map_section(&baseline, "load_ms");
     let fig18_cur = parse_map_section(&current, "load_ms");
     if !fig18_cur.is_empty() {
@@ -335,7 +397,13 @@ fn main() {
         .chain(churn_diffs.iter())
         .filter(|d| d.regressed)
         .count();
-    if regressions > 0 || shard4_failed || readers_failed || server8_failed || churn_failed {
+    if regressions > 0
+        || shard4_failed
+        || readers_failed
+        || server8_failed
+        || churn_failed
+        || index_failed
+    {
         eprintln!("bench_diff: {regressions} gated cell(s) regressed beyond {tolerance:.2}");
         std::process::exit(1);
     }

@@ -10,6 +10,7 @@
 //! counts; every binary accepts a scale argument (`--n <count>`).
 
 pub mod diff;
+pub mod idx;
 pub mod jpab;
 pub mod micro;
 pub mod report;

@@ -27,6 +27,7 @@ pub fn bench_trace(ops: u64) -> Trace {
             fget: 10,
             fset: 12,
             txn: 8,
+            scan: 0,
         },
         skew: Skew::Uniform,
         commit_every: 200,

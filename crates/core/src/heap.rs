@@ -735,10 +735,22 @@ impl Pjh {
     pub fn klass_of(&self, r: Ref) -> Arc<Klass> {
         let off = self.obj_off(r);
         let seg = self.dev.read_u64(off + 8);
-        self.klasses
-            .klass_by_seg(seg)
-            .expect("dangling class word")
-            .clone()
+        self.resolve_seg(seg).expect("dangling class word")
+    }
+
+    /// Class-word resolution with the replica-miss fallback: the DRAM
+    /// map first, then the persisted segment itself. A frozen replica
+    /// can trail the live segment — readers observe object data live,
+    /// so they may reach an instance of a class whose record was
+    /// appended after the replica snapshot; the record commits before
+    /// any class word referencing it is written, so the segment walk
+    /// resolves every legitimate word (see
+    /// [`PKlassTable::parse_by_seg`](crate::klass_segment::PKlassTable::parse_by_seg)).
+    pub(crate) fn resolve_seg(&self, seg: u64) -> Option<Arc<Klass>> {
+        if let Some(k) = self.klasses.klass_by_seg(seg) {
+            return Some(k.clone());
+        }
+        self.klasses.parse_by_seg(&self.dev, &self.layout, seg)
     }
 
     // ---- epoch-deferred reclamation (read sessions) ----
@@ -1454,7 +1466,7 @@ impl Pjh {
     /// Size in words of the object at device offset `off`.
     pub(crate) fn object_words_at(&self, off: usize) -> usize {
         let seg = self.dev.read_u64(off + 8);
-        let k = self.klasses.klass_by_seg(seg).expect("dangling class word");
+        let k = self.resolve_seg(seg).expect("dangling class word");
         match k.kind() {
             ObjKind::Instance => k.instance_words(),
             _ => k.array_words(self.dev.read_u64(off + 16) as usize),
@@ -1482,10 +1494,8 @@ impl Pjh {
                 break; // hole: end of allocated prefix
             }
             let klass = self
-                .klasses
-                .klass_by_seg(seg)
-                .unwrap_or_else(|| panic!("corrupt class word {seg:#x} at offset {pos:#x}"))
-                .clone();
+                .resolve_seg(seg)
+                .unwrap_or_else(|| panic!("corrupt class word {seg:#x} at offset {pos:#x}"));
             let words = match klass.kind() {
                 ObjKind::Instance => klass.instance_words(),
                 _ => klass.array_words(self.dev.read_u64(pos + 16) as usize),

@@ -172,6 +172,74 @@ impl PKlassTable {
         self.seg_of.get(&id.0).copied()
     }
 
+    /// Resolves `seg` by re-parsing the persisted segment itself,
+    /// bypassing the DRAM maps.
+    ///
+    /// This is the miss path for *frozen metadata replicas*: a pinned
+    /// read session resolves class words through a replica snapshotted
+    /// at session open, but object data reads are live — so a reader
+    /// can reach an object whose klass record was appended (on first
+    /// allocation of that class) after the snapshot. Every class word
+    /// ever written references an already-committed record, so walking
+    /// the segment always resolves a legitimate word; anything else —
+    /// a misaligned offset, an uncommitted tail, garbage — returns
+    /// `None` and the caller keeps treating it as corruption.
+    ///
+    /// The returned klass is *detached*: it carries the persisted shape
+    /// (kind, field count, reference bitmap) and the real class name,
+    /// but placeholder field names and a sentinel id, exactly like a
+    /// not-yet-reconciled record after [`attach`](Self::attach). Read
+    /// paths consult only name and shape, so that is sufficient.
+    pub fn parse_by_seg(&self, dev: &NvmDevice, layout: &Layout, seg: u64) -> Option<Arc<Klass>> {
+        let detached = KlassId(u32::MAX);
+        let top = dev.read_u64(meta::KLASS_SEGMENT_TOP) as usize;
+        let mut pos = layout.klass_segment_off;
+        while pos < top.min(layout.klass_segment_off + layout.klass_segment_size) {
+            if dev.read_u64(pos) != 1 {
+                return None; // uncommitted tail record
+            }
+            let field_count = dev.read_u64(pos + 16) as usize;
+            let name_len = dev.read_u64(pos + 24) as usize;
+            if pos as u64 == seg {
+                let kind = dev.read_u64(pos + 8);
+                let rb_words = dev.read_u64(pos + 32) as usize;
+                let mut bitmap = vec![0u64; rb_words];
+                for (i, w) in bitmap.iter_mut().enumerate() {
+                    *w = dev.read_u64(pos + 40 + i * 8);
+                }
+                let name_off = pos + (RECORD_HEADER_WORDS + rb_words) * 8;
+                let mut name_buf = vec![0u8; name_len];
+                dev.read_bytes(name_off, &mut name_buf);
+                let name = String::from_utf8(name_buf).ok()?;
+                let klass = match kind {
+                    KIND_INSTANCE => {
+                        let fields: Vec<FieldDesc> = (0..field_count)
+                            .map(|i| {
+                                let is_ref =
+                                    bitmap.get(i / 64).is_some_and(|w| w & (1 << (i % 64)) != 0);
+                                FieldDesc {
+                                    name: format!("f{i}"),
+                                    kind: if is_ref {
+                                        FieldKind::Reference
+                                    } else {
+                                        FieldKind::Prim
+                                    },
+                                }
+                            })
+                            .collect();
+                        Klass::instance(detached, &name, fields)
+                    }
+                    KIND_OBJ_ARRAY => Klass::array(detached, &name, ObjKind::ObjArray),
+                    KIND_PRIM_ARRAY => Klass::array(detached, &name, ObjKind::PrimArray),
+                    _ => return None,
+                };
+                return Some(Arc::new(klass));
+            }
+            pos += record_len(field_count, name_len);
+        }
+        None
+    }
+
     /// Appends `id`'s record to the segment if absent (the paper's "set by
     /// JVM when an object is created in NVM while its Klass does not exist
     /// in the Klass segment", §3.1). Crash-consistent: payload persists
@@ -333,6 +401,45 @@ mod tests {
         let b = t.ensure_in_segment(&dev, &layout, &mut names, id).unwrap();
         assert_eq!(a, b);
         assert_eq!(t.segment_klasses(), 1);
+    }
+
+    #[test]
+    fn parse_by_seg_resolves_without_the_dram_maps() {
+        let (dev, layout) = setup();
+        let mut names = NameTable::attach(&dev, &layout);
+        let mut t = PKlassTable::attach(&dev, &layout);
+        let id = t.register_instance("Person", person_fields()).unwrap();
+        let seg = t.ensure_in_segment(&dev, &layout, &mut names, id).unwrap();
+        let oa = t.register_obj_array("Person");
+        let soa = t.ensure_in_segment(&dev, &layout, &mut names, oa).unwrap();
+
+        // A table attached *before* the appends models a frozen replica:
+        // its maps have never seen these records, but the segment walk
+        // resolves them anyway.
+        let stale = PKlassTable {
+            registry: KlassRegistry::new(),
+            seg_of: HashMap::new(),
+            id_of_seg: HashMap::new(),
+            placeholders: HashSet::new(),
+            top: layout.klass_segment_off,
+        };
+        assert!(stale.klass_by_seg(seg).is_none());
+        let k = stale.parse_by_seg(&dev, &layout, seg).unwrap();
+        assert_eq!(k.name(), "Person");
+        assert_eq!(k.kind(), ObjKind::Instance);
+        assert_eq!(k.instance_words(), 2 + 2);
+        assert_eq!(k.ref_bitmap(), vec![0b10]);
+        let ka = stale.parse_by_seg(&dev, &layout, soa).unwrap();
+        assert_eq!(ka.name(), "[LPerson;");
+        assert_eq!(ka.kind(), ObjKind::ObjArray);
+
+        // Garbage words stay unresolvable: misaligned offsets, offsets
+        // past the persisted top, and arbitrary values all miss.
+        assert!(stale.parse_by_seg(&dev, &layout, seg + 8).is_none());
+        assert!(stale
+            .parse_by_seg(&dev, &layout, dev.read_u64(meta::KLASS_SEGMENT_TOP))
+            .is_none());
+        assert!(stale.parse_by_seg(&dev, &layout, 0xDEAD_BEEF).is_none());
     }
 
     #[test]

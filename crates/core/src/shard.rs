@@ -32,10 +32,12 @@
 //! # }
 //! ```
 
-use espresso_object::{FieldDesc, KlassId, Ref};
+use espresso_object::{FieldDesc, KlassId, PClass, PObject, PRef, Ref};
 
 use crate::heap::{HeapCensus, LoadOptions};
-use crate::manager::{CommitReport, CommitState, CommitTicket, HeapHandle, HeapManager};
+use crate::manager::{
+    CommitReport, CommitState, CommitTicket, HeapHandle, HeapManager, ReadSession,
+};
 use crate::txn::HeapTxn;
 use crate::{PjhConfig, PjhError};
 
@@ -269,6 +271,63 @@ impl ShardedHeap {
             .map(|s| s.with_mut(|h| h.register_instance(name, fields.clone())))
             .collect::<crate::Result<Vec<_>>>()?;
         Ok(ShardedKlass { ids })
+    }
+
+    // ---- typed surface: schemas, roots, and sessions routed by key ----
+    //
+    // The façade's typed counterparts of `register_instance`/`set_root`/
+    // `get_root`. Typed *transactions* need no new surface: `txn(key, f)`
+    // already hands the closure a `HeapTxn`, whose typed allocation and
+    // store methods all work per-shard. Field handles resolved from the
+    // returned `PClass<T>` are positional (schema order), so one handle
+    // set is valid on every shard even though klass ids differ.
+
+    /// Registers (and validates) `T`'s schema on **every** shard, so a
+    /// typed workload can touch any key without dropping to the raw word
+    /// API. Returns the typed class handle; its field accessors are valid
+    /// on all shards.
+    ///
+    /// # Errors
+    ///
+    /// [`PjhError::SchemaMismatch`] / [`PjhError::KlassLayoutMismatch`] if
+    /// any shard persisted a different layout or fingerprint for
+    /// `T::CLASS_NAME`.
+    pub fn register<T: PObject + 'static>(&self) -> crate::Result<PClass<T>> {
+        let mut first = None;
+        for s in &self.shards {
+            let class = s.with_mut(|h| h.register::<T>())?;
+            first.get_or_insert(class);
+        }
+        Ok(first.expect("at least one shard"))
+    }
+
+    /// Fetches a typed root from the shard `key` routes to.
+    ///
+    /// # Errors
+    ///
+    /// [`PjhError::SchemaMismatch`] when the root holds a different class.
+    pub fn root<T: PObject>(&self, key: &str) -> crate::Result<Option<PRef<T>>> {
+        self.handle_for(key).with(|h| h.root::<T>(key))
+    }
+
+    /// Publishes a typed reference under `key` in the shard `key` routes
+    /// to. The object must live in that same shard — allocate it inside
+    /// `txn(key, ...)` (or through [`handle_for`](Self::handle_for)) so
+    /// routing and placement agree, exactly as the raw
+    /// [`set_root`](Self::set_root) requires of its [`ShardRef`].
+    ///
+    /// # Errors
+    ///
+    /// Name-table errors from the target shard.
+    pub fn set_root_typed<T: PObject>(&self, key: &str, r: PRef<T>) -> crate::Result<()> {
+        self.handle_for(key).with_mut(|h| h.set_root_typed(key, r))
+    }
+
+    /// Opens a lock-free read session on the shard `key` routes to (see
+    /// `HeapHandle::read`): typed reads, index lookups, and range scans
+    /// ride it without blocking that shard's writers.
+    pub fn read_for(&self, key: &str) -> ReadSession {
+        self.handle_for(key).read()
     }
 
     /// Allocates an instance in the shard `key` routes to.
@@ -689,6 +748,56 @@ mod tests {
         assert_eq!(ticket.state(), CommitState::Durable);
         assert!(ticket.is_durable());
         assert_eq!(sh.pending_commits(), 0);
+    }
+
+    #[test]
+    fn typed_surface_routes_by_key() {
+        use espresso_object::{PObject, Schema};
+        struct Acct;
+        impl PObject for Acct {
+            const CLASS_NAME: &'static str = "ShardAcct";
+            fn schema() -> Schema {
+                Schema::builder("ShardAcct")
+                    .u64_field("bal")
+                    .str_field("owner")
+                    .build()
+            }
+        }
+        let mgr = HeapManager::temp().unwrap();
+        let sh = ShardedHeap::create(&mgr, "ty", 4, 4 << 20, PjhConfig::small()).unwrap();
+        let class = sh.register::<Acct>().unwrap();
+        let bal = class.field::<u64>("bal").unwrap();
+        let owner = class.str_field("owner").unwrap();
+        // Typed txn + typed root per key, across all shards.
+        for i in 0..16u64 {
+            let key = format!("acct{i}");
+            let acct = sh
+                .txn(&key, |t| {
+                    let a = t.alloc::<Acct>()?;
+                    t.set(a, bal, i * 100);
+                    t.set_str(a, owner, &format!("user{i}"))?;
+                    Ok(a)
+                })
+                .unwrap();
+            sh.set_root_typed(&key, acct).unwrap();
+        }
+        sh.commit_sync().unwrap();
+        for i in 0..16u64 {
+            let key = format!("acct{i}");
+            let session = sh.read_for(&key);
+            let a = session.root::<Acct>(&key).unwrap().expect("typed root");
+            assert_eq!(session.get(a, bal), i * 100);
+            assert_eq!(
+                session.get_str(a, owner).as_deref(),
+                Some(format!("user{i}").as_str())
+            );
+        }
+        // Reopen: schemas revalidate on every shard, typed roots survive.
+        drop(sh);
+        let sh2 = ShardedHeap::open(&mgr, "ty", LoadOptions::default()).unwrap();
+        sh2.register::<Acct>().unwrap();
+        let a = sh2.root::<Acct>("acct3").unwrap().expect("reloaded root");
+        assert_eq!(sh2.handle_for("acct3").with(|h| h.get(a, bal)), 300);
     }
 
     #[test]

@@ -291,6 +291,7 @@ impl Pjh {
         let mut t = HeapTxn {
             heap: self,
             finished: false,
+            fresh: std::collections::HashSet::new(),
         };
         match f(&mut t) {
             Ok(v) => {
@@ -321,6 +322,11 @@ impl Pjh {
 pub struct HeapTxn<'a> {
     heap: &'a mut Pjh,
     finished: bool,
+    /// Objects allocated inside this transaction. They are unreachable
+    /// until a logged pointer store publishes them, so stores into them
+    /// need no undo records — the `init_*` family below asserts against
+    /// this set before skipping the log.
+    fresh: std::collections::HashSet<Ref>,
 }
 
 impl Drop for HeapTxn<'_> {
@@ -336,6 +342,100 @@ impl HeapTxn<'_> {
     /// which routes every store back through the logged `txn_*` ops.
     pub(crate) fn heap_internal(&mut self) -> &mut Pjh {
         self.heap
+    }
+
+    /// Records an object allocated inside this transaction (called by the
+    /// typed allocation paths in [`crate::typed`], which bypass the raw
+    /// passthroughs below).
+    pub(crate) fn note_fresh(&mut self, r: Ref) {
+        self.fresh.insert(r);
+    }
+
+    /// Whether `r` was allocated inside this transaction (and is therefore
+    /// eligible for unlogged [`init_field`](Self::init_field)-family
+    /// stores).
+    pub fn is_fresh(&self, r: Ref) -> bool {
+        self.fresh.contains(&r)
+    }
+
+    // ---- init stores: unlogged writes to objects allocated in this
+    //      transaction ----
+    //
+    // A store into an object the transaction itself allocated needs no
+    // undo record: the object is unreachable until a *logged* pointer
+    // store publishes it, so on abort or crash-rollback the whole object
+    // is garbage and its contents are irrelevant. Builders that construct
+    // large object graphs inside a transaction (the index crate's
+    // copy-on-write B-tree paths) use these to stay clear of the undo
+    // log's fixed capacity — a path of fresh nodes costs zero log records
+    // instead of hundreds.
+    //
+    // Init stores are volatile (like `Pjh::set_field`): the builder MUST
+    // persist every initialized object (`self.heap().flush_object(r)`)
+    // *before* issuing the logged store that publishes it, or a crash
+    // after commit could expose torn contents.
+
+    /// Unlogged field store into an object allocated in this transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obj` was not allocated through this transaction's
+    /// allocation passthroughs — logging would be required for atomicity.
+    pub fn init_field(&mut self, obj: Ref, index: usize, value: u64) {
+        assert!(
+            self.fresh.contains(&obj),
+            "init store into pre-existing object"
+        );
+        self.heap.set_field(obj, index, value);
+    }
+
+    /// Unlogged reference-field store into an object allocated in this
+    /// transaction.
+    ///
+    /// # Errors
+    ///
+    /// Safety violations from the heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obj` is not transaction-fresh.
+    pub fn init_field_ref(&mut self, obj: Ref, index: usize, value: Ref) -> crate::Result<()> {
+        assert!(
+            self.fresh.contains(&obj),
+            "init store into pre-existing object"
+        );
+        self.heap.set_field_ref(obj, index, value)
+    }
+
+    /// Unlogged array store into an array allocated in this transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arr` is not transaction-fresh.
+    pub fn init_array_set(&mut self, arr: Ref, i: usize, value: u64) {
+        assert!(
+            self.fresh.contains(&arr),
+            "init store into pre-existing array"
+        );
+        self.heap.array_set(arr, i, value);
+    }
+
+    /// Unlogged array reference store into an array allocated in this
+    /// transaction.
+    ///
+    /// # Errors
+    ///
+    /// Safety violations from the heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arr` is not transaction-fresh.
+    pub fn init_array_set_ref(&mut self, arr: Ref, i: usize, value: Ref) -> crate::Result<()> {
+        assert!(
+            self.fresh.contains(&arr),
+            "init store into pre-existing array"
+        );
+        self.heap.array_set_ref(arr, i, value)
     }
 
     // ---- logged writes ----
@@ -377,7 +477,9 @@ impl HeapTxn<'_> {
     ///
     /// Heap allocation errors.
     pub fn alloc_instance(&mut self, kid: KlassId) -> crate::Result<Ref> {
-        self.heap.alloc_instance(kid)
+        let r = self.heap.alloc_instance(kid)?;
+        self.fresh.insert(r);
+        Ok(r)
     }
 
     /// Array allocation passthrough.
@@ -386,7 +488,22 @@ impl HeapTxn<'_> {
     ///
     /// Heap allocation errors.
     pub fn alloc_array(&mut self, kid: KlassId, len: usize) -> crate::Result<Ref> {
-        self.heap.alloc_array(kid, len)
+        let r = self.heap.alloc_array(kid, len)?;
+        self.fresh.insert(r);
+        Ok(r)
+    }
+
+    /// Allocates and fully persists a length-prefixed string (see
+    /// [`Pjh::alloc_string`]); the payload is transaction-fresh, so only
+    /// the pointer store publishing it needs logging.
+    ///
+    /// # Errors
+    ///
+    /// Heap allocation errors.
+    pub fn alloc_string(&mut self, s: &str) -> crate::Result<Ref> {
+        let r = self.heap.alloc_string(s)?;
+        self.fresh.insert(r);
+        Ok(r)
     }
 
     /// Class registration passthrough.
@@ -410,6 +527,11 @@ impl HeapTxn<'_> {
     /// Primitive-array class registration passthrough.
     pub fn register_prim_array(&mut self) -> KlassId {
         self.heap.register_prim_array()
+    }
+
+    /// Object-array class registration passthrough.
+    pub fn register_obj_array(&mut self, elem_name: &str) -> KlassId {
+        self.heap.register_obj_array(elem_name)
     }
 
     // ---- reads (never logged) ----

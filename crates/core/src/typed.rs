@@ -422,7 +422,9 @@ impl HeapTxn<'_> {
     ///
     /// Schema validation errors on first use; allocation errors.
     pub fn alloc<T: PObject + 'static>(&mut self) -> crate::Result<PRef<T>> {
-        self.heap_internal().alloc::<T>()
+        let r = self.heap_internal().alloc::<T>()?;
+        self.note_fresh(r.raw());
+        Ok(r)
     }
 
     /// Allocates a primitive array as a typed handle.
@@ -431,7 +433,9 @@ impl HeapTxn<'_> {
     ///
     /// Allocation errors.
     pub fn alloc_arr(&mut self, len: usize) -> crate::Result<PArr> {
-        self.heap_internal().alloc_arr(len)
+        let a = self.heap_internal().alloc_arr(len)?;
+        self.note_fresh(a.raw());
+        Ok(a)
     }
 
     /// Registers `T`'s schema (validating against the persisted layout)
@@ -472,6 +476,7 @@ impl HeapTxn<'_> {
     /// Allocation errors; safety violations.
     pub fn set_str<T>(&mut self, obj: PRef<T>, f: StrFld<T>, s: &str) -> crate::Result<()> {
         let arr = self.heap_internal().alloc_string(s)?;
+        self.note_fresh(arr);
         self.set_field_ref(obj.raw(), f.index(), arr)
     }
 

@@ -11,6 +11,7 @@
 //! | [`object`] | `espresso-object` | object headers, Klass metadata, tagged refs |
 //! | [`runtime`] | `espresso-runtime` | volatile generational heap (PSHeap) |
 //! | [`heap`] | `espresso-core` | **Persistent Java Heap** (§3–§4): PLAB allocation, incremental region GC |
+//! | [`index`] | `espresso-index` | persistent typed secondary indexes (CoW B-tree) with transactional range scans |
 //! | [`vm`] | `espresso-vm` | unified VM, `pnew`, alias Klasses |
 //! | [`collections`] | `espresso-collections` | persistent collections atop PJH |
 //! | [`pcj`] | `espresso-pcj` | PCJ baseline (off-heap, refcount GC) |
@@ -151,6 +152,7 @@
 
 pub use espresso_collections as collections;
 pub use espresso_core as heap;
+pub use espresso_index as index;
 pub use espresso_jpa as jpa;
 pub use espresso_minidb as minidb;
 pub use espresso_nvm as nvm;

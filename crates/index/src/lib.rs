@@ -1,0 +1,250 @@
+//! Persistent typed secondary indexes over PJH objects.
+//!
+//! The typed object layer can find an object by root name or by chasing
+//! references; anything else is a full heap walk. This crate adds the
+//! missing access path: an order-[`ORDER`]
+//! **copy-on-write B-tree** stored entirely as schema-registered PJH
+//! objects, keyed by one declared typed field (`u64`, `i64`, or `str`) of
+//! the indexed class. Because nodes are ordinary typed objects they ride
+//! every existing mechanism for free: schema fingerprints catch layout
+//! drift, the GC traces and relocates them, and the undo log plus the
+//! commit pipeline give them crash atomicity.
+//!
+//! # Design: copy-on-write paths, one logged publication store
+//!
+//! Mutating a B-tree in place would fight two other subsystems at once.
+//! The undo log has a fixed capacity, and a node split touches `O(ORDER ×
+//! height)` words — logging each would overflow it. Worse, lock-free read
+//! sessions ([`espresso_core::HeapHandle::read`]) observe live heap words
+//! without any lock, so an in-place split could expose a torn node.
+//!
+//! Instead every [`Index::insert`] / [`Index::remove`] copies the
+//! root-to-leaf path it touches into **fresh** nodes (built with
+//! [`espresso_core::HeapTxn::init_field`]-family stores — unlogged,
+//! because transaction-fresh objects are unreachable until published,
+//! then persisted with `flush_object` before publication) and publishes
+//! the whole new tree with **one logged reference store** that swaps the
+//! root pointer inside the index's metadata object. The outcomes:
+//!
+//! * **Abort / crash mid-split**: the undo log restores the old root
+//!   pointer; the half-built path is unreachable garbage the next GC
+//!   reclaims. The tree is never observable in a partial state.
+//! * **Concurrent pinned readers** keep traversing the *old* root: every
+//!   node reachable from it is immutable, and GC defers reclaiming
+//!   evacuated space until pinned epochs drain.
+//! * **Same-transaction maintenance**: index updates issue ordinary
+//!   logged stores, so wrapping an object-field write and its index
+//!   update in one [`espresso_core::Pjh::txn`] scope makes them atomic
+//!   together — an aborted transaction rolls back both.
+//!
+//! Nodes are allocated at fixed sizes (one key array, one slot array per
+//! node, always full [`node::ORDER`] capacity), so the allocator's
+//! size-class free lists recycle dead CoW paths without fragmentation.
+//!
+//! Deletion rebuilds the touched path without rebalancing (no merge or
+//! steal): nodes may run sparse under adversarial delete patterns, an
+//! empty leaf is unlinked from its parent, and a one-child internal node
+//! collapses into that child. Lookup correctness never depends on
+//! minimum fill, so this trades bounded worst-case occupancy for a much
+//! simpler (and smaller) publication path.
+//!
+//! # Keys and duplicates
+//!
+//! Keys are encoded into one order-preserving `u64` word per entry:
+//! identity for `u64`, sign-bit flip for `i64`, and the first 8 bytes
+//! big-endian for `str` (full payload strings break prefix ties; the
+//! payload itself is stored alongside the entry). Duplicate keys are
+//! allowed — an index maps keys to *sets* of objects; entries within one
+//! equal-key run are unordered, because object addresses are not stable
+//! across GC relocation.
+//!
+//! # Example
+//!
+//! ```
+//! use espresso_core::{HeapManager, PjhConfig};
+//! use espresso_index::{Index, Key};
+//! use espresso_object::{PObject, Schema};
+//!
+//! struct Event;
+//! impl PObject for Event {
+//!     const CLASS_NAME: &'static str = "Event";
+//!     fn schema() -> Schema {
+//!         Schema::builder("Event").u64_field("ts").str_field("tag").build()
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), espresso_core::PjhError> {
+//! let mgr = HeapManager::temp()?;
+//! let handle = mgr.create("events", 8 << 20, PjhConfig::small())?;
+//! let (class, by_ts) = handle.with_mut(|h| {
+//!     let class = h.register::<Event>()?;
+//!     let by_ts = Index::<Event>::create(h, "events.by_ts", "ts")?;
+//!     Ok::<_, espresso_core::PjhError>((class, by_ts))
+//! })?;
+//! let ts = class.field::<u64>("ts")?;
+//! for i in 0..100u64 {
+//!     handle.txn(|t| {
+//!         let e = t.alloc::<Event>()?;
+//!         t.set(e, ts, i * 10);
+//!         by_ts.insert(t, &Key::U64(i * 10), e) // same txn as the field write
+//!     })?;
+//! }
+//! // Range scans ride lock-free read sessions.
+//! let session = handle.read();
+//! let hits: Vec<_> = by_ts
+//!     .range(&session, Key::U64(200)..Key::U64(300))?
+//!     .collect();
+//! assert_eq!(hits.len(), 10);
+//! assert_eq!(session.get(hits[0].1, ts), 200);
+//! # Ok(())
+//! # }
+//! ```
+
+mod indexed;
+mod node;
+mod query;
+mod tree;
+
+pub use indexed::IndexedHeap;
+pub use node::{IndexMeta, IndexNode, ORDER, ROOT_PREFIX};
+pub use query::{scan_all, scan_filter, RangeIter};
+pub use tree::Index;
+
+/// The declared type of an indexed field — the three single-word field
+/// types with a total order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyType {
+    /// `u64` field, compared numerically.
+    U64,
+    /// `i64` field, compared numerically (sign-flip encoded).
+    I64,
+    /// `str` field, compared lexicographically by UTF-8 bytes.
+    Str,
+}
+
+impl KeyType {
+    /// Stable tag persisted in the index metadata object.
+    pub(crate) fn tag(self) -> u64 {
+        match self {
+            KeyType::U64 => 1,
+            KeyType::I64 => 2,
+            KeyType::Str => 3,
+        }
+    }
+
+    /// Decodes a persisted tag.
+    pub(crate) fn from_tag(tag: u64) -> Option<KeyType> {
+        match tag {
+            1 => Some(KeyType::U64),
+            2 => Some(KeyType::I64),
+            3 => Some(KeyType::Str),
+            _ => None,
+        }
+    }
+}
+
+/// One index key value.
+///
+/// `Ord` matches the index's persistent ordering exactly (numeric for the
+/// integer types, lexicographic bytes for strings), so DRAM-side models
+/// (`BTreeMap<Key, _>`) order identically to the tree.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Key {
+    /// An unsigned key.
+    U64(u64),
+    /// A signed key.
+    I64(i64),
+    /// A string key.
+    Str(String),
+}
+
+/// Sign-flip constant making `i64` order match unsigned word order.
+pub(crate) const I64_BIAS: u64 = 1 << 63;
+
+impl Key {
+    /// The key's type.
+    pub fn key_type(&self) -> KeyType {
+        match self {
+            Key::U64(_) => KeyType::U64,
+            Key::I64(_) => KeyType::I64,
+            Key::Str(_) => KeyType::Str,
+        }
+    }
+
+    /// The order-preserving encoded word (for `str`: the first 8 bytes,
+    /// big-endian, zero-padded — ties are broken by the payload string).
+    pub(crate) fn word(&self) -> u64 {
+        match self {
+            Key::U64(v) => *v,
+            Key::I64(v) => (*v as u64) ^ I64_BIAS,
+            Key::Str(s) => str_prefix_word(s),
+        }
+    }
+
+    /// The payload string for `str` keys.
+    pub(crate) fn str_val(&self) -> Option<&str> {
+        match self {
+            Key::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+}
+
+/// First 8 bytes of `s`, big-endian and zero-padded: an order-preserving
+/// prefix word (ties on it require a full string comparison).
+pub(crate) fn str_prefix_word(s: &str) -> u64 {
+    let mut w = [0u8; 8];
+    let b = s.as_bytes();
+    let n = b.len().min(8);
+    w[..n].copy_from_slice(&b[..n]);
+    u64::from_be_bytes(w)
+}
+
+#[cfg(test)]
+mod key_tests {
+    use super::*;
+
+    #[test]
+    fn word_encoding_preserves_order() {
+        let u = [0u64, 1, 5, u64::MAX];
+        for a in u {
+            for b in u {
+                assert_eq!(
+                    Key::U64(a).word().cmp(&Key::U64(b).word()),
+                    a.cmp(&b),
+                    "u64 {a} vs {b}"
+                );
+            }
+        }
+        let i = [i64::MIN, -5, -1, 0, 1, 5, i64::MAX];
+        for a in i {
+            for b in i {
+                assert_eq!(
+                    Key::I64(a).word().cmp(&Key::I64(b).word()),
+                    a.cmp(&b),
+                    "i64 {a} vs {b}"
+                );
+            }
+        }
+        let s = ["", "a", "ab", "abcdefgh", "abcdefghi", "b", "ba"];
+        for a in s {
+            for b in s {
+                // The prefix word alone must never *invert* the string
+                // order — equal words fall through to the payload compare.
+                let pw = str_prefix_word(a).cmp(&str_prefix_word(b));
+                assert!(
+                    pw == a.as_bytes().cmp(b.as_bytes()) || pw == std::cmp::Ordering::Equal,
+                    "str {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn key_ord_matches_type_semantics() {
+        assert!(Key::I64(-3) < Key::I64(2));
+        assert!(Key::U64(3) < Key::U64(10));
+        assert!(Key::Str("abc".into()) < Key::Str("abd".into()));
+        assert!(Key::Str("abc".into()) < Key::Str("abcd".into()));
+    }
+}

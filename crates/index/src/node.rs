@@ -1,0 +1,154 @@
+//! The persistent node and metadata layout of the index B-tree.
+//!
+//! Both classes are ordinary [`PObject`] schemas, so they are registered
+//! with fingerprint validation like any application class and the GC
+//! traces their reference fields. A node's variable-size parts live in
+//! three side arrays (all allocated at full [`ORDER`] capacity so dead
+//! copy-on-write paths recycle through the allocator's exact size-class
+//! free lists):
+//!
+//! * `keys` — primitive array of encoded key words (`count` live).
+//! * `slots` — object array: child nodes for internal nodes
+//!   (`count + 1` live), indexed-object references for leaves (`count`
+//!   live).
+//! * `strs` — object array of string payload arrays, parallel to `keys`;
+//!   null except for `str`-keyed indexes.
+
+use espresso_core::{HeapTxn, Pjh};
+use espresso_object::{PObject, Ref, Schema};
+
+use crate::KeyType;
+
+/// Maximum keys per node (leaf and internal). An internal node holding
+/// `k` keys has `k + 1` children.
+pub const ORDER: usize = 16;
+
+/// Root-name prefix under which index metadata objects are published:
+/// index `name` lives at heap root `espresso.index.{name}`.
+pub const ROOT_PREFIX: &str = "espresso.index.";
+
+/// Field indexes of [`IndexNode`] (schema order).
+pub(crate) const F_LEAF: usize = 0;
+pub(crate) const F_COUNT: usize = 1;
+pub(crate) const F_KEYS: usize = 2;
+pub(crate) const F_SLOTS: usize = 3;
+pub(crate) const F_STRS: usize = 4;
+
+/// One B-tree node. See the module docs for the layout.
+pub struct IndexNode;
+
+impl PObject for IndexNode {
+    const CLASS_NAME: &'static str = "espresso.index.Node";
+    fn schema() -> Schema {
+        Schema::builder(Self::CLASS_NAME)
+            .u64_field("leaf")
+            .u64_field("count")
+            .array_field("keys")
+            .ref_array_named("slots", "espresso.index.Node")
+            .ref_array_named("strs", "espresso.index.Str")
+            .build()
+    }
+}
+
+/// The index metadata object, published as heap root
+/// `espresso.index.{name}`. Holds the key type, the entry count, the
+/// indexed class and field names (validated on open), and the root node
+/// pointer — the single word whose logged store publishes every
+/// copy-on-write mutation.
+pub struct IndexMeta;
+
+impl PObject for IndexMeta {
+    const CLASS_NAME: &'static str = "espresso.index.Meta";
+    fn schema() -> Schema {
+        Schema::builder(Self::CLASS_NAME)
+            .u64_field("key_type")
+            .u64_field("len")
+            .ref_field::<IndexNode>("root")
+            .str_field("class")
+            .str_field("field")
+            .build()
+    }
+}
+
+/// A DRAM copy of one node, read through any `&Pjh` view (live heap,
+/// transaction, or pinned read session).
+#[derive(Debug, Clone)]
+pub(crate) struct NodeView {
+    pub leaf: bool,
+    pub count: usize,
+    /// Encoded key words, `count` entries.
+    pub keys: Vec<u64>,
+    /// Children (`count + 1`) or values (`count`).
+    pub slots: Vec<Ref>,
+    /// String payloads parallel to `keys`; empty for non-`str` indexes.
+    pub strs: Vec<Ref>,
+}
+
+pub(crate) fn read_node(h: &Pjh, node: Ref) -> NodeView {
+    let leaf = h.field(node, F_LEAF) != 0;
+    let count = h.field(node, F_COUNT) as usize;
+    let keys_arr = h.field_ref(node, F_KEYS);
+    let slots_arr = h.field_ref(node, F_SLOTS);
+    let strs_arr = h.field_ref(node, F_STRS);
+    let nslots = if leaf { count } else { count + 1 };
+    NodeView {
+        leaf,
+        count,
+        keys: (0..count).map(|i| h.array_get(keys_arr, i)).collect(),
+        slots: (0..nslots).map(|i| h.array_get_ref(slots_arr, i)).collect(),
+        strs: if strs_arr.is_null() {
+            Vec::new()
+        } else {
+            (0..count).map(|i| h.array_get_ref(strs_arr, i)).collect()
+        },
+    }
+}
+
+/// Builds (and fully persists) a fresh node inside `t`. All stores are
+/// init stores — the node is unreachable until the caller publishes it
+/// through the logged root-pointer swap — and every object is flushed
+/// here, so publication can never expose torn contents after a crash.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_node(
+    t: &mut HeapTxn<'_>,
+    key_type: KeyType,
+    slots_kid: espresso_object::KlassId,
+    strs_kid: espresso_object::KlassId,
+    leaf: bool,
+    keys: &[u64],
+    slots: &[Ref],
+    strs: &[Ref],
+) -> espresso_core::Result<Ref> {
+    debug_assert!(keys.len() <= ORDER);
+    debug_assert_eq!(slots.len(), if leaf { keys.len() } else { keys.len() + 1 });
+    let node = t.alloc::<IndexNode>()?.raw();
+    let karr = t.alloc_arr(ORDER)?.raw();
+    let sarr = t.alloc_array(slots_kid, ORDER + 1)?;
+    t.init_field(node, F_LEAF, u64::from(leaf));
+    t.init_field(node, F_COUNT, keys.len() as u64);
+    t.init_field_ref(node, F_KEYS, karr)?;
+    t.init_field_ref(node, F_SLOTS, sarr)?;
+    for (i, &k) in keys.iter().enumerate() {
+        t.init_array_set(karr, i, k);
+    }
+    for (i, &s) in slots.iter().enumerate() {
+        if !s.is_null() {
+            t.init_array_set_ref(sarr, i, s)?;
+        }
+    }
+    if key_type == KeyType::Str {
+        debug_assert_eq!(strs.len(), keys.len());
+        let parr = t.alloc_array(strs_kid, ORDER)?;
+        for (i, &p) in strs.iter().enumerate() {
+            if !p.is_null() {
+                t.init_array_set_ref(parr, i, p)?;
+            }
+        }
+        t.init_field_ref(node, F_STRS, parr)?;
+        t.heap().flush_object(parr);
+    }
+    t.heap().flush_object(karr);
+    t.heap().flush_object(sarr);
+    t.heap().flush_object(node);
+    Ok(node)
+}

@@ -1,0 +1,312 @@
+//! Queries: point lookups, transactional range scans, and the unindexed
+//! heap-walk fallbacks.
+
+use std::marker::PhantomData;
+use std::ops::{Bound, RangeBounds};
+
+use espresso_core::{Pjh, PjhError};
+use espresso_object::{PObject, PRef, Ref};
+
+use crate::node::read_node;
+use crate::tree::{bound, cmp_entry, Index};
+use crate::{Key, KeyType, I64_BIAS};
+
+/// Decodes one stored entry back into a [`Key`].
+pub(crate) fn decode_key(h: &Pjh, kt: KeyType, word: u64, payload: Ref) -> Key {
+    match kt {
+        KeyType::U64 => Key::U64(word),
+        KeyType::I64 => Key::I64((word ^ I64_BIAS) as i64),
+        KeyType::Str => Key::Str(h.read_string(payload)),
+    }
+}
+
+/// An in-order iterator over one contiguous key range of an index.
+///
+/// Created by [`Index::range`] (or [`Index::get`] for a point lookup).
+/// The iterator borrows the `&Pjh` view it was created from — pass a
+/// pinned [`espresso_core::ReadSession`] to scan lock-free while writers
+/// commit: the session observes the root published at pin time, and every
+/// node reachable from a published root is immutable, so the scan sees a
+/// consistent snapshot and never a torn node.
+pub struct RangeIter<'h, T: PObject> {
+    h: &'h Pjh,
+    key_type: KeyType,
+    /// Internal nodes on the path, each with the *next* child slot to
+    /// descend into when the subtree to its left is exhausted.
+    stack: Vec<(Ref, usize)>,
+    /// Current leaf view and the next entry position within it.
+    leaf: Option<(crate::node::NodeView, usize)>,
+    hi: Bound<Key>,
+    _m: PhantomData<fn() -> T>,
+}
+
+impl<'h, T: PObject> RangeIter<'h, T> {
+    fn empty(h: &'h Pjh, key_type: KeyType) -> Self {
+        RangeIter {
+            h,
+            key_type,
+            stack: Vec::new(),
+            leaf: None,
+            hi: Bound::Unbounded,
+            _m: PhantomData,
+        }
+    }
+
+    /// Descends from `root` to the first entry `> key` (`upper`) or
+    /// `>= key` (lower). A left sibling's entries never exceed its
+    /// separator, so the chosen child always holds the boundary entry.
+    fn seek(&mut self, root: Ref, kw: u64, ks: Option<&str>, upper: bool) {
+        let mut cur = root;
+        loop {
+            let v = read_node(self.h, cur);
+            if v.leaf {
+                let pos = bound(self.h, &v, kw, ks, upper);
+                self.leaf = Some((v, pos));
+                return;
+            }
+            let ci = bound(self.h, &v, kw, ks, upper);
+            self.stack.push((cur, ci + 1));
+            cur = v.slots[ci];
+        }
+    }
+
+    /// Descends from `node` to its leftmost leaf.
+    fn descend_leftmost(&mut self, mut cur: Ref) {
+        loop {
+            let v = read_node(self.h, cur);
+            if v.leaf {
+                self.leaf = Some((v, 0));
+                return;
+            }
+            self.stack.push((cur, 1));
+            cur = v.slots[0];
+        }
+    }
+
+    fn within_hi(&self, ew: u64, ep: Ref) -> bool {
+        match &self.hi {
+            Bound::Unbounded => true,
+            Bound::Included(k) => {
+                cmp_entry(self.h, ew, ep, k.word(), k.str_val()) != std::cmp::Ordering::Greater
+            }
+            Bound::Excluded(k) => {
+                cmp_entry(self.h, ew, ep, k.word(), k.str_val()) == std::cmp::Ordering::Less
+            }
+        }
+    }
+}
+
+impl<T: PObject> Iterator for RangeIter<'_, T> {
+    type Item = (Key, PRef<T>);
+
+    fn next(&mut self) -> Option<(Key, PRef<T>)> {
+        loop {
+            if let Some((v, pos)) = &mut self.leaf {
+                if *pos < v.count {
+                    let i = *pos;
+                    *pos += 1;
+                    let ep = v.strs.get(i).copied().unwrap_or(Ref::NULL);
+                    let (ew, slot) = (v.keys[i], v.slots[i]);
+                    if !self.within_hi(ew, ep) {
+                        self.leaf = None;
+                        self.stack.clear();
+                        return None;
+                    }
+                    let key = decode_key(self.h, self.key_type, ew, ep);
+                    return Some((key, PRef::from_raw_unchecked(slot)));
+                }
+                self.leaf = None;
+            }
+            // Current leaf exhausted: resume at the deepest ancestor with
+            // an unvisited child and walk down its leftmost spine.
+            let (node, ci) = self.stack.pop()?;
+            let v = read_node(self.h, node);
+            if ci < v.slots.len() {
+                self.stack.push((node, ci + 1));
+                self.descend_leftmost(v.slots[ci]);
+            }
+        }
+    }
+}
+
+impl<T: PObject + 'static> Index<T> {
+    /// All objects whose indexed field equals `key`, in entry order
+    /// (entries under one key are unordered — see the crate docs).
+    ///
+    /// # Errors
+    ///
+    /// [`PjhError::SchemaMismatch`] on a key-type mismatch.
+    pub fn get<'h>(&self, h: &'h Pjh, key: &Key) -> espresso_core::Result<RangeIter<'h, T>> {
+        self.range(h, key.clone()..=key.clone())
+    }
+
+    /// An in-order iterator over all entries whose key falls in `bounds`.
+    ///
+    /// Accepts any standard range over [`Key`] (`lo..hi`, `lo..=hi`,
+    /// `..`, `lo..`, `..=hi`). Both bounds must match the index key type.
+    ///
+    /// # Errors
+    ///
+    /// [`PjhError::SchemaMismatch`] if a bound's key type mismatches;
+    /// [`PjhError::SafetyViolation`] if the index root is missing from
+    /// this heap view.
+    pub fn range<'h, R: RangeBounds<Key>>(
+        &self,
+        h: &'h Pjh,
+        bounds: R,
+    ) -> espresso_core::Result<RangeIter<'h, T>> {
+        for b in [bounds.start_bound(), bounds.end_bound()] {
+            if let Bound::Included(k) | Bound::Excluded(k) = b {
+                if k.key_type() != self.key_type {
+                    return Err(PjhError::SchemaMismatch {
+                        class: T::CLASS_NAME.to_string(),
+                        detail: format!(
+                            "range bound {k:?} does not match index key type {:?}",
+                            self.key_type
+                        ),
+                    });
+                }
+            }
+        }
+        let meta = self.meta(h)?;
+        let mut it = RangeIter::empty(h, self.key_type);
+        it.hi = bounds.end_bound().cloned();
+        let Some(root) = h.get_ref(meta, self.f_root) else {
+            return Ok(it);
+        };
+        match bounds.start_bound() {
+            Bound::Unbounded => it.descend_leftmost(root.raw()),
+            Bound::Included(k) => it.seek(root.raw(), k.word(), k.str_val(), false),
+            Bound::Excluded(k) => it.seek(root.raw(), k.word(), k.str_val(), true),
+        }
+        Ok(it)
+    }
+
+    /// Number of entries in the index (maintained in the metadata object,
+    /// so this is O(1)).
+    ///
+    /// # Errors
+    ///
+    /// [`PjhError::SafetyViolation`] if the index root is missing.
+    pub fn len(&self, h: &Pjh) -> espresso_core::Result<u64> {
+        let meta = self.meta(h)?;
+        Ok(h.get(meta, self.f_len))
+    }
+
+    /// Whether the index holds no entries.
+    ///
+    /// # Errors
+    ///
+    /// As [`len`](Self::len).
+    pub fn is_empty(&self, h: &Pjh) -> espresso_core::Result<bool> {
+        Ok(self.len(h)? == 0)
+    }
+
+    /// Every entry of the tree in key order, normalised for oracle
+    /// comparison: sorted by `(key, object address)` so it is directly
+    /// comparable with [`heap_walk`](Self::heap_walk).
+    ///
+    /// # Errors
+    ///
+    /// As [`range`](Self::range).
+    pub fn tree_entries(&self, h: &Pjh) -> espresso_core::Result<Vec<(Key, Ref)>> {
+        let mut v: Vec<(Key, Ref)> = self.range(h, ..)?.map(|(k, p)| (k, p.raw())).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.addr().cmp(&b.1.addr())));
+        Ok(v)
+    }
+
+    /// Rebuilds the index contents from first principles: marks every
+    /// object reachable from the heap roots, then extracts the key of
+    /// each live instance of `T`. This is the crash-recovery oracle the
+    /// property suite compares the tree against, sorted by `(key, object
+    /// address)` like [`tree_entries`](Self::tree_entries).
+    pub fn heap_walk(&self, h: &Pjh) -> Vec<(Key, Ref)> {
+        let live = live_set(h);
+        let mut out: Vec<(Key, Ref)> = Vec::new();
+        h.for_each_object(|r, klass| {
+            if klass.name() != T::CLASS_NAME || !live.contains(&r) {
+                return;
+            }
+            let key = match self.key_type {
+                KeyType::U64 => Key::U64(h.field(r, self.field_index)),
+                KeyType::I64 => Key::I64(h.field(r, self.field_index) as i64),
+                KeyType::Str => {
+                    let p = h.field_ref(r, self.field_index);
+                    if p.is_null() {
+                        return;
+                    }
+                    Key::Str(h.read_string(p))
+                }
+            };
+            out.push((key, r));
+        });
+        out.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.addr().cmp(&b.1.addr())));
+        out
+    }
+}
+
+/// The set of objects reachable from the heap's named roots — a DRAM
+/// mark phase over klass metadata, independent of the collector's own
+/// liveness state (dead images linger physically until their slots are
+/// reused, so a raw image walk over-approximates).
+fn live_set(h: &Pjh) -> std::collections::HashSet<Ref> {
+    use espresso_object::ObjKind;
+    let mut live = std::collections::HashSet::new();
+    let mut stack: Vec<Ref> = h
+        .roots()
+        .iter()
+        .map(|(_, r)| *r)
+        .filter(|r| !r.is_null())
+        .collect();
+    while let Some(r) = stack.pop() {
+        if !live.insert(r) {
+            continue;
+        }
+        let klass = h.klass_of(r);
+        match klass.kind() {
+            ObjKind::Instance => {
+                for i in klass.ref_field_indices() {
+                    let c = h.field_ref(r, i);
+                    if !c.is_null() {
+                        stack.push(c);
+                    }
+                }
+            }
+            ObjKind::ObjArray => {
+                for i in 0..h.array_len(r) {
+                    let c = h.array_get_ref(r, i);
+                    if !c.is_null() {
+                        stack.push(c);
+                    }
+                }
+            }
+            ObjKind::PrimArray => {}
+        }
+    }
+    live
+}
+
+/// Every live (root-reachable) instance of `T` in the heap, in walk
+/// order — the unindexed fallback access path.
+pub fn scan_all<T: PObject>(h: &Pjh) -> Vec<PRef<T>> {
+    let live = live_set(h);
+    let mut out = Vec::new();
+    h.for_each_object(|r, klass| {
+        if klass.name() == T::CLASS_NAME && live.contains(&r) {
+            out.push(PRef::from_raw_unchecked(r));
+        }
+    });
+    out
+}
+
+/// [`scan_all`] filtered by an arbitrary predicate over the heap view —
+/// the query plan for predicates no index covers.
+pub fn scan_filter<T: PObject>(
+    h: &Pjh,
+    mut pred: impl FnMut(&Pjh, PRef<T>) -> bool,
+) -> Vec<PRef<T>> {
+    scan_all::<T>(h)
+        .into_iter()
+        .filter(|&p| pred(h, p))
+        .collect()
+}

@@ -1,0 +1,583 @@
+//! The index handle and its copy-on-write mutation paths.
+
+use std::cmp::Ordering;
+use std::marker::PhantomData;
+
+use espresso_core::{HeapTxn, Pjh, PjhError};
+use espresso_object::{FieldType, Fld, KlassId, PObject, PRef, Ref, RefFld, StrFld};
+
+use crate::node::{build_node, read_node, IndexMeta, IndexNode, NodeView, ORDER, ROOT_PREFIX};
+use crate::{Key, KeyType};
+
+/// A handle to one persistent secondary index over instances of `T`.
+///
+/// The handle itself is DRAM metadata (names, klass ids, resolved field
+/// offsets); all state lives in the heap under root
+/// `espresso.index.{name}`. The metadata root is re-resolved on every
+/// operation, so handles stay valid across GC relocation. After a heap
+/// reload, re-create the handle with [`Index::open`].
+///
+/// Mutations ([`insert`](Self::insert) / [`remove`](Self::remove)) run
+/// inside a caller-supplied [`HeapTxn`], so one transaction can combine
+/// an object-field write with its index maintenance — aborting rolls
+/// back both. Queries ([`get`](Self::get) / [`range`](Self::range)) run
+/// against any `&Pjh` view, including lock-free pinned read sessions.
+pub struct Index<T: PObject> {
+    pub(crate) name: String,
+    pub(crate) root_name: String,
+    pub(crate) field_name: String,
+    pub(crate) field_index: usize,
+    pub(crate) key_type: KeyType,
+    pub(crate) slots_kid: KlassId,
+    pub(crate) strs_kid: KlassId,
+    pub(crate) f_key_type: Fld<IndexMeta, u64>,
+    pub(crate) f_len: Fld<IndexMeta, u64>,
+    pub(crate) f_root: RefFld<IndexMeta, IndexNode>,
+    pub(crate) f_class: StrFld<IndexMeta>,
+    pub(crate) f_field: StrFld<IndexMeta>,
+    pub(crate) _m: PhantomData<fn() -> T>,
+}
+
+// Manual impls: the derives would demand `T: Clone` / `T: Debug`, but
+// `T` only ever appears under `PhantomData<fn() -> T>`.
+impl<T: PObject> Clone for Index<T> {
+    fn clone(&self) -> Index<T> {
+        Index {
+            name: self.name.clone(),
+            root_name: self.root_name.clone(),
+            field_name: self.field_name.clone(),
+            field_index: self.field_index,
+            key_type: self.key_type,
+            slots_kid: self.slots_kid,
+            strs_kid: self.strs_kid,
+            f_key_type: self.f_key_type,
+            f_len: self.f_len,
+            f_root: self.f_root,
+            f_class: self.f_class,
+            f_field: self.f_field,
+            _m: PhantomData,
+        }
+    }
+}
+
+impl<T: PObject> std::fmt::Debug for Index<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Index")
+            .field("name", &self.name)
+            .field("class", &T::CLASS_NAME)
+            .field("field", &self.field_name)
+            .field("key_type", &self.key_type)
+            .finish()
+    }
+}
+
+/// Result of a recursive copy-on-write insert below one node.
+enum Ins {
+    /// The subtree was rebuilt into this replacement node.
+    One(Ref),
+    /// The subtree split: the separator must be inserted into the parent.
+    Split {
+        left: Ref,
+        right: Ref,
+        sep_word: u64,
+        sep_payload: Ref,
+    },
+}
+
+/// Result of a recursive copy-on-write remove below one node.
+enum Rm {
+    /// No (key, value) match in this subtree.
+    NotFound,
+    /// The subtree was rebuilt into this replacement node.
+    Replaced(Ref),
+    /// The subtree became empty and must be unlinked by the parent.
+    Emptied,
+}
+
+/// Compares a stored entry `(ew, ep)` against a search key `(kw, ks)`:
+/// encoded words first, payload strings on a tie (str-keyed indexes
+/// only — for the integer types the word is the whole key).
+pub(crate) fn cmp_entry(h: &Pjh, ew: u64, ep: Ref, kw: u64, ks: Option<&str>) -> Ordering {
+    match ew.cmp(&kw) {
+        Ordering::Equal => match ks {
+            Some(s) if !ep.is_null() => h.read_string(ep).as_str().cmp(s),
+            _ => Ordering::Equal,
+        },
+        o => o,
+    }
+}
+
+/// First position in `v` whose entry is `> key` (`upper`) or `>= key`
+/// (lower); `v.count` if none. Linear scan — `ORDER` is small.
+pub(crate) fn bound(h: &Pjh, v: &NodeView, kw: u64, ks: Option<&str>, upper: bool) -> usize {
+    for i in 0..v.count {
+        let ep = v.strs.get(i).copied().unwrap_or(Ref::NULL);
+        match cmp_entry(h, v.keys[i], ep, kw, ks) {
+            Ordering::Greater => return i,
+            Ordering::Equal if !upper => return i,
+            _ => {}
+        }
+    }
+    v.count
+}
+
+impl<T: PObject + 'static> Index<T> {
+    /// Creates an empty index named `name` over field `field` of `T`,
+    /// deriving the key type from `T`'s declared schema, and publishes
+    /// its metadata object at root `espresso.index.{name}`.
+    ///
+    /// # Errors
+    ///
+    /// [`PjhError::SchemaMismatch`] if `field` is not a `u64`/`i64`/`str`
+    /// field of `T`; [`PjhError::SafetyViolation`] if the index already
+    /// exists; registration and allocation errors.
+    pub fn create(h: &mut Pjh, name: &str, field: &str) -> espresso_core::Result<Index<T>> {
+        let idx = Self::resolve(h, name, field)?;
+        if h.get_root(&idx.root_name).is_some() {
+            return Err(PjhError::SafetyViolation {
+                reason: format!("index {name:?} already exists"),
+            });
+        }
+        let (f_key_type, f_len, f_class, f_field) =
+            (idx.f_key_type, idx.f_len, idx.f_class, idx.f_field);
+        let key_tag = idx.key_type.tag();
+        let meta = h.txn(|t| {
+            let m = t.alloc::<IndexMeta>()?;
+            t.set(m, f_key_type, key_tag);
+            t.set(m, f_len, 0);
+            t.set_str(m, f_class, T::CLASS_NAME)?;
+            t.set_str(m, f_field, field)?;
+            Ok(m)
+        })?;
+        h.set_root_typed(&idx.root_name, meta)?;
+        Ok(idx)
+    }
+
+    /// Opens an existing index, validating that its persisted metadata
+    /// (indexed class, field name, key type) matches `T`'s declaration.
+    ///
+    /// # Errors
+    ///
+    /// [`PjhError::NoSuchHeap`]-style [`PjhError::SafetyViolation`] if the
+    /// index does not exist; [`PjhError::SchemaMismatch`] if the persisted
+    /// metadata disagrees with `T`'s schema.
+    pub fn open(h: &mut Pjh, name: &str) -> espresso_core::Result<Index<T>> {
+        let root_name = format!("{ROOT_PREFIX}{name}");
+        h.register::<IndexNode>()?;
+        let meta_class = h.register::<IndexMeta>()?;
+        let f_class = meta_class.str_field("class").expect("meta schema");
+        let f_field = meta_class.str_field("field").expect("meta schema");
+        let f_key_type = meta_class.field::<u64>("key_type").expect("meta schema");
+        let meta = h
+            .root::<IndexMeta>(&root_name)?
+            .ok_or_else(|| PjhError::SafetyViolation {
+                reason: format!("index {name:?} does not exist"),
+            })?;
+        let class = h.get_str(meta, f_class).unwrap_or_default();
+        if class != T::CLASS_NAME {
+            return Err(PjhError::SchemaMismatch {
+                class: T::CLASS_NAME.to_string(),
+                detail: format!("index {name:?} indexes class {class:?}"),
+            });
+        }
+        let field = h.get_str(meta, f_field).unwrap_or_default();
+        let idx = Self::resolve(h, name, &field)?;
+        let stored = h.get(meta, f_key_type);
+        if KeyType::from_tag(stored) != Some(idx.key_type) {
+            return Err(PjhError::SchemaMismatch {
+                class: T::CLASS_NAME.to_string(),
+                detail: format!(
+                    "index {name:?} persisted key-type tag {stored} but field {field:?} \
+                     declares {:?}",
+                    idx.key_type
+                ),
+            });
+        }
+        Ok(idx)
+    }
+
+    /// [`open`](Self::open) if the index exists, [`create`](Self::create)
+    /// otherwise.
+    ///
+    /// # Errors
+    ///
+    /// As [`open`](Self::open) / [`create`](Self::create).
+    pub fn open_or_create(h: &mut Pjh, name: &str, field: &str) -> espresso_core::Result<Index<T>> {
+        if h.get_root(&format!("{ROOT_PREFIX}{name}")).is_some() {
+            Self::open(h, name)
+        } else {
+            Self::create(h, name, field)
+        }
+    }
+
+    /// Registers the node/meta schemas and resolves all DRAM-side handle
+    /// state, deriving the key type from `T`'s declared field type.
+    fn resolve(h: &mut Pjh, name: &str, field: &str) -> espresso_core::Result<Index<T>> {
+        let schema = T::schema();
+        let (field_index, ftype) = schema
+            .field(field)
+            .ok_or_else(|| PjhError::SchemaMismatch {
+                class: T::CLASS_NAME.to_string(),
+                detail: format!("indexed field {field:?} is not declared"),
+            })?;
+        let key_type = match ftype {
+            FieldType::U64 => KeyType::U64,
+            FieldType::I64 => KeyType::I64,
+            FieldType::Str => KeyType::Str,
+            other => {
+                return Err(PjhError::SchemaMismatch {
+                    class: T::CLASS_NAME.to_string(),
+                    detail: format!(
+                        "field {field:?} has type {other:?}; only u64/i64/str fields are indexable"
+                    ),
+                })
+            }
+        };
+        h.register::<IndexNode>()?;
+        let meta_class = h.register::<IndexMeta>()?;
+        Ok(Index {
+            name: name.to_string(),
+            root_name: format!("{ROOT_PREFIX}{name}"),
+            field_name: field.to_string(),
+            field_index,
+            key_type,
+            slots_kid: h.register_obj_array(IndexNode::CLASS_NAME),
+            strs_kid: h.register_obj_array("espresso.index.Str"),
+            f_key_type: meta_class.field::<u64>("key_type").expect("meta schema"),
+            f_len: meta_class.field::<u64>("len").expect("meta schema"),
+            f_root: meta_class
+                .ref_field::<IndexNode>("root")
+                .expect("meta schema"),
+            f_class: meta_class.str_field("class").expect("meta schema"),
+            f_field: meta_class.str_field("field").expect("meta schema"),
+            _m: PhantomData,
+        })
+    }
+
+    /// The index name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The indexed field name.
+    pub fn field_name(&self) -> &str {
+        &self.field_name
+    }
+
+    /// The index key type.
+    pub fn key_type(&self) -> KeyType {
+        self.key_type
+    }
+
+    /// Reads the indexed field of `obj` as a key (`None` when a `str`
+    /// field is null — such objects are simply unindexed).
+    pub fn key_of(&self, h: &Pjh, obj: PRef<T>) -> Option<Key> {
+        match self.key_type {
+            KeyType::U64 => Some(Key::U64(h.field(obj.raw(), self.field_index))),
+            KeyType::I64 => Some(Key::I64(h.field(obj.raw(), self.field_index) as i64)),
+            KeyType::Str => {
+                let p = h.field_ref(obj.raw(), self.field_index);
+                (!p.is_null()).then(|| Key::Str(h.read_string(p)))
+            }
+        }
+    }
+
+    /// Resolves the metadata object (re-resolved per operation, so GC
+    /// relocation never invalidates the handle).
+    pub(crate) fn meta(&self, h: &Pjh) -> espresso_core::Result<PRef<IndexMeta>> {
+        h.root::<IndexMeta>(&self.root_name)?
+            .ok_or_else(|| PjhError::SafetyViolation {
+                reason: format!("index {:?} has no metadata root", self.name),
+            })
+    }
+
+    fn check_type(&self, key: &Key) -> espresso_core::Result<()> {
+        if key.key_type() != self.key_type {
+            return Err(PjhError::SchemaMismatch {
+                class: T::CLASS_NAME.to_string(),
+                detail: format!(
+                    "key {key:?} does not match index key type {:?}",
+                    self.key_type
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn build(
+        &self,
+        t: &mut HeapTxn<'_>,
+        leaf: bool,
+        keys: &[u64],
+        slots: &[Ref],
+        strs: &[Ref],
+    ) -> espresso_core::Result<Ref> {
+        build_node(
+            t,
+            self.key_type,
+            self.slots_kid,
+            self.strs_kid,
+            leaf,
+            keys,
+            slots,
+            strs,
+        )
+    }
+
+    /// Inserts `(key, value)`. `key` must equal the current value of the
+    /// indexed field of `value` — [`crate::IndexedHeap`] maintains this
+    /// automatically; direct callers carry the obligation themselves.
+    /// Duplicate keys are allowed (one key can map to many objects);
+    /// inserting the *same* `(key, value)` pair twice yields two entries.
+    ///
+    /// Runs inside the caller's transaction: the copy-on-write path costs
+    /// no undo records, and only the root-pointer swap plus the length
+    /// update are logged, so an abort (or crash) rolls the index back
+    /// together with every other logged store of the transaction.
+    ///
+    /// # Errors
+    ///
+    /// [`PjhError::SchemaMismatch`] on a key-type mismatch; allocation
+    /// errors (on [`PjhError::HeapFull`], run a collection and retry the
+    /// whole transaction).
+    pub fn insert(
+        &self,
+        t: &mut HeapTxn<'_>,
+        key: &Key,
+        value: PRef<T>,
+    ) -> espresso_core::Result<()> {
+        self.check_type(key)?;
+        let meta = self.meta(t.heap())?;
+        let payload = match key.str_val() {
+            Some(s) => t.alloc_string(s)?,
+            None => Ref::NULL,
+        };
+        let kw = key.word();
+        let ks = key.str_val();
+        let new_root = match t.get_ref(meta, self.f_root) {
+            None => {
+                let strs = if self.key_type == KeyType::Str {
+                    vec![payload]
+                } else {
+                    Vec::new()
+                };
+                self.build(t, true, &[kw], &[value.raw()], &strs)?
+            }
+            Some(root) => match self.insert_rec(t, root.raw(), kw, ks, payload, value.raw())? {
+                Ins::One(n) => n,
+                Ins::Split {
+                    left,
+                    right,
+                    sep_word,
+                    sep_payload,
+                } => {
+                    let strs = if self.key_type == KeyType::Str {
+                        vec![sep_payload]
+                    } else {
+                        Vec::new()
+                    };
+                    self.build(t, false, &[sep_word], &[left, right], &strs)?
+                }
+            },
+        };
+        let len = t.get(meta, self.f_len);
+        t.set_ref(meta, self.f_root, Some(PRef::from_raw_unchecked(new_root)))?;
+        t.set(meta, self.f_len, len + 1);
+        Ok(())
+    }
+
+    fn insert_rec(
+        &self,
+        t: &mut HeapTxn<'_>,
+        node: Ref,
+        kw: u64,
+        ks: Option<&str>,
+        payload: Ref,
+        value: Ref,
+    ) -> espresso_core::Result<Ins> {
+        let v = read_node(t.heap(), node);
+        let is_str = self.key_type == KeyType::Str;
+        if v.leaf {
+            // Equal keys insert after their run (`upper` bound), matching
+            // the descent rule below, so duplicates stay contiguous.
+            let pos = bound(t.heap(), &v, kw, ks, true);
+            let mut keys = v.keys;
+            let mut slots = v.slots;
+            let mut strs = v.strs;
+            keys.insert(pos, kw);
+            slots.insert(pos, value);
+            if is_str {
+                strs.insert(pos, payload);
+            }
+            if keys.len() <= ORDER {
+                return Ok(Ins::One(self.build(t, true, &keys, &slots, &strs)?));
+            }
+            let mid = keys.len() / 2;
+            let (ls, rs) = if is_str {
+                (&strs[..mid], &strs[mid..])
+            } else {
+                (&strs[..], &strs[..])
+            };
+            let left = self.build(t, true, &keys[..mid], &slots[..mid], ls)?;
+            let right = self.build(t, true, &keys[mid..], &slots[mid..], rs)?;
+            Ok(Ins::Split {
+                left,
+                right,
+                // B+-style: the separator is the right leaf's first key
+                // (it stays in the leaf; internal payload refs alias the
+                // leaf's, which is fine — payloads are immutable).
+                sep_word: keys[mid],
+                sep_payload: strs.get(mid).copied().unwrap_or(Ref::NULL),
+            })
+        } else {
+            let ci = bound(t.heap(), &v, kw, ks, true);
+            let child = v.slots[ci];
+            match self.insert_rec(t, child, kw, ks, payload, value)? {
+                Ins::One(n) => {
+                    let mut slots = v.slots;
+                    slots[ci] = n;
+                    Ok(Ins::One(self.build(t, false, &v.keys, &slots, &v.strs)?))
+                }
+                Ins::Split {
+                    left,
+                    right,
+                    sep_word,
+                    sep_payload,
+                } => {
+                    let mut keys = v.keys;
+                    let mut slots = v.slots;
+                    let mut strs = v.strs;
+                    keys.insert(ci, sep_word);
+                    if is_str {
+                        strs.insert(ci, sep_payload);
+                    }
+                    slots[ci] = left;
+                    slots.insert(ci + 1, right);
+                    if keys.len() <= ORDER {
+                        return Ok(Ins::One(self.build(t, false, &keys, &slots, &strs)?));
+                    }
+                    // Internal split: the middle separator is promoted,
+                    // not copied into either half.
+                    let mid = keys.len() / 2;
+                    let (ls, rs) = if is_str {
+                        (&strs[..mid], &strs[mid + 1..])
+                    } else {
+                        (&strs[..], &strs[..])
+                    };
+                    let left_n = self.build(t, false, &keys[..mid], &slots[..=mid], ls)?;
+                    let right_n = self.build(t, false, &keys[mid + 1..], &slots[mid + 1..], rs)?;
+                    Ok(Ins::Split {
+                        left: left_n,
+                        right: right_n,
+                        sep_word: keys[mid],
+                        sep_payload: strs.get(mid).copied().unwrap_or(Ref::NULL),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Removes one `(key, value)` entry; returns whether one was found.
+    /// With duplicate keys only the entry whose value reference equals
+    /// `value` is removed (one of them, if the same pair was inserted
+    /// multiple times).
+    ///
+    /// # Errors
+    ///
+    /// [`PjhError::SchemaMismatch`] on a key-type mismatch; allocation
+    /// errors rebuilding the path.
+    pub fn remove(
+        &self,
+        t: &mut HeapTxn<'_>,
+        key: &Key,
+        value: PRef<T>,
+    ) -> espresso_core::Result<bool> {
+        self.check_type(key)?;
+        let meta = self.meta(t.heap())?;
+        let Some(root) = t.get_ref(meta, self.f_root) else {
+            return Ok(false);
+        };
+        let outcome = self.remove_rec(t, root.raw(), key.word(), key.str_val(), value.raw())?;
+        let len = t.get(meta, self.f_len);
+        match outcome {
+            Rm::NotFound => Ok(false),
+            Rm::Replaced(n) => {
+                t.set_ref(meta, self.f_root, Some(PRef::from_raw_unchecked(n)))?;
+                t.set(meta, self.f_len, len - 1);
+                Ok(true)
+            }
+            Rm::Emptied => {
+                t.set_ref(meta, self.f_root, None)?;
+                t.set(meta, self.f_len, len - 1);
+                Ok(true)
+            }
+        }
+    }
+
+    fn remove_rec(
+        &self,
+        t: &mut HeapTxn<'_>,
+        node: Ref,
+        kw: u64,
+        ks: Option<&str>,
+        value: Ref,
+    ) -> espresso_core::Result<Rm> {
+        let v = read_node(t.heap(), node);
+        let is_str = self.key_type == KeyType::Str;
+        if v.leaf {
+            let lo = bound(t.heap(), &v, kw, ks, false);
+            let hi = bound(t.heap(), &v, kw, ks, true);
+            let Some(pos) = (lo..hi).find(|&i| v.slots[i] == value) else {
+                return Ok(Rm::NotFound);
+            };
+            if v.count == 1 {
+                return Ok(Rm::Emptied);
+            }
+            let mut keys = v.keys;
+            let mut slots = v.slots;
+            let mut strs = v.strs;
+            keys.remove(pos);
+            slots.remove(pos);
+            if is_str {
+                strs.remove(pos);
+            }
+            Ok(Rm::Replaced(self.build(t, true, &keys, &slots, &strs)?))
+        } else {
+            // Duplicates may sit on either side of an equal separator, so
+            // every child covering the key's range is a candidate.
+            let lo = bound(t.heap(), &v, kw, ks, false);
+            let hi = bound(t.heap(), &v, kw, ks, true);
+            for ci in lo..=hi {
+                match self.remove_rec(t, v.slots[ci], kw, ks, value)? {
+                    Rm::NotFound => continue,
+                    Rm::Replaced(n) => {
+                        let mut slots = v.slots;
+                        slots[ci] = n;
+                        return Ok(Rm::Replaced(
+                            self.build(t, false, &v.keys, &slots, &v.strs)?,
+                        ));
+                    }
+                    Rm::Emptied => {
+                        // Unlink the emptied child and one adjacent
+                        // separator; a one-child internal node collapses
+                        // into that child.
+                        let mut keys = v.keys;
+                        let mut slots = v.slots;
+                        let mut strs = v.strs;
+                        slots.remove(ci);
+                        let kidx = ci.saturating_sub(1);
+                        keys.remove(kidx);
+                        if is_str {
+                            strs.remove(kidx);
+                        }
+                        if keys.is_empty() {
+                            return Ok(Rm::Replaced(slots[0]));
+                        }
+                        return Ok(Rm::Replaced(self.build(t, false, &keys, &slots, &strs)?));
+                    }
+                }
+            }
+            Ok(Rm::NotFound)
+        }
+    }
+}

@@ -1,15 +1,16 @@
 //! Tables, executor, transactions, and the two front doors (SQL strings
 //! vs `DBPersistable` direct calls).
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fmt;
+use std::ops::Bound;
 use std::sync::Arc;
 use std::time::Instant;
 
 use espresso_nvm::NvmDevice;
 use parking_lot::Mutex;
 
-use crate::sql::{parse, ColType, Statement, Value};
+use crate::sql::{parse, ColType, Predicate, Statement, Value};
 use crate::wal::{Redo, Wal};
 
 /// Errors reported by the database.
@@ -32,6 +33,8 @@ pub enum DbError {
     },
     /// A table with this name already exists.
     TableExists(String),
+    /// An index with this name already exists.
+    IndexExists(String),
     /// The write-ahead log is full.
     LogFull,
     /// The device does not hold a database image.
@@ -49,6 +52,7 @@ impl fmt::Display for DbError {
                 write!(f, "expected {expected} values, got {got}")
             }
             DbError::TableExists(t) => write!(f, "table {t} already exists"),
+            DbError::IndexExists(i) => write!(f, "index {i} already exists"),
             DbError::LogFull => write!(f, "write-ahead log is full"),
             DbError::NotADatabase => write!(f, "device does not hold a database image"),
         }
@@ -89,6 +93,9 @@ pub struct DbStats {
     pub rows_read: u64,
     /// Rows written by INSERT/UPDATE/DELETE.
     pub rows_written: u64,
+    /// SELECT predicates answered through a secondary index instead of a
+    /// full scan.
+    pub index_lookups: u64,
 }
 
 impl DbStats {
@@ -104,8 +111,18 @@ impl DbStats {
             statements: self.statements - earlier.statements,
             rows_read: self.rows_read - earlier.rows_read,
             rows_written: self.rows_written - earlier.rows_written,
+            index_lookups: self.index_lookups - earlier.index_lookups,
         }
     }
+}
+
+/// An in-memory secondary index: column value → set of primary keys.
+/// Rebuilt from the rows on WAL replay (only the definition is logged).
+#[derive(Debug, Clone)]
+struct TableIndex {
+    name: String,
+    column: usize,
+    map: BTreeMap<Value, BTreeSet<Value>>,
 }
 
 #[derive(Debug, Clone)]
@@ -113,21 +130,120 @@ struct Table {
     columns: Vec<(String, ColType)>,
     primary_key: usize,
     rows: BTreeMap<Value, Vec<Value>>,
+    indexes: Vec<TableIndex>,
 }
 
 impl Table {
+    fn new(columns: Vec<(String, ColType)>, primary_key: usize) -> Table {
+        Table {
+            columns,
+            primary_key,
+            rows: BTreeMap::new(),
+            indexes: Vec::new(),
+        }
+    }
+
     fn col_index(&self, name: &str) -> Result<usize, DbError> {
         self.columns
             .iter()
             .position(|(c, _)| c == name)
             .ok_or_else(|| DbError::NoSuchColumn(name.to_string()))
     }
+
+    fn index_on(&self, column: usize) -> Option<&TableIndex> {
+        self.indexes.iter().find(|ix| ix.column == column)
+    }
+
+    /// Defines (and backfills) a secondary index over `column`.
+    fn add_index(&mut self, name: String, column: usize) {
+        let mut ix = TableIndex {
+            name,
+            column,
+            map: BTreeMap::new(),
+        };
+        for row in self.rows.values() {
+            ix.map
+                .entry(row[column].clone())
+                .or_default()
+                .insert(row[self.primary_key].clone());
+        }
+        self.indexes.push(ix);
+    }
+
+    fn index_add(&mut self, row: &[Value]) {
+        let pk = &row[self.primary_key];
+        for ix in &mut self.indexes {
+            ix.map
+                .entry(row[ix.column].clone())
+                .or_default()
+                .insert(pk.clone());
+        }
+    }
+
+    fn index_remove(&mut self, row: &[Value]) {
+        let pk = &row[self.primary_key];
+        for ix in &mut self.indexes {
+            if let Some(set) = ix.map.get_mut(&row[ix.column]) {
+                set.remove(pk);
+                if set.is_empty() {
+                    ix.map.remove(&row[ix.column]);
+                }
+            }
+        }
+    }
+
+    /// Inserts or replaces a row (keyed by its own primary-key column),
+    /// keeping every secondary index in step. All row mutation funnels
+    /// through here and [`erase_row`](Self::erase_row) so no code path
+    /// can leave an index stale.
+    fn store_row(&mut self, row: Vec<Value>) {
+        let key = row[self.primary_key].clone();
+        if let Some(old) = self.rows.remove(&key) {
+            self.index_remove(&old);
+        }
+        self.index_add(&row);
+        self.rows.insert(key, row);
+    }
+
+    /// Removes a row by primary key, keeping every secondary index in
+    /// step.
+    fn erase_row(&mut self, key: &Value) -> Option<Vec<Value>> {
+        let old = self.rows.remove(key)?;
+        self.index_remove(&old);
+        Some(old)
+    }
 }
 
 enum Undo {
     DropTable(String),
+    DropIndex(String, String),
     RemoveRow(String, Value),
     RestoreRow(String, Value, Vec<Value>),
+}
+
+/// Applies one undo record against the in-memory tables.
+fn apply_undo(tables: &mut HashMap<String, Table>, op: Undo) {
+    match op {
+        Undo::DropTable(name) => {
+            tables.remove(&name);
+        }
+        Undo::DropIndex(table, name) => {
+            if let Some(t) = tables.get_mut(&table) {
+                t.indexes.retain(|ix| ix.name != name);
+            }
+        }
+        Undo::RemoveRow(table, key) => {
+            if let Some(t) = tables.get_mut(&table) {
+                t.erase_row(&key);
+            }
+        }
+        Undo::RestoreRow(table, key, row) => {
+            if let Some(t) = tables.get_mut(&table) {
+                debug_assert_eq!(row[t.primary_key], key);
+                t.store_row(row);
+            }
+        }
+    }
 }
 
 struct Inner {
@@ -331,29 +447,33 @@ fn apply_redo(tables: &mut HashMap<String, Table>, record: Redo) {
             columns,
             primary_key,
         } => {
-            tables.insert(
-                name,
-                Table {
-                    columns,
-                    primary_key,
-                    rows: BTreeMap::new(),
-                },
-            );
+            tables.insert(name, Table::new(columns, primary_key));
         }
         Redo::Insert { table, row } => {
             if let Some(t) = tables.get_mut(&table) {
-                let key = row[t.primary_key].clone();
-                t.rows.insert(key, row);
+                t.store_row(row);
             }
         }
         Redo::Update { table, key, row } => {
             if let Some(t) = tables.get_mut(&table) {
-                t.rows.insert(key, row);
+                debug_assert_eq!(row[t.primary_key], key);
+                t.store_row(row);
             }
         }
         Redo::Delete { table, key } => {
             if let Some(t) = tables.get_mut(&table) {
-                t.rows.remove(&key);
+                t.erase_row(&key);
+            }
+        }
+        Redo::CreateIndex {
+            table,
+            name,
+            column,
+        } => {
+            if let Some(t) = tables.get_mut(&table) {
+                if column < t.columns.len() && !t.indexes.iter().any(|ix| ix.name == name) {
+                    t.add_index(name, column);
+                }
             }
         }
     }
@@ -468,15 +588,27 @@ impl Connection {
         if column >= t.columns.len() {
             return Err(DbError::NoSuchColumn(format!("#{column}")));
         }
-        let rows: Vec<Vec<Value>> = t
-            .rows
-            .values()
-            .filter(|r| &r[column] == value)
-            .cloned()
-            .collect();
+        let mut used_index = false;
+        let rows: Vec<Vec<Value>> = if let Some(ix) = t.index_on(column) {
+            used_index = true;
+            ix.map
+                .get(value)
+                .into_iter()
+                .flatten()
+                .filter_map(|k| t.rows.get(k))
+                .cloned()
+                .collect()
+        } else {
+            t.rows
+                .values()
+                .filter(|r| &r[column] == value)
+                .cloned()
+                .collect()
+        };
         inner.stats.exec_ns += t0.elapsed().as_nanos() as u64;
         inner.stats.statements += 1;
         inner.stats.rows_read += rows.len() as u64;
+        inner.stats.index_lookups += u64::from(used_index);
         Ok(rows)
     }
 
@@ -506,7 +638,7 @@ impl Connection {
         for (i, v) in fields {
             new_row[*i] = v.clone();
         }
-        t.rows.insert(key.clone(), new_row.clone());
+        t.store_row(new_row.clone());
         inner.stats.exec_ns += t0.elapsed().as_nanos() as u64;
         inner.stats.statements += 1;
         inner.stats.rows_written += 1;
@@ -567,21 +699,7 @@ impl Connection {
             return;
         };
         for op in undo.into_iter().rev() {
-            match op {
-                Undo::DropTable(name) => {
-                    inner.tables.remove(&name);
-                }
-                Undo::RemoveRow(table, key) => {
-                    if let Some(t) = inner.tables.get_mut(&table) {
-                        t.rows.remove(&key);
-                    }
-                }
-                Undo::RestoreRow(table, key, row) => {
-                    if let Some(t) = inner.tables.get_mut(&table) {
-                        t.rows.insert(key, row);
-                    }
-                }
-            }
+            apply_undo(&mut inner.tables, op);
         }
     }
 }
@@ -590,8 +708,9 @@ impl Connection {
 const DEFAULT_CKPT_THRESHOLD: usize = 16 << 10;
 
 /// Serializes the whole engine state as redo records: `CreateTable` per
-/// table (which resets it on replay) followed by its rows, in
-/// deterministic (sorted) table order.
+/// table (which resets it on replay) followed by its index definitions
+/// and its rows, in deterministic (sorted) table order. Index contents
+/// are not logged — replay rebuilds them as the row records stream in.
 fn snapshot_records(tables: &HashMap<String, Table>) -> Vec<Redo> {
     let mut names: Vec<&String> = tables.keys().collect();
     names.sort();
@@ -603,6 +722,13 @@ fn snapshot_records(tables: &HashMap<String, Table>) -> Vec<Redo> {
             columns: t.columns.clone(),
             primary_key: t.primary_key,
         });
+        for ix in &t.indexes {
+            out.push(Redo::CreateIndex {
+                table: name.clone(),
+                name: ix.name.clone(),
+                column: ix.column,
+            });
+        }
         for row in t.rows.values() {
             out.push(Redo::Insert {
                 table: name.clone(),
@@ -694,6 +820,32 @@ fn maybe_checkpoint(inner: &mut Inner) {
     }
 }
 
+/// Whether a normalised range can hold no value at all (guards the
+/// `BTreeMap::range` panic on inverted bounds).
+fn range_is_empty(lo: &Bound<Value>, hi: &Bound<Value>) -> bool {
+    match (lo, hi) {
+        (Bound::Included(a), Bound::Included(b)) => a > b,
+        (Bound::Included(a), Bound::Excluded(b))
+        | (Bound::Excluded(a), Bound::Included(b))
+        | (Bound::Excluded(a), Bound::Excluded(b)) => a >= b,
+        (Bound::Unbounded, _) | (_, Bound::Unbounded) => false,
+    }
+}
+
+/// Whether `v` falls inside `[lo, hi]` — the full-scan fallback for
+/// range predicates over unindexed non-key columns.
+fn value_in_bounds(v: &Value, lo: &Bound<Value>, hi: &Bound<Value>) -> bool {
+    (match lo {
+        Bound::Unbounded => true,
+        Bound::Included(b) => v >= b,
+        Bound::Excluded(b) => v > b,
+    }) && (match hi {
+        Bound::Unbounded => true,
+        Bound::Included(b) => v <= b,
+        Bound::Excluded(b) => v < b,
+    })
+}
+
 fn pk_name(inner: &Inner, table: &str) -> crate::Result<String> {
     let t = inner
         .tables
@@ -746,21 +898,7 @@ fn run_statement(inner: &mut Inner, stmt: Statement) -> crate::Result<QueryResul
         Statement::Rollback => {
             let undo = inner.txn.take().map(|(u, _)| u).unwrap_or_default();
             for op in undo.into_iter().rev() {
-                match op {
-                    Undo::DropTable(name) => {
-                        inner.tables.remove(&name);
-                    }
-                    Undo::RemoveRow(table, key) => {
-                        if let Some(t) = inner.tables.get_mut(&table) {
-                            t.rows.remove(&key);
-                        }
-                    }
-                    Undo::RestoreRow(table, key, row) => {
-                        if let Some(t) = inner.tables.get_mut(&table) {
-                            t.rows.insert(key, row);
-                        }
-                    }
-                }
+                apply_undo(&mut inner.tables, op);
             }
             Ok(QueryResult::default())
         }
@@ -772,14 +910,9 @@ fn run_statement(inner: &mut Inner, stmt: Statement) -> crate::Result<QueryResul
             if inner.tables.contains_key(&name) {
                 Err(DbError::TableExists(name))
             } else {
-                inner.tables.insert(
-                    name.clone(),
-                    Table {
-                        columns: columns.clone(),
-                        primary_key,
-                        rows: BTreeMap::new(),
-                    },
-                );
+                inner
+                    .tables
+                    .insert(name.clone(), Table::new(columns.clone(), primary_key));
                 let undo = Undo::DropTable(name.clone());
                 let redo = Redo::CreateTable {
                     name,
@@ -806,7 +939,7 @@ fn run_statement(inner: &mut Inner, stmt: Statement) -> crate::Result<QueryResul
                 if t.rows.contains_key(&key) {
                     Err(DbError::DuplicateKey(key))
                 } else {
-                    t.rows.insert(key.clone(), values.clone());
+                    t.store_row(values.clone());
                     inner.stats.rows_written += 1;
                     let undo = Undo::RemoveRow(table.clone(), key);
                     let redo = Redo::Insert { table, row: values };
@@ -819,24 +952,88 @@ fn run_statement(inner: &mut Inner, stmt: Statement) -> crate::Result<QueryResul
                 }
             }
         }
+        Statement::CreateIndex {
+            name,
+            table,
+            column,
+        } => {
+            if inner
+                .tables
+                .values()
+                .any(|t| t.indexes.iter().any(|ix| ix.name == name))
+            {
+                Err(DbError::IndexExists(name))
+            } else {
+                let t = inner
+                    .tables
+                    .get_mut(&table)
+                    .ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
+                let ci = t.col_index(&column)?;
+                t.add_index(name.clone(), ci);
+                let undo = Undo::DropIndex(table.clone(), name.clone());
+                let redo = Redo::CreateIndex {
+                    table,
+                    name,
+                    column: ci,
+                };
+                inner.stats.exec_ns += t0.elapsed().as_nanos() as u64;
+                finish_write(inner, vec![undo], vec![redo]);
+                return Ok(QueryResult::default());
+            }
+        }
         Statement::Select { table, filter } => {
             let t = inner
                 .tables
                 .get(&table)
                 .ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
             let columns: Vec<String> = t.columns.iter().map(|(c, _)| c.clone()).collect();
+            let mut used_index = false;
             let rows: Vec<Vec<Value>> = match &filter {
-                Some((col, v)) => {
+                Some(Predicate::Eq(col, v)) => {
                     let ci = t.col_index(col)?;
                     if ci == t.primary_key {
                         t.rows.get(v).cloned().into_iter().collect()
+                    } else if let Some(ix) = t.index_on(ci) {
+                        used_index = true;
+                        ix.map
+                            .get(v)
+                            .into_iter()
+                            .flatten()
+                            .filter_map(|k| t.rows.get(k))
+                            .cloned()
+                            .collect()
                     } else {
                         t.rows.values().filter(|r| &r[ci] == v).cloned().collect()
+                    }
+                }
+                Some(Predicate::Range { column, lo, hi }) => {
+                    let ci = t.col_index(column)?;
+                    if range_is_empty(lo, hi) {
+                        Vec::new()
+                    } else if ci == t.primary_key {
+                        t.rows
+                            .range((lo.clone(), hi.clone()))
+                            .map(|(_, r)| r.clone())
+                            .collect()
+                    } else if let Some(ix) = t.index_on(ci) {
+                        used_index = true;
+                        ix.map
+                            .range((lo.clone(), hi.clone()))
+                            .flat_map(|(_, pks)| pks.iter().filter_map(|k| t.rows.get(k)))
+                            .cloned()
+                            .collect()
+                    } else {
+                        t.rows
+                            .values()
+                            .filter(|r| value_in_bounds(&r[ci], lo, hi))
+                            .cloned()
+                            .collect()
                     }
                 }
                 None => t.rows.values().cloned().collect(),
             };
             inner.stats.rows_read += rows.len() as u64;
+            inner.stats.index_lookups += u64::from(used_index);
             Ok(QueryResult {
                 affected: rows.len(),
                 columns,
@@ -881,7 +1078,7 @@ fn run_statement(inner: &mut Inner, stmt: Statement) -> crate::Result<QueryResul
                 for (i, v) in &set_idx {
                     new_row[*i] = v.clone();
                 }
-                t.rows.insert(key.clone(), new_row.clone());
+                t.store_row(new_row.clone());
                 undo.push(Undo::RestoreRow(table.clone(), key.clone(), old));
                 redo.push(Redo::Update {
                     table: table.clone(),
@@ -920,7 +1117,7 @@ fn run_statement(inner: &mut Inner, stmt: Statement) -> crate::Result<QueryResul
             let mut undo = Vec::new();
             let mut redo = Vec::new();
             for key in &keys {
-                let old = t.rows.remove(key).expect("key listed above");
+                let old = t.erase_row(key).expect("key listed above");
                 undo.push(Undo::RestoreRow(table.clone(), key.clone(), old));
                 redo.push(Redo::Delete {
                     table: table.clone(),
@@ -1349,5 +1546,200 @@ mod tests {
         setup_person(&mut conn);
         let r = conn.execute("SELECT * FROM person").unwrap();
         assert_eq!(r.columns, vec!["id", "name", "age"]);
+    }
+
+    #[test]
+    fn range_predicates_on_the_primary_key() {
+        let (_dev, _db, mut conn) = db();
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+            .unwrap();
+        for i in 0..10 {
+            conn.execute(&format!("INSERT INTO t VALUES ({i}, {})", i * 10))
+                .unwrap();
+        }
+        let r = conn
+            .execute("SELECT * FROM t WHERE id >= 3 AND id < 6")
+            .unwrap();
+        assert_eq!(
+            r.rows.iter().map(|r| r[0].clone()).collect::<Vec<_>>(),
+            vec![Value::Int(3), Value::Int(4), Value::Int(5)]
+        );
+        assert_eq!(
+            conn.execute("SELECT * FROM t WHERE id > 7")
+                .unwrap()
+                .rows
+                .len(),
+            2
+        );
+        // Inverted bounds yield an empty result, not a panic.
+        assert!(conn
+            .execute("SELECT * FROM t WHERE id > 6 AND id <= 3")
+            .unwrap()
+            .rows
+            .is_empty());
+    }
+
+    #[test]
+    fn secondary_index_serves_equality_and_range_selects() {
+        let (_dev, db, mut conn) = db();
+        setup_person(&mut conn);
+        conn.execute("INSERT INTO person VALUES (3, 'Cid', 35)")
+            .unwrap();
+        conn.execute("CREATE INDEX by_age ON person (age)").unwrap();
+        db.reset_stats();
+        let r = conn.execute("SELECT * FROM person WHERE age = 35").unwrap();
+        assert_eq!(
+            r.rows,
+            vec![vec![
+                Value::Int(3),
+                Value::Str("Cid".into()),
+                Value::Int(35)
+            ]]
+        );
+        let r = conn
+            .execute("SELECT * FROM person WHERE age >= 30 AND age < 40")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2, "ages 30 and 35");
+        assert_eq!(db.stats().index_lookups, 2, "both selects used the index");
+        // Unindexed column still answers, via the scan fallback.
+        let r = conn
+            .execute("SELECT * FROM person WHERE name >= 'B' AND name <= 'D'")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2, "Bob and Cid");
+        assert_eq!(db.stats().index_lookups, 2, "no index over name");
+    }
+
+    #[test]
+    fn index_tracks_insert_update_delete() {
+        let (_dev, db, mut conn) = db();
+        setup_person(&mut conn);
+        conn.execute("CREATE INDEX by_age ON person (age)").unwrap();
+        conn.execute("INSERT INTO person VALUES (3, 'Cid', 30)")
+            .unwrap();
+        assert_eq!(
+            conn.execute("SELECT * FROM person WHERE age = 30")
+                .unwrap()
+                .rows
+                .len(),
+            2
+        );
+        conn.execute("UPDATE person SET age = 31 WHERE id = 1")
+            .unwrap();
+        assert_eq!(
+            conn.execute("SELECT * FROM person WHERE age = 30")
+                .unwrap()
+                .rows
+                .len(),
+            1
+        );
+        assert_eq!(
+            conn.execute("SELECT * FROM person WHERE age = 31")
+                .unwrap()
+                .rows
+                .len(),
+            1
+        );
+        conn.execute("DELETE FROM person WHERE age = 31").unwrap();
+        assert!(conn
+            .execute("SELECT * FROM person WHERE age = 31")
+            .unwrap()
+            .rows
+            .is_empty());
+        assert!(db.stats().index_lookups >= 4);
+    }
+
+    #[test]
+    fn index_definition_survives_crash_and_checkpoint() {
+        let (dev, _db, mut conn) = db();
+        setup_person(&mut conn);
+        conn.execute("CREATE INDEX by_age ON person (age)").unwrap();
+        conn.execute("INSERT INTO person VALUES (3, 'Cid', 40)")
+            .unwrap();
+        dev.crash();
+        // Replay rebuilds the index over the replayed rows.
+        let db2 = Database::open(dev.clone()).unwrap();
+        let mut c2 = db2.connect();
+        db2.reset_stats();
+        assert_eq!(
+            c2.execute("SELECT * FROM person WHERE age = 40")
+                .unwrap()
+                .rows
+                .len(),
+            2
+        );
+        assert_eq!(db2.stats().index_lookups, 1);
+        // A checkpoint snapshot carries the definition across rotation.
+        assert!(db2.checkpoint());
+        c2.execute("INSERT INTO person VALUES (4, 'Dee', 40)")
+            .unwrap();
+        dev.crash();
+        let db3 = Database::open(dev).unwrap();
+        let mut c3 = db3.connect();
+        db3.reset_stats();
+        assert_eq!(
+            c3.execute("SELECT * FROM person WHERE age = 40")
+                .unwrap()
+                .rows
+                .len(),
+            3
+        );
+        assert_eq!(db3.stats().index_lookups, 1);
+        assert!(matches!(
+            c3.execute("CREATE INDEX by_age ON person (age)"),
+            Err(DbError::IndexExists(_))
+        ));
+    }
+
+    #[test]
+    fn create_index_rolls_back_with_the_transaction() {
+        let (_dev, db, mut conn) = db();
+        setup_person(&mut conn);
+        conn.execute("BEGIN").unwrap();
+        conn.execute("CREATE INDEX by_age ON person (age)").unwrap();
+        conn.execute("ROLLBACK").unwrap();
+        db.reset_stats();
+        assert_eq!(
+            conn.execute("SELECT * FROM person WHERE age = 30")
+                .unwrap()
+                .rows
+                .len(),
+            1
+        );
+        assert_eq!(db.stats().index_lookups, 0, "index definition undone");
+        // And the name is free again.
+        conn.execute("CREATE INDEX by_age ON person (age)").unwrap();
+    }
+
+    #[test]
+    fn find_rows_by_uses_the_index() {
+        let (_dev, db, mut conn) = db();
+        setup_person(&mut conn);
+        conn.execute("CREATE INDEX by_name ON person (name)")
+            .unwrap();
+        db.reset_stats();
+        let rows = conn
+            .find_rows_by("person", 1, &Value::Str("Bob".into()))
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(db.stats().index_lookups, 1);
+    }
+
+    #[test]
+    fn create_index_errors() {
+        let (_dev, _db, mut conn) = db();
+        setup_person(&mut conn);
+        assert!(matches!(
+            conn.execute("CREATE INDEX i ON ghost (x)"),
+            Err(DbError::NoSuchTable(_))
+        ));
+        assert!(matches!(
+            conn.execute("CREATE INDEX i ON person (ghost)"),
+            Err(DbError::NoSuchColumn(_))
+        ));
+        conn.execute("CREATE INDEX i ON person (age)").unwrap();
+        assert!(matches!(
+            conn.execute("CREATE INDEX i ON person (name)"),
+            Err(DbError::IndexExists(_))
+        ));
     }
 }

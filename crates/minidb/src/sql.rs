@@ -1,6 +1,7 @@
 //! SQL values, tokenizer and parser.
 
 use std::fmt;
+use std::ops::Bound;
 
 /// A column value.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -34,6 +35,84 @@ pub enum ColType {
     Text,
 }
 
+/// A comparison operator in a `WHERE` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A parsed `WHERE` clause: either a point predicate or a contiguous
+/// range over one column. `col >= lo AND col < hi` (any pair of range
+/// comparisons on the same column) is normalised into one [`Range`]
+/// during parsing.
+///
+/// [`Range`]: Predicate::Range
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `col = v`
+    Eq(String, Value),
+    /// `col < v`, `col >= v`, `col > lo AND col <= hi`, ...
+    Range {
+        /// Constrained column.
+        column: String,
+        /// Lower bound.
+        lo: Bound<Value>,
+        /// Upper bound.
+        hi: Bound<Value>,
+    },
+}
+
+impl Predicate {
+    fn from_cmp(column: String, op: CmpOp, v: Value) -> Predicate {
+        let (lo, hi) = match op {
+            CmpOp::Eq => return Predicate::Eq(column, v),
+            CmpOp::Lt => (Bound::Unbounded, Bound::Excluded(v)),
+            CmpOp::Le => (Bound::Unbounded, Bound::Included(v)),
+            CmpOp::Gt => (Bound::Excluded(v), Bound::Unbounded),
+            CmpOp::Ge => (Bound::Included(v), Bound::Unbounded),
+        };
+        Predicate::Range { column, lo, hi }
+    }
+
+    /// Conjoins another comparison: both must be range comparisons over
+    /// the same column, bounding opposite sides.
+    fn and(self, column: String, op: CmpOp, v: Value) -> Result<Predicate, String> {
+        let (
+            Predicate::Range { column: c0, lo, hi },
+            Predicate::Range {
+                lo: lo2, hi: hi2, ..
+            },
+        ) = (self, Predicate::from_cmp(column.clone(), op, v))
+        else {
+            return Err("AND supports only range comparisons (not =)".to_string());
+        };
+        if c0 != column {
+            return Err(format!("AND must constrain one column ({c0} vs {column})"));
+        }
+        fn merge(a: Bound<Value>, b: Bound<Value>, side: &str) -> Result<Bound<Value>, String> {
+            match (a, b) {
+                (Bound::Unbounded, b) => Ok(b),
+                (a, Bound::Unbounded) => Ok(a),
+                _ => Err(format!("conflicting {side} bounds in AND")),
+            }
+        }
+        Ok(Predicate::Range {
+            column: c0,
+            lo: merge(lo, lo2, "lower")?,
+            hi: merge(hi, hi2, "upper")?,
+        })
+    }
+}
+
 /// A parsed statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
@@ -53,12 +132,21 @@ pub enum Statement {
         /// One value per column.
         values: Vec<Value>,
     },
-    /// `SELECT * FROM t [WHERE col = lit]`
+    /// `CREATE INDEX name ON table (column)`
+    CreateIndex {
+        /// Index name (unique across the database).
+        name: String,
+        /// Indexed table.
+        table: String,
+        /// Indexed column.
+        column: String,
+    },
+    /// `SELECT * FROM t [WHERE col <op> lit [AND col <op> lit]]`
     Select {
         /// Table name.
         table: String,
-        /// Optional equality filter.
-        filter: Option<(String, Value)>,
+        /// Optional point or range predicate.
+        filter: Option<Predicate>,
     },
     /// `UPDATE t SET col = lit, ... WHERE col = lit`
     Update {
@@ -90,7 +178,8 @@ enum Token {
     Int(i64),
     Str(String),
     Punct(char),
-    Param, // '?'
+    Cmp(CmpOp), // '<' '<=' '>' '>=' ('=' stays a Punct for SET lists)
+    Param,      // '?'
 }
 
 fn tokenize(sql: &str) -> Result<Vec<Token>, String> {
@@ -104,6 +193,19 @@ fn tokenize(sql: &str) -> Result<Vec<Token>, String> {
             '(' | ')' | ',' | '=' | '*' | ';' => {
                 out.push(Token::Punct(c));
                 chars.next();
+            }
+            '<' | '>' => {
+                chars.next();
+                let eq = chars.peek() == Some(&'=');
+                if eq {
+                    chars.next();
+                }
+                out.push(Token::Cmp(match (c, eq) {
+                    ('<', false) => CmpOp::Lt,
+                    ('<', true) => CmpOp::Le,
+                    ('>', false) => CmpOp::Gt,
+                    _ => CmpOp::Ge,
+                }));
             }
             '?' => {
                 out.push(Token::Param);
@@ -246,6 +348,28 @@ impl<'a> Parser<'a> {
         let v = self.value()?;
         Ok((col, v))
     }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, String> {
+        match self.next()? {
+            Token::Punct('=') => Ok(CmpOp::Eq),
+            Token::Cmp(op) => Ok(*op),
+            other => Err(format!("expected comparison operator, found {other:?}")),
+        }
+    }
+
+    /// `col <op> lit [AND col <op> lit ...]`, normalised to a
+    /// [`Predicate`].
+    fn predicate(&mut self) -> Result<Predicate, String> {
+        let col = self.ident()?;
+        let op = self.cmp_op()?;
+        let mut pred = Predicate::from_cmp(col, op, self.value()?);
+        while self.try_keyword("and") {
+            let col = self.ident()?;
+            let op = self.cmp_op()?;
+            pred = pred.and(col, op, self.value()?)?;
+        }
+        Ok(pred)
+    }
 }
 
 /// Parses one statement, binding `?` placeholders from `params` in order.
@@ -263,6 +387,22 @@ pub(crate) fn parse(sql: &str, params: &[Value]) -> Result<Statement, String> {
     };
     let stmt = match p.next()? {
         Token::Ident(kw) if kw.eq_ignore_ascii_case("create") => {
+            if p.try_keyword("index") {
+                let name = p.ident()?;
+                p.keyword("on")?;
+                let table = p.ident()?;
+                p.punct('(')?;
+                let column = p.ident()?;
+                p.punct(')')?;
+                return finish(
+                    p,
+                    Statement::CreateIndex {
+                        name,
+                        table,
+                        column,
+                    },
+                );
+            }
             p.keyword("table")?;
             let name = p.ident()?;
             p.punct('(')?;
@@ -311,7 +451,7 @@ pub(crate) fn parse(sql: &str, params: &[Value]) -> Result<Statement, String> {
             p.keyword("from")?;
             let table = p.ident()?;
             let filter = if p.try_keyword("where") {
-                Some(p.filter()?)
+                Some(p.predicate()?)
             } else {
                 None
             };
@@ -349,6 +489,11 @@ pub(crate) fn parse(sql: &str, params: &[Value]) -> Result<Statement, String> {
         Token::Ident(kw) if kw.eq_ignore_ascii_case("rollback") => Statement::Rollback,
         other => return Err(format!("unexpected token {other:?}")),
     };
+    finish(p, stmt)
+}
+
+/// Accepts an optional trailing `;` and rejects anything after it.
+fn finish(mut p: Parser<'_>, stmt: Statement) -> Result<Statement, String> {
     let _ = p.try_punct(';');
     if p.peek().is_some() {
         return Err("trailing tokens after statement".to_string());
@@ -402,9 +547,68 @@ mod tests {
             p("SELECT * FROM t WHERE id = 5"),
             Statement::Select {
                 table: "t".into(),
-                filter: Some(("id".into(), Value::Int(5)))
+                filter: Some(Predicate::Eq("id".into(), Value::Int(5)))
             }
         );
+    }
+
+    #[test]
+    fn range_predicates_normalise_to_bounds() {
+        assert_eq!(
+            p("SELECT * FROM t WHERE id < 5"),
+            Statement::Select {
+                table: "t".into(),
+                filter: Some(Predicate::Range {
+                    column: "id".into(),
+                    lo: Bound::Unbounded,
+                    hi: Bound::Excluded(Value::Int(5)),
+                })
+            }
+        );
+        assert_eq!(
+            p("SELECT * FROM t WHERE id >= 2 AND id < 7"),
+            Statement::Select {
+                table: "t".into(),
+                filter: Some(Predicate::Range {
+                    column: "id".into(),
+                    lo: Bound::Included(Value::Int(2)),
+                    hi: Bound::Excluded(Value::Int(7)),
+                })
+            }
+        );
+        assert_eq!(
+            p("SELECT * FROM t WHERE name <= 'm'"),
+            Statement::Select {
+                table: "t".into(),
+                filter: Some(Predicate::Range {
+                    column: "name".into(),
+                    lo: Bound::Unbounded,
+                    hi: Bound::Included(Value::Str("m".into())),
+                })
+            }
+        );
+    }
+
+    #[test]
+    fn bad_range_conjunctions_are_rejected() {
+        assert!(parse("SELECT * FROM t WHERE a > 1 AND b < 2", &[]).is_err());
+        assert!(parse("SELECT * FROM t WHERE a > 1 AND a > 2", &[]).is_err());
+        assert!(parse("SELECT * FROM t WHERE a = 1 AND a < 2", &[]).is_err());
+    }
+
+    #[test]
+    fn create_index_parses() {
+        assert_eq!(
+            p("CREATE INDEX by_age ON person (age)"),
+            Statement::CreateIndex {
+                name: "by_age".into(),
+                table: "person".into(),
+                column: "age".into(),
+            }
+        );
+        assert!(parse("CREATE INDEX ON person (age)", &[]).is_err());
+        assert!(parse("CREATE INDEX i ON person ()", &[]).is_err());
+        assert!(parse("CREATE INDEX i ON person (a, b)", &[]).is_err());
     }
 
     #[test]

@@ -58,6 +58,12 @@ pub(crate) enum Redo {
         table: String,
         key: Value,
     },
+    /// Secondary-index definition (contents are rebuilt from the rows).
+    CreateIndex {
+        table: String,
+        name: String,
+        column: usize,
+    },
 }
 
 fn enc_u32(buf: &mut Vec<u8>, v: u32) {
@@ -167,6 +173,16 @@ impl Redo {
                 enc_str(buf, table);
                 enc_value(buf, key);
             }
+            Redo::CreateIndex {
+                table,
+                name,
+                column,
+            } => {
+                buf.push(5);
+                enc_str(buf, table);
+                enc_str(buf, name);
+                enc_u32(buf, *column as u32);
+            }
         }
     }
 
@@ -202,6 +218,16 @@ impl Redo {
                 let key = d.value();
                 let row = d.values();
                 Redo::Update { table, key, row }
+            }
+            5 => {
+                let table = d.str();
+                let name = d.str();
+                let column = d.u32() as usize;
+                Redo::CreateIndex {
+                    table,
+                    name,
+                    column,
+                }
             }
             _ => Redo::Delete {
                 table: d.str(),
@@ -400,6 +426,11 @@ mod tests {
             Redo::Delete {
                 table: "t".into(),
                 key: Value::Int(1),
+            },
+            Redo::CreateIndex {
+                table: "t".into(),
+                name: "by_n".into(),
+                column: 1,
             },
         ]
     }

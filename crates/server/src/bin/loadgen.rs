@@ -4,8 +4,13 @@
 //! ```text
 //! loadgen --addr HOST:PORT [--conns 4] [--ops 10000] [--read-pct 70]
 //!         [--keys 256] [--value-len 64] [--zipf 0.99] [--seed N]
-//!         [--check] [--shutdown]
+//!         [--scan-mix P] [--scan-limit N] [--check] [--shutdown]
 //! ```
+//!
+//! `--scan-mix P` makes P% of ops `SCAN` requests (spread across the
+//! server's shards, `--scan-limit` entries per page); scans get their
+//! own latency percentiles plus a total result count, since a scan's
+//! cost scales with how much it returns.
 //!
 //! `--check` verifies every read against a local model (per-connection
 //! disjoint keyspaces make this exact even under concurrency) and exits
@@ -23,7 +28,8 @@ use espresso_server::load::{run_load, LoadConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen --addr HOST:PORT [--conns N] [--ops N] [--read-pct P] [--keys N] \
-         [--value-len N] [--zipf THETA] [--seed N] [--check] [--shutdown]"
+         [--value-len N] [--zipf THETA] [--seed N] [--scan-mix P] [--scan-limit N] \
+         [--check] [--shutdown]"
     );
     std::process::exit(2);
 }
@@ -55,6 +61,8 @@ fn main() -> ExitCode {
             "--value-len" => config.value_len = parse(&value()),
             "--zipf" => config.zipf_theta = parse(&value()),
             "--seed" => config.seed = parse(&value()),
+            "--scan-mix" => config.scan_pct = parse(&value()),
+            "--scan-limit" => config.scan_limit = parse(&value()),
             "--check" => config.check = true,
             "--shutdown" => shutdown_after = true,
             "--help" | "-h" => usage(),
@@ -86,6 +94,12 @@ fn main() -> ExitCode {
         report.p50_us,
         report.p99_us,
     );
+    if config.scan_pct > 0 {
+        println!(
+            "scans_done={} scan_items={} scan_p50_us={} scan_p99_us={}",
+            report.scans_done, report.scan_items, report.scan_p50_us, report.scan_p99_us,
+        );
+    }
     if shutdown_after {
         match Client::connect(config.addr).and_then(|mut c| {
             c.shutdown()

@@ -4,7 +4,20 @@
 use std::io::BufWriter;
 use std::net::{TcpStream, ToSocketAddrs};
 
-use crate::protocol::{self, ProtocolError, Request, Response, Status, TxnOp};
+use crate::protocol::{self, ProtocolError, Request, Response, ScanItem, Status, TxnOp};
+
+/// Result of one [`Client::scan`] call: the key/value pairs in key
+/// order, and whether the server stopped early (`limit` or response
+/// byte budget reached) — if so, resume with `start` set just past the
+/// last returned key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanPage {
+    /// Key/value pairs, in ascending key order.
+    pub items: Vec<ScanItem>,
+    /// The range was not exhausted: more entries may follow the last
+    /// returned key.
+    pub truncated: bool,
+}
 
 /// A blocking connection to an espresso-server.
 ///
@@ -182,6 +195,38 @@ impl Client {
         let resp = self.request(&Request::Txn { ops })?;
         match resp.status {
             Status::Ok => Ok(()),
+            other => Err(unexpected(other, &resp)),
+        }
+    }
+
+    /// `SCAN shard start end limit`: the shard's keys in
+    /// `start..end` (lexicographic; an empty string is unbounded on that
+    /// side), at most `limit` entries. Keys live on the shard their
+    /// bytes hash to — to scan a range of the whole keyspace, issue one
+    /// `SCAN` per shard and merge.
+    ///
+    /// # Errors
+    ///
+    /// Protocol/socket errors; a non-`OK` status (`ERR` for an
+    /// out-of-range shard).
+    pub fn scan(
+        &mut self,
+        shard: u16,
+        start: &str,
+        end: &str,
+        limit: u32,
+    ) -> Result<ScanPage, ProtocolError> {
+        let resp = self.request(&Request::Scan {
+            shard,
+            start: start.to_string(),
+            end: end.to_string(),
+            limit,
+        })?;
+        match resp.status {
+            Status::Ok => {
+                let (truncated, items) = protocol::decode_scan_items(&resp.payload)?;
+                Ok(ScanPage { items, truncated })
+            }
             other => Err(unexpected(other, &resp)),
         }
     }

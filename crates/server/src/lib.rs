@@ -4,7 +4,8 @@
 //! This crate turns the embedded persistent heap into a small network
 //! service: a TCP server speaking a length-prefixed binary protocol
 //! (`GET`/`SET`/`DEL` on raw values, `FGET`/`FSET` on typed u64 fields,
-//! multi-key `TXN`, plus `PING`/`STATS` and admin opcodes), a blocking
+//! multi-key `TXN`, per-shard key-range `SCAN` served off a persistent
+//! secondary index, plus `PING`/`STATS` and admin opcodes), a blocking
 //! [`client::Client`], and a load generator. The full wire format is
 //! specified in `docs/PROTOCOL.md`; the serving model (group commit
 //! across connections, lock-free reads, bounded backpressure) is
@@ -26,4 +27,4 @@ pub mod load;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, KvClient};
+pub use client::{Client, KvClient, ScanPage};

@@ -1,6 +1,7 @@
 //! Load generation over the wire protocol: N client connections, a
-//! configurable read/write mix, zipfian key popularity, latency
-//! percentiles, and an optional read-your-writes `check` mode.
+//! configurable read/write/scan mix, zipfian key popularity, latency
+//! percentiles (scans tracked separately, with result counts), and an
+//! optional read-your-writes `check` mode.
 //!
 //! Used by the `loadgen` binary and by the bench harness's
 //! `server_throughput` cell. Self-contained RNG and zipf sampler — the
@@ -38,6 +39,12 @@ pub struct LoadConfig {
     pub check: bool,
     /// RNG seed (per-connection streams derive from it).
     pub seed: u64,
+    /// Percentage of operations that are `SCAN`s (0–100). Scans carve
+    /// their share out of the write fraction: reads stay at `read_pct`
+    /// of all ops. 0 keeps the op stream identical to pre-scan loadgen.
+    pub scan_pct: u8,
+    /// `SCAN` page limit per request.
+    pub scan_limit: u32,
 }
 
 impl Default for LoadConfig {
@@ -52,6 +59,8 @@ impl Default for LoadConfig {
             zipf_theta: 0.99,
             check: false,
             seed: 0x5eed_e59e_e550,
+            scan_pct: 0,
+            scan_limit: 64,
         }
     }
 }
@@ -70,10 +79,21 @@ pub struct LoadReport {
     pub check_failures: u64,
     /// Wall-clock for the whole run.
     pub elapsed: Duration,
-    /// Median per-op latency, microseconds.
+    /// Median per-op latency, microseconds (scans excluded — they are
+    /// a different animal and get their own percentiles).
     pub p50_us: u64,
     /// 99th-percentile per-op latency, microseconds.
     pub p99_us: u64,
+    /// `SCAN` requests that completed (also counted in `ops_done`).
+    pub scans_done: u64,
+    /// Total entries returned across all scans — the result-count side
+    /// of scan latency (a scan that returns 4096 entries and one that
+    /// returns 3 are not comparable without it).
+    pub scan_items: u64,
+    /// Median scan latency, microseconds (0 when no scans ran).
+    pub scan_p50_us: u64,
+    /// 99th-percentile scan latency, microseconds.
+    pub scan_p99_us: u64,
 }
 
 impl LoadReport {
@@ -142,6 +162,8 @@ struct Totals {
     busy: AtomicU64,
     errors: AtomicU64,
     check_failures: AtomicU64,
+    scans_done: AtomicU64,
+    scan_items: AtomicU64,
 }
 
 /// Runs the configured load and aggregates per-connection results.
@@ -158,9 +180,11 @@ struct Totals {
 pub fn run_load(config: &LoadConfig) -> std::io::Result<LoadReport> {
     let totals = Arc::new(Totals::default());
     let mut latencies: Vec<u64> = Vec::new();
+    let mut scan_latencies: Vec<u64> = Vec::new();
     let started = Instant::now();
     let ops_per_conn = config.ops.div_ceil(config.conns.max(1));
-    let results: Vec<std::io::Result<Vec<u64>>> = std::thread::scope(|scope| {
+    type ConnResult = std::io::Result<(Vec<u64>, Vec<u64>)>;
+    let results: Vec<ConnResult> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for conn in 0..config.conns {
             let totals = Arc::clone(&totals);
@@ -172,15 +196,18 @@ pub fn run_load(config: &LoadConfig) -> std::io::Result<LoadReport> {
             .collect()
     });
     for r in results {
-        latencies.extend(r?);
+        let (ops, scans) = r?;
+        latencies.extend(ops);
+        scan_latencies.extend(scans);
     }
     latencies.sort_unstable();
-    let pct = |p: f64| -> u64 {
-        if latencies.is_empty() {
+    scan_latencies.sort_unstable();
+    let pct = |sorted: &[u64], p: f64| -> u64 {
+        if sorted.is_empty() {
             return 0;
         }
-        let idx = ((latencies.len() as f64 * p).ceil() as usize).saturating_sub(1);
-        latencies[idx.min(latencies.len() - 1)]
+        let idx = ((sorted.len() as f64 * p).ceil() as usize).saturating_sub(1);
+        sorted[idx.min(sorted.len() - 1)]
     };
     Ok(LoadReport {
         ops_done: totals.ops_done.load(Ordering::Relaxed),
@@ -188,8 +215,12 @@ pub fn run_load(config: &LoadConfig) -> std::io::Result<LoadReport> {
         errors: totals.errors.load(Ordering::Relaxed),
         check_failures: totals.check_failures.load(Ordering::Relaxed),
         elapsed: started.elapsed(),
-        p50_us: pct(0.50),
-        p99_us: pct(0.99),
+        p50_us: pct(&latencies, 0.50),
+        p99_us: pct(&latencies, 0.99),
+        scans_done: totals.scans_done.load(Ordering::Relaxed),
+        scan_items: totals.scan_items.load(Ordering::Relaxed),
+        scan_p50_us: pct(&scan_latencies, 0.50),
+        scan_p99_us: pct(&scan_latencies, 0.99),
     })
 }
 
@@ -209,19 +240,59 @@ fn run_conn(
     conn: usize,
     ops: usize,
     totals: &Totals,
-) -> std::io::Result<Vec<u64>> {
+) -> std::io::Result<(Vec<u64>, Vec<u64>)> {
     let mut client = Client::connect(config.addr)?;
     let mut rng = Rng::new(config.seed ^ (conn as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
     let zipf = Zipf::new(config.keys_per_conn.max(1), config.zipf_theta);
+    // Shards are independent scan domains; learn the count once so scan
+    // ops can spread across them.
+    let shards = if config.scan_pct > 0 {
+        let stats = client
+            .stats()
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        stats
+            .lines()
+            .find_map(|l| l.strip_prefix("shards=")?.trim().parse::<usize>().ok())
+            .unwrap_or(1)
+            .max(1)
+    } else {
+        1
+    };
     // Expected value per key index: None = never written or deleted;
     // an entry flagged uncertain (BUSY write) is skipped by the checker.
     let mut model: HashMap<usize, (Vec<u8>, bool)> = HashMap::new();
     let mut versions: HashMap<usize, u64> = HashMap::new();
     let mut latencies = Vec::with_capacity(ops);
+    let mut scan_latencies = Vec::new();
     for _ in 0..ops {
         let key_idx = zipf.sample(&mut rng);
         let key = format!("c{conn}-k{key_idx}");
-        let is_read = rng.below(100) < usize::from(config.read_pct.min(100));
+        // One roll decides the op kind: [0, scan_pct) scans, the next
+        // read_pct band reads, the rest writes — so `scan_pct: 0` draws
+        // the exact op stream pre-scan loadgen drew from the same seed.
+        let roll = rng.below(100);
+        let is_scan = roll < usize::from(config.scan_pct.min(100));
+        let is_read = !is_scan
+            && roll < usize::from(config.scan_pct.min(100)) + usize::from(config.read_pct.min(100));
+        if is_scan {
+            let shard = rng.below(shards) as u16;
+            let op_started = Instant::now();
+            let got = client.scan(shard, "", "", config.scan_limit.max(1));
+            scan_latencies.push(op_started.elapsed().as_micros() as u64);
+            match got {
+                Ok(page) => {
+                    totals.ops_done.fetch_add(1, Ordering::Relaxed);
+                    totals.scans_done.fetch_add(1, Ordering::Relaxed);
+                    totals
+                        .scan_items
+                        .fetch_add(page.items.len() as u64, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    totals.errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            continue;
+        }
         let op_started = Instant::now();
         if is_read {
             let got = client.get(&key);
@@ -281,7 +352,7 @@ fn run_conn(
             }
         }
     }
-    Ok(latencies)
+    Ok((latencies, scan_latencies))
 }
 
 #[cfg(test)]

@@ -47,6 +47,16 @@ pub const NUM_FIELDS: usize = 8;
 /// the wire (a larger count is a malformed frame).
 pub const MAX_TXN_OPS: usize = 64;
 
+/// Largest `limit` accepted in a `SCAN` (and so the most entries one
+/// `SCAN` response can carry). A limit of 0 or above this is malformed.
+pub const MAX_SCAN: usize = 4096;
+
+/// Byte budget for the entries in one `SCAN` response. The server stops
+/// adding entries (and sets the truncated flag) before the encoded
+/// key/value list would exceed this, so a scan over large values can
+/// never approach [`MAX_FRAME`].
+pub const MAX_SCAN_BYTES: usize = 4 << 20;
+
 /// Request opcodes (the byte after the version).
 pub mod opcode {
     /// Liveness probe; empty payload, empty `OK` reply.
@@ -72,6 +82,10 @@ pub mod opcode {
     pub const FLUSHCTL: u8 = 0x09;
     /// Admin: drain, final-commit, and stop the server.
     pub const SHUTDOWN: u8 = 0x0A;
+    /// Ordered key-range scan over one shard:
+    /// `u16 shard | key? start | key? end | u32 limit` (`key?` is a key
+    /// whose length may be 0, meaning unbounded on that side).
+    pub const SCAN: u8 = 0x0B;
 }
 
 /// Sub-opcodes inside a `TXN` payload.
@@ -134,6 +148,22 @@ pub enum Request {
     /// Apply `ops` atomically. Every key must route to the same shard —
     /// shards are independent atomicity domains.
     Txn { ops: Vec<TxnOp> },
+    /// Scan shard `shard`'s keys in `start..end` order (lexicographic;
+    /// an empty bound string is unbounded on that side), returning at
+    /// most `limit` key/value pairs. Served off the shard's secondary
+    /// index through a lock-free read session.
+    Scan {
+        /// Shard to scan (shards are scanned independently — a range of
+        /// the keyspace is spread across all of them by the routing
+        /// hash).
+        shard: u16,
+        /// Inclusive lower key bound; empty = from the first key.
+        start: String,
+        /// Exclusive upper key bound; empty = through the last key.
+        end: String,
+        /// Most entries to return (`1..=MAX_SCAN`).
+        limit: u32,
+    },
     /// Server statistics snapshot.
     Stats,
     /// Pause (`true`) or resume (`false`) every shard's flush pipeline.
@@ -308,6 +338,17 @@ impl<'a> Cursor<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| ProtocolError::Malformed("key is not UTF-8"))
     }
 
+    /// A key that may be empty (`SCAN` bounds use the empty string for
+    /// "unbounded"); otherwise identical to [`key`](Self::key).
+    fn opt_key(&mut self) -> Result<String> {
+        let len = self.u16()? as usize;
+        if len > MAX_KEY {
+            return Err(ProtocolError::Malformed("key exceeds MAX_KEY"));
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtocolError::Malformed("key is not UTF-8"))
+    }
+
     fn value(&mut self) -> Result<Vec<u8>> {
         let len = self.u32()? as usize;
         if len > MAX_VALUE {
@@ -394,6 +435,18 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             for op in ops {
                 put_txn_op(&mut body, op);
             }
+        }
+        Request::Scan {
+            shard,
+            start,
+            end,
+            limit,
+        } => {
+            body.push(opcode::SCAN);
+            body.extend_from_slice(&shard.to_be_bytes());
+            put_key(&mut body, start);
+            put_key(&mut body, end);
+            body.extend_from_slice(&limit.to_be_bytes());
         }
         Request::Stats => body.push(opcode::STATS),
         Request::FlushCtl { pause } => {
@@ -484,6 +537,21 @@ pub fn decode_request(body: &[u8]) -> Result<Request> {
             }
             Request::Txn { ops }
         }
+        opcode::SCAN => {
+            let shard = c.u16()?;
+            let start = c.opt_key()?;
+            let end = c.opt_key()?;
+            let limit = c.u32()?;
+            if limit == 0 || limit as usize > MAX_SCAN {
+                return Err(ProtocolError::Malformed("scan limit out of 1..=MAX_SCAN"));
+            }
+            Request::Scan {
+                shard,
+                start,
+                end,
+                limit,
+            }
+        }
         opcode::STATS => Request::Stats,
         opcode::FLUSHCTL => Request::FlushCtl {
             pause: c.u8()? != 0,
@@ -493,6 +561,49 @@ pub fn decode_request(body: &[u8]) -> Result<Request> {
     };
     c.finish()?;
     Ok(req)
+}
+
+/// One key/value pair in a `SCAN` response.
+pub type ScanItem = (String, Vec<u8>);
+
+/// Encodes a `SCAN` `OK` payload: `u8 truncated | u32 count`, then
+/// `count` `key value` pairs in key order.
+pub fn encode_scan_items(truncated: bool, items: &[ScanItem]) -> Vec<u8> {
+    let mut out = vec![u8::from(truncated)];
+    out.extend_from_slice(&(items.len() as u32).to_be_bytes());
+    for (key, value) in items {
+        put_key(&mut out, key);
+        put_value(&mut out, value);
+    }
+    out
+}
+
+/// Decodes a `SCAN` `OK` payload back into its truncation flag and
+/// key/value pairs.
+///
+/// # Errors
+///
+/// [`ProtocolError::Malformed`] on truncation, trailing bytes, a count
+/// beyond [`MAX_SCAN`], or an out-of-bounds key/value.
+pub fn decode_scan_items(payload: &[u8]) -> Result<(bool, Vec<ScanItem>)> {
+    let mut c = Cursor::new(payload);
+    let truncated = match c.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(ProtocolError::Malformed("scan truncation flag not 0/1")),
+    };
+    let count = c.u32()? as usize;
+    if count > MAX_SCAN {
+        return Err(ProtocolError::Malformed("scan count exceeds MAX_SCAN"));
+    }
+    let mut items = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let key = c.key()?;
+        let value = c.value()?;
+        items.push((key, value));
+    }
+    c.finish()?;
+    Ok((truncated, items))
 }
 
 /// Decodes a response from a frame body (status byte + payload).
@@ -586,6 +697,18 @@ mod tests {
                     },
                 ],
             },
+            Request::Scan {
+                shard: 3,
+                start: "a".into(),
+                end: "z".into(),
+                limit: 100,
+            },
+            Request::Scan {
+                shard: 0,
+                start: String::new(),
+                end: String::new(),
+                limit: MAX_SCAN as u32,
+            },
             Request::Stats,
             Request::FlushCtl { pause: true },
             Request::FlushCtl { pause: false },
@@ -616,6 +739,49 @@ mod tests {
             let body = read_frame(&mut r).unwrap().unwrap();
             assert_eq!(decode_response(&body).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn scan_limits_are_enforced_at_decode() {
+        for limit in [0u32, MAX_SCAN as u32 + 1] {
+            let wire = encode_request(&Request::Scan {
+                shard: 0,
+                start: String::new(),
+                end: String::new(),
+                limit,
+            });
+            assert!(matches!(
+                decode_request(&wire[4..]),
+                Err(ProtocolError::Malformed(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn scan_item_payloads_roundtrip_and_reject_garbage() {
+        for (truncated, items) in [
+            (false, vec![]),
+            (true, vec![("k".to_string(), b"v".to_vec())]),
+            (
+                false,
+                vec![
+                    ("a".to_string(), Vec::new()),
+                    ("b".to_string(), vec![0, 255, 7]),
+                ],
+            ),
+        ] {
+            let wire = encode_scan_items(truncated, &items);
+            assert_eq!(decode_scan_items(&wire).unwrap(), (truncated, items));
+        }
+        // Truncations and trailing garbage are errors, never panics.
+        let wire = encode_scan_items(true, &[("key".to_string(), vec![1, 2, 3])]);
+        for cut in 0..wire.len() {
+            assert!(decode_scan_items(&wire[..cut]).is_err());
+        }
+        let mut extended = wire;
+        extended.push(0);
+        assert!(decode_scan_items(&extended).is_err());
+        assert!(decode_scan_items(&[2]).is_err(), "bad truncation flag");
     }
 
     #[test]

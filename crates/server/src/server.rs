@@ -31,10 +31,22 @@
 //!
 //! Every key owns one persistent [`KvEntry`] object in the shard the key
 //! hashes to, published under the key in that shard's root table. The
-//! entry's schema has two typed fields: `data` (a u64 array packing the
-//! raw value bytes) and `fields` ([`NUM_FIELDS`] u64 slots addressed by
-//! `FGET`/`FSET`). `DEL` unpublishes the root; the entry becomes garbage
-//! for the shard's GC.
+//! entry's schema has three typed fields: `data` (a u64 array packing
+//! the raw value bytes), `fields` ([`NUM_FIELDS`] u64 slots addressed by
+//! `FGET`/`FSET`), and `key` (the entry's own key string, the field the
+//! shard's secondary index is declared over). `DEL` unpublishes the root
+//! and removes the index entry; the entry becomes garbage for the
+//! shard's GC.
+//!
+//! # Range scans
+//!
+//! Each shard maintains one persistent [`Index`] (`espresso-index`
+//! B-tree) named `kv` over the `key` field. Every write keeps it in
+//! step **inside the same undo-logged transaction** as the entry
+//! mutation — an abort (or crash) rolls back both together. `SCAN`
+//! walks one shard's index through the same lock-free read sessions as
+//! `GET`, so scans are never answered `BUSY` and always observe a
+//! consistent tree snapshot.
 
 use std::collections::{HashMap, VecDeque};
 use std::io::BufWriter;
@@ -45,17 +57,23 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use espresso_core::{
-    CommitState, CommitTicket, HeapHandle, HeapManager, LoadOptions, PjhConfig, PjhError,
+    CommitState, CommitTicket, HeapHandle, HeapManager, HeapTxn, LoadOptions, PjhConfig, PjhError,
     ShardedHeap,
 };
-use espresso_object::{ArrFld, PArr, PObject, PRef, Schema};
+use espresso_index::{Index, Key};
+use espresso_object::{ArrFld, PArr, PObject, PRef, Schema, StrFld};
 
 use crate::protocol::{
-    self, Request, Response, Status, TxnOp, MAX_KEY, MAX_VALUE, NUM_FIELDS, PROTOCOL_VERSION,
+    self, Request, Response, Status, TxnOp, MAX_KEY, MAX_SCAN_BYTES, MAX_VALUE, NUM_FIELDS,
+    PROTOCOL_VERSION,
 };
 
+/// Name of the per-shard secondary index over [`KvEntry`]'s `key` field.
+pub const KV_INDEX: &str = "kv";
+
 /// The persistent object behind every key: raw value bytes in `data`,
-/// [`NUM_FIELDS`] typed u64 slots in `fields`.
+/// [`NUM_FIELDS`] typed u64 slots in `fields`, and the entry's own key
+/// string in `key` (the indexed field backing `SCAN`).
 pub struct KvEntry;
 
 impl PObject for KvEntry {
@@ -64,6 +82,7 @@ impl PObject for KvEntry {
         Schema::builder(Self::CLASS_NAME)
             .array_field("data")
             .array_field("fields")
+            .str_field("key")
             .build()
     }
 }
@@ -329,6 +348,7 @@ struct Counters {
     fgets: AtomicU64,
     fsets: AtomicU64,
     txns: AtomicU64,
+    scans: AtomicU64,
     stats: AtomicU64,
     busy: AtomicU64,
     errors: AtomicU64,
@@ -346,6 +366,10 @@ struct Inner {
     /// shard because the schema is).
     data_fld: ArrFld<KvEntry>,
     fields_fld: ArrFld<KvEntry>,
+    key_fld: StrFld<KvEntry>,
+    /// Per-shard secondary index over the `key` field (DRAM handles; the
+    /// trees themselves live in the shard heaps and survive restarts).
+    indexes: Vec<Index<KvEntry>>,
     config: ServerConfig,
     counters: Counters,
     started: Instant,
@@ -420,8 +444,12 @@ impl Server {
         };
         // Register the entry schema on every shard up front: validates
         // persisted fingerprints on reopen, and publishes the klass into
-        // each shard's read replica before the first GET.
+        // each shard's read replica before the first GET. The per-shard
+        // `kv` index over the `key` field is opened (or created, on a
+        // fresh shard) in the same pass, so every write path below can
+        // assume it exists.
         let mut fld = None;
+        let mut indexes = Vec::with_capacity(heap.num_shards());
         for i in 0..heap.num_shards() {
             let class = heap
                 .handle(i)
@@ -430,10 +458,16 @@ impl Server {
             if fld.is_none() {
                 let data = class.arr_field("data").expect("declared field");
                 let fields = class.arr_field("fields").expect("declared field");
-                fld = Some((data, fields));
+                let key = class.str_field("key").expect("declared field");
+                fld = Some((data, fields, key));
             }
+            indexes.push(
+                heap.handle(i)
+                    .with_mut(|h| Index::<KvEntry>::open_or_create(h, KV_INDEX, "key"))
+                    .map_err(ServerError::Heap)?,
+            );
         }
-        let (data_fld, fields_fld) = fld.expect("at least one shard");
+        let (data_fld, fields_fld, key_fld) = fld.expect("at least one shard");
         let committers = (0..heap.num_shards())
             .map(|_| GroupCommitter::new())
             .collect();
@@ -446,6 +480,8 @@ impl Server {
             committers,
             data_fld,
             fields_fld,
+            key_fld,
+            indexes,
             config,
             counters: Counters::default(),
             started: Instant::now(),
@@ -650,6 +686,15 @@ fn handle_request(inner: &Arc<Inner>, req: Request) -> (Response, bool) {
             c.txns.fetch_add(1, Ordering::Relaxed);
             op_txn(inner, &ops)
         }
+        Request::Scan {
+            shard,
+            start,
+            end,
+            limit,
+        } => {
+            c.scans.fetch_add(1, Ordering::Relaxed);
+            op_scan(inner, shard, &start, &end, limit)
+        }
         Request::Stats => {
             c.stats.fetch_add(1, Ordering::Relaxed);
             Response::ok(render_stats(inner).into_bytes())
@@ -792,25 +837,47 @@ fn alloc_value_arr(h: &mut espresso_core::Pjh, value: &[u8]) -> Result<PArr, Pjh
     Ok(arr)
 }
 
+/// Allocates one fresh [`KvEntry`] for `key` inside `t`: fields array,
+/// back-pointer `key` string, and the shard index entry, all in the one
+/// transaction. The entry's own stores are unlogged init stores (it is
+/// transaction-fresh and unreachable until published), so the log cost
+/// is exactly the index insert's two records — which is what keeps a
+/// full [`protocol::MAX_TXN_OPS`]-op transaction inside the bounded
+/// undo log. The entry is flushed here; the caller publishes it after
+/// the transaction commits.
+fn create_entry(
+    inner: &Inner,
+    t: &mut HeapTxn<'_>,
+    idx: &Index<KvEntry>,
+    key: &str,
+) -> Result<PRef<KvEntry>, PjhError> {
+    let entry = t.alloc::<KvEntry>()?;
+    let fields = t.alloc_arr(NUM_FIELDS)?;
+    t.init_field_ref(entry.raw(), inner.fields_fld.index(), fields.raw())?;
+    let key_str = t.alloc_string(key)?;
+    t.init_field_ref(entry.raw(), inner.key_fld.index(), key_str)?;
+    // Init stores are volatile: persist the entry before the index
+    // insert's logged root swap can make it reachable.
+    t.heap().flush(entry);
+    idx.insert(t, &Key::Str(key.to_string()), entry)?;
+    Ok(entry)
+}
+
 fn op_set(inner: &Arc<Inner>, key: &str, value: &[u8]) -> Result<Response, PjhError> {
-    let handle = inner.heap.handle_for(key);
+    let shard = inner.heap.shard_of(key);
+    let handle = inner.heap.handle(shard);
+    let idx = &inner.indexes[shard];
     with_gc_retry(handle, |h| {
         let arr = alloc_value_arr(h, value)?;
         let (entry, fresh) = {
             let data_fld = inner.data_fld;
-            let fields_fld = inner.fields_fld;
-            // The transaction itself only allocates the entry (if new)
-            // and relinks `data` — a couple of logged stores, however
-            // large the value.
+            // The transaction itself only allocates the entry (if new,
+            // with its index insert) and relinks `data` — a few logged
+            // stores, however large the value.
             h.txn(|t| {
                 let (entry, fresh) = match t.root::<KvEntry>(key)? {
                     Some(entry) => (entry, false),
-                    None => {
-                        let entry = t.alloc::<KvEntry>()?;
-                        let fields = t.alloc_arr(NUM_FIELDS)?;
-                        t.set_arr(entry, fields_fld, Some(fields))?;
-                        (entry, true)
-                    }
+                    None => (create_entry(inner, t, idx, key)?, true),
                 };
                 t.set_arr(entry, data_fld, Some(arr))?;
                 Ok((entry, fresh))
@@ -828,18 +895,15 @@ fn op_set(inner: &Arc<Inner>, key: &str, value: &[u8]) -> Result<Response, PjhEr
 }
 
 fn op_fset(inner: &Arc<Inner>, key: &str, index: u8, value: u64) -> Result<Response, PjhError> {
-    let handle = inner.heap.handle_for(key);
+    let shard = inner.heap.shard_of(key);
+    let handle = inner.heap.handle(shard);
+    let idx = &inner.indexes[shard];
     with_gc_retry(handle, |h| {
         let fields_fld = inner.fields_fld;
         let (entry, fresh) = h.txn(|t| {
             let (entry, fresh) = match t.root::<KvEntry>(key)? {
                 Some(entry) => (entry, false),
-                None => {
-                    let entry = t.alloc::<KvEntry>()?;
-                    let fields = t.alloc_arr(NUM_FIELDS)?;
-                    t.set_arr(entry, fields_fld, Some(fields))?;
-                    (entry, true)
-                }
+                None => (create_entry(inner, t, idx, key)?, true),
             };
             let fields = t
                 .get_arr(entry, fields_fld)
@@ -859,11 +923,83 @@ fn op_del(inner: &Arc<Inner>, key: &str) -> Response {
     if let Some(busy) = admission_check(inner, shard) {
         return busy;
     }
-    let existed = inner.heap.handle(shard).with_mut(|h| h.remove_root(key));
-    if !existed {
-        return Response::status(Status::NotFound);
+    let idx = &inner.indexes[shard];
+    // The index entry is removed in a transaction, then the root is
+    // unpublished — both inside one write session, so no commit epoch
+    // can seal between them. Root-table updates are not undo-logged, so
+    // a crash exactly between the two leaves the key readable but
+    // unscannable until deleted again; it can never leave the index
+    // pointing at reclaimed storage (index references keep entries
+    // live).
+    let removed = with_gc_retry(inner.heap.handle(shard), |h| {
+        let Some(entry) = h.root::<KvEntry>(key)? else {
+            return Ok(false);
+        };
+        h.txn(|t| idx.remove(t, &Key::Str(key.to_string()), entry).map(|_| ()))?;
+        h.remove_root(key);
+        Ok(true)
+    });
+    match removed {
+        Ok(false) => Response::status(Status::NotFound),
+        Ok(true) => ack_durable(inner, shard, Response::status(Status::Ok)),
+        Err(e) => Response::err(e.to_string()),
     }
-    ack_durable(inner, shard, Response::status(Status::Ok))
+}
+
+fn op_scan(inner: &Arc<Inner>, shard: u16, start: &str, end: &str, limit: u32) -> Response {
+    use std::ops::Bound;
+    let shard = usize::from(shard);
+    if shard >= inner.heap.num_shards() {
+        return Response::err(format!(
+            "shard {shard} out of range (0..{})",
+            inner.heap.num_shards()
+        ));
+    }
+    // Same lock-free read path as GET: the session pins a consistent
+    // snapshot of the shard, and every index node reachable from the
+    // root published at pin time is immutable.
+    let session = inner.heap.handle(shard).read();
+    let lo = if start.is_empty() {
+        Bound::Unbounded
+    } else {
+        Bound::Included(Key::Str(start.to_string()))
+    };
+    let hi = if end.is_empty() {
+        Bound::Unbounded
+    } else {
+        Bound::Excluded(Key::Str(end.to_string()))
+    };
+    let iter = match inner.indexes[shard].range(&session, (lo, hi)) {
+        Ok(it) => it,
+        Err(e) => return Response::err(e.to_string()),
+    };
+    let mut items: Vec<protocol::ScanItem> = Vec::new();
+    let mut bytes = 0usize;
+    let mut truncated = false;
+    for (key, entry) in iter {
+        let Key::Str(key) = key else {
+            return Response::err("kv index key is not a string".to_string());
+        };
+        // Field-only entries (FSET with no SET) hold no value and are
+        // skipped, exactly as GET answers NOT_FOUND for them.
+        let Some(data) = session.get_arr(entry, inner.data_fld) else {
+            continue;
+        };
+        let len = session.arr_get(data, 0) as usize;
+        if items.len() >= limit as usize || bytes + key.len() + len > MAX_SCAN_BYTES {
+            truncated = true;
+            break;
+        }
+        let mut value = Vec::with_capacity(len);
+        for i in 0..len.div_ceil(8) {
+            let word = session.arr_get(data, 1 + i).to_le_bytes();
+            let take = (len - i * 8).min(8);
+            value.extend_from_slice(&word[..take]);
+        }
+        bytes += key.len() + value.len();
+        items.push((key, value));
+    }
+    Response::ok(protocol::encode_scan_items(truncated, &items))
 }
 
 fn op_txn(inner: &Arc<Inner>, ops: &[TxnOp]) -> Response {
@@ -897,6 +1033,7 @@ fn op_txn(inner: &Arc<Inner>, ops: &[TxnOp]) -> Response {
     let handle = inner.heap.handle(shard);
     let data_fld = inner.data_fld;
     let fields_fld = inner.fields_fld;
+    let idx = &inner.indexes[shard];
     let applied = with_gc_retry(handle, |h| {
         // All object mutations run inside one undo-logged transaction;
         // the net root change per key is staged and applied right after
@@ -922,8 +1059,12 @@ fn op_txn(inner: &Arc<Inner>, ops: &[TxnOp]) -> Response {
             let mut next_arr = value_arrs.iter();
             // The entry an upsert op targets: the staged view of the key
             // if an earlier op touched it (`None` = staged-deleted, so a
-            // fresh entry is required), else the published root.
-            let resolve = |t: &mut espresso_core::HeapTxn<'_>,
+            // fresh entry is required), else the published root. Fresh
+            // entries are index-inserted on creation; `Del` removes the
+            // current entry (staged or published) from the index — so
+            // the index mutations mirror the ops in order and the log
+            // cost stays at most three records per op.
+            let resolve = |t: &mut HeapTxn<'_>,
                            staged: &mut HashMap<String, Option<PRef<KvEntry>>>,
                            key: &String|
              -> Result<PRef<KvEntry>, PjhError> {
@@ -934,9 +1075,7 @@ fn op_txn(inner: &Arc<Inner>, ops: &[TxnOp]) -> Response {
                 if let Some(entry) = current {
                     return Ok(entry);
                 }
-                let entry = t.alloc::<KvEntry>()?;
-                let fields = t.alloc_arr(NUM_FIELDS)?;
-                t.set_arr(entry, fields_fld, Some(fields))?;
+                let entry = create_entry(inner, t, idx, key)?;
                 staged.insert(key.clone(), Some(entry));
                 Ok(entry)
             };
@@ -948,6 +1087,13 @@ fn op_txn(inner: &Arc<Inner>, ops: &[TxnOp]) -> Response {
                         t.set_arr(entry, data_fld, Some(arr))?;
                     }
                     TxnOp::Del { key } => {
+                        let current = match staged.get(key) {
+                            Some(view) => *view,
+                            None => t.root::<KvEntry>(key)?,
+                        };
+                        if let Some(entry) = current {
+                            idx.remove(t, &Key::Str(key.clone()), entry)?;
+                        }
                         staged.insert(key.clone(), None);
                     }
                     TxnOp::FSet { key, index, value } => {
@@ -1026,6 +1172,7 @@ fn render_stats(inner: &Arc<Inner>) -> String {
         ("ops_fget", &c.fgets),
         ("ops_fset", &c.fsets),
         ("ops_txn", &c.txns),
+        ("ops_scan", &c.scans),
         ("ops_stats", &c.stats),
         ("busy", &c.busy),
         ("errors", &c.errors),
@@ -1043,9 +1190,11 @@ fn render_stats(inner: &Arc<Inner>) -> String {
     let _ = writeln!(out, "group_acked={acked}");
     for i in 0..inner.heap.num_shards() {
         let h = inner.heap.handle(i);
+        let index_len = inner.indexes[i].len(&h.read()).unwrap_or(0);
         let _ = writeln!(
             out,
-            "shard{i}.sealed={} shard{i}.durable={} shard{i}.pending={} shard{i}.flush_paused={}",
+            "shard{i}.sealed={} shard{i}.durable={} shard{i}.pending={} shard{i}.flush_paused={} \
+             shard{i}.index_len={index_len}",
             h.sealed_epoch(),
             h.durable_epoch(),
             h.pending_commits(),

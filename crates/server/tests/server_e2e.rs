@@ -156,6 +156,81 @@ fn txn_is_atomic_within_a_shard_and_rejects_cross_shard_key_sets() {
 }
 
 #[test]
+fn scan_serves_ordered_ranges_over_the_index() {
+    let handle = start(ServerConfig {
+        shards: 1,
+        shard_bytes: 8 << 20,
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(handle.addr()).expect("connect");
+
+    for k in ["delta", "alpha", "echo", "bravo", "charlie"] {
+        c.set(k, k.to_uppercase().as_bytes()).unwrap();
+    }
+    // Full scan: every key, ascending, values intact.
+    let page = c.scan(0, "", "", 100).unwrap();
+    assert!(!page.truncated);
+    let got: Vec<&str> = page.items.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(got, ["alpha", "bravo", "charlie", "delta", "echo"]);
+    assert_eq!(page.items[0].1, b"ALPHA");
+
+    // Half-open range [bravo, delta).
+    let page = c.scan(0, "bravo", "delta", 100).unwrap();
+    let got: Vec<&str> = page.items.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(got, ["bravo", "charlie"]);
+
+    // A limit pages through the range; resuming just past the last
+    // returned key continues without overlap or gaps.
+    let first = c.scan(0, "", "", 2).unwrap();
+    assert!(first.truncated);
+    assert_eq!(first.items.len(), 2);
+    let resume = format!("{}\0", first.items[1].0);
+    let rest = c.scan(0, &resume, "", 100).unwrap();
+    assert!(!rest.truncated);
+    assert_eq!(first.items.len() + rest.items.len(), 5);
+
+    // Field-only entries hold no value and are skipped, mirroring GET.
+    c.fset("fields-only", 0, 9).unwrap();
+    let page = c.scan(0, "", "", 100).unwrap();
+    assert!(page.items.iter().all(|(k, _)| k != "fields-only"));
+
+    // DEL removes a key from scans; a TXN's Del+Set of one key keeps it
+    // visible with the new value, and its plain Del hides the key.
+    assert!(c.del("charlie").unwrap());
+    let page = c.scan(0, "", "", 100).unwrap();
+    assert!(page.items.iter().all(|(k, _)| k != "charlie"));
+    c.txn(vec![
+        TxnOp::Del {
+            key: "alpha".into(),
+        },
+        TxnOp::Set {
+            key: "alpha".into(),
+            value: b"reborn".to_vec(),
+        },
+        TxnOp::Del {
+            key: "bravo".into(),
+        },
+    ])
+    .unwrap();
+    let page = c.scan(0, "", "", 100).unwrap();
+    let got: Vec<&str> = page.items.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(got, ["alpha", "delta", "echo"]);
+    assert_eq!(page.items[0].1, b"reborn");
+
+    // Out-of-range shards are well-formed errors, not hangs or panics.
+    assert!(c.scan(9, "", "", 10).is_err());
+
+    let stats = c.stats().unwrap();
+    assert!(stats.contains("ops_scan="), "stats:\n{stats}");
+    // 4 = alpha, delta, echo, plus the field-only entry (indexed even
+    // though scans skip it for holding no value).
+    assert!(stats.contains("shard0.index_len=4"), "stats:\n{stats}");
+
+    c.shutdown().unwrap();
+    handle.wait();
+}
+
+#[test]
 fn paused_flush_pipeline_yields_busy_and_reads_keep_flowing() {
     let handle = start(ServerConfig {
         shards: 2,
@@ -186,11 +261,15 @@ fn paused_flush_pipeline_yields_busy_and_reads_keep_flowing() {
     }
     assert!(saw_busy > 0, "paused pipeline never answered BUSY");
 
-    // Lock-free reads ride through the pause.
+    // Lock-free reads — point lookups and index scans — ride through
+    // the pause.
     assert_eq!(
         c.get("stable").unwrap().as_deref(),
         Some(&b"before-pause"[..])
     );
+    let shard = handle.heap().shard_of("stable") as u16;
+    let page = c.scan(shard, "", "", 10).unwrap();
+    assert!(page.items.iter().any(|(k, _)| k == "stable"));
 
     // Resume: writes become durable again (retry the admission window).
     c.flushctl(false).unwrap();
@@ -277,6 +356,53 @@ fn data_survives_a_server_restart_on_a_persistent_dir() {
         Some(&b"survives restarts"[..])
     );
     assert_eq!(c.fget("persistent", 2).unwrap(), Some(777));
+    // The secondary index is persistent state too: scans work on the
+    // reopened heap without any rebuild.
+    let mut scanned = Vec::new();
+    for shard in 0..2 {
+        scanned.extend(c.scan(shard, "", "", 10).unwrap().items);
+    }
+    assert_eq!(
+        scanned,
+        vec![("persistent".to_string(), b"survives restarts".to_vec())]
+    );
     handle.stop_and_wait();
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn loadgen_scan_mix_reports_scan_latencies() {
+    use espresso_server::load::{run_load, LoadConfig};
+
+    let handle = start(small());
+    let report = run_load(&LoadConfig {
+        addr: handle.addr(),
+        conns: 2,
+        ops: 400,
+        read_pct: 50,
+        keys_per_conn: 32,
+        value_len: 24,
+        zipf_theta: 0.0,
+        check: true,
+        scan_pct: 20,
+        scan_limit: 16,
+        ..LoadConfig::default()
+    })
+    .expect("load run");
+    assert_eq!(report.errors, 0, "report: {report:?}");
+    assert_eq!(report.check_failures, 0, "report: {report:?}");
+    // ~20% of 400 ops scan; the band is wide because the mix is drawn.
+    assert!(
+        report.scans_done > 30 && report.scans_done < 150,
+        "scans_done = {}",
+        report.scans_done
+    );
+    // Writes happened before most scans, so result sets are non-empty
+    // and capped by the page limit.
+    assert!(report.scan_items > 0, "report: {report:?}");
+    assert!(report.scan_p99_us >= report.scan_p50_us);
+
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    c.shutdown().unwrap();
+    handle.wait();
 }

@@ -20,6 +20,10 @@
 //! * `del` removes the whole entry — value and fields.
 //! * `txn` applies its parts to one key in order, atomically: `Del` then
 //!   `Set` leaves a fresh entry; `Set` then `Del` leaves the key gone.
+//! * `scan` answers the keys in `[start, end)` by lexicographic name
+//!   (an empty bound is unbounded on that side) in ascending order, at
+//!   most `limit` of them, **skipping valueless entries** — exactly the
+//!   server `SCAN` semantics, so one trace's scans converge everywhere.
 
 use crate::trace::TxnPart;
 use crate::{WorkloadError, NUM_FIELDS};
@@ -125,6 +129,16 @@ pub trait Backend {
     /// Applies parts to one key, in order, atomically.
     fn txn(&mut self, key: u32, parts: &[TxnPart]) -> Result<(), WorkloadError>;
 
+    /// Range scan: entries whose key name lies in `[start, end)`
+    /// (lexicographic; an empty string is unbounded on that side), in
+    /// ascending key order, at most `limit`, valueless entries skipped.
+    fn scan(
+        &mut self,
+        start: &str,
+        end: &str,
+        limit: u32,
+    ) -> Result<Vec<(String, Vec<u8>)>, WorkloadError>;
+
     /// Seals a commit epoch; `wait` blocks until it is durable.
     /// Always-durable backends treat this as a no-op.
     fn commit(&mut self, wait: bool) -> Result<(), WorkloadError>;
@@ -200,4 +214,70 @@ pub fn state_digest(backend: &mut dyn Backend, key_space: u32) -> Result<u64, Wo
         }
     }
     Ok(h)
+}
+
+/// Running digest over every scan result set a replay observes.
+///
+/// The final-state digest alone cannot tell whether two backends *saw*
+/// the same ranges mid-replay — a backend whose scans return garbage but
+/// whose writes land would still converge. This folds each scan's query
+/// (bounds and limit) and its full result list (keys and values, length-
+/// prefixed) into one FNV-1a stream, so the matrix comparison also proves
+/// every intermediate range observation agreed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanDigest {
+    h: u64,
+    scans: u64,
+}
+
+impl Default for ScanDigest {
+    fn default() -> ScanDigest {
+        ScanDigest::new()
+    }
+}
+
+impl ScanDigest {
+    /// An empty accumulator (no scans observed yet).
+    pub fn new() -> ScanDigest {
+        ScanDigest {
+            h: FNV_OFFSET,
+            scans: 0,
+        }
+    }
+
+    /// Folds one scan — its query and its result set — into the digest.
+    pub fn fold(&mut self, start: &str, end: &str, limit: u32, items: &[(String, Vec<u8>)]) {
+        self.scans += 1;
+        feed(&mut self.h, &(start.len() as u32).to_be_bytes());
+        feed(&mut self.h, start.as_bytes());
+        feed(&mut self.h, &(end.len() as u32).to_be_bytes());
+        feed(&mut self.h, end.as_bytes());
+        feed(&mut self.h, &limit.to_be_bytes());
+        feed(&mut self.h, &(items.len() as u32).to_be_bytes());
+        for (key, value) in items {
+            feed(&mut self.h, &(key.len() as u32).to_be_bytes());
+            feed(&mut self.h, key.as_bytes());
+            feed(&mut self.h, &(value.len() as u32).to_be_bytes());
+            feed(&mut self.h, value);
+        }
+    }
+
+    /// Number of scans folded so far.
+    pub fn scans(&self) -> u64 {
+        self.scans
+    }
+
+    /// Combines a final-state digest with the accumulated scan digest.
+    /// With no scans folded this is `state` unchanged, so scan-free
+    /// replays (and every pre-v2 trace) keep their historical digests.
+    pub fn combined(&self, state: u64) -> u64 {
+        if self.scans == 0 {
+            return state;
+        }
+        let mut h = FNV_OFFSET;
+        feed(&mut h, &state.to_be_bytes());
+        feed(&mut h, &self.scans.to_be_bytes());
+        feed(&mut h, &self.h.to_be_bytes());
+        h
+    }
 }

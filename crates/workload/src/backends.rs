@@ -256,6 +256,35 @@ fn raw_txn(
     Ok(())
 }
 
+/// Generic range scan for the embedded adapters: probes every key index
+/// through the backend's own `get` (so the valueless-entry rule falls out
+/// of `get`'s contract), filters by lexicographic name bounds, sorts, and
+/// truncates. O(key_space) per scan — scenarios are CI-scale by
+/// construction ([`crate::scenario::MAX_KEY_SPACE`]), and the point of
+/// these adapters is semantic ground truth, not scan throughput; the
+/// server adapter is the one that exercises the real index path.
+fn probe_scan<B: Backend + ?Sized>(
+    backend: &mut B,
+    key_space: u32,
+    start: &str,
+    end: &str,
+    limit: u32,
+) -> Result<Vec<(String, Vec<u8>)>, WorkloadError> {
+    let mut items = Vec::new();
+    for key in 0..key_space {
+        let name = key_name(key);
+        if name.as_str() < start || (!end.is_empty() && name.as_str() >= end) {
+            continue;
+        }
+        if let Some(value) = backend.get(key)? {
+            items.push((name, value));
+        }
+    }
+    items.sort();
+    items.truncate(limit as usize);
+    Ok(items)
+}
+
 // ---- raw backend ----
 
 /// Word-level `Pjh` adapter on one managed heap.
@@ -354,6 +383,16 @@ impl Backend for RawBackend {
         )
     }
 
+    fn scan(
+        &mut self,
+        start: &str,
+        end: &str,
+        limit: u32,
+    ) -> Result<Vec<(String, Vec<u8>)>, WorkloadError> {
+        let key_space = self.key_space;
+        probe_scan(self, key_space, start, end, limit)
+    }
+
     fn commit(&mut self, wait: bool) -> Result<(), WorkloadError> {
         let ticket = self.handle().commit().map_err(pjh_err)?;
         if wait {
@@ -389,7 +428,6 @@ impl Backend for RawBackend {
             .load(HEAP_NAME, LoadOptions::default())
             .map_err(pjh_err)?;
         let (kid_entry, kid_arr) = Self::register(&handle)?;
-        let _ = self.key_space; // capacity persisted with the image
         self.kid_entry = kid_entry;
         self.kid_arr = kid_arr;
         self.handle = Some(handle);
@@ -429,6 +467,7 @@ impl PObject for WlEntry {
 /// Typed-session adapter: the server's data path on one unsharded heap.
 pub struct TypedBackend {
     dir: PathBuf,
+    key_space: u32,
     mgr: Option<HeapManager>,
     handle: Option<HeapHandle>,
     data_fld: ArrFld<WlEntry>,
@@ -450,6 +489,7 @@ impl TypedBackend {
         let (data_fld, fields_fld) = Self::register(&handle)?;
         Ok(TypedBackend {
             dir,
+            key_space,
             mgr: Some(mgr),
             handle: Some(handle),
             data_fld,
@@ -638,6 +678,16 @@ impl Backend for TypedBackend {
         })
     }
 
+    fn scan(
+        &mut self,
+        start: &str,
+        end: &str,
+        limit: u32,
+    ) -> Result<Vec<(String, Vec<u8>)>, WorkloadError> {
+        let key_space = self.key_space;
+        probe_scan(self, key_space, start, end, limit)
+    }
+
     fn commit(&mut self, wait: bool) -> Result<(), WorkloadError> {
         let ticket = self.handle().commit().map_err(pjh_err)?;
         if wait {
@@ -696,6 +746,7 @@ impl Drop for TypedBackend {
 /// shard and durability is the all-shards barrier.
 pub struct ShardedBackend {
     dir: PathBuf,
+    key_space: u32,
     mgr: Option<HeapManager>,
     heap: Option<ShardedHeap>,
     klass: Option<ShardedKlass>,
@@ -717,6 +768,7 @@ impl ShardedBackend {
         let (klass, arr_kids) = Self::register(&heap)?;
         Ok(ShardedBackend {
             dir,
+            key_space,
             mgr: Some(mgr),
             heap: Some(heap),
             klass: Some(klass),
@@ -787,6 +839,16 @@ impl Backend for ShardedBackend {
         let name = key_name(key);
         let (handle, kid_entry, kid_arr) = self.route(&name);
         raw_txn(handle, kid_entry, kid_arr, &name, parts)
+    }
+
+    fn scan(
+        &mut self,
+        start: &str,
+        end: &str,
+        limit: u32,
+    ) -> Result<Vec<(String, Vec<u8>)>, WorkloadError> {
+        let key_space = self.key_space;
+        probe_scan(self, key_space, start, end, limit)
     }
 
     fn commit(&mut self, wait: bool) -> Result<(), WorkloadError> {
@@ -861,6 +923,7 @@ fn db_err(e: espresso_minidb::DbError) -> WorkloadError {
 /// and a crash preserves every executed op.
 pub struct MinidbBackend {
     dev: NvmDevice,
+    key_space: u32,
     db: Option<Database>,
     conn: Option<espresso_minidb::Connection>,
 }
@@ -871,7 +934,7 @@ impl MinidbBackend {
     /// # Errors
     ///
     /// Engine creation errors.
-    pub fn new(_key_space: u32) -> Result<MinidbBackend, WorkloadError> {
+    pub fn new(key_space: u32) -> Result<MinidbBackend, WorkloadError> {
         let dev = NvmDevice::new(NvmConfig::with_size(MINIDB_BYTES));
         let db = Database::create(dev.clone()).map_err(db_err)?;
         let mut conn = db.connect();
@@ -886,6 +949,7 @@ impl MinidbBackend {
             .map_err(db_err)?;
         Ok(MinidbBackend {
             dev,
+            key_space,
             db: Some(db),
             conn: Some(conn),
         })
@@ -1010,6 +1074,16 @@ impl Backend for MinidbBackend {
         self.conn().commit().map_err(db_err)
     }
 
+    fn scan(
+        &mut self,
+        start: &str,
+        end: &str,
+        limit: u32,
+    ) -> Result<Vec<(String, Vec<u8>)>, WorkloadError> {
+        let key_space = self.key_space;
+        probe_scan(self, key_space, start, end, limit)
+    }
+
     fn commit(&mut self, _wait: bool) -> Result<(), WorkloadError> {
         // Every statement already group-flushed its WAL record.
         Ok(())
@@ -1128,6 +1202,50 @@ impl Backend for ServerBackend {
         self.client.txn(ops).map_err(proto_err)
     }
 
+    /// The one adapter whose scan rides the real access path: each
+    /// shard's persistent secondary index answers a `SCAN` page stream
+    /// (resuming past truncation with last-key + `"\0"`), and the pages
+    /// merge client-side exactly as `docs/PROTOCOL.md` prescribes.
+    fn scan(
+        &mut self,
+        start: &str,
+        end: &str,
+        limit: u32,
+    ) -> Result<Vec<(String, Vec<u8>)>, WorkloadError> {
+        let mut all: Vec<(String, Vec<u8>)> = Vec::new();
+        for shard in 0..SHARDS as u16 {
+            let mut cursor = start.to_string();
+            let mut collected = 0u32;
+            loop {
+                let page = self
+                    .client
+                    .scan(shard, &cursor, end, limit)
+                    .map_err(proto_err)?;
+                collected += page.items.len() as u32;
+                let last = page.items.last().map(|(k, _)| k.clone());
+                all.extend(page.items);
+                // Pages are ascending, so once this shard has yielded
+                // `limit` entries, none of its later ones can displace an
+                // already-collected entry from the merged cutoff.
+                if !page.truncated || collected >= limit {
+                    break;
+                }
+                match last {
+                    // Resume just past the last key: append the smallest
+                    // suffix that sorts strictly after it.
+                    Some(mut k) => {
+                        k.push('\0');
+                        cursor = k;
+                    }
+                    None => break,
+                }
+            }
+        }
+        all.sort();
+        all.truncate(limit as usize);
+        Ok(all)
+    }
+
     fn commit(&mut self, _wait: bool) -> Result<(), WorkloadError> {
         // Every write was already acknowledged durable by group commit.
         Ok(())
@@ -1216,6 +1334,37 @@ mod tests {
             .unwrap();
         assert_eq!(b.fget(3, 0).unwrap(), None);
         b.commit(true).unwrap();
+        scan_contract(b.as_mut());
+    }
+
+    /// Scan semantics on top of the state `contract` leaves behind:
+    /// wk2 = "fresh" is the only *valued* entry (wk1 is a valueless
+    /// fset-only entry and must be skipped). Then adds wk4..wk7 and
+    /// checks ordering, bounds, limits, and inverted ranges.
+    fn scan_contract(b: &mut dyn Backend) {
+        assert_eq!(
+            b.scan("", "", 100).unwrap(),
+            vec![("wk2".to_string(), b"fresh".to_vec())],
+            "full scan sees the valued entry and skips the valueless one"
+        );
+        for key in 4..8 {
+            b.set(key, format!("v{key}").as_bytes()).unwrap();
+        }
+        b.commit(true).unwrap();
+        let all = b.scan("", "", 100).unwrap();
+        let names: Vec<&str> = all.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, ["wk2", "wk4", "wk5", "wk6", "wk7"]);
+        // Half-open window: start inclusive, end exclusive.
+        let window = b.scan("wk4", "wk6", 100).unwrap();
+        let names: Vec<&str> = window.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, ["wk4", "wk5"]);
+        assert_eq!(window[0].1, b"v4");
+        // Limit truncates from the front of the order.
+        let limited = b.scan("", "", 2).unwrap();
+        let names: Vec<&str> = limited.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, ["wk2", "wk4"]);
+        // An inverted range is empty, not an error.
+        assert!(b.scan("wk6", "wk4", 100).unwrap().is_empty());
     }
 
     #[test]
@@ -1236,6 +1385,44 @@ mod tests {
     #[test]
     fn minidb_contract() {
         contract(BackendKind::Minidb);
+    }
+
+    /// The server adapter's scan is the only one that exercises the real
+    /// per-shard index path plus client-side merge, so it gets its own
+    /// run of the same scan contract (the rest of the entry-model
+    /// contract is covered for the server by the matrix tests).
+    #[test]
+    fn server_scan_merges_shard_pages() {
+        let mut b = ServerBackend::new(64).unwrap();
+        for key in 0..48 {
+            b.set(key, format!("sv{key}").as_bytes()).unwrap();
+        }
+        // Keys hash across all 4 shards; the merged scan must interleave
+        // them back into one lexicographic order.
+        let all = b.scan("", "", 4096).unwrap();
+        assert_eq!(all.len(), 48);
+        let mut expected: Vec<(String, Vec<u8>)> = (0..48)
+            .map(|k| (key_name(k), format!("sv{k}").into_bytes()))
+            .collect();
+        expected.sort();
+        assert_eq!(all, expected);
+        // A small limit forces per-shard page resumption and a merged
+        // cutoff identical to the probe-scan rule.
+        let limited = b.scan("wk2", "wk40", 5).unwrap();
+        let want: Vec<(String, Vec<u8>)> = expected
+            .iter()
+            .filter(|(k, _)| k.as_str() >= "wk2" && k.as_str() < "wk40")
+            .take(5)
+            .cloned()
+            .collect();
+        assert_eq!(limited, want);
+        // Valueless entries are skipped by the index scan too.
+        b.fset(60, 1, 9).unwrap();
+        assert!(!b
+            .scan("", "", 4096)
+            .unwrap()
+            .iter()
+            .any(|(k, _)| k == "wk60"));
     }
 
     #[test]

@@ -44,11 +44,11 @@ pub mod replay;
 pub mod scenario;
 pub mod trace;
 
-pub use backend::{state_digest, Backend, BackendKind, Durability};
+pub use backend::{state_digest, Backend, BackendKind, Durability, ScanDigest};
 pub use backends::make_backend;
 pub use replay::{durable_prefix, expected_recovery_digest, run_matrix, ReplayReport};
 pub use scenario::{FaultSchedule, OpMix, Scenario, Skew};
-pub use trace::{key_name, record, Op, Trace, TxnPart};
+pub use trace::{key_name, record, scan_bound, Op, Trace, TxnPart};
 
 /// Field slots per entry — the server's `protocol::NUM_FIELDS`,
 /// mirrored so this crate's trace format stands alone (a unit test
@@ -58,6 +58,10 @@ pub const NUM_FIELDS: usize = 8;
 /// Longest value a trace op may carry — the server's
 /// `protocol::MAX_VALUE`, mirrored likewise.
 pub const MAX_VALUE_LEN: usize = 1 << 20;
+
+/// Largest `limit` a trace scan op may carry — the server's
+/// `protocol::MAX_SCAN` page cap, mirrored likewise.
+pub const MAX_SCAN_LIMIT: u32 = 4096;
 
 /// Everything the harness can fail with.
 #[derive(Debug)]
@@ -111,5 +115,9 @@ mod tests {
     fn constants_match_the_server_protocol() {
         assert_eq!(crate::NUM_FIELDS, espresso_server::protocol::NUM_FIELDS);
         assert_eq!(crate::MAX_VALUE_LEN, espresso_server::protocol::MAX_VALUE);
+        assert_eq!(
+            crate::MAX_SCAN_LIMIT as usize,
+            espresso_server::protocol::MAX_SCAN
+        );
     }
 }

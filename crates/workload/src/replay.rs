@@ -16,10 +16,10 @@
 
 use std::time::{Duration, Instant};
 
-use crate::backend::{state_digest, Backend, BackendKind, Durability};
+use crate::backend::{state_digest, Backend, BackendKind, Durability, ScanDigest};
 use crate::backends::make_backend;
 use crate::scenario::FaultSchedule;
-use crate::trace::{Op, Trace};
+use crate::trace::{scan_bound, Op, Trace};
 use crate::WorkloadError;
 
 /// What one replay did and where it converged.
@@ -33,10 +33,24 @@ pub struct ReplayReport {
     /// Wall time spent executing ops (excludes backend construction and
     /// the digest read-back).
     pub elapsed: Duration,
-    /// The post-replay (post-recovery, if crashed) state digest.
+    /// The convergence digest the matrix compares: the final state
+    /// combined with every scan result set observed along the way.
+    /// Equals [`state_digest`](Self::state_digest) when no scans ran, so
+    /// scan-free traces keep their historical digests.
     pub digest: u64,
+    /// The post-replay (post-recovery, if crashed) state digest alone.
+    /// Crash oracles compare this one: a crashed run legitimately
+    /// observed scans past the durable prefix, so only the recovered
+    /// *state* is predictable.
+    pub state_digest: u64,
+    /// Scan ops executed.
+    pub scans: u64,
     /// Whether a crash was injected.
     pub crashed: bool,
+    /// Median per-op latency in microseconds (0 when nothing executed).
+    pub p50_us: u64,
+    /// 99th-percentile per-op latency in microseconds.
+    pub p99_us: u64,
 }
 
 impl ReplayReport {
@@ -47,6 +61,16 @@ impl ReplayReport {
         }
         self.executed as f64 / self.elapsed.as_secs_f64()
     }
+}
+
+/// The `q`-th percentile (0..=1) of an unsorted latency sample, matching
+/// the load generator's convention (ceil rank, clamped).
+fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).max(1) - 1;
+    sorted[rank.min(sorted.len() - 1)]
 }
 
 fn check_faults(trace: &Trace, faults: &FaultSchedule) -> Result<(), WorkloadError> {
@@ -91,6 +115,8 @@ pub fn replay(
     let mut paused = false;
     let mut crashed = false;
     let mut executed = 0usize;
+    let mut scan_digest = ScanDigest::new();
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(trace.ops.len());
     let start = Instant::now();
     for (i, op) in trace.ops.iter().enumerate() {
         let i = i as u64;
@@ -100,6 +126,7 @@ pub fn replay(
                 paused = true;
             }
         }
+        let op_start = Instant::now();
         match op {
             Op::Get(k) => {
                 backend.get(*k)?;
@@ -117,7 +144,14 @@ pub fn replay(
             // against the paused pipeline: seal-and-queue instead, which
             // is exactly the lagging-flush shape the fault models.
             Op::Commit => backend.commit(!paused)?,
+            Op::Scan(s, e, limit) => {
+                let lo = scan_bound(*s, trace.key_space);
+                let hi = scan_bound(*e, trace.key_space);
+                let items = backend.scan(&lo, &hi, *limit)?;
+                scan_digest.fold(&lo, &hi, *limit, &items);
+            }
         }
+        latencies_us.push(op_start.elapsed().as_micros() as u64);
         executed += 1;
         if let Some(f) = faults {
             if f.crash_after_op == i {
@@ -131,13 +165,18 @@ pub fn replay(
         }
     }
     let elapsed = start.elapsed();
-    let digest = state_digest(backend, trace.key_space)?;
+    let state = state_digest(backend, trace.key_space)?;
+    latencies_us.sort_unstable();
     Ok(ReplayReport {
         kind: backend.kind(),
         executed,
         elapsed,
-        digest,
+        digest: scan_digest.combined(state),
+        state_digest: state,
+        scans: scan_digest.scans(),
         crashed,
+        p50_us: percentile_us(&latencies_us, 0.50),
+        p99_us: percentile_us(&latencies_us, 0.99),
     })
 }
 
@@ -167,8 +206,11 @@ pub fn durable_prefix(trace: &Trace, faults: &FaultSchedule, durability: Durabil
     }
 }
 
-/// The digest a crashed replay must recover to: replays the durable
-/// prefix fault-free on a second fresh backend of the same kind.
+/// The *state* digest a crashed replay must recover to: replays the
+/// durable prefix fault-free on a second fresh backend of the same kind.
+/// Compare against [`ReplayReport::state_digest`] — the crashed run may
+/// have observed scans beyond the durable prefix, so its combined
+/// `digest` is not predictable from the prefix alone.
 ///
 /// # Errors
 ///
@@ -186,7 +228,7 @@ pub fn expected_recovery_digest(
         seed: trace.seed,
         ops: trace.ops[..prefix].to_vec(),
     };
-    Ok(replay(oracle.as_mut(), &truncated, None)?.digest)
+    Ok(replay(oracle.as_mut(), &truncated, None)?.state_digest)
 }
 
 /// Runs one trace against each backend kind on a fresh instance and
@@ -254,7 +296,7 @@ mod tests {
             assert!(report.crashed);
             assert_eq!(report.executed, 101);
             let expected = expected_recovery_digest(kind, &trace, &faults).unwrap();
-            assert_eq!(report.digest, expected, "{kind} recovery diverged");
+            assert_eq!(report.state_digest, expected, "{kind} recovery diverged");
         }
     }
 

@@ -17,7 +17,7 @@
 //!   "ops": 1500,
 //!   "seed": 7,
 //!   "value_len": { "min": 8, "max": 48 },
-//!   "mix": { "get": 40, "set": 30, "del": 5, "fget": 10, "fset": 10, "txn": 5 },
+//!   "mix": { "get": 35, "set": 30, "del": 5, "fget": 10, "fset": 10, "txn": 5, "scan": 5 },
 //!   "skew": { "kind": "zipfian", "theta": 0.99 },
 //!   "commit_every": 250,
 //!   "faults": { "crash_after_op": 900, "flush_pause_from_op": 700 }
@@ -54,6 +54,9 @@ pub struct OpMix {
     /// Single-key multi-part transactions (2–4 set/fset/del parts applied
     /// atomically).
     pub txn: u32,
+    /// Key-range scans (bounded and full-range, with a result limit).
+    /// Default 0, so pre-scan scenarios keep their exact op streams.
+    pub scan: u32,
 }
 
 impl Default for OpMix {
@@ -65,6 +68,7 @@ impl Default for OpMix {
             fget: 5,
             fset: 5,
             txn: 5,
+            scan: 0,
         }
     }
 }
@@ -225,6 +229,7 @@ impl Scenario {
                     fget: 0,
                     fset: 0,
                     txn: 0,
+                    scan: 0,
                 };
                 for (key, value) in o {
                     let pct = value.as_u64(key)? as u32;
@@ -235,6 +240,7 @@ impl Scenario {
                         "fget" => mix.fget = pct,
                         "fset" => mix.fset = pct,
                         "txn" => mix.txn = pct,
+                        "scan" => mix.scan = pct,
                         other => {
                             return Err(WorkloadError::Invalid(format!(
                                 "unknown mix key {other:?}"
@@ -246,7 +252,7 @@ impl Scenario {
             }
             None => OpMix::default(),
         };
-        let total = mix.get + mix.set + mix.del + mix.fget + mix.fset + mix.txn;
+        let total = mix.get + mix.set + mix.del + mix.fget + mix.fset + mix.txn + mix.scan;
         if total != 100 {
             return Err(WorkloadError::Invalid(format!(
                 "mix percentages sum to {total}, need exactly 100"
@@ -670,9 +676,26 @@ mod tests {
         )
         .is_err());
         assert!(Scenario::from_json(
-            r#"{"name": "s", "key_space": 1, "ops": 1, "mix": {"scan": 100}}"#
+            r#"{"name": "s", "key_space": 1, "ops": 1, "mix": {"range": 100}}"#
         )
         .is_err());
+    }
+
+    #[test]
+    fn parses_a_scan_mix() {
+        let s = Scenario::from_json(
+            r#"{"name": "s", "key_space": 8, "ops": 10,
+                "mix": {"get": 30, "set": 40, "scan": 30}}"#,
+        )
+        .unwrap();
+        assert_eq!(s.mix.scan, 30);
+        assert_eq!(s.mix.get + s.mix.set + s.mix.scan, 100);
+        // Scan defaults to 0 when the mix omits it.
+        let s = Scenario::from_json(
+            r#"{"name": "s", "key_space": 8, "ops": 10, "mix": {"get": 50, "set": 50}}"#,
+        )
+        .unwrap();
+        assert_eq!(s.mix.scan, 0);
     }
 
     #[test]

@@ -8,9 +8,9 @@
 //! artifact that replays identically on any backend (see
 //! [`crate::replay`]).
 //!
-//! # Trace format v1
+//! # Trace format v2
 //!
-//! All integers big-endian. Header: 8-byte magic `b"ESPWTR01"` (the
+//! All integers big-endian. Header: 8-byte magic `b"ESPWTR02"` (the
 //! trailing two bytes are the format version), then `key_space: u32`,
 //! `seed: u64`, `op_count: u64`. Then `op_count` ops, each a 1-byte tag:
 //!
@@ -23,16 +23,30 @@
 //! | `0x05` | `FSet` | `key: u32`, `index: u8`, `value: u64` |
 //! | `0x06` | `Txn` | `key: u32`, `nparts: u8`, then parts (tags `0x02`/`0x03`/`0x05` with the key omitted) |
 //! | `0x07` | `Commit` | — |
+//! | `0x08` | `Scan` | `start: u32`, `end: u32`, `limit: u32` (v2 only) |
+//!
+//! A `Scan` bound is a key *index*, or exactly `key_space` to mean
+//! "unbounded on that side"; the scanned range is `[key_name(start),
+//! key_name(end))` in lexicographic name order, at most `limit` entries.
+//!
+//! Version 1 (`b"ESPWTR01"`) differs only in the magic and in tag `0x08`
+//! being invalid; [`Trace::decode`] still accepts v1 files byte-for-byte,
+//! while [`Trace::encode`] always emits v2.
 //!
 //! Decode validates everything (tags, key range, field indices, value
-//! lengths, txn part counts) and rejects trailing bytes, so a corrupt or
-//! truncated trace fails loudly instead of replaying garbage.
+//! lengths, txn part counts, scan bounds and limits) and rejects trailing
+//! bytes, so a corrupt or truncated trace fails loudly instead of
+//! replaying garbage.
 
 use crate::scenario::{Scenario, Skew};
-use crate::{WorkloadError, MAX_VALUE_LEN, NUM_FIELDS};
+use crate::{WorkloadError, MAX_SCAN_LIMIT, MAX_VALUE_LEN, NUM_FIELDS};
 
 /// Trace file magic; the last two bytes are the format version.
-pub const TRACE_MAGIC: [u8; 8] = *b"ESPWTR01";
+pub const TRACE_MAGIC: [u8; 8] = *b"ESPWTR02";
+
+/// The previous format's magic: identical layout minus the `Scan` op.
+/// [`Trace::decode`] accepts both so recorded v1 artifacts keep replaying.
+pub const TRACE_MAGIC_V1: [u8; 8] = *b"ESPWTR01";
 
 /// Most parts a generated [`Op::Txn`] carries (the server protocol caps
 /// transactions far higher; generated ones stay small and readable).
@@ -68,6 +82,22 @@ pub enum Op {
     /// Seal an epoch; durability of the sealed epoch depends on the
     /// backend's flush pipeline (and the replay fault window).
     Commit,
+    /// Range scan: keys in `[key_name(start), key_name(end))` by
+    /// lexicographic name, at most `{2}` entries. A bound equal to the
+    /// trace's `key_space` is unbounded on that side; valueless entries
+    /// (typed fields only) are skipped, mirroring the server's `SCAN`.
+    Scan(u32, u32, u32),
+}
+
+/// Resolves a [`Op::Scan`] bound index to the key-name bound every
+/// backend scans by: `key_name(idx)`, or the empty string ("unbounded")
+/// when `idx` equals `key_space`.
+pub fn scan_bound(idx: u32, key_space: u32) -> String {
+    if idx >= key_space {
+        String::new()
+    } else {
+        key_name(idx)
+    }
 }
 
 /// A decoded trace: header fields plus the op list.
@@ -87,7 +117,7 @@ pub fn key_name(i: u32) -> String {
 }
 
 impl Trace {
-    /// Serializes to the v1 binary format described in the module docs.
+    /// Serializes to the v2 binary format described in the module docs.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 + self.ops.len() * 8);
         out.extend_from_slice(&TRACE_MAGIC);
@@ -142,24 +172,37 @@ impl Trace {
                     }
                 }
                 Op::Commit => out.push(0x07),
+                Op::Scan(start, end, limit) => {
+                    out.push(0x08);
+                    out.extend_from_slice(&start.to_be_bytes());
+                    out.extend_from_slice(&end.to_be_bytes());
+                    out.extend_from_slice(&limit.to_be_bytes());
+                }
             }
         }
         out
     }
 
-    /// Parses and fully validates a v1 trace.
+    /// Parses and fully validates a trace (v2, or the scan-free v1).
     ///
     /// # Errors
     ///
     /// [`WorkloadError::Trace`] on a bad magic/version, truncation, an
-    /// unknown tag, out-of-range keys/fields/lengths, or trailing bytes.
+    /// unknown tag (including `Scan` inside a v1 file), out-of-range
+    /// keys/fields/lengths/bounds, or trailing bytes.
     pub fn decode(bytes: &[u8]) -> Result<Trace, WorkloadError> {
-        let mut r = Reader { bytes, at: 0 };
+        let mut r = Reader {
+            bytes,
+            at: 0,
+            version: 2,
+        };
         let magic = r.take::<8>()?;
-        if magic != TRACE_MAGIC {
+        if magic == TRACE_MAGIC_V1 {
+            r.version = 1;
+        } else if magic != TRACE_MAGIC {
             return Err(WorkloadError::Trace(format!(
-                "bad magic {:02x?} (expected {:02x?} — not a v1 trace file)",
-                magic, TRACE_MAGIC
+                "bad magic {:02x?} (expected {:02x?} or {:02x?} — not a trace file)",
+                magic, TRACE_MAGIC, TRACE_MAGIC_V1
             )));
         }
         let key_space = u32::from_be_bytes(r.take::<4>()?);
@@ -220,6 +263,8 @@ impl Trace {
 struct Reader<'b> {
     bytes: &'b [u8],
     at: usize,
+    /// Format version from the magic: gates which op tags are legal.
+    version: u8,
 }
 
 impl Reader<'_> {
@@ -325,6 +370,28 @@ impl Reader<'_> {
                 Op::Txn(k, parts)
             }
             0x07 => Op::Commit,
+            0x08 if self.version >= 2 => {
+                let start = u32::from_be_bytes(self.take::<4>()?);
+                let end = u32::from_be_bytes(self.take::<4>()?);
+                if start > key_space || end > key_space {
+                    return Err(WorkloadError::Trace(format!(
+                        "scan bound {}/{} outside 0..={key_space}",
+                        start, end
+                    )));
+                }
+                let limit = u32::from_be_bytes(self.take::<4>()?);
+                if limit == 0 || limit > MAX_SCAN_LIMIT {
+                    return Err(WorkloadError::Trace(format!(
+                        "scan limit {limit} outside 1..={MAX_SCAN_LIMIT}"
+                    )));
+                }
+                Op::Scan(start, end, limit)
+            }
+            0x08 => {
+                return Err(WorkloadError::Trace(
+                    "scan op tag 0x08 in a v1 trace".to_string(),
+                ))
+            }
             other => return Err(WorkloadError::Trace(format!("unknown op tag {other:#04x}"))),
         })
     }
@@ -429,6 +496,7 @@ pub fn record(scenario: &Scenario) -> Trace {
     let t_del = t_set + mix.del;
     let t_fget = t_del + mix.fget;
     let t_fset = t_fget + mix.fset;
+    let t_txn = t_fset + mix.txn;
     let mut ops = Vec::with_capacity(scenario.ops as usize + 2);
     for n in 0..scenario.ops {
         let key = picker.pick(&mut rng);
@@ -443,7 +511,7 @@ pub fn record(scenario: &Scenario) -> Trace {
             Op::FGet(key, rng.below(NUM_FIELDS as u64) as u8)
         } else if roll < t_fset {
             Op::FSet(key, rng.below(NUM_FIELDS as u64) as u8, rng.next())
-        } else {
+        } else if roll < t_txn {
             let nparts = 2 + rng.below(3) as usize;
             let parts = (0..nparts)
                 .map(|_| match rng.below(100) {
@@ -453,6 +521,23 @@ pub fn record(scenario: &Scenario) -> Trace {
                 })
                 .collect();
             Op::Txn(key, parts)
+        } else {
+            // Scan: mostly a window between two picked keys (ordered by
+            // key *name* — backends scan lexicographically), sometimes the
+            // full unbounded range. The already-picked `key` is one bound,
+            // so scan-free scenarios consume the RNG exactly as before.
+            let limit = 1 + rng.below(u64::from(scenario.key_space.min(MAX_SCAN_LIMIT))) as u32;
+            if rng.below(4) == 0 {
+                Op::Scan(scenario.key_space, scenario.key_space, limit)
+            } else {
+                let other = picker.pick(&mut rng);
+                let (lo, hi) = if key_name(key) <= key_name(other) {
+                    (key, other)
+                } else {
+                    (other, key)
+                };
+                Op::Scan(lo, hi, limit)
+            }
         };
         ops.push(op);
         if scenario.commit_every > 0 && (n + 1) % scenario.commit_every == 0 {
@@ -490,6 +575,7 @@ mod tests {
                 fget: 10,
                 fset: 10,
                 txn: 10,
+                scan: 0,
             },
             skew: Skew::Uniform,
             commit_every: 25,
@@ -536,6 +622,7 @@ mod tests {
             fget: 0,
             fset: 0,
             txn: 0,
+            scan: 0,
         };
         let t = record(&s);
         let hot = t
@@ -564,5 +651,56 @@ mod tests {
         // Header is 8 + 4 + 8 + 8 = 28 bytes, then tag byte, then key u32.
         bad_key[29..33].copy_from_slice(&999u32.to_be_bytes());
         assert!(Trace::decode(&bad_key).is_err(), "key out of range");
+    }
+
+    #[test]
+    fn scan_free_v1_traces_still_decode() {
+        // A v1 file is a v2 file with the old magic and no scan ops.
+        let t = record(&scenario(40));
+        assert!(!t.ops.iter().any(|o| matches!(o, Op::Scan(..))));
+        let mut v1 = t.encode();
+        v1[..8].copy_from_slice(&TRACE_MAGIC_V1);
+        assert_eq!(Trace::decode(&v1).unwrap(), t);
+    }
+
+    #[test]
+    fn scan_ops_record_validate_and_round_trip() {
+        let mut s = scenario(300);
+        s.mix.get = 10;
+        s.mix.scan = 20;
+        let t = record(&s);
+        let scans: Vec<&Op> = t.ops.iter().filter(|o| matches!(o, Op::Scan(..))).collect();
+        assert!(!scans.is_empty(), "scan mix produced no scans");
+        let mut saw_full_range = false;
+        for op in &scans {
+            let Op::Scan(start, end, limit) = op else {
+                unreachable!()
+            };
+            assert!(*start <= s.key_space && *end <= s.key_space);
+            assert!(*limit >= 1 && *limit <= MAX_SCAN_LIMIT);
+            if *start == s.key_space && *end == s.key_space {
+                saw_full_range = true;
+            } else {
+                assert!(
+                    scan_bound(*start, s.key_space) <= scan_bound(*end, s.key_space),
+                    "bounded scan not name-ordered: {op:?}"
+                );
+            }
+        }
+        assert!(saw_full_range, "300 ops at 20% scan never drew full-range");
+        assert_eq!(Trace::decode(&t.encode()).unwrap(), t);
+
+        // The same trace under a v1 magic must be rejected at its scan op.
+        let mut v1 = t.encode();
+        v1[..8].copy_from_slice(&TRACE_MAGIC_V1);
+        let err = Trace::decode(&v1).unwrap_err();
+        assert!(format!("{err}").contains("0x08"), "{err}");
+    }
+
+    #[test]
+    fn scan_bound_resolves_edges() {
+        assert_eq!(scan_bound(3, 16), "wk3");
+        assert_eq!(scan_bound(16, 16), "");
+        assert_eq!(scan_bound(99, 16), "");
     }
 }

@@ -31,11 +31,12 @@ fn base_scenario(name: &str, seed: u64) -> Scenario {
         value_len: (6, 24),
         mix: OpMix {
             get: 25,
-            set: 35,
+            set: 30,
             del: 10,
             fget: 10,
             fset: 12,
             txn: 8,
+            scan: 5,
         },
         skew: Skew::Uniform,
         commit_every: 30,
@@ -53,8 +54,11 @@ fn assert_recovery(scenario: &Scenario, schedules: &[FaultSchedule]) {
             let report = replay(backend.as_mut(), &trace, Some(faults)).unwrap();
             assert!(report.crashed, "{kind}: crash was not injected");
             let expected = expected_recovery_digest(kind, &trace, faults).unwrap();
+            // State digest, not the combined one: the crashed run may
+            // have scanned past the durable prefix, and those result
+            // sets are legitimately unpredictable from the prefix.
             assert_eq!(
-                report.digest, expected,
+                report.state_digest, expected,
                 "{kind}: recovery after crash@{} (pause@{:?}) diverged from the \
                  durable-prefix oracle",
                 faults.crash_after_op, faults.flush_pause_from_op
@@ -136,8 +140,9 @@ fn zipfian_txn_heavy_crash() {
         set: 25,
         del: 10,
         fget: 5,
-        fset: 20,
-        txn: 30,
+        fset: 15,
+        txn: 25,
+        scan: 10,
     };
     assert_recovery(
         &scenario,
@@ -165,7 +170,7 @@ fn checked_in_crash_scenario_recovers() {
         let report = replay(backend.as_mut(), &trace, Some(&faults)).unwrap();
         let expected = expected_recovery_digest(kind, &trace, &faults).unwrap();
         assert_eq!(
-            report.digest, expected,
+            report.state_digest, expected,
             "{kind} diverged on crash_mid_burst"
         );
     }
@@ -195,8 +200,10 @@ fn recovered_heap_stays_writable_and_convergent() {
 
         let mut oracle = make_backend(kind, trace.key_space).unwrap();
         let direct = replay(oracle.as_mut(), &trace, None).unwrap();
+        // The tail replay only folds the tail's scans while the direct
+        // run folds them all, so only final states are comparable here.
         assert_eq!(
-            after.digest, direct.digest,
+            after.state_digest, direct.state_digest,
             "{kind}: resumed replay after recovery diverged from an uncrashed run"
         );
     }

@@ -1,0 +1,474 @@
+//! Property suite for `espresso-index`: random operation sequences
+//! against a DRAM `BTreeMap` model (all three key types), flush-granular
+//! crash injection mid-split with a rebuild-from-heap-walk oracle, and
+//! concurrent pinned readers scanning while a writer splits nodes.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use espresso_core::{HeapManager, HeapTxn, LoadOptions, Pjh, PjhConfig, PjhError};
+use espresso_index::{Index, Key};
+use espresso_nvm::{NvmConfig, NvmDevice};
+use espresso_object::{PObject, PRef, Schema};
+use proptest::prelude::*;
+
+struct Item;
+
+impl PObject for Item {
+    const CLASS_NAME: &'static str = "props.Item";
+    fn schema() -> Schema {
+        Schema::builder(Self::CLASS_NAME)
+            .u64_field("k")
+            .i64_field("ik")
+            .str_field("sk")
+            .u64_field("payload")
+            .build()
+    }
+}
+
+/// Key pool shared by the model tests. The `str` keys deliberately share
+/// an 8-byte prefix so the encoded prefix word ties and the payload
+/// string comparison decides the order.
+fn pool_key(kind: u8, i: u64) -> Key {
+    match kind {
+        0 => Key::U64(i * 3),
+        1 => Key::I64(i as i64 - 12),
+        _ => Key::Str(format!("prefix-shared-{:03}", (i * 7) % 40)),
+    }
+}
+
+/// Allocates an `Item` in `t`, stores `key` into its matching field plus
+/// a unique `payload` id, and indexes it.
+fn insert_item(
+    t: &mut HeapTxn<'_>,
+    idx: &Index<Item>,
+    key: &Key,
+    payload: u64,
+) -> espresso_core::Result<PRef<Item>> {
+    let class = t.register::<Item>()?;
+    let obj = t.alloc::<Item>()?;
+    match key {
+        Key::U64(v) => t.set(obj, class.field::<u64>("k")?, *v),
+        Key::I64(v) => t.set(obj, class.field::<i64>("ik")?, *v),
+        Key::Str(s) => t.set_str(obj, class.str_field("sk")?, s)?,
+    }
+    t.set(obj, class.field::<u64>("payload")?, payload);
+    idx.insert(t, key, obj)?;
+    Ok(obj)
+}
+
+/// Drives a random op sequence over one key type against a
+/// `BTreeMap<Key, Vec<payload>>` model, then checks point lookups, range
+/// scans, the entry count, and the rebuild-from-heap-walk oracle.
+fn run_model(kind: u8, field: &str, ops: Vec<(u8, u64, u64)>, window: (u64, u64)) {
+    let mgr = HeapManager::temp().unwrap();
+    let handle = mgr.create("model", 32 << 20, PjhConfig::small()).unwrap();
+    let (class, idx) = handle
+        .with_mut(|h| {
+            let class = h.register::<Item>()?;
+            let idx = Index::<Item>::create(h, "model.idx", field)?;
+            Ok::<_, PjhError>((class, idx))
+        })
+        .unwrap();
+    let fpay = class.field::<u64>("payload").unwrap();
+
+    let mut model: BTreeMap<Key, Vec<u64>> = BTreeMap::new();
+    let mut next_payload = 0u64;
+    for (op, ki, _extra) in ops {
+        let key = pool_key(kind, ki % 24);
+        match op {
+            // Committed insert.
+            0 => {
+                let payload = next_payload;
+                next_payload += 1;
+                handle
+                    .txn(|t| insert_item(t, &idx, &key, payload).map(|_| ()))
+                    .unwrap();
+                model.entry(key.clone()).or_default().push(payload);
+            }
+            // Remove the entry with the smallest payload id under `key`.
+            1 => {
+                let victim = handle.with(|h| {
+                    idx.get(h, &key)
+                        .unwrap()
+                        .map(|(_, o)| (h.get(o, fpay), o))
+                        .min_by_key(|(p, _)| *p)
+                });
+                let entry = model.get_mut(&key);
+                match (victim, entry) {
+                    (Some((pay, obj)), Some(pays)) => {
+                        let removed = handle.txn(|t| idx.remove(t, &key, obj)).unwrap();
+                        assert!(removed, "tree lookup found an entry remove missed");
+                        let min = *pays.iter().min().unwrap();
+                        assert_eq!(pay, min, "tree min payload disagrees with model");
+                        pays.retain(|&p| p != min);
+                        if pays.is_empty() {
+                            model.remove(&key);
+                        }
+                    }
+                    (None, None) => {}
+                    (tree, _) => panic!("presence mismatch under {key:?}: tree={tree:?}"),
+                }
+            }
+            // Aborted insert: rolled back, model unchanged.
+            _ => {
+                let err = handle.txn(|t| {
+                    insert_item(t, &idx, &key, u64::MAX)?;
+                    Err::<(), _>(PjhError::SafetyViolation {
+                        reason: "forced abort".into(),
+                    })
+                });
+                assert!(err.is_err());
+            }
+        }
+    }
+
+    handle.with_mut(|h| {
+        let total: usize = model.values().map(Vec::len).sum();
+        assert_eq!(idx.len(h).unwrap() as usize, total);
+
+        // Point lookups: payload multisets match per key.
+        for i in 0..24 {
+            let key = pool_key(kind, i);
+            let mut got: Vec<u64> = idx
+                .get(h, &key)
+                .unwrap()
+                .map(|(_, o)| h.get(o, fpay))
+                .collect();
+            got.sort_unstable();
+            let mut want = model.get(&key).cloned().unwrap_or_default();
+            want.sort_unstable();
+            assert_eq!(got, want, "key {key:?}");
+        }
+
+        // Full scan is key-ordered and complete.
+        let all: Vec<Key> = idx.range(h, ..).unwrap().map(|(k, _)| k).collect();
+        assert_eq!(all.len(), total);
+        assert!(all.windows(2).all(|w| w[0] <= w[1]), "scan out of order");
+
+        // A half-open range window matches the model's.
+        let (lo, hi) = (pool_key(kind, window.0 % 24), pool_key(kind, window.1 % 24));
+        if lo < hi {
+            let got = idx.range(h, lo.clone()..hi.clone()).unwrap().count();
+            let want: usize = model.range(lo..hi).map(|(_, v)| v.len()).sum();
+            assert_eq!(got, want, "range window");
+        }
+
+        // After collecting garbage, the tree equals an index rebuilt from
+        // first principles by walking every live object.
+        h.gc_full(&[]).unwrap();
+        assert_eq!(idx.tree_entries(h).unwrap(), idx.heap_walk(h));
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn u64_index_matches_model(
+        ops in proptest::collection::vec((0u8..3, any::<u64>(), any::<u64>()), 1..120),
+        window in (any::<u64>(), any::<u64>()),
+    ) {
+        run_model(0, "k", ops, window);
+    }
+
+    #[test]
+    fn i64_index_matches_model(
+        ops in proptest::collection::vec((0u8..3, any::<u64>(), any::<u64>()), 1..120),
+        window in (any::<u64>(), any::<u64>()),
+    ) {
+        run_model(1, "ik", ops, window);
+    }
+
+    #[test]
+    fn str_index_matches_model(
+        ops in proptest::collection::vec((0u8..3, any::<u64>(), any::<u64>()), 1..120),
+        window in (any::<u64>(), any::<u64>()),
+    ) {
+        run_model(2, "sk", ops, window);
+    }
+}
+
+#[test]
+fn insert_get_range_smoke() {
+    let mgr = HeapManager::temp().unwrap();
+    let handle = mgr.create("props", 16 << 20, PjhConfig::small()).unwrap();
+    let idx = handle
+        .with_mut(|h| {
+            h.register::<Item>()?;
+            Index::<Item>::create(h, "items.by_k", "k")
+        })
+        .unwrap();
+
+    let mut model: BTreeMap<u64, usize> = BTreeMap::new();
+    for i in 0..200u64 {
+        let k = (i * 37) % 64; // plenty of duplicates
+        handle
+            .txn(|t| insert_item(t, &idx, &Key::U64(k), i).map(|_| ()))
+            .unwrap();
+        *model.entry(k).or_default() += 1;
+    }
+
+    handle.with_mut(|h| {
+        assert_eq!(idx.len(h).unwrap(), 200);
+        for (&k, &n) in &model {
+            assert_eq!(idx.get(h, &Key::U64(k)).unwrap().count(), n, "key {k}");
+        }
+        let in_range: usize = model.range(10..30).map(|(_, n)| n).sum();
+        assert_eq!(
+            idx.range(h, Key::U64(10)..Key::U64(30)).unwrap().count(),
+            in_range
+        );
+        // Inclusive and excluded bounds agree with the model too.
+        let incl: usize = model.range(10..=30).map(|(_, n)| n).sum();
+        assert_eq!(
+            idx.range(h, Key::U64(10)..=Key::U64(30)).unwrap().count(),
+            incl
+        );
+        let excl: usize = model.range(11..30).map(|(_, n)| n).sum();
+        assert_eq!(
+            idx.range(
+                h,
+                (
+                    std::ops::Bound::Excluded(Key::U64(10)),
+                    std::ops::Bound::Excluded(Key::U64(30)),
+                ),
+            )
+            .unwrap()
+            .count(),
+            excl
+        );
+        h.gc_full(&[]).unwrap();
+        assert_eq!(idx.tree_entries(h).unwrap(), idx.heap_walk(h));
+    });
+}
+
+#[test]
+fn open_validates_persisted_metadata() {
+    struct Other;
+    impl PObject for Other {
+        const CLASS_NAME: &'static str = "props.Other";
+        fn schema() -> Schema {
+            Schema::builder(Self::CLASS_NAME).u64_field("x").build()
+        }
+    }
+
+    let mgr = HeapManager::temp().unwrap();
+    let handle = mgr.create("meta", 8 << 20, PjhConfig::small()).unwrap();
+    handle
+        .with_mut(|h| {
+            h.register::<Item>()?;
+            Index::<Item>::create(h, "meta.idx", "k").map(|_| ())
+        })
+        .unwrap();
+    handle.with_mut(|h| {
+        // Wrong class: rejected.
+        assert!(matches!(
+            Index::<Other>::open(h, "meta.idx"),
+            Err(PjhError::SchemaMismatch { .. })
+        ));
+        // Unknown name: rejected.
+        assert!(Index::<Item>::open(h, "nope").is_err());
+        // Right class: opens and sees the (empty) tree.
+        let idx = Index::<Item>::open(h, "meta.idx").unwrap();
+        assert_eq!(idx.len(h).unwrap(), 0);
+        // Unindexable field type: rejected at create.
+        assert!(matches!(
+            Index::<Item>::create(h, "meta.bad", "nope"),
+            Err(PjhError::SchemaMismatch { .. })
+        ));
+    });
+}
+
+// ---- crash injection ----
+
+fn clone_device(src: &NvmDevice) -> NvmDevice {
+    let image = src.snapshot_persisted();
+    let dev = NvmDevice::new(NvmConfig::with_size(src.size()));
+    dev.write_bytes(0, &image);
+    dev.persist(0, image.len());
+    dev
+}
+
+const SWEEP_INDEX: &str = "sweep.by_k";
+
+fn sweep_load(dev: &NvmDevice) -> (Pjh, Index<Item>) {
+    let (mut h, _) = Pjh::load(dev.clone(), LoadOptions::default()).unwrap();
+    h.txn_recover().unwrap();
+    h.register::<Item>().unwrap();
+    let idx = Index::<Item>::open(&mut h, SWEEP_INDEX).unwrap();
+    (h, idx)
+}
+
+fn sweep_insert(h: &mut Pjh, idx: &Index<Item>, j: u64) -> espresso_core::Result<()> {
+    h.txn(|t| insert_item(t, idx, &Key::U64(j), j).map(|_| ()))
+}
+
+/// Power-fails an insert at **every** cache-line flush boundary — for a
+/// plain leaf insert, the first leaf split, and the deepest split in the
+/// probed window — and requires that the reloaded tree always equals the
+/// rebuild-from-heap-walk oracle: the insert is fully there or fully
+/// absent, never torn.
+#[test]
+fn crash_mid_split_recovers_to_oracle() {
+    const N: usize = 220;
+
+    // Base image: registered schemas plus an empty index.
+    let base = NvmDevice::new(NvmConfig::with_size(16 << 20));
+    {
+        let mut h = Pjh::create(base.clone(), PjhConfig::small()).unwrap();
+        h.register::<Item>().unwrap();
+        Index::<Item>::create(&mut h, SWEEP_INDEX, "k").unwrap();
+    }
+
+    // Probe pass: flush count of every insert in the window. Splits show
+    // up as flush spikes (each extra node built is extra flushed lines).
+    let probe = clone_device(&base);
+    let (mut ph, pidx) = sweep_load(&probe);
+    let flushes: Vec<u64> = (0..N as u64)
+        .map(|j| {
+            let f0 = probe.stats().line_flushes;
+            sweep_insert(&mut ph, &pidx, j).unwrap();
+            probe.stats().line_flushes - f0
+        })
+        .collect();
+    drop(ph);
+
+    let min_f = *flushes.iter().min().unwrap();
+    let plain = flushes.iter().rposition(|&f| f == min_f).unwrap();
+    let first_split = flushes.iter().position(|&f| f > min_f).unwrap();
+    let deepest = flushes
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &f)| f)
+        .unwrap()
+        .0;
+    let mut chosen = vec![plain, first_split, deepest];
+    chosen.sort_unstable();
+    chosen.dedup();
+    assert!(
+        flushes[deepest] > flushes[first_split] || deepest == first_split,
+        "probe window never split twice: {flushes:?}"
+    );
+
+    // Main pass: replay the same inserts; at each chosen one, sweep a
+    // crash after every flush boundary on a cloned device.
+    let cur = clone_device(&base);
+    let (mut ch, cidx) = sweep_load(&cur);
+    // `j` is both the insert ordinal and the flush-count index; an
+    // enumerate over `flushes` would obscure that they are the same.
+    #[allow(clippy::needless_range_loop)]
+    for j in 0..=*chosen.last().unwrap() {
+        if chosen.contains(&j) {
+            for at in 0..=flushes[j] {
+                let sdev = clone_device(&cur);
+                let (mut h2, idx2) = sweep_load(&sdev);
+                sdev.schedule_crash_after_line_flushes(at);
+                let _ = sweep_insert(&mut h2, &idx2, j as u64);
+                sdev.recover();
+                drop(h2);
+
+                let (mut h3, idx3) = sweep_load(&sdev);
+                let len = idx3.len(&h3).unwrap();
+                assert!(
+                    len == j as u64 || len == j as u64 + 1,
+                    "crash after {at}/{} flushes of insert {j}: len {len}",
+                    flushes[j]
+                );
+                h3.gc_full(&[]).unwrap();
+                let tree = idx3.tree_entries(&h3).unwrap();
+                assert_eq!(
+                    tree,
+                    idx3.heap_walk(&h3),
+                    "crash after {at}/{} flushes of insert {j}: tree != oracle",
+                    flushes[j]
+                );
+                let keys: Vec<u64> = tree
+                    .iter()
+                    .map(|(k, _)| match k {
+                        Key::U64(v) => *v,
+                        other => panic!("non-u64 key {other:?}"),
+                    })
+                    .collect();
+                assert_eq!(
+                    keys,
+                    (0..len).collect::<Vec<u64>>(),
+                    "crash after {at}/{} flushes of insert {j}",
+                    flushes[j]
+                );
+            }
+        }
+        sweep_insert(&mut ch, &cidx, j as u64).unwrap();
+    }
+}
+
+// ---- concurrency ----
+
+/// Readers scan the index through pinned lock-free sessions while a
+/// writer drives node splits. Every scan must observe a fully consistent
+/// tree: keys in order, every entry's object field agreeing with the key
+/// it was found under, and a length the tree actually had at some point.
+#[test]
+fn pinned_readers_never_observe_torn_nodes() {
+    const WRITES: u64 = 1200;
+
+    let mgr = HeapManager::temp().unwrap();
+    let handle = mgr.create("rw", 64 << 20, PjhConfig::small()).unwrap();
+    let (class, idx) = handle
+        .with_mut(|h| {
+            let class = h.register::<Item>()?;
+            let idx = Index::<Item>::create(h, "rw.by_k", "k")?;
+            Ok::<_, PjhError>((class, idx))
+        })
+        .unwrap();
+    let fk = class.field::<u64>("k").unwrap();
+
+    let done = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let handle = handle.clone();
+            let idx = idx.clone();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                let mut scans = 0u64;
+                let mut last_len = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    let s = handle.read();
+                    let mut n = 0u64;
+                    let mut prev: Option<Key> = None;
+                    for (k, obj) in idx.range(&s, ..).unwrap() {
+                        assert!(prev.as_ref() <= Some(&k), "scan out of order");
+                        let Key::U64(kv) = k else { panic!("bad key") };
+                        assert_eq!(s.get(obj, fk), kv, "entry field disagrees with key");
+                        prev = Some(Key::U64(kv));
+                        n += 1;
+                    }
+                    // Each published tree only ever grows in this test.
+                    assert!(n >= last_len, "scan shrank: {n} < {last_len}");
+                    assert!(n <= WRITES, "scan overran the writer");
+                    last_len = n;
+                    scans += 1;
+                }
+                scans
+            })
+        })
+        .collect();
+
+    for i in 0..WRITES {
+        handle
+            .txn(|t| insert_item(t, &idx, &Key::U64((i * 13) % 4096), i).map(|_| ()))
+            .unwrap();
+    }
+    done.store(true, Ordering::Release);
+    for r in readers {
+        let scans = r.join().unwrap();
+        assert!(scans > 0, "reader never completed a scan");
+    }
+
+    handle.with_mut(|h| {
+        assert_eq!(idx.len(h).unwrap(), WRITES);
+        h.gc_full(&[]).unwrap();
+        assert_eq!(idx.tree_entries(h).unwrap(), idx.heap_walk(h));
+    });
+}

@@ -10,7 +10,9 @@
 use std::time::Duration;
 
 use espresso_server::client::Client;
-use espresso_server::protocol::{self, ProtocolError, Request, Response, Status, TxnOp, MAX_FRAME};
+use espresso_server::protocol::{
+    self, ProtocolError, Request, Response, Status, TxnOp, MAX_FRAME, MAX_SCAN,
+};
 use espresso_server::server::{Server, ServerConfig};
 use proptest::prelude::*;
 
@@ -23,6 +25,11 @@ fn key_strategy() -> impl Strategy<Value = String> {
 
 fn value_strategy() -> impl Strategy<Value = Vec<u8>> {
     proptest::collection::vec(any::<u8>(), 0..256)
+}
+
+/// A scan bound: a key, or the empty string ("unbounded").
+fn bound_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![Just(String::new()), key_strategy()]
 }
 
 fn txn_op_strategy() -> BoxedStrategy<TxnOp> {
@@ -54,6 +61,18 @@ fn request_strategy() -> BoxedStrategy<Request> {
             value
         }),
         proptest::collection::vec(txn_op_strategy(), 0..8).prop_map(|ops| Request::Txn { ops }),
+        (
+            any::<u16>(),
+            bound_strategy(),
+            bound_strategy(),
+            any::<u32>().prop_map(|l| 1 + l % MAX_SCAN as u32),
+        )
+            .prop_map(|(shard, start, end, limit)| Request::Scan {
+                shard,
+                start,
+                end,
+                limit,
+            }),
     ]
     .boxed()
 }
@@ -122,6 +141,24 @@ proptest! {
     fn garbage_bodies_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
         let _ = protocol::decode_request(&bytes);
         let _ = protocol::decode_response(&bytes);
+        let _ = protocol::decode_scan_items(&bytes);
+    }
+
+    /// The SCAN response payload codec roundtrips, and every truncation
+    /// of a valid payload is an error.
+    #[test]
+    fn scan_item_payloads_roundtrip(
+        truncated in any::<bool>(),
+        items in proptest::collection::vec((key_strategy(), value_strategy()), 0..8),
+        cut_seed in any::<u64>(),
+    ) {
+        let wire = protocol::encode_scan_items(truncated, &items);
+        prop_assert_eq!(
+            protocol::decode_scan_items(&wire).unwrap(),
+            (truncated, items)
+        );
+        let cut = (cut_seed % wire.len() as u64) as usize;
+        prop_assert!(protocol::decode_scan_items(&wire[..cut]).is_err());
     }
 
     /// Length prefixes beyond MAX_FRAME are refused before buffering; the

@@ -146,3 +146,47 @@ proptest! {
         h.commit_sync().unwrap();
     }
 }
+
+/// A session opened before a class's first allocation can still reach
+/// objects of that class: object data reads are live, so a writer that
+/// registers a new class, allocates (appending the klass record to the
+/// persisted segment *after* this session's replica snapshot), and
+/// links the object from a pre-existing one hands the reader a class
+/// word its frozen map has never seen. Resolution must fall back to
+/// the persisted segment instead of panicking on a "dangling" word.
+#[test]
+fn stale_replica_resolves_klass_records_appended_after_pin() {
+    let mgr = HeapManager::temp().unwrap();
+    let h = mgr.create("stale", 1 << 20, PjhConfig::small()).unwrap();
+    let anchor = h
+        .with_mut(|p| {
+            let a = p.register_instance("Anchor", vec![FieldDesc::reference("to")])?;
+            let r = p.alloc_instance(a)?;
+            p.flush_object(r);
+            p.set_root("anchor", r)?;
+            Ok::<_, PjhError>(r)
+        })
+        .unwrap();
+
+    // Pin BEFORE "Fresh" exists anywhere — registry, segment, replica.
+    let session = h.read();
+
+    let fresh = h
+        .with_mut(|p| {
+            let k = p.register_instance("Fresh", rec_fields())?;
+            let r = p.alloc_instance(k)?; // first use: appends the record
+            p.set_field(r, 0, 41);
+            p.flush_object(r);
+            p.set_field_ref(anchor, 0, r)?;
+            Ok::<_, PjhError>(r)
+        })
+        .unwrap();
+
+    // The frozen replica trails the segment, but the live data read
+    // reaches the new object; klass resolution must follow.
+    assert_eq!(session.field_ref(anchor, 0), fresh);
+    let k = session.klass_of(fresh);
+    assert_eq!(k.name(), "Fresh");
+    assert_eq!(k.fields().len(), 1);
+    assert_eq!(session.field(fresh, 0), 41);
+}

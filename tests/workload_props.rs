@@ -9,9 +9,9 @@ use espresso_workload::{make_backend, BackendKind, OpMix, Scenario, Skew, Trace}
 use proptest::prelude::*;
 
 /// A small but shape-diverse scenario from raw proptest inputs. The op
-/// mix is derived from five cut points (splitmix64 over `cuts_seed`) so
-/// it always sums to 100, and every generated scenario passes the
-/// config validator by construction.
+/// mix is derived from six cut points (splitmix64 over `cuts_seed`) so
+/// it always sums to 100 — scans included — and every generated
+/// scenario passes the config validator by construction.
 fn scenario_from(
     seed: u64,
     key_space: u32,
@@ -21,7 +21,7 @@ fn scenario_from(
     commit_every: u64,
 ) -> Scenario {
     let mut state = cuts_seed;
-    let mut c = [0u32; 5].map(|_| {
+    let mut c = [0u32; 6].map(|_| {
         state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -35,7 +35,8 @@ fn scenario_from(
         del: c[2] - c[1],
         fget: c[3] - c[2],
         fset: c[4] - c[3],
-        txn: 100 - c[4],
+        txn: c[5] - c[4],
+        scan: 100 - c[5],
     };
     Scenario {
         name: "prop".into(),
